@@ -1,0 +1,126 @@
+//! Criterion benchmarks for every pipeline stage: Verilog translation,
+//! state enumeration, tour generation, vector generation and RTL
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use archval_fsm::{enumerate, EnumConfig};
+use archval_pp::rtl::{ExtIn, Forces, RtlSim};
+use archval_pp::{pp_control_model, pp_control_verilog, BugSet, PpScale};
+use archval_stimgen::mapping::trace_to_stimulus;
+use archval_stimgen::replay::replay;
+use archval_tour::{generate_tours, TourConfig};
+use archval_verilog::{parse, translate};
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verilog_translate");
+    for scale in [PpScale::micro(), PpScale::standard(), PpScale::paper()] {
+        let src = pp_control_verilog(&scale);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale:?}")),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let design = parse(src).unwrap();
+                    translate(&design, "pp_control").unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_enumeration");
+    group.sample_size(10);
+    for scale in [PpScale::micro(), PpScale::standard()] {
+        let model = pp_control_model(&scale).unwrap();
+        let evals = {
+            let r = enumerate(&model, &EnumConfig::default()).unwrap();
+            r.stats.transitions_evaluated
+        };
+        group.throughput(Throughput::Elements(evals));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale:?}")),
+            &model,
+            |b, m| b.iter(|| enumerate(m, &EnumConfig::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tour_generation");
+    group.sample_size(10);
+    for scale in [PpScale::micro(), PpScale::standard()] {
+        let model = pp_control_model(&scale).unwrap();
+        let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+        group.throughput(Throughput::Elements(enumd.graph.edge_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale:?}")),
+            &enumd,
+            |b, e| b.iter(|| generate_tours(&e.graph, &TourConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_vectors_and_replay(c: &mut Criterion) {
+    let scale = PpScale::micro();
+    let model = pp_control_model(&scale).unwrap();
+    let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+    let tours = generate_tours(&enumd.graph, &TourConfig::default());
+    let trace = &tours.traces()[0];
+
+    let mut group = c.benchmark_group("vector_generation");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("trace_to_stimulus(micro trace 0)", |b| {
+        b.iter(|| trace_to_stimulus(&scale, &model, &tours, trace, 7))
+    });
+    group.finish();
+
+    let stim = trace_to_stimulus(&scale, &model, &tours, trace, 7);
+    let mut group = c.benchmark_group("rtl_replay");
+    group.throughput(Throughput::Elements(stim.cycles.len() as u64));
+    group.bench_function("replay(micro trace 0)", |b| {
+        b.iter(|| replay(&stim, BugSet::none()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rtl_throughput(c: &mut Criterion) {
+    use archval_pp::asm::assemble;
+    let program = assemble(
+        "addi r1, r0, 1\naddi r2, r0, 2\nadd r3, r1, r2\nlw r4, 0x8000(r0)\n\
+         sw r3, 0x8004(r0)\nswitch r5\nsend r5\nnop",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("rtl_simulation");
+    let cycles = 10_000u64;
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("10k cycles, straight-line program", |b| {
+        b.iter(|| {
+            let mut rtl = RtlSim::new(
+                PpScale::standard(),
+                BugSet::none(),
+                &program,
+                vec![1; 64],
+            );
+            for _ in 0..cycles {
+                rtl.step(ExtIn::ready(), Forces::default());
+            }
+            rtl
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translate,
+    bench_enumerate,
+    bench_tours,
+    bench_vectors_and_replay,
+    bench_rtl_throughput
+);
+criterion_main!(benches);

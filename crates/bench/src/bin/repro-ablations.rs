@@ -1,0 +1,108 @@
+//! Ablation studies called out in DESIGN.md:
+//!
+//! 1. trace-limit overhead sweep (the paper's "does not add much
+//!    overhead");
+//! 2. greedy DFS+BFS tours versus the Chinese-Postman optimum on
+//!    strongly-connected graphs;
+//! 3. first-label versus all-labels edge recording (graph growth);
+//! 4. random versus tour arc-coverage in equal cycle budgets.
+
+use archval_fsm::graph::{EdgePolicy, StateGraph, StateId};
+use archval_fsm::{enumerate, EnumConfig};
+use archval_pp::pp_control_model;
+use archval_sim::baseline::{random_coverage_run, tour_coverage_run};
+use archval_tour::euler::{eulerize, hierholzer_tour};
+use archval_tour::{generate_tours, TourConfig};
+
+fn main() {
+    let scale = archval_bench::scale_from_args();
+    let model = pp_control_model(&scale).expect("model");
+    eprintln!("enumerating at {scale:?} ...");
+    let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+
+    println!("== ablation 1: per-trace instruction limit ==");
+    println!("{:>8} {:>8} {:>12} {:>14} {:>10}", "limit", "traces", "traversals", "longest", "overhead");
+    let base = generate_tours(&enumd.graph, &TourConfig::default());
+    for limit in [None, Some(10_000u64), Some(1_000), Some(100)] {
+        let t = generate_tours(&enumd.graph, &TourConfig { instruction_limit: limit });
+        assert!(t.covers_all_arcs(&enumd.graph));
+        println!(
+            "{:>8} {:>8} {:>12} {:>14} {:>9.3}x",
+            limit.map_or("none".into(), |l| l.to_string()),
+            t.stats().traces,
+            t.stats().total_edge_traversals,
+            t.stats().longest_trace_edges,
+            t.stats().total_edge_traversals as f64
+                / base.stats().total_edge_traversals as f64
+        );
+    }
+
+    println!("\n== ablation 2: greedy DFS tours vs Chinese-Postman optimum ==");
+    // strongly-connected synthetic graphs (the PP graph is not SC)
+    for (name, g) in [("ring+chords", ring_with_chords(60, 7)), ("dense", dense(24))] {
+        let greedy = generate_tours(&g, &TourConfig::default());
+        let e = eulerize(&g).expect("strongly connected by construction");
+        let postman = hierholzer_tour(g.state_count(), &e.arcs, StateId(0))
+            .expect("balanced multigraph");
+        println!(
+            "  {name:<12} arcs {:>5}  greedy traversals {:>6}  postman {:>6}  ratio {:.3}",
+            g.edge_count(),
+            greedy.stats().total_edge_traversals,
+            postman.len(),
+            greedy.stats().total_edge_traversals as f64 / postman.len() as f64
+        );
+    }
+
+    println!("\n== ablation 3: first-label vs all-labels edge recording ==");
+    let all = enumerate(
+        &model,
+        &EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() },
+    )
+    .expect("enumeration");
+    println!(
+        "  first-label: {} arcs; all-labels: {} arcs ({:.1}x more to tour — the cost of\n\
+         \x20 the Figure 4.2 fix)",
+        enumd.graph.edge_count(),
+        all.graph.edge_count(),
+        all.graph.edge_count() as f64 / enumd.graph.edge_count() as f64
+    );
+
+    println!("\n== ablation 4: arc coverage, tours vs random, equal budget ==");
+    let tours = generate_tours(&enumd.graph, &TourConfig::default());
+    let tour_run = tour_coverage_run(&enumd, &tours);
+    println!(
+        "  tours:  {}/{} arcs in {} cycles",
+        tour_run.arcs_covered, tour_run.arcs_total, tour_run.cycles
+    );
+    for p in [0.5, 0.2, 0.05] {
+        let r = random_coverage_run(&scale, &model, &enumd, tour_run.cycles, p, 42);
+        println!(
+            "  random(p_rare={p}): {}/{} arcs ({:.1}%) in the same budget",
+            r.arcs_covered,
+            r.arcs_total,
+            100.0 * r.final_fraction()
+        );
+    }
+}
+
+/// A strongly connected ring with extra chords.
+fn ring_with_chords(n: u32, stride: u32) -> StateGraph {
+    let mut g = StateGraph::new();
+    for i in 0..n {
+        g.add_edge(StateId(i), StateId((i + 1) % n), 0, EdgePolicy::AllLabels);
+        g.add_edge(StateId(i), StateId((i + stride) % n), 1, EdgePolicy::AllLabels);
+    }
+    g
+}
+
+/// A small dense graph: i -> (i*k+1) mod n for several k.
+fn dense(n: u32) -> StateGraph {
+    let mut g = StateGraph::new();
+    for i in 0..n {
+        for (lbl, k) in [(0u64, 1u32), (1, 2), (2, 5)] {
+            g.add_edge(StateId(i), StateId((i * k + 1) % n), lbl, EdgePolicy::AllLabels);
+        }
+        g.add_edge(StateId(i), StateId((i + 1) % n), 3, EdgePolicy::AllLabels);
+    }
+    g
+}

@@ -1,0 +1,45 @@
+//! Runs every repro experiment in sequence at the given scale and writes a
+//! machine-readable summary to `experiments.json`.
+//!
+//! ```sh
+//! cargo run --release -p archval-bench --bin repro-all [micro|standard|full|paper]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "standard".into());
+    let bins = [
+        "repro-table1-1",
+        "repro-table3-1",
+        "repro-fig3-2",
+        "repro-table3-2",
+        "repro-table3-3",
+        "repro-table2-1",
+        "repro-fig2-2",
+        "repro-fig4-1",
+        "repro-fig4-2",
+        "repro-ablations",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n────────────────────────────────────────────────────────────");
+        println!("▶ {bin} {scale}\n");
+        let status = Command::new(dir.join(bin))
+            .arg(&scale)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    println!("\n────────────────────────────────────────────────────────────");
+    if failures.is_empty() {
+        println!("all {} experiments reproduced at scale `{scale}`", bins.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 4.2: an implementation with *fewer* behaviours
+//! (aliased input conditions) escapes the first-label tour and is caught
+//! once all unique conditions are recorded.
+
+use archval_sim::conformance::fewer_behaviors_experiment;
+
+fn main() {
+    println!("== Figure 4.2 — Erroneous FSM implementation with fewer behaviours ==\n");
+    let (first, all) = fewer_behaviors_experiment();
+    println!(
+        "first-label policy (paper default): {} arcs, detected: {}",
+        first.impl_arcs, first.detected
+    );
+    println!(
+        "all-labels policy (Section 4 fix): {} arcs, detected: {}",
+        all.impl_arcs, all.detected
+    );
+    assert!(!first.detected && all.detected);
+    println!(
+        "\n\"each arc is labelled with the first condition leading to a new state, so\n\
+         either 'a' or 'c' will label the arc ... the wrong 'c' transition will never\n\
+         be exercised\" — changing the enumeration to capture all unique transition\n\
+         arcs restores detection, as the paper proposes."
+    );
+}

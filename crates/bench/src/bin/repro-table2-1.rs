@@ -1,0 +1,74 @@
+//! Regenerates Table 2.1: the six PP bugs, whether the generated
+//! transition-tour vectors expose them, and whether an equal-budget random
+//! baseline does.
+//!
+//! Run at scale `full` (the default here) so every trigger is reachable.
+
+use archval_pp::{BugSet, PpScale};
+use archval_sim::campaign::{random_baseline_detects, run_campaign, CampaignConfig};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("micro") => PpScale::micro(),
+        Some("standard") => PpScale::standard(),
+        Some("paper") => PpScale::paper(),
+        _ => PpScale::full(),
+    };
+    eprintln!("running the bug campaign at {scale:?} (enumeration + 6 bug runs + baseline)...");
+    let report = run_campaign(&CampaignConfig {
+        scale,
+        random_budget_multiplier: 1,
+        ..CampaignConfig::default()
+    });
+
+    println!("== Table 2.1 — Synopsis of Discovered Bugs ({scale:?}) ==\n");
+    println!(
+        "tour vectors: {} traces, {} total cycles; random baseline budget: same\n",
+        report.traces, report.tour_cycle_budget
+    );
+    let mut realistic_detected = 0;
+    for o in &report.outcomes {
+        println!("{}", o.bug);
+        match (o.tour_detected_at_trace, o.tour_cycles_to_detect) {
+            (Some(t), Some(c)) => {
+                println!("    tour vectors: DETECTED (trace {t}, after {c} cycles)");
+            }
+            _ => println!("    tour vectors: not detected at this scale"),
+        }
+        match o.random_cycles_to_detect {
+            Some(c) => println!("    aggressive random (rare bits p=0.5): detected after {c} cycles"),
+            None => println!(
+                "    aggressive random (rare bits p=0.5): NOT DETECTED within {} cycles",
+                report.tour_cycle_budget
+            ),
+        }
+        // realistic traffic: rare interface conditions actually rare
+        let realistic = random_baseline_detects(
+            &scale,
+            BugSet::only(o.bug),
+            report.tour_cycle_budget,
+            0.03,
+            0xBEEF ^ (o.bug as u64),
+        );
+        match realistic {
+            Some(c) => {
+                realistic_detected += 1;
+                println!("    realistic random (rare bits p=0.03): detected after {c} cycles");
+            }
+            None => println!(
+                "    realistic random (rare bits p=0.03): NOT DETECTED within {} cycles",
+                report.tour_cycle_budget
+            ),
+        }
+        println!();
+    }
+    println!(
+        "summary: tour vectors {}/6 (deterministically, with full arc coverage),\n\
+         equal-budget aggressive random {}/6, equal-budget realistic random {}/6\n\
+         (paper: all six found by generated vectors, none previously found by\n\
+         hand-written or random tests)",
+        report.tour_detected(),
+        report.random_detected(),
+        realistic_detected
+    );
+}

@@ -1,0 +1,29 @@
+//! Shared helpers for the `repro-*` binaries and criterion benches.
+
+use archval_pp::PpScale;
+
+/// Parses a scale argument (`micro|standard|full|paper`), defaulting to
+/// `standard`.
+pub fn scale_from_args() -> PpScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("micro") => PpScale::micro(),
+        Some("full") => PpScale::full(),
+        Some("paper") => PpScale::paper(),
+        Some("standard") | None => PpScale::standard(),
+        Some(other) => {
+            eprintln!("unknown scale `{other}`; use micro|standard|full|paper");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints a two-column paper-vs-measured table row.
+pub fn row(label: &str, paper: &str, measured: &str) {
+    println!("{label:<42} {paper:>18} {measured:>18}");
+}
+
+/// Prints the table header.
+pub fn header(title: &str) {
+    println!("== {title} ==");
+    println!("{:<42} {:>18} {:>18}", "", "paper", "measured");
+}

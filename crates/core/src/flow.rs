@@ -1,0 +1,225 @@
+//! The end-to-end validation flow for any annotated Verilog design.
+
+use archval_fsm::enumerate::{enumerate, EnumConfig, EnumResult};
+use archval_fsm::graph::EdgePolicy;
+use archval_fsm::Model;
+use archval_tour::generate::{generate_tours, TourConfig, TourSet};
+use archval_verilog::{parse, translate_with_options, TranslateOptions};
+
+use crate::report::ValidationSummary;
+use crate::Error;
+
+/// A configured validation flow: Verilog → FSM → enumeration → tours.
+///
+/// The design-specific last mile (concrete instruction synthesis and
+/// architectural comparison) lives with the design; for the PP it is
+/// [`archval_stimgen`] + [`archval_sim`].
+#[derive(Debug)]
+pub struct ValidationFlow {
+    model: Model,
+    enum_config: EnumConfig,
+    tour_config: TourConfig,
+}
+
+impl ValidationFlow {
+    /// Parses and translates `top` from annotated Verilog source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verilog`] for parse/translation failures.
+    pub fn from_verilog(src: &str, top: &str) -> Result<Self, Error> {
+        Self::from_verilog_with_options(src, top, &TranslateOptions::default())
+    }
+
+    /// As [`ValidationFlow::from_verilog`] with explicit translation
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verilog`] for parse/translation failures.
+    pub fn from_verilog_with_options(
+        src: &str,
+        top: &str,
+        options: &TranslateOptions,
+    ) -> Result<Self, Error> {
+        let design = parse(src)?;
+        let model = translate_with_options(&design, top, options)?;
+        Ok(Self::from_model(model))
+    }
+
+    /// Starts a flow from an already-built FSM model.
+    pub fn from_model(model: Model) -> Self {
+        ValidationFlow {
+            model,
+            enum_config: EnumConfig::default(),
+            tour_config: TourConfig::default(),
+        }
+    }
+
+    /// Sets the edge-label policy (the paper's Section 4 discussion:
+    /// [`EdgePolicy::AllLabels`] also captures aliased conditions).
+    pub fn edge_policy(mut self, policy: EdgePolicy) -> Self {
+        self.enum_config.edge_policy = policy;
+        self
+    }
+
+    /// Caps the enumeration at `limit` states.
+    pub fn state_limit(mut self, limit: usize) -> Self {
+        self.enum_config.state_limit = limit;
+        self
+    }
+
+    /// Sets the per-trace instruction limit (the paper used 10,000).
+    pub fn instruction_limit(mut self, limit: Option<u64>) -> Self {
+        self.tour_config.instruction_limit = limit;
+        self
+    }
+
+    /// The translated model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Runs enumeration and tour generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Fsm`] if the state limit is exceeded or the model
+    /// misbehaves during evaluation.
+    pub fn run(self) -> Result<FlowResult, Error> {
+        let enumd = enumerate(&self.model, &self.enum_config)?;
+        let tours = generate_tours(&enumd.graph, &self.tour_config);
+        Ok(FlowResult { model: self.model, enumd, tours })
+    }
+}
+
+/// Everything the generic flow produces.
+#[derive(Debug)]
+pub struct FlowResult {
+    /// The translated FSM model.
+    pub model: Model,
+    /// The complete reachable state graph and statistics (Table 3.2
+    /// shape).
+    pub enumd: EnumResult,
+    /// The covering tour set and statistics (Table 3.3 shape).
+    pub tours: TourSet,
+}
+
+impl FlowResult {
+    /// Summarises the run for reports.
+    pub fn summary(&self) -> ValidationSummary {
+        ValidationSummary {
+            model_name: self.model.name().to_owned(),
+            states: self.enumd.stats.states,
+            bits_per_state: self.enumd.stats.bits_per_state,
+            edges: self.enumd.stats.edges,
+            enumeration_seconds: self.enumd.stats.elapsed.as_secs_f64(),
+            traces: self.tours.stats().traces,
+            edge_traversals: self.tours.stats().total_edge_traversals,
+            instructions: self.tours.stats().total_instructions,
+            generation_seconds: self.tours.stats().generation_time.as_secs_f64(),
+            longest_trace_edges: self.tours.stats().longest_trace_edges,
+            full_coverage: self.tours.covers_all_arcs(&self.enumd.graph),
+        }
+    }
+
+    /// Emits a generic Verilog force/release vector file for one trace:
+    /// each tour condition becomes `force <dut>.<choice> = <value>;`
+    /// commands followed by a clock advance.
+    pub fn force_file(&self, trace_ix: usize, dut: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let Some(trace) = self.tours.traces().get(trace_ix) else {
+            return s;
+        };
+        let _ = writeln!(s, "// trace {trace_ix}: {} edges", trace.len());
+        s.push_str("initial begin\n");
+        let mut prev: Option<Vec<u64>> = None;
+        for step in self.tours.resolve(trace) {
+            let values = self.model.decode_choices(step.label);
+            for (i, (choice, &v)) in self.model.choices().iter().zip(&values).enumerate() {
+                if prev.as_ref().map_or(true, |p| p[i] != v) {
+                    let _ = writeln!(s, "  force {dut}.{} = {v};", choice.name);
+                }
+            }
+            prev = Some(values);
+            s.push_str("  @(posedge clk);\n");
+        }
+        s.push_str("end\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HANDSHAKE: &str = r#"
+module handshake(clk, reset, req, ack_in, ack);
+  input clk, reset;
+  input req;     // archval: abstract
+  input ack_in;  // archval: abstract
+  output ack;
+  reg [1:0] state;
+  wire ack;
+  assign ack = state == 2'd2;
+  always @(posedge clk) begin
+    if (reset) state <= 2'd0;
+    else case (state)
+      2'd0: if (req) state <= 2'd1;
+      2'd1: if (ack_in) state <= 2'd2;
+      2'd2: if (!req) state <= 2'd0;
+      default: state <= 2'd0;
+    endcase
+  end
+endmodule
+"#;
+
+    #[test]
+    fn flow_covers_handshake() {
+        let r = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.enumd.graph.state_count(), 3);
+        assert!(r.tours.covers_all_arcs(&r.enumd.graph));
+        let s = r.summary();
+        assert!(s.full_coverage);
+        assert_eq!(s.states, 3);
+        assert!(s.edge_traversals >= s.edges as u64);
+    }
+
+    #[test]
+    fn flow_builder_options_apply() {
+        let flow = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+            .unwrap()
+            .edge_policy(EdgePolicy::AllLabels)
+            .instruction_limit(Some(5))
+            .state_limit(100);
+        let r = flow.run().unwrap();
+        // all-labels keeps aliased conditions: more edges than first-label
+        assert!(r.enumd.graph.edge_count() > 3 * 3);
+    }
+
+    #[test]
+    fn state_limit_propagates() {
+        let e = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+            .unwrap()
+            .state_limit(2)
+            .run()
+            .unwrap_err();
+        assert!(matches!(e, Error::Fsm(archval_fsm::Error::StateLimit { .. })));
+    }
+
+    #[test]
+    fn force_file_emits_choice_names() {
+        let r = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+            .unwrap()
+            .run()
+            .unwrap();
+        let text = r.force_file(0, "tb.dut");
+        assert!(text.contains("force tb.dut.req"));
+        assert!(text.contains("@(posedge clk);"));
+        assert!(r.force_file(9999, "x").is_empty(), "missing trace yields empty");
+    }
+}

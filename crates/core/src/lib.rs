@@ -1,0 +1,124 @@
+//! # archval — architecture validation for processors
+//!
+//! A from-scratch reproduction of *"Architecture Validation for
+//! Processors"* (Ho, Yang, Horowitz & Dill, ISCA 1995): automatic
+//! generation of simulation test vectors that drive a processor design
+//! through **every transition of its control logic**, by
+//!
+//! 1. translating annotated Verilog into a synchronous FSM model
+//!    ([`archval_verilog`]),
+//! 2. enumerating every control state reachable from reset, permuting all
+//!    abstract interface choices ([`archval_fsm`]),
+//! 3. covering the resulting state graph with transition tours
+//!    ([`archval_tour`]),
+//! 4. mapping tour conditions to concrete instructions and interface
+//!    forces ([`archval_stimgen`]), and
+//! 5. comparing the RTL implementation against an instruction-level
+//!    executable specification ([`archval_sim`]).
+//!
+//! The device under validation is a reconstruction of the Stanford FLASH
+//! Protocol Processor ([`archval_pp`]): a dual-issue DLX-style core with a
+//! 2-way set-associative data cache (fill-before-spill, spill buffer,
+//! critical-word-first restart, split stores with conflict stalls), an
+//! instruction cache, Inbox/Outbox interfaces — and the six injectable
+//! "multiple event" bugs of the paper's Table 2.1.
+//!
+//! # Quickstart
+//!
+//! Run the generic flow on any annotated Verilog module:
+//!
+//! ```
+//! use archval::flow::ValidationFlow;
+//!
+//! let src = r#"
+//! module gadget(clk, reset, go, busy);
+//!   input clk, reset;
+//!   input go;           // archval: abstract
+//!   output busy;
+//!   reg [1:0] state;
+//!   wire busy;
+//!   assign busy = state != 2'd0;
+//!   always @(posedge clk) begin
+//!     if (reset) state <= 2'd0;
+//!     else case (state)
+//!       2'd0: if (go) state <= 2'd1;
+//!       2'd1: state <= 2'd2;
+//!       default: state <= 2'd0;
+//!     endcase
+//!   end
+//! endmodule
+//! "#;
+//! let result = ValidationFlow::from_verilog(src, "gadget")?.run()?;
+//! assert_eq!(result.enumd.graph.state_count(), 3);
+//! assert!(result.tours.covers_all_arcs(&result.enumd.graph));
+//! # Ok::<(), archval::Error>(())
+//! ```
+//!
+//! For the full PP validation (vectors, replay, architectural comparison,
+//! bug campaigns) see [`archval_sim::campaign`] and the `validate_pp`
+//! example.
+
+pub mod flow;
+pub mod report;
+
+pub use flow::{FlowResult, ValidationFlow};
+pub use report::ValidationSummary;
+
+pub use archval_fsm as fsm;
+pub use archval_pp as pp;
+pub use archval_sim as sim;
+pub use archval_stimgen as stimgen;
+pub use archval_tour as tour;
+pub use archval_verilog as verilog;
+
+/// Top-level error: anything the pipeline can fail with.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Verilog parsing, annotation or translation failed.
+    Verilog(archval_verilog::VerilogError),
+    /// Model construction or state enumeration failed.
+    Fsm(archval_fsm::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Verilog(e) => write!(f, "verilog stage failed: {e}"),
+            Error::Fsm(e) => write!(f, "fsm stage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Verilog(e) => Some(e),
+            Error::Fsm(e) => Some(e),
+        }
+    }
+}
+
+impl From<archval_verilog::VerilogError> for Error {
+    fn from(e: archval_verilog::VerilogError) -> Self {
+        Error::Verilog(e)
+    }
+}
+
+impl From<archval_fsm::Error> for Error {
+    fn from(e: archval_fsm::Error) -> Self {
+        Error::Fsm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wraps_and_displays() {
+        let e = Error::from(archval_fsm::Error::EmptyModel);
+        assert!(e.to_string().contains("fsm stage"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

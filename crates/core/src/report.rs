@@ -1,0 +1,77 @@
+//! Machine-readable validation summaries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A flat summary of a validation run, serialisable for the experiment
+/// harness (EXPERIMENTS.md is generated from these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationSummary {
+    /// Name of the validated module.
+    pub model_name: String,
+    /// Reachable states (Table 3.2 row 1).
+    pub states: usize,
+    /// Packed bits per state (Table 3.2 row 2).
+    pub bits_per_state: u32,
+    /// State-graph edges (Table 3.2 row 5).
+    pub edges: usize,
+    /// Enumeration wall-clock seconds (Table 3.2 row 3).
+    pub enumeration_seconds: f64,
+    /// Traces generated (Table 3.3 row 1).
+    pub traces: usize,
+    /// Total edge traversals (Table 3.3 row 2).
+    pub edge_traversals: u64,
+    /// Total instructions (Table 3.3 row 3).
+    pub instructions: u64,
+    /// Vector-generation wall-clock seconds (Table 3.3 row 4).
+    pub generation_seconds: f64,
+    /// Longest single trace in edges (Table 3.3 row 6).
+    pub longest_trace_edges: usize,
+    /// Whether every arc was covered.
+    pub full_coverage: bool,
+}
+
+impl fmt::Display for ValidationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== validation summary: {} ==", self.model_name)?;
+        writeln!(f, "states            {}", self.states)?;
+        writeln!(f, "bits per state    {}", self.bits_per_state)?;
+        writeln!(f, "edges             {}", self.edges)?;
+        writeln!(f, "enumeration       {:.2} s", self.enumeration_seconds)?;
+        writeln!(f, "traces            {}", self.traces)?;
+        writeln!(f, "edge traversals   {}", self.edge_traversals)?;
+        writeln!(f, "instructions      {}", self.instructions)?;
+        writeln!(f, "generation        {:.2} s", self.generation_seconds)?;
+        writeln!(f, "longest trace     {} edges", self.longest_trace_edges)?;
+        write!(f, "full arc coverage {}", self.full_coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = ValidationSummary {
+            model_name: "pp_control".into(),
+            states: 229_571,
+            bits_per_state: 98,
+            edges: 1_172_848,
+            enumeration_seconds: 18_307.0,
+            traces: 1_296,
+            edge_traversals: 21_200_173,
+            instructions: 8_521_468,
+            generation_seconds: 161_159.0,
+            longest_trace_edges: 21_197_977,
+            full_coverage: true,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ValidationSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let text = s.to_string();
+        assert!(text.contains("229571"));
+        assert!(text.contains("pp_control"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Ergonomic construction of [`Model`]s.
+//!
+//! The builder hands out [`ExprId`]s for every expression fragment, so
+//! translated Verilog and hand-written models share subtrees naturally.
+//! Expression constructors take `&self` (the arena uses interior
+//! mutability), which permits natural nesting such as
+//! `b.ternary(b.choice_expr(en), a, c)`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::error::Error;
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::model::{ChoiceId, ChoiceInput, Def, DefId, ExprId, Model, StateVar, VarId};
+
+#[derive(Debug, Default)]
+struct ExprArena {
+    exprs: Vec<Expr>,
+    /// Hash-consing table so repeated fragments share nodes.
+    interned: HashMap<Expr, ExprId>,
+}
+
+impl ExprArena {
+    fn intern(&mut self, e: Expr) -> ExprId {
+        if let Some(&id) = self.interned.get(&e) {
+            return id;
+        }
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(e.clone());
+        self.interned.insert(e, id);
+        id
+    }
+}
+
+/// Incrementally builds a [`Model`].
+///
+/// # Example
+///
+/// ```
+/// use archval_fsm::builder::ModelBuilder;
+///
+/// let mut b = ModelBuilder::new("toggle");
+/// let t = b.state_var("t", 2, 0);
+/// b.set_next(t, b.not(b.var_expr(t)));
+/// let model = b.build()?;
+/// assert_eq!(model.bits_per_state(), 1);
+/// # Ok::<(), archval_fsm::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    vars: Vec<(String, u64, u64, Option<ExprId>)>,
+    choices: Vec<ChoiceInput>,
+    defs: Vec<Def>,
+    arena: RefCell<ExprArena>,
+    names: HashMap<String, ()>,
+    error: Option<Error>,
+}
+
+impl ModelBuilder {
+    /// Creates an empty builder for a model called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            choices: Vec::new(),
+            defs: Vec::new(),
+            arena: RefCell::new(ExprArena::default()),
+            names: HashMap::new(),
+            error: None,
+        }
+    }
+
+    fn record_name(&mut self, name: &str) {
+        if self.names.insert(name.to_owned(), ()).is_some() && self.error.is_none() {
+            self.error = Some(Error::DuplicateName { name: name.to_owned() });
+        }
+    }
+
+    /// Declares a clocked state variable with domain `0..size` resetting to
+    /// `init`. The next-state expression must be supplied later with
+    /// [`set_next`](Self::set_next).
+    ///
+    /// Domain or init problems are reported by [`build`](Self::build).
+    pub fn state_var(&mut self, name: impl Into<String>, size: u64, init: u64) -> VarId {
+        let name = name.into();
+        self.record_name(&name);
+        if (size < 2 || size > (1 << 32)) && self.error.is_none() {
+            self.error = Some(Error::BadDomain { name: name.clone(), size });
+        } else if init >= size && self.error.is_none() {
+            self.error = Some(Error::BadInit { var: name.clone(), value: init, size });
+        }
+        self.vars.push((name, size, init, None));
+        VarId(self.vars.len() as u32 - 1)
+    }
+
+    /// Declares a nondeterministic choice input with domain `0..size`.
+    pub fn choice(&mut self, name: impl Into<String>, size: u64) -> ChoiceId {
+        let name = name.into();
+        self.record_name(&name);
+        if (size < 2 || size > (1 << 32)) && self.error.is_none() {
+            self.error = Some(Error::BadDomain { name: name.clone(), size });
+        }
+        self.choices.push(ChoiceInput { name, size });
+        ChoiceId(self.choices.len() as u32 - 1)
+    }
+
+    /// Declares a named combinational definition. Definitions may reference
+    /// only previously declared definitions, which makes combinational
+    /// cycles impossible by construction.
+    pub fn def(&mut self, name: impl Into<String>, expr: ExprId) -> DefId {
+        let name = name.into();
+        self.record_name(&name);
+        self.defs.push(Def { name, expr });
+        DefId(self.defs.len() as u32 - 1)
+    }
+
+    /// Sets the next-state expression for `var`.
+    pub fn set_next(&mut self, var: VarId, next: ExprId) {
+        self.vars[var.0 as usize].3 = Some(next);
+    }
+
+    fn intern(&self, e: Expr) -> ExprId {
+        self.arena.borrow_mut().intern(e)
+    }
+
+    /// A constant expression.
+    pub fn constant(&self, v: u64) -> ExprId {
+        self.intern(Expr::Const(v))
+    }
+
+    /// The current value of a state variable.
+    pub fn var_expr(&self, v: VarId) -> ExprId {
+        self.intern(Expr::Var(v))
+    }
+
+    /// The value of a choice input this cycle.
+    pub fn choice_expr(&self, c: ChoiceId) -> ExprId {
+        self.intern(Expr::Choice(c))
+    }
+
+    /// The value of a combinational definition.
+    pub fn def_expr(&self, d: DefId) -> ExprId {
+        self.intern(Expr::Def(d))
+    }
+
+    /// Logical negation.
+    pub fn not(&self, a: ExprId) -> ExprId {
+        self.intern(Expr::Unary(UnaryOp::Not, a))
+    }
+
+    /// Bitwise complement.
+    pub fn bit_not(&self, a: ExprId) -> ExprId {
+        self.intern(Expr::Unary(UnaryOp::BitNot, a))
+    }
+
+    /// A binary operation.
+    pub fn binary(&self, op: BinaryOp, a: ExprId, b: ExprId) -> ExprId {
+        self.intern(Expr::Binary(op, a, b))
+    }
+
+    /// Logical and.
+    pub fn and(&self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::And, a, b)
+    }
+
+    /// Logical or.
+    pub fn or(&self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Or, a, b)
+    }
+
+    /// Logical and over any number of operands (constant 1 for an empty list).
+    pub fn all(&self, ops: &[ExprId]) -> ExprId {
+        match ops.split_first() {
+            None => self.constant(1),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &x| self.and(acc, x)),
+        }
+    }
+
+    /// Logical or over any number of operands (constant 0 for an empty list).
+    pub fn any(&self, ops: &[ExprId]) -> ExprId {
+        match ops.split_first() {
+            None => self.constant(0),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &x| self.or(acc, x)),
+        }
+    }
+
+    /// Equality test.
+    pub fn eq(&self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Eq, a, b)
+    }
+
+    /// `expr == constant`, a very common fragment in control logic.
+    pub fn eq_const(&self, a: ExprId, k: u64) -> ExprId {
+        let kk = self.constant(k);
+        self.eq(a, kk)
+    }
+
+    /// Inequality test.
+    pub fn ne(&self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Ne, a, b)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Sub, a, b)
+    }
+
+    /// Euclidean modulo.
+    pub fn modulo(&self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Mod, a, b)
+    }
+
+    /// `if cond { then } else { other }`.
+    pub fn ternary(&self, cond: ExprId, then: ExprId, other: ExprId) -> ExprId {
+        self.intern(Expr::Ternary { cond, then, other })
+    }
+
+    /// A priority selector: the value of the first arm whose guard is
+    /// nonzero, else `default`.
+    pub fn select(&self, arms: Vec<(ExprId, ExprId)>, default: ExprId) -> ExprId {
+        self.intern(Expr::Select { arms, default })
+    }
+
+    /// Finishes construction, validating the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found: duplicate names, bad
+    /// domains or initial values, state variables missing a next-state
+    /// expression, dangling references, or an empty model.
+    pub fn build(self) -> Result<Model, Error> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut vars = Vec::with_capacity(self.vars.len());
+        for (name, size, init, next) in self.vars {
+            let next = next.ok_or(Error::MissingNext { var: name.clone() })?;
+            vars.push(StateVar { name, size, init, next });
+        }
+        let exprs = self.arena.into_inner().exprs;
+        let model = Model::from_parts(self.name, vars, self.choices, self.defs, exprs);
+        model.validate()?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = ModelBuilder::new("m");
+        let v = b.state_var("x", 2, 0);
+        b.set_next(v, b.constant(0));
+        b.choice("x", 2);
+        assert_eq!(b.build().unwrap_err(), Error::DuplicateName { name: "x".into() });
+    }
+
+    #[test]
+    fn missing_next_rejected() {
+        let mut b = ModelBuilder::new("m");
+        b.state_var("x", 2, 0);
+        assert_eq!(b.build().unwrap_err(), Error::MissingNext { var: "x".into() });
+    }
+
+    #[test]
+    fn bad_domain_rejected() {
+        let mut b = ModelBuilder::new("m");
+        let v = b.state_var("x", 1, 0);
+        b.set_next(v, b.constant(0));
+        assert!(matches!(b.build().unwrap_err(), Error::BadDomain { .. }));
+    }
+
+    #[test]
+    fn bad_init_rejected() {
+        let mut b = ModelBuilder::new("m");
+        let v = b.state_var("x", 4, 4);
+        b.set_next(v, b.constant(0));
+        assert!(matches!(b.build().unwrap_err(), Error::BadInit { .. }));
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let b = ModelBuilder::new("m");
+        assert_eq!(b.build().unwrap_err(), Error::EmptyModel);
+    }
+
+    #[test]
+    fn interning_shares_nodes() {
+        let mut b = ModelBuilder::new("m");
+        let a = b.constant(7);
+        let c = b.constant(7);
+        assert_eq!(a, c);
+        let v = b.state_var("x", 2, 0);
+        let e1 = b.var_expr(v);
+        let e2 = b.var_expr(v);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn all_any_reduce_correctly() {
+        let mut b = ModelBuilder::new("m");
+        let t = b.constant(1);
+        let f = b.constant(0);
+        let every = b.all(&[t, t, f]);
+        let some = b.any(&[f, f, t]);
+        let none: ExprId = b.any(&[]);
+        let v = b.state_var("x", 2, 0);
+        // route them through the model so build succeeds
+        b.set_next(v, b.any(&[every, some, none]));
+        let m = b.build().unwrap();
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn nested_construction_is_ergonomic() {
+        let mut b = ModelBuilder::new("m");
+        let c = b.choice("c", 2);
+        let v = b.state_var("x", 4, 0);
+        b.set_next(
+            v,
+            b.ternary(b.choice_expr(c), b.add(b.var_expr(v), b.constant(1)), b.var_expr(v)),
+        );
+        assert!(b.build().is_ok());
+    }
+}

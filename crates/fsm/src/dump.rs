@@ -1,0 +1,160 @@
+//! Pretty-printing of models in a Synchronous-Murphi-flavoured syntax.
+//!
+//! The paper's translator emits "the language of our state enumeration
+//! tool, Synchronous Murphi". This module renders a [`Model`] in that
+//! spirit — explicit state variable declarations, nondeterministic choice
+//! (ruleset) declarations, definitions and next-state assignments — which
+//! makes translated models reviewable by a human the way the original
+//! flow's output was.
+
+use std::fmt::Write as _;
+
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::model::{ExprId, Model};
+
+/// Renders the whole model.
+pub fn dump_model(model: &Model) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "-- model {}", model.name());
+    let _ = writeln!(s, "-- {} bits per state, {} choice combinations per step\n",
+        model.bits_per_state(), model.choice_combinations());
+    s.push_str("var  -- state variables (updated by the implicit clock)\n");
+    for v in model.vars() {
+        let _ = writeln!(s, "  {} : 0..{};  -- reset {}", v.name, v.size - 1, v.init);
+    }
+    s.push_str("\nchoose  -- abstract interface models (all combinations tried)\n");
+    for c in model.choices() {
+        let _ = writeln!(s, "  {} : 0..{};", c.name, c.size - 1);
+    }
+    if !model.defs().is_empty() {
+        s.push_str("\ndefine  -- combinational definitions, in evaluation order\n");
+        for d in model.defs() {
+            let _ = writeln!(s, "  {} := {};", d.name, render(model, d.expr));
+        }
+    }
+    s.push_str("\nrule \"clock\"\nbegin\n");
+    for v in model.vars() {
+        let _ = writeln!(s, "  {}' := {};", v.name, render(model, v.next));
+    }
+    s.push_str("end;\n");
+    s
+}
+
+/// Renders one expression with minimal parenthesisation.
+pub fn render(model: &Model, id: ExprId) -> String {
+    let mut s = String::new();
+    go(model, id, &mut s);
+    s
+}
+
+fn go(model: &Model, id: ExprId, out: &mut String) {
+    match model.expr(id) {
+        Expr::Const(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Var(v) => out.push_str(&model.vars()[v.0 as usize].name),
+        Expr::Choice(c) => out.push_str(&model.choices()[c.0 as usize].name),
+        Expr::Def(d) => out.push_str(&model.defs()[d.0 as usize].name),
+        Expr::Unary(op, a) => {
+            out.push_str(match op {
+                UnaryOp::Not => "!",
+                UnaryOp::BitNot => "~",
+            });
+            out.push('(');
+            go(model, *a, out);
+            out.push(')');
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::BitAnd => "&.",
+                BinaryOp::BitOr => "|.",
+                BinaryOp::BitXor => "^",
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Mod => "%",
+                BinaryOp::Eq => "=",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+            };
+            out.push('(');
+            go(model, *a, out);
+            let _ = write!(out, " {sym} ");
+            go(model, *b, out);
+            out.push(')');
+        }
+        Expr::Ternary { cond, then, other } => {
+            out.push_str("(if ");
+            go(model, *cond, out);
+            out.push_str(" then ");
+            go(model, *then, out);
+            out.push_str(" else ");
+            go(model, *other, out);
+            out.push(')');
+        }
+        Expr::Select { arms, default } => {
+            out.push_str("(select");
+            for (g, v) in arms {
+                out.push_str(" [");
+                go(model, *g, out);
+                out.push_str(" -> ");
+                go(model, *v, out);
+                out.push(']');
+            }
+            out.push_str(" else ");
+            go(model, *default, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+
+    fn sample() -> Model {
+        let mut b = ModelBuilder::new("sample");
+        let en = b.choice("enable", 2);
+        let v = b.state_var("count", 4, 1);
+        let cur = b.var_expr(v);
+        let bumped = b.add(cur, b.constant(1));
+        let d = b.def("next_count", bumped);
+        b.set_next(v, b.ternary(b.choice_expr(en), b.def_expr(d), cur));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dump_names_every_section() {
+        let text = dump_model(&sample());
+        assert!(text.contains("model sample"));
+        assert!(text.contains("count : 0..3;  -- reset 1"));
+        assert!(text.contains("enable : 0..1;"));
+        assert!(text.contains("next_count := (count + 1);"));
+        assert!(text.contains("count' := (if enable then next_count else count);"));
+    }
+
+    #[test]
+    fn render_handles_all_operators() {
+        let mut b = ModelBuilder::new("ops");
+        let v = b.state_var("x", 16, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let n = b.not(cur);
+        let bn = b.bit_not(cur);
+        let sel = b.select(vec![(n, one)], bn);
+        b.set_next(v, sel);
+        let m = b.build().unwrap();
+        let text = dump_model(&m);
+        assert!(text.contains("select"));
+        assert!(text.contains("!(x)"));
+        assert!(text.contains("~(x)"));
+    }
+}

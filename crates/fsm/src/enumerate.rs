@@ -1,0 +1,352 @@
+//! Breadth-first explicit-state enumeration.
+//!
+//! Implements step 2 of the paper's methodology (Figure 3.1): "Synchronous
+//! Murphi finds all reachable states of the model by doing breadth-first
+//! search starting with the given reset state. As a new state is found, the
+//! choice of actions that caused the transition from the current state to
+//! the new state becomes the edge of the state graph."
+
+use std::time::Instant;
+
+use crate::error::Error;
+use crate::eval::Evaluator;
+use crate::graph::{EdgePolicy, StateGraph, StateId};
+use crate::model::Model;
+use crate::pack::{StateLayout, StateTable};
+use crate::stats::EnumStats;
+
+/// Configuration for [`enumerate`].
+#[derive(Debug, Clone)]
+pub struct EnumConfig {
+    /// Abort with [`Error::StateLimit`] after discovering this many states.
+    pub state_limit: usize,
+    /// Edge recording policy (see [`EdgePolicy`]).
+    pub edge_policy: EdgePolicy,
+    /// Optional progress callback, invoked with `(states, edges)` roughly
+    /// every `progress_every` states.
+    pub progress_every: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            state_limit: 10_000_000,
+            edge_policy: EdgePolicy::FirstLabel,
+            progress_every: usize::MAX,
+        }
+    }
+}
+
+/// The output of [`enumerate`]: the complete state graph, the interned
+/// state table (for decoding state ids back into variable values) and the
+/// gathered statistics.
+#[derive(Debug)]
+pub struct EnumResult {
+    /// The complete reachable state graph; state 0 is reset.
+    pub graph: StateGraph,
+    /// Packed states, decodable via [`StateTable::values`].
+    pub table: StateTable,
+    /// Table 3.2-shaped statistics.
+    pub stats: EnumStats,
+}
+
+impl EnumResult {
+    /// Convenience: unpacks state `s` into per-variable values.
+    pub fn state_values(&self, s: StateId) -> Vec<u64> {
+        self.table.values(s.0)
+    }
+
+    /// Finds the id of the state with the given variable values, if
+    /// reachable.
+    pub fn find_state(&self, values: &[u64]) -> Option<StateId> {
+        self.table.lookup_values(values).map(StateId)
+    }
+}
+
+/// Enumerates all states reachable from the reset state, permuting every
+/// combination of choice-input values at every state.
+///
+/// # Errors
+///
+/// Returns [`Error::StateLimit`] if the reachable set exceeds
+/// `config.state_limit`, or an evaluation error (division by zero) from a
+/// malformed model.
+///
+/// # Example
+///
+/// ```
+/// use archval_fsm::builder::ModelBuilder;
+/// use archval_fsm::enumerate::{enumerate, EnumConfig};
+///
+/// let mut b = ModelBuilder::new("bit");
+/// let set = b.choice("set", 2);
+/// let v = b.state_var("v", 2, 0);
+/// b.set_next(v, b.choice_expr(set));
+/// let m = b.build()?;
+/// let r = enumerate(&m, &EnumConfig::default())?;
+/// assert_eq!(r.graph.state_count(), 2);
+/// assert_eq!(r.graph.edge_count(), 4); // 2 states x 2 successors
+/// # Ok::<(), archval_fsm::Error>(())
+/// ```
+pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error> {
+    model.validate()?;
+    let start = Instant::now();
+    let layout = StateLayout::new(model);
+    let bits = layout.total_bits();
+    let mut table = StateTable::new(layout);
+    let mut graph = StateGraph::new();
+    let mut evaluator = Evaluator::new(model);
+
+    let n_vars = model.vars().len();
+    let n_choices = model.choices().len();
+    let choice_sizes: Vec<u64> = model.choices().iter().map(|c| c.size).collect();
+
+    let mut scratch = Vec::new();
+    let reset = model.reset_state();
+    let (reset_id, _) = table.intern_values(&reset, &mut scratch);
+    graph.ensure_state(StateId(reset_id));
+
+    // BFS frontier as a simple cursor: states are discovered in BFS order
+    // because ids are assigned in discovery order and we process them in
+    // id order.
+    let mut cursor: u32 = 0;
+    let mut depth_of: Vec<usize> = vec![0];
+    let mut max_depth = 0usize;
+    let mut transitions: u64 = 0;
+
+    let mut cur_values = vec![0u64; n_vars];
+    let mut next_values = vec![0u64; n_vars];
+    let mut choices = vec![0u64; n_choices];
+
+    while (cursor as usize) < table.len() {
+        let src = StateId(cursor);
+        let src_depth = depth_of[cursor as usize];
+        {
+            let packed = table.packed(cursor);
+            // unpack via a copy because `table` is mutably borrowed below
+            let packed: Vec<u64> = packed.to_vec();
+            table.layout().unpack(&packed, &mut cur_values);
+        }
+        // mixed-radix iteration over all choice combinations
+        choices.iter_mut().for_each(|c| *c = 0);
+        let mut code: u64 = 0;
+        loop {
+            evaluator.next_state(&cur_values, &choices, &mut next_values)?;
+            transitions += 1;
+            let (dst, fresh) = table.intern_values(&next_values, &mut scratch);
+            if fresh {
+                if table.len() > config.state_limit {
+                    return Err(Error::StateLimit { limit: config.state_limit });
+                }
+                depth_of.push(src_depth + 1);
+                max_depth = max_depth.max(src_depth + 1);
+                if table.len() % config.progress_every == 0 {
+                    eprintln!(
+                        "enumerate: {} states, {} edges",
+                        table.len(),
+                        graph.edge_count()
+                    );
+                }
+            }
+            graph.add_edge(src, StateId(dst), code, config.edge_policy);
+
+            // advance mixed-radix counter
+            let mut k = 0;
+            loop {
+                if k == n_choices {
+                    break;
+                }
+                choices[k] += 1;
+                if choices[k] < choice_sizes[k] {
+                    break;
+                }
+                choices[k] = 0;
+                k += 1;
+            }
+            code += 1;
+            if k == n_choices {
+                break;
+            }
+        }
+        cursor += 1;
+    }
+
+    let elapsed = start.elapsed();
+    let approx_memory_bytes = table.approx_bytes()
+        + graph.edge_count() * std::mem::size_of::<crate::graph::Edge>()
+        + graph.state_count() * std::mem::size_of::<Vec<crate::graph::Edge>>();
+    let stats = EnumStats {
+        states: table.len(),
+        bits_per_state: bits,
+        edges: graph.edge_count(),
+        elapsed,
+        approx_memory_bytes,
+        transitions_evaluated: transitions,
+        max_depth,
+    };
+    Ok(EnumResult { graph, table, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::expr::BinaryOp;
+
+    /// A 3-bit counter that only counts when enabled: 8 states, 16 edges.
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", 8, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let inc = b.add(cur, one);
+        let next = b.ternary(b.choice_expr(en), inc, cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counter_enumeration_counts() {
+        let r = enumerate(&counter(), &EnumConfig::default()).unwrap();
+        assert_eq!(r.graph.state_count(), 8);
+        // each state: self-loop (en=0) + increment (en=1)
+        assert_eq!(r.graph.edge_count(), 16);
+        assert_eq!(r.stats.bits_per_state, 3);
+        assert_eq!(r.stats.transitions_evaluated, 16);
+        assert_eq!(r.stats.max_depth, 7);
+        assert!(r.graph.all_reachable_from_reset());
+        assert!(r.graph.is_strongly_connected());
+    }
+
+    #[test]
+    fn reset_state_is_id_zero() {
+        let mut b = ModelBuilder::new("m");
+        let v = b.state_var("x", 4, 3);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        b.set_next(v, b.binary(BinaryOp::Sub, cur, one));
+        let m = b.build().unwrap();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        assert_eq!(r.state_values(StateId(0)), vec![3]);
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let cfg = EnumConfig { state_limit: 4, ..EnumConfig::default() };
+        assert_eq!(
+            enumerate(&counter(), &cfg).unwrap_err(),
+            Error::StateLimit { limit: 4 }
+        );
+    }
+
+    #[test]
+    fn unreachable_states_not_enumerated() {
+        // two-bit var that can only toggle its low bit: high bit stays 0
+        let mut b = ModelBuilder::new("m");
+        let v = b.state_var("x", 4, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        b.set_next(v, b.binary(BinaryOp::BitXor, cur, one));
+        let m = b.build().unwrap();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        assert_eq!(r.graph.state_count(), 2);
+    }
+
+    #[test]
+    fn product_of_independent_fsms_multiplies_states() {
+        let mut b = ModelBuilder::new("m");
+        let c1 = b.choice("c1", 2);
+        let c2 = b.choice("c2", 2);
+        let a = b.state_var("a", 3, 0);
+        let z = b.state_var("z", 5, 0);
+        let a_cur = b.var_expr(a);
+        let z_cur = b.var_expr(z);
+        let one = b.constant(1);
+        let three = b.constant(3);
+        let five = b.constant(5);
+        let a_inc = b.add(a_cur, one);
+        let a_wrap = b.modulo(a_inc, three);
+        let z_inc = b.add(z_cur, one);
+        let z_wrap = b.modulo(z_inc, five);
+        let a_next = b.ternary(b.choice_expr(c1), a_wrap, a_cur);
+        let z_next = b.ternary(b.choice_expr(c2), z_wrap, z_cur);
+        b.set_next(a, a_next);
+        b.set_next(z, z_next);
+        let m = b.build().unwrap();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        assert_eq!(r.graph.state_count(), 15);
+        // 4 choice combos per state, successors distinct unless both idle:
+        // (0,0) self, (1,0), (0,1), (1,1) -> 4 distinct successors each
+        assert_eq!(r.graph.edge_count(), 60);
+        assert_eq!(r.stats.transitions_evaluated, 60);
+    }
+
+    #[test]
+    fn interlocked_fsms_reach_fewer_states() {
+        // the paper's observation: mutual stalling prevents the full cross
+        // product. Here b only advances when a==0, a only when b==0.
+        let mut b = ModelBuilder::new("m");
+        let step_a = b.choice("step_a", 2);
+        let step_z = b.choice("step_z", 2);
+        let a = b.state_var("a", 4, 0);
+        let z = b.state_var("z", 4, 0);
+        let a_cur = b.var_expr(a);
+        let z_cur = b.var_expr(z);
+        let one = b.constant(1);
+        let four = b.constant(4);
+        let a_inc = b.add(a_cur, one);
+        let a_wrap = b.modulo(a_inc, four);
+        let z_inc = b.add(z_cur, one);
+        let z_wrap = b.modulo(z_inc, four);
+        let z_zero = b.eq_const(z_cur, 0);
+        let a_zero = b.eq_const(a_cur, 0);
+        let a_go = b.and(b.choice_expr(step_a), z_zero);
+        let z_go = b.and(b.choice_expr(step_z), a_zero);
+        let a_next = b.ternary(a_go, a_wrap, a_cur);
+        let z_next = b.ternary(z_go, z_wrap, z_cur);
+        b.set_next(a, a_next);
+        b.set_next(z, z_next);
+        let m = b.build().unwrap();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        // full product would be 16; the interlock admits only states with
+        // a==0 or z==0, plus the simultaneous-start state (1,1): 8 states
+        assert_eq!(r.graph.state_count(), 8);
+    }
+
+    #[test]
+    fn all_labels_policy_records_aliases() {
+        // next = 0 regardless of the 2-valued choice: aliased conditions
+        let mut b = ModelBuilder::new("m");
+        b.choice("c", 2);
+        let v = b.state_var("x", 2, 1);
+        b.set_next(v, b.constant(0));
+        let m = b.build().unwrap();
+        let first = enumerate(
+            &m,
+            &EnumConfig { edge_policy: EdgePolicy::FirstLabel, ..EnumConfig::default() },
+        )
+        .unwrap();
+        let all = enumerate(
+            &m,
+            &EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(first.graph.edge_count(), 2); // 1->0 once, 0->0 once
+        assert_eq!(all.graph.edge_count(), 4); // both labels kept on each arc
+    }
+
+    #[test]
+    fn find_state_distinguishes_reachable() {
+        let r = enumerate(&counter(), &EnumConfig::default()).unwrap();
+        assert_eq!(r.find_state(&[5]), Some(StateId(5)));
+        // domain is 8 so every value is reachable; a model where it isn't:
+        let mut b = ModelBuilder::new("m");
+        let v = b.state_var("x", 4, 0);
+        b.set_next(v, b.constant(0));
+        let m = b.build().unwrap();
+        let r2 = enumerate(&m, &EnumConfig::default()).unwrap();
+        assert_eq!(r2.find_state(&[0]), Some(StateId(0)));
+        assert_eq!(r2.find_state(&[3]), None);
+    }
+}

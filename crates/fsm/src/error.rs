@@ -1,0 +1,105 @@
+//! Error type for model construction, evaluation and enumeration.
+
+use std::fmt;
+
+/// Errors produced while building, evaluating or enumerating a [`Model`].
+///
+/// [`Model`]: crate::model::Model
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A state variable was declared without a next-state expression.
+    MissingNext {
+        /// Name of the offending state variable.
+        var: String,
+    },
+    /// A domain size of zero or one was requested where at least two values
+    /// are required, or a size too large to encode.
+    BadDomain {
+        /// Name of the variable or choice input.
+        name: String,
+        /// The rejected size.
+        size: u64,
+    },
+    /// An initial value lies outside its variable's domain.
+    BadInit {
+        /// Name of the state variable.
+        var: String,
+        /// The rejected initial value.
+        value: u64,
+        /// The domain size it must be less than.
+        size: u64,
+    },
+    /// A name was declared twice.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A definition refers to itself, directly or transitively.
+    CombinationalCycle {
+        /// Name of a definition on the cycle.
+        def: String,
+    },
+    /// An expression referenced an id that does not exist in the model.
+    DanglingReference {
+        /// Human-readable description of the bad reference.
+        what: String,
+    },
+    /// The enumeration exceeded its configured state limit.
+    StateLimit {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// The model declares no state variables.
+    EmptyModel,
+    /// Division or modulo by a divisor that can be zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MissingNext { var } => {
+                write!(f, "state variable `{var}` has no next-state expression")
+            }
+            Error::BadDomain { name, size } => {
+                write!(f, "domain size {size} for `{name}` is not in 2..=2^32")
+            }
+            Error::BadInit { var, value, size } => write!(
+                f,
+                "initial value {value} for `{var}` is outside its domain of size {size}"
+            ),
+            Error::DuplicateName { name } => write!(f, "name `{name}` declared twice"),
+            Error::CombinationalCycle { def } => {
+                write!(f, "combinational cycle through definition `{def}`")
+            }
+            Error::DanglingReference { what } => write!(f, "dangling reference: {what}"),
+            Error::StateLimit { limit } => {
+                write!(f, "state enumeration exceeded the limit of {limit} states")
+            }
+            Error::EmptyModel => write!(f, "model has no state variables"),
+            Error::DivisionByZero => write!(f, "division or modulo by zero"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::MissingNext { var: "stall".into() };
+        let s = e.to_string();
+        assert!(s.contains("stall"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,271 @@
+//! Allocation-free evaluation of a model's combinational definitions and
+//! next-state functions.
+
+use crate::error::Error;
+use crate::expr::{apply_binary, apply_unary, Expr};
+use crate::model::{ExprId, Model};
+
+/// Reusable evaluator scratch space for one [`Model`].
+///
+/// The enumerator calls [`Evaluator::next_state`] millions of times, so the
+/// evaluator keeps per-definition and per-expression value caches and never
+/// allocates after construction.
+#[derive(Debug)]
+pub struct Evaluator<'m> {
+    model: &'m Model,
+    def_values: Vec<u64>,
+    /// Memo of expression values for the current (state, choices) pair,
+    /// validated by a generation counter to avoid clearing between calls.
+    expr_values: Vec<u64>,
+    expr_gen: Vec<u32>,
+    gen: u32,
+}
+
+impl<'m> Evaluator<'m> {
+    /// Creates an evaluator for `model`.
+    pub fn new(model: &'m Model) -> Self {
+        Evaluator {
+            model,
+            def_values: vec![0; model.defs().len()],
+            expr_values: vec![0; model.exprs().len()],
+            expr_gen: vec![0; model.exprs().len()],
+            gen: 0,
+        }
+    }
+
+    /// The model this evaluator is bound to.
+    pub fn model(&self) -> &'m Model {
+        self.model
+    }
+
+    fn eval(&mut self, id: ExprId, state: &[u64], choices: &[u64]) -> Result<u64, Error> {
+        let ix = id.0 as usize;
+        if self.expr_gen[ix] == self.gen {
+            return Ok(self.expr_values[ix]);
+        }
+        // Clone of the node is avoided by re-borrowing the model; nodes are
+        // small and `Select` arms are walked in place via raw indices.
+        let value = match self.model.expr(id) {
+            Expr::Const(v) => *v,
+            Expr::Var(v) => state[v.0 as usize],
+            Expr::Choice(c) => choices[c.0 as usize],
+            Expr::Def(d) => self.def_values[d.0 as usize],
+            Expr::Unary(op, a) => {
+                let (op, a) = (*op, *a);
+                let av = self.eval(a, state, choices)?;
+                apply_unary(op, av)
+            }
+            Expr::Binary(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                let av = self.eval(a, state, choices)?;
+                let bv = self.eval(b, state, choices)?;
+                apply_binary(op, av, bv).ok_or(Error::DivisionByZero)?
+            }
+            Expr::Ternary { cond, then, other } => {
+                let (cond, then, other) = (*cond, *then, *other);
+                let cv = self.eval(cond, state, choices)?;
+                if cv != 0 {
+                    self.eval(then, state, choices)?
+                } else {
+                    self.eval(other, state, choices)?
+                }
+            }
+            Expr::Select { arms, default } => {
+                let default = *default;
+                let arms: Vec<(ExprId, ExprId)> = arms.clone();
+                let mut chosen = None;
+                for (guard, value) in arms {
+                    if self.eval(guard, state, choices)? != 0 {
+                        chosen = Some(self.eval(value, state, choices)?);
+                        break;
+                    }
+                }
+                match chosen {
+                    Some(v) => v,
+                    None => self.eval(default, state, choices)?,
+                }
+            }
+        };
+        self.expr_values[ix] = value;
+        self.expr_gen[ix] = self.gen;
+        Ok(value)
+    }
+
+    /// Evaluates all combinational definitions and next-state functions for
+    /// the given current `state` and this-cycle `choices`, writing the
+    /// successor state into `out`.
+    ///
+    /// Values are truncated into each variable's domain by Euclidean modulo,
+    /// mirroring bit-width truncation in synthesized hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] if a `Mod` expression evaluates
+    /// with a zero divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`, `choices` or `out` have the wrong lengths.
+    pub fn next_state(
+        &mut self,
+        state: &[u64],
+        choices: &[u64],
+        out: &mut [u64],
+    ) -> Result<(), Error> {
+        let model = self.model;
+        assert_eq!(state.len(), model.vars().len(), "state width mismatch");
+        assert_eq!(choices.len(), model.choices().len(), "choice width mismatch");
+        assert_eq!(out.len(), model.vars().len(), "output width mismatch");
+
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // generation counter wrapped: invalidate everything once
+            self.expr_gen.iter_mut().for_each(|g| *g = u32::MAX);
+            self.gen = 1;
+        }
+        // Definitions are in dependency order by construction: evaluate in
+        // sequence so later defs can read earlier ones.
+        for i in 0..model.defs().len() {
+            let expr = model.defs()[i].expr;
+            self.def_values[i] = self.eval(expr, state, choices)?;
+        }
+        for (i, var) in model.vars().iter().enumerate() {
+            let raw = self.eval(var.next, state, choices)?;
+            out[i] = raw % var.size;
+        }
+        Ok(())
+    }
+
+    /// Evaluates a single combinational definition for the given state and
+    /// choices. Intended for probes and debugging, not the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (division by zero).
+    pub fn eval_def(
+        &mut self,
+        def: crate::model::DefId,
+        state: &[u64],
+        choices: &[u64],
+    ) -> Result<u64, Error> {
+        self.gen = self.gen.wrapping_add(1);
+        for i in 0..=def.0 as usize {
+            let expr = self.model.defs()[i].expr;
+            self.def_values[i] = self.eval(expr, state, choices)?;
+        }
+        Ok(self.def_values[def.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+
+    #[test]
+    fn counter_with_enable_steps_correctly() {
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", 4, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let four = b.constant(4);
+        let inc = b.add(cur, one);
+        let wrapped = b.modulo(inc, four);
+        let next = b.ternary(b.choice_expr(en), wrapped, cur);
+        b.set_next(v, next);
+        let m = b.build().unwrap();
+        let mut ev = Evaluator::new(&m);
+        let mut out = [0u64];
+        ev.next_state(&[3], &[1], &mut out).unwrap();
+        assert_eq!(out, [0]);
+        ev.next_state(&[3], &[0], &mut out).unwrap();
+        assert_eq!(out, [3]);
+    }
+
+    #[test]
+    fn defs_feed_next_state() {
+        let mut b = ModelBuilder::new("d");
+        let a = b.choice("a", 2);
+        let bb = b.choice("b", 2);
+        let both = b.and(b.choice_expr(a), b.choice_expr(bb));
+        let d = b.def("both", both);
+        let v = b.state_var("latched", 2, 0);
+        b.set_next(v, b.def_expr(d));
+        let m = b.build().unwrap();
+        let mut ev = Evaluator::new(&m);
+        let mut out = [0u64];
+        for (a_v, b_v, want) in [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)] {
+            ev.next_state(&[0], &[a_v, b_v], &mut out).unwrap();
+            assert_eq!(out, [want], "a={a_v} b={b_v}");
+        }
+    }
+
+    #[test]
+    fn values_truncate_into_domain() {
+        let mut b = ModelBuilder::new("t");
+        let v = b.state_var("x", 3, 0);
+        let big = b.constant(10);
+        b.set_next(v, big);
+        let m = b.build().unwrap();
+        let mut ev = Evaluator::new(&m);
+        let mut out = [0u64];
+        ev.next_state(&[0], &[], &mut out).unwrap();
+        assert_eq!(out, [10 % 3]);
+    }
+
+    #[test]
+    fn select_priority_order() {
+        let mut b = ModelBuilder::new("s");
+        let c = b.choice("c", 4);
+        let ce = b.choice_expr(c);
+        let is1 = b.eq_const(ce, 1);
+        let is2 = b.eq_const(ce, 2);
+        let ten = b.constant(10);
+        let twenty = b.constant(20);
+        let zero = b.constant(0);
+        let sel = b.select(vec![(is1, ten), (is2, twenty)], zero);
+        let v = b.state_var("x", 32, 0);
+        b.set_next(v, sel);
+        let m = b.build().unwrap();
+        let mut ev = Evaluator::new(&m);
+        let mut out = [0u64];
+        for (cv, want) in [(0u64, 0u64), (1, 10), (2, 20), (3, 0)] {
+            ev.next_state(&[0], &[cv], &mut out).unwrap();
+            assert_eq!(out, [want]);
+        }
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut b = ModelBuilder::new("z");
+        let v = b.state_var("x", 4, 0);
+        let cur = b.var_expr(v);
+        let zero = b.constant(0);
+        let bad = b.modulo(cur, zero);
+        b.set_next(v, bad);
+        let m = b.build().unwrap();
+        let mut ev = Evaluator::new(&m);
+        let mut out = [0u64];
+        assert_eq!(
+            ev.next_state(&[1], &[], &mut out).unwrap_err(),
+            Error::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn memoisation_is_per_call() {
+        // the same expression must be re-evaluated when inputs change
+        let mut b = ModelBuilder::new("memo");
+        let c = b.choice("c", 2);
+        let v = b.state_var("x", 2, 0);
+        b.set_next(v, b.choice_expr(c));
+        let m = b.build().unwrap();
+        let mut ev = Evaluator::new(&m);
+        let mut out = [0u64];
+        ev.next_state(&[0], &[1], &mut out).unwrap();
+        assert_eq!(out, [1]);
+        ev.next_state(&[0], &[0], &mut out).unwrap();
+        assert_eq!(out, [0]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Expression language for combinational logic and next-state functions.
+//!
+//! Expressions are stored in a flat arena owned by the [`Model`]; nodes
+//! reference each other through [`ExprId`] indices. All values are `u64`s
+//! truncated to the finite domain of the consuming variable on assignment.
+//!
+//! [`Model`]: crate::model::Model
+//! [`ExprId`]: crate::model::ExprId
+
+use crate::model::{ChoiceId, DefId, ExprId, VarId};
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical negation: nonzero becomes 0, zero becomes 1.
+    Not,
+    /// Bitwise complement (interpreted within the consumer's domain).
+    BitNot,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Logical and: 1 if both operands are nonzero.
+    And,
+    /// Logical or: 1 if either operand is nonzero.
+    Or,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise exclusive-or.
+    BitXor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Euclidean modulo. Evaluation fails on a zero divisor.
+    Mod,
+    /// Equality test, producing 0 or 1.
+    Eq,
+    /// Inequality test, producing 0 or 1.
+    Ne,
+    /// Unsigned less-than, producing 0 or 1.
+    Lt,
+    /// Unsigned less-or-equal, producing 0 or 1.
+    Le,
+    /// Unsigned greater-than, producing 0 or 1.
+    Gt,
+    /// Unsigned greater-or-equal, producing 0 or 1.
+    Ge,
+    /// Left shift (saturating the shift amount at 63).
+    Shl,
+    /// Logical right shift (saturating the shift amount at 63).
+    Shr,
+}
+
+/// An expression node.
+///
+/// Nodes never own their children; children are [`ExprId`]s into the model's
+/// expression arena, which keeps the evaluator allocation-free and makes
+/// common-subexpression sharing trivial.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant value.
+    Const(u64),
+    /// The *current* value of a state variable.
+    Var(VarId),
+    /// The value of a nondeterministic choice input this cycle.
+    Choice(ChoiceId),
+    /// The value of a combinational definition.
+    Def(DefId),
+    /// A unary operation.
+    Unary(UnaryOp, ExprId),
+    /// A binary operation.
+    Binary(BinaryOp, ExprId, ExprId),
+    /// `if cond != 0 { then } else { other }`.
+    Ternary {
+        /// Condition operand.
+        cond: ExprId,
+        /// Value when the condition is nonzero.
+        then: ExprId,
+        /// Value when the condition is zero.
+        other: ExprId,
+    },
+    /// A chain of guarded alternatives with a default, evaluated in order;
+    /// the value of the first arm whose guard is nonzero, else the default.
+    ///
+    /// This models Verilog `case` statements and priority if/else chains
+    /// without deep `Ternary` nesting.
+    Select {
+        /// `(guard, value)` pairs tried in order.
+        arms: Vec<(ExprId, ExprId)>,
+        /// Value when no guard matches.
+        default: ExprId,
+    },
+}
+
+impl Expr {
+    /// Visits every child [`ExprId`] of this node.
+    pub fn for_each_child(&self, mut f: impl FnMut(ExprId)) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Choice(_) | Expr::Def(_) => {}
+            Expr::Unary(_, a) => f(*a),
+            Expr::Binary(_, a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Expr::Ternary { cond, then, other } => {
+                f(*cond);
+                f(*then);
+                f(*other);
+            }
+            Expr::Select { arms, default } => {
+                for (g, v) in arms {
+                    f(*g);
+                    f(*v);
+                }
+                f(*default);
+            }
+        }
+    }
+}
+
+/// Applies a unary operator to a value.
+#[inline]
+pub fn apply_unary(op: UnaryOp, a: u64) -> u64 {
+    match op {
+        UnaryOp::Not => u64::from(a == 0),
+        UnaryOp::BitNot => !a,
+    }
+}
+
+/// Applies a binary operator to two values.
+///
+/// Returns `None` only for `Mod` with a zero divisor.
+#[inline]
+pub fn apply_binary(op: BinaryOp, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        BinaryOp::And => u64::from(a != 0 && b != 0),
+        BinaryOp::Or => u64::from(a != 0 || b != 0),
+        BinaryOp::BitAnd => a & b,
+        BinaryOp::BitOr => a | b,
+        BinaryOp::BitXor => a ^ b,
+        BinaryOp::Add => a.wrapping_add(b),
+        BinaryOp::Sub => a.wrapping_sub(b),
+        BinaryOp::Mul => a.wrapping_mul(b),
+        BinaryOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+        BinaryOp::Eq => u64::from(a == b),
+        BinaryOp::Ne => u64::from(a != b),
+        BinaryOp::Lt => u64::from(a < b),
+        BinaryOp::Le => u64::from(a <= b),
+        BinaryOp::Gt => u64::from(a > b),
+        BinaryOp::Ge => u64::from(a >= b),
+        BinaryOp::Shl => a << b.min(63),
+        BinaryOp::Shr => a >> b.min(63),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_truth_table() {
+        assert_eq!(apply_unary(UnaryOp::Not, 0), 1);
+        assert_eq!(apply_unary(UnaryOp::Not, 1), 0);
+        assert_eq!(apply_unary(UnaryOp::Not, 17), 0);
+        assert_eq!(apply_unary(UnaryOp::BitNot, 0), u64::MAX);
+    }
+
+    #[test]
+    fn binary_logic_treats_any_nonzero_as_true() {
+        assert_eq!(apply_binary(BinaryOp::And, 3, 5), Some(1));
+        assert_eq!(apply_binary(BinaryOp::And, 3, 0), Some(0));
+        assert_eq!(apply_binary(BinaryOp::Or, 0, 0), Some(0));
+        assert_eq!(apply_binary(BinaryOp::Or, 0, 9), Some(1));
+    }
+
+    #[test]
+    fn binary_arithmetic_wraps() {
+        assert_eq!(apply_binary(BinaryOp::Add, u64::MAX, 1), Some(0));
+        assert_eq!(apply_binary(BinaryOp::Sub, 0, 1), Some(u64::MAX));
+    }
+
+    #[test]
+    fn modulo_by_zero_is_detected() {
+        assert_eq!(apply_binary(BinaryOp::Mod, 5, 0), None);
+        assert_eq!(apply_binary(BinaryOp::Mod, 5, 3), Some(2));
+    }
+
+    #[test]
+    fn comparisons_produce_bits() {
+        assert_eq!(apply_binary(BinaryOp::Lt, 2, 3), Some(1));
+        assert_eq!(apply_binary(BinaryOp::Ge, 2, 3), Some(0));
+        assert_eq!(apply_binary(BinaryOp::Eq, 7, 7), Some(1));
+        assert_eq!(apply_binary(BinaryOp::Ne, 7, 7), Some(0));
+    }
+
+    #[test]
+    fn shifts_saturate_amount() {
+        assert_eq!(apply_binary(BinaryOp::Shl, 1, 200), Some(1 << 63));
+        assert_eq!(apply_binary(BinaryOp::Shr, u64::MAX, 200), Some(1));
+    }
+
+    #[test]
+    fn for_each_child_visits_all() {
+        let e = Expr::Select {
+            arms: vec![(ExprId(0), ExprId(1)), (ExprId(2), ExprId(3))],
+            default: ExprId(4),
+        };
+        let mut seen = Vec::new();
+        e.for_each_child(|c| seen.push(c.0));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Synchronous FSM intermediate representation and explicit-state enumerator.
+//!
+//! This crate is the reproduction's analogue of *Synchronous Murphi*, the
+//! state-enumeration tool used by Ho, Yang, Horowitz and Dill in
+//! "Architecture Validation for Processors" (ISCA 1995). It provides:
+//!
+//! * a finite-domain, synchronous FSM model ([`Model`]) with an explicit
+//!   separation of **state variables** (updated only by the implicit clock)
+//!   from combinational **definitions**, and with nondeterministic **choice
+//!   inputs** that stand in for the paper's abstract interface models
+//!   (caches, Inbox, Outbox, memory controller, pipeline registers);
+//! * an expression language and evaluator ([`expr`], [`eval`]);
+//! * a bit-packed state store ([`pack`]);
+//! * a breadth-first explicit-state enumerator ([`enumerate`]) that builds
+//!   the complete reachable state graph from reset, permuting every
+//!   combination of choice-input values at every state, exactly as the
+//!   paper's step 2 (Figure 3.1) describes;
+//! * the resulting labelled [`StateGraph`](graph::StateGraph), with both the
+//!   paper's default *first-label-per-arc* edge policy and the
+//!   *all-unique-labels* policy proposed in the paper's Section 4 as a fix
+//!   for the missed-bug scenario of Figure 4.2.
+//!
+//! # Example
+//!
+//! Enumerate a two-bit counter with a nondeterministic `enable` input:
+//!
+//! ```
+//! use archval_fsm::builder::ModelBuilder;
+//! use archval_fsm::enumerate::{enumerate, EnumConfig};
+//!
+//! let mut b = ModelBuilder::new("counter");
+//! let en = b.choice("enable", 2);
+//! let count = b.state_var("count", 4, 0);
+//! let cur = b.var_expr(count);
+//! let bumped = b.add(cur, b.constant(1));
+//! let wrapped = b.modulo(bumped, b.constant(4));
+//! let next = b.ternary(b.choice_expr(en), wrapped, cur);
+//! b.set_next(count, next);
+//! let model = b.build()?;
+//!
+//! let result = enumerate(&model, &EnumConfig::default())?;
+//! assert_eq!(result.graph.state_count(), 4);
+//! // every state has an enabled and a disabled successor arc
+//! assert_eq!(result.graph.edge_count(), 8);
+//! # Ok::<(), archval_fsm::Error>(())
+//! ```
+
+pub mod builder;
+pub mod dump;
+pub mod enumerate;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod graph;
+pub mod model;
+pub mod pack;
+pub mod sim;
+pub mod stats;
+
+pub use builder::ModelBuilder;
+pub use dump::dump_model;
+pub use enumerate::{enumerate, EnumConfig, EnumResult};
+pub use error::Error;
+pub use graph::{EdgeLabel, EdgePolicy, StateGraph, StateId};
+pub use model::{ChoiceId, DefId, ExprId, Model, VarId};
+pub use sim::SyncSim;
+pub use stats::EnumStats;

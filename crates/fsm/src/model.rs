@@ -1,0 +1,324 @@
+//! The synchronous FSM model: state variables, choice inputs, combinational
+//! definitions and next-state functions.
+//!
+//! A [`Model`] follows the Synchronous Murphi semantics the paper relies on:
+//! there is an explicit separation of state and non-state variables and the
+//! implicit clock updates state variables only. Nondeterminism enters solely
+//! through **choice inputs**, each of which independently picks one value
+//! from its finite domain every cycle — these are the paper's abstract
+//! models of caches, pipeline registers, Inbox, Outbox and the memory
+//! controller, which "try every combination of values" during enumeration.
+
+use crate::error::Error;
+use crate::expr::Expr;
+
+/// Index of a state variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Index of a nondeterministic choice input within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChoiceId(pub u32);
+
+/// Index of a combinational definition within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DefId(pub u32);
+
+/// Index of an expression node in the model's expression arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// A clocked state variable with a finite domain `0..size` and a reset value.
+#[derive(Debug, Clone)]
+pub struct StateVar {
+    /// Human-readable name (unique within the model).
+    pub name: String,
+    /// Domain size; legal values are `0..size`.
+    pub size: u64,
+    /// Value at reset.
+    pub init: u64,
+    /// Next-state expression, evaluated each cycle from the current state
+    /// and this cycle's choices.
+    pub next: ExprId,
+}
+
+/// A nondeterministic input with finite domain `0..size`.
+#[derive(Debug, Clone)]
+pub struct ChoiceInput {
+    /// Human-readable name (unique within the model).
+    pub name: String,
+    /// Domain size; every value in `0..size` is tried during enumeration.
+    pub size: u64,
+}
+
+/// A named combinational definition (a wire).
+#[derive(Debug, Clone)]
+pub struct Def {
+    /// Human-readable name (unique within the model).
+    pub name: String,
+    /// Defining expression. May reference state variables, choices and
+    /// *earlier* definitions only (enforced at build time).
+    pub expr: ExprId,
+}
+
+/// A complete synchronous FSM model.
+///
+/// Construct with [`ModelBuilder`](crate::builder::ModelBuilder); the
+/// builder's [`build`](crate::builder::ModelBuilder::build) validates name
+/// uniqueness, domain sanity, acyclicity of definitions and reference
+/// integrity, so a `Model` in hand is always well-formed.
+#[derive(Debug, Clone)]
+pub struct Model {
+    name: String,
+    vars: Vec<StateVar>,
+    choices: Vec<ChoiceInput>,
+    defs: Vec<Def>,
+    exprs: Vec<Expr>,
+}
+
+impl Model {
+    pub(crate) fn from_parts(
+        name: String,
+        vars: Vec<StateVar>,
+        choices: Vec<ChoiceInput>,
+        defs: Vec<Def>,
+        exprs: Vec<Expr>,
+    ) -> Self {
+        Model { name, vars, choices, defs, exprs }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All state variables, indexable by [`VarId`].
+    pub fn vars(&self) -> &[StateVar] {
+        &self.vars
+    }
+
+    /// All choice inputs, indexable by [`ChoiceId`].
+    pub fn choices(&self) -> &[ChoiceInput] {
+        &self.choices
+    }
+
+    /// All combinational definitions in evaluation order.
+    pub fn defs(&self) -> &[Def] {
+        &self.defs
+    }
+
+    /// The expression arena.
+    pub fn exprs(&self) -> &[Expr] {
+        &self.exprs
+    }
+
+    /// Looks up an expression node.
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// The reset state as one value per state variable.
+    pub fn reset_state(&self) -> Vec<u64> {
+        self.vars.iter().map(|v| v.init).collect()
+    }
+
+    /// Total bits needed to encode one state (sum over variables of
+    /// `ceil(log2(size))`), the paper's "number of bits per state".
+    pub fn bits_per_state(&self) -> u32 {
+        self.vars.iter().map(|v| bits_for(v.size)).sum()
+    }
+
+    /// Number of distinct choice-input combinations tried per state during
+    /// enumeration (the product of all choice domain sizes).
+    ///
+    /// Saturates at `u64::MAX` for absurdly large products.
+    pub fn choice_combinations(&self) -> u64 {
+        self.choices
+            .iter()
+            .fold(1u64, |acc, c| acc.saturating_mul(c.size))
+    }
+
+    /// Finds a state variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Finds a choice input by name.
+    pub fn choice_by_name(&self, name: &str) -> Option<ChoiceId> {
+        self.choices
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ChoiceId(i as u32))
+    }
+
+    /// Finds a combinational definition by name.
+    pub fn def_by_name(&self, name: &str) -> Option<DefId> {
+        self.defs
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| DefId(i as u32))
+    }
+
+    /// Decodes a packed choice-combination code (mixed-radix, first choice
+    /// least significant) into one value per choice input.
+    ///
+    /// This is the inverse of [`Model::encode_choices`].
+    pub fn decode_choices(&self, mut code: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.choices.len());
+        for c in &self.choices {
+            out.push(code % c.size);
+            code /= c.size;
+        }
+        out
+    }
+
+    /// Encodes one value per choice input into a packed mixed-radix code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of choice inputs or
+    /// any value is outside its domain.
+    pub fn encode_choices(&self, values: &[u64]) -> u64 {
+        assert_eq!(values.len(), self.choices.len(), "wrong number of choice values");
+        let mut code = 0u64;
+        for (c, &v) in self.choices.iter().zip(values).rev() {
+            assert!(v < c.size, "choice value {v} out of domain {}", c.size);
+            code = code * c.size + v;
+        }
+        code
+    }
+
+    /// Validates the model's internal references; used by the builder and by
+    /// deserializers of externally produced models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DanglingReference`] when an expression references a
+    /// nonexistent variable, choice, definition or expression node, and
+    /// [`Error::EmptyModel`] when there are no state variables.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.vars.is_empty() {
+            return Err(Error::EmptyModel);
+        }
+        let check_expr = |id: ExprId| -> Result<(), Error> {
+            if id.0 as usize >= self.exprs.len() {
+                return Err(Error::DanglingReference {
+                    what: format!("expression id {}", id.0),
+                });
+            }
+            Ok(())
+        };
+        for (i, e) in self.exprs.iter().enumerate() {
+            let mut bad = None;
+            e.for_each_child(|c| {
+                if c.0 as usize >= self.exprs.len() {
+                    bad = Some(c);
+                }
+            });
+            if let Some(c) = bad {
+                return Err(Error::DanglingReference {
+                    what: format!("expression {i} references missing node {}", c.0),
+                });
+            }
+            match e {
+                Expr::Var(v) if v.0 as usize >= self.vars.len() => {
+                    return Err(Error::DanglingReference {
+                        what: format!("expression {i} references missing var {}", v.0),
+                    })
+                }
+                Expr::Choice(c) if c.0 as usize >= self.choices.len() => {
+                    return Err(Error::DanglingReference {
+                        what: format!("expression {i} references missing choice {}", c.0),
+                    })
+                }
+                Expr::Def(d) if d.0 as usize >= self.defs.len() => {
+                    return Err(Error::DanglingReference {
+                        what: format!("expression {i} references missing def {}", d.0),
+                    })
+                }
+                _ => {}
+            }
+        }
+        for v in &self.vars {
+            check_expr(v.next)?;
+        }
+        for d in &self.defs {
+            check_expr(d.expr)?;
+        }
+        Ok(())
+    }
+}
+
+/// Bits needed to represent values `0..size`.
+pub fn bits_for(size: u64) -> u32 {
+    debug_assert!(size >= 2);
+    64 - (size - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+
+    fn tiny() -> Model {
+        let mut b = ModelBuilder::new("tiny");
+        let c = b.choice("go", 3);
+        let v = b.state_var("s", 5, 2);
+        let next = b.ternary(b.choice_expr(c), b.constant(0), b.var_expr(v));
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bits_for_powers_and_odd_sizes() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+    }
+
+    #[test]
+    fn reset_state_and_bits() {
+        let m = tiny();
+        assert_eq!(m.reset_state(), vec![2]);
+        assert_eq!(m.bits_per_state(), 3);
+        assert_eq!(m.choice_combinations(), 3);
+    }
+
+    #[test]
+    fn choice_codec_round_trips() {
+        let mut b = ModelBuilder::new("codec");
+        b.choice("a", 3);
+        b.choice("b", 2);
+        b.choice("c", 5);
+        let v = b.state_var("s", 2, 0);
+        b.set_next(v, b.constant(0));
+        let m = b.build().unwrap();
+        for code in 0..(3 * 2 * 5) {
+            let vals = m.decode_choices(code);
+            assert_eq!(m.encode_choices(&vals), code);
+        }
+        assert_eq!(m.decode_choices(0), vec![0, 0, 0]);
+        // first choice is least significant
+        assert_eq!(m.decode_choices(1), vec![1, 0, 0]);
+        assert_eq!(m.decode_choices(3), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let m = tiny();
+        assert_eq!(m.var_by_name("s"), Some(VarId(0)));
+        assert_eq!(m.choice_by_name("go"), Some(ChoiceId(0)));
+        assert_eq!(m.var_by_name("nope"), None);
+    }
+
+    #[test]
+    fn validate_accepts_built_model() {
+        assert!(tiny().validate().is_ok());
+    }
+}

@@ -1,0 +1,91 @@
+//! Enumeration statistics in the shape of the paper's Table 3.2.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics gathered during state enumeration.
+///
+/// These are the measurements the paper reports in Table 3.2 for the PP
+/// control model: number of states, bits per state, execution time, memory
+/// requirement and number of edges in the state graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnumStats {
+    /// Reachable states discovered.
+    pub states: usize,
+    /// Packed bits per state.
+    pub bits_per_state: u32,
+    /// Recorded edges in the state graph.
+    pub edges: usize,
+    /// Wall-clock enumeration time.
+    pub elapsed: Duration,
+    /// Approximate heap bytes held by the state table and graph.
+    pub approx_memory_bytes: usize,
+    /// Choice combinations evaluated in total (states × combinations).
+    pub transitions_evaluated: u64,
+    /// BFS depth of the deepest state (diameter from reset).
+    pub max_depth: usize,
+}
+
+impl EnumStats {
+    /// The ratio of reachable states to the `2^bits` upper bound — the
+    /// paper's observation that interlocked FSMs keep the reachable set at
+    /// ~2^18 out of 2^98 possible.
+    pub fn reachable_fraction_log2(&self) -> f64 {
+        (self.states as f64).log2() - f64::from(self.bits_per_state)
+    }
+}
+
+impl fmt::Display for EnumStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Number of States              {}", self.states)?;
+        writeln!(f, "Number of bits per State      {}", self.bits_per_state)?;
+        writeln!(f, "Execution Time                {:.2} s", self.elapsed.as_secs_f64())?;
+        writeln!(
+            f,
+            "Memory Requirement            {:.1} MB",
+            self.approx_memory_bytes as f64 / (1024.0 * 1024.0)
+        )?;
+        write!(f, "Number of Edges in State Graph {}", self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_table_3_2_rows() {
+        let s = EnumStats {
+            states: 229_571,
+            bits_per_state: 98,
+            edges: 1_172_848,
+            elapsed: Duration::from_secs(3),
+            approx_memory_bytes: 34 * 1024 * 1024,
+            transitions_evaluated: 0,
+            max_depth: 10,
+        };
+        let t = s.to_string();
+        assert!(t.contains("229571"));
+        assert!(t.contains("98"));
+        assert!(t.contains("1172848"));
+        assert!(t.contains("34.0 MB"));
+    }
+
+    #[test]
+    fn reachable_fraction_matches_paper_shape() {
+        let s = EnumStats {
+            states: 229_571,
+            bits_per_state: 98,
+            edges: 0,
+            elapsed: Duration::ZERO,
+            approx_memory_bytes: 0,
+            transitions_evaluated: 0,
+            max_depth: 0,
+        };
+        // ~2^17.8 out of 2^98: the log2 fraction is about -80
+        let f = s.reachable_fraction_log2();
+        assert!(f < -79.0 && f > -81.0, "got {f}");
+    }
+}

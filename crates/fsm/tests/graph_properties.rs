@@ -1,0 +1,64 @@
+//! Property tests for the state-graph utilities.
+
+use proptest::prelude::*;
+
+use archval_fsm::graph::{EdgePolicy, StateGraph, StateId};
+
+fn arb_graph() -> impl Strategy<Value = StateGraph> {
+    proptest::collection::vec((0u32..30, 0u32..30, 0u64..8), 0..120).prop_map(|edges| {
+        let mut g = StateGraph::new();
+        for (a, b, l) in edges {
+            g.add_edge(StateId(a), StateId(b), l, EdgePolicy::AllLabels);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn in_degrees_sum_to_edge_count(g in arb_graph()) {
+        let total: usize = g.in_degrees().iter().sum();
+        prop_assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn bfs_distances_respect_edges(g in arb_graph()) {
+        if g.state_count() == 0 {
+            return Ok(());
+        }
+        let d = g.bfs_distances(StateId(0));
+        prop_assert_eq!(d[0], 0);
+        // triangle inequality over every edge
+        for (s, e) in g.iter_edges() {
+            let ds = d[s.0 as usize];
+            let dd = d[e.dst.0 as usize];
+            if ds != usize::MAX {
+                prop_assert!(dd <= ds + 1, "edge {s:?}->{:?} violates BFS", e.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn strong_connectivity_implies_full_reachability(g in arb_graph()) {
+        if g.is_strongly_connected() {
+            prop_assert!(g.all_reachable_from_reset());
+        }
+    }
+
+    #[test]
+    fn first_label_is_a_subset_of_all_labels(edges in proptest::collection::vec((0u32..10, 0u32..10, 0u64..4), 0..60)) {
+        let mut first = StateGraph::new();
+        let mut all = StateGraph::new();
+        for (a, b, l) in edges {
+            first.add_edge(StateId(a), StateId(b), l, EdgePolicy::FirstLabel);
+            all.add_edge(StateId(a), StateId(b), l, EdgePolicy::AllLabels);
+        }
+        prop_assert!(first.edge_count() <= all.edge_count());
+        // every first-label arc exists in the all-labels graph
+        for (s, e) in first.iter_edges() {
+            prop_assert!(all.edges(s).iter().any(|e2| e2.dst == e.dst && e2.label == e.label));
+        }
+    }
+}

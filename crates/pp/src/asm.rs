@@ -1,0 +1,275 @@
+//! A small assembler and disassembler for the PP ISA.
+//!
+//! Supports one instruction per line, `;`-or-`#` comments, and the
+//! mnemonics `add sub and or xor sltu sll srl addi andi ori xori sltiu lui
+//! lw sw switch send nop halt`.
+
+use std::fmt;
+
+use crate::isa::{AluOp, Instr, Reg};
+
+/// An assembly error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let body = s
+        .trim()
+        .strip_prefix('r')
+        .ok_or_else(|| AsmError { line, msg: format!("expected register, got `{s}`") })?;
+    let n: u8 = body
+        .parse()
+        .map_err(|_| AsmError { line, msg: format!("bad register `{s}`") })?;
+    if n > 31 {
+        return Err(AsmError { line, msg: format!("register r{n} out of range") });
+    }
+    Ok(Reg(n))
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<u16, AsmError> {
+    let s = s.trim();
+    let v: i64 = if let Some(hex) = s.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+            .map_err(|_| AsmError { line, msg: format!("bad immediate `{s}`") })?
+    } else {
+        s.parse()
+            .map_err(|_| AsmError { line, msg: format!("bad immediate `{s}`") })?
+    };
+    if !(-32768..=65535).contains(&v) {
+        return Err(AsmError { line, msg: format!("immediate `{s}` out of 16-bit range") });
+    }
+    Ok((v as i32 as u32 & 0xFFFF) as u16)
+}
+
+/// Assembles a program; returns one instruction per non-empty line.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use archval_pp::asm::assemble;
+///
+/// let prog = assemble("addi r1, r0, 5\nsw r1, 0(r2)\nhalt")?;
+/// assert_eq!(prog.len(), 3);
+/// # Ok::<(), archval_pp::asm::AsmError>(())
+/// ```
+pub fn assemble(src: &str) -> Result<Vec<Instr>, AsmError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        out.push(parse_line(text, line)?);
+    }
+    Ok(out)
+}
+
+fn parse_line(text: &str, line: usize) -> Result<Instr, AsmError> {
+    let (mn, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let need = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError { line, msg: format!("`{mn}` takes {n} operands, got {}", args.len()) })
+        }
+    };
+    let rrr = |op: AluOp| -> Result<Instr, AsmError> {
+        need(3)?;
+        Ok(Instr::Alu {
+            op,
+            rd: parse_reg(args[0], line)?,
+            rs: parse_reg(args[1], line)?,
+            rt: parse_reg(args[2], line)?,
+        })
+    };
+    let rri = |op: AluOp| -> Result<Instr, AsmError> {
+        need(3)?;
+        Ok(Instr::AluImm {
+            op,
+            rd: parse_reg(args[0], line)?,
+            rs: parse_reg(args[1], line)?,
+            imm: parse_imm(args[2], line)?,
+        })
+    };
+    // `lw r1, 4(r2)` / `sw r1, 4(r2)`
+    let mem = |s: &str| -> Result<(Reg, u16), AsmError> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| AsmError { line, msg: format!("expected `imm(reg)`, got `{s}`") })?;
+        let close = s
+            .find(')')
+            .ok_or_else(|| AsmError { line, msg: format!("missing `)` in `{s}`") })?;
+        let imm = parse_imm(&s[..open], line)?;
+        let base = parse_reg(&s[open + 1..close], line)?;
+        Ok((base, imm))
+    };
+    match mn {
+        "add" => rrr(AluOp::Add),
+        "sub" => rrr(AluOp::Sub),
+        "and" => rrr(AluOp::And),
+        "or" => rrr(AluOp::Or),
+        "xor" => rrr(AluOp::Xor),
+        "sltu" => rrr(AluOp::Sltu),
+        "sll" => rrr(AluOp::Sll),
+        "srl" => rrr(AluOp::Srl),
+        "addi" => rri(AluOp::Add),
+        "andi" => rri(AluOp::And),
+        "ori" => rri(AluOp::Or),
+        "xori" => rri(AluOp::Xor),
+        "sltiu" => rri(AluOp::Sltu),
+        "lui" => {
+            need(2)?;
+            Ok(Instr::Lui { rd: parse_reg(args[0], line)?, imm: parse_imm(args[1], line)? })
+        }
+        "lw" => {
+            need(2)?;
+            let (rs, imm) = mem(args[1])?;
+            Ok(Instr::Lw { rd: parse_reg(args[0], line)?, rs, imm })
+        }
+        "sw" => {
+            need(2)?;
+            let (rs, imm) = mem(args[1])?;
+            Ok(Instr::Sw { rt: parse_reg(args[0], line)?, rs, imm })
+        }
+        "switch" => {
+            need(1)?;
+            Ok(Instr::Switch { rd: parse_reg(args[0], line)? })
+        }
+        "send" => {
+            need(1)?;
+            Ok(Instr::Send { rs: parse_reg(args[0], line)? })
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Instr::Nop)
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Instr::Halt)
+        }
+        other => Err(AsmError { line, msg: format!("unknown mnemonic `{other}`") }),
+    }
+}
+
+/// Disassembles one instruction.
+pub fn disassemble(i: &Instr) -> String {
+    fn alu_name(op: AluOp) -> &'static str {
+        match op {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sltu => "sltu",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+        }
+    }
+    match i {
+        Instr::Alu { op, rd, rs, rt } => {
+            format!("{} r{}, r{}, r{}", alu_name(*op), rd.0, rs.0, rt.0)
+        }
+        Instr::AluImm { op, rd, rs, imm } => {
+            let name = match op {
+                AluOp::Add => "addi",
+                AluOp::And => "andi",
+                AluOp::Or => "ori",
+                AluOp::Xor => "xori",
+                AluOp::Sltu => "sltiu",
+                AluOp::Sub | AluOp::Sll | AluOp::Srl => "addi",
+            };
+            format!("{name} r{}, r{}, {imm}", rd.0, rs.0)
+        }
+        Instr::Lui { rd, imm } => format!("lui r{}, {imm}", rd.0),
+        Instr::Lw { rd, rs, imm } => format!("lw r{}, {imm}(r{})", rd.0, rs.0),
+        Instr::Sw { rt, rs, imm } => format!("sw r{}, {imm}(r{})", rt.0, rs.0),
+        Instr::Switch { rd } => format!("switch r{}", rd.0),
+        Instr::Send { rs } => format!("send r{}", rs.0),
+        Instr::Nop => "nop".to_owned(),
+        Instr::Halt => "halt".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstrClass;
+
+    #[test]
+    fn assemble_basic_program() {
+        let p = assemble(
+            "addi r1, r0, 5   ; five\n\
+             lui r2, 0x10\n\
+             sw r1, 3(r2)     # store\n\
+             lw r3, 3(r2)\n\
+             switch r4\n\
+             send r3\n\
+             nop\n\
+             halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p[0].class(), InstrClass::Alu);
+        assert_eq!(p[2].class(), InstrClass::Sd);
+        assert_eq!(p[3].class(), InstrClass::Ld);
+        assert_eq!(p[4].class(), InstrClass::Switch);
+        assert_eq!(p[5].class(), InstrClass::Send);
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = "add r1, r2, r3\naddi r4, r5, 100\nlw r6, 7(r8)\nsw r9, 0(r10)\n\
+                   switch r11\nsend r12\nlui r13, 4660\nnop\nhalt";
+        let prog = assemble(src).unwrap();
+        let text: Vec<String> = prog.iter().map(disassemble).collect();
+        let again = assemble(&text.join("\n")).unwrap();
+        assert_eq!(prog, again);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn register_range_checked() {
+        assert!(assemble("addi r32, r0, 1").is_err());
+        assert!(assemble("addi rx, r0, 1").is_err());
+    }
+
+    #[test]
+    fn negative_immediates_wrap_to_16_bits() {
+        let p = assemble("addi r1, r0, -1").unwrap();
+        match p[0] {
+            Instr::AluImm { imm, .. } => assert_eq!(imm, 0xFFFF),
+            ref other => panic!("wrong decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(assemble("add r1, r2").is_err());
+        assert!(assemble("nop r1").is_err());
+    }
+}

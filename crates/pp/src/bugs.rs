@@ -1,0 +1,174 @@
+//! The six discovered PP bugs of the paper's Table 2.1, as injectable
+//! faults in the RTL simulator.
+//!
+//! Each bug reproduces the *class* of failure the paper reports: a
+//! multi-event corner case that corrupts architectural state only when an
+//! improbable combination of control conditions coincides. The trigger
+//! conditions are implemented in [`crate::rtl`]; enabling a bug makes the
+//! RTL diverge from the executable specification exactly when its trigger
+//! fires.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The value a corrupted datapath element takes (the paper's "garbage").
+pub const GARBAGE: u32 = 0xDEAD_BEEF;
+
+/// One of the six Table 2.1 bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Bug {
+    /// Bug 1 — interface miscommunication between the PP's cache
+    /// controller and the memory controller: a missing qualification on the
+    /// port-handoff signal corrupts data returned to the I-cache when the
+    /// I-refill is granted back-to-back with a D-refill.
+    InterfaceMiscommunication = 1,
+    /// Bug 2 — a latch not qualified on all stall conditions: on a
+    /// simultaneous I- and D-cache miss, the D-refill return data is lost
+    /// by the time the I-miss is serviced.
+    LatchNotQualified = 2,
+    /// Bug 3 — the address of a load in a cache-conflict stall is not held
+    /// during the stall; a following load/store's address is used instead.
+    ConflictAddressNotHeld = 3,
+    /// Bug 4 — the I-stall fix-up cycle is lost if it coincides with a
+    /// MemStall (a `switch`/`send` waiting on the Inbox/Outbox), dropping
+    /// the restored instruction pair.
+    FixupCycleLost = 4,
+    /// Bug 5 — a glitch on the Membus valid signal lets high-impedance
+    /// values be latched on a load miss followed by another load/store,
+    /// when an external stall lands in the window before the masking
+    /// rewrite (Figures 2.2 / 2.3).
+    MembusValidGlitch = 5,
+    /// Bug 6 — a cache-conflict stall with a D-cache hit and a simultaneous
+    /// I-stall returns stale data to the load instead of the newly written
+    /// store data.
+    StaleDataOnConflict = 6,
+}
+
+impl Bug {
+    /// All six bugs in Table 2.1 order.
+    pub const ALL: [Bug; 6] = [
+        Bug::InterfaceMiscommunication,
+        Bug::LatchNotQualified,
+        Bug::ConflictAddressNotHeld,
+        Bug::FixupCycleLost,
+        Bug::MembusValidGlitch,
+        Bug::StaleDataOnConflict,
+    ];
+
+    /// The paper's one-line summary of the bug.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Bug::InterfaceMiscommunication => {
+                "interface miscommunication between PP's cache controller and the memory controller"
+            }
+            Bug::LatchNotQualified => "latch not qualified on all stall conditions and lost data",
+            Bug::ConflictAddressNotHeld => {
+                "cache conflict stall can cause wrong address to be used on the stalled load"
+            }
+            Bug::FixupCycleLost => {
+                "I-stall fix-up cycle lost if I-stall condition occurs during Mem-Stall"
+            }
+            Bug::MembusValidGlitch => {
+                "glitch on bus valid signal allows Z values to be latched on a load that missed \
+                 followed by any other load/store instruction interrupted by an external stall"
+            }
+            Bug::StaleDataOnConflict => {
+                "cache conflict stall with D-cache hit and simultaneous I-stall results in stale \
+                 data being loaded"
+            }
+        }
+    }
+
+    /// The control events that must coincide for the bug to corrupt
+    /// architectural state — the "multiple event" classification.
+    pub fn event_count(self) -> usize {
+        match self {
+            Bug::InterfaceMiscommunication => 2, // I-refill grant + D-refill handoff
+            Bug::LatchNotQualified => 2,         // D-miss completion + pending I-miss
+            Bug::ConflictAddressNotHeld => 2,    // conflict stall + following load/store
+            Bug::FixupCycleLost => 2,            // fix-up cycle + MemStall
+            Bug::MembusValidGlitch => 3,         // load miss + following load/store + ext stall
+            Bug::StaleDataOnConflict => 3,       // split store + same-line load + I-stall
+        }
+    }
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bug #{}: {}", *self as u8, self.summary())
+    }
+}
+
+/// A set of enabled bugs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugSet(u8);
+
+impl BugSet {
+    /// No bugs: the correct design.
+    pub fn none() -> Self {
+        BugSet(0)
+    }
+
+    /// Exactly one bug.
+    pub fn only(bug: Bug) -> Self {
+        BugSet(1 << (bug as u8 - 1))
+    }
+
+    /// All six bugs at once.
+    pub fn all() -> Self {
+        BugSet(0b11_1111)
+    }
+
+    /// Enables a bug.
+    pub fn insert(&mut self, bug: Bug) {
+        self.0 |= 1 << (bug as u8 - 1);
+    }
+
+    /// Whether a bug is enabled.
+    pub fn contains(&self, bug: Bug) -> bool {
+        self.0 & (1 << (bug as u8 - 1)) != 0
+    }
+
+    /// Whether no bug is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the enabled bugs.
+    pub fn iter(&self) -> impl Iterator<Item = Bug> + '_ {
+        Bug::ALL.into_iter().filter(move |b| self.contains(*b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let mut s = BugSet::none();
+        assert!(s.is_empty());
+        s.insert(Bug::MembusValidGlitch);
+        assert!(s.contains(Bug::MembusValidGlitch));
+        assert!(!s.contains(Bug::LatchNotQualified));
+        assert_eq!(s.iter().count(), 1);
+        assert_eq!(BugSet::all().iter().count(), 6);
+        assert_eq!(BugSet::only(Bug::FixupCycleLost).iter().next(), Some(Bug::FixupCycleLost));
+    }
+
+    #[test]
+    fn display_matches_table_2_1_numbering() {
+        assert!(Bug::MembusValidGlitch.to_string().starts_with("Bug #5"));
+        assert!(Bug::InterfaceMiscommunication.to_string().starts_with("Bug #1"));
+    }
+
+    #[test]
+    fn all_bugs_are_multiple_event() {
+        // every Table 2.1 bug needs at least two coinciding control events
+        for b in Bug::ALL {
+            assert!(b.event_count() >= 2, "{b}");
+        }
+    }
+}

@@ -1,0 +1,791 @@
+//! The PP control logic: stall machine, refill FSMs, split-store conflict
+//! tracking and abstract pipeline class registers.
+//!
+//! This module is the single behavioural specification of the PP control.
+//! The generated Verilog ([`crate::verilog_gen`]) transcribes exactly this
+//! logic (a property test keeps the two in lockstep), and the RTL simulator
+//! ([`crate::rtl`]) embeds a [`CtrlState`] directly so its control
+//! trajectory is the FSM model's trajectory by construction.
+//!
+//! The FSMs are the ones in the paper's Figure 3.2: I-cache refill,
+//! D-cache refill, fill/spill, cache-conflict and the stall FSM, fed by
+//! abstract models of the caches (hit/miss bits), the pipeline instruction
+//! registers (five instruction classes), the Inbox, Outbox and the memory
+//! controller.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::PpScale;
+use crate::isa::InstrClass;
+
+/// Pipeline-register instruction class codes used by the control model:
+/// Table 3.1's five classes plus an internal bubble.
+pub mod class_code {
+    /// ALU class.
+    pub const ALU: u64 = 0;
+    /// Load class.
+    pub const LD: u64 = 1;
+    /// Store class.
+    pub const SD: u64 = 2;
+    /// `switch` class.
+    pub const SWITCH: u64 = 3;
+    /// `send` class.
+    pub const SEND: u64 = 4;
+    /// Pipeline bubble (no instruction).
+    pub const BUBBLE: u64 = 5;
+}
+
+/// Second-slot class codes (dual-issue companion pipe): it can carry only
+/// control-inert ALU work or the communication instructions.
+pub mod slot2_code {
+    /// ALU (or no-op) in the companion slot.
+    pub const ALU: u64 = 0;
+    /// `switch` in the companion slot.
+    pub const SWITCH: u64 = 1;
+    /// `send` in the companion slot.
+    pub const SEND: u64 = 2;
+    /// Bubble.
+    pub const BUBBLE: u64 = 3;
+}
+
+/// I-cache refill FSM states.
+pub mod irefill {
+    /// No refill in progress.
+    pub const IDLE: u64 = 0;
+    /// Waiting for the memory port (D-refill has priority).
+    pub const REQ: u64 = 1;
+    /// Receiving beats.
+    pub const FILL: u64 = 2;
+    /// The fix-up cycle restoring the instruction registers (Bug #4 loses
+    /// this cycle when it coincides with a MemStall).
+    pub const FIXUP: u64 = 3;
+}
+
+/// D-cache refill FSM states.
+pub mod drefill {
+    /// No refill in progress.
+    pub const IDLE: u64 = 0;
+    /// Waiting for the memory controller.
+    pub const REQ: u64 = 1;
+    /// Critical word delivered; the stalled access restarts this cycle
+    /// (critical-word-first).
+    pub const CRIT: u64 = 2;
+    /// Receiving the rest of the line in the background.
+    pub const FILL: u64 = 3;
+    /// Writing back the dirty victim from the spill buffer
+    /// (fill-before-spill: this happens *after* the fill).
+    pub const SPILL: u64 = 4;
+}
+
+/// The abstract inputs the control logic samples each cycle — one value
+/// per nondeterministic choice of the enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlIn {
+    /// Class of the instruction the I-cache presents to the memory pipe
+    /// (`class_code::ALU..=SEND`).
+    pub iclass: u64,
+    /// Class in the companion slot (`slot2_code::ALU/SWITCH/SEND`); ignored
+    /// unless [`PpScale::dual_comm_slot`].
+    pub iclass2: u64,
+    /// Whether the fetch address hits in the I-cache.
+    pub ihit: bool,
+    /// Whether the data access in MEM hits in the D-cache.
+    pub dhit: bool,
+    /// Whether the replacement victim of a starting D-miss is dirty.
+    pub victim_dirty: bool,
+    /// Whether the access following a split store touches the same line.
+    pub same_line: bool,
+    /// Inbox has a word available.
+    pub inbox_ready: bool,
+    /// Outbox can accept a word.
+    pub outbox_ready: bool,
+    /// Memory controller handshake this cycle.
+    pub mem_ready: bool,
+}
+
+impl CtrlIn {
+    /// A quiescent input: ALU instruction, all hits, everything ready.
+    pub fn quiet() -> Self {
+        CtrlIn {
+            iclass: class_code::ALU,
+            iclass2: slot2_code::ALU,
+            ihit: true,
+            dhit: true,
+            victim_dirty: false,
+            same_line: false,
+            inbox_ready: true,
+            outbox_ready: true,
+            mem_ready: true,
+        }
+    }
+
+    /// Orders the choice values exactly as the generated Verilog declares
+    /// its abstract inputs, for driving a translated model.
+    pub fn to_choices(&self, scale: &PpScale) -> Vec<u64> {
+        let mut v = vec![
+            self.iclass,
+            u64::from(self.ihit),
+            u64::from(self.dhit),
+            u64::from(self.victim_dirty),
+            u64::from(self.same_line),
+            u64::from(self.inbox_ready),
+            u64::from(self.outbox_ready),
+            u64::from(self.mem_ready),
+        ];
+        if scale.dual_comm_slot {
+            v.insert(1, self.iclass2);
+        }
+        v
+    }
+
+    /// Inverse of [`CtrlIn::to_choices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` has the wrong length for `scale`.
+    pub fn from_choices(scale: &PpScale, choices: &[u64]) -> Self {
+        let expect = if scale.dual_comm_slot { 9 } else { 8 };
+        assert_eq!(choices.len(), expect, "wrong choice count");
+        let (iclass2, rest_ix) = if scale.dual_comm_slot {
+            (choices[1], 2)
+        } else {
+            (slot2_code::BUBBLE, 1)
+        };
+        let r = &choices[rest_ix..];
+        CtrlIn {
+            iclass: choices[0],
+            iclass2,
+            ihit: r[0] != 0,
+            dhit: r[1] != 0,
+            victim_dirty: r[2] != 0,
+            same_line: r[3] != 0,
+            inbox_ready: r[4] != 0,
+            outbox_ready: r[5] != 0,
+            mem_ready: r[6] != 0,
+        }
+    }
+}
+
+/// Combinational products of the control logic for one cycle: what the
+/// datapath needs to know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlSignals {
+    /// MEM stage (and hence the whole pipe) holds this cycle.
+    pub mem_stall: bool,
+    /// Hold caused by the Inbox/Outbox (the paper's external stall).
+    pub ext_stall: bool,
+    /// Hold caused by the D-cache (miss service or busy refill machinery).
+    pub d_stall: bool,
+    /// Hold caused by a split-store conflict.
+    pub conflict_stall: bool,
+    /// The fetch stage cannot supply an instruction.
+    pub istall: bool,
+    /// A D-miss begins refill service this cycle.
+    pub d_miss_start: bool,
+    /// An I-miss begins refill service this cycle.
+    pub i_miss_start: bool,
+    /// A new instruction pair enters the pipe this cycle.
+    pub fetch_valid: bool,
+    /// The instruction in MEM completes (leaves the stage) this cycle.
+    pub advance: bool,
+    /// The stalled access restarts on the critical word this cycle.
+    pub crit_restart: bool,
+    /// A store's split data phase is active this cycle.
+    pub store_data_phase: bool,
+}
+
+/// The control state: one field per state register of the control model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CtrlState {
+    /// 0 only in the reset state; reset arcs can never be revisited, which
+    /// is what makes the trace count equal the reset out-degree (the
+    /// paper's Table 3.3 lower-bound argument).
+    pub booted: bool,
+    /// Memory-pipe class in MEM.
+    pub m_class: u64,
+    /// Companion-slot class in MEM.
+    pub m2_class: u64,
+    /// Memory-pipe class in the extra stage (paper-scale only).
+    pub e_class: u64,
+    /// Companion-slot class in the extra stage.
+    pub e2_class: u64,
+    /// Memory-pipe class in WB.
+    pub w_class: u64,
+    /// I-cache refill FSM state.
+    pub irefill: u64,
+    /// D-cache refill FSM state.
+    pub drefill: u64,
+    /// D-refill beat counter.
+    pub dcnt: u64,
+    /// I-refill beat counter.
+    pub icnt: u64,
+    /// A dirty victim occupies the spill buffer.
+    pub spill_pend: bool,
+    /// A split store's data phase is pending.
+    pub store_pend: bool,
+    /// A cache-conflict stall is asserted this cycle.
+    pub conflict: bool,
+}
+
+impl CtrlState {
+    /// The reset state.
+    pub fn reset() -> Self {
+        CtrlState {
+            booted: false,
+            m_class: class_code::BUBBLE,
+            m2_class: slot2_code::BUBBLE,
+            e_class: class_code::BUBBLE,
+            e2_class: slot2_code::BUBBLE,
+            w_class: class_code::BUBBLE,
+            irefill: irefill::IDLE,
+            drefill: drefill::IDLE,
+            dcnt: 0,
+            icnt: 0,
+            spill_pend: false,
+            store_pend: false,
+            conflict: false,
+        }
+    }
+
+    /// Computes this cycle's combinational control signals.
+    pub fn signals(&self, scale: &PpScale, i: &CtrlIn) -> CtrlSignals {
+        let is_ld = self.m_class == class_code::LD;
+        let is_sd = self.m_class == class_code::SD;
+        let is_mem = is_ld || is_sd;
+        let is_sw = self.m_class == class_code::SWITCH;
+        let is_se = self.m_class == class_code::SEND;
+        let m2_sw = scale.dual_comm_slot && self.m2_class == slot2_code::SWITCH;
+        let m2_se = scale.dual_comm_slot && self.m2_class == slot2_code::SEND;
+        let ext_stall = (is_se && !i.outbox_ready)
+            || (is_sw && !i.inbox_ready)
+            || (m2_se && !i.outbox_ready)
+            || (m2_sw && !i.inbox_ready);
+        let conflict_stall = self.conflict;
+        let dr_idle = self.drefill == drefill::IDLE;
+        let dr_req = self.drefill == drefill::REQ;
+        let dr_crit = self.drefill == drefill::CRIT;
+        let dr_fill = self.drefill == drefill::FILL;
+        let dr_spill = self.drefill == drefill::SPILL;
+        let d_stall = is_mem
+            && !ext_stall
+            && !conflict_stall
+            && (dr_req || dr_fill || dr_spill || (!i.dhit && dr_idle));
+        let mem_stall = ext_stall || conflict_stall || d_stall;
+        let advance = !mem_stall;
+        let d_miss_start =
+            is_mem && !i.dhit && dr_idle && !ext_stall && !conflict_stall;
+        let ir_idle = self.irefill == irefill::IDLE;
+        let i_miss_start = advance && !i.ihit && ir_idle;
+        let istall = !ir_idle || i_miss_start;
+        let fetch_valid = advance && i.ihit && ir_idle;
+        CtrlSignals {
+            mem_stall,
+            ext_stall,
+            d_stall,
+            conflict_stall,
+            istall,
+            d_miss_start,
+            i_miss_start,
+            fetch_valid,
+            advance,
+            crit_restart: dr_crit && is_mem && advance,
+            store_data_phase: self.store_pend,
+        }
+    }
+
+    /// Advances one clock cycle. Returns the new state.
+    pub fn step(&self, scale: &PpScale, i: &CtrlIn) -> CtrlState {
+        let s = self.signals(scale, i);
+        let beats = scale.fill_beats;
+        let fetched_m = if s.fetch_valid { i.iclass } else { class_code::BUBBLE };
+        let fetched_m2 = if s.fetch_valid && scale.dual_comm_slot {
+            i.iclass2
+        } else {
+            slot2_code::BUBBLE
+        };
+        // the class that will occupy MEM next cycle (used by the conflict
+        // comparator on a completing split store)
+        let (next_m, next_m2, next_e, next_e2) = if scale.extra_stage {
+            if s.advance {
+                (self.e_class, self.e2_class, fetched_m, fetched_m2)
+            } else {
+                (self.m_class, self.m2_class, self.e_class, self.e2_class)
+            }
+        } else if s.advance {
+            (fetched_m, fetched_m2, class_code::BUBBLE, slot2_code::BUBBLE)
+        } else {
+            (self.m_class, self.m2_class, class_code::BUBBLE, slot2_code::BUBBLE)
+        };
+
+        let sd_completes = s.advance && self.m_class == class_code::SD;
+        let conflict_next = sd_completes
+            && (next_m == class_code::SD || (next_m == class_code::LD && i.same_line));
+
+        let drefill_next = match self.drefill {
+            drefill::IDLE => {
+                if s.d_miss_start {
+                    drefill::REQ
+                } else {
+                    drefill::IDLE
+                }
+            }
+            drefill::REQ => {
+                // the I-refill owns the single memory port while filling
+                if i.mem_ready && self.irefill != irefill::FILL {
+                    drefill::CRIT
+                } else {
+                    drefill::REQ
+                }
+            }
+            drefill::CRIT => drefill::FILL,
+            drefill::FILL => {
+                if i.mem_ready && self.dcnt == beats - 1 {
+                    if self.spill_pend {
+                        drefill::SPILL
+                    } else {
+                        drefill::IDLE
+                    }
+                } else {
+                    drefill::FILL
+                }
+            }
+            _ => {
+                // SPILL
+                if i.mem_ready {
+                    drefill::IDLE
+                } else {
+                    drefill::SPILL
+                }
+            }
+        };
+        let dcnt_next = if self.drefill == drefill::CRIT {
+            0
+        } else if self.drefill == drefill::FILL && i.mem_ready {
+            if self.dcnt == beats - 1 {
+                0
+            } else {
+                self.dcnt + 1
+            }
+        } else {
+            self.dcnt
+        };
+        let spill_next = if s.d_miss_start {
+            i.victim_dirty
+        } else if self.drefill == drefill::SPILL && i.mem_ready {
+            false
+        } else {
+            self.spill_pend
+        };
+        let irefill_next = match self.irefill {
+            irefill::IDLE => {
+                if s.i_miss_start {
+                    irefill::REQ
+                } else {
+                    irefill::IDLE
+                }
+            }
+            irefill::REQ => {
+                // wait until the D-refill releases the memory port
+                if i.mem_ready && self.drefill == drefill::IDLE {
+                    irefill::FILL
+                } else {
+                    irefill::REQ
+                }
+            }
+            irefill::FILL => {
+                if i.mem_ready && self.icnt == beats - 1 {
+                    irefill::FIXUP
+                } else {
+                    irefill::FILL
+                }
+            }
+            _ => irefill::IDLE, // FIXUP lasts one cycle
+        };
+        let icnt_next = if self.irefill == irefill::FILL && i.mem_ready {
+            if self.icnt == beats - 1 {
+                0
+            } else {
+                self.icnt + 1
+            }
+        } else {
+            self.icnt
+        };
+
+        CtrlState {
+            booted: true,
+            m_class: next_m,
+            m2_class: next_m2,
+            e_class: next_e,
+            e2_class: next_e2,
+            w_class: if s.advance { self.m_class } else { self.w_class },
+            irefill: irefill_next,
+            drefill: drefill_next,
+            dcnt: dcnt_next,
+            icnt: icnt_next,
+            spill_pend: spill_next,
+            store_pend: sd_completes,
+            conflict: conflict_next,
+        }
+    }
+
+    /// Serializes the state in the variable order of the generated Verilog
+    /// / translated FSM model, for lockstep comparison.
+    pub fn to_values(&self, scale: &PpScale) -> Vec<u64> {
+        let mut v = vec![u64::from(self.booted), self.m_class];
+        if scale.dual_comm_slot {
+            v.push(self.m2_class);
+        }
+        if scale.extra_stage {
+            v.push(self.e_class);
+            if scale.dual_comm_slot {
+                v.push(self.e2_class);
+            }
+        }
+        v.extend([
+            self.w_class,
+            self.irefill,
+            self.drefill,
+            self.dcnt,
+            self.icnt,
+            u64::from(self.spill_pend),
+            u64::from(self.store_pend),
+            u64::from(self.conflict),
+        ]);
+        v
+    }
+
+    /// Inverse of [`CtrlState::to_values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length for `scale`.
+    pub fn from_values(scale: &PpScale, values: &[u64]) -> CtrlState {
+        let mut it = values.iter().copied();
+        let mut next = || it.next().expect("state value vector too short");
+        let booted = next() != 0;
+        let m_class = next();
+        let m2_class = if scale.dual_comm_slot { next() } else { slot2_code::BUBBLE };
+        let (e_class, e2_class) = if scale.extra_stage {
+            let e = next();
+            let e2 = if scale.dual_comm_slot { next() } else { slot2_code::BUBBLE };
+            (e, e2)
+        } else {
+            (class_code::BUBBLE, slot2_code::BUBBLE)
+        };
+        let s = CtrlState {
+            booted,
+            m_class,
+            m2_class,
+            e_class,
+            e2_class,
+            w_class: next(),
+            irefill: next(),
+            drefill: next(),
+            dcnt: next(),
+            icnt: next(),
+            spill_pend: next() != 0,
+            store_pend: next() != 0,
+            conflict: next() != 0,
+        };
+        assert!(it.next().is_none(), "state value vector too long");
+        s
+    }
+
+    /// The instruction class currently in MEM, if any.
+    pub fn mem_class(&self) -> Option<InstrClass> {
+        InstrClass::from_code(self.m_class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> PpScale {
+        PpScale::standard()
+    }
+
+    #[test]
+    fn reset_then_quiet_boots_and_flows() {
+        let s0 = CtrlState::reset();
+        assert!(!s0.booted);
+        let s1 = s0.step(&sc(), &CtrlIn::quiet());
+        assert!(s1.booted);
+        assert_eq!(s1.m_class, class_code::ALU, "first fetch lands in MEM");
+        let s2 = s1.step(&sc(), &CtrlIn::quiet());
+        assert_eq!(s2.w_class, class_code::ALU, "and retires to WB");
+    }
+
+    #[test]
+    fn load_hit_does_not_stall() {
+        let mut s = CtrlState::reset();
+        let mut i = CtrlIn::quiet();
+        i.iclass = class_code::LD;
+        s = s.step(&sc(), &i);
+        assert_eq!(s.m_class, class_code::LD);
+        let sig = s.signals(&sc(), &CtrlIn::quiet());
+        assert!(!sig.mem_stall);
+        assert!(sig.advance);
+    }
+
+    #[test]
+    fn load_miss_walks_the_refill_fsm() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut i = CtrlIn::quiet();
+        i.iclass = class_code::LD;
+        s = s.step(&scale, &i); // LD now in MEM
+        let mut miss = CtrlIn::quiet();
+        miss.dhit = false;
+        miss.victim_dirty = true;
+        let sig = s.signals(&scale, &miss);
+        assert!(sig.d_miss_start && sig.mem_stall && !sig.advance);
+        s = s.step(&scale, &miss);
+        assert_eq!(s.drefill, drefill::REQ);
+        assert!(s.spill_pend, "dirty victim parked in the spill buffer");
+        assert_eq!(s.m_class, class_code::LD, "the load holds in MEM");
+        // memory not ready: wait in REQ
+        let mut wait = CtrlIn::quiet();
+        wait.mem_ready = false;
+        s = s.step(&scale, &wait);
+        assert_eq!(s.drefill, drefill::REQ);
+        // grant: critical word next
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.drefill, drefill::CRIT);
+        // on CRIT the load restarts and completes (critical-word-first)
+        let sig = s.signals(&scale, &CtrlIn::quiet());
+        assert!(sig.crit_restart && sig.advance);
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.drefill, drefill::FILL);
+        assert_eq!(s.w_class, class_code::LD, "load retired on the critical word");
+        // fill the remaining beats, then spill the dirty victim
+        for _ in 0..scale.fill_beats {
+            assert_eq!(s.drefill, drefill::FILL);
+            s = s.step(&scale, &CtrlIn::quiet());
+        }
+        assert_eq!(s.drefill, drefill::SPILL, "fill-before-spill: spill after fill");
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.drefill, drefill::IDLE);
+        assert!(!s.spill_pend);
+    }
+
+    #[test]
+    fn memory_op_during_background_fill_stalls() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut ld = CtrlIn::quiet();
+        ld.iclass = class_code::LD;
+        s = s.step(&scale, &ld); // LD1 in MEM
+        let mut miss = ld;
+        miss.dhit = false;
+        s = s.step(&scale, &miss); // REQ; LD2 fetched? no: stalled
+        s = s.step(&scale, &ld); // CRIT next
+        assert_eq!(s.drefill, drefill::CRIT);
+        // LD1 completes on CRIT and LD2 (fetched with iclass=LD) enters MEM
+        s = s.step(&scale, &ld);
+        assert_eq!(s.drefill, drefill::FILL);
+        assert_eq!(s.m_class, class_code::LD);
+        // LD2 hits but the refill machinery is busy: structural stall
+        let sig = s.signals(&scale, &CtrlIn::quiet());
+        assert!(sig.d_stall && !sig.advance);
+    }
+
+    #[test]
+    fn send_stalls_until_outbox_ready() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut i = CtrlIn::quiet();
+        i.iclass = class_code::SEND;
+        s = s.step(&scale, &i);
+        assert_eq!(s.m_class, class_code::SEND);
+        let mut blocked = CtrlIn::quiet();
+        blocked.outbox_ready = false;
+        let sig = s.signals(&scale, &blocked);
+        assert!(sig.ext_stall && sig.mem_stall);
+        s = s.step(&scale, &blocked);
+        assert_eq!(s.m_class, class_code::SEND, "send holds in MEM");
+        let sig = s.signals(&scale, &CtrlIn::quiet());
+        assert!(!sig.ext_stall);
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.w_class, class_code::SEND);
+    }
+
+    #[test]
+    fn switch_stalls_until_inbox_ready() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut i = CtrlIn::quiet();
+        i.iclass = class_code::SWITCH;
+        s = s.step(&scale, &i);
+        let mut blocked = CtrlIn::quiet();
+        blocked.inbox_ready = false;
+        assert!(s.signals(&scale, &blocked).ext_stall);
+        assert!(!s.signals(&scale, &CtrlIn::quiet()).ext_stall);
+    }
+
+    #[test]
+    fn companion_slot_send_also_stalls() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut i = CtrlIn::quiet();
+        i.iclass = class_code::LD;
+        i.iclass2 = slot2_code::SEND;
+        s = s.step(&scale, &i);
+        assert_eq!(s.m2_class, slot2_code::SEND);
+        let mut blocked = CtrlIn::quiet();
+        blocked.outbox_ready = false;
+        let sig = s.signals(&scale, &blocked);
+        assert!(sig.ext_stall, "the paired send stalls even though slot 1 is a load");
+    }
+
+    #[test]
+    fn split_store_conflict_stalls_same_line_load() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut sd = CtrlIn::quiet();
+        sd.iclass = class_code::SD;
+        s = s.step(&scale, &sd); // SD in MEM
+        // SD completes (hit); the next fetch is a same-line LD
+        let mut ld_same = CtrlIn::quiet();
+        ld_same.iclass = class_code::LD;
+        ld_same.same_line = true;
+        s = s.step(&scale, &ld_same);
+        assert!(s.store_pend, "split store: data phase pending");
+        assert!(s.conflict, "same-line load conflicts");
+        assert_eq!(s.m_class, class_code::LD);
+        let sig = s.signals(&scale, &CtrlIn::quiet());
+        assert!(sig.conflict_stall && !sig.advance);
+        // one cycle later the store has drained and the load proceeds
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert!(!s.conflict && !s.store_pend);
+        assert!(s.signals(&scale, &CtrlIn::quiet()).advance);
+    }
+
+    #[test]
+    fn split_store_different_line_load_does_not_conflict() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut sd = CtrlIn::quiet();
+        sd.iclass = class_code::SD;
+        s = s.step(&scale, &sd);
+        let mut ld_diff = CtrlIn::quiet();
+        ld_diff.iclass = class_code::LD;
+        ld_diff.same_line = false;
+        s = s.step(&scale, &ld_diff);
+        assert!(s.store_pend && !s.conflict, "different line: store drains in background");
+    }
+
+    #[test]
+    fn back_to_back_stores_conflict() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut sd = CtrlIn::quiet();
+        sd.iclass = class_code::SD;
+        s = s.step(&scale, &sd);
+        s = s.step(&scale, &sd); // second SD fetched while first drains
+        assert!(s.conflict, "second store conflicts with the split store");
+    }
+
+    #[test]
+    fn i_refill_waits_for_d_refill_port() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut ld = CtrlIn::quiet();
+        ld.iclass = class_code::LD;
+        s = s.step(&scale, &ld); // LD in MEM
+        // D-miss and I-miss in the same cycle
+        let mut both = CtrlIn::quiet();
+        both.dhit = false;
+        both.ihit = false;
+        s = s.step(&scale, &both);
+        assert_eq!(s.drefill, drefill::REQ);
+        // the D-miss stalled the pipe, so the fetch never happened and the
+        // I-miss cannot have started (advance was false)
+        assert_eq!(s.irefill, irefill::IDLE);
+        // now the I-miss starts once the pipe advances again at CRIT
+        s = s.step(&scale, &CtrlIn::quiet()); // REQ -> CRIT
+        assert_eq!(s.drefill, drefill::CRIT);
+        let mut imiss = CtrlIn::quiet();
+        imiss.ihit = false;
+        s = s.step(&scale, &imiss); // load restarts, fetch misses
+        assert_eq!(s.irefill, irefill::REQ);
+        assert_eq!(s.drefill, drefill::FILL);
+        // I waits in REQ while D fills (single memory port interlock)
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.irefill, irefill::REQ, "interlocked on the D refill");
+    }
+
+    #[test]
+    fn i_refill_completes_with_fixup_cycle() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut imiss = CtrlIn::quiet();
+        imiss.ihit = false;
+        s = s.step(&scale, &imiss);
+        assert_eq!(s.irefill, irefill::REQ);
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.irefill, irefill::FILL);
+        for _ in 0..scale.fill_beats {
+            assert_eq!(s.irefill, irefill::FILL);
+            s = s.step(&scale, &CtrlIn::quiet());
+        }
+        assert_eq!(s.irefill, irefill::FIXUP, "fix-up cycle restores instruction regs");
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.irefill, irefill::IDLE);
+    }
+
+    #[test]
+    fn bubbles_flow_during_istall() {
+        let scale = sc();
+        let mut s = CtrlState::reset();
+        let mut imiss = CtrlIn::quiet();
+        imiss.ihit = false;
+        s = s.step(&scale, &imiss);
+        // while the I-refill runs, MEM receives bubbles
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.m_class, class_code::BUBBLE);
+    }
+
+    #[test]
+    fn choices_round_trip() {
+        for scale in [PpScale::micro(), PpScale::standard(), PpScale::paper()] {
+            let mut i = CtrlIn::quiet();
+            i.iclass = class_code::SD;
+            i.iclass2 = slot2_code::SEND;
+            i.mem_ready = false;
+            let v = i.to_choices(&scale);
+            let back = CtrlIn::from_choices(&scale, &v);
+            if scale.dual_comm_slot {
+                assert_eq!(back, i);
+            } else {
+                assert_eq!(back.iclass, i.iclass);
+                assert_eq!(back.mem_ready, i.mem_ready);
+            }
+        }
+    }
+
+    #[test]
+    fn to_from_values_round_trips() {
+        for scale in [PpScale::micro(), PpScale::standard(), PpScale::paper()] {
+            let mut s = CtrlState::reset();
+            let mut i = CtrlIn::quiet();
+            i.iclass = class_code::SD;
+            for _ in 0..5 {
+                s = s.step(&scale, &i);
+                let v = s.to_values(&scale);
+                assert_eq!(CtrlState::from_values(&scale, &v), s);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_state_never_revisited() {
+        // booted flips to 1 on every transition and nothing clears it
+        let scale = sc();
+        let mut s = CtrlState::reset().step(&scale, &CtrlIn::quiet());
+        for _ in 0..100 {
+            s = s.step(&scale, &CtrlIn::quiet());
+            assert!(s.booted);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The PP control model as an [`archval_fsm::Model`], obtained by running
+//! the generated annotated Verilog through the translator — the paper's
+//! step 1 applied to our PP.
+
+use archval_fsm::Model;
+use archval_verilog::{parse, translate, VerilogError};
+
+use crate::config::PpScale;
+use crate::verilog_gen::pp_control_verilog;
+
+/// Builds the FSM model of the PP control logic at the given scale by
+/// translating the generated Verilog.
+///
+/// # Errors
+///
+/// Returns a [`VerilogError`] only if the generator and translator have
+/// diverged — the test suite keeps them aligned, so callers may treat this
+/// as a bug.
+pub fn pp_control_model(scale: &PpScale) -> Result<Model, VerilogError> {
+    let src = pp_control_verilog(scale);
+    let design = parse(&src)?;
+    translate(&design, "pp_control")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{class_code, CtrlIn, CtrlState};
+    use archval_fsm::SyncSim;
+    use proptest::prelude::*;
+
+    #[test]
+    fn model_builds_at_all_scales() {
+        for scale in [PpScale::micro(), PpScale::standard(), PpScale::paper()] {
+            let m = pp_control_model(&scale).unwrap();
+            // choices: 8 abstract inputs (+iclass2 when dual)
+            let want_choices = if scale.dual_comm_slot { 9 } else { 8 };
+            assert_eq!(m.choices().len(), want_choices, "{scale:?}");
+            // reset state must match CtrlState::reset()
+            assert_eq!(m.reset_state(), CtrlState::reset().to_values(&scale));
+        }
+    }
+
+    #[test]
+    fn choice_order_matches_ctrl_in() {
+        let scale = PpScale::standard();
+        let m = pp_control_model(&scale).unwrap();
+        let names: Vec<&str> = m.choices().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "iclass",
+                "iclass2",
+                "ihit",
+                "dhit",
+                "victim_dirty",
+                "same_line",
+                "inbox_ready",
+                "outbox_ready",
+                "mem_ready"
+            ]
+        );
+        assert_eq!(m.choices()[0].size, 5);
+        assert_eq!(m.choices()[1].size, 3);
+    }
+
+    #[test]
+    fn state_order_matches_to_values() {
+        let scale = PpScale::paper();
+        let m = pp_control_model(&scale).unwrap();
+        let names: Vec<&str> = m.vars().iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "booted", "m_class", "m2_class", "e_class", "e2_class", "w_class", "irefill",
+                "drefill", "dcnt", "icnt", "spill_pend", "store_pend", "conflict"
+            ]
+        );
+    }
+
+    /// The central fidelity property: the translated Verilog and the Rust
+    /// control specification agree cycle-by-cycle on every state bit.
+    fn lockstep(scale: PpScale, inputs: Vec<CtrlIn>) {
+        let m = pp_control_model(&scale).unwrap();
+        let mut sim = SyncSim::new(&m);
+        let mut rust = CtrlState::reset();
+        assert_eq!(sim.state(), rust.to_values(&scale).as_slice());
+        for (cycle, input) in inputs.iter().enumerate() {
+            sim.step(&input.to_choices(&scale)).unwrap();
+            rust = rust.step(&scale, input);
+            assert_eq!(
+                sim.state(),
+                rust.to_values(&scale).as_slice(),
+                "diverged at cycle {cycle} on {input:?}"
+            );
+        }
+    }
+
+    fn arb_ctrl_in() -> impl Strategy<Value = CtrlIn> {
+        (
+            0u64..5,
+            0u64..3,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        )
+            .prop_map(
+                |(iclass, iclass2, ihit, dhit, victim_dirty, same_line, ib, ob, mr)| CtrlIn {
+                    iclass,
+                    iclass2,
+                    ihit,
+                    dhit,
+                    victim_dirty,
+                    same_line,
+                    inbox_ready: ib,
+                    outbox_ready: ob,
+                    mem_ready: mr,
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_lockstep_micro(inputs in proptest::collection::vec(arb_ctrl_in(), 1..120)) {
+            lockstep(PpScale::micro(), inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_standard(inputs in proptest::collection::vec(arb_ctrl_in(), 1..120)) {
+            lockstep(PpScale::standard(), inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_paper(inputs in proptest::collection::vec(arb_ctrl_in(), 1..80)) {
+            lockstep(PpScale::paper(), inputs);
+        }
+    }
+
+    #[test]
+    fn micro_model_enumerates() {
+        use archval_fsm::{enumerate, EnumConfig};
+        let m = pp_control_model(&PpScale::micro()).unwrap();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        // the reachable set is a tiny fraction of the 2^bits upper bound —
+        // the paper's interlock observation
+        assert!(r.graph.state_count() > 50, "got {}", r.graph.state_count());
+        assert!(
+            (r.graph.state_count() as f64) < 0.5 * 2f64.powi(r.stats.bits_per_state as i32),
+            "interlocks should prune the product space"
+        );
+        assert!(r.graph.all_reachable_from_reset());
+        // reset is never revisited (booted bit), so its in-degree is 0
+        assert_eq!(r.graph.in_degrees()[0], 0);
+    }
+
+    #[test]
+    fn quiet_input_reaches_steady_state() {
+        let scale = PpScale::standard();
+        let mut s = CtrlState::reset();
+        for _ in 0..10 {
+            s = s.step(&scale, &CtrlIn::quiet());
+        }
+        let next = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s, next, "quiet ALU stream is a fixed point");
+        assert_eq!(s.m_class, class_code::ALU);
+    }
+}

@@ -1,0 +1,42 @@
+//! The Stanford FLASH Protocol Processor analogue.
+//!
+//! This crate is the device under validation for the reproduction of
+//! "Architecture Validation for Processors" (ISCA 1995). It provides, from
+//! scratch:
+//!
+//! * the PP's DLX-flavoured ISA with the MAGIC `switch`/`send`
+//!   communication instructions ([`isa`]) and the five control-visible
+//!   instruction classes of the paper's Table 3.1;
+//! * an assembler/disassembler ([`asm`]);
+//! * the control logic ([`control`]) — stall machine, I-/D-cache refill
+//!   FSMs, fill/spill tracking and split-store conflict FSM of Figure 3.2;
+//! * a generator emitting the same control logic as annotated Verilog
+//!   ([`verilog_gen`]) plus its translation to an FSM model
+//!   ([`fsm_model`]), the paper's extraction flow;
+//! * an instruction-level reference simulator — the paper's *executable
+//!   specification* ([`ref_sim`]);
+//! * a cycle-accurate RTL simulator with a 2-way set-associative data cache
+//!   (fill-before-spill, spill buffer, critical-word-first restart, split
+//!   stores), an instruction cache, Inbox/Outbox interfaces and a shared
+//!   memory port ([`rtl`]);
+//! * the six injectable bugs of the paper's Table 2.1 ([`bugs`]).
+
+pub mod asm;
+pub mod bugs;
+pub mod config;
+pub mod control;
+pub mod fsm_model;
+pub mod isa;
+pub mod mem;
+pub mod ref_sim;
+pub mod rtl;
+pub mod verilog_gen;
+
+pub use bugs::{Bug, BugSet};
+pub use config::PpScale;
+pub use control::{CtrlIn, CtrlSignals, CtrlState};
+pub use fsm_model::pp_control_model;
+pub use isa::{Instr, InstrClass, Reg};
+pub use ref_sim::RefSim;
+pub use rtl::RtlSim;
+pub use verilog_gen::pp_control_verilog;

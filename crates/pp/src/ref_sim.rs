@@ -1,0 +1,251 @@
+//! The instruction-level reference simulator — the paper's *executable
+//! specification* (Figure 3.1). Architecturally exact, timing-free.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{alu_apply, Instr, Reg};
+use crate::mem::Memory;
+
+/// One architecturally visible retirement event, the unit of comparison
+/// between the specification and the RTL implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Retire {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Word address the instruction was fetched from.
+    pub pc: u32,
+    /// Register written, if any: `(register, value)`.
+    pub reg_write: Option<(u8, u32)>,
+    /// Memory word written, if any: `(address, value)`.
+    pub mem_write: Option<(u32, u32)>,
+    /// Word pushed to the Outbox, if any.
+    pub sent: Option<u32>,
+}
+
+/// The instruction-level PP simulator.
+#[derive(Debug, Clone)]
+pub struct RefSim {
+    regs: [u32; 32],
+    pc: u32,
+    mem: Memory,
+    inbox: VecDeque<u32>,
+    outbox: Vec<u32>,
+    retired: Vec<Retire>,
+    halted: bool,
+}
+
+impl RefSim {
+    /// Creates a simulator over a program image (encoded instructions at
+    /// word address 0) and an Inbox stream.
+    pub fn new(program: &[Instr], inbox: Vec<u32>) -> Self {
+        let mut mem = Memory::new();
+        let words: Vec<u32> = program.iter().map(Instr::encode).collect();
+        mem.load_program(&words);
+        RefSim {
+            regs: [0; 32],
+            pc: 0,
+            mem,
+            inbox: inbox.into(),
+            outbox: Vec::new(),
+            retired: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Current register file.
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// The memory image.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Words sent to the Outbox so far, in order.
+    pub fn outbox(&self) -> &[u32] {
+        &self.outbox
+    }
+
+    /// Retirement log so far.
+    pub fn retired(&self) -> &[Retire] {
+        &self.retired
+    }
+
+    /// Whether a `halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u32) -> Option<(u8, u32)> {
+        if r.0 == 0 {
+            None
+        } else {
+            self.regs[r.0 as usize] = v;
+            Some((r.0, v))
+        }
+    }
+
+    /// Executes one instruction. Returns `false` once halted (or when the
+    /// PC decodes to an unknown word, which also halts).
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let word = self.mem.read(self.pc);
+        let Some(instr) = Instr::decode(word) else {
+            self.halted = true;
+            return false;
+        };
+        let pc = self.pc;
+        self.pc = self.pc.wrapping_add(1);
+        let mut ev = Retire {
+            seq: self.retired.len() as u64,
+            pc,
+            reg_write: None,
+            mem_write: None,
+            sent: None,
+        };
+        match instr {
+            Instr::Alu { op, rd, rs, rt } => {
+                let v = alu_apply(op, self.reg(rs), self.reg(rt));
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::AluImm { op, rd, rs, imm } => {
+                let v = alu_apply(op, self.reg(rs), u32::from(imm));
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::Lui { rd, imm } => {
+                ev.reg_write = self.write_reg(rd, u32::from(imm) << 16);
+            }
+            Instr::Lw { rd, rs, imm } => {
+                let addr = self.reg(rs).wrapping_add(u32::from(imm));
+                let v = self.mem.read(addr);
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::Sw { rt, rs, imm } => {
+                let addr = self.reg(rs).wrapping_add(u32::from(imm));
+                let v = self.reg(rt);
+                self.mem.write(addr, v);
+                ev.mem_write = Some((addr, v));
+            }
+            Instr::Switch { rd } => {
+                // the specification blocks until a word is available; an
+                // empty inbox means the test harness under-provisioned it
+                let v = self.inbox.pop_front().unwrap_or(0);
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::Send { rs } => {
+                let v = self.reg(rs);
+                self.outbox.push(v);
+                ev.sent = Some(v);
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+        self.retired.push(ev);
+        !self.halted
+    }
+
+    /// Runs until halt or `max_steps`, returning the number of
+    /// instructions retired by this call.
+    pub fn run(&mut self, max_steps: usize) -> usize {
+        let start = self.retired.len();
+        for _ in 0..max_steps {
+            if !self.step() {
+                break;
+            }
+        }
+        self.retired.len() - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, inbox: Vec<u32>) -> RefSim {
+        let prog = assemble(src).unwrap();
+        let mut sim = RefSim::new(&prog, inbox);
+        sim.run(10_000);
+        sim
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let s = run("addi r1, r0, 7\naddi r2, r0, 5\nadd r3, r1, r2\nhalt", vec![]);
+        assert!(s.halted());
+        assert_eq!(s.regs()[3], 12);
+        assert_eq!(s.retired().len(), 4);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let s = run(
+            "lui r1, 1        ; r1 = 0x10000\n\
+             addi r2, r0, 99\n\
+             sw r2, 4(r1)\n\
+             lw r3, 4(r1)\n\
+             halt",
+            vec![],
+        );
+        assert_eq!(s.regs()[3], 99);
+        let sw = &s.retired()[2];
+        assert_eq!(sw.mem_write, Some((0x10004, 99)));
+    }
+
+    #[test]
+    fn load_of_untouched_memory_sees_default_image() {
+        let s = run("lui r1, 2\nlw r3, 0(r1)\nhalt", vec![]);
+        assert_eq!(s.regs()[3], crate::mem::default_word(0x20000));
+    }
+
+    #[test]
+    fn switch_and_send_move_words() {
+        let s = run("switch r1\nswitch r2\nsend r2\nsend r1\nhalt", vec![11, 22]);
+        assert_eq!(s.outbox(), &[22, 11]);
+        assert_eq!(s.retired()[0].reg_write, Some((1, 11)));
+        assert_eq!(s.retired()[2].sent, Some(22));
+    }
+
+    #[test]
+    fn r0_stays_zero() {
+        let s = run("addi r0, r0, 5\nadd r1, r0, r0\nhalt", vec![]);
+        assert_eq!(s.regs()[0], 0);
+        assert_eq!(s.regs()[1], 0);
+        assert_eq!(s.retired()[0].reg_write, None);
+    }
+
+    #[test]
+    fn run_respects_step_budget() {
+        // infinite loop of nops (no halt): budget must cap it
+        let prog = assemble("nop\nnop\nnop").unwrap();
+        let mut sim = RefSim::new(&prog, vec![]);
+        let n = sim.run(2);
+        assert_eq!(n, 2);
+        assert!(!sim.halted());
+    }
+
+    #[test]
+    fn decode_failure_halts() {
+        // after the program, memory holds default words that decode to
+        // unknown opcodes or garbage — the spec halts there
+        let prog = assemble("nop").unwrap();
+        let mut sim = RefSim::new(&prog, vec![]);
+        sim.run(1000);
+        assert!(sim.retired().len() < 1000, "must not run forever");
+    }
+}

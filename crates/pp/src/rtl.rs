@@ -1,0 +1,1029 @@
+//! The cycle-accurate RTL simulator of the Protocol Processor.
+//!
+//! The control trajectory is an embedded [`CtrlState`] — literally the FSM
+//! model extracted from the Verilog — while the datapath implements the
+//! memory system the paper describes: a 2-way set-associative data cache
+//! with *fill-before-spill* refill through a spill buffer,
+//! *critical-word-first* restart, *split stores* with conflict stalls, an
+//! instruction cache with a refill fix-up cycle, Inbox/Outbox interfaces
+//! and a single shared memory port.
+//!
+//! # Forcing interface conditions
+//!
+//! The paper drives its Verilog simulator with `force`/`release` commands
+//! on the interface wires. Our equivalent is the *magic* cache interface:
+//! forcing a hit installs the addressed line coherently from memory,
+//! forcing a miss evicts it (writing back dirty data), and forcing the
+//! victim's dirtiness flushes or marks the victim. Every magic operation
+//! preserves architectural memory state, so a forced condition is exactly
+//! "the generator picked an address with this hit/miss behaviour" — the
+//! paper's abstraction of addresses to hit/miss bits (Section 3.1).
+
+use std::collections::VecDeque;
+
+use crate::bugs::{Bug, BugSet, GARBAGE};
+use crate::config::PpScale;
+use crate::control::{class_code, irefill, slot2_code, CtrlIn, CtrlState};
+use crate::isa::{alu_apply, Instr, InstrClass, Reg};
+use crate::mem::Memory;
+use crate::ref_sim::Retire;
+
+/// External interface levels for one cycle (the Inbox, Outbox and memory
+/// controller abstract models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtIn {
+    /// Inbox has a word available.
+    pub inbox_ready: bool,
+    /// Outbox can accept a word.
+    pub outbox_ready: bool,
+    /// Memory controller handshake.
+    pub mem_ready: bool,
+}
+
+impl ExtIn {
+    /// Everything ready.
+    pub fn ready() -> Self {
+        ExtIn { inbox_ready: true, outbox_ready: true, mem_ready: true }
+    }
+}
+
+/// Per-cycle magic forces on the cache interfaces (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Forces {
+    /// Force the I-cache probe for this cycle's fetch address.
+    pub ihit: Option<bool>,
+    /// Force the D-cache probe for the access in MEM.
+    pub dhit: Option<bool>,
+    /// Force the dirtiness of the victim a starting D-miss would evict.
+    pub victim_dirty: Option<bool>,
+    /// Force the split-store conflict comparator (architecturally sound in
+    /// both directions: the store's data phase always precedes the load's
+    /// read within a cycle).
+    pub same_line: Option<bool>,
+}
+
+// ---- caches ----
+
+#[derive(Debug, Clone)]
+struct Way {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    data: Vec<u32>,
+    poisoned: bool,
+}
+
+impl Way {
+    fn empty(line_words: u32) -> Self {
+        Way { valid: false, dirty: false, tag: 0, data: vec![0; line_words as usize], poisoned: false }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    lru: Vec<u8>,
+    line_words: u32,
+    n_sets: u32,
+}
+
+impl SetAssocCache {
+    fn new(n_sets: u32, n_ways: usize, line_words: u32) -> Self {
+        SetAssocCache {
+            sets: (0..n_sets).map(|_| vec![Way::empty(line_words); n_ways]).collect(),
+            lru: vec![0; n_sets as usize],
+            line_words,
+            n_sets,
+        }
+    }
+
+    fn line_of(&self, addr: u32) -> u32 {
+        addr / self.line_words
+    }
+
+    fn set_ix(&self, addr: u32) -> usize {
+        (self.line_of(addr) % self.n_sets) as usize
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        self.line_of(addr) / self.n_sets
+    }
+
+    fn probe(&self, addr: u32) -> Option<usize> {
+        let set = &self.sets[self.set_ix(addr)];
+        set.iter().position(|w| w.valid && w.tag == self.tag_of(addr))
+    }
+
+    fn victim_way(&self, addr: u32) -> usize {
+        let set_ix = self.set_ix(addr);
+        // LRU pointer names the victim; invalid ways win first
+        if let Some(invalid) = self.sets[set_ix].iter().position(|w| !w.valid) {
+            return invalid;
+        }
+        usize::from(self.lru[set_ix]) % self.sets[set_ix].len()
+    }
+
+    fn touch(&mut self, addr: u32, way: usize) {
+        let set_ix = self.set_ix(addr);
+        if self.sets[set_ix].len() == 2 {
+            self.lru[set_ix] = 1 - way as u8;
+        }
+    }
+
+    fn read(&mut self, addr: u32) -> Option<u32> {
+        let way = self.probe(addr)?;
+        let off = (addr % self.line_words) as usize;
+        let v = self.sets[self.set_ix(addr)][way].data[off];
+        self.touch(addr, way);
+        Some(v)
+    }
+
+    fn write(&mut self, addr: u32, value: u32) -> bool {
+        let Some(way) = self.probe(addr) else { return false };
+        let set_ix = self.set_ix(addr);
+        let off = (addr % self.line_words) as usize;
+        self.sets[set_ix][way].data[off] = value;
+        self.sets[set_ix][way].dirty = true;
+        self.touch(addr, way);
+        true
+    }
+
+    /// Installs a line from memory into `way`, returning the evicted dirty
+    /// line's `(base address, data)` for writeback if there was one.
+    fn install(&mut self, addr: u32, way: usize, mem: &Memory) -> Option<(u32, Vec<u32>)> {
+        let set_ix = self.set_ix(addr);
+        let evicted = {
+            let w = &self.sets[set_ix][way];
+            if w.valid && w.dirty {
+                let base = (w.tag * self.n_sets + set_ix as u32) * self.line_words;
+                Some((base, w.data.clone()))
+            } else {
+                None
+            }
+        };
+        let base = self.line_of(addr) * self.line_words;
+        let data: Vec<u32> = (0..self.line_words).map(|i| mem.read(base + i)).collect();
+        let tag = self.tag_of(addr);
+        let w = &mut self.sets[set_ix][way];
+        w.valid = true;
+        w.dirty = false;
+        w.tag = tag;
+        w.data = data;
+        w.poisoned = false;
+        self.touch(addr, way);
+        evicted
+    }
+
+    /// Removes the line holding `addr`, writing dirty data back to `mem`.
+    fn evict_coherent(&mut self, addr: u32, mem: &mut Memory) {
+        if let Some(way) = self.probe(addr) {
+            let set_ix = self.set_ix(addr);
+            let w = &mut self.sets[set_ix][way];
+            if w.dirty {
+                let base = (w.tag * self.n_sets + set_ix as u32) * self.line_words;
+                for (i, &v) in w.data.iter().enumerate() {
+                    mem.write(base + i as u32, v);
+                }
+            }
+            w.valid = false;
+            w.dirty = false;
+        }
+    }
+
+    /// Magic force of presence (see module docs); always coherent.
+    fn force_present(&mut self, addr: u32, present: bool, mem: &mut Memory) {
+        match (self.probe(addr), present) {
+            (Some(_), true) | (None, false) => {}
+            (Some(_), false) => self.evict_coherent(addr, mem),
+            (None, true) => {
+                let way = self.victim_way(addr);
+                if let Some((base, data)) = self.install(addr, way, mem) {
+                    for (i, v) in data.into_iter().enumerate() {
+                        mem.write(base + i as u32, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Magic force of the would-be victim's dirtiness; coherent (marking a
+    /// clean line dirty re-writes identical data, flushing a dirty line
+    /// writes it back). Invalid ways are first materialised with synthetic
+    /// clean lines (loaded coherently from memory) so the victim is a real
+    /// line that can be spilled.
+    fn force_victim_dirty(&mut self, addr: u32, dirty: bool, mem: &mut Memory) {
+        let set_ix = self.set_ix(addr);
+        let addr_tag = self.tag_of(addr);
+        let n_ways = self.sets[set_ix].len();
+        let mut synth_tag = addr_tag.wrapping_add(1);
+        for way in 0..n_ways {
+            if !self.sets[set_ix][way].valid {
+                while self.sets[set_ix].iter().any(|w| w.valid && w.tag == synth_tag)
+                    || synth_tag == addr_tag
+                {
+                    synth_tag = synth_tag.wrapping_add(1);
+                }
+                let base = (synth_tag * self.n_sets + set_ix as u32) * self.line_words;
+                let data: Vec<u32> =
+                    (0..self.line_words).map(|i| mem.read(base + i)).collect();
+                let w = &mut self.sets[set_ix][way];
+                w.valid = true;
+                w.dirty = false;
+                w.tag = synth_tag;
+                w.data = data;
+                w.poisoned = false;
+            }
+        }
+        let way = self.victim_way(addr);
+        let w = &mut self.sets[set_ix][way];
+        if dirty && !w.dirty {
+            w.dirty = true; // identical data: the spill is a no-op write
+        } else if !dirty && w.dirty {
+            let base = (w.tag * self.n_sets + set_ix as u32) * self.line_words;
+            let data = w.data.clone();
+            w.dirty = false;
+            for (i, v) in data.into_iter().enumerate() {
+                mem.write(base + i as u32, v);
+            }
+        }
+    }
+
+    fn victim_is_dirty(&self, addr: u32) -> bool {
+        let set_ix = self.set_ix(addr);
+        let way = self.victim_way(addr);
+        let w = &self.sets[set_ix][way];
+        w.valid && w.dirty
+    }
+
+    fn set_poisoned(&mut self, addr: u32, poisoned: bool) {
+        if let Some(way) = self.probe(addr) {
+            let set_ix = self.set_ix(addr);
+            self.sets[set_ix][way].poisoned = poisoned;
+        }
+    }
+
+    fn is_poisoned(&self, addr: u32) -> bool {
+        self.probe(addr)
+            .map(|way| self.sets[self.set_ix(addr)][way].poisoned)
+            .unwrap_or(false)
+    }
+}
+
+// ---- pipeline payloads ----
+
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    instr: Instr,
+    pc: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PipeSlot {
+    slot1: Lane,
+    slot2: Option<Lane>,
+    /// Address of the LD/SD in slot 1, computed at MEM entry.
+    addr: Option<u32>,
+    /// The slot sat through a conflict stall (Bug #3 / #6 triggers).
+    was_conflicted: bool,
+}
+
+/// Dual-issue pairing rule: the companion slot carries only ALU or
+/// communication instructions, never `halt`, and may not read the memory
+/// slot's destination.
+pub fn can_pair(a: &Instr, b: &Instr) -> bool {
+    if matches!(b.class(), InstrClass::Ld | InstrClass::Sd) {
+        return false;
+    }
+    if matches!(a, Instr::Halt) || matches!(b, Instr::Halt) {
+        return false;
+    }
+    if let Some(d) = a.dest() {
+        if b.sources().contains(&d) {
+            return false;
+        }
+    }
+    true
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bug5Window {
+    rd: u8,
+    retire_ix: usize,
+    cycles_left: u8,
+    corrupted: bool,
+}
+
+/// The cycle-accurate PP.
+#[derive(Debug, Clone)]
+pub struct RtlSim {
+    scale: PpScale,
+    bugs: BugSet,
+    ctrl: CtrlState,
+    regs: [u32; 32],
+    pc: u32,
+    mem: Memory,
+    dcache: SetAssocCache,
+    icache: SetAssocCache,
+    inbox: VecDeque<u32>,
+    outbox: Vec<u32>,
+    e_slot: Option<PipeSlot>,
+    m_slot: Option<PipeSlot>,
+    /// Split store data phase: `(address, new value, old value)`.
+    pending_store: Option<(u32, u32, u32)>,
+    /// The most recent completed store, for Bug #6's stale read.
+    last_store_old: Option<(u32, u32)>,
+    /// Line being refilled into the D-cache and its victim way.
+    d_miss: Option<(u32, usize)>,
+    /// Spill buffer: `(base address, data)` awaiting fill-before-spill
+    /// writeback.
+    spill_buffer: Option<(u32, Vec<u32>)>,
+    /// PC line being refilled into the I-cache.
+    i_miss_addr: Option<u32>,
+    /// Whether the previous cycle had the D-refill active (Bug #1 handoff).
+    prev_d_active: bool,
+    /// Bug #4: the next fetched pair executes as bubbles.
+    drop_next_fetch: bool,
+    /// Bug #1: the in-flight I-refill was corrupted by the port handoff.
+    was_bug1_poisoned: bool,
+    bug5: Option<Bug5Window>,
+    retired: Vec<Retire>,
+    halted: bool,
+    cycles: u64,
+}
+
+impl RtlSim {
+    /// Creates a PP over a program image and Inbox stream, with the given
+    /// bug set injected.
+    pub fn new(scale: PpScale, bugs: BugSet, program: &[Instr], inbox: Vec<u32>) -> Self {
+        let mut mem = Memory::new();
+        let words: Vec<u32> = program.iter().map(Instr::encode).collect();
+        mem.load_program(&words);
+        let line_words = scale.fill_beats as u32;
+        RtlSim {
+            scale,
+            bugs,
+            ctrl: CtrlState::reset(),
+            regs: [0; 32],
+            pc: 0,
+            mem,
+            dcache: SetAssocCache::new(8, 2, line_words),
+            icache: SetAssocCache::new(16, 1, line_words),
+            inbox: inbox.into(),
+            outbox: Vec::new(),
+            e_slot: None,
+            m_slot: None,
+            pending_store: None,
+            last_store_old: None,
+            d_miss: None,
+            spill_buffer: None,
+            i_miss_addr: None,
+            prev_d_active: false,
+            drop_next_fetch: false,
+            was_bug1_poisoned: false,
+            bug5: None,
+            retired: Vec::new(),
+            halted: false,
+            cycles: 0,
+        }
+    }
+
+    /// The control state this cycle (the FSM model's state).
+    pub fn ctrl(&self) -> &CtrlState {
+        &self.ctrl
+    }
+
+    /// Current register file.
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// The memory image (cache-dirty data not yet written back is *not*
+    /// reflected; use [`RtlSim::flush_caches`] before comparing).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Outbox contents so far.
+    pub fn outbox(&self) -> &[u32] {
+        &self.outbox
+    }
+
+    /// Retirement log so far.
+    pub fn retired(&self) -> &[Retire] {
+        &self.retired
+    }
+
+    /// Whether a `halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Writes all dirty cache lines back to memory (end-of-run comparison).
+    pub fn flush_caches(&mut self) {
+        for set_ix in 0..self.dcache.sets.len() {
+            for way in 0..self.dcache.sets[set_ix].len() {
+                let w = &self.dcache.sets[set_ix][way];
+                if w.valid && w.dirty {
+                    let base = (w.tag * self.dcache.n_sets + set_ix as u32)
+                        * self.dcache.line_words;
+                    let data = w.data.clone();
+                    for (i, v) in data.into_iter().enumerate() {
+                        self.mem.write(base + i as u32, v);
+                    }
+                    self.dcache.sets[set_ix][way].dirty = false;
+                }
+            }
+        }
+        if let Some((addr, value, _)) = self.pending_store.take() {
+            self.mem.write(addr, value);
+        }
+        if let Some((base, data)) = self.spill_buffer.take() {
+            for (i, v) in data.into_iter().enumerate() {
+                self.mem.write(base + i as u32, v);
+            }
+        }
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u32) -> Option<(u8, u32)> {
+        if r.0 == 0 {
+            None
+        } else {
+            self.regs[r.0 as usize] = v;
+            Some((r.0, v))
+        }
+    }
+
+    /// Peeks the pair that would be fetched at the current PC.
+    fn peek_pair(&self) -> Option<(Lane, Option<Lane>)> {
+        if self.halted {
+            return None;
+        }
+        let a = Instr::decode(self.mem.read(self.pc))?;
+        let lane_a = Lane { instr: a, pc: self.pc };
+        let b = Instr::decode(self.mem.read(self.pc.wrapping_add(1)));
+        match b {
+            Some(b_instr) if can_pair(&a, &b_instr) && !matches!(b_instr, Instr::Nop) => Some((
+                lane_a,
+                Some(Lane { instr: b_instr, pc: self.pc.wrapping_add(1) }),
+            )),
+            _ => Some((lane_a, None)),
+        }
+    }
+
+    fn slot2_code_of(lane: Option<&Lane>) -> u64 {
+        match lane.map(|l| l.instr.class()) {
+            Some(InstrClass::Switch) => slot2_code::SWITCH,
+            Some(InstrClass::Send) => slot2_code::SEND,
+            Some(_) => slot2_code::ALU,
+            None => slot2_code::ALU, // virtual companion nop
+        }
+    }
+
+    /// Builds this cycle's control inputs from the actual datapath state
+    /// (program mode) plus external levels.
+    fn control_inputs(&self, ext: ExtIn) -> CtrlIn {
+        let peek = self.peek_pair();
+        let (iclass, iclass2) = match &peek {
+            Some((a, b)) => (a.instr.class() as u64, Self::slot2_code_of(b.as_ref())),
+            None => (class_code::ALU, slot2_code::ALU),
+        };
+        let ihit = self.icache.probe(self.pc).is_some();
+        let (dhit, victim_dirty) = match self.m_slot.as_ref().and_then(|s| s.addr) {
+            Some(addr) => (
+                self.dcache.probe(addr).is_some(),
+                self.dcache.victim_is_dirty(addr),
+            ),
+            None => (true, false),
+        };
+        // the conflict comparator: when the op in MEM is a completing split
+        // store, compare the *incoming* op's address (the one entering MEM
+        // next cycle) against the store's address
+        let same_line = (|| {
+            let m = self.m_slot.as_ref()?;
+            if !matches!(m.slot1.instr, Instr::Sw { .. }) {
+                return None;
+            }
+            let sd_addr = m.addr?;
+            let incoming = if self.scale.extra_stage {
+                self.e_slot.as_ref().map(|s| s.slot1.instr)
+            } else {
+                peek.as_ref().map(|(a, _)| a.instr)
+            }?;
+            let in_addr = match incoming {
+                Instr::Lw { rs, imm, .. } | Instr::Sw { rs, imm, .. } => {
+                    self.reg(rs).wrapping_add(u32::from(imm))
+                }
+                _ => return None,
+            };
+            Some(self.dcache.line_of(in_addr) == self.dcache.line_of(sd_addr))
+        })()
+        .unwrap_or(false);
+        CtrlIn {
+            iclass,
+            iclass2,
+            ihit,
+            dhit,
+            victim_dirty,
+            same_line,
+            inbox_ready: ext.inbox_ready,
+            outbox_ready: ext.outbox_ready,
+            mem_ready: ext.mem_ready,
+        }
+    }
+
+    /// Advances one clock cycle under the given external levels and magic
+    /// forces. Returns the control inputs that were sampled (useful for
+    /// arc-coverage tracking).
+    pub fn step(&mut self, ext: ExtIn, forces: Forces) -> CtrlIn {
+        // 1. apply magic forces coherently
+        if let Some(want) = forces.ihit {
+            let pc = self.pc;
+            self.icache.force_present(pc, want, &mut self.mem);
+        }
+        if let Some(addr) = self.m_slot.as_ref().and_then(|s| s.addr) {
+            if let Some(want) = forces.dhit {
+                self.dcache.force_present(addr, want, &mut self.mem);
+            }
+            if let Some(want) = forces.victim_dirty {
+                if self.dcache.probe(addr).is_none() {
+                    self.dcache.force_victim_dirty(addr, want, &mut self.mem);
+                }
+            }
+        }
+
+        // 2. sample control inputs and compute this cycle's signals
+        let mut inputs = self.control_inputs(ext);
+        if let Some(v) = forces.same_line {
+            inputs.same_line = v;
+        }
+        let sig = self.ctrl.signals(&self.scale, &inputs);
+
+        // 3. split-store data phase (set up by the previous cycle)
+        if self.ctrl.store_pend {
+            if let Some((addr, value, old)) = self.pending_store.take() {
+                if !self.dcache.write(addr, value) {
+                    // the line was displaced between probe and data phase
+                    // (only possible through magic forces): write through
+                    self.mem.write(addr, value);
+                }
+                self.last_store_old = Some((addr, old));
+            }
+        }
+
+        // 4. D-refill datapath events
+        if sig.d_miss_start {
+            if let Some(addr) = self.m_slot.as_ref().and_then(|s| s.addr) {
+                let way = self.dcache.victim_way(addr);
+                self.d_miss = Some((addr, way));
+            }
+        }
+        // install the line when the critical word arrives (entering CRIT
+        // next cycle is drefill REQ->CRIT; the control is in CRIT *this*
+        // cycle when the restart happens, so install on CRIT entry)
+        let entering_crit = self.ctrl.drefill == crate::control::drefill::REQ
+            && inputs.mem_ready
+            && self.ctrl.irefill != irefill::FILL;
+        if entering_crit {
+            if let Some((addr, way)) = self.d_miss {
+                if self.dcache.probe(addr).is_none() {
+                    if let Some(spill) = self.dcache.install(addr, way, &self.mem) {
+                        self.spill_buffer = Some(spill);
+                    }
+                }
+            }
+        }
+        // fill-before-spill writeback at SPILL completion
+        if self.ctrl.drefill == crate::control::drefill::SPILL && inputs.mem_ready {
+            if let Some((base, data)) = self.spill_buffer.take() {
+                for (i, v) in data.into_iter().enumerate() {
+                    self.mem.write(base + i as u32, v);
+                }
+            }
+            self.d_miss = None;
+        }
+        if self.ctrl.drefill == crate::control::drefill::FILL
+            && inputs.mem_ready
+            && self.ctrl.dcnt == self.scale.fill_beats - 1
+            && !self.ctrl.spill_pend
+        {
+            self.d_miss = None;
+        }
+
+        // 5. I-refill datapath events
+        if sig.i_miss_start {
+            self.i_miss_addr = Some(self.pc);
+        }
+        let i_entering_fill = self.ctrl.irefill == irefill::REQ
+            && inputs.mem_ready
+            && self.ctrl.drefill == crate::control::drefill::IDLE;
+        let bug1_handoff = i_entering_fill && self.prev_d_active;
+        if self.ctrl.irefill == irefill::FIXUP {
+            // fix-up cycle: the refilled line becomes fetchable
+            if let Some(addr) = self.i_miss_addr.take() {
+                let way = self.icache.victim_way(addr);
+                let _ = self.icache.install(addr, way, &self.mem);
+                if self.bugs.contains(Bug::InterfaceMiscommunication) && self.was_bug1_poisoned {
+                    self.icache.set_poisoned(addr, true);
+                }
+                self.was_bug1_poisoned = false;
+            }
+            // Bug #4: the fix-up is lost when it coincides with a MemStall
+            if self.bugs.contains(Bug::FixupCycleLost) && sig.ext_stall {
+                self.drop_next_fetch = true;
+            }
+        }
+        if bug1_handoff {
+            self.was_bug1_poisoned = true;
+        }
+
+        // 6. complete the MEM-stage pair
+        if sig.advance {
+            if let Some(slot) = self.m_slot.take() {
+                self.complete_pair(slot, &sig_snapshot(&sig), inputs);
+            }
+        } else if let Some(slot) = self.m_slot.as_mut() {
+            if sig.conflict_stall {
+                slot.was_conflicted = true;
+            }
+        }
+
+        // 7. pipeline shift and fetch
+        if sig.advance {
+            let fetched = if sig.fetch_valid { self.fetch_pair() } else { None };
+            if self.scale.extra_stage {
+                self.m_slot = self.e_slot.take().map(|s| self.with_addr(s));
+                self.e_slot = fetched;
+            } else {
+                self.m_slot = fetched.map(|s| self.with_addr(s));
+            }
+        }
+
+        // 8. Bug #5 window countdown
+        if let Some(w) = self.bug5.as_mut() {
+            if sig.ext_stall {
+                w.corrupted = true;
+            }
+            w.cycles_left -= 1;
+            if w.cycles_left == 0 {
+                let w = self.bug5.take().unwrap();
+                if w.corrupted {
+                    self.regs[w.rd as usize] = GARBAGE;
+                    if let Some(r) = self.retired.get_mut(w.retire_ix) {
+                        r.reg_write = Some((w.rd, GARBAGE));
+                    }
+                }
+            }
+        }
+
+        // 9. clock the control FSM
+        self.prev_d_active = self.ctrl.drefill != crate::control::drefill::IDLE;
+        self.ctrl = self.ctrl.step(&self.scale, &inputs);
+        self.cycles += 1;
+        inputs
+    }
+
+    fn with_addr(&self, mut slot: PipeSlot) -> PipeSlot {
+        slot.addr = match slot.slot1.instr {
+            Instr::Lw { rs, imm, .. } | Instr::Sw { rs, imm, .. } => {
+                Some(self.reg(rs).wrapping_add(u32::from(imm)))
+            }
+            _ => None,
+        };
+        slot
+    }
+
+    fn fetch_pair(&mut self) -> Option<PipeSlot> {
+        let (a, b) = self.peek_pair()?;
+        self.pc = self.pc.wrapping_add(if b.is_some() { 2 } else { 1 });
+        let mut slot =
+            PipeSlot { slot1: a, slot2: b, addr: None, was_conflicted: false };
+        // Bug #1: a poisoned I-cache line yields corrupted instructions
+        if self.bugs.contains(Bug::InterfaceMiscommunication)
+            && self.icache.is_poisoned(a.pc)
+        {
+            slot.slot1.instr = Instr::Nop;
+            if let Some(l) = slot.slot2.as_mut() {
+                l.instr = Instr::Nop;
+            }
+            self.icache.set_poisoned(a.pc, false);
+        }
+        // Bug #4: the pair whose fix-up was lost executes as bubbles
+        if self.drop_next_fetch {
+            self.drop_next_fetch = false;
+            slot.slot1.instr = Instr::Nop;
+            if let Some(l) = slot.slot2.as_mut() {
+                l.instr = Instr::Nop;
+            }
+        }
+        Some(slot)
+    }
+
+    fn complete_pair(&mut self, slot: PipeSlot, sig: &SigSnapshot, inputs: CtrlIn) {
+        self.execute_lane(slot.slot1, slot.addr, slot.was_conflicted, sig, inputs);
+        if let Some(lane2) = slot.slot2 {
+            self.execute_lane(lane2, None, false, sig, inputs);
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute_lane(
+        &mut self,
+        lane: Lane,
+        addr: Option<u32>,
+        was_conflicted: bool,
+        sig: &SigSnapshot,
+        _inputs: CtrlIn,
+    ) {
+        let mut ev = Retire {
+            seq: self.retired.len() as u64,
+            pc: lane.pc,
+            reg_write: None,
+            mem_write: None,
+            sent: None,
+        };
+        match lane.instr {
+            Instr::Alu { op, rd, rs, rt } => {
+                let v = alu_apply(op, self.reg(rs), self.reg(rt));
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::AluImm { op, rd, rs, imm } => {
+                let v = alu_apply(op, self.reg(rs), u32::from(imm));
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::Lui { rd, imm } => {
+                ev.reg_write = self.write_reg(rd, u32::from(imm) << 16);
+            }
+            Instr::Lw { rd, .. } => {
+                let mut addr = addr.expect("load reached MEM without an address");
+                // Bug #3: the conflict stall failed to hold the address;
+                // a following load/store's address is used instead
+                if self.bugs.contains(Bug::ConflictAddressNotHeld) && was_conflicted {
+                    if let Some((next, _)) = self.peek_pair() {
+                        if let Instr::Lw { rs, imm, .. } | Instr::Sw { rs, imm, .. } =
+                            next.instr
+                        {
+                            addr = self.reg(rs).wrapping_add(u32::from(imm));
+                        }
+                    }
+                }
+                let mut value = self
+                    .dcache
+                    .read(addr)
+                    .unwrap_or_else(|| self.mem.read(addr));
+                // Bug #6: conflict stall + simultaneous I-stall returns the
+                // pre-store (stale) value
+                if self.bugs.contains(Bug::StaleDataOnConflict)
+                    && was_conflicted
+                    && self.ctrl.irefill != irefill::IDLE
+                {
+                    if let Some((saddr, old)) = self.last_store_old {
+                        if saddr == addr {
+                            value = old;
+                        }
+                    }
+                }
+                // Bug #2: the return-data latch is not qualified on the
+                // I-stall; it loses its content when an I-miss is in
+                // service — or begins — as the critical word comes back
+                // (the paper's "simultaneous I & D Cache miss")
+                if self.bugs.contains(Bug::LatchNotQualified)
+                    && sig.crit_restart
+                    && (self.ctrl.irefill != irefill::IDLE || sig.i_miss_start)
+                {
+                    value = GARBAGE;
+                }
+                // Bug #5: the Membus glitch window opens when the missed
+                // load is followed by another load/store; the rewrite that
+                // masks it is suppressed by an external stall in the window
+                if self.bugs.contains(Bug::MembusValidGlitch) && sig.crit_restart {
+                    let follower_is_mem = self
+                        .peek_pair()
+                        .map(|(a, _)| {
+                            matches!(a.instr.class(), InstrClass::Ld | InstrClass::Sd)
+                        })
+                        .unwrap_or(false);
+                    if follower_is_mem {
+                        ev.reg_write = self.write_reg(rd, value);
+                        self.bug5 = Some(Bug5Window {
+                            rd: rd.0,
+                            retire_ix: self.retired.len(),
+                            cycles_left: 2,
+                            corrupted: false,
+                        });
+                        self.retired.push(ev);
+                        return;
+                    }
+                }
+                ev.reg_write = self.write_reg(rd, value);
+            }
+            Instr::Sw { rt, .. } => {
+                let addr = addr.expect("store reached MEM without an address");
+                let value = self.reg(rt);
+                let old = self
+                    .dcache
+                    .read(addr)
+                    .unwrap_or_else(|| self.mem.read(addr));
+                // split store: the tag probe happens now, the data phase
+                // next cycle (store_pend)
+                self.pending_store = Some((addr, value, old));
+                ev.mem_write = Some((addr, value));
+            }
+            Instr::Switch { rd } => {
+                let v = self.inbox.pop_front().unwrap_or(0);
+                ev.reg_write = self.write_reg(rd, v);
+            }
+            Instr::Send { rs } => {
+                let v = self.reg(rs);
+                self.outbox.push(v);
+                ev.sent = Some(v);
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+            }
+        }
+        self.retired.push(ev);
+    }
+
+    /// Runs in program mode with the given external-signal source until
+    /// halt (plus pipeline drain) or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64, mut ext: impl FnMut(u64) -> ExtIn) -> u64 {
+        let start = self.cycles;
+        while self.cycles - start < max_cycles && !self.halted {
+            let e = ext(self.cycles);
+            self.step(e, Forces::default());
+        }
+        self.cycles - start
+    }
+}
+
+/// The subset of [`CtrlSignals`](crate::control::CtrlSignals) the datapath
+/// completion path consumes (avoids borrowing issues).
+#[derive(Debug, Clone, Copy)]
+struct SigSnapshot {
+    crit_restart: bool,
+    i_miss_start: bool,
+}
+
+fn sig_snapshot(sig: &crate::control::CtrlSignals) -> SigSnapshot {
+    SigSnapshot { crit_restart: sig.crit_restart, i_miss_start: sig.i_miss_start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::ref_sim::RefSim;
+
+    fn run_both(src: &str, inbox: Vec<u32>) -> (RefSim, RtlSim) {
+        let prog = assemble(src).unwrap();
+        let mut spec = RefSim::new(&prog, inbox.clone());
+        spec.run(100_000);
+        let mut rtl = RtlSim::new(PpScale::standard(), BugSet::none(), &prog, inbox);
+        rtl.run(1_000_000, |_| ExtIn::ready());
+        (spec, rtl)
+    }
+
+    fn assert_equivalent(spec: &RefSim, rtl: &mut RtlSim) {
+        assert!(rtl.halted(), "RTL must reach halt");
+        assert_eq!(rtl.retired().len(), spec.retired().len(), "retire counts");
+        for (a, b) in spec.retired().iter().zip(rtl.retired()) {
+            assert_eq!(a, b, "retire mismatch at seq {}", a.seq);
+        }
+        assert_eq!(spec.outbox(), rtl.outbox());
+        assert_eq!(spec.regs(), rtl.regs());
+        rtl.flush_caches();
+        assert_eq!(spec.mem().digest(), rtl.mem().digest(), "memory images differ");
+    }
+
+    #[test]
+    fn alu_program_equivalent() {
+        let (spec, mut rtl) =
+            run_both("addi r1, r0, 3\naddi r2, r0, 4\nadd r3, r1, r2\nsub r4, r3, r1\nhalt", vec![]);
+        assert_equivalent(&spec, &mut rtl);
+        assert_eq!(rtl.regs()[3], 7);
+    }
+
+    #[test]
+    fn loads_stores_equivalent_through_cache_misses() {
+        let (spec, mut rtl) = run_both(
+            "lui r1, 1\n\
+             addi r2, r0, 77\n\
+             sw r2, 0(r1)\n\
+             lw r3, 0(r1)\n\
+             lui r4, 2\n\
+             lw r5, 0(r4)\n\
+             sw r5, 1(r1)\n\
+             lw r6, 1(r1)\n\
+             halt",
+            vec![],
+        );
+        assert_equivalent(&spec, &mut rtl);
+        assert_eq!(rtl.regs()[3], 77);
+        assert_eq!(rtl.regs()[6], rtl.regs()[5]);
+    }
+
+    #[test]
+    fn switch_send_equivalent() {
+        let (spec, mut rtl) = run_both(
+            "switch r1\nswitch r2\nadd r3, r1, r2\nsend r3\nsend r1\nhalt",
+            vec![5, 9],
+        );
+        assert_equivalent(&spec, &mut rtl);
+        assert_eq!(rtl.outbox(), &[14, 5]);
+    }
+
+    #[test]
+    fn slow_memory_and_busy_interfaces_do_not_change_architecture() {
+        let prog = assemble(
+            "lui r1, 1\naddi r2, r0, 1\nsw r2, 0(r1)\nlw r3, 0(r1)\nswitch r4\nsend r4\nhalt",
+        )
+        .unwrap();
+        let mut spec = RefSim::new(&prog, vec![42]);
+        spec.run(100_000);
+        let mut rtl = RtlSim::new(PpScale::standard(), BugSet::none(), &prog, vec![42]);
+        // memory ready only every 3rd cycle, inbox/outbox every 2nd
+        rtl.run(1_000_000, |c| ExtIn {
+            inbox_ready: c % 2 == 0,
+            outbox_ready: c % 2 == 1,
+            mem_ready: c % 3 == 0,
+        });
+        assert_equivalent(&spec, &mut rtl);
+        assert_eq!(rtl.outbox(), &[42]);
+    }
+
+    #[test]
+    fn same_line_load_after_store_sees_new_data() {
+        // the split-store conflict path must still forward correct data
+        let (spec, mut rtl) = run_both(
+            "lui r1, 1\naddi r2, r0, 123\nsw r2, 0(r1)\nlw r3, 0(r1)\nhalt",
+            vec![],
+        );
+        assert_equivalent(&spec, &mut rtl);
+        assert_eq!(rtl.regs()[3], 123);
+    }
+
+    #[test]
+    fn dual_issue_pairs_retire_in_program_order() {
+        let (spec, mut rtl) = run_both(
+            "lw r1, 0(r0)\naddi r8, r0, 9\nadd r9, r8, r8\nhalt",
+            vec![],
+        );
+        assert_equivalent(&spec, &mut rtl);
+        let pcs: Vec<u32> = rtl.retired().iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0, 1, 2, 3], "lw+addi pair, then add, then halt");
+    }
+
+    #[test]
+    fn stalls_make_rtl_slower_than_one_cpi() {
+        let prog = assemble("lui r1, 3\nlw r2, 0(r1)\nhalt").unwrap();
+        let mut rtl = RtlSim::new(PpScale::standard(), BugSet::none(), &prog, vec![]);
+        let cycles = rtl.run(10_000, |_| ExtIn::ready());
+        assert!(rtl.halted());
+        assert!(
+            cycles > 3,
+            "a cold-cache run must take more cycles than instructions, got {cycles}"
+        );
+    }
+
+    #[test]
+    fn magic_force_preserves_coherence() {
+        let prog = assemble("nop\nhalt").unwrap();
+        let mut rtl = RtlSim::new(PpScale::standard(), BugSet::none(), &prog, vec![]);
+        let addr = 0x9000;
+        // force present, write through the cache, force absent (writeback),
+        // then the memory must hold the written value
+        rtl.dcache.force_present(addr, true, &mut rtl.mem);
+        assert!(rtl.dcache.write(addr, 0xAA55));
+        rtl.dcache.force_present(addr, false, &mut rtl.mem);
+        assert_eq!(rtl.mem.read(addr), 0xAA55);
+    }
+
+    #[test]
+    fn can_pair_rules() {
+        use crate::isa::AluOp;
+        let ld = Instr::Lw { rd: Reg(1), rs: Reg(2), imm: 0 };
+        let alu = Instr::AluImm { op: AluOp::Add, rd: Reg(8), rs: Reg(9), imm: 1 };
+        let alu_raw = Instr::AluImm { op: AluOp::Add, rd: Reg(8), rs: Reg(1), imm: 1 };
+        let sd = Instr::Sw { rt: Reg(3), rs: Reg(4), imm: 0 };
+        let send = Instr::Send { rs: Reg(9) };
+        assert!(can_pair(&ld, &alu));
+        assert!(!can_pair(&ld, &alu_raw), "RAW dependency");
+        assert!(!can_pair(&ld, &sd), "two memory-pipe ops");
+        assert!(can_pair(&ld, &send));
+        assert!(!can_pair(&Instr::Halt, &alu));
+    }
+}

@@ -1,0 +1,259 @@
+//! Generator for the PP control logic as annotated Verilog.
+//!
+//! The emitted module transcribes [`CtrlState::step`] exactly — a property
+//! test drives both in lockstep — so the FSM model obtained by running the
+//! emitted text through `archval-verilog`'s translator *is* the control
+//! model of the RTL simulator. This mirrors the paper's flow, where the
+//! designers annotate the real Verilog and the translator extracts the
+//! interacting control FSMs (581 of 2727 control lines for the PP).
+//!
+//! [`CtrlState::step`]: crate::control::CtrlState::step
+
+use std::fmt::Write as _;
+
+use crate::config::PpScale;
+
+fn log2(n: u64) -> u32 {
+    debug_assert!(n.is_power_of_two());
+    n.trailing_zeros()
+}
+
+/// Emits the annotated Verilog source of the PP control module
+/// `pp_control` at the given scale.
+///
+/// # Panics
+///
+/// Panics if `scale.fill_beats` is not a power of two of at least 2
+/// (counter widths must be exact).
+pub fn pp_control_verilog(scale: &PpScale) -> String {
+    assert!(
+        scale.fill_beats.is_power_of_two() && scale.fill_beats >= 2,
+        "fill_beats must be a power of two >= 2"
+    );
+    let w = log2(scale.fill_beats); // beat counter width
+    let last = scale.fill_beats - 1;
+    let mut s = String::new();
+    let dual = scale.dual_comm_slot;
+    let extra = scale.extra_stage;
+
+    let _ = writeln!(
+        s,
+        "// Protocol Processor control logic (generated)\n\
+         // scale: fill_beats={} extra_stage={} dual_comm_slot={}\n\
+         module pp_control(clk, reset, iclass,{} ihit, dhit, victim_dirty, same_line,\n\
+         \x20                 inbox_ready, outbox_ready, mem_ready, stall_out);",
+        scale.fill_beats,
+        extra,
+        dual,
+        if dual { " iclass2," } else { "" }
+    );
+    s.push_str("  input clk, reset;\n");
+    s.push_str("  input [2:0] iclass;       // archval: abstract classes=5\n");
+    if dual {
+        s.push_str("  input [1:0] iclass2;      // archval: abstract classes=3\n");
+    }
+    for sig in ["ihit", "dhit", "victim_dirty", "same_line", "inbox_ready", "outbox_ready", "mem_ready"]
+    {
+        let _ = writeln!(s, "  input {sig};             // archval: abstract");
+    }
+    s.push_str("  output stall_out;\n\n");
+
+    // state registers — declaration order must match CtrlState::to_values
+    s.push_str("  reg booted;\n");
+    s.push_str("  reg [2:0] m_class;\n");
+    if dual {
+        s.push_str("  reg [1:0] m2_class;\n");
+    }
+    if extra {
+        s.push_str("  reg [2:0] e_class;\n");
+        if dual {
+            s.push_str("  reg [1:0] e2_class;\n");
+        }
+    }
+    s.push_str("  reg [2:0] w_class;\n");
+    s.push_str("  reg [1:0] irefill;\n");
+    s.push_str("  reg [2:0] drefill;\n");
+    let _ = writeln!(s, "  reg [{}:0] dcnt;", w - 1);
+    let _ = writeln!(s, "  reg [{}:0] icnt;", w - 1);
+    s.push_str("  reg spill_pend;\n  reg store_pend;\n  reg conflict;\n\n");
+
+    // combinational control signals — inside the control region: the
+    // paper includes "any logic that feeds the state machines"
+    s.push_str("  // archval: control-begin\n");
+    let wires = [
+        "is_ld", "is_sd", "is_mem", "is_sw", "is_se", "ext_stall", "conflict_stall", "dr_idle",
+        "dr_req", "dr_crit", "dr_fill", "dr_spill", "d_stall", "mem_stall", "advance",
+        "d_miss_start", "ir_idle", "i_miss_start", "fetch_valid", "sd_completes",
+    ];
+    for wd in wires {
+        let _ = writeln!(s, "  wire {wd};");
+    }
+    s.push_str("  wire [2:0] fetched_m;\n  wire [2:0] next_m;\n");
+    if dual {
+        s.push_str("  wire [1:0] fetched_m2;\n");
+    }
+    s.push('\n');
+    s.push_str("  assign is_ld = m_class == 3'd1;\n");
+    s.push_str("  assign is_sd = m_class == 3'd2;\n");
+    s.push_str("  assign is_mem = is_ld || is_sd;\n");
+    s.push_str("  assign is_sw = m_class == 3'd3;\n");
+    s.push_str("  assign is_se = m_class == 3'd4;\n");
+    if dual {
+        s.push_str(
+            "  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready)\n\
+             \x20                 || ((m2_class == 2'd2) && !outbox_ready)\n\
+             \x20                 || ((m2_class == 2'd1) && !inbox_ready);\n",
+        );
+    } else {
+        s.push_str(
+            "  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready);\n",
+        );
+    }
+    s.push_str("  assign conflict_stall = conflict;\n");
+    s.push_str("  assign dr_idle = drefill == 3'd0;\n");
+    s.push_str("  assign dr_req = drefill == 3'd1;\n");
+    s.push_str("  assign dr_crit = drefill == 3'd2;\n");
+    s.push_str("  assign dr_fill = drefill == 3'd3;\n");
+    s.push_str("  assign dr_spill = drefill == 3'd4;\n");
+    s.push_str(
+        "  assign d_stall = is_mem && !ext_stall && !conflict_stall\n\
+         \x20               && (dr_req || dr_fill || dr_spill || (!dhit && dr_idle));\n",
+    );
+    s.push_str("  assign mem_stall = ext_stall || conflict_stall || d_stall;\n");
+    s.push_str("  assign advance = !mem_stall;\n");
+    s.push_str(
+        "  assign d_miss_start = is_mem && !dhit && dr_idle && !ext_stall && !conflict_stall;\n",
+    );
+    s.push_str("  assign ir_idle = irefill == 2'd0;\n");
+    s.push_str("  assign i_miss_start = advance && !ihit && ir_idle;\n");
+    s.push_str("  assign fetch_valid = advance && ihit && ir_idle;\n");
+    s.push_str("  assign sd_completes = advance && is_sd;\n");
+    s.push_str("  assign fetched_m = fetch_valid ? iclass : 3'd5;\n");
+    if dual {
+        s.push_str("  assign fetched_m2 = fetch_valid ? iclass2 : 2'd3;\n");
+    }
+    if extra {
+        s.push_str("  assign next_m = advance ? e_class : m_class;\n");
+    } else {
+        s.push_str("  assign next_m = advance ? fetched_m : m_class;\n");
+    }
+    s.push_str("  assign stall_out = mem_stall;\n\n");
+
+    // clocked state updates
+    s.push_str("  always @(posedge clk) begin\n");
+    s.push_str("    if (reset) begin\n");
+    s.push_str("      booted <= 1'b0;\n      m_class <= 3'd5;\n");
+    if dual {
+        s.push_str("      m2_class <= 2'd3;\n");
+    }
+    if extra {
+        s.push_str("      e_class <= 3'd5;\n");
+        if dual {
+            s.push_str("      e2_class <= 2'd3;\n");
+        }
+    }
+    s.push_str("      w_class <= 3'd5;\n      irefill <= 2'd0;\n      drefill <= 3'd0;\n");
+    let _ = writeln!(s, "      dcnt <= {w}'d0;\n      icnt <= {w}'d0;");
+    s.push_str("      spill_pend <= 1'b0;\n      store_pend <= 1'b0;\n      conflict <= 1'b0;\n");
+    s.push_str("    end else begin\n");
+    s.push_str("      booted <= 1'b1;\n");
+    if extra {
+        s.push_str("      if (advance) begin\n");
+        s.push_str("        m_class <= e_class;\n        e_class <= fetched_m;\n");
+        if dual {
+            s.push_str("        m2_class <= e2_class;\n        e2_class <= fetched_m2;\n");
+        }
+        s.push_str("        w_class <= m_class;\n      end\n");
+    } else {
+        s.push_str("      if (advance) begin\n");
+        s.push_str("        m_class <= fetched_m;\n");
+        if dual {
+            s.push_str("        m2_class <= fetched_m2;\n");
+        }
+        s.push_str("        w_class <= m_class;\n      end\n");
+    }
+    // D refill FSM
+    let _ = writeln!(
+        s,
+        "      case (drefill)\n\
+         \x20       3'd0: if (d_miss_start) drefill <= 3'd1;\n\
+         \x20       3'd1: if (mem_ready && !(irefill == 2'd2)) drefill <= 3'd2;\n\
+         \x20       3'd2: drefill <= 3'd3;\n\
+         \x20       3'd3: if (mem_ready && (dcnt == {w}'d{last})) begin\n\
+         \x20         if (spill_pend) drefill <= 3'd4;\n\
+         \x20         else drefill <= 3'd0;\n\
+         \x20       end\n\
+         \x20       default: if (mem_ready) drefill <= 3'd0;\n\
+         \x20     endcase"
+    );
+    let _ = writeln!(
+        s,
+        "      if (dr_crit) dcnt <= {w}'d0;\n\
+         \x20     else if (dr_fill && mem_ready) begin\n\
+         \x20       if (dcnt == {w}'d{last}) dcnt <= {w}'d0;\n\
+         \x20       else dcnt <= dcnt + {w}'d1;\n\
+         \x20     end"
+    );
+    s.push_str(
+        "      if (d_miss_start) spill_pend <= victim_dirty;\n\
+         \x20     else if (dr_spill && mem_ready) spill_pend <= 1'b0;\n",
+    );
+    // I refill FSM
+    let _ = writeln!(
+        s,
+        "      case (irefill)\n\
+         \x20       2'd0: if (i_miss_start) irefill <= 2'd1;\n\
+         \x20       2'd1: if (mem_ready && dr_idle) irefill <= 2'd2;\n\
+         \x20       2'd2: if (mem_ready && (icnt == {w}'d{last})) irefill <= 2'd3;\n\
+         \x20       default: irefill <= 2'd0;\n\
+         \x20     endcase"
+    );
+    let _ = writeln!(
+        s,
+        "      if ((irefill == 2'd2) && mem_ready) begin\n\
+         \x20       if (icnt == {w}'d{last}) icnt <= {w}'d0;\n\
+         \x20       else icnt <= icnt + {w}'d1;\n\
+         \x20     end"
+    );
+    s.push_str("      store_pend <= sd_completes;\n");
+    s.push_str(
+        "      conflict <= sd_completes\n\
+         \x20               && ((next_m == 3'd2) || ((next_m == 3'd1) && same_line));\n",
+    );
+    s.push_str("    end\n  end\n");
+    s.push_str("  // archval: control-end\n");
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_of_powers() {
+        assert_eq!(log2(2), 1);
+        assert_eq!(log2(4), 2);
+        assert_eq!(log2(16), 4);
+    }
+
+    #[test]
+    fn emits_scaled_variants() {
+        let micro = pp_control_verilog(&PpScale::micro());
+        assert!(!micro.contains("iclass2"));
+        assert!(!micro.contains("e_class"));
+        let std = pp_control_verilog(&PpScale::standard());
+        assert!(std.contains("iclass2"));
+        assert!(!std.contains("e_class"));
+        let paper = pp_control_verilog(&PpScale::paper());
+        assert!(paper.contains("e_class"));
+        assert!(paper.contains("4'd15"), "16-beat counter comparisons");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_beats_rejected() {
+        let bad = PpScale { fill_beats: 3, ..PpScale::micro() };
+        let _ = pp_control_verilog(&bad);
+    }
+}

@@ -1,0 +1,194 @@
+//! Directed reproductions of individual Table 2.1 bugs, including the
+//! "multiple event" property: removing any one of the required events
+//! hides the bug.
+
+use archval_pp::asm::assemble;
+use archval_pp::bugs::GARBAGE;
+use archval_pp::control::drefill;
+use archval_pp::rtl::{ExtIn, Forces, RtlSim};
+use archval_pp::{Bug, BugSet, PpScale, RefSim};
+
+fn run_to_halt(rtl: &mut RtlSim, ext: impl Fn(u64) -> ExtIn, force: impl Fn(&RtlSim, u64) -> Forces) {
+    let mut cycle = 0u64;
+    while !rtl.halted() && cycle < 2_000 {
+        let f = force(rtl, cycle);
+        rtl.step(ext(cycle), f);
+        cycle += 1;
+    }
+    assert!(rtl.halted(), "scenario must reach halt");
+}
+
+// ---- Bug #3: conflict stall does not hold the load's address ----
+
+const BUG3_PROGRAM: &str = "addi r9, r0, 111\n\
+                            sw r9, 0x8000(r0)\n\
+                            lw r3, 0x8000(r0)\n\
+                            lw r4, 0x9000(r0)\n\
+                            halt";
+
+fn bug3_run(bugs: BugSet) -> (u32, u32, u32, u32) {
+    let prog = assemble(BUG3_PROGRAM).unwrap();
+    let mut spec = RefSim::new(&prog, vec![]);
+    spec.run(1000);
+    let mut rtl = RtlSim::new(PpScale::standard(), bugs, &prog, vec![]);
+    run_to_halt(&mut rtl, |_| ExtIn::ready(), |_, _| Forces::default());
+    (spec.regs()[3], rtl.regs()[3], spec.regs()[4], rtl.regs()[4])
+}
+
+#[test]
+fn bug3_conflicted_load_uses_the_followers_address() {
+    let (want3, got3, want4, got4) = bug3_run(BugSet::only(Bug::ConflictAddressNotHeld));
+    assert_eq!(want3, 111, "the spec sees the stored value");
+    assert_ne!(got3, want3, "the conflicted load read the wrong address");
+    assert_eq!(got4, want4, "the follower itself is unaffected");
+}
+
+#[test]
+fn bug3_is_invisible_without_the_follower() {
+    // removing one event — the following load/store — hides the bug
+    let prog = assemble(
+        "addi r9, r0, 111\nsw r9, 0x8000(r0)\nlw r3, 0x8000(r0)\nnop\nhalt",
+    )
+    .unwrap();
+    let mut rtl = RtlSim::new(
+        PpScale::standard(),
+        BugSet::only(Bug::ConflictAddressNotHeld),
+        &prog,
+        vec![],
+    );
+    run_to_halt(&mut rtl, |_| ExtIn::ready(), |_, _| Forces::default());
+    assert_eq!(rtl.regs()[3], 111, "without a follower the address is unperturbed");
+}
+
+#[test]
+fn bug3_is_invisible_without_the_conflict() {
+    // different line: no conflict stall, so nothing to corrupt
+    let prog = assemble(
+        "addi r9, r0, 111\nsw r9, 0x8000(r0)\nlw r3, 0x9000(r0)\nlw r4, 0xA000(r0)\nhalt",
+    )
+    .unwrap();
+    let mut spec = RefSim::new(&prog, vec![]);
+    spec.run(1000);
+    let mut rtl = RtlSim::new(
+        PpScale::standard(),
+        BugSet::only(Bug::ConflictAddressNotHeld),
+        &prog,
+        vec![],
+    );
+    run_to_halt(&mut rtl, |_| ExtIn::ready(), |_, _| Forces::default());
+    assert_eq!(rtl.regs()[3], spec.regs()[3]);
+    assert_eq!(rtl.regs()[4], spec.regs()[4]);
+}
+
+// ---- Bug #2: return-data latch lost on a simultaneous I & D miss ----
+
+fn bug2_run(bugs: BugSet, force_imiss_at_crit: bool) -> (u32, u32) {
+    let prog = assemble("lw r1, 0x8000(r0)\nnop\nnop\nnop\nhalt").unwrap();
+    let mut spec = RefSim::new(&prog, vec![]);
+    spec.run(1000);
+    let mut rtl = RtlSim::new(PpScale::standard(), bugs, &prog, vec![]);
+    run_to_halt(
+        &mut rtl,
+        |_| ExtIn::ready(),
+        |rtl, _| {
+            // the I-miss must land exactly when the critical word returns
+            if force_imiss_at_crit && rtl.ctrl().drefill == drefill::CRIT {
+                Forces { ihit: Some(false), ..Forces::default() }
+            } else {
+                Forces::default()
+            }
+        },
+    );
+    (spec.regs()[1], rtl.regs()[1])
+}
+
+#[test]
+fn bug2_simultaneous_misses_lose_the_return_data() {
+    let (want, got) = bug2_run(BugSet::only(Bug::LatchNotQualified), true);
+    assert_ne!(want, got, "the unqualified latch lost the critical word");
+    assert_eq!(got, GARBAGE);
+}
+
+#[test]
+fn bug2_is_invisible_without_the_i_miss() {
+    let (want, got) = bug2_run(BugSet::only(Bug::LatchNotQualified), false);
+    assert_eq!(want, got, "a lone D-miss returns correct data");
+}
+
+#[test]
+fn bug2_trigger_is_harmless_on_the_correct_design() {
+    let (want, got) = bug2_run(BugSet::none(), true);
+    assert_eq!(want, got, "the fixed latch is qualified on the I-stall");
+}
+
+// ---- Bug #5: Membus valid glitch, all three events required ----
+
+const BUG5_PROGRAM: &str = "lw r1, 0x8000(r0)\n\
+                            addi r8, r0, 1\n\
+                            lw r2, 0x8010(r0)\n\
+                            send r8\n\
+                            nop\nnop\nnop\nnop\nhalt";
+
+fn bug5_run(bugs: BugSet, block_outbox: bool, program: &str) -> (u32, u32) {
+    let prog = assemble(program).unwrap();
+    let mut spec = RefSim::new(&prog, vec![]);
+    spec.run(1000);
+    let mut rtl = RtlSim::new(PpScale::standard(), bugs, &prog, vec![]);
+    run_to_halt(
+        &mut rtl,
+        |c| ExtIn {
+            inbox_ready: true,
+            outbox_ready: !(block_outbox && (6..=14).contains(&c)),
+            mem_ready: true,
+        },
+        |_, _| Forces::default(),
+    );
+    (spec.regs()[1], rtl.regs()[1])
+}
+
+#[test]
+fn bug5_needs_all_three_events() {
+    // all three events: miss + following load/store + external stall
+    let (want, got) = bug5_run(BugSet::only(Bug::MembusValidGlitch), true, BUG5_PROGRAM);
+    assert_eq!(got, GARBAGE);
+    assert_ne!(want, got);
+
+    // remove the external stall: the second write masks the glitch
+    let (want, got) = bug5_run(BugSet::only(Bug::MembusValidGlitch), false, BUG5_PROGRAM);
+    assert_eq!(want, got, "figure 2.2: rewrite masks the glitch");
+
+    // remove the following load/store: no glitch at all
+    let no_follower = "lw r1, 0x8000(r0)\n\
+                       addi r8, r0, 1\n\
+                       addi r9, r0, 2\n\
+                       send r8\n\
+                       nop\nnop\nnop\nnop\nhalt";
+    let (want, got) = bug5_run(BugSet::only(Bug::MembusValidGlitch), true, no_follower);
+    assert_eq!(want, got, "no follower, no glitch");
+
+    // correct design shrugs off the whole conjunction
+    let (want, got) = bug5_run(BugSet::none(), true, BUG5_PROGRAM);
+    assert_eq!(want, got);
+}
+
+// ---- retirement-log comparison catches the corruptions above ----
+
+#[test]
+fn corruptions_appear_in_the_retirement_log() {
+    let prog = assemble(BUG3_PROGRAM).unwrap();
+    let mut spec = RefSim::new(&prog, vec![]);
+    spec.run(1000);
+    let mut rtl = RtlSim::new(
+        PpScale::standard(),
+        BugSet::only(Bug::ConflictAddressNotHeld),
+        &prog,
+        vec![],
+    );
+    run_to_halt(&mut rtl, |_| ExtIn::ready(), |_, _| Forces::default());
+    let diverged = rtl
+        .retired()
+        .iter()
+        .zip(spec.retired())
+        .any(|(a, b)| a != b);
+    assert!(diverged, "the comparison framework sees the corrupted writeback");
+}

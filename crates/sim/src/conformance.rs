@@ -1,0 +1,208 @@
+//! The Figure 4.1 / 4.2 conformance examples.
+//!
+//! Figure 4.1: an implementation with *more* behaviours than the
+//! specification (an extra `c`-labelled arc into a third state) — touring
+//! the implementation's enumerated graph exercises the extra arc and the
+//! comparison exposes the difference.
+//!
+//! Figure 4.2: an implementation with *fewer* behaviours — it erroneously
+//! performs the same transition for inputs `a` and `c`. Under the default
+//! first-label edge policy only one of the aliased conditions labels the
+//! arc, so the wrong `c` transition may never be exercised; the paper's
+//! proposed fix of capturing all unique conditions (our
+//! [`EdgePolicy::AllLabels`]) restores detection.
+
+use archval_fsm::builder::ModelBuilder;
+use archval_fsm::enumerate::{enumerate, EnumConfig};
+use archval_fsm::graph::EdgePolicy;
+use archval_fsm::{Model, SyncSim};
+use archval_tour::{generate_tours, TourConfig};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a conformance experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConformanceOutcome {
+    /// Edge policy used during enumeration.
+    pub policy_all_labels: bool,
+    /// Arcs in the implementation's state graph.
+    pub impl_arcs: usize,
+    /// Whether the tour of the implementation exercised a transition on
+    /// which the specification disagrees.
+    pub detected: bool,
+}
+
+/// Inputs: 0 = `a`, 1 = `b`, 2 = `c`.
+const INPUT_A: u64 = 0;
+const INPUT_B: u64 = 1;
+const INPUT_C: u64 = 2;
+
+/// Figure 4.1 specification: two states; `a` holds in A, `b` moves A->B,
+/// `b` holds in B... the exact labelling follows the figure: A --a--> A,
+/// A --b--> B, B --b--> B, B --a--> A.
+fn spec_fig41() -> Model {
+    let mut b = ModelBuilder::new("spec41");
+    let inp = b.choice("input", 3);
+    let s = b.state_var("s", 2, 0);
+    let cur = b.var_expr(s);
+    let i = b.choice_expr(inp);
+    let is_b = b.eq_const(i, INPUT_B);
+    let is_a = b.eq_const(i, INPUT_A);
+    let in_a = b.eq_const(cur, 0);
+    // from A: b -> B, else stay; from B: a -> A, else stay
+    let from_a = b.ternary(is_b, b.constant(1), b.constant(0));
+    let from_b = b.ternary(is_a, b.constant(0), b.constant(1));
+    b.set_next(s, b.ternary(in_a, from_a, from_b));
+    b.build().expect("spec41 builds")
+}
+
+/// Figure 4.1 implementation: as the spec, but input `c` in state B
+/// erroneously reaches a third state C (with `d` returning to A) — *more*
+/// behaviours than specified.
+fn impl_fig41() -> Model {
+    let mut b = ModelBuilder::new("impl41");
+    let inp = b.choice("input", 3);
+    let s = b.state_var("s", 3, 0);
+    let cur = b.var_expr(s);
+    let i = b.choice_expr(inp);
+    let is_a = b.eq_const(i, INPUT_A);
+    let is_b = b.eq_const(i, INPUT_B);
+    let is_c = b.eq_const(i, INPUT_C);
+    let in_a = b.eq_const(cur, 0);
+    let in_b = b.eq_const(cur, 1);
+    let from_a = b.ternary(is_b, b.constant(1), b.constant(0));
+    // the erroneous extra behaviour: B --c--> C
+    let from_b = b.select(
+        vec![(is_a, b.constant(0)), (is_c, b.constant(2))],
+        b.constant(1),
+    );
+    // C returns to A on any input (the figure's completion)
+    let from_c = b.constant(0);
+    b.set_next(
+        s,
+        b.select(vec![(in_a, from_a), (in_b, from_b)], from_c),
+    );
+    b.build().expect("impl41 builds")
+}
+
+/// Figure 4.2 specification: A --a--> B, A --c--> C (distinct targets),
+/// plus b self-loops.
+fn spec_fig42() -> Model {
+    let mut b = ModelBuilder::new("spec42");
+    let inp = b.choice("input", 3);
+    let s = b.state_var("s", 3, 0);
+    let cur = b.var_expr(s);
+    let i = b.choice_expr(inp);
+    let is_a = b.eq_const(i, INPUT_A);
+    let is_c = b.eq_const(i, INPUT_C);
+    let in_a = b.eq_const(cur, 0);
+    let from_a = b.select(
+        vec![(is_a, b.constant(1)), (is_c, b.constant(2))],
+        b.constant(0),
+    );
+    // B and C return to A on b, else hold
+    let is_b = b.eq_const(i, INPUT_B);
+    let hold = b.ternary(is_b, b.constant(0), cur);
+    b.set_next(s, b.ternary(in_a, from_a, hold));
+    b.build().expect("spec42 builds")
+}
+
+/// Figure 4.2 implementation: erroneously performs the *same* transition
+/// for inputs `a` and `c` (both reach B) — *fewer* behaviours.
+fn impl_fig42() -> Model {
+    let mut b = ModelBuilder::new("impl42");
+    let inp = b.choice("input", 3);
+    let s = b.state_var("s", 3, 0);
+    let cur = b.var_expr(s);
+    let i = b.choice_expr(inp);
+    let is_a = b.eq_const(i, INPUT_A);
+    let is_c = b.eq_const(i, INPUT_C);
+    let in_a = b.eq_const(cur, 0);
+    let a_or_c = b.or(is_a, is_c);
+    let from_a = b.ternary(a_or_c, b.constant(1), b.constant(0));
+    let is_b = b.eq_const(i, INPUT_B);
+    let hold = b.ternary(is_b, b.constant(0), cur);
+    b.set_next(s, b.ternary(in_a, from_a, hold));
+    b.build().expect("impl42 builds")
+}
+
+/// Tours `implementation`'s enumerated graph (under `policy`) and locksteps
+/// `specification`; returns whether any toured transition ends in states
+/// that disagree observationally. Observation: the state index itself (the
+/// examples are Moore machines whose outputs are their states).
+fn run_conformance(
+    implementation: &Model,
+    specification: &Model,
+    policy: EdgePolicy,
+) -> ConformanceOutcome {
+    let enumd = enumerate(
+        implementation,
+        &EnumConfig { edge_policy: policy, ..EnumConfig::default() },
+    )
+    .expect("enumeration");
+    let tours = generate_tours(&enumd.graph, &TourConfig::default());
+    let mut detected = false;
+    'traces: for trace in tours.traces() {
+        let mut imp = SyncSim::new(implementation);
+        let mut spec = SyncSim::new(specification);
+        for step in tours.resolve(trace) {
+            let choices = implementation.decode_choices(step.label);
+            imp.step(&choices).expect("impl step");
+            spec.step(&choices).expect("spec step");
+            if imp.state()[0] != spec.state()[0] {
+                detected = true;
+                break 'traces;
+            }
+        }
+    }
+    ConformanceOutcome {
+        policy_all_labels: policy == EdgePolicy::AllLabels,
+        impl_arcs: enumd.graph.edge_count(),
+        detected,
+    }
+}
+
+/// Figure 4.1: more behaviours in the implementation — detected under the
+/// default policy.
+pub fn more_behaviors_experiment() -> ConformanceOutcome {
+    run_conformance(&impl_fig41(), &spec_fig41(), EdgePolicy::FirstLabel)
+}
+
+/// Figure 4.2: fewer behaviours — the outcome under each edge policy.
+/// Returns `(first_label, all_labels)`.
+pub fn fewer_behaviors_experiment() -> (ConformanceOutcome, ConformanceOutcome) {
+    let first = run_conformance(&impl_fig42(), &spec_fig42(), EdgePolicy::FirstLabel);
+    let all = run_conformance(&impl_fig42(), &spec_fig42(), EdgePolicy::AllLabels);
+    (first, all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_1_extra_behaviour_is_detected() {
+        let outcome = more_behaviors_experiment();
+        assert!(outcome.detected, "the extra `c` arc must be exercised and exposed");
+    }
+
+    #[test]
+    fn figure_4_2_aliased_condition_missed_then_caught() {
+        let (first, all) = fewer_behaviors_experiment();
+        assert!(
+            !first.detected,
+            "under first-label arcs the aliased `c` condition is never exercised"
+        );
+        assert!(all.detected, "capturing all unique conditions restores detection");
+        assert!(all.impl_arcs > first.impl_arcs, "all-labels records more arcs");
+    }
+
+    #[test]
+    fn models_have_expected_shapes() {
+        let enumd =
+            enumerate(&impl_fig41(), &EnumConfig::default()).expect("enumeration");
+        assert_eq!(enumd.graph.state_count(), 3);
+        let enumd2 =
+            enumerate(&impl_fig42(), &EnumConfig::default()).expect("enumeration");
+        assert_eq!(enumd2.graph.state_count(), 2, "the aliased impl never reaches C");
+    }
+}

@@ -1,0 +1,120 @@
+//! The Table 1.1 errata classification.
+//!
+//! The paper classifies the 46 published MIPS R4000PC/SC rev 2.2/3.0
+//! errata by the parts of the design that interacted to cause each error:
+//! pipeline/datapath only, single control logic bug, or "multiple event"
+//! bug. The table's point is that 56.5% of escaped bugs are multi-event
+//! corner cases — the class the transition-tour method targets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use archval_pp::Bug;
+
+/// The paper's three bug classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugClass {
+    /// Pipeline/datapath only.
+    PipelineDatapath,
+    /// A single control-logic bug.
+    SingleControl,
+    /// Multiple interacting events.
+    MultipleEvent,
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugClass::PipelineDatapath => write!(f, "Pipeline/Datapath ONLY bugs"),
+            BugClass::SingleControl => write!(f, "Single Control Logic Bugs"),
+            BugClass::MultipleEvent => write!(f, "Multiple Event Bugs"),
+        }
+    }
+}
+
+/// One row of Table 1.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrataRow {
+    /// The class.
+    pub class: BugClass,
+    /// Number of errata in the class.
+    pub count: usize,
+    /// Percentage of the total.
+    pub percent: f64,
+}
+
+/// The published classification of the MIPS R4000 errata (Table 1.1):
+/// 3 pipeline/datapath (6.5%), 17 single control (37.0%), 26 multiple
+/// event (56.5%), 46 total.
+pub fn mips_r4000_errata() -> Vec<ErrataRow> {
+    let counts = [
+        (BugClass::PipelineDatapath, 3usize),
+        (BugClass::SingleControl, 17),
+        (BugClass::MultipleEvent, 26),
+    ];
+    let total: usize = counts.iter().map(|(_, c)| c).sum();
+    counts
+        .into_iter()
+        .map(|(class, count)| ErrataRow {
+            class,
+            count,
+            percent: 100.0 * count as f64 / total as f64,
+        })
+        .collect()
+}
+
+/// Classifies a bug by how many control events must coincide to expose it:
+/// zero control involvement is pipeline/datapath, one is single-control,
+/// two or more is multiple-event.
+pub fn classify(control_events: usize) -> BugClass {
+    match control_events {
+        0 => BugClass::PipelineDatapath,
+        1 => BugClass::SingleControl,
+        _ => BugClass::MultipleEvent,
+    }
+}
+
+/// Classifies the six injected PP bugs of Table 2.1; all of them are
+/// multiple-event bugs — the very class the paper says slips through
+/// conventional verification.
+pub fn classify_pp_bugs() -> Vec<(Bug, BugClass)> {
+    Bug::ALL
+        .into_iter()
+        .map(|b| (b, classify(b.event_count())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_1_totals() {
+        let rows = mips_r4000_errata();
+        let total: usize = rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, 46);
+        assert!((rows[0].percent - 6.5).abs() < 0.1);
+        assert!((rows[1].percent - 37.0).abs() < 0.1);
+        assert!((rows[2].percent - 56.5).abs() < 0.1);
+        // the paper's headline: the majority of escaped bugs are
+        // multiple-event interactions
+        assert!(rows[2].count > rows[0].count + rows[1].count - rows[0].count);
+        assert!(rows[2].percent > 50.0);
+    }
+
+    #[test]
+    fn classifier_boundaries() {
+        assert_eq!(classify(0), BugClass::PipelineDatapath);
+        assert_eq!(classify(1), BugClass::SingleControl);
+        assert_eq!(classify(2), BugClass::MultipleEvent);
+        assert_eq!(classify(5), BugClass::MultipleEvent);
+    }
+
+    #[test]
+    fn all_pp_bugs_are_multiple_event() {
+        for (bug, class) in classify_pp_bugs() {
+            assert_eq!(class, BugClass::MultipleEvent, "{bug}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Test-vector generation from transition tours — the paper's step 3.
+//!
+//! "Converting from a transition tour to test vectors requires that the
+//! simulation be driven to take the transitions specified in the tour. For
+//! processors, there are two classes of stimuli that affect control: the
+//! instruction stream and input signals from external sources."
+//! (Section 3.3.)
+//!
+//! This crate implements the *transition condition mapping*:
+//!
+//! * every tour edge's choice combination is decoded into the abstract
+//!   control inputs ([`archval_pp::CtrlIn`]);
+//! * the instruction classes chosen by the tour are concretised into a
+//!   program of **biased-random instructions** of those classes with random
+//!   data ("a random instruction from the class is chosen along with random
+//!   data");
+//! * interface signals (cache hits/misses, victim dirtiness, the split-store
+//!   conflict comparator, Inbox/Outbox/memory readiness) become per-cycle
+//!   forces on the RTL simulator — our sound analogue of the paper's
+//!   Verilog `force`/`release` files, which this crate can also emit
+//!   textually ([`force_file`]).
+
+pub mod force_file;
+pub mod mapping;
+pub mod random;
+pub mod replay;
+
+pub use force_file::emit_force_file;
+pub use mapping::{trace_to_stimulus, CyclePlan, Stimulus};
+pub use random::{random_stimulus, RandomConfig};
+pub use replay::{replay, ReplayError, ReplayOutcome};

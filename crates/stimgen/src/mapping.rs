@@ -1,0 +1,252 @@
+//! The transition condition mapping: tour traces → concrete stimulus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use archval_fsm::enumerate::EnumResult;
+use archval_fsm::graph::StateId;
+use archval_fsm::{EdgeLabel, Model};
+use archval_pp::isa::{Instr, InstrClass};
+use archval_pp::{CtrlIn, CtrlState, PpScale};
+use archval_tour::generate::{Trace, TourSet};
+
+use crate::random::{concretize_slot1, concretize_slot2};
+
+/// The plan for one simulation cycle of a trace.
+#[derive(Debug, Clone)]
+pub struct CyclePlan {
+    /// The abstract control inputs this cycle (the tour edge's condition).
+    pub ctrl: CtrlIn,
+    /// The control state the design must be in *after* this cycle.
+    pub expect_after: CtrlState,
+    /// The concrete instruction pair fetched this cycle, if the tour edge
+    /// consumes instructions.
+    pub fetched: Option<(Instr, Instr)>,
+}
+
+/// A complete simulation stimulus for one trace: the concrete program, the
+/// Inbox provisioning and the per-cycle interface conditions.
+#[derive(Debug, Clone)]
+pub struct Stimulus {
+    /// Model scale the stimulus was generated for.
+    pub scale: PpScale,
+    /// The concrete program, laid out from word address 0 in fetch order.
+    pub program: Vec<Instr>,
+    /// Words provisioned in the Inbox (one per generated `switch`).
+    pub inbox: Vec<u32>,
+    /// Per-cycle plans.
+    pub cycles: Vec<CyclePlan>,
+}
+
+impl Stimulus {
+    /// Total instructions in the program.
+    pub fn instruction_count(&self) -> usize {
+        self.program.len()
+    }
+}
+
+/// Converts one tour trace into concrete stimulus.
+///
+/// Walks the trace through the control specification; at every cycle whose
+/// edge consumes an instruction fetch, a biased-random instruction pair of
+/// the chosen classes is appended to the program ("a random instruction
+/// from the class is chosen along with random data").
+///
+/// # Panics
+///
+/// Panics if the trace does not chain from reset — enumerated tours always
+/// do.
+pub fn trace_to_stimulus(
+    scale: &PpScale,
+    model: &Model,
+    tours: &TourSet,
+    trace: &Trace,
+    seed: u64,
+) -> Stimulus {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Pass 1: decode the tour's conditions, walk the control trajectory,
+    // and track which fetched memory-pipe op occupies each pipeline slot,
+    // so that a load drawn into a split-store conflict can be given the
+    // *same address* as the store it conflicts with (the abstract
+    // `same_line` condition realised through address selection).
+    let inputs: Vec<CtrlIn> = tours
+        .resolve(trace)
+        .map(|step| CtrlIn::from_choices(scale, &model.decode_choices(step.label)))
+        .collect();
+    let mut states = Vec::with_capacity(inputs.len() + 1);
+    states.push(CtrlState::reset());
+    for ctrl in &inputs {
+        let next = states.last().unwrap().step(scale, ctrl);
+        states.push(next);
+    }
+
+    let mut fetch_cycles: Vec<usize> = Vec::new(); // cycle of each fetch
+    let mut conflict_pairs: Vec<(usize, usize)> = Vec::new(); // (ld op, sd op)
+    {
+        let mut e_op: Option<usize> = None;
+        let mut m_op: Option<usize> = None;
+        let mut next_ix = 0usize;
+        for (j, ctrl) in inputs.iter().enumerate() {
+            let s = &states[j];
+            let sig = s.signals(scale, ctrl);
+            let fetched_op = if sig.fetch_valid {
+                fetch_cycles.push(j);
+                let ix = next_ix;
+                next_ix += 1;
+                Some(ix)
+            } else {
+                None
+            };
+            let next_m_op = if scale.extra_stage {
+                if sig.advance {
+                    e_op
+                } else {
+                    m_op
+                }
+            } else if sig.advance {
+                fetched_op
+            } else {
+                m_op
+            };
+            // a conflict recorded in the next state pairs the op entering
+            // MEM with the store leaving it
+            if states[j + 1].conflict && states[j + 1].m_class == 1 && ctrl.same_line {
+                if let (Some(ld), Some(sd)) = (next_m_op, m_op) {
+                    conflict_pairs.push((ld, sd));
+                }
+            }
+            if scale.extra_stage {
+                if sig.advance {
+                    m_op = e_op;
+                    e_op = fetched_op;
+                }
+            } else if sig.advance {
+                m_op = fetched_op;
+            }
+        }
+    }
+
+    // Pass 2: concretise the instruction stream.
+    let mut program = Vec::new();
+    let mut inbox = Vec::new();
+    let mut slot1_imms: Vec<Option<u16>> = Vec::new(); // per slot-1 op
+    let mut fetched_pairs: Vec<(Instr, Instr)> = Vec::new();
+    for (ix, &j) in fetch_cycles.iter().enumerate() {
+        let ctrl = &inputs[j];
+        let class = InstrClass::from_code(ctrl.iclass)
+            .expect("tour iclass choice outside Table 3.1");
+        let mut a = concretize_slot1(&mut rng, class);
+        if let Instr::Lw { rd, rs, .. } = a {
+            // if this load conflicts with a split store, reuse the store's
+            // address so the stale-data path is architecturally observable
+            if let Some(&(_, sd)) = conflict_pairs.iter().find(|&&(ld, _)| ld == ix) {
+                if let Some(Some(imm)) = slot1_imms.get(sd) {
+                    a = Instr::Lw { rd, rs, imm: *imm };
+                }
+            }
+        }
+        slot1_imms.push(match a {
+            Instr::Lw { imm, .. } | Instr::Sw { imm, .. } => Some(imm),
+            _ => None,
+        });
+        let b = concretize_slot2(&mut rng, ctrl.iclass2);
+        for i in [&a, &b] {
+            if matches!(i.class(), InstrClass::Switch) {
+                inbox.push(rng.gen());
+            }
+        }
+        program.push(a);
+        program.push(b);
+        fetched_pairs.push((a, b));
+    }
+
+    // Assemble the per-cycle plans.
+    let mut cycles = Vec::with_capacity(inputs.len());
+    let mut fetch_ix = 0usize;
+    for (j, ctrl) in inputs.iter().enumerate() {
+        let sig = states[j].signals(scale, ctrl);
+        let fetched = if sig.fetch_valid {
+            let pair = fetched_pairs[fetch_ix];
+            fetch_ix += 1;
+            Some(pair)
+        } else {
+            None
+        };
+        cycles.push(CyclePlan { ctrl: *ctrl, expect_after: states[j + 1], fetched });
+    }
+
+    Stimulus { scale: *scale, program, inbox, cycles }
+}
+
+/// The tour-generation instruction cost model for the PP: an edge consumes
+/// two instructions (a dual-issue pair) when its source state and condition
+/// perform a fetch, and none otherwise (stall cycles fetch nothing — which
+/// is how the paper's 21.2 M edge traversals carry only 8.5 M
+/// instructions).
+pub fn pp_instr_cost<'a>(
+    scale: &'a PpScale,
+    model: &'a Model,
+    result: &'a EnumResult,
+) -> impl Fn(StateId, EdgeLabel, StateId) -> u64 + 'a {
+    move |src, label, _dst| {
+        let values = result.state_values(src);
+        let state = CtrlState::from_values(scale, &values);
+        let ctrl = CtrlIn::from_choices(scale, &model.decode_choices(label));
+        if state.signals(scale, &ctrl).fetch_valid {
+            2
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::{enumerate, EnumConfig};
+    use archval_pp::pp_control_model;
+    use archval_tour::{generate_tours, TourConfig};
+
+    #[test]
+    fn micro_trace_concretizes_and_chains() {
+        let scale = PpScale::micro();
+        let model = pp_control_model(&scale).unwrap();
+        let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+        let tours = generate_tours(&enumd.graph, &TourConfig::default());
+        assert!(tours.covers_all_arcs(&enumd.graph));
+        let trace = &tours.traces()[0];
+        let stim = trace_to_stimulus(&scale, &model, &tours, trace, 42);
+        assert_eq!(stim.cycles.len(), trace.len());
+        // the program holds exactly two instructions per fetch cycle
+        let fetches = stim.cycles.iter().filter(|c| c.fetched.is_some()).count();
+        assert_eq!(stim.program.len(), fetches * 2);
+        // every cycle's expected state chains from the previous
+        let mut state = CtrlState::reset();
+        for plan in &stim.cycles {
+            state = state.step(&scale, &plan.ctrl);
+            assert_eq!(state, plan.expect_after);
+        }
+        // instruction classes match the tour's choices at fetch cycles
+        for plan in &stim.cycles {
+            if let Some((a, _)) = plan.fetched {
+                assert_eq!(a.class() as u64, plan.ctrl.iclass);
+            }
+        }
+    }
+
+    #[test]
+    fn stimulus_is_deterministic_per_seed() {
+        let scale = PpScale::micro();
+        let model = pp_control_model(&scale).unwrap();
+        let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+        let tours = generate_tours(&enumd.graph, &TourConfig::default());
+        let t = &tours.traces()[0];
+        let a = trace_to_stimulus(&scale, &model, &tours, t, 1);
+        let b = trace_to_stimulus(&scale, &model, &tours, t, 1);
+        assert_eq!(a.program, b.program);
+        let c = trace_to_stimulus(&scale, &model, &tours, t, 2);
+        // same classes, different random data (registers/immediates)
+        assert_eq!(a.program.len(), c.program.len());
+    }
+}

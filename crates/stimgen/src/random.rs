@@ -1,0 +1,186 @@
+//! Biased-random concretisation of instruction classes, and fully random
+//! stimulus for the baseline comparison.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use archval_pp::control::{class_code, slot2_code};
+use archval_pp::isa::{AluOp, Instr, InstrClass, Reg};
+use archval_pp::{CtrlIn, PpScale};
+
+/// Base of the data region load/store immediates address (word addressed,
+/// `r0`-relative) — safely above any generated program image.
+pub const DATA_BASE: u16 = 0x8000;
+
+/// Configuration for [`random_stimulus`].
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// Cycles of stimulus to generate.
+    pub cycles: usize,
+    /// Probability that a 1-bit interface condition is in its rare state
+    /// (miss / not ready / dirty / same-line). The paper's point is that
+    /// uniform random stimulus rarely composes several rare conditions at
+    /// once; lowering this models realistic traffic, 0.5 models aggressive
+    /// random testing.
+    pub rare_probability: f64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig { cycles: 10_000, rare_probability: 0.5 }
+    }
+}
+
+const ALU_OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sltu,
+    AluOp::Sll,
+    AluOp::Srl,
+];
+
+fn reg_in(rng: &mut StdRng, lo: u8, hi: u8) -> Reg {
+    Reg(rng.gen_range(lo..=hi))
+}
+
+/// A random data address immediate (used with base `r0`).
+fn data_imm(rng: &mut StdRng) -> u16 {
+    DATA_BASE | (rng.gen::<u16>() & 0x00FF)
+}
+
+/// Draws a random concrete instruction of `class` for the memory-pipe
+/// slot. Destinations stay in `r1..=r7` so companion-slot instructions
+/// (which use `r8..=r15`) can never RAW-depend on them.
+pub fn concretize_slot1(rng: &mut StdRng, class: InstrClass) -> Instr {
+    match class {
+        InstrClass::Alu => {
+            if rng.gen_bool(0.5) {
+                Instr::Alu {
+                    op: ALU_OPS[rng.gen_range(0..ALU_OPS.len())],
+                    rd: reg_in(rng, 1, 7),
+                    rs: reg_in(rng, 0, 15),
+                    rt: reg_in(rng, 0, 15),
+                }
+            } else {
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: reg_in(rng, 1, 7),
+                    rs: reg_in(rng, 0, 15),
+                    imm: rng.gen(),
+                }
+            }
+        }
+        InstrClass::Ld => Instr::Lw { rd: reg_in(rng, 1, 7), rs: Reg::ZERO, imm: data_imm(rng) },
+        InstrClass::Sd => {
+            Instr::Sw { rt: reg_in(rng, 0, 15), rs: Reg::ZERO, imm: data_imm(rng) }
+        }
+        InstrClass::Switch => Instr::Switch { rd: reg_in(rng, 1, 7) },
+        InstrClass::Send => Instr::Send { rs: reg_in(rng, 0, 15) },
+    }
+}
+
+/// Draws a random concrete instruction for the companion slot from its
+/// class code (`slot2_code`). Destinations and sources stay in `r8..=r15`.
+pub fn concretize_slot2(rng: &mut StdRng, code: u64) -> Instr {
+    match code {
+        slot2_code::SWITCH => Instr::Switch { rd: reg_in(rng, 8, 15) },
+        slot2_code::SEND => Instr::Send { rs: reg_in(rng, 8, 15) },
+        _ => Instr::Alu {
+            op: ALU_OPS[rng.gen_range(0..ALU_OPS.len())],
+            rd: reg_in(rng, 8, 15),
+            rs: reg_in(rng, 8, 15),
+            rt: reg_in(rng, 8, 15),
+        },
+    }
+}
+
+/// Draws one fully random cycle of abstract control inputs — the
+/// random-testing baseline the paper contrasts with ("Random testing might
+/// find this case, but each of the conditions is so improbable...").
+pub fn random_ctrl_in(rng: &mut StdRng, scale: &PpScale, rare: f64) -> CtrlIn {
+    CtrlIn {
+        iclass: rng.gen_range(0..5),
+        iclass2: if scale.dual_comm_slot {
+            rng.gen_range(0..3)
+        } else {
+            class_code::ALU
+        },
+        ihit: !rng.gen_bool(rare),
+        dhit: !rng.gen_bool(rare),
+        victim_dirty: rng.gen_bool(rare),
+        same_line: rng.gen_bool(rare),
+        inbox_ready: !rng.gen_bool(rare),
+        outbox_ready: !rng.gen_bool(rare),
+        mem_ready: !rng.gen_bool(rare),
+    }
+}
+
+/// Generates a random per-cycle stimulus sequence for the baseline.
+pub fn random_stimulus(scale: &PpScale, config: &RandomConfig, seed: u64) -> Vec<CtrlIn> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..config.cycles)
+        .map(|_| random_ctrl_in(&mut rng, scale, config.rare_probability))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_pp::rtl::can_pair;
+
+    #[test]
+    fn concretized_instructions_have_the_requested_class() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for class in InstrClass::ALL {
+            for _ in 0..50 {
+                assert_eq!(concretize_slot1(&mut rng, class).class(), class);
+            }
+        }
+    }
+
+    #[test]
+    fn slot2_codes_map_to_classes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(
+            concretize_slot2(&mut rng, slot2_code::SWITCH).class(),
+            InstrClass::Switch
+        );
+        assert_eq!(concretize_slot2(&mut rng, slot2_code::SEND).class(), InstrClass::Send);
+        assert_eq!(concretize_slot2(&mut rng, slot2_code::ALU).class(), InstrClass::Alu);
+    }
+
+    #[test]
+    fn generated_pairs_always_satisfy_the_pairing_rule() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for class in InstrClass::ALL {
+            for code in [slot2_code::ALU, slot2_code::SWITCH, slot2_code::SEND] {
+                for _ in 0..50 {
+                    let a = concretize_slot1(&mut rng, class);
+                    let b = concretize_slot2(&mut rng, code);
+                    assert!(can_pair(&a, &b), "{a:?} / {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_addresses_stay_in_the_data_region() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            if let Instr::Lw { imm, .. } = concretize_slot1(&mut rng, InstrClass::Ld) {
+                assert!(imm >= DATA_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn random_stimulus_is_deterministic_per_seed() {
+        let scale = PpScale::standard();
+        let cfg = RandomConfig { cycles: 32, rare_probability: 0.3 };
+        assert_eq!(random_stimulus(&scale, &cfg, 1), random_stimulus(&scale, &cfg, 1));
+        assert_ne!(random_stimulus(&scale, &cfg, 1), random_stimulus(&scale, &cfg, 2));
+    }
+}

@@ -1,0 +1,138 @@
+//! Replaying a stimulus on the RTL simulator.
+
+use std::fmt;
+
+use archval_pp::rtl::{ExtIn, Forces, RtlSim};
+use archval_pp::{BugSet, CtrlIn};
+
+use crate::mapping::Stimulus;
+
+/// The result of a successful replay.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The RTL simulator after the run (retirement log, registers, memory).
+    pub rtl: RtlSim,
+    /// The control inputs actually sampled each cycle (for coverage
+    /// accounting).
+    pub sampled: Vec<CtrlIn>,
+}
+
+/// Replay failure: the design's control left the tour's predicted path.
+///
+/// On a bug-free design this indicates a modelling discrepancy between the
+/// RTL and the extracted FSM — exactly the class of problem the paper's
+/// methodology exists to surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// The cycle at which control diverged.
+    pub cycle: usize,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "control divergence at cycle {}: {}", self.cycle, self.detail)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Drives the RTL simulator through a stimulus, forcing the interface
+/// conditions of every tour edge (the paper's force/release analogue).
+///
+/// With an empty `bugs` set, the control trajectory is checked against the
+/// tour cycle by cycle; with bugs injected the check is skipped (a bug may
+/// legitimately derail control — e.g. Bug #1 corrupts fetched
+/// instructions) and divergence shows up in the architectural comparison
+/// instead.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the bug-free design's control state fails to
+/// follow the tour.
+pub fn replay(stim: &Stimulus, bugs: BugSet) -> Result<ReplayOutcome, ReplayError> {
+    let mut rtl = RtlSim::new(stim.scale, bugs, &stim.program, stim.inbox.clone());
+    let check = bugs.is_empty();
+    let mut sampled = Vec::with_capacity(stim.cycles.len());
+    for (cycle, plan) in stim.cycles.iter().enumerate() {
+        let ext = ExtIn {
+            inbox_ready: plan.ctrl.inbox_ready,
+            outbox_ready: plan.ctrl.outbox_ready,
+            mem_ready: plan.ctrl.mem_ready,
+        };
+        let forces = Forces {
+            ihit: Some(plan.ctrl.ihit),
+            dhit: Some(plan.ctrl.dhit),
+            victim_dirty: Some(plan.ctrl.victim_dirty),
+            same_line: Some(plan.ctrl.same_line),
+        };
+        let inputs = rtl.step(ext, forces);
+        sampled.push(inputs);
+        if check && *rtl.ctrl() != plan.expect_after {
+            return Err(ReplayError {
+                cycle,
+                detail: format!(
+                    "expected {:?}, got {:?} under {:?}",
+                    plan.expect_after,
+                    rtl.ctrl(),
+                    plan.ctrl
+                ),
+            });
+        }
+    }
+    Ok(ReplayOutcome { rtl, sampled })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::trace_to_stimulus;
+    use archval_fsm::{enumerate, EnumConfig};
+    use archval_pp::{pp_control_model, PpScale};
+    use archval_tour::{generate_tours, TourConfig};
+
+    fn micro_stimuli(limit: Option<u64>) -> Vec<Stimulus> {
+        let scale = PpScale::micro();
+        let model = pp_control_model(&scale).unwrap();
+        let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+        let tours = generate_tours(&enumd.graph, &TourConfig { instruction_limit: limit });
+        tours
+            .traces()
+            .iter()
+            .take(8)
+            .enumerate()
+            .map(|(i, t)| trace_to_stimulus(&scale, &model, &tours, t, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn bug_free_replay_follows_every_tour() {
+        for (i, stim) in micro_stimuli(None).into_iter().enumerate() {
+            let out = replay(&stim, BugSet::none())
+                .unwrap_or_else(|e| panic!("trace {i}: {e}"));
+            assert_eq!(out.sampled.len(), stim.cycles.len());
+        }
+    }
+
+    #[test]
+    fn bug_free_replay_with_trace_limit() {
+        for stim in micro_stimuli(Some(50)) {
+            replay(&stim, BugSet::none()).unwrap();
+        }
+    }
+
+    #[test]
+    fn live_interface_bits_match_the_tour() {
+        // forced bits (hits, readiness) must equal the tour's choices on
+        // every cycle where they are live
+        let stim = &micro_stimuli(None)[0];
+        let out = replay(stim, BugSet::none()).unwrap();
+        for (plan, got) in stim.cycles.iter().zip(&out.sampled) {
+            assert_eq!(plan.ctrl.ihit, got.ihit);
+            assert_eq!(plan.ctrl.inbox_ready, got.inbox_ready);
+            assert_eq!(plan.ctrl.outbox_ready, got.outbox_ready);
+            assert_eq!(plan.ctrl.mem_ready, got.mem_ready);
+        }
+    }
+}

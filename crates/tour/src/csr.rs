@@ -1,0 +1,123 @@
+//! Compressed sparse row form of a [`StateGraph`] with per-edge traversal
+//! bookkeeping, sized for graphs with millions of edges.
+
+use archval_fsm::graph::{StateGraph, StateId};
+use archval_fsm::EdgeLabel;
+
+/// Dense index of an edge in a [`CsrGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeIx(pub u32);
+
+/// A [`StateGraph`] compiled to CSR adjacency with flat edge arrays.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// `row[s]..row[s+1]` indexes the out-edges of state `s`.
+    row: Vec<u32>,
+    dst: Vec<u32>,
+    label: Vec<EdgeLabel>,
+}
+
+impl CsrGraph {
+    /// Compiles a state graph. Edge order within a state is preserved
+    /// (discovery order), which keeps tour generation deterministic.
+    pub fn compile(g: &StateGraph) -> Self {
+        let n = g.state_count();
+        let mut row = Vec::with_capacity(n + 1);
+        let mut dst = Vec::with_capacity(g.edge_count());
+        let mut label = Vec::with_capacity(g.edge_count());
+        row.push(0);
+        for s in 0..n {
+            for e in g.edges(StateId(s as u32)) {
+                dst.push(e.dst.0);
+                label.push(e.label);
+            }
+            row.push(dst.len() as u32);
+        }
+        CsrGraph { row, dst, label }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.row.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// The dense edge-index range of state `s`'s out-edges.
+    pub fn out_range(&self, s: StateId) -> std::ops::Range<u32> {
+        self.row[s.0 as usize]..self.row[s.0 as usize + 1]
+    }
+
+    /// Destination of edge `e`.
+    pub fn edge_dst(&self, e: EdgeIx) -> StateId {
+        StateId(self.dst[e.0 as usize])
+    }
+
+    /// Label of edge `e`.
+    pub fn edge_label(&self, e: EdgeIx) -> EdgeLabel {
+        self.label[e.0 as usize]
+    }
+
+    /// Source state of edge `e` (binary search over the row array).
+    pub fn edge_src(&self, e: EdgeIx) -> StateId {
+        let i = e.0;
+        // partition_point returns the first row index with row[idx] > i
+        let s = self.row.partition_point(|&r| r <= i) - 1;
+        StateId(s as u32)
+    }
+
+    /// Out-degree of state `s`.
+    pub fn out_degree(&self, s: StateId) -> usize {
+        self.out_range(s).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::graph::EdgePolicy;
+
+    fn sample() -> (StateGraph, CsrGraph) {
+        let mut g = StateGraph::new();
+        g.add_edge(StateId(0), StateId(1), 10, EdgePolicy::AllLabels);
+        g.add_edge(StateId(0), StateId(2), 11, EdgePolicy::AllLabels);
+        g.add_edge(StateId(1), StateId(2), 12, EdgePolicy::AllLabels);
+        g.add_edge(StateId(2), StateId(0), 13, EdgePolicy::AllLabels);
+        let c = CsrGraph::compile(&g);
+        (g, c)
+    }
+
+    #[test]
+    fn compile_preserves_counts_and_order() {
+        let (g, c) = sample();
+        assert_eq!(c.state_count(), g.state_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert_eq!(c.out_range(StateId(0)), 0..2);
+        assert_eq!(c.edge_dst(EdgeIx(0)), StateId(1));
+        assert_eq!(c.edge_label(EdgeIx(1)), 11);
+        assert_eq!(c.out_degree(StateId(1)), 1);
+        assert_eq!(c.out_degree(StateId(2)), 1);
+    }
+
+    #[test]
+    fn edge_src_inverts_out_range() {
+        let (_, c) = sample();
+        for e in 0..c.edge_count() as u32 {
+            let s = c.edge_src(EdgeIx(e));
+            assert!(c.out_range(s).contains(&e));
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_states() {
+        let mut g = StateGraph::new();
+        g.ensure_state(StateId(2)); // states 0..=2, no edges
+        let c = CsrGraph::compile(&g);
+        assert_eq!(c.state_count(), 3);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(c.out_degree(StateId(1)), 0);
+    }
+}

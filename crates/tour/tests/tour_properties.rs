@@ -1,0 +1,90 @@
+//! Property tests for tour generation and Eulerian machinery over random
+//! graphs.
+
+use proptest::prelude::*;
+
+use archval_fsm::graph::{EdgePolicy, StateGraph, StateId};
+use archval_tour::euler::{analyze, eulerize, hierholzer_tour};
+use archval_tour::{generate_tours, generate_tours_with, TourConfig};
+
+/// A random graph where every state is reachable from 0 by construction:
+/// each state i > 0 gets an edge from some j < i, plus extra random edges.
+fn arb_reachable_graph() -> impl Strategy<Value = StateGraph> {
+    (2u32..40, proptest::collection::vec((0u32..40, 0u32..40), 0..80), any::<u64>()).prop_map(
+        |(n, extra, salt)| {
+            let mut g = StateGraph::new();
+            for i in 1..n {
+                let j = (salt.wrapping_mul(u64::from(i) + 1) % u64::from(i)) as u32;
+                g.add_edge(StateId(j), StateId(i), u64::from(i), EdgePolicy::AllLabels);
+            }
+            for (a, b) in extra {
+                g.add_edge(
+                    StateId(a % n),
+                    StateId(b % n),
+                    u64::from(a) << 8 | u64::from(b),
+                    EdgePolicy::AllLabels,
+                );
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tours_cover_and_chain(g in arb_reachable_graph(), limit in 1u64..30) {
+        for config in [TourConfig::default(), TourConfig { instruction_limit: Some(limit) }] {
+            let t = generate_tours(&g, &config);
+            prop_assert!(t.covers_all_arcs(&g), "coverage under {config:?}");
+            prop_assert!(t.validate_adjacency(StateId(0)));
+            prop_assert_eq!(t.covered_arc_count(), g.edge_count());
+            // traversals at least the arc count, and instructions consistent
+            prop_assert!(t.stats().total_edge_traversals >= g.edge_count() as u64);
+            let sum: usize = t.traces().iter().map(|tr| tr.len()).sum();
+            prop_assert_eq!(sum as u64, t.stats().total_edge_traversals);
+        }
+    }
+
+    #[test]
+    fn custom_costs_sum_exactly(g in arb_reachable_graph()) {
+        // instructions = number of traversals of odd-labelled edges
+        let t = generate_tours_with(&g, &TourConfig::default(), |_, l, _| l & 1);
+        let manual: u64 = t
+            .traces()
+            .iter()
+            .flat_map(|tr| t.resolve(tr))
+            .map(|s| s.label & 1)
+            .sum();
+        prop_assert_eq!(t.stats().total_instructions, manual);
+    }
+
+    #[test]
+    fn eulerize_balances_strongly_connected_graphs(n in 2u32..25, salt in any::<u64>()) {
+        // ring + random chords is strongly connected
+        let mut g = StateGraph::new();
+        for i in 0..n {
+            g.add_edge(StateId(i), StateId((i + 1) % n), 0, EdgePolicy::AllLabels);
+        }
+        for k in 0..n / 2 {
+            let a = (salt.wrapping_mul(u64::from(k) + 3) % u64::from(n)) as u32;
+            let b = (salt.wrapping_mul(u64::from(k) + 7) % u64::from(n)) as u32;
+            g.add_edge(StateId(a), StateId(b), 1, EdgePolicy::AllLabels);
+        }
+        let e = eulerize(&g).expect("strongly connected");
+        // the balanced multigraph admits a closed tour touching every arc
+        let tour = hierholzer_tour(n as usize, &e.arcs, StateId(0)).expect("eulerian");
+        prop_assert_eq!(tour.len(), e.arcs.len());
+        for w in tour.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        // the duplicated arcs are at least the degree imbalance
+        let imbalance = analyze(&g).total_imbalance;
+        prop_assert!(e.duplicated >= imbalance);
+        // and the tour covers every original arc at least once
+        for (s, edge) in g.iter_edges() {
+            prop_assert!(tour.iter().any(|&(a, b)| a == s && b == edge.dst));
+        }
+    }
+}

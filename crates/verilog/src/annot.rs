@@ -1,0 +1,122 @@
+//! `// archval:` designer annotations.
+//!
+//! The paper's translator needs the designer "to initially annotate the HDL
+//! model to aid the translator in finding the control logic ... both to
+//! indicate which bits are state bits, and to specify the number of
+//! distinguished cases" (Section 3.1). The annotation language here
+//! provides exactly those roles:
+//!
+//! | Directive | Placement | Meaning |
+//! |---|---|---|
+//! | `archval: abstract [classes=K]` | on an `input` decl | the input is an abstract interface signal, enumerated nondeterministically over `K` distinguished cases (default `2^width`) |
+//! | `archval: state` | on a `reg` decl | force the register to be treated as control state even if it looks like datapath |
+//! | `archval: datapath` | on a `reg` decl | exclude the register from the control model (its readers see a free input) |
+//! | `archval: control-begin` / `control-end` | item level | delimit the control section; outside it only declarations are read |
+//! | `archval: off` / `archval: on` | item level | disable translation of diagnostic / non-synthesizable code |
+
+use crate::error::VerilogError;
+
+/// A parsed annotation directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `abstract [classes=K]` — nondeterministic interface input.
+    Abstract {
+        /// Number of distinguished cases; `None` means the full `2^width`.
+        classes: Option<u64>,
+    },
+    /// `state` — force state treatment.
+    State,
+    /// `datapath` — exclude from the control model.
+    Datapath,
+    /// `control-begin`.
+    ControlBegin,
+    /// `control-end`.
+    ControlEnd,
+    /// `off` — stop translating.
+    Off,
+    /// `on` — resume translating.
+    On,
+}
+
+impl Directive {
+    /// Parses the text after `archval:`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError::Directive`] for unknown directives or
+    /// malformed arguments.
+    pub fn parse(body: &str, line: u32) -> Result<Directive, VerilogError> {
+        let mut parts = body.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        let d = match head {
+            "abstract" => {
+                let mut classes = None;
+                for p in parts {
+                    if let Some(v) = p.strip_prefix("classes=") {
+                        let k: u64 = v.parse().map_err(|_| VerilogError::Directive {
+                            line,
+                            msg: format!("bad classes value `{v}`"),
+                        })?;
+                        if k < 2 {
+                            return Err(VerilogError::Directive {
+                                line,
+                                msg: "classes must be at least 2".into(),
+                            });
+                        }
+                        classes = Some(k);
+                    } else {
+                        return Err(VerilogError::Directive {
+                            line,
+                            msg: format!("unknown abstract argument `{p}`"),
+                        });
+                    }
+                }
+                Directive::Abstract { classes }
+            }
+            "state" => Directive::State,
+            "datapath" => Directive::Datapath,
+            "control-begin" => Directive::ControlBegin,
+            "control-end" => Directive::ControlEnd,
+            "off" => Directive::Off,
+            "on" => Directive::On,
+            other => {
+                return Err(VerilogError::Directive {
+                    line,
+                    msg: format!("unknown directive `{other}`"),
+                })
+            }
+        };
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_directives() {
+        assert_eq!(
+            Directive::parse("abstract", 1).unwrap(),
+            Directive::Abstract { classes: None }
+        );
+        assert_eq!(
+            Directive::parse("abstract classes=5", 1).unwrap(),
+            Directive::Abstract { classes: Some(5) }
+        );
+        assert_eq!(Directive::parse("state", 1).unwrap(), Directive::State);
+        assert_eq!(Directive::parse("datapath", 1).unwrap(), Directive::Datapath);
+        assert_eq!(Directive::parse("control-begin", 1).unwrap(), Directive::ControlBegin);
+        assert_eq!(Directive::parse("control-end", 1).unwrap(), Directive::ControlEnd);
+        assert_eq!(Directive::parse("off", 1).unwrap(), Directive::Off);
+        assert_eq!(Directive::parse("on", 1).unwrap(), Directive::On);
+    }
+
+    #[test]
+    fn bad_directives_rejected() {
+        assert!(Directive::parse("abstrat", 3).is_err());
+        assert!(Directive::parse("abstract classes=one", 3).is_err());
+        assert!(Directive::parse("abstract classes=1", 3).is_err());
+        assert!(Directive::parse("abstract frob=1", 3).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Abstract syntax for the stylized Verilog subset.
+
+use crate::annot::Directive;
+
+/// A parsed source file: one or more modules.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    /// The modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl Design {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// Direction of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Driven from outside the module.
+    Input,
+    /// Driven by the module.
+    Output,
+    /// Both (unsupported by the translator, parsed for completeness).
+    Inout,
+}
+
+/// Kind of a net declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    /// A combinational net.
+    Wire,
+    /// A variable that may hold state.
+    Reg,
+}
+
+/// A declared signal.
+#[derive(Debug, Clone)]
+pub struct Decl {
+    /// Signal name.
+    pub name: String,
+    /// Bit width (1 for scalars; `[h:l]` gives `h - l + 1`).
+    pub width: u32,
+    /// `wire` or `reg`.
+    pub kind: NetKind,
+    /// Port direction if this signal is a port.
+    pub dir: Option<PortDir>,
+    /// Directives attached to this declaration (same line or the line
+    /// immediately above).
+    pub directives: Vec<Directive>,
+    /// 1-based source line of the declaration.
+    pub line: u32,
+}
+
+/// A module.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Port names in header order.
+    pub ports: Vec<String>,
+    /// All declarations (ports and internals).
+    pub decls: Vec<Decl>,
+    /// Continuous assignments.
+    pub assigns: Vec<Assign>,
+    /// `always` blocks.
+    pub always: Vec<Always>,
+    /// Directives that appeared at module item level (not attached to a
+    /// declaration), e.g. `control-begin` / `control-end`.
+    pub directives: Vec<Directive>,
+}
+
+impl Module {
+    /// Finds a declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+}
+
+/// `assign lhs = rhs;`
+#[derive(Debug, Clone)]
+pub struct Assign {
+    /// Left-hand side signal name (whole-signal assignment only).
+    pub lhs: String,
+    /// Right-hand side expression.
+    pub rhs: Expr,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether the assignment lies inside a `control-begin`/`control-end`
+    /// region (true when the module has no such markers).
+    pub in_control: bool,
+}
+
+/// Sensitivity of an `always` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// `always @(posedge clk)`, optionally `or posedge rst` (the reset
+    /// must then be handled by a leading `if`).
+    Posedge {
+        /// Clock signal name.
+        clk: String,
+    },
+    /// `always @(*)` or an explicit combinational list.
+    Comb,
+}
+
+/// An `always` block.
+#[derive(Debug, Clone)]
+pub struct Always {
+    /// What triggers the block.
+    pub sensitivity: Sensitivity,
+    /// The body.
+    pub body: Stmt,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether the block lies inside a `control-begin`/`control-end`
+    /// region (true when the module has no such markers).
+    pub in_control: bool,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `begin ... end`.
+    Block(Vec<Stmt>),
+    /// `if (cond) then [else other]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        other: Option<Box<Stmt>>,
+    },
+    /// `case (scrutinee) ... endcase`. Arms are `(labels, stmt)`; the
+    /// optional default arm is last.
+    Case {
+        /// The selector expression.
+        scrutinee: Expr,
+        /// `(label values, arm)` pairs in source order.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// `default:` arm, if any.
+        default: Option<Box<Stmt>>,
+    },
+    /// `lhs <= rhs;` (nonblocking).
+    NonBlocking {
+        /// Target signal.
+        lhs: String,
+        /// Value.
+        rhs: Expr,
+    },
+    /// `lhs = rhs;` (blocking).
+    Blocking {
+        /// Target signal.
+        lhs: String,
+        /// Value.
+        rhs: Expr,
+    },
+    /// `;` — an empty statement.
+    Empty,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VUnary {
+    /// `!a`.
+    LogicalNot,
+    /// `~a`.
+    BitNot,
+    /// `&a` — reduction and.
+    RedAnd,
+    /// `|a` — reduction or.
+    RedOr,
+    /// `^a` — reduction xor.
+    RedXor,
+    /// `-a` — two's-complement negate (within width).
+    Neg,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VBinary {
+    /// `&&`.
+    LogicalAnd,
+    /// `||`.
+    LogicalOr,
+    /// `&`.
+    BitAnd,
+    /// `|`.
+    BitOr,
+    /// `^`.
+    BitXor,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal with an optional explicit width (sized literals carry
+    /// one; plain decimals do not).
+    Literal {
+        /// The value.
+        value: u64,
+        /// Width if the literal was sized.
+        width: Option<u32>,
+    },
+    /// A whole-signal reference.
+    Ident(String),
+    /// `sig[i]` with a constant index.
+    BitSelect {
+        /// The signal.
+        base: String,
+        /// Constant bit index.
+        index: u32,
+    },
+    /// `sig[h:l]` with constant bounds.
+    PartSelect {
+        /// The signal.
+        base: String,
+        /// High bit.
+        high: u32,
+        /// Low bit.
+        low: u32,
+    },
+    /// `{a, b, c}` — concatenation, first operand is most significant.
+    Concat(Vec<Expr>),
+    /// A unary operation.
+    Unary(VUnary, Box<Expr>),
+    /// A binary operation.
+    Binary(VBinary, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        other: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized literal.
+    pub fn lit(value: u64) -> Self {
+        Expr::Literal { value, width: None }
+    }
+
+    /// Collects the names of all signals this expression reads.
+    pub fn referenced(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal { .. } => {}
+            Expr::Ident(n) => out.push(n.clone()),
+            Expr::BitSelect { base, .. } | Expr::PartSelect { base, .. } => {
+                out.push(base.clone())
+            }
+            Expr::Concat(xs) => xs.iter().for_each(|x| x.referenced(out)),
+            Expr::Unary(_, a) => a.referenced(out),
+            Expr::Binary(_, a, b) => {
+                a.referenced(out);
+                b.referenced(out);
+            }
+            Expr::Ternary { cond, then, other } => {
+                cond.referenced(out);
+                then.referenced(out);
+                other.referenced(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_collects_all_reads() {
+        let e = Expr::Ternary {
+            cond: Box::new(Expr::Ident("c".into())),
+            then: Box::new(Expr::BitSelect { base: "a".into(), index: 2 }),
+            other: Box::new(Expr::Concat(vec![
+                Expr::Ident("x".into()),
+                Expr::lit(3),
+            ])),
+        };
+        let mut names = Vec::new();
+        e.referenced(&mut names);
+        assert_eq!(names, vec!["c", "a", "x"]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Errors for lexing, parsing and translation.
+
+use std::fmt;
+
+/// Error produced while processing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerilogError {
+    /// A character the lexer does not understand.
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// A construct the parser does not understand.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// A malformed `// archval:` directive.
+    Directive {
+        /// 1-based source line.
+        line: u32,
+        /// Explanation.
+        msg: String,
+    },
+    /// A construct outside the supported synthesizable subset, or a
+    /// semantic problem found during translation.
+    Unsupported {
+        /// Explanation, naming the module and signal where possible.
+        msg: String,
+    },
+    /// The requested top module does not exist in the design.
+    NoSuchModule {
+        /// The requested name.
+        name: String,
+    },
+    /// An identifier was used but never declared.
+    Undeclared {
+        /// Module containing the use.
+        module: String,
+        /// The undeclared name.
+        name: String,
+    },
+    /// A problem constructing the FSM model.
+    Fsm(archval_fsm::Error),
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            VerilogError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            VerilogError::Directive { line, msg } => {
+                write!(f, "bad archval directive at line {line}: {msg}")
+            }
+            VerilogError::Unsupported { msg } => write!(f, "unsupported construct: {msg}"),
+            VerilogError::NoSuchModule { name } => write!(f, "no module named `{name}`"),
+            VerilogError::Undeclared { module, name } => {
+                write!(f, "undeclared identifier `{name}` in module `{module}`")
+            }
+            VerilogError::Fsm(e) => write!(f, "fsm construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerilogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerilogError::Fsm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<archval_fsm::Error> for VerilogError {
+    fn from(e: archval_fsm::Error) -> Self {
+        VerilogError::Fsm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_numbers() {
+        let e = VerilogError::Parse { line: 42, msg: "expected `;`".into() };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn fsm_errors_wrap() {
+        let e = VerilogError::from(archval_fsm::Error::EmptyModel);
+        assert!(e.to_string().contains("fsm"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

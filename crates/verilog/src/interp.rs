@@ -1,0 +1,551 @@
+//! A synchronous interpreter for the Verilog subset.
+//!
+//! Used as the reference semantics for the translator: the translated FSM
+//! model and this interpreter must agree cycle-by-cycle on every register
+//! under arbitrary input stimulus (a property test in the test suite).
+//!
+//! The evaluation model is two-phase, matching both the subset's
+//! synthesizable intent and the Synchronous Murphi concurrency model the
+//! paper maps it onto: combinational logic settles (definitions evaluated
+//! in dependency order), then the clock edge commits all nonblocking
+//! register updates at once.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Design, Expr, Module, PortDir, Sensitivity, Stmt, VBinary, VUnary};
+use crate::error::VerilogError;
+
+/// A running interpretation of one module.
+#[derive(Debug)]
+pub struct Interp {
+    module: Module,
+    widths: HashMap<String, u32>,
+    /// Current value of every signal.
+    values: HashMap<String, u64>,
+    /// Topological order of combinationally driven signals; entries are
+    /// indices into `module.assigns` (Left) or `module.always` (Right),
+    /// deduplicated, each appearing once.
+    comb_plan: Vec<CombStep>,
+    inputs: HashSet<String>,
+    cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CombStep {
+    Assign(usize),
+    Always(usize),
+}
+
+impl Interp {
+    /// Creates an interpreter for module `top` with all signals at 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError`] if the module does not exist, a signal has
+    /// multiple drivers, or the combinational logic is cyclic.
+    pub fn new(design: &Design, top: &str) -> Result<Self, VerilogError> {
+        let module = design
+            .module(top)
+            .ok_or_else(|| VerilogError::NoSuchModule { name: top.to_owned() })?
+            .clone();
+        let mut widths = HashMap::new();
+        for d in &module.decls {
+            widths.insert(d.name.clone(), d.width);
+        }
+        let mut inputs = HashSet::new();
+        for d in &module.decls {
+            if d.dir == Some(PortDir::Input) {
+                inputs.insert(d.name.clone());
+            }
+        }
+
+        // map each comb-driven signal to its driving step
+        let mut driver: HashMap<String, CombStep> = HashMap::new();
+        for (i, a) in module.assigns.iter().enumerate() {
+            if driver.insert(a.lhs.clone(), CombStep::Assign(i)).is_some() {
+                return Err(VerilogError::Unsupported {
+                    msg: format!("module `{top}`: signal `{}` has multiple drivers", a.lhs),
+                });
+            }
+        }
+        for (i, a) in module.always.iter().enumerate() {
+            if a.sensitivity == Sensitivity::Comb {
+                let mut targets = Vec::new();
+                collect_targets(&a.body, &mut targets);
+                let mut seen = HashSet::new();
+                for t in targets {
+                    if !seen.insert(t.clone()) {
+                        continue;
+                    }
+                    if driver.insert(t.clone(), CombStep::Always(i)).is_some() {
+                        return Err(VerilogError::Unsupported {
+                            msg: format!(
+                                "module `{top}`: signal `{t}` has multiple drivers"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // topological sort over steps
+        let step_reads = |s: CombStep| -> Vec<String> {
+            let mut out = Vec::new();
+            match s {
+                CombStep::Assign(i) => module.assigns[i].rhs.referenced(&mut out),
+                CombStep::Always(i) => collect_reads(&module.always[i].body, &mut out),
+            }
+            out
+        };
+        let mut order: Vec<CombStep> = Vec::new();
+        let mut state: HashMap<String, u8> = HashMap::new(); // 1 = visiting, 2 = done
+        let mut names: Vec<&String> = driver.keys().collect();
+        names.sort();
+        // iterative DFS to avoid recursion limits on deep designs
+        for root in names {
+            if state.get(root).copied() == Some(2) {
+                continue;
+            }
+            let mut stack: Vec<(String, usize, Vec<String>)> = Vec::new();
+            let deps0 = step_reads(driver[root]);
+            state.insert(root.clone(), 1);
+            stack.push((root.clone(), 0, deps0));
+            while let Some((name, mut i, deps)) = stack.pop() {
+                let mut descended = false;
+                while i < deps.len() {
+                    let d = &deps[i];
+                    i += 1;
+                    if driver.contains_key(d) {
+                        match state.get(d).copied() {
+                            Some(2) => {}
+                            Some(1) => {
+                                return Err(VerilogError::Fsm(
+                                    archval_fsm::Error::CombinationalCycle {
+                                        def: d.clone(),
+                                    },
+                                ))
+                            }
+                            _ => {
+                                state.insert(d.clone(), 1);
+                                let dd = step_reads(driver[d]);
+                                let dname = d.clone();
+                                stack.push((name.clone(), i, deps));
+                                stack.push((dname, 0, dd));
+                                descended = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                state.insert(name.clone(), 2);
+                let step = driver[&name];
+                if !order.contains(&step) {
+                    order.push(step);
+                }
+            }
+        }
+
+        let mut values = HashMap::new();
+        for d in &module.decls {
+            values.insert(d.name.clone(), 0);
+        }
+
+        Ok(Interp { module, widths, values, comb_plan: order, inputs, cycles: 0 })
+    }
+
+    /// Sets an input port. The value is masked to the port's width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError::Undeclared`] if `name` is not an input.
+    pub fn set_input(&mut self, name: &str, value: u64) -> Result<(), VerilogError> {
+        if !self.inputs.contains(name) {
+            return Err(VerilogError::Undeclared {
+                module: self.module.name.clone(),
+                name: format!("{name} (not an input)"),
+            });
+        }
+        let w = self.widths[name];
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        self.values.insert(name.to_owned(), value & mask);
+        Ok(())
+    }
+
+    /// Reads the current value of any signal.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Clock cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Settles combinational logic against the current inputs and register
+    /// values, without advancing the clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression evaluation failures.
+    pub fn settle(&mut self) -> Result<(), VerilogError> {
+        for step in self.comb_plan.clone() {
+            match step {
+                CombStep::Assign(i) => {
+                    let a = self.module.assigns[i].clone();
+                    let (v, _) = self.eval(&a.rhs)?;
+                    let w = self.widths[&a.lhs];
+                    self.values.insert(a.lhs.clone(), v & mask(w));
+                }
+                CombStep::Always(i) => {
+                    let a = self.module.always[i].clone();
+                    let mut nb = HashMap::new();
+                    self.exec(&a.body, &mut nb)?;
+                    debug_assert!(nb.is_empty(), "nonblocking in comb block");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances one clock cycle: settles combinational logic, executes all
+    /// `posedge` blocks, commits nonblocking updates, then settles again so
+    /// outputs reflect the new registers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression evaluation failures.
+    pub fn posedge(&mut self) -> Result<(), VerilogError> {
+        self.settle()?;
+        let mut nb: HashMap<String, u64> = HashMap::new();
+        for i in 0..self.module.always.len() {
+            if matches!(self.module.always[i].sensitivity, Sensitivity::Posedge { .. }) {
+                let body = self.module.always[i].body.clone();
+                self.exec(&body, &mut nb)?;
+            }
+        }
+        for (k, v) in nb {
+            let w = self.widths[&k];
+            self.values.insert(k, v & mask(w));
+        }
+        self.cycles += 1;
+        self.settle()
+    }
+
+    fn exec(&mut self, stmt: &Stmt, nb: &mut HashMap<String, u64>) -> Result<(), VerilogError> {
+        match stmt {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(ss) => {
+                for s in ss {
+                    self.exec(s, nb)?;
+                }
+                Ok(())
+            }
+            Stmt::Blocking { lhs, rhs } => {
+                let (v, _) = self.eval(rhs)?;
+                let w = *self.widths.get(lhs).ok_or_else(|| VerilogError::Undeclared {
+                    module: self.module.name.clone(),
+                    name: lhs.clone(),
+                })?;
+                self.values.insert(lhs.clone(), v & mask(w));
+                Ok(())
+            }
+            Stmt::NonBlocking { lhs, rhs } => {
+                let (v, _) = self.eval(rhs)?;
+                nb.insert(lhs.clone(), v);
+                Ok(())
+            }
+            Stmt::If { cond, then, other } => {
+                let (c, _) = self.eval(cond)?;
+                if c != 0 {
+                    self.exec(then, nb)
+                } else if let Some(o) = other {
+                    self.exec(o, nb)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case { scrutinee, arms, default } => {
+                let (s, _) = self.eval(scrutinee)?;
+                for (labels, body) in arms {
+                    for l in labels {
+                        let (lv, _) = self.eval(l)?;
+                        if lv == s {
+                            return self.exec(body, nb);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec(d, nb)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Evaluates an expression; returns `(value, width)` with the same
+    /// width rules the translator uses.
+    fn eval(&self, e: &Expr) -> Result<(u64, u32), VerilogError> {
+        Ok(match e {
+            Expr::Literal { value, width } => {
+                let w = width.unwrap_or(32).min(32);
+                (value & mask(w), w)
+            }
+            Expr::Ident(name) => {
+                let v = self.values.get(name).copied().ok_or_else(|| {
+                    VerilogError::Undeclared {
+                        module: self.module.name.clone(),
+                        name: name.clone(),
+                    }
+                })?;
+                (v, self.widths[name])
+            }
+            Expr::BitSelect { base, index } => {
+                let v = self.values.get(base).copied().ok_or_else(|| {
+                    VerilogError::Undeclared {
+                        module: self.module.name.clone(),
+                        name: base.clone(),
+                    }
+                })?;
+                ((v >> index) & 1, 1)
+            }
+            Expr::PartSelect { base, high, low } => {
+                let v = self.values.get(base).copied().ok_or_else(|| {
+                    VerilogError::Undeclared {
+                        module: self.module.name.clone(),
+                        name: base.clone(),
+                    }
+                })?;
+                let w = high - low + 1;
+                ((v >> low) & mask(w), w)
+            }
+            Expr::Concat(parts) => {
+                let mut acc = 0u64;
+                let mut aw = 0u32;
+                for p in parts {
+                    let (pv, pw) = self.eval(p)?;
+                    acc = (acc << pw) | pv;
+                    aw += pw;
+                }
+                (acc & mask(aw.min(32)), aw)
+            }
+            Expr::Unary(op, a) => {
+                let (av, aw) = self.eval(a)?;
+                match op {
+                    VUnary::LogicalNot => (u64::from(av == 0), 1),
+                    VUnary::BitNot => (!av & mask(aw), aw),
+                    VUnary::RedAnd => (u64::from(av == mask(aw)), 1),
+                    VUnary::RedOr => (u64::from(av != 0), 1),
+                    VUnary::RedXor => (u64::from(av.count_ones() % 2 == 1), 1),
+                    VUnary::Neg => (av.wrapping_neg() & mask(aw), aw),
+                }
+            }
+            Expr::Binary(op, x, y) => {
+                let (xv, xw) = self.eval(x)?;
+                let (yv, yw) = self.eval(y)?;
+                let w = xw.max(yw);
+                match op {
+                    VBinary::LogicalAnd => (u64::from(xv != 0 && yv != 0), 1),
+                    VBinary::LogicalOr => (u64::from(xv != 0 || yv != 0), 1),
+                    VBinary::BitAnd => (xv & yv, w),
+                    VBinary::BitOr => (xv | yv, w),
+                    VBinary::BitXor => (xv ^ yv, w),
+                    VBinary::Add => (xv.wrapping_add(yv) & mask(w), w),
+                    VBinary::Sub => (xv.wrapping_sub(yv) & mask(w), w),
+                    VBinary::Mul => (xv.wrapping_mul(yv) & mask(w), w),
+                    VBinary::Eq => (u64::from(xv == yv), 1),
+                    VBinary::Ne => (u64::from(xv != yv), 1),
+                    VBinary::Lt => (u64::from(xv < yv), 1),
+                    VBinary::Le => (u64::from(xv <= yv), 1),
+                    VBinary::Gt => (u64::from(xv > yv), 1),
+                    VBinary::Ge => (u64::from(xv >= yv), 1),
+                    VBinary::Shl => ((xv << yv.min(63)) & mask(xw), xw),
+                    VBinary::Shr => (xv >> yv.min(63), xw),
+                }
+            }
+            Expr::Ternary { cond, then, other } => {
+                let (c, _) = self.eval(cond)?;
+                let (tv, tw) = self.eval(then)?;
+                let (ov, ow) = self.eval(other)?;
+                (if c != 0 { tv } else { ov }, tw.max(ow))
+            }
+        })
+    }
+}
+
+fn mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+fn collect_targets(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Empty => {}
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_targets(s, out)),
+        Stmt::If { then, other, .. } => {
+            collect_targets(then, out);
+            if let Some(o) = other {
+                collect_targets(o, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for (_, s) in arms {
+                collect_targets(s, out);
+            }
+            if let Some(d) = default {
+                collect_targets(d, out);
+            }
+        }
+        Stmt::NonBlocking { lhs, .. } | Stmt::Blocking { lhs, .. } => out.push(lhs.clone()),
+    }
+}
+
+fn collect_reads(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Empty => {}
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_reads(s, out)),
+        Stmt::If { cond, then, other } => {
+            cond.referenced(out);
+            collect_reads(then, out);
+            if let Some(o) = other {
+                collect_reads(o, out);
+            }
+        }
+        Stmt::Case { scrutinee, arms, default } => {
+            scrutinee.referenced(out);
+            for (labels, s) in arms {
+                for l in labels {
+                    l.referenced(out);
+                }
+                collect_reads(s, out);
+            }
+            if let Some(d) = default {
+                collect_reads(d, out);
+            }
+        }
+        Stmt::NonBlocking { rhs, .. } | Stmt::Blocking { rhs, .. } => rhs.referenced(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn interp(src: &str, top: &str) -> Interp {
+        Interp::new(&parse(src).unwrap(), top).unwrap()
+    }
+
+    #[test]
+    fn counter_with_reset() {
+        let mut i = interp(
+            "module c(clk, reset, q);\n input clk, reset;\n output [3:0] q;\n reg [3:0] q;\n \
+             always @(posedge clk) begin\n if (reset) q <= 4'd0;\n else q <= q + 4'd1;\n \
+             end\nendmodule",
+            "c",
+        );
+        i.set_input("reset", 1).unwrap();
+        i.posedge().unwrap();
+        assert_eq!(i.get("q"), Some(0));
+        i.set_input("reset", 0).unwrap();
+        for want in 1..=17u64 {
+            i.posedge().unwrap();
+            assert_eq!(i.get("q"), Some(want % 16));
+        }
+        assert_eq!(i.cycles(), 18);
+    }
+
+    #[test]
+    fn assigns_settle_in_dependency_order() {
+        let mut i = interp(
+            "module m(a, y);\n input a;\n output y;\n wire u, v;\n \
+             assign y = v;\n assign v = u;\n assign u = ~a;\nendmodule",
+            "m",
+        );
+        i.set_input("a", 0).unwrap();
+        i.settle().unwrap();
+        assert_eq!(i.get("y"), Some(1));
+        i.set_input("a", 1).unwrap();
+        i.settle().unwrap();
+        assert_eq!(i.get("y"), Some(0));
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        let mut i = interp(
+            "module s(clk, reset, a, b);\n input clk, reset;\n output a, b;\n reg a, b;\n \
+             always @(posedge clk) begin\n if (reset) begin a <= 1'b0; b <= 1'b1; end\n \
+             else begin a <= b; b <= a; end\n end\nendmodule",
+            "s",
+        );
+        i.set_input("reset", 1).unwrap();
+        i.posedge().unwrap();
+        i.set_input("reset", 0).unwrap();
+        i.posedge().unwrap();
+        assert_eq!((i.get("a"), i.get("b")), (Some(1), Some(0)));
+        i.posedge().unwrap();
+        assert_eq!((i.get("a"), i.get("b")), (Some(0), Some(1)));
+    }
+
+    #[test]
+    fn comb_always_with_latch_holds_value() {
+        let mut i = interp(
+            "module l(en, d, q);\n input en, d;\n output q;\n reg q;\n \
+             always @(*) begin\n if (en) q = d;\n end\nendmodule",
+            "l",
+        );
+        i.set_input("en", 1).unwrap();
+        i.set_input("d", 1).unwrap();
+        i.settle().unwrap();
+        assert_eq!(i.get("q"), Some(1));
+        i.set_input("en", 0).unwrap();
+        i.set_input("d", 0).unwrap();
+        i.settle().unwrap();
+        assert_eq!(i.get("q"), Some(1), "latch holds");
+    }
+
+    #[test]
+    fn case_priority_matches_first_label() {
+        let mut i = interp(
+            "module m(s, y);\n input [1:0] s;\n output [3:0] y;\n reg [3:0] y;\n \
+             always @(*) begin\n case (s)\n 2'd0: y = 4'd10;\n 2'd1: y = 4'd11;\n \
+             default: y = 4'd15;\n endcase\n end\nendmodule",
+            "m",
+        );
+        for (s, want) in [(0u64, 10u64), (1, 11), (2, 15), (3, 15)] {
+            i.set_input("s", s).unwrap();
+            i.settle().unwrap();
+            assert_eq!(i.get("y"), Some(want));
+        }
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let d = parse(
+            "module m(y);\n output y;\n wire a, b;\n assign a = b;\n assign b = a;\n \
+             assign y = a;\nendmodule",
+        )
+        .unwrap();
+        assert!(Interp::new(&d, "m").is_err());
+    }
+
+    #[test]
+    fn set_unknown_input_rejected() {
+        let mut i = interp("module m(a); input a; endmodule", "m");
+        assert!(i.set_input("nope", 1).is_err());
+        assert!(i.set_input("a", 1).is_ok());
+    }
+
+    #[test]
+    fn input_masked_to_width() {
+        let mut i = interp("module m(a); input [2:0] a; endmodule", "m");
+        i.set_input("a", 0xFF).unwrap();
+        assert_eq!(i.get("a"), Some(7));
+    }
+}

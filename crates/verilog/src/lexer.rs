@@ -1,0 +1,319 @@
+//! Lexer for the stylized Verilog subset.
+//!
+//! `// archval: ...` comments are preserved as [`Tok::Directive`] tokens
+//! (they carry designer annotations); all other comments are skipped.
+
+use crate::error::VerilogError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An unsized decimal number.
+    Number(u64),
+    /// A sized literal such as `4'b0101`: `(width, value)`.
+    Sized(u32, u64),
+    /// An `// archval: ...` directive body (text after the colon).
+    Directive(String),
+    /// Punctuation or operator.
+    Punct(&'static str),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    // longest first so maximal munch works
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+", "-", "*",
+    "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "(", ")", "[", "]", "{", "}", ",", ";",
+    ":", "@", "?", ".", "#",
+];
+
+/// Tokenizes Verilog source.
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Lex`] on malformed literals or characters
+/// outside the subset.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, VerilogError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let end = src[i..].find('\n').map(|p| i + p).unwrap_or(n);
+            let text = &src[i + 2..end];
+            let trimmed = text.trim_start();
+            if let Some(body) = trimmed.strip_prefix("archval:") {
+                out.push(SpannedTok {
+                    tok: Tok::Directive(body.trim().to_owned()),
+                    line,
+                });
+            }
+            i = end;
+            continue;
+        }
+        if c == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            let rest = &src[i + 2..];
+            match rest.find("*/") {
+                Some(p) => {
+                    line += rest[..p].bytes().filter(|&b| b == b'\n').count() as u32;
+                    i += 2 + p + 2;
+                }
+                None => {
+                    return Err(VerilogError::Lex {
+                        line,
+                        msg: "unterminated block comment".into(),
+                    })
+                }
+            }
+            continue;
+        }
+        // identifiers and keywords
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'\\' {
+            let start = if c == b'\\' { i + 1 } else { i };
+            let mut j = start;
+            while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'$')
+            {
+                j += 1;
+            }
+            if j == start {
+                return Err(VerilogError::Lex { line, msg: "empty escaped identifier".into() });
+            }
+            out.push(SpannedTok { tok: Tok::Ident(src[start..j].to_owned()), line });
+            i = j;
+            continue;
+        }
+        // numbers: sized (4'b0101, 'hFF) or plain decimal
+        if c.is_ascii_digit() || c == b'\'' {
+            let mut j = i;
+            let mut width_digits = String::new();
+            while j < n && bytes[j].is_ascii_digit() {
+                width_digits.push(bytes[j] as char);
+                j += 1;
+            }
+            if j < n && bytes[j] == b'\'' {
+                // sized literal
+                j += 1;
+                if j >= n {
+                    return Err(VerilogError::Lex { line, msg: "truncated sized literal".into() });
+                }
+                let base = bytes[j].to_ascii_lowercase();
+                j += 1;
+                let radix = match base {
+                    b'b' => 2,
+                    b'o' => 8,
+                    b'd' => 10,
+                    b'h' => 16,
+                    _ => {
+                        return Err(VerilogError::Lex {
+                            line,
+                            msg: format!("unknown literal base `{}`", base as char),
+                        })
+                    }
+                };
+                let mut digits = String::new();
+                while j < n
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'x'
+                        || bytes[j] == b'z')
+                {
+                    if bytes[j] != b'_' {
+                        digits.push(bytes[j] as char);
+                    }
+                    j += 1;
+                }
+                if digits.contains(['x', 'X', 'z', 'Z']) {
+                    return Err(VerilogError::Lex {
+                        line,
+                        msg: "x/z literal values are outside the synthesizable subset".into(),
+                    });
+                }
+                let value = u64::from_str_radix(&digits, radix).map_err(|_| VerilogError::Lex {
+                    line,
+                    msg: format!("bad digits `{digits}` for base {radix}"),
+                })?;
+                let width: u32 = if width_digits.is_empty() {
+                    32
+                } else {
+                    width_digits.parse().map_err(|_| VerilogError::Lex {
+                        line,
+                        msg: "bad literal width".into(),
+                    })?
+                };
+                if width == 0 || width > 64 {
+                    return Err(VerilogError::Lex {
+                        line,
+                        msg: format!("literal width {width} not in 1..=64"),
+                    });
+                }
+                let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                out.push(SpannedTok { tok: Tok::Sized(width, value & mask), line });
+                i = j;
+                continue;
+            }
+            // plain decimal
+            let value: u64 = width_digits.parse().map_err(|_| VerilogError::Lex {
+                line,
+                msg: "bad decimal literal".into(),
+            })?;
+            out.push(SpannedTok { tok: Tok::Number(value), line });
+            i = j;
+            continue;
+        }
+        // punctuation, maximal munch
+        let rest = &src[i..];
+        let mut matched = None;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        match matched {
+            Some(p) => {
+                out.push(SpannedTok { tok: Tok::Punct(p), line });
+                i += p.len();
+            }
+            None => {
+                return Err(VerilogError::Lex {
+                    line,
+                    msg: format!("unexpected character `{}`", c as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_and_punct() {
+        assert_eq!(
+            toks("module m ( clk );"),
+            vec![
+                Tok::Ident("module".into()),
+                Tok::Ident("m".into()),
+                Tok::Punct("("),
+                Tok::Ident("clk".into()),
+                Tok::Punct(")"),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn sized_literals() {
+        assert_eq!(toks("4'b0101"), vec![Tok::Sized(4, 5)]);
+        assert_eq!(toks("8'hFF"), vec![Tok::Sized(8, 255)]);
+        assert_eq!(toks("8'hff"), vec![Tok::Sized(8, 255)]);
+        assert_eq!(toks("12'o777"), vec![Tok::Sized(12, 0o777)]);
+        assert_eq!(toks("16'd1_000"), vec![Tok::Sized(16, 1000)]);
+        assert_eq!(toks("'h10"), vec![Tok::Sized(32, 16)]);
+    }
+
+    #[test]
+    fn sized_literal_truncates_to_width() {
+        assert_eq!(toks("2'd7"), vec![Tok::Sized(2, 3)]);
+    }
+
+    #[test]
+    fn plain_decimal() {
+        assert_eq!(toks("42"), vec![Tok::Number(42)]);
+    }
+
+    #[test]
+    fn xz_rejected() {
+        assert!(lex("4'b10xz").is_err());
+    }
+
+    #[test]
+    fn comments_skipped_directives_kept() {
+        let got = toks("a // plain comment\nb // archval: abstract classes=5\nc /* block */ d");
+        assert_eq!(
+            got,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Directive("abstract classes=5".into()),
+                Tok::Ident("c".into()),
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = ts.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn block_comment_counts_lines() {
+        let ts = lex("/* one\ntwo */ x").unwrap();
+        assert_eq!(ts[0].line, 2);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            toks("a<=b <= a<b a==b a!=b a&&b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<="),
+                Tok::Ident("a".into()),
+                Tok::Punct("<"),
+                Tok::Ident("b".into()),
+                Tok::Ident("a".into()),
+                Tok::Punct("=="),
+                Tok::Ident("b".into()),
+                Tok::Ident("a".into()),
+                Tok::Punct("!="),
+                Tok::Ident("b".into()),
+                Tok::Ident("a".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(matches!(lex("/* oops"), Err(VerilogError::Lex { .. })));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(matches!(lex("`define"), Err(VerilogError::Lex { .. })));
+    }
+}

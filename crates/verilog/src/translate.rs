@@ -1,0 +1,1216 @@
+//! Translation from the Verilog subset to the [`archval_fsm`] IR.
+//!
+//! This is the paper's step 1 (Figure 3.1): clocked registers become
+//! explicit state variables, continuous assignments and combinational
+//! `always` blocks become definitions, and annotated interface inputs
+//! become nondeterministic choice inputs that the enumerator permutes.
+//!
+//! Latches — registers assigned in combinational blocks but not on every
+//! path — are "implicit in the stylized code" (the paper's footnote 1) and
+//! are detected and converted to explicit state variables with transparent
+//! read-through semantics.
+//!
+//! Reset handling: when the module has an input named by
+//! [`TranslateOptions::reset`], the translator computes each state
+//! variable's initial value by symbolically stepping the design once with
+//! the reset input asserted, then ties the reset input to constant 0 in the
+//! final model (enumeration always starts *from* the reset state).
+
+use std::collections::{HashMap, HashSet};
+
+use archval_fsm::builder::ModelBuilder;
+use archval_fsm::eval::Evaluator;
+use archval_fsm::expr::BinaryOp;
+use archval_fsm::model::{ChoiceId, DefId, ExprId, Model, VarId};
+
+use crate::annot::Directive;
+use crate::ast::{Design, Expr, Module, PortDir, Sensitivity, Stmt, VBinary, VUnary};
+use crate::error::VerilogError;
+
+/// Options controlling translation.
+#[derive(Debug, Clone)]
+pub struct TranslateOptions {
+    /// Name of the synchronous reset input, if the design has one.
+    pub reset: Option<String>,
+    /// When true (the default), `assign`s and `always` blocks outside
+    /// `control-begin`/`control-end` regions are dropped and any signal
+    /// they drove is abstracted into a free choice input — the paper's
+    /// treatment of datapath logic feeding the control section.
+    pub control_only: bool,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions { reset: Some("reset".to_owned()), control_only: true }
+    }
+}
+
+/// Translates module `top` of `design` with default options.
+///
+/// # Errors
+///
+/// Returns [`VerilogError`] for constructs outside the subset, undeclared
+/// or multiply driven signals, combinational cycles, or FSM construction
+/// failures.
+pub fn translate(design: &Design, top: &str) -> Result<Model, VerilogError> {
+    translate_with_options(design, top, &TranslateOptions::default())
+}
+
+/// Translates module `top` of `design`.
+///
+/// # Errors
+///
+/// See [`translate`].
+pub fn translate_with_options(
+    design: &Design,
+    top: &str,
+    options: &TranslateOptions,
+) -> Result<Model, VerilogError> {
+    let module = design
+        .module(top)
+        .ok_or_else(|| VerilogError::NoSuchModule { name: top.to_owned() })?;
+
+    // Pass 1: reset asserted as a choice, to compute initial values.
+    let with_reset = Translator::new(module, options, ResetBinding::AsChoice)?.run()?;
+    let inits = match (&options.reset, &with_reset.reset_choice) {
+        (Some(_), Some(reset_choice)) => {
+            let model = &with_reset.model;
+            let mut ev = Evaluator::new(model);
+            let zeros = vec![0u64; model.vars().len()];
+            let mut choices = vec![0u64; model.choices().len()];
+            choices[reset_choice.0 as usize] = 1;
+            let mut out = vec![0u64; model.vars().len()];
+            ev.next_state(&zeros, &choices, &mut out)?;
+            Some(
+                model
+                    .vars()
+                    .iter()
+                    .zip(&out)
+                    .map(|(v, &val)| (v.name.clone(), val))
+                    .collect::<HashMap<String, u64>>(),
+            )
+        }
+        _ => None,
+    };
+
+    // Pass 2: reset tied to 0, with the computed initial values.
+    let mut tr = Translator::new(module, options, ResetBinding::Constant(0))?;
+    tr.inits = inits;
+    Ok(tr.run()?.model)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResetBinding {
+    AsChoice,
+    Constant(u64),
+}
+
+/// How a signal name resolves inside expressions.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    State(VarId),
+    Choice(ChoiceId),
+    Def(DefId),
+    Const(u64),
+}
+
+struct Translated {
+    model: Model,
+    reset_choice: Option<ChoiceId>,
+}
+
+/// Per-signal classification derived from declarations and drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    ClockOrReset,
+    Choice { domain: u64 },
+    StateReg,
+    CombWire,
+    /// A reg driven only by combinational always blocks; becomes a latch
+    /// state variable if incompletely assigned, else a wire.
+    CombReg,
+}
+
+struct Translator<'a> {
+    module: &'a Module,
+    options: &'a TranslateOptions,
+    reset_binding: ResetBinding,
+    widths: HashMap<String, u32>,
+    classes: HashMap<String, Class>,
+    inits: Option<HashMap<String, u64>>,
+}
+
+impl<'a> Translator<'a> {
+    fn new(
+        module: &'a Module,
+        options: &'a TranslateOptions,
+        reset_binding: ResetBinding,
+    ) -> Result<Self, VerilogError> {
+        Ok(Translator {
+            module,
+            options,
+            reset_binding,
+            widths: HashMap::new(),
+            classes: HashMap::new(),
+            inits: None,
+        })
+    }
+
+    fn unsupported<T>(&self, msg: impl std::fmt::Display) -> Result<T, VerilogError> {
+        Err(VerilogError::Unsupported {
+            msg: format!("module `{}`: {msg}", self.module.name),
+        })
+    }
+
+    fn width_of(&self, name: &str) -> Result<u32, VerilogError> {
+        self.widths.get(name).copied().ok_or_else(|| VerilogError::Undeclared {
+            module: self.module.name.clone(),
+            name: name.to_owned(),
+        })
+    }
+
+    /// Classifies every declared signal and collects drivers.
+    #[allow(clippy::too_many_lines)]
+    fn run(mut self) -> Result<Translated, VerilogError> {
+        let module = self.module;
+        let control_items_assign: Vec<_> = module
+            .assigns
+            .iter()
+            .filter(|a| a.in_control || !self.options.control_only)
+            .collect();
+        let control_items_always: Vec<_> = module
+            .always
+            .iter()
+            .filter(|a| a.in_control || !self.options.control_only)
+            .collect();
+
+        // determine the clock name (all posedge blocks must agree)
+        let mut clk: Option<&str> = None;
+        for a in &control_items_always {
+            if let Sensitivity::Posedge { clk: c } = &a.sensitivity {
+                match clk {
+                    None => clk = Some(c),
+                    Some(prev) if prev == c => {}
+                    Some(prev) => {
+                        return self
+                            .unsupported(format!("multiple clocks `{prev}` and `{c}`"))
+                    }
+                }
+            }
+        }
+
+        // collect driver targets
+        let mut seq_targets: HashSet<String> = HashSet::new();
+        let mut comb_targets: HashSet<String> = HashSet::new();
+        for a in &control_items_always {
+            let mut targets = Vec::new();
+            collect_targets(&a.body, &mut targets);
+            for t in targets {
+                match a.sensitivity {
+                    Sensitivity::Posedge { .. } => {
+                        seq_targets.insert(t);
+                    }
+                    Sensitivity::Comb => {
+                        comb_targets.insert(t);
+                    }
+                }
+            }
+        }
+        let mut assign_targets: HashSet<String> = HashSet::new();
+        for a in &control_items_assign {
+            if !assign_targets.insert(a.lhs.clone()) {
+                return self.unsupported(format!("signal `{}` has multiple drivers", a.lhs));
+            }
+        }
+        for t in &assign_targets {
+            if seq_targets.contains(t) || comb_targets.contains(t) {
+                return self.unsupported(format!("signal `{t}` has multiple drivers"));
+            }
+        }
+        for t in &seq_targets {
+            if comb_targets.contains(t) {
+                return self.unsupported(format!(
+                    "signal `{t}` driven by both clocked and combinational blocks"
+                ));
+            }
+        }
+
+        // signals read anywhere in the control items
+        let mut control_reads: HashSet<String> = HashSet::new();
+        for a in &control_items_assign {
+            let mut rs = Vec::new();
+            a.rhs.referenced(&mut rs);
+            control_reads.extend(rs);
+        }
+        for a in &control_items_always {
+            let mut rs = Vec::new();
+            collect_reads(&a.body, &mut rs);
+            control_reads.extend(rs);
+        }
+        let has_markers = module
+            .directives
+            .iter()
+            .any(|d| matches!(d, Directive::ControlBegin | Directive::ControlEnd));
+
+        // widths and classification
+        for d in &module.decls {
+            if self.widths.insert(d.name.clone(), d.width).is_some() {
+                return self.unsupported(format!("signal `{}` declared twice", d.name));
+            }
+        }
+        for d in &module.decls {
+            let is_clk = clk == Some(d.name.as_str());
+            let is_reset = self.options.reset.as_deref() == Some(d.name.as_str());
+            let abstract_directive = d.directives.iter().find_map(|dir| match dir {
+                Directive::Abstract { classes } => Some(*classes),
+                _ => None,
+            });
+            let datapath = d.directives.contains(&Directive::Datapath);
+            if d.width > 32 {
+                return self.unsupported(format!("signal `{}` wider than 32 bits", d.name));
+            }
+            let full = 1u64 << d.width;
+            let class = if is_clk {
+                Class::ClockOrReset
+            } else if is_reset {
+                Class::ClockOrReset // bound via reset_binding
+            } else if datapath {
+                Class::Choice { domain: full.max(2) }
+            } else if let Some(classes) = abstract_directive {
+                Class::Choice { domain: classes.unwrap_or(full).max(2) }
+            } else if seq_targets.contains(&d.name) {
+                Class::StateReg
+            } else if comb_targets.contains(&d.name) {
+                Class::CombReg
+            } else if assign_targets.contains(&d.name) {
+                Class::CombWire
+            } else if d.dir == Some(PortDir::Input) {
+                // un-annotated input: abstract over its full range, the
+                // paper's default for interface signals
+                Class::Choice { domain: full.max(2) }
+            } else if d.dir == Some(PortDir::Output) {
+                // undriven output within the control section: the driver
+                // is outside the control region; abstract it
+                Class::Choice { domain: full.max(2) }
+            } else if control_reads.contains(&d.name) {
+                // read by control but driven only outside the control
+                // region: an interface from the datapath, abstracted
+                Class::Choice { domain: full.max(2) }
+            } else if has_markers && self.options.control_only {
+                // neither read nor driven by the control section: a pure
+                // datapath signal, dropped from the model entirely
+                continue;
+            } else {
+                return Err(VerilogError::Undeclared {
+                    module: module.name.clone(),
+                    name: format!("{} (declared but never driven)", d.name),
+                });
+            };
+            self.classes.insert(d.name.clone(), class);
+        }
+        // signals referenced but never declared are errors; collected later
+
+        // ---- build the model ----
+        let mut b = ModelBuilder::new(module.name.clone());
+        let mut bindings: HashMap<String, Binding> = HashMap::new();
+
+        // choices first (stable order: declaration order)
+        let mut reset_choice = None;
+        if self.reset_binding == ResetBinding::AsChoice {
+            if let Some(reset) = &self.options.reset {
+                if module.decl(reset).is_some() {
+                    let c = b.choice(format!("{reset}$reset"), 2);
+                    reset_choice = Some(c);
+                    bindings.insert(reset.clone(), Binding::Choice(c));
+                }
+            }
+        }
+        if reset_choice.is_none() {
+            if let Some(reset) = &self.options.reset {
+                if module.decl(reset).is_some() {
+                    let v = match self.reset_binding {
+                        ResetBinding::Constant(v) => v,
+                        ResetBinding::AsChoice => 0,
+                    };
+                    bindings.insert(reset.clone(), Binding::Const(v));
+                }
+            }
+        }
+        for d in &module.decls {
+            if let Some(Class::Choice { domain }) = self.classes.get(&d.name) {
+                let c = b.choice(d.name.clone(), *domain);
+                bindings.insert(d.name.clone(), Binding::Choice(c));
+            }
+        }
+        if let Some(c) = clk {
+            bindings.insert(c.to_owned(), Binding::Const(0));
+        }
+
+        // state regs (sequential targets)
+        for d in &module.decls {
+            if self.classes.get(&d.name) == Some(&Class::StateReg) {
+                let init = self
+                    .inits
+                    .as_ref()
+                    .and_then(|m| m.get(&d.name).copied())
+                    .unwrap_or(0);
+                let v = b.state_var(d.name.clone(), 1u64 << d.width, init);
+                bindings.insert(d.name.clone(), Binding::State(v));
+            }
+        }
+
+        // completeness analysis of combinational always blocks, to find
+        // latches before wiring defs
+        let mut latches: HashSet<String> = HashSet::new();
+        for a in &control_items_always {
+            if a.sensitivity != Sensitivity::Comb {
+                continue;
+            }
+            let complete = analyze_complete(&a.body);
+            for t in unique_targets(&a.body) {
+                if !complete.contains(&t) {
+                    latches.insert(t);
+                }
+            }
+        }
+        // latch state vars, in deterministic (sorted) order
+        let mut latch_order: Vec<String> = latches.iter().cloned().collect();
+        latch_order.sort();
+        for name in &latch_order {
+            let width = self.width_of(name)?;
+            let init = self
+                .inits
+                .as_ref()
+                .and_then(|m| m.get(&format!("{name}$latch")).copied())
+                .unwrap_or(0);
+            let v = b.state_var(format!("{name}$latch"), 1u64 << width, init);
+            // readers resolve through the transparent def added later; the
+            // raw state var itself is registered under a suffixed name
+            bindings.insert(format!("{name}$latch"), Binding::State(v));
+        }
+
+        // ---- dependency-ordered definition construction ----
+        // Gather all combinationally defined signals with their source.
+        enum CombSrc<'s> {
+            Assign(&'s Expr),
+            AlwaysIndex(usize),
+        }
+        let mut comb_src: HashMap<String, CombSrc<'_>> = HashMap::new();
+        for a in &control_items_assign {
+            comb_src.insert(a.lhs.clone(), CombSrc::Assign(&a.rhs));
+        }
+        for (i, a) in control_items_always.iter().enumerate() {
+            if a.sensitivity == Sensitivity::Comb {
+                for t in unique_targets(&a.body) {
+                    if comb_src.insert(t.clone(), CombSrc::AlwaysIndex(i)).is_some() {
+                        return self
+                            .unsupported(format!("signal `{t}` has multiple drivers"));
+                    }
+                }
+            }
+        }
+
+        // dependency edges among comb-defined signals
+        let mut order: Vec<String> = Vec::new();
+        {
+            let mut temp_mark: HashSet<String> = HashSet::new();
+            let mut perm_mark: HashSet<String> = HashSet::new();
+            // iterative DFS topological sort with cycle detection
+            fn visit(
+                name: &str,
+                comb_deps: &dyn Fn(&str) -> Vec<String>,
+                comb_defined: &HashSet<String>,
+                temp: &mut HashSet<String>,
+                perm: &mut HashSet<String>,
+                order: &mut Vec<String>,
+            ) -> Result<(), String> {
+                if perm.contains(name) {
+                    return Ok(());
+                }
+                if temp.contains(name) {
+                    return Err(name.to_owned());
+                }
+                temp.insert(name.to_owned());
+                for dep in comb_deps(name) {
+                    if comb_defined.contains(&dep) {
+                        visit(&dep, comb_deps, comb_defined, temp, perm, order)?;
+                    }
+                }
+                temp.remove(name);
+                perm.insert(name.to_owned());
+                order.push(name.to_owned());
+                Ok(())
+            }
+            let comb_defined: HashSet<String> = comb_src.keys().cloned().collect();
+            let deps = |name: &str| -> Vec<String> {
+                let mut out = Vec::new();
+                match comb_src.get(name) {
+                    Some(CombSrc::Assign(e)) => e.referenced(&mut out),
+                    Some(CombSrc::AlwaysIndex(i)) => {
+                        collect_reads(&control_items_always[*i].body, &mut out)
+                    }
+                    None => {}
+                }
+                out
+            };
+            let mut names: Vec<&String> = comb_src.keys().collect();
+            names.sort(); // deterministic order
+            for name in names {
+                visit(name, &deps, &comb_defined, &mut temp_mark, &mut perm_mark, &mut order)
+                    .map_err(|def| VerilogError::Fsm(archval_fsm::Error::CombinationalCycle {
+                        def,
+                    }))?;
+            }
+        }
+
+        // build defs in topological order; comb always blocks are executed
+        // once when their first target is reached
+        let mut done_always: HashSet<usize> = HashSet::new();
+        for name in &order {
+            match comb_src.get(name) {
+                Some(CombSrc::Assign(e)) => {
+                    let width = self.width_of(name)?;
+                    let (expr, _) = self.expr(&b, &bindings, e)?;
+                    let masked = mask_to(&b, expr, width);
+                    let d = b.def(name.clone(), masked);
+                    bindings.insert(name.clone(), Binding::Def(d));
+                }
+                Some(CombSrc::AlwaysIndex(i)) => {
+                    if !done_always.insert(*i) {
+                        continue;
+                    }
+                    let a = control_items_always[*i];
+                    // seed env with latch defaults (previous value) so
+                    // incomplete paths read through
+                    let mut env = SymEnv::default();
+                    let targets = unique_targets(&a.body);
+                    for t in &targets {
+                        if latches.contains(t) {
+                            let latch = bindings[&format!("{t}$latch")];
+                            if let Binding::State(v) = latch {
+                                env.cur.insert(t.clone(), b.var_expr(v));
+                            }
+                        }
+                    }
+                    self.exec(&b, &bindings, &a.body, &mut env, true)?;
+                    for t in &targets {
+                        let width = self.width_of(t)?;
+                        let value = match env.cur.get(t) {
+                            Some(&e) => e,
+                            None => {
+                                // target untouched on all paths: pure hold
+                                let latch = bindings[&format!("{t}$latch")];
+                                match latch {
+                                    Binding::State(v) => b.var_expr(v),
+                                    _ => unreachable!("latch binding is state"),
+                                }
+                            }
+                        };
+                        let masked = mask_to(&b, value, width);
+                        let d = b.def(t.clone(), masked);
+                        bindings.insert(t.clone(), Binding::Def(d));
+                    }
+                }
+                None => {}
+            }
+        }
+
+        // latch next-state functions: the transparent def value
+        for name in &latches {
+            if let (Some(Binding::State(v)), Some(Binding::Def(d))) = (
+                bindings.get(&format!("{name}$latch")).copied(),
+                bindings.get(name).copied(),
+            ) {
+                b.set_next(v, b.def_expr(d));
+            }
+        }
+
+        // sequential blocks: next-state functions
+        let mut next_exprs: HashMap<String, ExprId> = HashMap::new();
+        for a in &control_items_always {
+            if !matches!(a.sensitivity, Sensitivity::Posedge { .. }) {
+                continue;
+            }
+            let mut env = SymEnv::default();
+            self.exec(&b, &bindings, &a.body, &mut env, false)?;
+            for t in unique_targets(&a.body) {
+                let value = env
+                    .nb
+                    .get(&t)
+                    .or_else(|| env.cur.get(&t))
+                    .copied()
+                    .unwrap_or_else(|| match bindings[&t] {
+                        Binding::State(v) => b.var_expr(v),
+                        _ => unreachable!("sequential target is state"),
+                    });
+                if next_exprs.insert(t.clone(), value).is_some() {
+                    return self
+                        .unsupported(format!("register `{t}` assigned in two clocked blocks"));
+                }
+            }
+        }
+        for d in &module.decls {
+            if self.classes.get(&d.name) == Some(&Class::StateReg) {
+                if let Some(Binding::State(v)) = bindings.get(&d.name).copied() {
+                    let next = next_exprs
+                        .get(&d.name)
+                        .copied()
+                        .unwrap_or_else(|| b.var_expr(v));
+                    b.set_next(v, next);
+                }
+            }
+        }
+
+        let model = b.build()?;
+        Ok(Translated { model, reset_choice })
+    }
+
+    /// Symbolically executes a statement, updating `env`.
+    fn exec(
+        &self,
+        b: &ModelBuilder,
+        bindings: &HashMap<String, Binding>,
+        stmt: &Stmt,
+        env: &mut SymEnv,
+        comb: bool,
+    ) -> Result<(), VerilogError> {
+        match stmt {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec(b, bindings, s, env, comb)?;
+                }
+                Ok(())
+            }
+            Stmt::Blocking { lhs, rhs } => {
+                let width = self.width_of(lhs)?;
+                let (e, _) = self.expr_env(b, bindings, rhs, env)?;
+                env.cur.insert(lhs.clone(), mask_to(b, e, width));
+                Ok(())
+            }
+            Stmt::NonBlocking { lhs, rhs } => {
+                if comb {
+                    return self.unsupported(format!(
+                        "nonblocking assignment to `{lhs}` in a combinational block"
+                    ));
+                }
+                let width = self.width_of(lhs)?;
+                let (e, _) = self.expr_env(b, bindings, rhs, env)?;
+                env.nb.insert(lhs.clone(), mask_to(b, e, width));
+                Ok(())
+            }
+            Stmt::If { cond, then, other } => {
+                let (c, _) = self.expr_env(b, bindings, cond, env)?;
+                let mut env_t = env.clone();
+                self.exec(b, bindings, then, &mut env_t, comb)?;
+                let mut env_e = env.clone();
+                if let Some(o) = other {
+                    self.exec(b, bindings, o, &mut env_e, comb)?;
+                }
+                *env = SymEnv::merge(b, bindings, c, env_t, env_e, self)?;
+                Ok(())
+            }
+            Stmt::Case { scrutinee, arms, default } => {
+                let (s, _) = self.expr_env(b, bindings, scrutinee, env)?;
+                // desugar to a chain of ifs, last arm first
+                let mut result = env.clone();
+                if let Some(d) = default {
+                    self.exec(b, bindings, d, &mut result, comb)?;
+                }
+                for (labels, body) in arms.iter().rev() {
+                    let mut guard = None;
+                    for l in labels {
+                        let (lv, _) = self.expr_env(b, bindings, l, env)?;
+                        let eq = b.eq(s, lv);
+                        guard = Some(match guard {
+                            None => eq,
+                            Some(g) => b.or(g, eq),
+                        });
+                    }
+                    let guard =
+                        guard.ok_or_else(|| VerilogError::Unsupported {
+                            msg: "case arm with no labels".into(),
+                        })?;
+                    let mut env_t = env.clone();
+                    self.exec(b, bindings, body, &mut env_t, comb)?;
+                    result = SymEnv::merge(b, bindings, guard, env_t, result, self)?;
+                }
+                *env = result;
+                Ok(())
+            }
+        }
+    }
+
+    /// Translates an expression in the ambient (non-statement) context.
+    fn expr(
+        &self,
+        b: &ModelBuilder,
+        bindings: &HashMap<String, Binding>,
+        e: &Expr,
+    ) -> Result<(ExprId, u32), VerilogError> {
+        let empty = SymEnv::default();
+        self.expr_in(b, bindings, e, &empty)
+    }
+
+    /// Translates an expression reading blocking-updated values from `env`.
+    fn expr_env(
+        &self,
+        b: &ModelBuilder,
+        bindings: &HashMap<String, Binding>,
+        e: &Expr,
+        env: &SymEnv,
+    ) -> Result<(ExprId, u32), VerilogError> {
+        self.expr_in(b, bindings, e, env)
+    }
+
+    fn resolve(
+        &self,
+        b: &ModelBuilder,
+        bindings: &HashMap<String, Binding>,
+        name: &str,
+        env: &SymEnv,
+    ) -> Result<(ExprId, u32), VerilogError> {
+        if let Some(&e) = env.cur.get(name) {
+            return Ok((e, self.width_of(name)?));
+        }
+        let width = self.width_of(name)?;
+        let binding = bindings.get(name).copied().ok_or_else(|| VerilogError::Undeclared {
+            module: self.module.name.clone(),
+            name: name.to_owned(),
+        })?;
+        let e = match binding {
+            Binding::State(v) => b.var_expr(v),
+            Binding::Choice(c) => b.choice_expr(c),
+            Binding::Def(d) => b.def_expr(d),
+            Binding::Const(v) => b.constant(v),
+        };
+        Ok((e, width))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn expr_in(
+        &self,
+        b: &ModelBuilder,
+        bindings: &HashMap<String, Binding>,
+        e: &Expr,
+        env: &SymEnv,
+    ) -> Result<(ExprId, u32), VerilogError> {
+        match e {
+            Expr::Literal { value, width } => {
+                let w = width.unwrap_or(32).min(32);
+                let mask = (1u64 << w) - 1;
+                Ok((b.constant(value & mask), w))
+            }
+            Expr::Ident(name) => self.resolve(b, bindings, name, env),
+            Expr::BitSelect { base, index } => {
+                let (v, w) = self.resolve(b, bindings, base, env)?;
+                if *index >= w {
+                    return self
+                        .unsupported(format!("bit select {base}[{index}] out of range"));
+                }
+                let shifted = b.binary(BinaryOp::Shr, v, b.constant(u64::from(*index)));
+                Ok((b.binary(BinaryOp::BitAnd, shifted, b.constant(1)), 1))
+            }
+            Expr::PartSelect { base, high, low } => {
+                let (v, w) = self.resolve(b, bindings, base, env)?;
+                if *high >= w || low > high {
+                    return self.unsupported(format!(
+                        "part select {base}[{high}:{low}] out of range"
+                    ));
+                }
+                let pw = high - low + 1;
+                let shifted = b.binary(BinaryOp::Shr, v, b.constant(u64::from(*low)));
+                Ok((mask_to(b, shifted, pw), pw))
+            }
+            Expr::Concat(parts) => {
+                let mut acc: Option<(ExprId, u32)> = None;
+                for p in parts {
+                    let (pe, pw) = self.expr_in(b, bindings, p, env)?;
+                    acc = Some(match acc {
+                        None => (pe, pw),
+                        Some((ae, aw)) => {
+                            if aw + pw > 32 {
+                                return self.unsupported("concatenation wider than 32 bits");
+                            }
+                            let shifted =
+                                b.binary(BinaryOp::Shl, ae, b.constant(u64::from(pw)));
+                            (b.binary(BinaryOp::BitOr, shifted, pe), aw + pw)
+                        }
+                    });
+                }
+                acc.map_or_else(|| self.unsupported("empty concatenation"), Ok)
+            }
+            Expr::Unary(op, a) => {
+                let (av, aw) = self.expr_in(b, bindings, a, env)?;
+                Ok(match op {
+                    VUnary::LogicalNot => (b.not(av), 1),
+                    VUnary::BitNot => (mask_to(b, b.bit_not(av), aw), aw),
+                    VUnary::RedAnd => {
+                        let mask = (1u64 << aw) - 1;
+                        (b.eq_const(av, mask), 1)
+                    }
+                    VUnary::RedOr => (b.ne(av, b.constant(0)), 1),
+                    VUnary::RedXor => {
+                        let mut acc = b.binary(BinaryOp::BitAnd, av, b.constant(1));
+                        for i in 1..aw {
+                            let bit = b.binary(BinaryOp::Shr, av, b.constant(u64::from(i)));
+                            let bit = b.binary(BinaryOp::BitAnd, bit, b.constant(1));
+                            acc = b.binary(BinaryOp::BitXor, acc, bit);
+                        }
+                        (acc, 1)
+                    }
+                    VUnary::Neg => {
+                        let zero = b.constant(0);
+                        (mask_to(b, b.sub(zero, av), aw), aw)
+                    }
+                })
+            }
+            Expr::Binary(op, x, y) => {
+                let (xv, xw) = self.expr_in(b, bindings, x, env)?;
+                let (yv, yw) = self.expr_in(b, bindings, y, env)?;
+                let w = xw.max(yw);
+                let out = match op {
+                    VBinary::LogicalAnd => (b.and(xv, yv), 1),
+                    VBinary::LogicalOr => (b.or(xv, yv), 1),
+                    VBinary::BitAnd => (b.binary(BinaryOp::BitAnd, xv, yv), w),
+                    VBinary::BitOr => (b.binary(BinaryOp::BitOr, xv, yv), w),
+                    VBinary::BitXor => (b.binary(BinaryOp::BitXor, xv, yv), w),
+                    VBinary::Add => (mask_to(b, b.add(xv, yv), w), w),
+                    VBinary::Sub => (mask_to(b, b.sub(xv, yv), w), w),
+                    VBinary::Mul => {
+                        (mask_to(b, b.binary(BinaryOp::Mul, xv, yv), w), w)
+                    }
+                    VBinary::Eq => (b.eq(xv, yv), 1),
+                    VBinary::Ne => (b.ne(xv, yv), 1),
+                    VBinary::Lt => (b.binary(BinaryOp::Lt, xv, yv), 1),
+                    VBinary::Le => (b.binary(BinaryOp::Le, xv, yv), 1),
+                    VBinary::Gt => (b.binary(BinaryOp::Gt, xv, yv), 1),
+                    VBinary::Ge => (b.binary(BinaryOp::Ge, xv, yv), 1),
+                    VBinary::Shl => (mask_to(b, b.binary(BinaryOp::Shl, xv, yv), xw), xw),
+                    VBinary::Shr => (b.binary(BinaryOp::Shr, xv, yv), xw),
+                };
+                Ok(out)
+            }
+            Expr::Ternary { cond, then, other } => {
+                let (c, _) = self.expr_in(b, bindings, cond, env)?;
+                let (t, tw) = self.expr_in(b, bindings, then, env)?;
+                let (o, ow) = self.expr_in(b, bindings, other, env)?;
+                Ok((b.ternary(c, t, o), tw.max(ow)))
+            }
+        }
+    }
+}
+
+/// Truncates an expression to `width` bits (no-op beyond 32 bits is
+/// prevented upstream).
+fn mask_to(b: &ModelBuilder, e: ExprId, width: u32) -> ExprId {
+    let mask = (1u64 << width) - 1;
+    b.binary(BinaryOp::BitAnd, e, b.constant(mask))
+}
+
+/// Symbolic environment: blocking updates (`cur`) and pending nonblocking
+/// updates (`nb`).
+#[derive(Debug, Clone, Default)]
+struct SymEnv {
+    cur: HashMap<String, ExprId>,
+    nb: HashMap<String, ExprId>,
+}
+
+impl SymEnv {
+    /// Merges the two branch environments of an `if (cond)`.
+    fn merge(
+        b: &ModelBuilder,
+        bindings: &HashMap<String, Binding>,
+        cond: ExprId,
+        then: SymEnv,
+        other: SymEnv,
+        tr: &Translator<'_>,
+    ) -> Result<SymEnv, VerilogError> {
+        let mut out = SymEnv::default();
+        let base = |name: &str| -> Result<ExprId, VerilogError> {
+            let empty = SymEnv::default();
+            let (e, _) = tr.resolve(b, bindings, name, &empty)?;
+            Ok(e)
+        };
+        for (map_t, map_e, map_out) in
+            [(&then.cur, &other.cur, &mut out.cur), (&then.nb, &other.nb, &mut out.nb)]
+        {
+            let mut keys: Vec<&String> = map_t.keys().chain(map_e.keys()).collect();
+            keys.sort();
+            keys.dedup();
+            for k in keys {
+                let tv = match map_t.get(k) {
+                    Some(&v) => v,
+                    None => base(k)?,
+                };
+                let ev = match map_e.get(k) {
+                    Some(&v) => v,
+                    None => base(k)?,
+                };
+                let merged = if tv == ev { tv } else { b.ternary(cond, tv, ev) };
+                map_out.insert(k.clone(), merged);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Collects assignment targets of a statement tree.
+fn collect_targets(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Empty => {}
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_targets(s, out)),
+        Stmt::If { then, other, .. } => {
+            collect_targets(then, out);
+            if let Some(o) = other {
+                collect_targets(o, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for (_, s) in arms {
+                collect_targets(s, out);
+            }
+            if let Some(d) = default {
+                collect_targets(d, out);
+            }
+        }
+        Stmt::NonBlocking { lhs, .. } | Stmt::Blocking { lhs, .. } => out.push(lhs.clone()),
+    }
+}
+
+/// Collects assignment targets, deduplicated, preserving first-seen order.
+fn unique_targets(stmt: &Stmt) -> Vec<String> {
+    let mut all = Vec::new();
+    collect_targets(stmt, &mut all);
+    let mut seen = HashSet::new();
+    all.retain(|t| seen.insert(t.clone()));
+    all
+}
+
+/// Collects every signal read anywhere in a statement tree.
+fn collect_reads(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Empty => {}
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_reads(s, out)),
+        Stmt::If { cond, then, other } => {
+            cond.referenced(out);
+            collect_reads(then, out);
+            if let Some(o) = other {
+                collect_reads(o, out);
+            }
+        }
+        Stmt::Case { scrutinee, arms, default } => {
+            scrutinee.referenced(out);
+            for (labels, s) in arms {
+                for l in labels {
+                    l.referenced(out);
+                }
+                collect_reads(s, out);
+            }
+            if let Some(d) = default {
+                collect_reads(d, out);
+            }
+        }
+        Stmt::NonBlocking { rhs, .. } | Stmt::Blocking { rhs, .. } => rhs.referenced(out),
+    }
+}
+
+/// Returns the set of targets assigned on *every* path through `stmt`
+/// (the completeness analysis behind latch inference). `case` statements
+/// count as complete only when they have a `default` arm.
+fn analyze_complete(stmt: &Stmt) -> HashSet<String> {
+    match stmt {
+        Stmt::Empty => HashSet::new(),
+        Stmt::NonBlocking { lhs, .. } | Stmt::Blocking { lhs, .. } => {
+            let mut s = HashSet::new();
+            s.insert(lhs.clone());
+            s
+        }
+        Stmt::Block(ss) => {
+            let mut acc = HashSet::new();
+            for s in ss {
+                acc.extend(analyze_complete(s));
+            }
+            acc
+        }
+        Stmt::If { then, other, .. } => match other {
+            Some(o) => analyze_complete(then)
+                .intersection(&analyze_complete(o))
+                .cloned()
+                .collect(),
+            None => HashSet::new(),
+        },
+        Stmt::Case { arms, default, .. } => match default {
+            Some(d) => {
+                let mut acc = analyze_complete(d);
+                for (_, s) in arms {
+                    acc = acc.intersection(&analyze_complete(s)).cloned().collect();
+                }
+                acc
+            }
+            None => HashSet::new(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use archval_fsm::enumerate::{enumerate, EnumConfig};
+    use archval_fsm::SyncSim;
+
+    fn model(src: &str, top: &str) -> Model {
+        translate(&parse(src).unwrap(), top).unwrap()
+    }
+
+    #[test]
+    fn toggle_translates_and_enumerates() {
+        let m = model(
+            "module t(clk, reset, en, q);\n input clk, reset;\n input en; // archval: abstract\n \
+             output q;\n reg q;\n always @(posedge clk) begin\n if (reset) q <= 1'b0;\n \
+             else if (en) q <= ~q;\n end\nendmodule",
+            "t",
+        );
+        assert_eq!(m.vars().len(), 1);
+        assert_eq!(m.choices().len(), 1);
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        assert_eq!(r.graph.state_count(), 2);
+        assert_eq!(r.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn reset_value_becomes_init() {
+        let m = model(
+            "module t(clk, reset, q);\n input clk, reset;\n output [3:0] q;\n reg [3:0] q;\n \
+             always @(posedge clk) begin\n if (reset) q <= 4'd9;\n else q <= q + 4'd1;\n \
+             end\nendmodule",
+            "t",
+        );
+        assert_eq!(m.reset_state(), vec![9]);
+        // with reset tied low the counter free-runs: 16 states
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        assert_eq!(r.graph.state_count(), 16);
+    }
+
+    #[test]
+    fn abstract_classes_shrinks_domain() {
+        let m = model(
+            "module t(clk, reset, cls, q);\n input clk, reset;\n \
+             input [2:0] cls; // archval: abstract classes=5\n output q;\n reg q;\n \
+             always @(posedge clk) q <= cls == 3'd4;\nendmodule",
+            "t",
+        );
+        let c = m.choice_by_name("cls").unwrap();
+        assert_eq!(m.choices()[c.0 as usize].size, 5);
+    }
+
+    #[test]
+    fn unannotated_input_is_fully_abstract() {
+        let m = model(
+            "module t(clk, reset, x, q);\n input clk, reset;\n input [1:0] x;\n output q;\n \
+             reg q;\n always @(posedge clk) q <= x == 2'd3;\nendmodule",
+            "t",
+        );
+        let c = m.choice_by_name("x").unwrap();
+        assert_eq!(m.choices()[c.0 as usize].size, 4);
+    }
+
+    #[test]
+    fn assigns_become_defs_in_dependency_order() {
+        let m = model(
+            "module t(clk, reset, a, q);\n input clk, reset, a;\n output q;\n reg q;\n \
+             wire u, v;\n assign v = u & a;\n assign u = ~q;\n \
+             always @(posedge clk) q <= v;\nendmodule",
+            "t",
+        );
+        // u precedes v in evaluation order
+        let u = m.def_by_name("u").unwrap();
+        let v = m.def_by_name("v").unwrap();
+        assert!(u.0 < v.0);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let d = parse(
+            "module t(clk, reset, q);\n input clk, reset;\n output q;\n reg q;\n \
+             wire a, b;\n assign a = b;\n assign b = a;\n \
+             always @(posedge clk) q <= a;\nendmodule",
+        )
+        .unwrap();
+        assert!(matches!(
+            translate(&d, "t"),
+            Err(VerilogError::Fsm(archval_fsm::Error::CombinationalCycle { .. }))
+        ));
+    }
+
+    #[test]
+    fn latch_inferred_from_incomplete_if() {
+        let m = model(
+            "module t(clk, reset, en, d, q);\n input clk, reset, en, d;\n output q;\n reg l;\n \
+             reg q;\n always @(*) begin\n if (en) l = d;\n end\n \
+             always @(posedge clk) q <= l;\nendmodule",
+            "t",
+        );
+        // the latch shows up as an explicit state variable
+        assert!(m.var_by_name("l$latch").is_some());
+        // transparent semantics: a def named `l` reads through
+        assert!(m.def_by_name("l").is_some());
+    }
+
+    #[test]
+    fn complete_comb_block_is_not_a_latch() {
+        let m = model(
+            "module t(clk, reset, en, d, q);\n input clk, reset, en, d;\n output q;\n reg w;\n \
+             reg q;\n always @(*) begin\n if (en) w = d;\n else w = 1'b0;\n end\n \
+             always @(posedge clk) q <= w;\nendmodule",
+            "t",
+        );
+        assert!(m.var_by_name("w$latch").is_none());
+        assert!(m.def_by_name("w").is_some());
+        assert_eq!(m.vars().len(), 1);
+    }
+
+    #[test]
+    fn case_with_default_translates() {
+        let m = model(
+            "module t(clk, reset, s, q);\n input clk, reset;\n input [1:0] s;\n \
+             output [1:0] q;\n reg [1:0] q;\n always @(posedge clk) begin\n \
+             if (reset) q <= 2'd0;\n else case (s)\n 2'd0: q <= 2'd1;\n 2'd1, 2'd2: q <= 2'd2;\n \
+             default: q <= q;\n endcase\n end\nendmodule",
+            "t",
+        );
+        let mut sim = SyncSim::new(&m);
+        let s = m.choice_by_name("s").unwrap();
+        let mut choices = vec![0u64; m.choices().len()];
+        choices[s.0 as usize] = 0;
+        sim.step(&choices).unwrap();
+        assert_eq!(sim.var("q"), Some(1));
+        choices[s.0 as usize] = 2;
+        sim.step(&choices).unwrap();
+        assert_eq!(sim.var("q"), Some(2));
+        choices[s.0 as usize] = 3;
+        sim.step(&choices).unwrap();
+        assert_eq!(sim.var("q"), Some(2), "default holds");
+    }
+
+    #[test]
+    fn nonblocking_reads_old_values() {
+        // classic swap: a and b exchange each cycle
+        let m = model(
+            "module t(clk, reset, a, b);\n input clk, reset;\n output a, b;\n reg a, b;\n \
+             always @(posedge clk) begin\n if (reset) begin a <= 1'b0; b <= 1'b1; end\n \
+             else begin a <= b; b <= a; end\n end\nendmodule",
+            "t",
+        );
+        let mut sim = SyncSim::new(&m);
+        assert_eq!((sim.var("a"), sim.var("b")), (Some(0), Some(1)));
+        sim.step(&[]).unwrap();
+        assert_eq!((sim.var("a"), sim.var("b")), (Some(1), Some(0)));
+        sim.step(&[]).unwrap();
+        assert_eq!((sim.var("a"), sim.var("b")), (Some(0), Some(1)));
+    }
+
+    #[test]
+    fn datapath_directive_abstracts_register() {
+        let m = model(
+            "module t(clk, reset, q);\n input clk, reset;\n output q;\n \
+             reg [1:0] addr; // archval: datapath\n reg q;\n \
+             always @(posedge clk) q <= addr == 2'd3;\nendmodule",
+            "t",
+        );
+        assert!(m.choice_by_name("addr").is_some());
+        assert!(m.var_by_name("addr").is_none());
+    }
+
+    #[test]
+    fn control_sections_abstract_outside_drivers() {
+        let m = model(
+            "module t(clk, reset, q, hit);\n input clk, reset;\n output q;\n output hit;\n \
+             wire hit;\n reg [7:0] tag;\n \
+             // datapath: drives hit from a wide comparison\n \
+             assign hit = tag == 8'hA5;\n \
+             always @(posedge clk) tag <= tag + 8'd1;\n \
+             // archval: control-begin\n \
+             reg q;\n always @(posedge clk) q <= hit;\n // archval: control-end\nendmodule",
+            "t",
+        );
+        // `hit` is driven outside the control region, so it is abstracted
+        assert!(m.choice_by_name("hit").is_some());
+        // the wide datapath register does not appear at all
+        assert!(m.var_by_name("tag").is_none());
+        assert_eq!(m.bits_per_state(), 1);
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let d = parse(
+            "module t(clk, reset, q);\n input clk, reset;\n output q;\n wire q;\n \
+             assign q = 1'b0;\n assign q = 1'b1;\nendmodule",
+        )
+        .unwrap();
+        assert!(matches!(translate(&d, "t"), Err(VerilogError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn missing_module_rejected() {
+        let d = parse("module a(x); input x; endmodule").unwrap();
+        assert!(matches!(
+            translate(&d, "zzz"),
+            Err(VerilogError::NoSuchModule { .. })
+        ));
+    }
+
+    #[test]
+    fn part_select_and_concat_semantics() {
+        let m = model(
+            "module t(clk, reset, a, q);\n input clk, reset;\n input [3:0] a;\n \
+             output [3:0] q;\n reg [3:0] q;\n \
+             always @(posedge clk) q <= {a[1:0], a[3:2]};\nendmodule",
+            "t",
+        );
+        let mut sim = SyncSim::new(&m);
+        let a = m.choice_by_name("a").unwrap();
+        let mut choices = vec![0u64; m.choices().len()];
+        choices[a.0 as usize] = 0b1101;
+        sim.step(&choices).unwrap();
+        // {a[1:0], a[3:2]} of 1101 = {01, 11} = 0111
+        assert_eq!(sim.var("q"), Some(0b0111));
+    }
+
+    #[test]
+    fn reduction_operators() {
+        let m = model(
+            "module t(clk, reset, a, x, y, z);\n input clk, reset;\n input [2:0] a;\n \
+             output x, y, z;\n reg x, y, z;\n always @(posedge clk) begin\n \
+             x <= &a;\n y <= |a;\n z <= ^a;\n end\nendmodule",
+            "t",
+        );
+        let mut sim = SyncSim::new(&m);
+        let a = m.choice_by_name("a").unwrap();
+        let mut choices = vec![0u64; m.choices().len()];
+        for (v, ex, eo, ex2) in
+            [(0b000u64, 0u64, 0u64, 0u64), (0b111, 1, 1, 1), (0b101, 0, 1, 0), (0b100, 0, 1, 1)]
+        {
+            choices[a.0 as usize] = v;
+            sim.step(&choices).unwrap();
+            assert_eq!(sim.var("x"), Some(ex), "&{v:b}");
+            assert_eq!(sim.var("y"), Some(eo), "|{v:b}");
+            assert_eq!(sim.var("z"), Some(ex2), "^{v:b}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let m = model(
+            "module t(clk, reset, q);\n input clk, reset;\n output [2:0] q;\n reg [2:0] q;\n \
+             always @(posedge clk) begin\n if (reset) q <= 3'd6;\n else q <= q + 3'd3;\n \
+             end\nendmodule",
+            "t",
+        );
+        let mut sim = SyncSim::new(&m);
+        assert_eq!(sim.var("q"), Some(6));
+        sim.step(&[]).unwrap();
+        assert_eq!(sim.var("q"), Some(1), "6+3 wraps to 1 in 3 bits");
+    }
+}

@@ -1,0 +1,115 @@
+//! Parser and translator fixtures: realistic module shapes and the error
+//! surface of the subset.
+
+use archval_fsm::{enumerate, EnumConfig};
+use archval_verilog::{parse, translate, Interp, VerilogError};
+
+#[test]
+fn gray_code_counter() {
+    let src = "module gray(clk, reset, en, g);\n input clk, reset;\n \
+               input en; // archval: abstract\n output [2:0] g;\n reg [2:0] bin;\n \
+               wire [2:0] g;\n assign g = bin ^ (bin >> 1);\n \
+               always @(posedge clk) begin\n if (reset) bin <= 3'd0;\n \
+               else if (en) bin <= bin + 3'd1;\n end\nendmodule";
+    let model = translate(&parse(src).unwrap(), "gray").unwrap();
+    let r = enumerate(&model, &EnumConfig::default()).unwrap();
+    assert_eq!(r.graph.state_count(), 8);
+    // gray property via the interpreter: successive codes differ in 1 bit
+    let d = parse(src).unwrap();
+    let mut i = Interp::new(&d, "gray").unwrap();
+    i.set_input("reset", 1).unwrap();
+    i.posedge().unwrap();
+    i.set_input("reset", 0).unwrap();
+    i.set_input("en", 1).unwrap();
+    let mut prev = i.get("g").unwrap();
+    for _ in 0..16 {
+        i.posedge().unwrap();
+        let cur = i.get("g").unwrap();
+        assert_eq!((prev ^ cur).count_ones(), 1, "gray step {prev:03b}->{cur:03b}");
+        prev = cur;
+    }
+}
+
+#[test]
+fn one_hot_ring_with_parameter_ignored() {
+    let src = "module ring(clk, reset, q);\n parameter WIDTH = 4;\n input clk, reset;\n \
+               output [3:0] q;\n reg [3:0] q;\n always @(posedge clk) begin\n \
+               if (reset) q <= 4'b0001;\n else q <= {q[2:0], q[3]};\n end\nendmodule";
+    let model = translate(&parse(src).unwrap(), "ring").unwrap();
+    let r = enumerate(&model, &EnumConfig::default()).unwrap();
+    assert_eq!(r.graph.state_count(), 4, "one-hot rotation has 4 states");
+    assert_eq!(model.reset_state(), vec![1]);
+}
+
+#[test]
+fn saturating_counter() {
+    let src = "module sat(clk, reset, up, q);\n input clk, reset;\n \
+               input up; // archval: abstract\n output [1:0] q;\n reg [1:0] q;\n \
+               always @(posedge clk) begin\n if (reset) q <= 2'd0;\n \
+               else if (up && (q < 2'd3)) q <= q + 2'd1;\n \
+               else if (!up && (q > 2'd0)) q <= q - 2'd1;\n end\nendmodule";
+    let model = translate(&parse(src).unwrap(), "sat").unwrap();
+    let r = enumerate(&model, &EnumConfig::default()).unwrap();
+    assert_eq!(r.graph.state_count(), 4);
+    // 2 arcs per state except saturation self-loops collapse
+    assert!(r.graph.edge_count() >= 7);
+}
+
+#[test]
+fn two_clock_domains_rejected() {
+    let src = "module bad(clk, clk2, reset, q);\n input clk, clk2, reset;\n output q;\n \
+               reg q, p;\n always @(posedge clk) q <= ~q;\n \
+               always @(posedge clk2) p <= ~p;\nendmodule";
+    assert!(matches!(
+        translate(&parse(src).unwrap(), "bad"),
+        Err(VerilogError::Unsupported { .. })
+    ));
+}
+
+#[test]
+fn register_in_two_clocked_blocks_rejected() {
+    let src = "module bad(clk, reset, q);\n input clk, reset;\n output q;\n reg q;\n \
+               always @(posedge clk) q <= 1'b0;\n always @(posedge clk) q <= 1'b1;\nendmodule";
+    assert!(matches!(
+        translate(&parse(src).unwrap(), "bad"),
+        Err(VerilogError::Unsupported { .. })
+    ));
+}
+
+#[test]
+fn wide_signals_rejected() {
+    let src = "module bad(clk, reset, q);\n input clk, reset;\n output q;\n reg q;\n \
+               reg [63:0] big;\n always @(posedge clk) begin q <= big[0]; big <= big + 1; \
+               end\nendmodule";
+    assert!(parse(src).is_err() || translate(&parse(src).unwrap(), "bad").is_err());
+}
+
+#[test]
+fn off_region_hides_unsupported_constructs() {
+    let src = "module ok(clk, reset, q);\n input clk, reset;\n output q;\n reg q;\n \
+               // archval: off\n initial begin q = 0; end\n // archval: on\n \
+               always @(posedge clk) q <= ~q;\nendmodule";
+    assert!(translate(&parse(src).unwrap(), "ok").is_ok());
+}
+
+#[test]
+fn interpreter_and_translation_agree_on_shift_edge_cases() {
+    // shifting by a variable amount, including amounts >= width
+    let src = "module sh(clk, reset, amt, q);\n input clk, reset;\n \
+               input [2:0] amt; // archval: abstract\n output [3:0] q;\n reg [3:0] q;\n \
+               always @(posedge clk) begin\n if (reset) q <= 4'b1111;\n \
+               else q <= q >> amt;\n end\nendmodule";
+    let design = parse(src).unwrap();
+    let model = translate(&design, "sh").unwrap();
+    let mut interp = Interp::new(&design, "sh").unwrap();
+    interp.set_input("reset", 1).unwrap();
+    interp.posedge().unwrap();
+    interp.set_input("reset", 0).unwrap();
+    let mut sim = archval_fsm::SyncSim::new(&model);
+    for amt in [0u64, 1, 3, 7, 2, 0, 5] {
+        interp.set_input("amt", amt).unwrap();
+        interp.posedge().unwrap();
+        sim.step(&[amt]).unwrap();
+        assert_eq!(interp.get("q"), sim.var("q"), "amt={amt}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: validate a small annotated Verilog design end-to-end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Shows the three automated steps of the ISCA 1995 methodology on a tiny
+//! bus-grant controller: translate the Verilog to an FSM model, enumerate
+//! every control state reachable from reset, and generate transition tours
+//! that exercise every control arc — then prints the Verilog
+//! force/release vector file that would drive a simulator through them.
+
+use archval::flow::ValidationFlow;
+
+const BUS_ARBITER: &str = r#"
+// A two-requester bus arbiter with a one-cycle turnaround state.
+module arbiter(clk, reset, req0, req1, grant0, grant1);
+  input clk, reset;
+  input req0;   // archval: abstract
+  input req1;   // archval: abstract
+  output grant0, grant1;
+  reg [1:0] state;   // 0 idle, 1 granted0, 2 granted1, 3 turnaround
+  wire grant0, grant1;
+  assign grant0 = state == 2'd1;
+  assign grant1 = state == 2'd2;
+  always @(posedge clk) begin
+    if (reset) state <= 2'd0;
+    else case (state)
+      2'd0: begin
+        if (req0) state <= 2'd1;
+        else if (req1) state <= 2'd2;
+      end
+      2'd1: if (!req0) state <= 2'd3;
+      2'd2: if (!req1) state <= 2'd3;
+      default: state <= 2'd0;
+    endcase
+  end
+endmodule
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== archval quickstart: bus arbiter ==\n");
+
+    let result = ValidationFlow::from_verilog(BUS_ARBITER, "arbiter")?.run()?;
+
+    println!("{}\n", result.summary());
+    println!("state graph (Graphviz):\n{}", result.enumd.graph.to_dot(|s| {
+        let v = result.enumd.state_values(s);
+        format!("state={}", v[0])
+    }));
+
+    println!("vector file for trace 0:\n{}", result.force_file(0, "tb.arbiter"));
+
+    assert!(result.tours.covers_all_arcs(&result.enumd.graph));
+    println!(
+        "every one of the {} control arcs is exercised by {} trace(s).",
+        result.enumd.graph.edge_count(),
+        result.tours.traces().len()
+    );
+    Ok(())
+}

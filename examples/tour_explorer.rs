@@ -1,0 +1,82 @@
+//! Explore tour-generation trade-offs on the PP control graph: greedy
+//! DFS+BFS tours (the paper's Figure 3.3) versus the Chinese-Postman
+//! optimum, and the effect of the per-trace instruction limit.
+//!
+//! ```sh
+//! cargo run --release --example tour_explorer [micro|standard]
+//! ```
+
+use archval::fsm::{enumerate, EnumConfig};
+use archval::pp::{pp_control_model, PpScale};
+use archval::tour::euler::{analyze, eulerize, hierholzer_tour};
+use archval::tour::{generate_tours, TourConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("standard") => PpScale::standard(),
+        _ => PpScale::micro(),
+    };
+    println!("== tour explorer on the PP control graph ({scale:?}) ==\n");
+    let model = pp_control_model(&scale)?;
+    let enumd = enumerate(&model, &EnumConfig::default())?;
+    println!(
+        "graph: {} states, {} arcs, strongly connected: {}",
+        enumd.graph.state_count(),
+        enumd.graph.edge_count(),
+        enumd.graph.is_strongly_connected()
+    );
+
+    let balance = analyze(&enumd.graph);
+    println!(
+        "degree balance: {} (total imbalance {})",
+        if balance.balanced { "Eulerian" } else { "not Eulerian" },
+        balance.total_imbalance
+    );
+    match eulerize(&enumd.graph) {
+        Some(e) => {
+            let tour = hierholzer_tour(enumd.graph.state_count(), &e.arcs, archval::fsm::StateId(0));
+            println!(
+                "Chinese-Postman tour: {} traversals ({} duplicated arcs)",
+                e.arcs.len(),
+                e.duplicated
+            );
+            println!("  closed tour constructed: {}", tour.is_some());
+        }
+        None => println!(
+            "no closed postman tour exists (reset is never re-entered) — \
+             exactly why the paper restarts traces from reset"
+        ),
+    }
+
+    println!("\nper-trace instruction-limit sweep (Figure 3.3 generator):");
+    println!(
+        "{:>10} {:>8} {:>12} {:>14} {:>10}",
+        "limit", "traces", "traversals", "longest(edges)", "overhead"
+    );
+    let unlimited = generate_tours(&enumd.graph, &TourConfig::default());
+    let base = unlimited.stats().total_edge_traversals;
+    for limit in [None, Some(10_000u64), Some(1_000), Some(100), Some(25)] {
+        let tours = generate_tours(&enumd.graph, &TourConfig { instruction_limit: limit });
+        assert!(tours.covers_all_arcs(&enumd.graph));
+        let s = tours.stats();
+        println!(
+            "{:>10} {:>8} {:>12} {:>14} {:>9.2}x",
+            limit.map_or("none".to_owned(), |l| l.to_string()),
+            s.traces,
+            s.total_edge_traversals,
+            s.longest_trace_edges,
+            s.total_edge_traversals as f64 / base as f64
+        );
+    }
+    println!(
+        "\nestimated simulation at 100 Hz (the paper's metric): whole set {:.1} h, \
+         longest limited trace {:.1} min",
+        unlimited.stats().estimated_sim_time(100.0).as_secs_f64() / 3600.0,
+        generate_tours(&enumd.graph, &TourConfig::with_paper_limit())
+            .stats()
+            .estimated_longest_trace_time(100.0)
+            .as_secs_f64()
+            / 60.0
+    );
+    Ok(())
+}

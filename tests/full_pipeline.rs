@@ -1,0 +1,106 @@
+//! End-to-end integration: annotated Verilog in, validated design out.
+//!
+//! Exercises the complete Figure 3.1 flow across all six crates on the
+//! micro-scale Protocol Processor: translation, enumeration, tour
+//! generation, transition-condition mapping, RTL replay with forced
+//! interface conditions, and architectural comparison against the
+//! executable specification.
+
+use archval::fsm::{enumerate, EnumConfig};
+use archval::pp::{pp_control_model, pp_control_verilog, BugSet, CtrlState, PpScale};
+use archval::sim::compare::compare_stimulus;
+use archval::stimgen::mapping::{pp_instr_cost, trace_to_stimulus};
+use archval::stimgen::replay::replay;
+use archval::tour::{generate_tours, generate_tours_with, TourConfig};
+use archval::verilog::{parse, translate};
+
+#[test]
+fn verilog_to_fsm_to_tours_to_vectors_to_green_comparison() {
+    let scale = PpScale::micro();
+
+    // step 1: translate the annotated Verilog (the real source of truth)
+    let src = pp_control_verilog(&scale);
+    let design = parse(&src).expect("generated Verilog parses");
+    let model = translate(&design, "pp_control").expect("translates");
+    assert_eq!(model.reset_state(), CtrlState::reset().to_values(&scale));
+
+    // step 2: full state enumeration from reset
+    let enumd = enumerate(&model, &EnumConfig::default()).expect("enumerates");
+    assert!(enumd.graph.all_reachable_from_reset());
+    assert_eq!(
+        enumd.graph.in_degrees()[0],
+        0,
+        "reset is never revisited (the Table 3.3 lower-bound argument)"
+    );
+
+    // step 3: transition tours cover every arc
+    let tours = generate_tours(&enumd.graph, &TourConfig::default());
+    assert!(tours.covers_all_arcs(&enumd.graph));
+    assert!(tours.validate_adjacency(archval::fsm::StateId(0)));
+    assert_eq!(
+        tours.stats().traces, tours.stats().min_traces_lower_bound,
+        "the generator achieves the reset-out-degree lower bound"
+    );
+
+    // step 4 + 5: vectors replayed on the RTL match the specification
+    for (i, trace) in tours.traces().iter().enumerate() {
+        let stim = trace_to_stimulus(&scale, &model, &tours, trace, i as u64);
+        let report = compare_stimulus(&stim, BugSet::none()).expect("replay follows tour");
+        assert!(!report.detected(), "bug-free design diverged on trace {i}");
+    }
+}
+
+#[test]
+fn instruction_cost_model_matches_generated_programs() {
+    // the Table 3.3 instruction counting (tour cost model) must agree with
+    // the instructions the mapper actually generates
+    let scale = PpScale::micro();
+    let model = pp_control_model(&scale).unwrap();
+    let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+    let cost = pp_instr_cost(&scale, &model, &enumd);
+    let tours = generate_tours_with(&enumd.graph, &TourConfig::default(), cost);
+    for (i, trace) in tours.traces().iter().enumerate() {
+        let stim = trace_to_stimulus(&scale, &model, &tours, trace, i as u64);
+        assert_eq!(
+            trace.instructions,
+            stim.instruction_count() as u64,
+            "trace {i}: cost model disagrees with generated program size"
+        );
+    }
+}
+
+#[test]
+fn trace_limit_splits_but_preserves_coverage_and_trace_count() {
+    // the paper's observation: the same number of traces is needed with
+    // and without the limit (initial-condition arcs dominate), coverage is
+    // unaffected, and the longest trace shrinks drastically
+    let scale = PpScale::micro();
+    let model = pp_control_model(&scale).unwrap();
+    let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+    let unlimited = generate_tours(&enumd.graph, &TourConfig::default());
+    let limited = generate_tours(&enumd.graph, &TourConfig { instruction_limit: Some(100) });
+    assert!(unlimited.covers_all_arcs(&enumd.graph));
+    assert!(limited.covers_all_arcs(&enumd.graph));
+    assert!(limited.stats().longest_trace_edges < unlimited.stats().longest_trace_edges);
+    assert!(limited.stats().traces >= unlimited.stats().traces);
+    // modest overhead in total traversals
+    assert!(
+        limited.stats().total_edge_traversals
+            < 3 * unlimited.stats().total_edge_traversals
+    );
+}
+
+#[test]
+fn replay_under_every_single_bug_still_terminates() {
+    // bug injection never wedges the pipeline: every stimulus completes
+    use archval::pp::Bug;
+    let scale = PpScale::micro();
+    let model = pp_control_model(&scale).unwrap();
+    let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+    let tours = generate_tours(&enumd.graph, &TourConfig::default());
+    let stim = trace_to_stimulus(&scale, &model, &tours, &tours.traces()[0], 0);
+    for bug in Bug::ALL {
+        let out = replay(&stim, BugSet::only(bug)).expect("bugged replay runs");
+        assert_eq!(out.sampled.len(), stim.cycles.len());
+    }
+}
