@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use archval_fsm::{enumerate, EnumConfig};
+use archval_fsm::{enumerate, enumerate_parallel, EnumConfig};
 use archval_pp::rtl::{ExtIn, Forces, RtlSim};
 use archval_pp::{pp_control_model, pp_control_verilog, BugSet, PpScale};
 use archval_stimgen::mapping::trace_to_stimulus;
@@ -45,6 +45,24 @@ fn bench_enumerate(c: &mut Criterion) {
             &model,
             |b, m| b.iter(|| enumerate(m, &EnumConfig::default()).unwrap()),
         );
+    }
+    group.finish();
+}
+
+fn bench_enumerate_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_enumeration_parallel");
+    group.sample_size(10);
+    let model = pp_control_model(&PpScale::standard()).unwrap();
+    let evals = {
+        let r = enumerate(&model, &EnumConfig::default()).unwrap();
+        r.stats.transitions_evaluated
+    };
+    group.throughput(Throughput::Elements(evals));
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = EnumConfig { threads, ..EnumConfig::default() };
+        group.bench_with_input(BenchmarkId::new("threads", threads), &cfg, |b, cfg| {
+            b.iter(|| enumerate_parallel(&model, cfg).unwrap())
+        });
     }
     group.finish();
 }
@@ -100,12 +118,7 @@ fn bench_rtl_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(cycles));
     group.bench_function("10k cycles, straight-line program", |b| {
         b.iter(|| {
-            let mut rtl = RtlSim::new(
-                PpScale::standard(),
-                BugSet::none(),
-                &program,
-                vec![1; 64],
-            );
+            let mut rtl = RtlSim::new(PpScale::standard(), BugSet::none(), &program, vec![1; 64]);
             for _ in 0..cycles {
                 rtl.step(ExtIn::ready(), Forces::default());
             }
@@ -119,6 +132,7 @@ criterion_group!(
     benches,
     bench_translate,
     bench_enumerate,
+    bench_enumerate_parallel,
     bench_tours,
     bench_vectors_and_replay,
     bench_rtl_throughput

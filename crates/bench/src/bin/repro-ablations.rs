@@ -21,7 +21,10 @@ fn main() {
     let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
 
     println!("== ablation 1: per-trace instruction limit ==");
-    println!("{:>8} {:>8} {:>12} {:>14} {:>10}", "limit", "traces", "traversals", "longest", "overhead");
+    println!(
+        "{:>8} {:>8} {:>12} {:>14} {:>10}",
+        "limit", "traces", "traversals", "longest", "overhead"
+    );
     let base = generate_tours(&enumd.graph, &TourConfig::default());
     for limit in [None, Some(10_000u64), Some(1_000), Some(100)] {
         let t = generate_tours(&enumd.graph, &TourConfig { instruction_limit: limit });
@@ -32,8 +35,7 @@ fn main() {
             t.stats().traces,
             t.stats().total_edge_traversals,
             t.stats().longest_trace_edges,
-            t.stats().total_edge_traversals as f64
-                / base.stats().total_edge_traversals as f64
+            t.stats().total_edge_traversals as f64 / base.stats().total_edge_traversals as f64
         );
     }
 
@@ -42,8 +44,8 @@ fn main() {
     for (name, g) in [("ring+chords", ring_with_chords(60, 7)), ("dense", dense(24))] {
         let greedy = generate_tours(&g, &TourConfig::default());
         let e = eulerize(&g).expect("strongly connected by construction");
-        let postman = hierholzer_tour(g.state_count(), &e.arcs, StateId(0))
-            .expect("balanced multigraph");
+        let postman =
+            hierholzer_tour(g.state_count(), &e.arcs, StateId(0)).expect("balanced multigraph");
         println!(
             "  {name:<12} arcs {:>5}  greedy traversals {:>6}  postman {:>6}  ratio {:.3}",
             g.edge_count(),

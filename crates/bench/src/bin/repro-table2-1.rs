@@ -4,6 +4,7 @@
 //!
 //! Run at scale `full` (the default here) so every trigger is reachable.
 
+use archval_bench::threads_from_args;
 use archval_pp::{BugSet, PpScale};
 use archval_sim::campaign::{random_baseline_detects, run_campaign, CampaignConfig};
 
@@ -14,10 +15,15 @@ fn main() {
         Some("paper") => PpScale::paper(),
         _ => PpScale::full(),
     };
-    eprintln!("running the bug campaign at {scale:?} (enumeration + 6 bug runs + baseline)...");
+    let threads = threads_from_args();
+    eprintln!(
+        "running the bug campaign at {scale:?} with {threads} worker thread(s) \
+         (enumeration + 6 bug runs + baseline)..."
+    );
     let report = run_campaign(&CampaignConfig {
         scale,
         random_budget_multiplier: 1,
+        threads,
         ..CampaignConfig::default()
     });
 
@@ -36,7 +42,9 @@ fn main() {
             _ => println!("    tour vectors: not detected at this scale"),
         }
         match o.random_cycles_to_detect {
-            Some(c) => println!("    aggressive random (rare bits p=0.5): detected after {c} cycles"),
+            Some(c) => {
+                println!("    aggressive random (rare bits p=0.5): detected after {c} cycles")
+            }
             None => println!(
                 "    aggressive random (rare bits p=0.5): NOT DETECTED within {} cycles",
                 report.tour_cycle_budget

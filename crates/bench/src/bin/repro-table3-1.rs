@@ -5,7 +5,7 @@ use archval_pp::isa::{AluOp, Instr, InstrClass, Reg};
 
 fn main() {
     println!("== Table 3.1 — PP Instruction Classes ==\n");
-    println!("{:<10} {}", "Class", "Effect on Control Logic");
+    println!("{:<10} Effect on Control Logic", "Class");
     for c in InstrClass::ALL {
         println!("{:<10} {}", c.name(), c.control_effect());
     }

@@ -1,12 +1,16 @@
 //! Regenerates Table 3.2: state-enumeration statistics of the PP control
-//! model, paper column alongside.
+//! model, paper column alongside. With a thread count > 1 (second
+//! argument or `ARCHVAL_THREADS`) it runs both the sequential and the
+//! frontier-parallel enumerator, checks they agree, and reports both
+//! timings.
 
-use archval_bench::{header, row, scale_from_args};
-use archval_fsm::{enumerate, EnumConfig};
+use archval_bench::{header, row, scale_from_args, threads_from_args};
+use archval_fsm::{enumerate, enumerate_parallel, EnumConfig};
 use archval_pp::pp_control_model;
 
 fn main() {
     let scale = scale_from_args();
+    let threads = threads_from_args();
     eprintln!("enumerating at {scale:?} ... (use `paper` for the near-paper-scale run)");
     let model = pp_control_model(&scale).expect("control model builds");
     let r = enumerate(&model, &EnumConfig::default()).expect("enumeration");
@@ -35,4 +39,19 @@ fn main() {
         "transitions evaluated: {} (every choice combination at every state)",
         r.stats.transitions_evaluated
     );
+
+    if threads > 1 {
+        eprintln!("re-enumerating with {threads} worker threads ...");
+        let cfg = EnumConfig { threads, ..EnumConfig::default() };
+        let p = enumerate_parallel(&model, &cfg).expect("parallel enumeration");
+        assert_eq!(p.stats.states, r.stats.states, "state count diverged");
+        assert_eq!(p.stats.edges, r.stats.edges, "edge count diverged");
+        let seq = r.stats.elapsed.as_secs_f64();
+        let par = p.stats.elapsed.as_secs_f64();
+        println!(
+            "\nparallel enumeration ({threads} threads): {par:.1} s vs {seq:.1} s sequential \
+             ({:.2}x speedup), identical graph",
+            seq / par
+        );
+    }
 }

@@ -101,8 +101,5 @@ fn main() {
         "  first trace dominates without limit: longest/total = {:.1}% (paper: >99%)",
         100.0 * u.longest_trace_edges as f64 / u.total_edge_traversals as f64
     );
-    println!(
-        "  instructions per arc: {:.2} (paper: ~7)",
-        u.instructions_per_arc()
-    );
+    println!("  instructions per arc: {:.2} (paper: ~7)", u.instructions_per_arc());
 }

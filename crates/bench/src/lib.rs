@@ -17,6 +17,22 @@ pub fn scale_from_args() -> PpScale {
     }
 }
 
+/// Parses the worker-thread count from the second positional argument or
+/// the `ARCHVAL_THREADS` environment variable, defaulting to `1`
+/// (sequential). The repro binaries produce identical numbers for any
+/// value; threads only change wall-clock time.
+pub fn threads_from_args() -> usize {
+    let arg = std::env::args().nth(2).or_else(|| std::env::var("ARCHVAL_THREADS").ok());
+    match arg.as_deref().map(str::parse::<usize>) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("thread count must be a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Prints a two-column paper-vs-measured table row.
 pub fn row(label: &str, paper: &str, measured: &str) {
     println!("{label:<42} {paper:>18} {measured:>18}");

@@ -1,7 +1,8 @@
 //! The end-to-end validation flow for any annotated Verilog design.
 
-use archval_fsm::enumerate::{enumerate, EnumConfig, EnumResult};
+use archval_fsm::enumerate::{EnumConfig, EnumResult};
 use archval_fsm::graph::EdgePolicy;
+use archval_fsm::parallel::enumerate_parallel;
 use archval_fsm::Model;
 use archval_tour::generate::{generate_tours, TourConfig, TourSet};
 use archval_verilog::{parse, translate_with_options, TranslateOptions};
@@ -75,6 +76,14 @@ impl ValidationFlow {
         self
     }
 
+    /// Sets the enumeration worker-thread count; `1` (the default) runs
+    /// the sequential enumerator. The result is identical either way —
+    /// see [`enumerate_parallel`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.enum_config.threads = threads.max(1);
+        self
+    }
+
     /// The translated model.
     pub fn model(&self) -> &Model {
         &self.model
@@ -87,7 +96,7 @@ impl ValidationFlow {
     /// Returns [`Error::Fsm`] if the state limit is exceeded or the model
     /// misbehaves during evaluation.
     pub fn run(self) -> Result<FlowResult, Error> {
-        let enumd = enumerate(&self.model, &self.enum_config)?;
+        let enumd = enumerate_parallel(&self.model, &self.enum_config)?;
         let tours = generate_tours(&enumd.graph, &self.tour_config);
         Ok(FlowResult { model: self.model, enumd, tours })
     }
@@ -138,7 +147,7 @@ impl FlowResult {
         for step in self.tours.resolve(trace) {
             let values = self.model.decode_choices(step.label);
             for (i, (choice, &v)) in self.model.choices().iter().zip(&values).enumerate() {
-                if prev.as_ref().map_or(true, |p| p[i] != v) {
+                if prev.as_ref().is_none_or(|p| p[i] != v) {
                     let _ = writeln!(s, "  force {dut}.{} = {v};", choice.name);
                 }
             }
@@ -177,10 +186,7 @@ endmodule
 
     #[test]
     fn flow_covers_handshake() {
-        let r = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
-            .unwrap()
-            .run()
-            .unwrap();
+        let r = ValidationFlow::from_verilog(HANDSHAKE, "handshake").unwrap().run().unwrap();
         assert_eq!(r.enumd.graph.state_count(), 3);
         assert!(r.tours.covers_all_arcs(&r.enumd.graph));
         let s = r.summary();
@@ -202,6 +208,19 @@ endmodule
     }
 
     #[test]
+    fn threaded_flow_matches_sequential() {
+        let seq = ValidationFlow::from_verilog(HANDSHAKE, "handshake").unwrap().run().unwrap();
+        let par =
+            ValidationFlow::from_verilog(HANDSHAKE, "handshake").unwrap().threads(4).run().unwrap();
+        assert_eq!(par.enumd.stats.states, seq.enumd.stats.states);
+        assert_eq!(par.enumd.stats.edges, seq.enumd.stats.edges);
+        for s in 0..seq.enumd.graph.state_count() as u32 {
+            use archval_fsm::StateId;
+            assert_eq!(par.enumd.graph.edges(StateId(s)), seq.enumd.graph.edges(StateId(s)));
+        }
+    }
+
+    #[test]
     fn state_limit_propagates() {
         let e = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
             .unwrap()
@@ -213,10 +232,7 @@ endmodule
 
     #[test]
     fn force_file_emits_choice_names() {
-        let r = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
-            .unwrap()
-            .run()
-            .unwrap();
+        let r = ValidationFlow::from_verilog(HANDSHAKE, "handshake").unwrap().run().unwrap();
         let text = r.force_file(0, "tb.dut");
         assert!(text.contains("force tb.dut.req"));
         assert!(text.contains("@(posedge clk);"));

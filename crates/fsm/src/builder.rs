@@ -85,7 +85,7 @@ impl ModelBuilder {
     pub fn state_var(&mut self, name: impl Into<String>, size: u64, init: u64) -> VarId {
         let name = name.into();
         self.record_name(&name);
-        if (size < 2 || size > (1 << 32)) && self.error.is_none() {
+        if !(2..=(1u64 << 32)).contains(&size) && self.error.is_none() {
             self.error = Some(Error::BadDomain { name: name.clone(), size });
         } else if init >= size && self.error.is_none() {
             self.error = Some(Error::BadInit { var: name.clone(), value: init, size });
@@ -98,7 +98,7 @@ impl ModelBuilder {
     pub fn choice(&mut self, name: impl Into<String>, size: u64) -> ChoiceId {
         let name = name.into();
         self.record_name(&name);
-        if (size < 2 || size > (1 << 32)) && self.error.is_none() {
+        if !(2..=(1u64 << 32)).contains(&size) && self.error.is_none() {
             self.error = Some(Error::BadDomain { name: name.clone(), size });
         }
         self.choices.push(ChoiceInput { name, size });

@@ -9,15 +9,21 @@
 
 use std::fmt::Write as _;
 
+use crate::enumerate::EnumResult;
 use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::graph::StateId;
 use crate::model::{ExprId, Model};
 
 /// Renders the whole model.
 pub fn dump_model(model: &Model) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "-- model {}", model.name());
-    let _ = writeln!(s, "-- {} bits per state, {} choice combinations per step\n",
-        model.bits_per_state(), model.choice_combinations());
+    let _ = writeln!(
+        s,
+        "-- {} bits per state, {} choice combinations per step\n",
+        model.bits_per_state(),
+        model.choice_combinations()
+    );
     s.push_str("var  -- state variables (updated by the implicit clock)\n");
     for v in model.vars() {
         let _ = writeln!(s, "  {} : 0..{};  -- reset {}", v.name, v.size - 1, v.init);
@@ -37,6 +43,36 @@ pub fn dump_model(model: &Model) -> String {
         let _ = writeln!(s, "  {}' := {};", v.name, render(model, v.next));
     }
     s.push_str("end;\n");
+    s
+}
+
+/// Renders an enumeration result in a canonical, byte-stable text form:
+/// every state with its unpacked variable values in id order, then its
+/// outgoing edges in recorded order. Two [`EnumResult`]s describe the same
+/// graph if and only if their dumps are identical, which makes this the
+/// reference format for determinism and differential-equivalence tests.
+pub fn dump_enum_result(model: &Model, result: &EnumResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "-- enumeration of {}: {} states, {} edges, {} bits per state, max depth {}",
+        model.name(),
+        result.stats.states,
+        result.stats.edges,
+        result.stats.bits_per_state,
+        result.stats.max_depth,
+    );
+    for id in 0..result.graph.state_count() as u32 {
+        let values = result.state_values(StateId(id));
+        let _ = write!(s, "state {id}:");
+        for (var, v) in model.vars().iter().zip(&values) {
+            let _ = write!(s, " {}={v}", var.name);
+        }
+        s.push('\n');
+        for e in result.graph.edges(StateId(id)) {
+            let _ = writeln!(s, "  -> {} on {}", e.dst.0, e.label);
+        }
+    }
     s
 }
 

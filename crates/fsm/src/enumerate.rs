@@ -25,6 +25,10 @@ pub struct EnumConfig {
     /// Optional progress callback, invoked with `(states, edges)` roughly
     /// every `progress_every` states.
     pub progress_every: usize,
+    /// Worker threads for [`enumerate_parallel`](crate::parallel::enumerate_parallel);
+    /// `1` (the default) runs the sequential enumerator. Ignored by
+    /// [`enumerate`].
+    pub threads: usize,
 }
 
 impl Default for EnumConfig {
@@ -33,6 +37,7 @@ impl Default for EnumConfig {
             state_limit: 10_000_000,
             edge_policy: EdgePolicy::FirstLabel,
             progress_every: usize::MAX,
+            threads: 1,
         }
     }
 }
@@ -140,12 +145,8 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
                 }
                 depth_of.push(src_depth + 1);
                 max_depth = max_depth.max(src_depth + 1);
-                if table.len() % config.progress_every == 0 {
-                    eprintln!(
-                        "enumerate: {} states, {} edges",
-                        table.len(),
-                        graph.edge_count()
-                    );
+                if table.len().is_multiple_of(config.progress_every) {
+                    eprintln!("enumerate: {} states, {} edges", table.len(), graph.edge_count());
                 }
             }
             graph.add_edge(src, StateId(dst), code, config.edge_policy);
@@ -234,10 +235,7 @@ mod tests {
     #[test]
     fn state_limit_enforced() {
         let cfg = EnumConfig { state_limit: 4, ..EnumConfig::default() };
-        assert_eq!(
-            enumerate(&counter(), &cfg).unwrap_err(),
-            Error::StateLimit { limit: 4 }
-        );
+        assert_eq!(enumerate(&counter(), &cfg).unwrap_err(), Error::StateLimit { limit: 4 });
     }
 
     #[test]

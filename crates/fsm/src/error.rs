@@ -65,10 +65,9 @@ impl fmt::Display for Error {
             Error::BadDomain { name, size } => {
                 write!(f, "domain size {size} for `{name}` is not in 2..=2^32")
             }
-            Error::BadInit { var, value, size } => write!(
-                f,
-                "initial value {value} for `{var}` is outside its domain of size {size}"
-            ),
+            Error::BadInit { var, value, size } => {
+                write!(f, "initial value {value} for `{var}` is outside its domain of size {size}")
+            }
             Error::DuplicateName { name } => write!(f, "name `{name}` declared twice"),
             Error::CombinationalCycle { def } => {
                 write!(f, "combinational cycle through definition `{def}`")

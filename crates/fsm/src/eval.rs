@@ -247,10 +247,7 @@ mod tests {
         let m = b.build().unwrap();
         let mut ev = Evaluator::new(&m);
         let mut out = [0u64];
-        assert_eq!(
-            ev.next_state(&[1], &[], &mut out).unwrap_err(),
-            Error::DivisionByZero
-        );
+        assert_eq!(ev.next_state(&[1], &[], &mut out).unwrap_err(), Error::DivisionByZero);
     }
 
     #[test]

@@ -63,7 +63,13 @@ impl StateGraph {
 
     /// Adds an edge under the given policy. Returns `true` if the edge was
     /// recorded (i.e. it was not suppressed as a duplicate arc label).
-    pub fn add_edge(&mut self, src: StateId, dst: StateId, label: EdgeLabel, policy: EdgePolicy) -> bool {
+    pub fn add_edge(
+        &mut self,
+        src: StateId,
+        dst: StateId,
+        label: EdgeLabel,
+        policy: EdgePolicy,
+    ) -> bool {
         self.ensure_state(src);
         self.ensure_state(dst);
         let out = &mut self.succ[src.0 as usize];

@@ -54,14 +54,16 @@ pub mod expr;
 pub mod graph;
 pub mod model;
 pub mod pack;
+pub mod parallel;
 pub mod sim;
 pub mod stats;
 
 pub use builder::ModelBuilder;
-pub use dump::dump_model;
+pub use dump::{dump_enum_result, dump_model};
 pub use enumerate::{enumerate, EnumConfig, EnumResult};
 pub use error::Error;
 pub use graph::{EdgeLabel, EdgePolicy, StateGraph, StateId};
 pub use model::{ChoiceId, DefId, ExprId, Model, VarId};
+pub use parallel::enumerate_parallel;
 pub use sim::SyncSim;
 pub use stats::EnumStats;

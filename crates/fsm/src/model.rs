@@ -133,33 +133,22 @@ impl Model {
     ///
     /// Saturates at `u64::MAX` for absurdly large products.
     pub fn choice_combinations(&self) -> u64 {
-        self.choices
-            .iter()
-            .fold(1u64, |acc, c| acc.saturating_mul(c.size))
+        self.choices.iter().fold(1u64, |acc, c| acc.saturating_mul(c.size))
     }
 
     /// Finds a state variable by name.
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
-        self.vars
-            .iter()
-            .position(|v| v.name == name)
-            .map(|i| VarId(i as u32))
+        self.vars.iter().position(|v| v.name == name).map(|i| VarId(i as u32))
     }
 
     /// Finds a choice input by name.
     pub fn choice_by_name(&self, name: &str) -> Option<ChoiceId> {
-        self.choices
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| ChoiceId(i as u32))
+        self.choices.iter().position(|c| c.name == name).map(|i| ChoiceId(i as u32))
     }
 
     /// Finds a combinational definition by name.
     pub fn def_by_name(&self, name: &str) -> Option<DefId> {
-        self.defs
-            .iter()
-            .position(|d| d.name == name)
-            .map(|i| DefId(i as u32))
+        self.defs.iter().position(|d| d.name == name).map(|i| DefId(i as u32))
     }
 
     /// Decodes a packed choice-combination code (mixed-radix, first choice
@@ -205,9 +194,7 @@ impl Model {
         }
         let check_expr = |id: ExprId| -> Result<(), Error> {
             if id.0 as usize >= self.exprs.len() {
-                return Err(Error::DanglingReference {
-                    what: format!("expression id {}", id.0),
-                });
+                return Err(Error::DanglingReference { what: format!("expression id {}", id.0) });
             }
             Ok(())
         };

@@ -30,7 +30,7 @@ impl StateLayout {
             widths.push(w);
             off += w;
         }
-        let words = ((off as usize) + 63) / 64;
+        let words = (off as usize).div_ceil(64);
         StateLayout { offsets, widths, total_bits: off, words: words.max(1) }
     }
 
@@ -165,8 +165,8 @@ impl StateTable {
     /// Approximate heap usage in bytes (packed words plus index entries).
     pub fn approx_bytes(&self) -> usize {
         let words = self.words.len() * 8;
-        let index = self.index.len()
-            * (self.layout.words() * 8 + std::mem::size_of::<(Box<[u64]>, u32)>());
+        let index =
+            self.index.len() * (self.layout.words() * 8 + std::mem::size_of::<(Box<[u64]>, u32)>());
         words + index
     }
 }
@@ -252,6 +252,69 @@ mod tests {
             let mut back = vec![0u64; vals.len()];
             l.unpack(&packed, &mut back);
             prop_assert_eq!(back, vals);
+        }
+
+        /// Round trip with random widths *and* random in-domain values
+        /// (the deterministic variant above fixes the values).
+        #[test]
+        fn prop_pack_round_trip_random_values(
+            pairs in proptest::collection::vec((2u64..1u64 << 32, any::<u64>()), 1..16)
+        ) {
+            let sizes: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let vals: Vec<u64> = pairs.iter().map(|&(s, seed)| seed % s).collect();
+            let m = model_with_sizes(&sizes);
+            let l = StateLayout::new(&m);
+            let mut packed = vec![0; l.words()];
+            l.pack(&vals, &mut packed);
+            let mut back = vec![0u64; vals.len()];
+            l.unpack(&packed, &mut back);
+            prop_assert_eq!(back, vals);
+        }
+
+        /// Round trip where fields provably straddle 64-bit word
+        /// boundaries: 31-bit fields sit at offsets 0, 31, 62, 93, ... so
+        /// from the third field on, every other field crosses a word.
+        #[test]
+        fn prop_pack_round_trip_cross_word(
+            seeds in proptest::collection::vec(any::<u64>(), 3..10)
+        ) {
+            let size = 1u64 << 31;
+            let sizes = vec![size; seeds.len()];
+            let vals: Vec<u64> = seeds.iter().map(|s| s % size).collect();
+            let m = model_with_sizes(&sizes);
+            let l = StateLayout::new(&m);
+            prop_assert!(l.words() >= 2, "layout must span multiple words");
+            let mut packed = vec![0; l.words()];
+            l.pack(&vals, &mut packed);
+            let mut back = vec![0u64; vals.len()];
+            l.unpack(&packed, &mut back);
+            prop_assert_eq!(back, vals);
+        }
+
+        /// Interning with multi-word keys: ids are dense, stable and
+        /// decode back to the original values.
+        #[test]
+        fn prop_intern_cross_word_keys(
+            states in proptest::collection::vec(
+                proptest::collection::vec(any::<u64>(), 3), 1..8
+            )
+        ) {
+            let size = 1u64 << 31;
+            let m = model_with_sizes(&[size, size, size]);
+            let mut t = StateTable::new(StateLayout::new(&m));
+            let mut scratch = Vec::new();
+            let mut ids = Vec::new();
+            for s in &states {
+                let vals: Vec<u64> = s.iter().map(|x| x % size).collect();
+                let (id, _) = t.intern_values(&vals, &mut scratch);
+                ids.push((id, vals));
+            }
+            for (id, vals) in ids {
+                let (again, fresh) = t.intern_values(&vals, &mut scratch);
+                prop_assert_eq!(again, id);
+                prop_assert!(!fresh);
+                prop_assert_eq!(t.values(id), vals);
+            }
         }
 
         #[test]

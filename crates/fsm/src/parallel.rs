@@ -1,0 +1,412 @@
+//! Frontier-parallel breadth-first state enumeration.
+//!
+//! Parallelises the explicit-state search of [`enumerate`] by processing
+//! each BFS depth level as a batch: the frontier is split into chunks
+//! that a pool of `std::thread` workers claims with an atomic cursor.
+//! Every worker evaluates transitions with its own [`Evaluator`] and
+//! interns successor states into a lock-striped, sharded table (states
+//! are routed to shards by a fixed-seed hash of their packed words, so
+//! sharding is deterministic across runs and thread counts).
+//!
+//! Workers do *not* assign state ids. They emit `(src, code, shard,
+//! slot)` tuples in evaluation order; after the level completes, a
+//! deterministic single-threaded merge replays those tuples in
+//! `(frontier position, choice code)` order — exactly the order the
+//! sequential enumerator scans — assigning fresh global ids on first
+//! reference and recording edges under the configured [`EdgePolicy`].
+//! Because the merge scan order equals the sequential discovery order,
+//! the parallel enumerator is *bit-identical* to [`enumerate`]: same
+//! [`StateId`] assignment, same graph, same edge labels, for any thread
+//! count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::enumerate::{enumerate, EnumConfig, EnumResult};
+use crate::error::Error;
+use crate::eval::Evaluator;
+use crate::graph::{StateGraph, StateId};
+use crate::model::Model;
+use crate::pack::{StateLayout, StateTable};
+use crate::stats::EnumStats;
+
+/// Slot marker for states interned by a worker but not yet given a
+/// global id by the merge.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// One stripe of the shared visited-state index.
+#[derive(Default)]
+struct Shard {
+    /// Packed words of every state interned into this shard, slot-major.
+    words: Vec<u64>,
+    /// Packed state -> slot within this shard.
+    index: HashMap<Box<[u64]>, u32>,
+    /// Slot -> global [`StateId`], `UNASSIGNED` until the merge names it.
+    global: Vec<u32>,
+}
+
+impl Shard {
+    /// Interns `packed`, returning its slot.
+    fn intern(&mut self, packed: &[u64], words_per_state: usize) -> (u32, bool) {
+        if let Some(&slot) = self.index.get(packed) {
+            return (slot, false);
+        }
+        let slot = (self.words.len() / words_per_state) as u32;
+        self.words.extend_from_slice(packed);
+        self.index.insert(packed.to_vec().into_boxed_slice(), slot);
+        self.global.push(UNASSIGNED);
+        (slot, true)
+    }
+}
+
+/// One transition found by a worker, in need of a global dst id.
+struct EdgeRec {
+    src: u32,
+    code: u64,
+    shard: u32,
+    slot: u32,
+}
+
+/// Fixed-seed mixer over packed state words (splitmix64-style finalizer).
+/// `HashMap`'s SipHash key is randomised per process, so shard routing
+/// uses this instead — determinism of the shard assignment is part of
+/// what makes two runs byte-identical.
+fn shard_hash(words: &[u64]) -> u64 {
+    let mut h: u64 = 0x243F_6A88_85A3_08D3; // pi, nothing up the sleeve
+    for &w in words {
+        let mut z = w.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Enumerates all reachable states like [`enumerate`], but fans each BFS
+/// level out across `config.threads` worker threads.
+///
+/// The result is guaranteed identical to the sequential enumerator's —
+/// same state ids, same graph, same stats modulo timing — for any thread
+/// count; `threads <= 1` simply runs [`enumerate`].
+///
+/// # Errors
+///
+/// Returns [`Error::StateLimit`] if the reachable set exceeds
+/// `config.state_limit`, or an evaluation error from a malformed model.
+///
+/// # Example
+///
+/// ```
+/// use archval_fsm::builder::ModelBuilder;
+/// use archval_fsm::enumerate::EnumConfig;
+/// use archval_fsm::parallel::enumerate_parallel;
+///
+/// let mut b = ModelBuilder::new("bit");
+/// let set = b.choice("set", 2);
+/// let v = b.state_var("v", 2, 0);
+/// b.set_next(v, b.choice_expr(set));
+/// let m = b.build()?;
+/// let cfg = EnumConfig { threads: 4, ..EnumConfig::default() };
+/// let r = enumerate_parallel(&m, &cfg)?;
+/// assert_eq!(r.graph.state_count(), 2);
+/// assert_eq!(r.graph.edge_count(), 4);
+/// # Ok::<(), archval_fsm::Error>(())
+/// ```
+pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error> {
+    if config.threads <= 1 {
+        return enumerate(model, config);
+    }
+    model.validate()?;
+    let start = Instant::now();
+    let threads = config.threads;
+    let layout = StateLayout::new(model);
+    let bits = layout.total_bits();
+    let wps = layout.words(); // words per packed state
+
+    let n_vars = model.vars().len();
+    let n_choices = model.choices().len();
+    let choice_sizes: Vec<u64> = model.choices().iter().map(|c| c.size).collect();
+
+    let num_shards = (threads * 8).next_power_of_two();
+    let shard_mask = (num_shards - 1) as u64;
+    let shards: Vec<Mutex<Shard>> = (0..num_shards).map(|_| Mutex::new(Shard::default())).collect();
+
+    // Global-id-indexed packed states; doubles as the frontier storage
+    // (level L is the id range assigned while merging level L-1).
+    let mut all_words: Vec<u64> = Vec::new();
+    let mut graph = StateGraph::new();
+    let mut depth_of: Vec<usize> = Vec::new();
+    let mut max_depth = 0usize;
+    let transitions = AtomicU64::new(0);
+    // Distinct states seen so far (assigned + fresh worker interns); lets
+    // workers bail out early once the state limit is irrecoverably blown.
+    let total_states = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let limit_hit = AtomicBool::new(false);
+    let first_error: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+
+    // Seed the search: reset state is id 0, interned into its home shard.
+    {
+        let reset = model.reset_state();
+        let mut packed = vec![0u64; wps];
+        layout.pack(&reset, &mut packed);
+        let shard_ix = (shard_hash(&packed) & shard_mask) as usize;
+        let mut shard = shards[shard_ix].lock().unwrap();
+        let (slot, fresh) = shard.intern(&packed, wps);
+        debug_assert!(fresh);
+        shard.global[slot as usize] = 0;
+        all_words.extend_from_slice(&packed);
+        depth_of.push(0);
+        graph.ensure_state(StateId(0));
+        total_states.store(1, Ordering::Relaxed);
+    }
+
+    let mut level_start: usize = 0; // first id of the current frontier
+    let mut progress_printed: usize = 0;
+
+    while level_start * wps < all_words.len() {
+        let level_end = all_words.len() / wps;
+        let frontier_len = level_end - level_start;
+        let chunk_size = (frontier_len.div_ceil(threads * 8)).clamp(1, 2048);
+        let num_chunks = frontier_len.div_ceil(chunk_size);
+        let next_chunk = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Vec<EdgeRec>)>> = Mutex::new(Vec::with_capacity(num_chunks));
+        let frontier_words = &all_words[level_start * wps..];
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(num_chunks) {
+                scope.spawn(|| {
+                    let mut evaluator = Evaluator::new(model);
+                    let mut cur_values = vec![0u64; n_vars];
+                    let mut next_values = vec![0u64; n_vars];
+                    let mut choices = vec![0u64; n_choices];
+                    let mut packed = vec![0u64; wps];
+                    let mut local_transitions = 0u64;
+                    loop {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= num_chunks || stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let lo = chunk * chunk_size;
+                        let hi = (lo + chunk_size).min(frontier_len);
+                        let mut edges: Vec<EdgeRec> = Vec::new();
+                        'states: for pos in lo..hi {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let src = (level_start + pos) as u32;
+                            layout.unpack(
+                                &frontier_words[pos * wps..(pos + 1) * wps],
+                                &mut cur_values,
+                            );
+                            choices.iter_mut().for_each(|c| *c = 0);
+                            let mut code: u64 = 0;
+                            loop {
+                                if let Err(e) =
+                                    evaluator.next_state(&cur_values, &choices, &mut next_values)
+                                {
+                                    let mut slot = first_error.lock().unwrap();
+                                    if slot.as_ref().is_none_or(|(c, _)| chunk < *c) {
+                                        *slot = Some((chunk, e));
+                                    }
+                                    stop.store(true, Ordering::Relaxed);
+                                    break 'states;
+                                }
+                                local_transitions += 1;
+                                layout.pack(&next_values, &mut packed);
+                                let shard_ix = (shard_hash(&packed) & shard_mask) as usize;
+                                let (slot, fresh) = {
+                                    let mut shard = shards[shard_ix].lock().unwrap();
+                                    shard.intern(&packed, wps)
+                                };
+                                if fresh
+                                    && total_states.fetch_add(1, Ordering::Relaxed) + 1
+                                        > config.state_limit
+                                {
+                                    limit_hit.store(true, Ordering::Relaxed);
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                                edges.push(EdgeRec { src, code, shard: shard_ix as u32, slot });
+
+                                // advance the mixed-radix choice counter
+                                let mut k = 0;
+                                loop {
+                                    if k == n_choices {
+                                        break;
+                                    }
+                                    choices[k] += 1;
+                                    if choices[k] < choice_sizes[k] {
+                                        break;
+                                    }
+                                    choices[k] = 0;
+                                    k += 1;
+                                }
+                                code += 1;
+                                if k == n_choices {
+                                    break;
+                                }
+                            }
+                        }
+                        results.lock().unwrap().push((chunk, edges));
+                    }
+                    transitions.fetch_add(local_transitions, Ordering::Relaxed);
+                });
+            }
+        });
+
+        if let Some((_, e)) = first_error.lock().unwrap().take() {
+            return Err(e);
+        }
+        if limit_hit.load(Ordering::Relaxed) {
+            return Err(Error::StateLimit { limit: config.state_limit });
+        }
+
+        // Deterministic merge: replay the level's transitions in
+        // (frontier position, code) order — the sequential scan order —
+        // assigning global ids at first reference.
+        let mut chunks = results.into_inner().unwrap();
+        chunks.sort_unstable_by_key(|&(ix, _)| ix);
+        let level_depth = depth_of[level_start] + 1;
+        for (_, edges) in chunks {
+            for rec in edges {
+                let mut shard = shards[rec.shard as usize].lock().unwrap();
+                let mut dst = shard.global[rec.slot as usize];
+                if dst == UNASSIGNED {
+                    dst = (all_words.len() / wps) as u32;
+                    if dst as usize + 1 > config.state_limit {
+                        return Err(Error::StateLimit { limit: config.state_limit });
+                    }
+                    shard.global[rec.slot as usize] = dst;
+                    let lo = rec.slot as usize * wps;
+                    all_words.extend_from_slice(&shard.words[lo..lo + wps]);
+                    depth_of.push(level_depth);
+                    max_depth = max_depth.max(level_depth);
+                }
+                drop(shard);
+                graph.add_edge(StateId(rec.src), StateId(dst), rec.code, config.edge_policy);
+            }
+        }
+
+        let states_now = all_words.len() / wps;
+        if config.progress_every != usize::MAX
+            && states_now / config.progress_every > progress_printed
+        {
+            progress_printed = states_now / config.progress_every;
+            eprintln!("enumerate: {} states, {} edges", states_now, graph.edge_count());
+        }
+        level_start = level_end;
+    }
+
+    // Rebuild the dense id -> packed table in id order.
+    let mut table = StateTable::new(layout);
+    for id in 0..all_words.len() / wps {
+        let (got, fresh) = table.intern_packed(&all_words[id * wps..(id + 1) * wps]);
+        debug_assert!(fresh && got as usize == id);
+    }
+
+    let elapsed = start.elapsed();
+    let approx_memory_bytes = table.approx_bytes()
+        + graph.edge_count() * std::mem::size_of::<crate::graph::Edge>()
+        + graph.state_count() * std::mem::size_of::<Vec<crate::graph::Edge>>();
+    let stats = EnumStats {
+        states: table.len(),
+        bits_per_state: bits,
+        edges: graph.edge_count(),
+        elapsed,
+        approx_memory_bytes,
+        transitions_evaluated: transitions.load(Ordering::Relaxed),
+        max_depth,
+    };
+    Ok(EnumResult { graph, table, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::graph::EdgePolicy;
+
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", 8, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let inc = b.add(cur, one);
+        let next = b.ternary(b.choice_expr(en), inc, cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_on_counter() {
+        let m = counter();
+        let seq = enumerate(&m, &EnumConfig::default()).unwrap();
+        for threads in [2, 3, 8] {
+            let cfg = EnumConfig { threads, ..EnumConfig::default() };
+            let par = enumerate_parallel(&m, &cfg).unwrap();
+            assert_eq!(par.graph.state_count(), seq.graph.state_count());
+            assert_eq!(par.graph.edge_count(), seq.graph.edge_count());
+            assert_eq!(par.stats.max_depth, seq.stats.max_depth);
+            assert_eq!(par.stats.transitions_evaluated, seq.stats.transitions_evaluated);
+            for s in 0..seq.graph.state_count() as u32 {
+                assert_eq!(par.table.packed(s), seq.table.packed(s), "state {s}");
+                assert_eq!(par.graph.edges(StateId(s)), seq.graph.edges(StateId(s)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let m = counter();
+        let cfg = EnumConfig { threads: 1, ..EnumConfig::default() };
+        let r = enumerate_parallel(&m, &cfg).unwrap();
+        assert_eq!(r.graph.state_count(), 8);
+        assert_eq!(r.graph.edge_count(), 16);
+    }
+
+    #[test]
+    fn state_limit_enforced_in_parallel() {
+        let cfg = EnumConfig { state_limit: 4, threads: 4, ..EnumConfig::default() };
+        assert_eq!(
+            enumerate_parallel(&counter(), &cfg).unwrap_err(),
+            Error::StateLimit { limit: 4 }
+        );
+    }
+
+    #[test]
+    fn evaluation_errors_propagate_from_workers() {
+        let mut b = ModelBuilder::new("z");
+        let v = b.state_var("x", 4, 1);
+        let cur = b.var_expr(v);
+        let zero = b.constant(0);
+        b.set_next(v, b.modulo(cur, zero));
+        let m = b.build().unwrap();
+        let cfg = EnumConfig { threads: 4, ..EnumConfig::default() };
+        assert_eq!(enumerate_parallel(&m, &cfg).unwrap_err(), Error::DivisionByZero);
+    }
+
+    #[test]
+    fn all_labels_policy_matches_sequential() {
+        let mut b = ModelBuilder::new("m");
+        b.choice("c", 2);
+        let v = b.state_var("x", 2, 1);
+        b.set_next(v, b.constant(0));
+        let m = b.build().unwrap();
+        for policy in [EdgePolicy::FirstLabel, EdgePolicy::AllLabels] {
+            let seq = enumerate(&m, &EnumConfig { edge_policy: policy, ..EnumConfig::default() })
+                .unwrap();
+            let par = enumerate_parallel(
+                &m,
+                &EnumConfig { edge_policy: policy, threads: 3, ..EnumConfig::default() },
+            )
+            .unwrap();
+            assert_eq!(par.graph.edge_count(), seq.graph.edge_count(), "{policy:?}");
+            for s in 0..seq.graph.state_count() as u32 {
+                assert_eq!(par.graph.edges(StateId(s)), seq.graph.edges(StateId(s)));
+            }
+        }
+    }
+}

@@ -42,9 +42,7 @@ impl<'m> SyncSim<'m> {
 
     /// Returns the current value of state variable `name`, if it exists.
     pub fn var(&self, name: &str) -> Option<u64> {
-        self.model()
-            .var_by_name(name)
-            .map(|v| self.state[v.0 as usize])
+        self.model().var_by_name(name).map(|v| self.state[v.0 as usize])
     }
 
     /// Evaluates a combinational definition against the current state and
@@ -63,8 +61,7 @@ impl<'m> SyncSim<'m> {
     ///
     /// Propagates evaluation failures.
     pub fn step(&mut self, choices: &[u64]) -> Result<(), Error> {
-        self.evaluator
-            .next_state(&self.state, choices, &mut self.next)?;
+        self.evaluator.next_state(&self.state, choices, &mut self.next)?;
         std::mem::swap(&mut self.state, &mut self.next);
         self.cycles += 1;
         Ok(())

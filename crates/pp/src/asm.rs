@@ -30,9 +30,7 @@ fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
         .trim()
         .strip_prefix('r')
         .ok_or_else(|| AsmError { line, msg: format!("expected register, got `{s}`") })?;
-    let n: u8 = body
-        .parse()
-        .map_err(|_| AsmError { line, msg: format!("bad register `{s}`") })?;
+    let n: u8 = body.parse().map_err(|_| AsmError { line, msg: format!("bad register `{s}`") })?;
     if n > 31 {
         return Err(AsmError { line, msg: format!("register r{n} out of range") });
     }
@@ -45,8 +43,7 @@ fn parse_imm(s: &str, line: usize) -> Result<u16, AsmError> {
         i64::from_str_radix(hex, 16)
             .map_err(|_| AsmError { line, msg: format!("bad immediate `{s}`") })?
     } else {
-        s.parse()
-            .map_err(|_| AsmError { line, msg: format!("bad immediate `{s}`") })?
+        s.parse().map_err(|_| AsmError { line, msg: format!("bad immediate `{s}`") })?
     };
     if !(-32768..=65535).contains(&v) {
         return Err(AsmError { line, msg: format!("immediate `{s}` out of 16-bit range") });
@@ -115,9 +112,8 @@ fn parse_line(text: &str, line: usize) -> Result<Instr, AsmError> {
         let open = s
             .find('(')
             .ok_or_else(|| AsmError { line, msg: format!("expected `imm(reg)`, got `{s}`") })?;
-        let close = s
-            .find(')')
-            .ok_or_else(|| AsmError { line, msg: format!("missing `)` in `{s}`") })?;
+        let close =
+            s.find(')').ok_or_else(|| AsmError { line, msg: format!("missing `)` in `{s}`") })?;
         let imm = parse_imm(&s[..open], line)?;
         let base = parse_reg(&s[open + 1..close], line)?;
         Ok((base, imm))

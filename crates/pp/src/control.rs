@@ -146,11 +146,8 @@ impl CtrlIn {
     pub fn from_choices(scale: &PpScale, choices: &[u64]) -> Self {
         let expect = if scale.dual_comm_slot { 9 } else { 8 };
         assert_eq!(choices.len(), expect, "wrong choice count");
-        let (iclass2, rest_ix) = if scale.dual_comm_slot {
-            (choices[1], 2)
-        } else {
-            (slot2_code::BUBBLE, 1)
-        };
+        let (iclass2, rest_ix) =
+            if scale.dual_comm_slot { (choices[1], 2) } else { (slot2_code::BUBBLE, 1) };
         let r = &choices[rest_ix..];
         CtrlIn {
             iclass: choices[0],
@@ -272,8 +269,7 @@ impl CtrlState {
             && (dr_req || dr_fill || dr_spill || (!i.dhit && dr_idle));
         let mem_stall = ext_stall || conflict_stall || d_stall;
         let advance = !mem_stall;
-        let d_miss_start =
-            is_mem && !i.dhit && dr_idle && !ext_stall && !conflict_stall;
+        let d_miss_start = is_mem && !i.dhit && dr_idle && !ext_stall && !conflict_stall;
         let ir_idle = self.irefill == irefill::IDLE;
         let i_miss_start = advance && !i.ihit && ir_idle;
         let istall = !ir_idle || i_miss_start;
@@ -298,11 +294,8 @@ impl CtrlState {
         let s = self.signals(scale, i);
         let beats = scale.fill_beats;
         let fetched_m = if s.fetch_valid { i.iclass } else { class_code::BUBBLE };
-        let fetched_m2 = if s.fetch_valid && scale.dual_comm_slot {
-            i.iclass2
-        } else {
-            slot2_code::BUBBLE
-        };
+        let fetched_m2 =
+            if s.fetch_valid && scale.dual_comm_slot { i.iclass2 } else { slot2_code::BUBBLE };
         // the class that will occupy MEM next cycle (used by the conflict
         // comparator on a completing split store)
         let (next_m, next_m2, next_e, next_e2) = if scale.extra_stage {
@@ -318,8 +311,8 @@ impl CtrlState {
         };
 
         let sd_completes = s.advance && self.m_class == class_code::SD;
-        let conflict_next = sd_completes
-            && (next_m == class_code::SD || (next_m == class_code::LD && i.same_line));
+        let conflict_next =
+            sd_completes && (next_m == class_code::SD || (next_m == class_code::LD && i.same_line));
 
         let drefill_next = match self.drefill {
             drefill::IDLE => {
@@ -645,7 +638,7 @@ mod tests {
         let mut sd = CtrlIn::quiet();
         sd.iclass = class_code::SD;
         s = s.step(&scale, &sd); // SD in MEM
-        // SD completes (hit); the next fetch is a same-line LD
+                                 // SD completes (hit); the next fetch is a same-line LD
         let mut ld_same = CtrlIn::quiet();
         ld_same.iclass = class_code::LD;
         ld_same.same_line = true;
@@ -693,7 +686,7 @@ mod tests {
         let mut ld = CtrlIn::quiet();
         ld.iclass = class_code::LD;
         s = s.step(&scale, &ld); // LD in MEM
-        // D-miss and I-miss in the same cycle
+                                 // D-miss and I-miss in the same cycle
         let mut both = CtrlIn::quiet();
         both.dhit = false;
         both.ihit = false;

@@ -72,8 +72,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "booted", "m_class", "m2_class", "e_class", "e2_class", "w_class", "irefill",
-                "drefill", "dcnt", "icnt", "spill_pend", "store_pend", "conflict"
+                "booted",
+                "m_class",
+                "m2_class",
+                "e_class",
+                "e2_class",
+                "w_class",
+                "irefill",
+                "drefill",
+                "dcnt",
+                "icnt",
+                "spill_pend",
+                "store_pend",
+                "conflict"
             ]
         );
     }

@@ -128,13 +128,8 @@ pub enum InstrClass {
 
 impl InstrClass {
     /// All five classes, in the Table 3.1 order.
-    pub const ALL: [InstrClass; 5] = [
-        InstrClass::Alu,
-        InstrClass::Ld,
-        InstrClass::Sd,
-        InstrClass::Switch,
-        InstrClass::Send,
-    ];
+    pub const ALL: [InstrClass; 5] =
+        [InstrClass::Alu, InstrClass::Ld, InstrClass::Sd, InstrClass::Switch, InstrClass::Send];
 
     /// The class of the given encoded value (inverse of `as u8`).
     pub fn from_code(code: u64) -> Option<InstrClass> {
@@ -175,7 +170,10 @@ impl Instr {
     /// instruction class"); `Nop` and `Halt` are likewise control-inert.
     pub fn class(&self) -> InstrClass {
         match self {
-            Instr::Alu { .. } | Instr::AluImm { .. } | Instr::Lui { .. } | Instr::Nop
+            Instr::Alu { .. }
+            | Instr::AluImm { .. }
+            | Instr::Lui { .. }
+            | Instr::Nop
             | Instr::Halt => InstrClass::Alu,
             Instr::Lw { .. } => InstrClass::Ld,
             Instr::Sw { .. } => InstrClass::Sd,
@@ -393,10 +391,7 @@ mod tests {
 
     #[test]
     fn dest_filters_r0() {
-        assert_eq!(
-            Instr::AluImm { op: AluOp::Add, rd: Reg(0), rs: Reg(1), imm: 1 }.dest(),
-            None
-        );
+        assert_eq!(Instr::AluImm { op: AluOp::Add, rd: Reg(0), rs: Reg(1), imm: 1 }.dest(), None);
         assert_eq!(Instr::Switch { rd: Reg(3) }.dest(), Some(Reg(3)));
         assert_eq!(Instr::Send { rs: Reg(3) }.dest(), None);
     }

@@ -75,7 +75,13 @@ struct Way {
 
 impl Way {
     fn empty(line_words: u32) -> Self {
-        Way { valid: false, dirty: false, tag: 0, data: vec![0; line_words as usize], poisoned: false }
+        Way {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            data: vec![0; line_words as usize],
+            poisoned: false,
+        }
     }
 }
 
@@ -224,8 +230,7 @@ impl SetAssocCache {
                     synth_tag = synth_tag.wrapping_add(1);
                 }
                 let base = (synth_tag * self.n_sets + set_ix as u32) * self.line_words;
-                let data: Vec<u32> =
-                    (0..self.line_words).map(|i| mem.read(base + i)).collect();
+                let data: Vec<u32> = (0..self.line_words).map(|i| mem.read(base + i)).collect();
                 let w = &mut self.sets[set_ix][way];
                 w.valid = true;
                 w.dirty = false;
@@ -263,9 +268,7 @@ impl SetAssocCache {
     }
 
     fn is_poisoned(&self, addr: u32) -> bool {
-        self.probe(addr)
-            .map(|way| self.sets[self.set_ix(addr)][way].poisoned)
-            .unwrap_or(false)
+        self.probe(addr).map(|way| self.sets[self.set_ix(addr)][way].poisoned).unwrap_or(false)
     }
 }
 
@@ -429,8 +432,8 @@ impl RtlSim {
             for way in 0..self.dcache.sets[set_ix].len() {
                 let w = &self.dcache.sets[set_ix][way];
                 if w.valid && w.dirty {
-                    let base = (w.tag * self.dcache.n_sets + set_ix as u32)
-                        * self.dcache.line_words;
+                    let base =
+                        (w.tag * self.dcache.n_sets + set_ix as u32) * self.dcache.line_words;
                     let data = w.data.clone();
                     for (i, v) in data.into_iter().enumerate() {
                         self.mem.write(base + i as u32, v);
@@ -475,10 +478,9 @@ impl RtlSim {
         let lane_a = Lane { instr: a, pc: self.pc };
         let b = Instr::decode(self.mem.read(self.pc.wrapping_add(1)));
         match b {
-            Some(b_instr) if can_pair(&a, &b_instr) && !matches!(b_instr, Instr::Nop) => Some((
-                lane_a,
-                Some(Lane { instr: b_instr, pc: self.pc.wrapping_add(1) }),
-            )),
+            Some(b_instr) if can_pair(&a, &b_instr) && !matches!(b_instr, Instr::Nop) => {
+                Some((lane_a, Some(Lane { instr: b_instr, pc: self.pc.wrapping_add(1) })))
+            }
             _ => Some((lane_a, None)),
         }
     }
@@ -502,10 +504,7 @@ impl RtlSim {
         };
         let ihit = self.icache.probe(self.pc).is_some();
         let (dhit, victim_dirty) = match self.m_slot.as_ref().and_then(|s| s.addr) {
-            Some(addr) => (
-                self.dcache.probe(addr).is_some(),
-                self.dcache.victim_is_dirty(addr),
-            ),
+            Some(addr) => (self.dcache.probe(addr).is_some(), self.dcache.victim_is_dirty(addr)),
             None => (true, false),
         };
         // the conflict comparator: when the op in MEM is a completing split
@@ -708,12 +707,9 @@ impl RtlSim {
     fn fetch_pair(&mut self) -> Option<PipeSlot> {
         let (a, b) = self.peek_pair()?;
         self.pc = self.pc.wrapping_add(if b.is_some() { 2 } else { 1 });
-        let mut slot =
-            PipeSlot { slot1: a, slot2: b, addr: None, was_conflicted: false };
+        let mut slot = PipeSlot { slot1: a, slot2: b, addr: None, was_conflicted: false };
         // Bug #1: a poisoned I-cache line yields corrupted instructions
-        if self.bugs.contains(Bug::InterfaceMiscommunication)
-            && self.icache.is_poisoned(a.pc)
-        {
+        if self.bugs.contains(Bug::InterfaceMiscommunication) && self.icache.is_poisoned(a.pc) {
             slot.slot1.instr = Instr::Nop;
             if let Some(l) = slot.slot2.as_mut() {
                 l.instr = Instr::Nop;
@@ -772,17 +768,12 @@ impl RtlSim {
                 // a following load/store's address is used instead
                 if self.bugs.contains(Bug::ConflictAddressNotHeld) && was_conflicted {
                     if let Some((next, _)) = self.peek_pair() {
-                        if let Instr::Lw { rs, imm, .. } | Instr::Sw { rs, imm, .. } =
-                            next.instr
-                        {
+                        if let Instr::Lw { rs, imm, .. } | Instr::Sw { rs, imm, .. } = next.instr {
                             addr = self.reg(rs).wrapping_add(u32::from(imm));
                         }
                     }
                 }
-                let mut value = self
-                    .dcache
-                    .read(addr)
-                    .unwrap_or_else(|| self.mem.read(addr));
+                let mut value = self.dcache.read(addr).unwrap_or_else(|| self.mem.read(addr));
                 // Bug #6: conflict stall + simultaneous I-stall returns the
                 // pre-store (stale) value
                 if self.bugs.contains(Bug::StaleDataOnConflict)
@@ -811,9 +802,7 @@ impl RtlSim {
                 if self.bugs.contains(Bug::MembusValidGlitch) && sig.crit_restart {
                     let follower_is_mem = self
                         .peek_pair()
-                        .map(|(a, _)| {
-                            matches!(a.instr.class(), InstrClass::Ld | InstrClass::Sd)
-                        })
+                        .map(|(a, _)| matches!(a.instr.class(), InstrClass::Ld | InstrClass::Sd))
                         .unwrap_or(false);
                     if follower_is_mem {
                         ev.reg_write = self.write_reg(rd, value);
@@ -832,10 +821,7 @@ impl RtlSim {
             Instr::Sw { rt, .. } => {
                 let addr = addr.expect("store reached MEM without an address");
                 let value = self.reg(rt);
-                let old = self
-                    .dcache
-                    .read(addr)
-                    .unwrap_or_else(|| self.mem.read(addr));
+                let old = self.dcache.read(addr).unwrap_or_else(|| self.mem.read(addr));
                 // split store: the tag probe happens now, the data phase
                 // next cycle (store_pend)
                 self.pending_store = Some((addr, value, old));
@@ -911,8 +897,10 @@ mod tests {
 
     #[test]
     fn alu_program_equivalent() {
-        let (spec, mut rtl) =
-            run_both("addi r1, r0, 3\naddi r2, r0, 4\nadd r3, r1, r2\nsub r4, r3, r1\nhalt", vec![]);
+        let (spec, mut rtl) = run_both(
+            "addi r1, r0, 3\naddi r2, r0, 4\nadd r3, r1, r2\nsub r4, r3, r1\nhalt",
+            vec![],
+        );
         assert_equivalent(&spec, &mut rtl);
         assert_eq!(rtl.regs()[3], 7);
     }
@@ -938,10 +926,8 @@ mod tests {
 
     #[test]
     fn switch_send_equivalent() {
-        let (spec, mut rtl) = run_both(
-            "switch r1\nswitch r2\nadd r3, r1, r2\nsend r3\nsend r1\nhalt",
-            vec![5, 9],
-        );
+        let (spec, mut rtl) =
+            run_both("switch r1\nswitch r2\nadd r3, r1, r2\nsend r3\nsend r1\nhalt", vec![5, 9]);
         assert_equivalent(&spec, &mut rtl);
         assert_eq!(rtl.outbox(), &[14, 5]);
     }
@@ -968,20 +954,16 @@ mod tests {
     #[test]
     fn same_line_load_after_store_sees_new_data() {
         // the split-store conflict path must still forward correct data
-        let (spec, mut rtl) = run_both(
-            "lui r1, 1\naddi r2, r0, 123\nsw r2, 0(r1)\nlw r3, 0(r1)\nhalt",
-            vec![],
-        );
+        let (spec, mut rtl) =
+            run_both("lui r1, 1\naddi r2, r0, 123\nsw r2, 0(r1)\nlw r3, 0(r1)\nhalt", vec![]);
         assert_equivalent(&spec, &mut rtl);
         assert_eq!(rtl.regs()[3], 123);
     }
 
     #[test]
     fn dual_issue_pairs_retire_in_program_order() {
-        let (spec, mut rtl) = run_both(
-            "lw r1, 0(r0)\naddi r8, r0, 9\nadd r9, r8, r8\nhalt",
-            vec![],
-        );
+        let (spec, mut rtl) =
+            run_both("lw r1, 0(r0)\naddi r8, r0, 9\nadd r9, r8, r8\nhalt", vec![]);
         assert_equivalent(&spec, &mut rtl);
         let pcs: Vec<u32> = rtl.retired().iter().map(|r| r.pc).collect();
         assert_eq!(pcs, vec![0, 1, 2, 3], "lw+addi pair, then add, then halt");

@@ -52,7 +52,8 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
     if dual {
         s.push_str("  input [1:0] iclass2;      // archval: abstract classes=3\n");
     }
-    for sig in ["ihit", "dhit", "victim_dirty", "same_line", "inbox_ready", "outbox_ready", "mem_ready"]
+    for sig in
+        ["ihit", "dhit", "victim_dirty", "same_line", "inbox_ready", "outbox_ready", "mem_ready"]
     {
         let _ = writeln!(s, "  input {sig};             // archval: abstract");
     }
@@ -81,9 +82,26 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
     // paper includes "any logic that feeds the state machines"
     s.push_str("  // archval: control-begin\n");
     let wires = [
-        "is_ld", "is_sd", "is_mem", "is_sw", "is_se", "ext_stall", "conflict_stall", "dr_idle",
-        "dr_req", "dr_crit", "dr_fill", "dr_spill", "d_stall", "mem_stall", "advance",
-        "d_miss_start", "ir_idle", "i_miss_start", "fetch_valid", "sd_completes",
+        "is_ld",
+        "is_sd",
+        "is_mem",
+        "is_sw",
+        "is_se",
+        "ext_stall",
+        "conflict_stall",
+        "dr_idle",
+        "dr_req",
+        "dr_crit",
+        "dr_fill",
+        "dr_spill",
+        "d_stall",
+        "mem_stall",
+        "advance",
+        "d_miss_start",
+        "ir_idle",
+        "i_miss_start",
+        "fetch_valid",
+        "sd_completes",
     ];
     for wd in wires {
         let _ = writeln!(s, "  wire {wd};");
@@ -105,9 +123,7 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
              \x20                 || ((m2_class == 2'd1) && !inbox_ready);\n",
         );
     } else {
-        s.push_str(
-            "  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready);\n",
-        );
+        s.push_str("  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready);\n");
     }
     s.push_str("  assign conflict_stall = conflict;\n");
     s.push_str("  assign dr_idle = drefill == 3'd0;\n");

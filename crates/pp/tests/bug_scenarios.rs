@@ -8,7 +8,11 @@ use archval_pp::control::drefill;
 use archval_pp::rtl::{ExtIn, Forces, RtlSim};
 use archval_pp::{Bug, BugSet, PpScale, RefSim};
 
-fn run_to_halt(rtl: &mut RtlSim, ext: impl Fn(u64) -> ExtIn, force: impl Fn(&RtlSim, u64) -> Forces) {
+fn run_to_halt(
+    rtl: &mut RtlSim,
+    ext: impl Fn(u64) -> ExtIn,
+    force: impl Fn(&RtlSim, u64) -> Forces,
+) {
     let mut cycle = 0u64;
     while !rtl.halted() && cycle < 2_000 {
         let f = force(rtl, cycle);
@@ -46,16 +50,10 @@ fn bug3_conflicted_load_uses_the_followers_address() {
 #[test]
 fn bug3_is_invisible_without_the_follower() {
     // removing one event — the following load/store — hides the bug
-    let prog = assemble(
-        "addi r9, r0, 111\nsw r9, 0x8000(r0)\nlw r3, 0x8000(r0)\nnop\nhalt",
-    )
-    .unwrap();
-    let mut rtl = RtlSim::new(
-        PpScale::standard(),
-        BugSet::only(Bug::ConflictAddressNotHeld),
-        &prog,
-        vec![],
-    );
+    let prog =
+        assemble("addi r9, r0, 111\nsw r9, 0x8000(r0)\nlw r3, 0x8000(r0)\nnop\nhalt").unwrap();
+    let mut rtl =
+        RtlSim::new(PpScale::standard(), BugSet::only(Bug::ConflictAddressNotHeld), &prog, vec![]);
     run_to_halt(&mut rtl, |_| ExtIn::ready(), |_, _| Forces::default());
     assert_eq!(rtl.regs()[3], 111, "without a follower the address is unperturbed");
 }
@@ -63,18 +61,13 @@ fn bug3_is_invisible_without_the_follower() {
 #[test]
 fn bug3_is_invisible_without_the_conflict() {
     // different line: no conflict stall, so nothing to corrupt
-    let prog = assemble(
-        "addi r9, r0, 111\nsw r9, 0x8000(r0)\nlw r3, 0x9000(r0)\nlw r4, 0xA000(r0)\nhalt",
-    )
-    .unwrap();
+    let prog =
+        assemble("addi r9, r0, 111\nsw r9, 0x8000(r0)\nlw r3, 0x9000(r0)\nlw r4, 0xA000(r0)\nhalt")
+            .unwrap();
     let mut spec = RefSim::new(&prog, vec![]);
     spec.run(1000);
-    let mut rtl = RtlSim::new(
-        PpScale::standard(),
-        BugSet::only(Bug::ConflictAddressNotHeld),
-        &prog,
-        vec![],
-    );
+    let mut rtl =
+        RtlSim::new(PpScale::standard(), BugSet::only(Bug::ConflictAddressNotHeld), &prog, vec![]);
     run_to_halt(&mut rtl, |_| ExtIn::ready(), |_, _| Forces::default());
     assert_eq!(rtl.regs()[3], spec.regs()[3]);
     assert_eq!(rtl.regs()[4], spec.regs()[4]);
@@ -178,17 +171,9 @@ fn corruptions_appear_in_the_retirement_log() {
     let prog = assemble(BUG3_PROGRAM).unwrap();
     let mut spec = RefSim::new(&prog, vec![]);
     spec.run(1000);
-    let mut rtl = RtlSim::new(
-        PpScale::standard(),
-        BugSet::only(Bug::ConflictAddressNotHeld),
-        &prog,
-        vec![],
-    );
+    let mut rtl =
+        RtlSim::new(PpScale::standard(), BugSet::only(Bug::ConflictAddressNotHeld), &prog, vec![]);
     run_to_halt(&mut rtl, |_| ExtIn::ready(), |_, _| Forces::default());
-    let diverged = rtl
-        .retired()
-        .iter()
-        .zip(spec.retired())
-        .any(|(a, b)| a != b);
+    let diverged = rtl.retired().iter().zip(spec.retired()).any(|(a, b)| a != b);
     assert!(diverged, "the comparison framework sees the corrupted writeback");
 }

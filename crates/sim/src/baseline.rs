@@ -59,13 +59,11 @@ pub fn random_coverage_run(
     for _ in 0..cycles {
         let input: CtrlIn = random_ctrl_in(&mut rng, scale, rare_probability);
         let choices = input.to_choices(scale);
-        let src = enumd
-            .find_state(sim.state())
-            .expect("random run left the enumerated reachable set");
+        let src =
+            enumd.find_state(sim.state()).expect("random run left the enumerated reachable set");
         sim.step(&choices).expect("model evaluation failed");
-        let dst = enumd
-            .find_state(sim.state())
-            .expect("random run left the enumerated reachable set");
+        let dst =
+            enumd.find_state(sim.state()).expect("random run left the enumerated reachable set");
         cov.observe(src, dst, model.encode_choices(&choices));
     }
     CoverageRun {
@@ -113,8 +111,7 @@ mod tests {
         let tour_run = tour_coverage_run(&enumd, &tours);
         assert_eq!(tour_run.arcs_covered, tour_run.arcs_total, "tours cover all arcs");
 
-        let rand_run =
-            random_coverage_run(&scale, &model, &enumd, tour_run.cycles, 0.5, 12345);
+        let rand_run = random_coverage_run(&scale, &model, &enumd, tour_run.cycles, 0.5, 12345);
         assert!(
             rand_run.arcs_covered < rand_run.arcs_total,
             "uniform random stimulus should not reach full arc coverage in the tour's budget \
@@ -128,12 +125,22 @@ mod tests {
     #[test]
     fn realistic_random_covers_even_less() {
         // biased-towards-common-case stimulus (what real traffic looks
-        // like) covers fewer corner arcs than aggressive random
+        // like) saturates at a much lower arc-coverage ceiling than
+        // aggressive random: the arcs it misses need conjunctions of rare
+        // interface conditions. Short runs are dominated by stall churn
+        // (aggressive random stalls half the time), so compare past the
+        // crossover, and across a few seeds to suppress noise.
         let scale = PpScale::micro();
         let model = pp_control_model(&scale).unwrap();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
-        let aggressive = random_coverage_run(&scale, &model, &enumd, 4000, 0.5, 7);
-        let realistic = random_coverage_run(&scale, &model, &enumd, 4000, 0.05, 7);
-        assert!(realistic.arcs_covered <= aggressive.arcs_covered);
+        let covered =
+            |p, seed| random_coverage_run(&scale, &model, &enumd, 20_000, p, seed).arcs_covered;
+        let aggressive: usize = (0..4).map(|seed| covered(0.5, seed)).sum();
+        let realistic: usize = (0..4).map(|seed| covered(0.05, seed)).sum();
+        assert!(
+            realistic < aggressive,
+            "realistic stimulus covered at least as many arcs as aggressive \
+             ({realistic} >= {aggressive})"
+        );
     }
 }

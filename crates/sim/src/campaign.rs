@@ -9,7 +9,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use archval_fsm::enumerate::{enumerate, EnumConfig};
+use archval_fsm::enumerate::EnumConfig;
+use archval_fsm::parallel::enumerate_parallel;
 use archval_pp::isa::InstrClass;
 use archval_pp::rtl::{ExtIn, Forces, RtlSim};
 use archval_pp::{pp_control_model, Bug, BugSet, PpScale, RefSim};
@@ -33,6 +34,11 @@ pub struct CampaignConfig {
     pub random_rare_probability: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for state enumeration and the per-bug injection
+    /// runs; `1` keeps everything sequential. Results are identical for
+    /// any value (enumeration is deterministic and each bug's run is
+    /// independently seeded).
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -43,6 +49,7 @@ impl Default for CampaignConfig {
             random_budget_multiplier: 1,
             random_rare_probability: 0.5,
             seed: 0xA5CA1E,
+            threads: 1,
         }
     }
 }
@@ -94,11 +101,10 @@ impl CampaignReport {
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let scale = config.scale;
     let model = pp_control_model(&scale).expect("control model builds");
-    let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
-    let tours = generate_tours(
-        &enumd.graph,
-        &TourConfig { instruction_limit: config.instruction_limit },
-    );
+    let enum_config = EnumConfig { threads: config.threads.max(1), ..EnumConfig::default() };
+    let enumd = enumerate_parallel(&model, &enum_config).expect("enumeration");
+    let tours =
+        generate_tours(&enumd.graph, &TourConfig { instruction_limit: config.instruction_limit });
     let stimuli: Vec<Stimulus> = tours
         .traces()
         .iter()
@@ -107,38 +113,68 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         .collect();
     let tour_cycle_budget: u64 = stimuli.iter().map(|s| s.cycles.len() as u64).sum();
 
-    let mut outcomes = Vec::new();
-    for bug in Bug::ALL {
-        let bugs = BugSet::only(bug);
-        let mut tour_detected_at_trace = None;
-        let mut tour_cycles_to_detect = None;
-        let mut cycles_so_far = 0u64;
-        for (i, stim) in stimuli.iter().enumerate() {
-            let report = compare_stimulus(stim, bugs).expect("bug replay never errors");
-            cycles_so_far += report.cycles;
-            if report.detected() {
-                tour_detected_at_trace = Some(i);
-                tour_cycles_to_detect = Some(cycles_so_far);
-                break;
+    // Each injected bug's run is independent (shared read-only stimuli,
+    // per-bug RNG seed), so fan the six injections out across the worker
+    // pool; outcomes keep Table 2.1 order regardless of thread count.
+    let outcomes = if config.threads > 1 {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<BugOutcome>>> =
+            Bug::ALL.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..config.threads.min(Bug::ALL.len()) {
+                scope.spawn(|| loop {
+                    let ix = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&bug) = Bug::ALL.get(ix) else { break };
+                    let outcome = bug_outcome(config, &stimuli, tour_cycle_budget, bug);
+                    *slots[ix].lock().unwrap() = Some(outcome);
+                });
             }
-        }
-        let budget = tour_cycle_budget * config.random_budget_multiplier;
-        let random_cycles_to_detect = random_baseline_detects(
-            &scale,
-            bugs,
-            budget,
-            config.random_rare_probability,
-            config.seed ^ (bug as u64) << 32,
-        );
-        outcomes.push(BugOutcome {
-            bug,
-            tour_detected_at_trace,
-            tour_cycles_to_detect,
-            random_detected: random_cycles_to_detect.is_some(),
-            random_cycles_to_detect,
         });
-    }
+        slots.into_iter().map(|s| s.into_inner().unwrap().expect("every bug slot filled")).collect()
+    } else {
+        Bug::ALL.iter().map(|&bug| bug_outcome(config, &stimuli, tour_cycle_budget, bug)).collect()
+    };
     CampaignReport { outcomes, tour_cycle_budget, traces: stimuli.len() }
+}
+
+/// Replays the tour vectors and the random baseline against one injected
+/// bug.
+fn bug_outcome(
+    config: &CampaignConfig,
+    stimuli: &[Stimulus],
+    tour_cycle_budget: u64,
+    bug: Bug,
+) -> BugOutcome {
+    let bugs = BugSet::only(bug);
+    let mut tour_detected_at_trace = None;
+    let mut tour_cycles_to_detect = None;
+    let mut cycles_so_far = 0u64;
+    for (i, stim) in stimuli.iter().enumerate() {
+        let report = compare_stimulus(stim, bugs).expect("bug replay never errors");
+        cycles_so_far += report.cycles;
+        if report.detected() {
+            tour_detected_at_trace = Some(i);
+            tour_cycles_to_detect = Some(cycles_so_far);
+            break;
+        }
+    }
+    let budget = tour_cycle_budget * config.random_budget_multiplier;
+    let random_cycles_to_detect = random_baseline_detects(
+        &config.scale,
+        bugs,
+        budget,
+        config.random_rare_probability,
+        config.seed ^ (bug as u64) << 32,
+    );
+    BugOutcome {
+        bug,
+        tour_detected_at_trace,
+        tour_cycles_to_detect,
+        random_detected: random_cycles_to_detect.is_some(),
+        random_cycles_to_detect,
+    }
 }
 
 /// Runs randomly generated vectors (random program, random interface
@@ -192,11 +228,8 @@ pub fn random_baseline_detects(
         }
         let mut spec = RefSim::new(&program, inbox);
         spec.run(rtl.retired().len());
-        let diverged = rtl
-            .retired()
-            .iter()
-            .enumerate()
-            .any(|(i, r)| spec.retired().get(i) != Some(r));
+        let diverged =
+            rtl.retired().iter().enumerate().any(|(i, r)| spec.retired().get(i) != Some(r));
         if diverged {
             return Some(used);
         }
@@ -228,6 +261,30 @@ mod tests {
                     o.bug
                 );
             }
+        }
+    }
+
+    /// The pooled campaign is bit-for-bit the sequential campaign:
+    /// enumeration is deterministic and every bug run is independently
+    /// seeded.
+    #[test]
+    fn threaded_campaign_matches_sequential() {
+        let base = CampaignConfig {
+            scale: PpScale::micro(),
+            random_budget_multiplier: 0,
+            ..CampaignConfig::default()
+        };
+        let seq = run_campaign(&base);
+        let par = run_campaign(&CampaignConfig { threads: 4, ..base });
+        assert_eq!(seq.tour_cycle_budget, par.tour_cycle_budget);
+        assert_eq!(seq.traces, par.traces);
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.bug, b.bug);
+            assert_eq!(a.tour_detected_at_trace, b.tour_detected_at_trace);
+            assert_eq!(a.tour_cycles_to_detect, b.tour_cycles_to_detect);
+            assert_eq!(a.random_detected, b.random_detected);
+            assert_eq!(a.random_cycles_to_detect, b.random_cycles_to_detect);
         }
     }
 

@@ -71,11 +71,7 @@ pub fn compare_stimulus(stim: &Stimulus, bugs: BugSet) -> Result<ComparisonRepor
             }
         }
     }
-    Ok(ComparisonReport {
-        mismatch,
-        retired: rtl.retired().len(),
-        cycles: rtl.cycles(),
-    })
+    Ok(ComparisonReport { mismatch, retired: rtl.retired().len(), cycles: rtl.cycles() })
 }
 
 #[cfg(test)]
@@ -95,11 +91,7 @@ mod tests {
         for (i, trace) in tours.traces().iter().enumerate() {
             let stim = trace_to_stimulus(&scale, &model, &tours, trace, i as u64);
             let report = compare_stimulus(&stim, BugSet::none()).unwrap();
-            assert!(
-                !report.detected(),
-                "false positive on trace {i}: {:?}",
-                report.mismatch
-            );
+            assert!(!report.detected(), "false positive on trace {i}: {:?}", report.mismatch);
         }
     }
 }

@@ -71,16 +71,10 @@ fn impl_fig41() -> Model {
     let in_b = b.eq_const(cur, 1);
     let from_a = b.ternary(is_b, b.constant(1), b.constant(0));
     // the erroneous extra behaviour: B --c--> C
-    let from_b = b.select(
-        vec![(is_a, b.constant(0)), (is_c, b.constant(2))],
-        b.constant(1),
-    );
+    let from_b = b.select(vec![(is_a, b.constant(0)), (is_c, b.constant(2))], b.constant(1));
     // C returns to A on any input (the figure's completion)
     let from_c = b.constant(0);
-    b.set_next(
-        s,
-        b.select(vec![(in_a, from_a), (in_b, from_b)], from_c),
-    );
+    b.set_next(s, b.select(vec![(in_a, from_a), (in_b, from_b)], from_c));
     b.build().expect("impl41 builds")
 }
 
@@ -95,10 +89,7 @@ fn spec_fig42() -> Model {
     let is_a = b.eq_const(i, INPUT_A);
     let is_c = b.eq_const(i, INPUT_C);
     let in_a = b.eq_const(cur, 0);
-    let from_a = b.select(
-        vec![(is_a, b.constant(1)), (is_c, b.constant(2))],
-        b.constant(0),
-    );
+    let from_a = b.select(vec![(is_a, b.constant(1)), (is_c, b.constant(2))], b.constant(0));
     // B and C return to A on b, else hold
     let is_b = b.eq_const(i, INPUT_B);
     let hold = b.ternary(is_b, b.constant(0), cur);
@@ -134,11 +125,9 @@ fn run_conformance(
     specification: &Model,
     policy: EdgePolicy,
 ) -> ConformanceOutcome {
-    let enumd = enumerate(
-        implementation,
-        &EnumConfig { edge_policy: policy, ..EnumConfig::default() },
-    )
-    .expect("enumeration");
+    let enumd =
+        enumerate(implementation, &EnumConfig { edge_policy: policy, ..EnumConfig::default() })
+            .expect("enumeration");
     let tours = generate_tours(&enumd.graph, &TourConfig::default());
     let mut detected = false;
     'traces: for trace in tours.traces() {
@@ -198,11 +187,9 @@ mod tests {
 
     #[test]
     fn models_have_expected_shapes() {
-        let enumd =
-            enumerate(&impl_fig41(), &EnumConfig::default()).expect("enumeration");
+        let enumd = enumerate(&impl_fig41(), &EnumConfig::default()).expect("enumeration");
         assert_eq!(enumd.graph.state_count(), 3);
-        let enumd2 =
-            enumerate(&impl_fig42(), &EnumConfig::default()).expect("enumeration");
+        let enumd2 = enumerate(&impl_fig42(), &EnumConfig::default()).expect("enumeration");
         assert_eq!(enumd2.graph.state_count(), 2, "the aliased impl never reaches C");
     }
 }

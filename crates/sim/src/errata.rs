@@ -79,10 +79,7 @@ pub fn classify(control_events: usize) -> BugClass {
 /// multiple-event bugs — the very class the paper says slips through
 /// conventional verification.
 pub fn classify_pp_bugs() -> Vec<(Bug, BugClass)> {
-    Bug::ALL
-        .into_iter()
-        .map(|b| (b, classify(b.event_count())))
-        .collect()
+    Bug::ALL.into_iter().map(|b| (b, classify(b.event_count()))).collect()
 }
 
 #[cfg(test)]

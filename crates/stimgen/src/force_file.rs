@@ -45,7 +45,7 @@ pub fn emit_force_file(stim: &Stimulus, dut: &str) -> String {
             let changed = prev
                 .as_ref()
                 .and_then(|p| p.iter().find(|(s2, _)| s2 == sig))
-                .map_or(true, |(_, v2)| v2 != val);
+                .is_none_or(|(_, v2)| v2 != val);
             if changed {
                 let _ = writeln!(s, "  force {dut}.{sig} = {val};");
             }

@@ -8,7 +8,7 @@ use archval_fsm::graph::StateId;
 use archval_fsm::{EdgeLabel, Model};
 use archval_pp::isa::{Instr, InstrClass};
 use archval_pp::{CtrlIn, CtrlState, PpScale};
-use archval_tour::generate::{Trace, TourSet};
+use archval_tour::generate::{TourSet, Trace};
 
 use crate::random::{concretize_slot1, concretize_slot2};
 
@@ -134,8 +134,8 @@ pub fn trace_to_stimulus(
     let mut fetched_pairs: Vec<(Instr, Instr)> = Vec::new();
     for (ix, &j) in fetch_cycles.iter().enumerate() {
         let ctrl = &inputs[j];
-        let class = InstrClass::from_code(ctrl.iclass)
-            .expect("tour iclass choice outside Table 3.1");
+        let class =
+            InstrClass::from_code(ctrl.iclass).expect("tour iclass choice outside Table 3.1");
         let mut a = concretize_slot1(&mut rng, class);
         if let Instr::Lw { rd, rs, .. } = a {
             // if this load conflicts with a split store, reuse the store's

@@ -74,9 +74,7 @@ pub fn concretize_slot1(rng: &mut StdRng, class: InstrClass) -> Instr {
             }
         }
         InstrClass::Ld => Instr::Lw { rd: reg_in(rng, 1, 7), rs: Reg::ZERO, imm: data_imm(rng) },
-        InstrClass::Sd => {
-            Instr::Sw { rt: reg_in(rng, 0, 15), rs: Reg::ZERO, imm: data_imm(rng) }
-        }
+        InstrClass::Sd => Instr::Sw { rt: reg_in(rng, 0, 15), rs: Reg::ZERO, imm: data_imm(rng) },
         InstrClass::Switch => Instr::Switch { rd: reg_in(rng, 1, 7) },
         InstrClass::Send => Instr::Send { rs: reg_in(rng, 0, 15) },
     }
@@ -103,11 +101,7 @@ pub fn concretize_slot2(rng: &mut StdRng, code: u64) -> Instr {
 pub fn random_ctrl_in(rng: &mut StdRng, scale: &PpScale, rare: f64) -> CtrlIn {
     CtrlIn {
         iclass: rng.gen_range(0..5),
-        iclass2: if scale.dual_comm_slot {
-            rng.gen_range(0..3)
-        } else {
-            class_code::ALU
-        },
+        iclass2: if scale.dual_comm_slot { rng.gen_range(0..3) } else { class_code::ALU },
         ihit: !rng.gen_bool(rare),
         dhit: !rng.gen_bool(rare),
         victim_dirty: rng.gen_bool(rare),
@@ -121,9 +115,7 @@ pub fn random_ctrl_in(rng: &mut StdRng, scale: &PpScale, rare: f64) -> CtrlIn {
 /// Generates a random per-cycle stimulus sequence for the baseline.
 pub fn random_stimulus(scale: &PpScale, config: &RandomConfig, seed: u64) -> Vec<CtrlIn> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..config.cycles)
-        .map(|_| random_ctrl_in(&mut rng, scale, config.rare_probability))
-        .collect()
+    (0..config.cycles).map(|_| random_ctrl_in(&mut rng, scale, config.rare_probability)).collect()
 }
 
 #[cfg(test)]
@@ -144,10 +136,7 @@ mod tests {
     #[test]
     fn slot2_codes_map_to_classes() {
         let mut rng = StdRng::seed_from_u64(8);
-        assert_eq!(
-            concretize_slot2(&mut rng, slot2_code::SWITCH).class(),
-            InstrClass::Switch
-        );
+        assert_eq!(concretize_slot2(&mut rng, slot2_code::SWITCH).class(), InstrClass::Switch);
         assert_eq!(concretize_slot2(&mut rng, slot2_code::SEND).class(), InstrClass::Send);
         assert_eq!(concretize_slot2(&mut rng, slot2_code::ALU).class(), InstrClass::Alu);
     }

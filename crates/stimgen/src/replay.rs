@@ -109,8 +109,7 @@ mod tests {
     #[test]
     fn bug_free_replay_follows_every_tour() {
         for (i, stim) in micro_stimuli(None).into_iter().enumerate() {
-            let out = replay(&stim, BugSet::none())
-                .unwrap_or_else(|e| panic!("trace {i}: {e}"));
+            let out = replay(&stim, BugSet::none()).unwrap_or_else(|e| panic!("trace {i}: {e}"));
             assert_eq!(out.sampled.len(), stim.cycles.len());
         }
     }

@@ -93,7 +93,7 @@ impl ArcCoverage {
             }
             None => false,
         };
-        if self.events % self.sample_every == 0 {
+        if self.events.is_multiple_of(self.sample_every) {
             self.curve.push((self.events, self.hits));
         }
         known
@@ -113,10 +113,7 @@ impl ArcCoverage {
     /// reached.
     pub fn events_to_reach(&self, fraction: f64) -> Option<u64> {
         let needed = (fraction * self.hit.len() as f64).ceil() as usize;
-        self.curve
-            .iter()
-            .find(|&&(_, c)| c >= needed)
-            .map(|&(e, _)| e)
+        self.curve.iter().find(|&&(_, c)| c >= needed).map(|&(e, _)| e)
     }
 }
 

@@ -35,9 +35,8 @@ pub fn analyze(graph: &StateGraph) -> EulerAnalysis {
     let mut deficit = Vec::new();
     let mut surplus = Vec::new();
     let mut total = 0usize;
-    for s in 0..n {
+    for (s, &inn) in in_deg.iter().enumerate().take(n) {
         let out = graph.edges(StateId(s as u32)).len();
-        let inn = in_deg[s];
         use std::cmp::Ordering;
         match out.cmp(&inn) {
             Ordering::Greater => {
@@ -76,10 +75,7 @@ pub fn eulerize(graph: &StateGraph) -> Option<Eulerized> {
     if !graph.is_strongly_connected() {
         return None;
     }
-    let mut arcs: Vec<(StateId, StateId)> = graph
-        .iter_edges()
-        .map(|(s, e)| (s, e.dst))
-        .collect();
+    let mut arcs: Vec<(StateId, StateId)> = graph.iter_edges().map(|(s, e)| (s, e.dst)).collect();
     let analysis = analyze(graph);
     if analysis.balanced {
         return Some(Eulerized { arcs, duplicated: 0 });
@@ -87,11 +83,11 @@ pub fn eulerize(graph: &StateGraph) -> Option<Eulerized> {
     // expand per-unit surplus/deficit lists
     let mut sources: Vec<StateId> = Vec::new();
     for (s, k) in &analysis.surplus {
-        sources.extend(std::iter::repeat(*s).take(*k));
+        sources.extend(std::iter::repeat_n(*s, *k));
     }
     let mut sinks: Vec<StateId> = Vec::new();
     for (s, k) in &analysis.deficit {
-        sinks.extend(std::iter::repeat(*s).take(*k));
+        sinks.extend(std::iter::repeat_n(*s, *k));
     }
     debug_assert_eq!(sources.len(), sinks.len());
 
@@ -100,10 +96,7 @@ pub fn eulerize(graph: &StateGraph) -> Option<Eulerized> {
     // unit by BFS path length, duplicating the path's arcs
     for src in sources.drain(..) {
         let dist = graph.bfs_distances(src);
-        let (best_i, _) = sinks
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| dist[t.0 as usize])?;
+        let (best_i, _) = sinks.iter().enumerate().min_by_key(|(_, t)| dist[t.0 as usize])?;
         let target = sinks.swap_remove(best_i);
         if dist[target.0 as usize] == usize::MAX {
             return None; // unreachable despite strong connectivity: bug guard
@@ -201,10 +194,7 @@ pub fn hierholzer_tour(
         return None; // disconnected
     }
     tour_states.reverse();
-    let tour: Vec<(StateId, StateId)> = tour_states
-        .windows(2)
-        .map(|w| (w[0], w[1]))
-        .collect();
+    let tour: Vec<(StateId, StateId)> = tour_states.windows(2).map(|w| (w[0], w[1])).collect();
     if tour.len() != arcs.len() {
         return None;
     }
@@ -251,8 +241,7 @@ mod tests {
         // the tour traverses every original arc at least once
         for orig in [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 0)] {
             assert!(
-                tour.iter()
-                    .any(|&(s, d)| s.0 == orig.0 && d.0 == orig.1),
+                tour.iter().any(|&(s, d)| s.0 == orig.0 && d.0 == orig.1),
                 "missing arc {orig:?}"
             );
         }

@@ -161,13 +161,10 @@ pub fn generate_tours_with(
 
     let mut covered = vec![false; m];
     // per-state count of untraversed out-edges
-    let mut untraversed_out: Vec<u32> = (0..n)
-        .map(|s| csr.out_degree(StateId(s as u32)) as u32)
-        .collect();
+    let mut untraversed_out: Vec<u32> =
+        (0..n).map(|s| csr.out_degree(StateId(s as u32)) as u32).collect();
     // per-state scan cursor for the greedy DFS edge pick
-    let mut cursor: Vec<u32> = (0..n)
-        .map(|s| csr.out_range(StateId(s as u32)).start)
-        .collect();
+    let mut cursor: Vec<u32> = (0..n).map(|s| csr.out_range(StateId(s as u32)).start).collect();
     let mut remaining = m;
 
     // BFS scratch with generation stamps so it needs no per-call clearing
@@ -183,11 +180,11 @@ pub fn generate_tours_with(
     let reset = StateId(0);
 
     let take = |e: EdgeIx,
-                    trace: &mut Trace,
-                    covered: &mut Vec<bool>,
-                    untraversed_out: &mut Vec<u32>,
-                    remaining: &mut usize,
-                    fresh_in_trace: &mut usize| {
+                trace: &mut Trace,
+                covered: &mut Vec<bool>,
+                untraversed_out: &mut Vec<u32>,
+                remaining: &mut usize,
+                fresh_in_trace: &mut usize| {
         let src = csr.edge_src(e);
         let dst = csr.edge_dst(e);
         if !covered[e.0 as usize] {
@@ -341,11 +338,8 @@ pub fn generate_tours_with(
     let longest = traces.iter().map(Trace::len).max().unwrap_or(0);
     let terminated_by_limit = traces.iter().filter(|t| t.hit_limit).count();
     let in_deg = graph.in_degrees();
-    let min_traces_lower_bound = if n > 0 && in_deg[0] == 0 {
-        csr.out_degree(reset)
-    } else {
-        usize::from(n > 0)
-    };
+    let min_traces_lower_bound =
+        if n > 0 && in_deg[0] == 0 { csr.out_degree(reset) } else { usize::from(n > 0) };
     let stats = TourStats {
         traces: traces.len(),
         total_edge_traversals: total_traversals,
@@ -418,10 +412,7 @@ mod tests {
         let g = graph(&edges);
         let unlimited = generate_tours(&g, &TourConfig::default());
         assert_eq!(unlimited.traces().len(), 1);
-        let limited = generate_tours(
-            &g,
-            &TourConfig { instruction_limit: Some(10) },
-        );
+        let limited = generate_tours(&g, &TourConfig { instruction_limit: Some(10) });
         assert!(limited.covers_all_arcs(&g));
         assert!(limited.traces().len() > 1);
         assert!(limited
@@ -452,8 +443,7 @@ mod tests {
         assert!(limited.traces().len() > unlimited.traces().len());
         // overhead stays well under 2x on a shallow graph
         assert!(
-            limited.stats().total_edge_traversals
-                < 2 * unlimited.stats().total_edge_traversals,
+            limited.stats().total_edge_traversals < 2 * unlimited.stats().total_edge_traversals,
             "limited {} vs unlimited {}",
             limited.stats().total_edge_traversals,
             unlimited.stats().total_edge_traversals

@@ -40,5 +40,7 @@ pub mod stats;
 pub use coverage::ArcCoverage;
 pub use csr::CsrGraph;
 pub use euler::{eulerize, hierholzer_tour, EulerAnalysis};
-pub use generate::{generate_tours, generate_tours_with, Trace, TourConfig, TourSet, TraversedEdge};
+pub use generate::{
+    generate_tours, generate_tours_with, TourConfig, TourSet, Trace, TraversedEdge,
+};
 pub use stats::TourStats;

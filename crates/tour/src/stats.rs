@@ -73,31 +73,15 @@ impl TourStats {
 impl fmt::Display for TourStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Number of Traces Generated            {}", self.traces)?;
-        writeln!(
-            f,
-            "Total number of edge traversals       {}",
-            self.total_edge_traversals
-        )?;
-        writeln!(
-            f,
-            "Total number of instructions          {}",
-            self.total_instructions
-        )?;
+        writeln!(f, "Total number of edge traversals       {}", self.total_edge_traversals)?;
+        writeln!(f, "Total number of instructions          {}", self.total_instructions)?;
         writeln!(
             f,
             "Generation time                       {:.2} s",
             self.generation_time.as_secs_f64()
         )?;
-        writeln!(
-            f,
-            "Longest Single Trace                  {} edges",
-            self.longest_trace_edges
-        )?;
-        write!(
-            f,
-            "Arc coverage                          {}/{}",
-            self.arcs_covered, self.arcs_total
-        )
+        writeln!(f, "Longest Single Trace                  {} edges", self.longest_trace_edges)?;
+        write!(f, "Arc coverage                          {}/{}", self.arcs_covered, self.arcs_total)
     }
 }
 

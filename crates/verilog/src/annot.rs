@@ -96,10 +96,7 @@ mod tests {
 
     #[test]
     fn parse_all_directives() {
-        assert_eq!(
-            Directive::parse("abstract", 1).unwrap(),
-            Directive::Abstract { classes: None }
-        );
+        assert_eq!(Directive::parse("abstract", 1).unwrap(), Directive::Abstract { classes: None });
         assert_eq!(
             Directive::parse("abstract classes=5", 1).unwrap(),
             Directive::Abstract { classes: Some(5) }

@@ -273,9 +273,7 @@ impl Expr {
         match self {
             Expr::Literal { .. } => {}
             Expr::Ident(n) => out.push(n.clone()),
-            Expr::BitSelect { base, .. } | Expr::PartSelect { base, .. } => {
-                out.push(base.clone())
-            }
+            Expr::BitSelect { base, .. } | Expr::PartSelect { base, .. } => out.push(base.clone()),
             Expr::Concat(xs) => xs.iter().for_each(|x| x.referenced(out)),
             Expr::Unary(_, a) => a.referenced(out),
             Expr::Binary(_, a, b) => {
@@ -300,10 +298,7 @@ mod tests {
         let e = Expr::Ternary {
             cond: Box::new(Expr::Ident("c".into())),
             then: Box::new(Expr::BitSelect { base: "a".into(), index: 2 }),
-            other: Box::new(Expr::Concat(vec![
-                Expr::Ident("x".into()),
-                Expr::lit(3),
-            ])),
+            other: Box::new(Expr::Concat(vec![Expr::Ident("x".into()), Expr::lit(3)])),
         };
         let mut names = Vec::new();
         e.referenced(&mut names);

@@ -79,9 +79,7 @@ impl Interp {
                     }
                     if driver.insert(t.clone(), CombStep::Always(i)).is_some() {
                         return Err(VerilogError::Unsupported {
-                            msg: format!(
-                                "module `{top}`: signal `{t}` has multiple drivers"
-                            ),
+                            msg: format!("module `{top}`: signal `{t}` has multiple drivers"),
                         });
                     }
                 }
@@ -120,9 +118,7 @@ impl Interp {
                             Some(2) => {}
                             Some(1) => {
                                 return Err(VerilogError::Fsm(
-                                    archval_fsm::Error::CombinationalCycle {
-                                        def: d.clone(),
-                                    },
+                                    archval_fsm::Error::CombinationalCycle { def: d.clone() },
                                 ))
                             }
                             _ => {
@@ -295,29 +291,23 @@ impl Interp {
                 (value & mask(w), w)
             }
             Expr::Ident(name) => {
-                let v = self.values.get(name).copied().ok_or_else(|| {
-                    VerilogError::Undeclared {
-                        module: self.module.name.clone(),
-                        name: name.clone(),
-                    }
+                let v = self.values.get(name).copied().ok_or_else(|| VerilogError::Undeclared {
+                    module: self.module.name.clone(),
+                    name: name.clone(),
                 })?;
                 (v, self.widths[name])
             }
             Expr::BitSelect { base, index } => {
-                let v = self.values.get(base).copied().ok_or_else(|| {
-                    VerilogError::Undeclared {
-                        module: self.module.name.clone(),
-                        name: base.clone(),
-                    }
+                let v = self.values.get(base).copied().ok_or_else(|| VerilogError::Undeclared {
+                    module: self.module.name.clone(),
+                    name: base.clone(),
                 })?;
                 ((v >> index) & 1, 1)
             }
             Expr::PartSelect { base, high, low } => {
-                let v = self.values.get(base).copied().ok_or_else(|| {
-                    VerilogError::Undeclared {
-                        module: self.module.name.clone(),
-                        name: base.clone(),
-                    }
+                let v = self.values.get(base).copied().ok_or_else(|| VerilogError::Undeclared {
+                    module: self.module.name.clone(),
+                    name: base.clone(),
                 })?;
                 let w = high - low + 1;
                 ((v >> low) & mask(w), w)

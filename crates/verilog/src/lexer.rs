@@ -31,9 +31,9 @@ pub struct SpannedTok {
 
 const PUNCTS: &[&str] = &[
     // longest first so maximal munch works
-    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+", "-", "*",
-    "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "(", ")", "[", "]", "{", "}", ",", ";",
-    ":", "@", "?", ".", "#",
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+", "-", "*", "/",
+    "%", "&", "|", "^", "~", "!", "<", ">", "=", "(", ")", "[", "]", "{", "}", ",", ";", ":", "@",
+    "?", ".", "#",
 ];
 
 /// Tokenizes Verilog source.
@@ -66,10 +66,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, VerilogError> {
             let text = &src[i + 2..end];
             let trimmed = text.trim_start();
             if let Some(body) = trimmed.strip_prefix("archval:") {
-                out.push(SpannedTok {
-                    tok: Tok::Directive(body.trim().to_owned()),
-                    line,
-                });
+                out.push(SpannedTok { tok: Tok::Directive(body.trim().to_owned()), line });
             }
             i = end;
             continue;
@@ -94,7 +91,8 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, VerilogError> {
         if c.is_ascii_alphabetic() || c == b'_' || c == b'\\' {
             let start = if c == b'\\' { i + 1 } else { i };
             let mut j = start;
-            while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'$')
+            while j < n
+                && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'$')
             {
                 j += 1;
             }
@@ -135,7 +133,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, VerilogError> {
                 };
                 let mut digits = String::new();
                 while j < n
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'x'
+                    && (bytes[j].is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'x'
                         || bytes[j] == b'z')
                 {
                     if bytes[j] != b'_' {
@@ -156,10 +156,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, VerilogError> {
                 let width: u32 = if width_digits.is_empty() {
                     32
                 } else {
-                    width_digits.parse().map_err(|_| VerilogError::Lex {
-                        line,
-                        msg: "bad literal width".into(),
-                    })?
+                    width_digits
+                        .parse()
+                        .map_err(|_| VerilogError::Lex { line, msg: "bad literal width".into() })?
                 };
                 if width == 0 || width > 64 {
                     return Err(VerilogError::Lex {
@@ -173,10 +172,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, VerilogError> {
                 continue;
             }
             // plain decimal
-            let value: u64 = width_digits.parse().map_err(|_| VerilogError::Lex {
-                line,
-                msg: "bad decimal literal".into(),
-            })?;
+            let value: u64 = width_digits
+                .parse()
+                .map_err(|_| VerilogError::Lex { line, msg: "bad decimal literal".into() })?;
             out.push(SpannedTok { tok: Tok::Number(value), line });
             i = j;
             continue;

@@ -34,10 +34,7 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|t| t.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|t| t.line).unwrap_or(0)
     }
 
     fn bump(&mut self) -> Option<SpannedTok> {
@@ -128,23 +125,21 @@ impl Parser {
         self.eat_kw("module")?;
         let name = self.ident()?;
         let mut ports = Vec::new();
-        if self.try_punct("(") {
-            if !self.try_punct(")") {
-                loop {
-                    // tolerate ANSI-style `input [3:0] x` in the header
-                    while matches!(self.peek(), Some(Tok::Ident(s))
-                        if s == "input" || s == "output" || s == "inout" || s == "wire" || s == "reg")
-                    {
-                        self.pos += 1;
-                        // optional range
-                        self.try_range()?;
-                    }
-                    ports.push(self.ident()?);
-                    if self.try_punct(")") {
-                        break;
-                    }
-                    self.eat_punct(",")?;
+        if self.try_punct("(") && !self.try_punct(")") {
+            loop {
+                // tolerate ANSI-style `input [3:0] x` in the header
+                while matches!(self.peek(), Some(Tok::Ident(s))
+                    if s == "input" || s == "output" || s == "inout" || s == "wire" || s == "reg")
+                {
+                    self.pos += 1;
+                    // optional range
+                    self.try_range()?;
                 }
+                ports.push(self.ident()?);
+                if self.try_punct(")") {
+                    break;
+                }
+                self.eat_punct(",")?;
             }
         }
         self.eat_punct(";")?;
@@ -178,9 +173,7 @@ impl Parser {
                             // skip tokens until `archval: on`
                             loop {
                                 match self.bump() {
-                                    None => {
-                                        return self.err("unterminated `archval: off` region")
-                                    }
+                                    None => return self.err("unterminated `archval: off` region"),
                                     Some(SpannedTok { tok: Tok::Directive(b), line }) => {
                                         if Directive::parse(&b, line)? == Directive::On {
                                             break;
@@ -245,7 +238,10 @@ impl Parser {
                     module.always.push(Always { sensitivity, body, line, in_control });
                 }
                 Some(Tok::Ident(s))
-                    if s == "input" || s == "output" || s == "inout" || s == "wire"
+                    if s == "input"
+                        || s == "output"
+                        || s == "inout"
+                        || s == "wire"
                         || s == "reg" =>
                 {
                     let decls = self.decl()?;
@@ -409,11 +405,7 @@ impl Parser {
                 let cond = self.expr()?;
                 self.eat_punct(")")?;
                 let then = Box::new(self.stmt()?);
-                let other = if self.try_kw("else") {
-                    Some(Box::new(self.stmt()?))
-                } else {
-                    None
-                };
+                let other = if self.try_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
                 Ok(Stmt::If { cond, then, other })
             }
             Some(Tok::Ident(s)) if s == "case" || s == "casez" || s == "casex" => {
@@ -480,11 +472,7 @@ impl Parser {
             let then = self.expr()?;
             self.eat_punct(":")?;
             let other = self.ternary()?;
-            Ok(Expr::Ternary {
-                cond: Box::new(cond),
-                then: Box::new(then),
-                other: Box::new(other),
-            })
+            Ok(Expr::Ternary { cond: Box::new(cond), then: Box::new(then), other: Box::new(other) })
         } else {
             Ok(cond)
         }
@@ -751,10 +739,7 @@ endmodule
         )
         .unwrap();
         let m = &d.modules[0];
-        assert_eq!(
-            m.decl("rdy").unwrap().directives,
-            vec![Directive::Abstract { classes: None }]
-        );
+        assert_eq!(m.decl("rdy").unwrap().directives, vec![Directive::Abstract { classes: None }]);
     }
 
     #[test]
@@ -823,10 +808,7 @@ endmodule
              assign y = a >= b;\nendmodule",
         )
         .unwrap();
-        assert!(matches!(
-            &d.modules[0].assigns[0].rhs,
-            Expr::Binary(VBinary::Ge, _, _)
-        ));
+        assert!(matches!(&d.modules[0].assigns[0].rhs, Expr::Binary(VBinary::Ge, _, _)));
     }
 
     #[test]
@@ -862,10 +844,7 @@ endmodule
 
     #[test]
     fn two_modules_parse() {
-        let d = parse(
-            "module a(x); input x; endmodule\nmodule b(y); input y; endmodule",
-        )
-        .unwrap();
+        let d = parse("module a(x); input x; endmodule\nmodule b(y); input y; endmodule").unwrap();
         assert_eq!(d.modules.len(), 2);
         assert!(d.module("a").is_some());
         assert!(d.module("b").is_some());

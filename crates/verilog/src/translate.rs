@@ -66,9 +66,8 @@ pub fn translate_with_options(
     top: &str,
     options: &TranslateOptions,
 ) -> Result<Model, VerilogError> {
-    let module = design
-        .module(top)
-        .ok_or_else(|| VerilogError::NoSuchModule { name: top.to_owned() })?;
+    let module =
+        design.module(top).ok_or_else(|| VerilogError::NoSuchModule { name: top.to_owned() })?;
 
     // Pass 1: reset asserted as a choice, to compute initial values.
     let with_reset = Translator::new(module, options, ResetBinding::AsChoice)?.run()?;
@@ -123,7 +122,9 @@ struct Translated {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Class {
     ClockOrReset,
-    Choice { domain: u64 },
+    Choice {
+        domain: u64,
+    },
     StateReg,
     CombWire,
     /// A reg driven only by combinational always blocks; becomes a latch
@@ -157,9 +158,7 @@ impl<'a> Translator<'a> {
     }
 
     fn unsupported<T>(&self, msg: impl std::fmt::Display) -> Result<T, VerilogError> {
-        Err(VerilogError::Unsupported {
-            msg: format!("module `{}`: {msg}", self.module.name),
-        })
+        Err(VerilogError::Unsupported { msg: format!("module `{}`: {msg}", self.module.name) })
     }
 
     fn width_of(&self, name: &str) -> Result<u32, VerilogError> {
@@ -173,16 +172,10 @@ impl<'a> Translator<'a> {
     #[allow(clippy::too_many_lines)]
     fn run(mut self) -> Result<Translated, VerilogError> {
         let module = self.module;
-        let control_items_assign: Vec<_> = module
-            .assigns
-            .iter()
-            .filter(|a| a.in_control || !self.options.control_only)
-            .collect();
-        let control_items_always: Vec<_> = module
-            .always
-            .iter()
-            .filter(|a| a.in_control || !self.options.control_only)
-            .collect();
+        let control_items_assign: Vec<_> =
+            module.assigns.iter().filter(|a| a.in_control || !self.options.control_only).collect();
+        let control_items_always: Vec<_> =
+            module.always.iter().filter(|a| a.in_control || !self.options.control_only).collect();
 
         // determine the clock name (all posedge blocks must agree)
         let mut clk: Option<&str> = None;
@@ -192,8 +185,7 @@ impl<'a> Translator<'a> {
                     None => clk = Some(c),
                     Some(prev) if prev == c => {}
                     Some(prev) => {
-                        return self
-                            .unsupported(format!("multiple clocks `{prev}` and `{c}`"))
+                        return self.unsupported(format!("multiple clocks `{prev}` and `{c}`"))
                     }
                 }
             }
@@ -270,10 +262,9 @@ impl<'a> Translator<'a> {
                 return self.unsupported(format!("signal `{}` wider than 32 bits", d.name));
             }
             let full = 1u64 << d.width;
-            let class = if is_clk {
+            // reset is bound via reset_binding, same class as the clock
+            let class = if is_clk || is_reset {
                 Class::ClockOrReset
-            } else if is_reset {
-                Class::ClockOrReset // bound via reset_binding
             } else if datapath {
                 Class::Choice { domain: full.max(2) }
             } else if let Some(classes) = abstract_directive {
@@ -349,11 +340,7 @@ impl<'a> Translator<'a> {
         // state regs (sequential targets)
         for d in &module.decls {
             if self.classes.get(&d.name) == Some(&Class::StateReg) {
-                let init = self
-                    .inits
-                    .as_ref()
-                    .and_then(|m| m.get(&d.name).copied())
-                    .unwrap_or(0);
+                let init = self.inits.as_ref().and_then(|m| m.get(&d.name).copied()).unwrap_or(0);
                 let v = b.state_var(d.name.clone(), 1u64 << d.width, init);
                 bindings.insert(d.name.clone(), Binding::State(v));
             }
@@ -403,8 +390,7 @@ impl<'a> Translator<'a> {
             if a.sensitivity == Sensitivity::Comb {
                 for t in unique_targets(&a.body) {
                     if comb_src.insert(t.clone(), CombSrc::AlwaysIndex(i)).is_some() {
-                        return self
-                            .unsupported(format!("signal `{t}` has multiple drivers"));
+                        return self.unsupported(format!("signal `{t}` has multiple drivers"));
                     }
                 }
             }
@@ -457,9 +443,9 @@ impl<'a> Translator<'a> {
             names.sort(); // deterministic order
             for name in names {
                 visit(name, &deps, &comb_defined, &mut temp_mark, &mut perm_mark, &mut order)
-                    .map_err(|def| VerilogError::Fsm(archval_fsm::Error::CombinationalCycle {
-                        def,
-                    }))?;
+                    .map_err(|def| {
+                        VerilogError::Fsm(archval_fsm::Error::CombinationalCycle { def })
+                    })?;
             }
         }
 
@@ -517,10 +503,9 @@ impl<'a> Translator<'a> {
 
         // latch next-state functions: the transparent def value
         for name in &latches {
-            if let (Some(Binding::State(v)), Some(Binding::Def(d))) = (
-                bindings.get(&format!("{name}$latch")).copied(),
-                bindings.get(name).copied(),
-            ) {
+            if let (Some(Binding::State(v)), Some(Binding::Def(d))) =
+                (bindings.get(&format!("{name}$latch")).copied(), bindings.get(name).copied())
+            {
                 b.set_next(v, b.def_expr(d));
             }
         }
@@ -534,14 +519,12 @@ impl<'a> Translator<'a> {
             let mut env = SymEnv::default();
             self.exec(&b, &bindings, &a.body, &mut env, false)?;
             for t in unique_targets(&a.body) {
-                let value = env
-                    .nb
-                    .get(&t)
-                    .or_else(|| env.cur.get(&t))
-                    .copied()
-                    .unwrap_or_else(|| match bindings[&t] {
-                        Binding::State(v) => b.var_expr(v),
-                        _ => unreachable!("sequential target is state"),
+                let value =
+                    env.nb.get(&t).or_else(|| env.cur.get(&t)).copied().unwrap_or_else(|| {
+                        match bindings[&t] {
+                            Binding::State(v) => b.var_expr(v),
+                            _ => unreachable!("sequential target is state"),
+                        }
                     });
                 if next_exprs.insert(t.clone(), value).is_some() {
                     return self
@@ -552,10 +535,7 @@ impl<'a> Translator<'a> {
         for d in &module.decls {
             if self.classes.get(&d.name) == Some(&Class::StateReg) {
                 if let Some(Binding::State(v)) = bindings.get(&d.name).copied() {
-                    let next = next_exprs
-                        .get(&d.name)
-                        .copied()
-                        .unwrap_or_else(|| b.var_expr(v));
+                    let next = next_exprs.get(&d.name).copied().unwrap_or_else(|| b.var_expr(v));
                     b.set_next(v, next);
                 }
             }
@@ -627,10 +607,9 @@ impl<'a> Translator<'a> {
                             Some(g) => b.or(g, eq),
                         });
                     }
-                    let guard =
-                        guard.ok_or_else(|| VerilogError::Unsupported {
-                            msg: "case arm with no labels".into(),
-                        })?;
+                    let guard = guard.ok_or_else(|| VerilogError::Unsupported {
+                        msg: "case arm with no labels".into(),
+                    })?;
                     let mut env_t = env.clone();
                     self.exec(b, bindings, body, &mut env_t, comb)?;
                     result = SymEnv::merge(b, bindings, guard, env_t, result, self)?;
@@ -705,8 +684,7 @@ impl<'a> Translator<'a> {
             Expr::BitSelect { base, index } => {
                 let (v, w) = self.resolve(b, bindings, base, env)?;
                 if *index >= w {
-                    return self
-                        .unsupported(format!("bit select {base}[{index}] out of range"));
+                    return self.unsupported(format!("bit select {base}[{index}] out of range"));
                 }
                 let shifted = b.binary(BinaryOp::Shr, v, b.constant(u64::from(*index)));
                 Ok((b.binary(BinaryOp::BitAnd, shifted, b.constant(1)), 1))
@@ -714,9 +692,8 @@ impl<'a> Translator<'a> {
             Expr::PartSelect { base, high, low } => {
                 let (v, w) = self.resolve(b, bindings, base, env)?;
                 if *high >= w || low > high {
-                    return self.unsupported(format!(
-                        "part select {base}[{high}:{low}] out of range"
-                    ));
+                    return self
+                        .unsupported(format!("part select {base}[{high}:{low}] out of range"));
                 }
                 let pw = high - low + 1;
                 let shifted = b.binary(BinaryOp::Shr, v, b.constant(u64::from(*low)));
@@ -732,8 +709,7 @@ impl<'a> Translator<'a> {
                             if aw + pw > 32 {
                                 return self.unsupported("concatenation wider than 32 bits");
                             }
-                            let shifted =
-                                b.binary(BinaryOp::Shl, ae, b.constant(u64::from(pw)));
+                            let shifted = b.binary(BinaryOp::Shl, ae, b.constant(u64::from(pw)));
                             (b.binary(BinaryOp::BitOr, shifted, pe), aw + pw)
                         }
                     });
@@ -777,9 +753,7 @@ impl<'a> Translator<'a> {
                     VBinary::BitXor => (b.binary(BinaryOp::BitXor, xv, yv), w),
                     VBinary::Add => (mask_to(b, b.add(xv, yv), w), w),
                     VBinary::Sub => (mask_to(b, b.sub(xv, yv), w), w),
-                    VBinary::Mul => {
-                        (mask_to(b, b.binary(BinaryOp::Mul, xv, yv), w), w)
-                    }
+                    VBinary::Mul => (mask_to(b, b.binary(BinaryOp::Mul, xv, yv), w), w),
                     VBinary::Eq => (b.eq(xv, yv), 1),
                     VBinary::Ne => (b.ne(xv, yv), 1),
                     VBinary::Lt => (b.binary(BinaryOp::Lt, xv, yv), 1),
@@ -934,10 +908,7 @@ fn analyze_complete(stmt: &Stmt) -> HashSet<String> {
             acc
         }
         Stmt::If { then, other, .. } => match other {
-            Some(o) => analyze_complete(then)
-                .intersection(&analyze_complete(o))
-                .cloned()
-                .collect(),
+            Some(o) => analyze_complete(then).intersection(&analyze_complete(o)).cloned().collect(),
             None => HashSet::new(),
         },
         Stmt::Case { arms, default, .. } => match default {
@@ -1155,10 +1126,7 @@ mod tests {
     #[test]
     fn missing_module_rejected() {
         let d = parse("module a(x); input x; endmodule").unwrap();
-        assert!(matches!(
-            translate(&d, "zzz"),
-            Err(VerilogError::NoSuchModule { .. })
-        ));
+        assert!(matches!(translate(&d, "zzz"), Err(VerilogError::NoSuchModule { .. })));
     }
 
     #[test]

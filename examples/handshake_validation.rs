@@ -58,9 +58,7 @@ endmodule
 
 fn detect(policy: EdgePolicy) -> Result<bool, Box<dyn std::error::Error>> {
     let spec_model = translate(&parse(SPEC)?, "spec")?;
-    let result = ValidationFlow::from_verilog(IMPL, "impl_buggy")?
-        .edge_policy(policy)
-        .run()?;
+    let result = ValidationFlow::from_verilog(IMPL, "impl_buggy")?.edge_policy(policy).run()?;
     println!(
         "  policy {policy:?}: {} states, {} arcs, {} traces",
         result.enumd.graph.state_count(),

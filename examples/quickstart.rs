@@ -44,10 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = ValidationFlow::from_verilog(BUS_ARBITER, "arbiter")?.run()?;
 
     println!("{}\n", result.summary());
-    println!("state graph (Graphviz):\n{}", result.enumd.graph.to_dot(|s| {
-        let v = result.enumd.state_values(s);
-        format!("state={}", v[0])
-    }));
+    println!(
+        "state graph (Graphviz):\n{}",
+        result.enumd.graph.to_dot(|s| {
+            let v = result.enumd.state_values(s);
+            format!("state={}", v[0])
+        })
+    );
 
     println!("vector file for trace 0:\n{}", result.force_file(0, "tb.arbiter"));
 

@@ -34,7 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     match eulerize(&enumd.graph) {
         Some(e) => {
-            let tour = hierholzer_tour(enumd.graph.state_count(), &e.arcs, archval::fsm::StateId(0));
+            let tour =
+                hierholzer_tour(enumd.graph.state_count(), &e.arcs, archval::fsm::StateId(0));
             println!(
                 "Chinese-Postman tour: {} traversals ({} duplicated arcs)",
                 e.arcs.len(),

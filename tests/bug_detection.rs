@@ -21,11 +21,7 @@ fn micro_campaign_detects_reachable_bugs() {
     });
     for outcome in &report.outcomes {
         if MICRO_BUGS.contains(&outcome.bug) {
-            assert!(
-                outcome.tour_detected_at_trace.is_some(),
-                "{} undetected",
-                outcome.bug
-            );
+            assert!(outcome.tour_detected_at_trace.is_some(), "{} undetected", outcome.bug);
             assert!(outcome.tour_cycles_to_detect.unwrap() > 0);
         }
     }
@@ -43,8 +39,7 @@ fn detection_is_attributed_to_a_specific_retirement() {
     let mut found = false;
     for (i, trace) in tours.traces().iter().enumerate() {
         let stim = trace_to_stimulus(&scale, &model, &tours, trace, i as u64);
-        let report =
-            compare_stimulus(&stim, BugSet::only(Bug::ConflictAddressNotHeld)).unwrap();
+        let report = compare_stimulus(&stim, BugSet::only(Bug::ConflictAddressNotHeld)).unwrap();
         if let Some(m) = report.mismatch {
             assert!(m.actual.is_some());
             assert_ne!(m.expected, m.actual);
@@ -78,7 +73,6 @@ fn bug_free_random_driving_never_false_positives() {
     // the correct design
     let detected = random_baseline_detects(&PpScale::micro(), BugSet::none(), 3_000, 0.5, 7);
     assert!(detected.is_none());
-    let detected =
-        random_baseline_detects(&PpScale::standard(), BugSet::none(), 3_000, 0.3, 8);
+    let detected = random_baseline_detects(&PpScale::standard(), BugSet::none(), 3_000, 0.3, 8);
     assert!(detected.is_none());
 }

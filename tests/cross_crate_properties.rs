@@ -12,10 +12,10 @@ use archval::tour::{generate_tours, TourConfig};
 /// `n_choices` inputs.
 fn arb_model() -> impl Strategy<Value = Model> {
     (
-        proptest::collection::vec(2u64..5, 1..4),   // var domains
-        proptest::collection::vec(2u64..4, 1..3),   // choice domains
-        proptest::collection::vec(0u8..6, 1..4),    // update recipe per var
-        0u64..1000,                                 // constant salt
+        proptest::collection::vec(2u64..5, 1..4), // var domains
+        proptest::collection::vec(2u64..4, 1..3), // choice domains
+        proptest::collection::vec(0u8..6, 1..4),  // update recipe per var
+        0u64..1000,                               // constant salt
     )
         .prop_map(|(var_domains, choice_domains, recipes, salt)| {
             let mut b = ModelBuilder::new("random");

@@ -38,7 +38,8 @@ fn verilog_to_fsm_to_tours_to_vectors_to_green_comparison() {
     assert!(tours.covers_all_arcs(&enumd.graph));
     assert!(tours.validate_adjacency(archval::fsm::StateId(0)));
     assert_eq!(
-        tours.stats().traces, tours.stats().min_traces_lower_bound,
+        tours.stats().traces,
+        tours.stats().min_traces_lower_bound,
         "the generator achieves the reset-out-degree lower bound"
     );
 
@@ -84,10 +85,7 @@ fn trace_limit_splits_but_preserves_coverage_and_trace_count() {
     assert!(limited.stats().longest_trace_edges < unlimited.stats().longest_trace_edges);
     assert!(limited.stats().traces >= unlimited.stats().traces);
     // modest overhead in total traversals
-    assert!(
-        limited.stats().total_edge_traversals
-            < 3 * unlimited.stats().total_edge_traversals
-    );
+    assert!(limited.stats().total_edge_traversals < 3 * unlimited.stats().total_edge_traversals);
 }
 
 #[test]

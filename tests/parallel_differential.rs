@@ -1,0 +1,57 @@
+//! Differential equivalence of the sequential and frontier-parallel
+//! enumerators on the real PP control model (not just the synthetic
+//! grid in `crates/fsm/tests/parallel_equivalence.rs`), plus the same
+//! check through the end-to-end `ValidationFlow`.
+
+use archval::flow::ValidationFlow;
+use archval_fsm::enumerate::{enumerate, EnumConfig};
+use archval_fsm::parallel::enumerate_parallel;
+use archval_fsm::{dump_enum_result, EdgePolicy, StateId};
+use archval_pp::{pp_control_model, pp_control_verilog, PpScale};
+
+#[test]
+fn pp_micro_parallel_matches_sequential_both_policies() {
+    let model = pp_control_model(&PpScale::micro()).unwrap();
+    for policy in [EdgePolicy::FirstLabel, EdgePolicy::AllLabels] {
+        let cfg = EnumConfig { edge_policy: policy, ..EnumConfig::default() };
+        let seq = enumerate(&model, &cfg).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par = enumerate_parallel(&model, &EnumConfig { threads, ..cfg.clone() }).unwrap();
+            assert_eq!(par.stats.states, seq.stats.states, "{policy:?} x{threads}");
+            assert_eq!(par.stats.edges, seq.stats.edges, "{policy:?} x{threads}");
+            assert_eq!(
+                par.stats.transitions_evaluated, seq.stats.transitions_evaluated,
+                "{policy:?} x{threads}"
+            );
+            for s in 0..seq.graph.state_count() as u32 {
+                assert_eq!(par.table.packed(s), seq.table.packed(s));
+                assert_eq!(par.graph.edges(StateId(s)), seq.graph.edges(StateId(s)));
+            }
+        }
+    }
+}
+
+#[test]
+fn pp_standard_parallel_dump_is_byte_identical() {
+    let model = pp_control_model(&PpScale::standard()).unwrap();
+    let seq = enumerate(&model, &EnumConfig::default()).unwrap();
+    let cfg = EnumConfig { threads: 8, ..EnumConfig::default() };
+    let a = enumerate_parallel(&model, &cfg).unwrap();
+    let b = enumerate_parallel(&model, &cfg).unwrap();
+    let dump_seq = dump_enum_result(&model, &seq);
+    assert_eq!(dump_enum_result(&model, &a), dump_seq);
+    assert_eq!(dump_enum_result(&model, &b), dump_seq);
+}
+
+#[test]
+fn threaded_validation_flow_matches_on_pp_verilog() {
+    let scale = PpScale::micro();
+    let src = pp_control_verilog(&scale);
+    let seq = ValidationFlow::from_verilog(&src, "pp_control").unwrap().run().unwrap();
+    let par = ValidationFlow::from_verilog(&src, "pp_control").unwrap().threads(4).run().unwrap();
+    assert_eq!(par.enumd.stats.states, seq.enumd.stats.states);
+    assert_eq!(par.enumd.stats.edges, seq.enumd.stats.edges);
+    assert_eq!(par.summary().full_coverage, seq.summary().full_coverage);
+    assert_eq!(par.tours.stats().traces, seq.tours.stats().traces);
+    assert_eq!(par.tours.stats().total_edge_traversals, seq.tours.stats().total_edge_traversals);
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — benchmark
+//! groups, `bench_with_input`/`bench_function`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple wall-clock harness: a warm-up iteration followed by
+//! `sample_size` timed iterations, reporting mean time and throughput.
+//! No statistics, plots or baselines.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration used to derive a rate from timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level harness.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup { _parent: self, sample_size: self.default_sample_size, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing sample size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iterations: 0 };
+        f(&mut b, input); // warm-up; also captures one measurement
+        for _ in 1..self.sample_size {
+            f(&mut b, input);
+        }
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iterations: 0 };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group (parity with criterion; nothing to flush here).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iterations == 0 {
+            println!("  {id}: no iterations recorded");
+            return;
+        }
+        let mean = b.total.as_secs_f64() / b.iterations as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(", {:.0} elem/s", n as f64 / mean),
+            Some(Throughput::Bytes(n)) => format!(", {:.0} B/s", n as f64 / mean),
+            None => String::new(),
+        };
+        println!("  {id}: {:.3} ms/iter{rate} ({} iters)", mean * 1e3, b.iterations);
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`, keeping its output alive until
+    /// after the clock stops (mirrors criterion's drop semantics).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.total += start.elapsed();
+        self.iterations += 1;
+        drop(out);
+    }
+}
+
+/// Prevents the optimizer from discarding a value (best-effort stand-in).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-running functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

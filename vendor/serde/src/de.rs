@@ -1,0 +1,316 @@
+//! A small recursive-descent JSON reader backing [`crate::Deserialize`].
+
+use std::fmt;
+
+/// Deserialization failure: a message plus the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    at: usize,
+}
+
+impl Error {
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Cursor over JSON text.
+#[derive(Debug)]
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Starts parsing `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    /// Builds an error at the current position.
+    pub fn error(&self, msg: &str) -> Error {
+        Error { msg: msg.to_owned(), at: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// The next non-whitespace byte, without consuming it. Used by derived
+    /// enum deserializers to distinguish `"Unit"` from `{"Payload":...}`.
+    pub fn peek_char(&mut self) -> Option<char> {
+        self.peek().map(char::from)
+    }
+
+    /// Consumes `c` (after whitespace) or errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the next non-whitespace byte is not `c`.
+    pub fn expect(&mut self, c: char) -> Result<(), Error> {
+        if self.try_char(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{c}'")))
+        }
+    }
+
+    /// Consumes `c` (after whitespace) if present; reports whether it did.
+    pub fn try_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a `null` literal if present; reports whether it did.
+    pub fn try_null(&mut self) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses `true` or `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when neither literal is next.
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.error("expected boolean"))
+        }
+    }
+
+    /// Parses a (possibly signed) integer literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed numbers.
+    pub fn parse_integer(&mut self) -> Result<i128, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            return Err(self.error("expected integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.error("malformed integer"))
+    }
+
+    /// Parses a floating-point literal (also accepts plain integers).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed numbers.
+    pub fn parse_f64(&mut self) -> Result<f64, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.error("expected number"))
+    }
+
+    /// Parses a JSON string literal, decoding escapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed strings or escapes.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("malformed \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // re-sync to the char boundary for multi-byte UTF-8
+                    let char_start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let slice = self
+                        .bytes
+                        .get(char_start..char_start + len)
+                        .ok_or_else(|| self.error("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = char_start + len;
+                }
+            }
+        }
+    }
+
+    /// Skips one complete JSON value (used for unknown object keys).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed input.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+            }
+            Some(b'{') => {
+                self.expect('{')?;
+                if !self.try_char('}') {
+                    loop {
+                        self.parse_string()?;
+                        self.expect(':')?;
+                        self.skip_value()?;
+                        if self.try_char(',') {
+                            continue;
+                        }
+                        self.expect('}')?;
+                        break;
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect('[')?;
+                if !self.try_char(']') {
+                    loop {
+                        self.skip_value()?;
+                        if self.try_char(',') {
+                            continue;
+                        }
+                        self.expect(']')?;
+                        break;
+                    }
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                self.parse_bool()?;
+            }
+            Some(b'n') => {
+                if !self.try_null() {
+                    return Err(self.error("expected null"));
+                }
+            }
+            Some(_) => {
+                self.parse_f64()?;
+            }
+            None => return Err(self.error("unexpected end of input")),
+        }
+        Ok(())
+    }
+
+    /// Asserts all input has been consumed (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if non-whitespace input remains.
+    pub fn finish(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_value_handles_nesting() {
+        let mut p = Parser::new(r#"{"a":[1,{"b":"x"},null],"c":true} 7"#);
+        p.skip_value().unwrap();
+        assert_eq!(p.parse_integer().unwrap(), 7);
+        p.finish().unwrap();
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let mut p = Parser::new(r#""a\nAé""#);
+        assert_eq!(p.parse_string().unwrap(), "a\nAé");
+    }
+}

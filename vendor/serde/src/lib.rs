@@ -1,0 +1,306 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization framework under serde's names. Unlike
+//! real serde there is no data-model indirection: [`Serialize`] writes JSON
+//! text directly and [`Deserialize`] reads it back through [`de::Parser`].
+//! The derive macros (re-exported from the vendored `serde_derive`) cover
+//! the shapes this workspace uses: named-field structs, tuple structs,
+//! unit-variant enums (with optional discriminants) and enums with payload
+//! variants, all following serde's conventional JSON encodings.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// Serialize `self` as JSON text appended to `out`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Construct `Self` from JSON text held by a [`de::Parser`].
+pub trait Deserialize: Sized {
+    /// Parses one JSON value into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`de::Error`] on malformed or mismatching input.
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buffer(*self as i128).as_str());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                let v = p.parse_integer()?;
+                <$t>::try_from(v).map_err(|_| p.error("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa_buffer(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_f64()
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.try_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.expect('[')?;
+        let mut out = Vec::new();
+        if p.try_char(']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            if p.try_char(',') {
+                continue;
+            }
+            p.expect(']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        Ok(Box::new(T::deserialize_json(p)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $ix:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$ix.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.expect('[')?;
+                let mut first = true;
+                let value = ($(
+                    {
+                        if !first { p.expect(',')?; }
+                        first = false;
+                        $name::deserialize_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect(']')?;
+                Ok(value)
+            }
+        }
+    };
+}
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl Serialize for std::time::Duration {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"secs\":");
+        self.as_secs().serialize_json(out);
+        out.push_str(",\"nanos\":");
+        self.subsec_nanos().serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.expect('{')?;
+        let mut secs: Option<u64> = None;
+        let mut nanos: Option<u32> = None;
+        if !p.try_char('}') {
+            loop {
+                let key = p.parse_string()?;
+                p.expect(':')?;
+                match key.as_str() {
+                    "secs" => secs = Some(u64::deserialize_json(p)?),
+                    "nanos" => nanos = Some(u32::deserialize_json(p)?),
+                    _ => p.skip_value()?,
+                }
+                if p.try_char(',') {
+                    continue;
+                }
+                p.expect('}')?;
+                break;
+            }
+        }
+        match (secs, nanos) {
+            (Some(s), Some(n)) => Ok(std::time::Duration::new(s, n)),
+            _ => Err(p.error("Duration requires secs and nanos")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T, json: &str) {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        assert_eq!(s, json);
+        let mut p = de::Parser::new(&s);
+        let back = T::deserialize_json(&mut p).unwrap();
+        p.finish().unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42u64, "42");
+        round_trip(-7i32, "-7");
+        round_trip(true, "true");
+        round_trip(String::from("a\"b\\c"), r#""a\"b\\c""#);
+        round_trip(Some(5u8), "5");
+        round_trip(Option::<u8>::None, "null");
+        round_trip(vec![1u32, 2, 3], "[1,2,3]");
+        round_trip((4u64, 5usize), "[4,5]");
+        round_trip(std::time::Duration::new(3, 20), "{\"secs\":3,\"nanos\":20}");
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        round_trip(vec![vec![1u8], vec![], vec![2, 3]], "[[1],[],[2,3]]");
+        round_trip(vec![(1u64, 2usize), (3, 4)], "[[1,2],[3,4]]");
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        let mut p = de::Parser::new("300");
+        assert!(u8::deserialize_json(&mut p).is_err());
+    }
+}

@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stand-in's JSON-direct traits, parsing the item
+//! with the bare `proc_macro` API (`syn`/`quote` are not available
+//! offline). Supported shapes — the ones this workspace uses:
+//!
+//! * structs with named fields            → `{"field":...}` objects
+//! * tuple structs, 1 field (newtypes)    → the inner value
+//! * tuple structs, n fields              → `[...]` arrays
+//! * unit structs                         → `null`
+//! * enums: unit variants                 → `"Variant"`
+//! * enums: struct variants               → `{"Variant":{"field":...}}`
+//! * enums: tuple variants                → `{"Variant":[...]}` (1-field: value)
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kw = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive stand-in does not support generics on `{name}`"));
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            // #[...] or #![...]
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Punct(q)) if q.as_char() == '!') {
+                    *pos += 1;
+                }
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                // pub(crate) / pub(in ...)
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes type tokens until a top-level comma, tracking `<...>` depth so
+/// commas inside generic arguments do not terminate the field.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected ':' after `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        // the top-level comma (if not at end)
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // optional explicit discriminant: `= expr` up to the comma
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while pos < tokens.len()
+                && !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+fn ser_field(expr: &str, out: &mut String) {
+    out.push_str(&format!("::serde::Serialize::serialize_json({expr}, out);\n"));
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+                ser_field(&format!("&self.{f}"), &mut body);
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Shape::TupleStruct(1) => {
+            ser_field("&self.0", &mut body);
+        }
+        Shape::TupleStruct(n) => {
+            body.push_str("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                ser_field(&format!("&self.{i}"), &mut body);
+            }
+            body.push_str("out.push(']');\n");
+        }
+        Shape::UnitStruct => {
+            body.push_str("out.push_str(\"null\");\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!(
+                            "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!("{name}::{vn}({}) => {{\n", binds.join(", ")));
+                        body.push_str(&format!("out.push_str(\"{{\\\"{vn}\\\":\");\n"));
+                        if *n == 1 {
+                            ser_field("__f0", &mut body);
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                ser_field(b, &mut body);
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                    VariantKind::Named(fields) => {
+                        body.push_str(&format!("{name}::{vn} {{ {} }} => {{\n", fields.join(", ")));
+                        body.push_str(&format!("out.push_str(\"{{\\\"{vn}\\\":{{\");\n"));
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+                            ser_field(f, &mut body);
+                        }
+                        body.push_str("out.push_str(\"}}\");\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Generates statements that parse `{"field":...}` object contents into
+/// `Option` locals named `__v_<field>` (order-insensitive, unknown keys
+/// skipped), leaving the parser past the closing brace.
+fn de_named_fields(fields: &[String], body: &mut String) {
+    for f in fields {
+        body.push_str(&format!("let mut __v_{f} = ::core::option::Option::None;\n"));
+    }
+    body.push_str("p.expect('{')?;\n");
+    body.push_str("if !p.try_char('}') {\nloop {\n");
+    body.push_str("let __key = p.parse_string()?;\np.expect(':')?;\n");
+    body.push_str("match __key.as_str() {\n");
+    for f in fields {
+        body.push_str(&format!(
+            "\"{f}\" => __v_{f} = ::core::option::Option::Some(::serde::Deserialize::deserialize_json(p)?),\n"
+        ));
+    }
+    body.push_str("_ => p.skip_value()?,\n}\n");
+    body.push_str("if p.try_char(',') { continue; }\np.expect('}')?;\nbreak;\n}\n}\n");
+}
+
+fn de_named_build(path: &str, fields: &[String]) -> String {
+    let mut s = format!("{path} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: match __v_{f} {{ ::core::option::Option::Some(v) => v, \
+             ::core::option::Option::None => return ::core::result::Result::Err(p.error(\"missing field {f}\")) }},\n"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn de_tuple_values(n: usize, body: &mut String) -> Vec<String> {
+    let names: Vec<String> = (0..n).map(|i| format!("__t{i}")).collect();
+    if n == 1 {
+        body.push_str("let __t0 = ::serde::Deserialize::deserialize_json(p)?;\n");
+    } else {
+        body.push_str("p.expect('[')?;\n");
+        for (i, t) in names.iter().enumerate() {
+            if i > 0 {
+                body.push_str("p.expect(',')?;\n");
+            }
+            body.push_str(&format!("let {t} = ::serde::Deserialize::deserialize_json(p)?;\n"));
+        }
+        body.push_str("p.expect(']')?;\n");
+    }
+    names
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            de_named_fields(fields, &mut body);
+            body.push_str(&format!(
+                "::core::result::Result::Ok({})\n",
+                de_named_build(name, fields)
+            ));
+        }
+        Shape::TupleStruct(n) => {
+            let names = de_tuple_values(*n, &mut body);
+            body.push_str(&format!("::core::result::Result::Ok({name}({}))\n", names.join(", ")));
+        }
+        Shape::UnitStruct => {
+            body.push_str(
+                "if !p.try_null() { return ::core::result::Result::Err(p.error(\"expected null\")); }\n",
+            );
+            body.push_str(&format!("::core::result::Result::Ok({name})\n"));
+        }
+        Shape::Enum(variants) => {
+            let has_payload = variants.iter().any(|v| !matches!(v.kind, VariantKind::Unit));
+            body.push_str("match p.peek_char() {\n");
+            body.push_str("::core::option::Option::Some('\"') => {\n");
+            body.push_str("let __name = p.parse_string()?;\nmatch __name.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    body.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            body.push_str(
+                "_ => ::core::result::Result::Err(p.error(\"unknown enum variant\")),\n}\n}\n",
+            );
+            if has_payload {
+                body.push_str("::core::option::Option::Some('{') => {\n");
+                body.push_str(
+                    "p.expect('{')?;\nlet __name = p.parse_string()?;\np.expect(':')?;\n",
+                );
+                body.push_str("let __value = match __name.as_str() {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {}
+                        VariantKind::Tuple(n) => {
+                            body.push_str(&format!("\"{vn}\" => {{\n"));
+                            let names = de_tuple_values(*n, &mut body);
+                            body.push_str(&format!("{name}::{vn}({})\n}}\n", names.join(", ")));
+                        }
+                        VariantKind::Named(fields) => {
+                            body.push_str(&format!("\"{vn}\" => {{\n"));
+                            de_named_fields(fields, &mut body);
+                            body.push_str(&de_named_build(&format!("{name}::{vn}"), fields));
+                            body.push_str("\n}\n");
+                        }
+                    }
+                }
+                body.push_str(
+                    "_ => return ::core::result::Result::Err(p.error(\"unknown enum variant\")),\n};\n",
+                );
+                body.push_str("p.expect('}')?;\n::core::result::Result::Ok(__value)\n}\n");
+            }
+            body.push_str(
+                "_ => ::core::result::Result::Err(p.error(\"expected enum value\")),\n}\n",
+            );
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_json(p: &mut ::serde::de::Parser<'_>) -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! stand-in's JSON-direct traits.
+
+use std::fmt;
+
+pub use serde::de::Error;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors the real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string.
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(indent(&compact))
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing characters.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = serde::de::Parser::new(s);
+    let v = T::deserialize_json(&mut p)?;
+    p.finish()?;
+    Ok(v)
+}
+
+/// Re-indents compact JSON. Strings are already escape-encoded, so the
+/// only subtlety is not re-formatting inside string literals.
+fn indent(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    out.push(chars.next().unwrap());
+                } else {
+                    depth += 1;
+                    newline(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats any serializable value for display (convenience used by repro
+/// binaries; not part of the real serde_json API surface we mirror, but
+/// harmless).
+pub fn display<T: serde::Serialize>(value: &T) -> impl fmt::Display {
+    to_string_pretty(value).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_vec() {
+        let v = vec![(1u64, 2usize), (3, 4)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2],[3,4]]");
+        let back: Vec<(u64, usize)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_preserves_strings() {
+        let v = vec![String::from("a{b,c}")];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("a{b,c}"));
+        let back: Vec<String> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<u64>("5 x").is_err());
+    }
+}
