@@ -7,15 +7,29 @@
 //! 3. first-label versus all-labels edge recording (graph growth);
 //! 4. random versus tour arc-coverage in equal cycle budgets.
 
+use serde::{Deserialize, Serialize};
+
 use archval_fsm::graph::{EdgePolicy, StateGraph, StateId};
 use archval_fsm::{enumerate, EnumConfig};
 use archval_pp::pp_control_model;
-use archval_sim::baseline::{random_coverage_run, tour_coverage_run};
+use archval_sim::baseline::{random_coverage_run, tour_coverage_run, CoverageRun};
 use archval_tour::euler::{eulerize, hierholzer_tour};
 use archval_tour::{generate_tours, TourConfig};
 
+/// Everything `BENCH_ablations.json` records: the equal-budget coverage
+/// curves of ablation 4, plus context.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AblationBench {
+    scale: String,
+    arcs_total: usize,
+    budget_cycles: u64,
+    runs: Vec<CoverageRun>,
+    wall_seconds: f64,
+}
+
 fn main() {
     let scale = archval_bench::scale_from_args();
+    let started = std::time::Instant::now();
     let model = pp_control_model(&scale).expect("model");
     eprintln!("enumerating at {scale:?} ...");
     let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
@@ -76,15 +90,29 @@ fn main() {
         "  tours:  {}/{} arcs in {} cycles",
         tour_run.arcs_covered, tour_run.arcs_total, tour_run.cycles
     );
+    let mut runs = vec![tour_run.clone()];
     for p in [0.5, 0.2, 0.05] {
-        let r = random_coverage_run(&scale, &model, &enumd, tour_run.cycles, p, 42);
+        let r = random_coverage_run(&scale, &model, &enumd, tour_run.cycles, p, 42)
+            .expect("complete enumeration: the run cannot leave the reachable set");
         println!(
             "  random(p_rare={p}): {}/{} arcs ({:.1}%) in the same budget",
             r.arcs_covered,
             r.arcs_total,
             100.0 * r.final_fraction()
         );
+        runs.push(r);
     }
+
+    archval_bench::emit_bench_json(
+        "ablations",
+        &AblationBench {
+            scale: format!("{scale:?}"),
+            arcs_total: tour_run.arcs_total,
+            budget_cycles: tour_run.cycles,
+            runs,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        },
+    );
 }
 
 /// A strongly connected ring with extra chords.

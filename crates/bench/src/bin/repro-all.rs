@@ -20,6 +20,7 @@ fn main() {
         "repro-fig4-1",
         "repro-fig4-2",
         "repro-ablations",
+        "repro-fuzz",
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");

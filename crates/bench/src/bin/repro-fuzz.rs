@@ -1,0 +1,100 @@
+//! Coverage-guided fuzzing versus uniform random versus transition tours,
+//! under equal cycle budgets.
+//!
+//! The comparison the fuzzing subsystem exists for: tours need the
+//! enumerated graph and cover every arc by construction; the fuzzer only
+//! needs coverage feedback and closes most of the gap; uniform random
+//! trails both. Exits non-zero if the fuzzer fails to beat random at
+//! equal budget, so CI can use this binary as the smoke gate.
+//!
+//! ```sh
+//! cargo run --release -p archval-bench --bin repro-fuzz [scale] [threads]
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use archval_bench::{emit_bench_json, scale_from_args, threads_from_args};
+use archval_fsm::{enumerate, EnumConfig};
+use archval_pp::pp_control_model;
+use archval_sim::baseline::{random_coverage_run, tour_coverage_run, CoverageRun};
+use archval_sim::fuzz::{fuzz_coverage_run, PpFuzzConfig};
+use archval_tour::{generate_tours, TourConfig};
+
+/// Everything `BENCH_fuzz.json` records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FuzzBench {
+    scale: String,
+    threads: usize,
+    seed: u64,
+    budget_cycles: u64,
+    runs: Vec<CoverageRun>,
+    wall_seconds: f64,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let threads = threads_from_args();
+    let seed = 0xF0CC_5EED_u64;
+    let started = std::time::Instant::now();
+
+    eprintln!("enumerating at {scale:?} ...");
+    let model = pp_control_model(&scale).expect("control model builds");
+    let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+
+    // the tour run sets the common budget: the cycles a full transition
+    // tour costs are what random and fuzzing get to spend too
+    let tours = generate_tours(&enumd.graph, &TourConfig::default());
+    let tour_run = tour_coverage_run(&enumd, &tours);
+    let budget = tour_run.cycles;
+
+    eprintln!("fuzzing for {budget} cycles with {threads} worker thread(s) ...");
+    let fuzz_run = fuzz_coverage_run(
+        &model,
+        &enumd,
+        &PpFuzzConfig { cycles: budget, seed, threads, ..PpFuzzConfig::default() },
+    )
+    .expect("complete enumeration: replay cannot leave the reachable set");
+    let random_run = random_coverage_run(&scale, &model, &enumd, budget, 0.5, seed).expect("same");
+
+    println!("== coverage-guided fuzzing vs baselines ({scale:?}, equal budget) ==");
+    println!("{:<28} {:>10} {:>10} {:>10} {:>9}", "", "arcs", "of", "cycles", "coverage");
+    for run in [&tour_run, &fuzz_run, &random_run] {
+        println!(
+            "{:<28} {:>10} {:>10} {:>10} {:>8.1}%",
+            run.name,
+            run.arcs_covered,
+            run.arcs_total,
+            run.cycles,
+            100.0 * run.final_fraction()
+        );
+    }
+
+    let bench = FuzzBench {
+        scale: format!("{scale:?}"),
+        threads,
+        seed,
+        budget_cycles: budget,
+        runs: vec![tour_run.clone(), fuzz_run.clone(), random_run.clone()],
+        wall_seconds: started.elapsed().as_secs_f64(),
+    };
+    emit_bench_json("fuzz", &bench);
+
+    if fuzz_run.arcs_covered < random_run.arcs_covered {
+        eprintln!(
+            "FAIL: fuzzing covered {} arcs but uniform random covered {} in the same budget",
+            fuzz_run.arcs_covered, random_run.arcs_covered
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nfuzzing beats uniform random by {} arcs and closes {:.1}% of the tour gap \
+         without needing the tours",
+        fuzz_run.arcs_covered - random_run.arcs_covered,
+        if tour_run.arcs_covered > random_run.arcs_covered {
+            100.0 * (fuzz_run.arcs_covered - random_run.arcs_covered) as f64
+                / (tour_run.arcs_covered - random_run.arcs_covered) as f64
+        } else {
+            100.0
+        }
+    );
+}

@@ -1,6 +1,6 @@
 //! Regenerates Table 2.1: the six PP bugs, whether the generated
-//! transition-tour vectors expose them, and whether an equal-budget random
-//! baseline does.
+//! transition-tour vectors expose them, and whether equal-budget random
+//! and coverage-guided fuzzing baselines do.
 //!
 //! Run at scale `full` (the default here) so every trigger is reachable.
 
@@ -23,6 +23,7 @@ fn main() {
     let report = run_campaign(&CampaignConfig {
         scale,
         random_budget_multiplier: 1,
+        fuzz_budget_multiplier: 1,
         threads,
         ..CampaignConfig::default()
     });
@@ -50,6 +51,15 @@ fn main() {
                 report.tour_cycle_budget
             ),
         }
+        match o.fuzz_cycles_to_detect {
+            Some(c) => {
+                println!("    coverage-guided fuzzing: detected after {c} cycles")
+            }
+            None => println!(
+                "    coverage-guided fuzzing: NOT DETECTED within {} cycles",
+                report.tour_cycle_budget
+            ),
+        }
         // realistic traffic: rare interface conditions actually rare
         let realistic = random_baseline_detects(
             &scale,
@@ -72,11 +82,13 @@ fn main() {
     }
     println!(
         "summary: tour vectors {}/6 (deterministically, with full arc coverage),\n\
-         equal-budget aggressive random {}/6, equal-budget realistic random {}/6\n\
+         equal-budget aggressive random {}/6, equal-budget realistic random {}/6,\n\
+         equal-budget coverage-guided fuzzing {}/6\n\
          (paper: all six found by generated vectors, none previously found by\n\
          hand-written or random tests)",
         report.tour_detected(),
         report.random_detected(),
-        realistic_detected
+        realistic_detected,
+        report.fuzz_detected()
     );
 }

@@ -1,14 +1,36 @@
 //! Regenerates Table 3.3: test-vector generation with and without the
 //! 10,000-instruction trace limit, paper columns alongside.
 
-use archval_bench::scale_from_args;
+use serde::{Deserialize, Serialize};
+
+use archval_bench::{emit_bench_json, scale_from_args};
 use archval_fsm::{enumerate, EnumConfig};
 use archval_pp::pp_control_model;
 use archval_stimgen::mapping::pp_instr_cost;
 use archval_tour::{generate_tours_with, TourConfig};
 
+/// One generation run (with or without the trace limit) in
+/// `BENCH_table3_3.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GenRow {
+    limit: Option<u64>,
+    traces: usize,
+    total_edge_traversals: u64,
+    total_instructions: u64,
+    longest_trace_edges: usize,
+    generation_seconds: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Table33Bench {
+    scale: String,
+    rows: Vec<GenRow>,
+    wall_seconds: f64,
+}
+
 fn main() {
     let scale = scale_from_args();
+    let started = std::time::Instant::now();
     eprintln!("enumerating at {scale:?} ...");
     let model = pp_control_model(&scale).expect("control model builds");
     let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
@@ -102,4 +124,21 @@ fn main() {
         100.0 * u.longest_trace_edges as f64 / u.total_edge_traversals as f64
     );
     println!("  instructions per arc: {:.2} (paper: ~7)", u.instructions_per_arc());
+
+    let gen_row = |limit: Option<u64>, s: &archval_tour::stats::TourStats| GenRow {
+        limit,
+        traces: s.traces,
+        total_edge_traversals: s.total_edge_traversals,
+        total_instructions: s.total_instructions,
+        longest_trace_edges: s.longest_trace_edges,
+        generation_seconds: s.generation_time.as_secs_f64(),
+    };
+    emit_bench_json(
+        "table3_3",
+        &Table33Bench {
+            scale: format!("{scale:?}"),
+            rows: vec![gen_row(None, u), gen_row(Some(10_000), l)],
+            wall_seconds: started.elapsed().as_secs_f64(),
+        },
+    );
 }

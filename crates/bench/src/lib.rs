@@ -33,6 +33,25 @@ pub fn threads_from_args() -> usize {
     }
 }
 
+/// Writes a machine-readable result file `BENCH_<name>.json` for one
+/// experiment, returning the path.
+///
+/// The directory comes from `ARCHVAL_BENCH_DIR` when set (CI points this
+/// at its artifact directory), otherwise the current directory.
+///
+/// # Panics
+///
+/// Panics if serialization or the write fails — in a repro binary a lost
+/// result should be loud.
+pub fn emit_bench_json<T: serde::Serialize>(name: &str, value: &T) -> std::path::PathBuf {
+    let dir = std::env::var("ARCHVAL_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("result serializes");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+    path
+}
+
 /// Prints a two-column paper-vs-measured table row.
 pub fn row(label: &str, paper: &str, measured: &str) {
     println!("{label:<42} {paper:>18} {measured:>18}");

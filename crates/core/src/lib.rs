@@ -65,6 +65,7 @@ pub use flow::{FlowResult, ValidationFlow};
 pub use report::ValidationSummary;
 
 pub use archval_fsm as fsm;
+pub use archval_fuzz as fuzz;
 pub use archval_pp as pp;
 pub use archval_sim as sim;
 pub use archval_stimgen as stimgen;
@@ -79,6 +80,8 @@ pub enum Error {
     Verilog(archval_verilog::VerilogError),
     /// Model construction or state enumeration failed.
     Fsm(archval_fsm::Error),
+    /// A coverage-guided fuzzing run failed.
+    Fuzz(archval_fuzz::Error),
 }
 
 impl std::fmt::Display for Error {
@@ -86,6 +89,7 @@ impl std::fmt::Display for Error {
         match self {
             Error::Verilog(e) => write!(f, "verilog stage failed: {e}"),
             Error::Fsm(e) => write!(f, "fsm stage failed: {e}"),
+            Error::Fuzz(e) => write!(f, "fuzzing stage failed: {e}"),
         }
     }
 }
@@ -95,6 +99,7 @@ impl std::error::Error for Error {
         match self {
             Error::Verilog(e) => Some(e),
             Error::Fsm(e) => Some(e),
+            Error::Fuzz(e) => Some(e),
         }
     }
 }
@@ -108,6 +113,12 @@ impl From<archval_verilog::VerilogError> for Error {
 impl From<archval_fsm::Error> for Error {
     fn from(e: archval_fsm::Error) -> Self {
         Error::Fsm(e)
+    }
+}
+
+impl From<archval_fuzz::Error> for Error {
+    fn from(e: archval_fuzz::Error) -> Self {
+        Error::Fuzz(e)
     }
 }
 

@@ -25,6 +25,22 @@ impl<'m> SyncSim<'m> {
         SyncSim { evaluator: Evaluator::new(model), state, next, cycles: 0 }
     }
 
+    /// Creates a simulation of `model` starting from an explicit state —
+    /// a checkpoint captured from an earlier run via [`SyncSim::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong number of state variables.
+    pub fn from_state(model: &'m Model, state: &[u64]) -> Self {
+        assert_eq!(
+            state.len(),
+            model.reset_state().len(),
+            "checkpoint has the wrong number of state variables"
+        );
+        let next = vec![0; state.len()];
+        SyncSim { evaluator: Evaluator::new(model), state: state.to_vec(), next, cycles: 0 }
+    }
+
     /// The model being simulated.
     pub fn model(&self) -> &'m Model {
         self.evaluator.model()
@@ -137,6 +153,18 @@ mod tests {
         s.reset();
         assert_eq!(s.state(), &[0, 0]);
         assert_eq!(s.cycles(), 0);
+    }
+
+    #[test]
+    fn from_state_continues_a_checkpointed_run() {
+        let m = gray2();
+        let mut a = SyncSim::new(&m);
+        a.step(&[1, 1]).unwrap();
+        let mut b = SyncSim::from_state(&m, a.state());
+        a.step(&[0, 1]).unwrap();
+        b.step(&[0, 1]).unwrap();
+        assert_eq!(a.state(), b.state());
+        assert_eq!(b.cycles(), 1);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The fuzzing corpus: retained input sequences with admission metadata
+//! and selection energy.
+//!
+//! Entries are admitted when their replay covered something no earlier
+//! entry covered (the feedback map's novelty signal). Selection is
+//! energy-weighted: the [`crate::schedule::PowerSchedule`] assigns fresh
+//! discoverers high energy and decays everyone each round, so mutation
+//! pressure follows the coverage frontier. All mutation happens against
+//! immutable snapshots (`&Corpus`); admission and decay run only in the
+//! engine's sequential merge phase, keeping parallel runs deterministic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Seq;
+
+/// One retained input sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The retained choice-code sequence.
+    pub seq: Seq,
+    /// The model state `seq` ends in. The model is deterministic, so this
+    /// checkpoint stands in for replaying `seq` — extension candidates
+    /// resume from here and only spend the cycles they add.
+    pub end_state: Vec<u64>,
+    /// Coverage features this entry newly covered when admitted.
+    pub novelty: usize,
+    /// Engine round at which the entry was admitted (round 0 holds the
+    /// initial seeds).
+    pub round: u64,
+    /// Selection energy; maintained by the power schedule.
+    pub energy: f64,
+    /// Times this entry has parented an executed extension since it was
+    /// admitted (or last rebased). The engine gives a checkpoint's first
+    /// child a long exploration tail and later children short milking
+    /// tails — repeat extensions from one state mostly re-cover the
+    /// neighbourhood the first one already walked.
+    pub uses: u64,
+}
+
+impl CorpusEntry {
+    /// Cycles in the retained sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the sequence is empty (never true for admitted entries).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// The ordered set of retained entries.
+///
+/// Order is admission order and never changes, which makes energy-weighted
+/// selection a deterministic function of `(corpus, random unit draw)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been admitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in admission order.
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Admits an entry (appended; order-stable).
+    pub fn add(&mut self, entry: CorpusEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Total selection energy.
+    #[must_use]
+    pub fn total_energy(&self) -> f64 {
+        self.entries.iter().map(|e| e.energy).sum()
+    }
+
+    /// Selects an entry by energy-weighted roulette. `unit` must be in
+    /// `[0, 1)`; equal units always select the same entry for the same
+    /// corpus state.
+    ///
+    /// Returns `None` on an empty corpus.
+    #[must_use]
+    pub fn select(&self, unit: f64) -> Option<&CorpusEntry> {
+        self.select_ix(unit).map(|ix| &self.entries[ix])
+    }
+
+    /// [`Corpus::select`], returning the entry's stable index (entries are
+    /// append-only, so an index stays valid across later admissions).
+    #[must_use]
+    pub fn select_ix(&self, unit: f64) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let total = self.total_energy();
+        if total <= 0.0 {
+            // degenerate (all energies decayed to zero): uniform pick
+            return Some(((unit * self.entries.len() as f64) as usize).min(self.entries.len() - 1));
+        }
+        let mut remaining = unit * total;
+        for (ix, e) in self.entries.iter().enumerate() {
+            if remaining < e.energy {
+                return Some(ix);
+            }
+            remaining -= e.energy;
+        }
+        Some(self.entries.len() - 1)
+    }
+
+    /// Applies one round of multiplicative energy decay, clamped at
+    /// `floor` so old entries keep a nonzero selection chance.
+    pub fn decay(&mut self, factor: f64, floor: f64) {
+        for e in &mut self.entries {
+            e.energy = (e.energy * factor).max(floor);
+        }
+    }
+
+    /// Cools one entry's energy (clamped at `floor`) — applied to a
+    /// parent each time a child of it executes, so repeatedly-extended
+    /// entries stop monopolising selection and the frontier moves on.
+    pub fn cool(&mut self, ix: usize, factor: f64, floor: f64) {
+        let e = &mut self.entries[ix];
+        e.energy = (e.energy * factor).max(floor);
+    }
+
+    /// Adds selection energy to one entry — the schedule's reward when an
+    /// entry's walk keeps discovering.
+    pub fn energize(&mut self, ix: usize, add: f64) {
+        self.entries[ix].energy += add;
+    }
+
+    /// Replaces an entry's sequence and checkpoint in place. The engine
+    /// uses this to advance a walk head past a zero-novelty tail: the
+    /// cycles are spent either way, so the walk continues from where the
+    /// tail ended instead of rolling back to the old checkpoint. Energy
+    /// and admission metadata are kept; the use count resets because the
+    /// new head's neighbourhood is unexplored.
+    pub fn rebase(&mut self, ix: usize, seq: Seq, end_state: Vec<u64>) {
+        let e = &mut self.entries[ix];
+        e.seq = seq;
+        e.end_state = end_state;
+        e.uses = 0;
+    }
+
+    /// Records one executed extension parented by entry `ix`.
+    pub fn mark_used(&mut self, ix: usize) {
+        self.entries[ix].uses += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: Seq, energy: f64) -> CorpusEntry {
+        CorpusEntry { seq, end_state: vec![0], novelty: 1, round: 0, energy, uses: 0 }
+    }
+
+    #[test]
+    fn select_is_energy_weighted_and_deterministic() {
+        let mut c = Corpus::new();
+        c.add(entry(vec![0], 1.0));
+        c.add(entry(vec![1], 3.0));
+        // total 4.0: units below 0.25 hit entry 0, above hit entry 1
+        assert_eq!(c.select(0.1).unwrap().seq, vec![0]);
+        assert_eq!(c.select(0.24).unwrap().seq, vec![0]);
+        assert_eq!(c.select(0.26).unwrap().seq, vec![1]);
+        assert_eq!(c.select(0.99).unwrap().seq, vec![1]);
+        assert_eq!(c.select(0.5).unwrap().seq, c.select(0.5).unwrap().seq);
+    }
+
+    #[test]
+    fn select_empty_is_none() {
+        assert!(Corpus::new().select(0.5).is_none());
+    }
+
+    #[test]
+    fn zero_energy_falls_back_to_uniform() {
+        let mut c = Corpus::new();
+        c.add(entry(vec![0], 0.0));
+        c.add(entry(vec![1], 0.0));
+        assert_eq!(c.select(0.1).unwrap().seq, vec![0]);
+        assert_eq!(c.select(0.9).unwrap().seq, vec![1]);
+    }
+
+    #[test]
+    fn decay_clamps_at_floor() {
+        let mut c = Corpus::new();
+        c.add(entry(vec![0], 8.0));
+        c.decay(0.5, 3.0);
+        assert!((c.entries()[0].energy - 4.0).abs() < 1e-9);
+        c.decay(0.5, 3.0);
+        assert!((c.entries()[0].energy - 3.0).abs() < 1e-9);
+    }
+}

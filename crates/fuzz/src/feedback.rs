@@ -1,0 +1,395 @@
+//! Coverage feedback: scoring candidate replays.
+//!
+//! Feedback is split into two phases so the engine can parallelise the
+//! expensive half:
+//!
+//! * [`Feedback::trace`] replays a candidate on a [`SyncSim`] — from
+//!   reset, or from a checkpointed corpus state — and returns the
+//!   per-cycle observations plus the final state. A pure function, safe
+//!   to fan out across workers;
+//! * [`Feedback::merge`] folds observations into the global coverage map
+//!   and reports how many features were newly covered — sequential, run
+//!   in deterministic candidate order.
+//!
+//! Checkpointed starts are what make the fuzzer competitive with a
+//! continuous random walk: the model is deterministic, so a corpus
+//! entry's end state stands in for replaying its whole sequence, and an
+//! extension candidate only spends the cycles it actually adds.
+//!
+//! Two maps are provided. [`GraphFeedback`] scores arc coverage against
+//! an enumerated state graph — exact, comparable with the tour and
+//! random baselines, but requires enumeration first. [`HashedFeedback`]
+//! hashes `(src state, dst state, choice code)` triples into a fixed
+//! bitmap — approximate (collisions merge features), but needs no prior
+//! enumeration, so fuzzing scales to designs whose reachable set is
+//! unaffordable to enumerate.
+
+use archval_fsm::enumerate::EnumResult;
+use archval_fsm::graph::StateId;
+use archval_fsm::{Model, SyncSim};
+use archval_tour::coverage::ArcCoverage;
+
+use crate::{splitmix64, Error};
+
+/// One observed transition: `(src key, dst key, choice code)`. For
+/// [`GraphFeedback`] the keys are [`StateId`] values; for
+/// [`HashedFeedback`] they are state hashes.
+pub type Observation = (u64, u64, u64);
+
+/// A replayed candidate: its per-cycle observations and states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// One observation per simulated cycle.
+    pub obs: Vec<Observation>,
+    /// The model state after each cycle (`states[i]` is where `obs[i]`
+    /// landed). Any of them can serve as a checkpoint — the engine plants
+    /// corpus checkpoints at the *last novel* cycle, not the final one,
+    /// so branch points sit at the coverage frontier instead of wherever
+    /// the walk mixed back to.
+    pub states: Vec<Vec<u64>>,
+}
+
+impl Trace {
+    /// The state after the final cycle (panics on an empty trace).
+    #[must_use]
+    pub fn end_state(&self) -> &[u64] {
+        self.states.last().expect("trace covers at least one cycle")
+    }
+}
+
+/// A two-phase coverage map.
+pub trait Feedback: Sync {
+    /// Replays `seq` from `start` (a state checkpoint) or from reset,
+    /// returning one observation per cycle and the final state.
+    ///
+    /// Pure with respect to the map (parallel-safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Eval`] if the model fails to evaluate, or
+    /// [`Error::LeftReachableSet`] when a graph-backed map meets a state
+    /// missing from its enumeration.
+    fn trace(&self, model: &Model, start: Option<&[u64]>, seq: &[u64]) -> Result<Trace, Error>;
+
+    /// Folds observations into the map; returns the indices (into `obs`)
+    /// that newly covered a feature. The engine uses the count as the
+    /// novelty score and the last index as the frontier cut point.
+    fn merge(&mut self, obs: &[Observation]) -> Vec<usize>;
+
+    /// Suggests a choice code believed to cover a new feature when taken
+    /// from `state` — the frontier-directed mutation hook. `unit` (in
+    /// `[0, 1)`) picks among multiple candidates deterministically.
+    ///
+    /// A map that cannot name uncovered features returns `None` (the
+    /// default), and the engine falls back to an undirected first step.
+    fn suggest(&self, _state: &[u64], _unit: f64) -> Option<u64> {
+        None
+    }
+
+    /// Picks the checkpoint position for a trace about to be admitted:
+    /// the index whose landing state best fronts uncovered territory.
+    /// Called after the trace's own observations have been merged, so
+    /// "uncovered" means uncovered even by this trace.
+    ///
+    /// The default (`None`) makes the engine cut at the trace's last
+    /// novel observation.
+    fn frontier_cut(&self, _obs: &[Observation]) -> Option<usize> {
+        None
+    }
+
+    /// Features covered so far.
+    fn covered(&self) -> usize;
+
+    /// Total features, when the map knows it (graph-backed maps do; the
+    /// hashed map does not).
+    fn total(&self) -> Option<usize>;
+}
+
+/// Exact arc coverage against an enumerated state graph.
+#[derive(Debug)]
+pub struct GraphFeedback<'a> {
+    enumd: &'a EnumResult,
+    cov: ArcCoverage,
+}
+
+impl<'a> GraphFeedback<'a> {
+    /// Creates an empty arc-coverage map over `enumd`'s graph.
+    #[must_use]
+    pub fn new(enumd: &'a EnumResult) -> Self {
+        // the engine keeps its own cycle-indexed curve; disable the
+        // tracker's event-indexed sampling
+        GraphFeedback { enumd, cov: ArcCoverage::new(&enumd.graph, u64::MAX) }
+    }
+
+    /// The underlying enumeration.
+    #[must_use]
+    pub fn enumeration(&self) -> &'a EnumResult {
+        self.enumd
+    }
+}
+
+impl Feedback for GraphFeedback<'_> {
+    fn trace(&self, model: &Model, start: Option<&[u64]>, seq: &[u64]) -> Result<Trace, Error> {
+        let mut sim = match start {
+            Some(state) => SyncSim::from_state(model, state),
+            None => SyncSim::new(model),
+        };
+        let mut src =
+            self.enumd.find_state(sim.state()).ok_or(Error::LeftReachableSet { cycle: 0 })?;
+        let mut obs = Vec::with_capacity(seq.len());
+        let mut states = Vec::with_capacity(seq.len());
+        for (cycle, &code) in seq.iter().enumerate() {
+            sim.step_code(code).map_err(|source| Error::Eval { cycle, source })?;
+            // one lookup per cycle: the destination becomes the next source
+            let dst =
+                self.enumd.find_state(sim.state()).ok_or(Error::LeftReachableSet { cycle })?;
+            obs.push((u64::from(src.0), u64::from(dst.0), code));
+            states.push(sim.state().to_vec());
+            src = dst;
+        }
+        Ok(Trace { obs, states })
+    }
+
+    fn merge(&mut self, obs: &[Observation]) -> Vec<usize> {
+        let mut novel = Vec::new();
+        for (ix, &(src, dst, code)) in obs.iter().enumerate() {
+            // observe() reports whether the arc is *known*, not whether
+            // it is newly covered — novelty is the covered-count delta
+            let before = self.cov.covered();
+            self.cov.observe(StateId(src as u32), StateId(dst as u32), code);
+            if self.cov.covered() > before {
+                novel.push(ix);
+            }
+        }
+        novel
+    }
+
+    fn covered(&self) -> usize {
+        self.cov.covered()
+    }
+
+    fn total(&self) -> Option<usize> {
+        Some(self.cov.total())
+    }
+
+    /// Names the label of an uncovered out-arc of `state`, when one
+    /// exists. This is what makes the graph-backed mode *directed*: an
+    /// extension's first cycle takes a known-uncovered arc instead of
+    /// sampling the choice space blind. The graph is already consulted
+    /// every cycle for scoring, so this adds no new information source —
+    /// it closes the loop from scoring back into mutation.
+    fn suggest(&self, state: &[u64], unit: f64) -> Option<u64> {
+        let src = self.enumd.find_state(state)?;
+        let uncovered: Vec<u64> = self
+            .enumd
+            .graph
+            .edges(src)
+            .iter()
+            .filter(|e| !self.cov.is_covered(src, e.dst, e.label))
+            .map(|e| e.label)
+            .collect();
+        if uncovered.is_empty() {
+            return None;
+        }
+        let pick = ((unit * uncovered.len() as f64) as usize).min(uncovered.len() - 1);
+        Some(uncovered[pick])
+    }
+
+    /// Cuts at the last position whose landing state still has an
+    /// uncovered out-arc — the deepest point on this trace from which
+    /// [`GraphFeedback::suggest`] can name a new arc next round.
+    fn frontier_cut(&self, obs: &[Observation]) -> Option<usize> {
+        obs.iter().enumerate().rev().find_map(|(ix, &(_, dst, _))| {
+            let dst = StateId(dst as u32);
+            self.enumd
+                .graph
+                .edges(dst)
+                .iter()
+                .any(|e| !self.cov.is_covered(dst, e.dst, e.label))
+                .then_some(ix)
+        })
+    }
+}
+
+/// Graph-free hashed state-pair coverage: `(src, dst, code)` triples are
+/// hashed into a `2^bits` bitmap. No enumeration required; collisions
+/// under-count novelty, which only makes the fuzzer conservative.
+#[derive(Debug, Clone)]
+pub struct HashedFeedback {
+    bits: Vec<u64>,
+    mask: u64,
+    covered: usize,
+}
+
+impl HashedFeedback {
+    /// Creates a map with `2^bits` slots (`bits` clamped to `[10, 30]`).
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        let bits = bits.clamp(10, 30);
+        let slots = 1usize << bits;
+        HashedFeedback { bits: vec![0u64; slots / 64], mask: (slots - 1) as u64, covered: 0 }
+    }
+
+    /// Hashes a full state-variable assignment into a 64-bit key.
+    #[must_use]
+    pub fn state_key(values: &[u64]) -> u64 {
+        let mut h = 0x5851_F42D_4C95_7F2Du64;
+        for &v in values {
+            h = splitmix64(h ^ v);
+        }
+        h
+    }
+
+    fn slot(&self, obs: Observation) -> u64 {
+        splitmix64(obs.0 ^ splitmix64(obs.1 ^ splitmix64(obs.2))) & self.mask
+    }
+}
+
+impl Feedback for HashedFeedback {
+    fn trace(&self, model: &Model, start: Option<&[u64]>, seq: &[u64]) -> Result<Trace, Error> {
+        let mut sim = match start {
+            Some(state) => SyncSim::from_state(model, state),
+            None => SyncSim::new(model),
+        };
+        let mut src = Self::state_key(sim.state());
+        let mut obs = Vec::with_capacity(seq.len());
+        let mut states = Vec::with_capacity(seq.len());
+        for (cycle, &code) in seq.iter().enumerate() {
+            sim.step_code(code).map_err(|source| Error::Eval { cycle, source })?;
+            let dst = Self::state_key(sim.state());
+            obs.push((src, dst, code));
+            states.push(sim.state().to_vec());
+            src = dst;
+        }
+        Ok(Trace { obs, states })
+    }
+
+    fn merge(&mut self, obs: &[Observation]) -> Vec<usize> {
+        let mut novel = Vec::new();
+        for (ix, &o) in obs.iter().enumerate() {
+            let slot = self.slot(o);
+            let (word, bit) = ((slot / 64) as usize, slot % 64);
+            if self.bits[word] & (1 << bit) == 0 {
+                self.bits[word] |= 1 << bit;
+                novel.push(ix);
+            }
+        }
+        self.covered += novel.len();
+        novel
+    }
+
+    fn covered(&self) -> usize {
+        self.covered
+    }
+
+    fn total(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::builder::ModelBuilder;
+    use archval_fsm::enumerate::{enumerate, EnumConfig};
+
+    /// A 2-bit register loaded from a 2-bit choice: 4 states, 16 arcs.
+    fn load_model() -> Model {
+        let mut b = ModelBuilder::new("load");
+        let c = b.choice("c", 4);
+        let v = b.state_var("v", 4, 0);
+        b.set_next(v, b.choice_expr(c));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn graph_feedback_counts_arcs_exactly() {
+        let m = load_model();
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let mut fb = GraphFeedback::new(&enumd);
+        assert_eq!(fb.total(), Some(16));
+        let t = fb.trace(&m, None, &[1, 2, 2, 0]).unwrap();
+        assert_eq!(t.obs.len(), 4);
+        assert_eq!(t.end_state(), &[0]);
+        assert_eq!(fb.merge(&t.obs), vec![0, 1, 2, 3], "0->1, 1->2, 2->2, 2->0 are distinct arcs");
+        assert!(fb.merge(&t.obs).is_empty(), "re-merge covers nothing new");
+        assert_eq!(fb.covered(), 4);
+    }
+
+    #[test]
+    fn checkpointed_trace_continues_the_full_replay() {
+        let m = load_model();
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let fb = GraphFeedback::new(&enumd);
+        let full = fb.trace(&m, None, &[1, 2, 3, 0, 1]).unwrap();
+        let head = fb.trace(&m, None, &[1, 2]).unwrap();
+        let tail = fb.trace(&m, Some(head.end_state()), &[3, 0, 1]).unwrap();
+        let stitched: Vec<_> = head.obs.iter().chain(&tail.obs).copied().collect();
+        assert_eq!(full.obs, stitched);
+        assert_eq!(full.end_state(), tail.end_state());
+    }
+
+    #[test]
+    fn hashed_feedback_matches_graph_novelty_on_small_models() {
+        let m = load_model();
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let mut graph = GraphFeedback::new(&enumd);
+        let mut hashed = HashedFeedback::new(16);
+        let seq = [1u64, 2, 2, 0, 3, 3, 1, 0];
+        let go = graph.trace(&m, None, &seq).unwrap();
+        let ho = hashed.trace(&m, None, &seq).unwrap();
+        // a 2^16 map over 16 features: collisions are virtually impossible
+        assert_eq!(graph.merge(&go.obs), hashed.merge(&ho.obs));
+    }
+
+    #[test]
+    fn suggest_names_only_uncovered_arcs() {
+        let m = load_model();
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let mut fb = GraphFeedback::new(&enumd);
+        // from state 0 every choice is an uncovered arc at first
+        let first = fb.suggest(&[0], 0.0).unwrap();
+        let t = fb.trace(&m, None, &[first]).unwrap();
+        fb.merge(&t.obs);
+        // the suggestion is always one of the still-uncovered labels, so
+        // following suggestions from reset must cover all four out-arcs
+        // of state 0 in exactly four steps
+        for _ in 0..3 {
+            let code = fb.suggest(&[0], 0.0).unwrap();
+            let t = fb.trace(&m, None, &[code]).unwrap();
+            assert_eq!(t.obs.len(), fb.merge(&t.obs).len(), "suggested arc was already covered");
+        }
+        assert_eq!(fb.suggest(&[0], 0.0), None, "state 0 is mined out");
+        // the hashed map cannot name features
+        assert_eq!(HashedFeedback::new(12).suggest(&[0], 0.0), None);
+    }
+
+    #[test]
+    fn frontier_cut_lands_on_the_deepest_unmined_state() {
+        let m = load_model();
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let mut fb = GraphFeedback::new(&enumd);
+        let t = fb.trace(&m, None, &[1, 2, 0]).unwrap();
+        fb.merge(&t.obs);
+        // every state still has uncovered out-arcs, so the cut is the
+        // trace's last position
+        assert_eq!(fb.frontier_cut(&t.obs), Some(2));
+        // mine out state 0 (the trace's landing state): the cut retreats
+        // to the deepest position that still fronts uncovered arcs
+        for code in [0u64, 1, 2, 3] {
+            let t0 = fb.trace(&m, None, &[code]).unwrap();
+            fb.merge(&t0.obs);
+        }
+        assert_eq!(fb.frontier_cut(&t.obs), Some(1), "cut retreats past the mined-out state");
+    }
+
+    #[test]
+    fn hashed_trace_is_pure() {
+        let m = load_model();
+        let fb = HashedFeedback::new(12);
+        assert_eq!(
+            fb.trace(&m, None, &[1, 2, 3]).unwrap(),
+            fb.trace(&m, None, &[1, 2, 3]).unwrap()
+        );
+    }
+}

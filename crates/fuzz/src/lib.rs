@@ -1,0 +1,133 @@
+//! Coverage-guided fuzzing over FSM choice sequences.
+//!
+//! The paper's Section 4 observation — uniform random stimulus almost
+//! never composes several rare interface conditions in one window — is
+//! also the founding observation of coverage-guided fuzzing: feedback
+//! turns the needle-in-a-haystack conjunction into a sequence of single
+//! discoveries, each retained and mutated further. This crate implements
+//! that third validation workload, between "uniform random" and
+//! "transition tour":
+//!
+//! * a **corpus** of input sequences with per-entry metadata (arcs newly
+//!   covered at admission, length, energy) — [`corpus`];
+//! * **mutation operators** — cycle-level choice flips, rare-condition
+//!   boosts, truncation, extension, splicing and stacked havoc —
+//!   [`mutate`];
+//! * a **power schedule** that concentrates energy on entries which
+//!   recently discovered new coverage — [`schedule`];
+//! * **feedback maps** scoring each candidate replay: arc coverage
+//!   against an enumerated graph ([`feedback::GraphFeedback`]) or, when
+//!   enumeration is unaffordable, a graph-free hashed state-pair map
+//!   ([`feedback::HashedFeedback`]);
+//! * the **engine** tying it together with a deterministic
+//!   generate → replay → merge round structure and an optional parallel
+//!   worker pool — [`engine`].
+//!
+//! A stimulus sequence is a `Vec<u64>` of packed choice codes, one per
+//! cycle, exactly as found on state-graph edge labels
+//! ([`archval_fsm::Model::encode_choices`]). Working on codes keeps the
+//! engine generic over any translated model; design-specific semantics
+//! enter only through [`mutate::RareSpec`] (which choice values are
+//! "rare") supplied by the caller.
+//!
+//! # Determinism
+//!
+//! Every run is a pure function of `(model, feedback, config)` —
+//! including the thread count. Candidate generation and replay fan out
+//! across workers, but each worker draws from its own seed stream
+//! (`mix(seed, round, worker)`) against an immutable corpus snapshot, and
+//! results are merged in `(worker, candidate)` order. Reruns with the
+//! same seed and thread count are byte-identical.
+
+pub mod corpus;
+pub mod engine;
+pub mod feedback;
+pub mod mutate;
+pub mod schedule;
+
+pub use corpus::{Corpus, CorpusEntry};
+pub use engine::{FuzzConfig, FuzzEngine, FuzzReport};
+pub use feedback::{Feedback, GraphFeedback, HashedFeedback, Observation, Trace};
+pub use mutate::RareSpec;
+pub use schedule::PowerSchedule;
+
+/// One candidate stimulus: a packed choice code per cycle.
+pub type Seq = Vec<u64>;
+
+/// Fuzzing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The model failed to evaluate a candidate (malformed model).
+    Eval {
+        /// Cycle within the candidate at which evaluation failed.
+        cycle: usize,
+        /// The underlying model error.
+        source: archval_fsm::Error,
+    },
+    /// A replay reached a state missing from the enumerated graph. For a
+    /// completely enumerated model this cannot happen, so it indicates a
+    /// stale or truncated [`archval_fsm::enumerate::EnumResult`].
+    LeftReachableSet {
+        /// Cycle within the candidate at which the state was unknown.
+        cycle: usize,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Eval { cycle, source } => {
+                write!(f, "model evaluation failed at candidate cycle {cycle}: {source}")
+            }
+            Error::LeftReachableSet { cycle } => {
+                write!(f, "candidate left the enumerated reachable set at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Eval { source, .. } => Some(source),
+            Error::LeftReachableSet { .. } => None,
+        }
+    }
+}
+
+/// splitmix64: the seed-stream derivation used throughout the crate.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives an independent 64-bit seed from a base seed and two indices
+/// (round and worker), so every worker owns its own stream.
+#[must_use]
+pub fn derive_seed(seed: u64, round: u64, worker: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(round ^ splitmix64(worker)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..8 {
+            for worker in 0..8 {
+                assert!(seen.insert(derive_seed(42, round, worker)));
+            }
+        }
+    }
+
+    #[test]
+    fn error_display_mentions_cycle() {
+        let e = Error::LeftReachableSet { cycle: 7 };
+        assert!(e.to_string().contains("cycle 7"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Mutation operators over choice-code sequences.
+//!
+//! Every operator works on the packed per-cycle choice codes
+//! ([`crate::Seq`]), decoding a cycle into one value per choice input
+//! only where it edits. Structural operators (truncate, extend, splice)
+//! reshape the sequence; value operators (flip, rare boost) rewrite
+//! individual cycles. The **rare-condition boost** is the operator the
+//! paper's motivation calls for: it forces several designated rare choice
+//! values into one short window, composing exactly the conjunctions
+//! uniform random stimulus almost never reaches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+use crate::Seq;
+
+/// Marks one choice value as "rare" for the rare-condition boost (for the
+/// PP: cache miss, victim dirty, same-line conflict, interface not
+/// ready).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RareSpec {
+    /// Index of the choice input (position in `model.choices()`).
+    pub choice: usize,
+    /// The rare value of that choice.
+    pub value: u64,
+}
+
+/// Everything the operators need to know about the model's choice space.
+#[derive(Debug, Clone)]
+pub struct MutationCtx {
+    /// Domain size of each choice input, in model order.
+    pub sizes: Vec<u64>,
+    /// Designated rare choice values (may be empty).
+    pub rare: Vec<RareSpec>,
+    /// Hard cap on mutated sequence length.
+    pub max_len: usize,
+}
+
+impl MutationCtx {
+    /// Decodes a packed cycle code into one value per choice (mixed
+    /// radix, first choice least significant — matches
+    /// [`archval_fsm::Model::decode_choices`]).
+    #[must_use]
+    pub fn decode(&self, mut code: u64) -> Vec<u64> {
+        self.sizes
+            .iter()
+            .map(|&s| {
+                let v = code % s;
+                code /= s;
+                v
+            })
+            .collect()
+    }
+
+    /// Re-encodes per-choice values into a packed cycle code.
+    #[must_use]
+    pub fn encode(&self, values: &[u64]) -> u64 {
+        debug_assert_eq!(values.len(), self.sizes.len());
+        let mut code = 0u64;
+        for (&s, &v) in self.sizes.iter().zip(values).rev() {
+            debug_assert!(v < s);
+            code = code * s + v;
+        }
+        code
+    }
+
+    /// Draws one uniformly random cycle code.
+    pub fn random_code(&self, rng: &mut StdRng) -> u64 {
+        let values: Vec<u64> = self.sizes.iter().map(|&s| rng.gen_range(0..s)).collect();
+        self.encode(&values)
+    }
+
+    /// Draws a random sequence of `len` cycles.
+    pub fn random_seq(&self, rng: &mut StdRng, len: usize) -> Seq {
+        (0..len).map(|_| self.random_code(rng)).collect()
+    }
+
+    /// Draws a fresh continuation tail of 1..=`max_tail` cycles for an
+    /// extension candidate: random codes, with the rare-condition boost
+    /// applied to a window about half the time.
+    pub fn fresh_tail(&self, rng: &mut StdRng, max_tail: usize) -> Seq {
+        let len = rng.gen_range(1..=max_tail.max(1));
+        let mut tail = self.random_seq(rng, len);
+        if !self.rare.is_empty() && rng.gen_bool(0.1) {
+            rare_boost(rng, self, &mut tail);
+        }
+        tail
+    }
+}
+
+/// Rewrites one random choice of one random cycle to a fresh value.
+fn flip_choice(rng: &mut StdRng, ctx: &MutationCtx, seq: &mut Seq) {
+    if seq.is_empty() {
+        return;
+    }
+    let cycle = rng.gen_range(0..seq.len());
+    let choice = rng.gen_range(0..ctx.sizes.len());
+    let mut values = ctx.decode(seq[cycle]);
+    values[choice] = rng.gen_range(0..ctx.sizes[choice]);
+    seq[cycle] = ctx.encode(&values);
+}
+
+/// Forces a small conjunction of designated rare values into a short
+/// window.
+///
+/// Deliberately forces only 1–3 of the rare specs, not all of them: the
+/// arcs worth reaching sit at conjunctions of a *few* rare conditions,
+/// while forcing every interface into its rare state at once just stalls
+/// the machine in place.
+fn rare_boost(rng: &mut StdRng, ctx: &MutationCtx, seq: &mut Seq) {
+    if seq.is_empty() {
+        return;
+    }
+    if ctx.rare.is_empty() {
+        // no rare spec: degrade to a burst of flips
+        for _ in 0..4 {
+            flip_choice(rng, ctx, seq);
+        }
+        return;
+    }
+    let picks = rng.gen_range(1..=ctx.rare.len().min(3));
+    let chosen: Vec<RareSpec> =
+        (0..picks).map(|_| ctx.rare[rng.gen_range(0..ctx.rare.len())]).collect();
+    let start = rng.gen_range(0..seq.len());
+    let window = rng.gen_range(1..=8usize.min(seq.len() - start));
+    for code in &mut seq[start..start + window] {
+        let mut values = ctx.decode(*code);
+        for spec in &chosen {
+            // each rare value lands with high, not certain, probability so
+            // boosted windows still vary
+            if rng.gen_bool(0.75) {
+                values[spec.choice] = spec.value;
+            }
+        }
+        *code = ctx.encode(&values);
+    }
+}
+
+/// Cuts the sequence at a random point (keeps at least one cycle).
+fn truncate(rng: &mut StdRng, seq: &mut Seq) {
+    if seq.len() > 1 {
+        let keep = rng.gen_range(1..seq.len());
+        seq.truncate(keep);
+    }
+}
+
+/// Appends fresh random cycles (exploration past the parent's horizon).
+fn extend(rng: &mut StdRng, ctx: &MutationCtx, seq: &mut Seq) {
+    let room = ctx.max_len.saturating_sub(seq.len());
+    if room == 0 {
+        return;
+    }
+    let add = rng.gen_range(1..=room.min(16));
+    for _ in 0..add {
+        seq.push(ctx.random_code(rng));
+    }
+}
+
+/// Replaces the tail with a suffix of another corpus entry.
+fn splice(rng: &mut StdRng, ctx: &MutationCtx, seq: &mut Seq, other: &[u64]) {
+    if seq.is_empty() || other.is_empty() {
+        return;
+    }
+    let cut = rng.gen_range(0..seq.len());
+    let from = rng.gen_range(0..other.len());
+    seq.truncate(cut);
+    seq.extend_from_slice(&other[from..]);
+    seq.truncate(ctx.max_len);
+    if seq.is_empty() {
+        seq.push(other[from]);
+    }
+}
+
+/// Derives one mutated child from `parent` (and optionally a second
+/// corpus sequence for splicing). Applies one weighted-random operator,
+/// or a stacked havoc burst.
+///
+/// The returned sequence always has between 1 and `ctx.max_len` cycles.
+pub fn mutate(rng: &mut StdRng, ctx: &MutationCtx, parent: &[u64], other: Option<&[u64]>) -> Seq {
+    let mut seq: Seq = parent.to_vec();
+    seq.truncate(ctx.max_len);
+    if seq.is_empty() {
+        return ctx.random_seq(rng, 1);
+    }
+    match rng.gen_range(0..10u32) {
+        0..=2 => flip_choice(rng, ctx, &mut seq),
+        3..=4 => rare_boost(rng, ctx, &mut seq),
+        5 => truncate(rng, &mut seq),
+        6..=7 => extend(rng, ctx, &mut seq),
+        8 => match other {
+            Some(o) => splice(rng, ctx, &mut seq, o),
+            None => extend(rng, ctx, &mut seq),
+        },
+        _ => {
+            // havoc: a stacked burst of the cheap operators
+            for _ in 0..rng.gen_range(2..=8) {
+                match rng.gen_range(0..4u32) {
+                    0..=1 => flip_choice(rng, ctx, &mut seq),
+                    2 => rare_boost(rng, ctx, &mut seq),
+                    _ => extend(rng, ctx, &mut seq),
+                }
+            }
+        }
+    }
+    debug_assert!(!seq.is_empty() && seq.len() <= ctx.max_len);
+    seq
+}
+
+/// A deterministic unit draw in `[0, 1)` (the vendored rand has no `f64`
+/// `Standard` impl; this mirrors its `gen_bool` granularity).
+pub fn unit_f64(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> MutationCtx {
+        MutationCtx {
+            sizes: vec![5, 2, 2, 2],
+            rare: vec![RareSpec { choice: 1, value: 0 }, RareSpec { choice: 3, value: 1 }],
+            max_len: 64,
+        }
+    }
+
+    #[test]
+    fn decode_encode_round_trips() {
+        let c = ctx();
+        for code in 0..(5 * 2 * 2 * 2) {
+            assert_eq!(c.encode(&c.decode(code)), code);
+        }
+    }
+
+    #[test]
+    fn mutants_stay_in_bounds() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let parent = c.random_seq(&mut rng, 32);
+        let other = c.random_seq(&mut rng, 16);
+        for _ in 0..500 {
+            let m = mutate(&mut rng, &c, &parent, Some(&other));
+            assert!(!m.is_empty() && m.len() <= c.max_len);
+            for &code in &m {
+                assert!(code < 5 * 2 * 2 * 2, "code {code} out of the choice space");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let c = ctx();
+        let parent: Seq = (0..20).map(|i| i % 40).collect();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(mutate(&mut a, &c, &parent, None), mutate(&mut b, &c, &parent, None));
+        }
+    }
+
+    #[test]
+    fn rare_boost_composes_rare_values() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        // an all-common parent: choice 1 = 1, choice 3 = 0
+        let common = c.encode(&[0, 1, 0, 0]);
+        let parent: Seq = vec![common; 16];
+        let mut both_rare_seen = false;
+        for _ in 0..200 {
+            let mut seq = parent.clone();
+            rare_boost(&mut rng, &c, &mut seq);
+            for &code in &seq {
+                let v = c.decode(code);
+                if v[1] == 0 && v[3] == 1 {
+                    both_rare_seen = true;
+                }
+            }
+        }
+        assert!(both_rare_seen, "the boost never composed both rare values");
+    }
+
+    #[test]
+    fn unit_f64_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let u = unit_f64(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The power schedule: how much mutation energy each corpus entry gets.
+//!
+//! Entries earn energy proportional to the coverage they newly
+//! discovered, with a constant base so even marginal discoverers stay
+//! selectable; every round all energies decay multiplicatively toward a
+//! floor. The effect is the classic frontier-chasing schedule: a fresh
+//! discovery is mutated hard for a few rounds, then fades back into the
+//! uniform background.
+
+use serde::{Deserialize, Serialize};
+
+/// Schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSchedule {
+    /// Energy granted per admission regardless of novelty.
+    pub base_energy: f64,
+    /// Extra energy per newly covered feature.
+    pub novelty_weight: f64,
+    /// Multiplicative per-round decay factor in `(0, 1]`.
+    pub decay: f64,
+    /// Multiplicative cooling applied to a parent each time one of its
+    /// children executes, so a single hot entry cannot monopolise the
+    /// frontier.
+    pub use_cool: f64,
+    /// Lower clamp applied after decay and cooling.
+    pub floor: f64,
+}
+
+impl Default for PowerSchedule {
+    fn default() -> Self {
+        PowerSchedule {
+            base_energy: 1.0,
+            novelty_weight: 3.0,
+            decay: 0.9,
+            use_cool: 0.7,
+            floor: 0.05,
+        }
+    }
+}
+
+impl PowerSchedule {
+    /// Admission energy for an entry that newly covered `novelty`
+    /// features.
+    #[must_use]
+    pub fn admission_energy(&self, novelty: usize) -> f64 {
+        self.base_energy + self.novelty_weight * novelty as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_novelty_means_more_energy() {
+        let s = PowerSchedule::default();
+        assert!(s.admission_energy(10) > s.admission_energy(1));
+        assert!(s.admission_energy(0) >= s.base_energy);
+    }
+}

@@ -17,8 +17,53 @@ use archval_stimgen::random::random_ctrl_in;
 use archval_tour::coverage::ArcCoverage;
 use archval_tour::generate::TourSet;
 
+/// Coverage-run failure: the driven model left the enumerated graph or
+/// failed to evaluate.
+///
+/// For a completely enumerated model neither can happen, so an error here
+/// means the enumeration is stale (built for a different scale) or the
+/// model is malformed — exactly the discrepancies worth a typed report
+/// rather than a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageError {
+    /// A run reached a state missing from the enumerated reachable set.
+    UnknownState {
+        /// Cycle at which the unknown state was reached.
+        cycle: u64,
+    },
+    /// The model failed to evaluate.
+    Eval {
+        /// Cycle at which evaluation failed.
+        cycle: u64,
+        /// The underlying model error.
+        source: archval_fsm::Error,
+    },
+}
+
+impl std::fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverageError::UnknownState { cycle } => {
+                write!(f, "run left the enumerated reachable set at cycle {cycle}")
+            }
+            CoverageError::Eval { cycle, source } => {
+                write!(f, "model evaluation failed at cycle {cycle}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoverageError::UnknownState { .. } => None,
+            CoverageError::Eval { source, .. } => Some(source),
+        }
+    }
+}
+
 /// The coverage trajectory of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CoverageRun {
     /// Label for reports.
     pub name: String,
@@ -45,6 +90,13 @@ impl CoverageRun {
 
 /// Drives the control FSM model with uniform random choices for `cycles`
 /// cycles, tracking arc coverage against the enumerated graph.
+///
+/// # Errors
+///
+/// Returns [`CoverageError`] if the run reaches a state missing from
+/// `enumd` or the model fails to evaluate — impossible for a complete
+/// enumeration of a well-formed model, so callers may treat it as a
+/// configuration mismatch.
 pub fn random_coverage_run(
     scale: &PpScale,
     model: &Model,
@@ -52,27 +104,28 @@ pub fn random_coverage_run(
     cycles: u64,
     rare_probability: f64,
     seed: u64,
-) -> CoverageRun {
+) -> Result<CoverageRun, CoverageError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sim = SyncSim::new(model);
     let mut cov = ArcCoverage::new(&enumd.graph, (cycles / 256).max(1));
-    for _ in 0..cycles {
+    // one state lookup per cycle: this cycle's destination is the next
+    // cycle's source
+    let mut src = enumd.find_state(sim.state()).ok_or(CoverageError::UnknownState { cycle: 0 })?;
+    for cycle in 0..cycles {
         let input: CtrlIn = random_ctrl_in(&mut rng, scale, rare_probability);
         let choices = input.to_choices(scale);
-        let src =
-            enumd.find_state(sim.state()).expect("random run left the enumerated reachable set");
-        sim.step(&choices).expect("model evaluation failed");
-        let dst =
-            enumd.find_state(sim.state()).expect("random run left the enumerated reachable set");
+        sim.step(&choices).map_err(|source| CoverageError::Eval { cycle, source })?;
+        let dst = enumd.find_state(sim.state()).ok_or(CoverageError::UnknownState { cycle })?;
         cov.observe(src, dst, model.encode_choices(&choices));
+        src = dst;
     }
-    CoverageRun {
+    Ok(CoverageRun {
         name: format!("random(p={rare_probability})"),
         curve: cov.curve().to_vec(),
         arcs_total: cov.total(),
         arcs_covered: cov.covered(),
         cycles,
-    }
+    })
 }
 
 /// Replays a tour set on the FSM model, tracking the same coverage curve
@@ -111,7 +164,8 @@ mod tests {
         let tour_run = tour_coverage_run(&enumd, &tours);
         assert_eq!(tour_run.arcs_covered, tour_run.arcs_total, "tours cover all arcs");
 
-        let rand_run = random_coverage_run(&scale, &model, &enumd, tour_run.cycles, 0.5, 12345);
+        let rand_run =
+            random_coverage_run(&scale, &model, &enumd, tour_run.cycles, 0.5, 12345).unwrap();
         assert!(
             rand_run.arcs_covered < rand_run.arcs_total,
             "uniform random stimulus should not reach full arc coverage in the tour's budget \
@@ -133,8 +187,9 @@ mod tests {
         let scale = PpScale::micro();
         let model = pp_control_model(&scale).unwrap();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
-        let covered =
-            |p, seed| random_coverage_run(&scale, &model, &enumd, 20_000, p, seed).arcs_covered;
+        let covered = |p, seed| {
+            random_coverage_run(&scale, &model, &enumd, 20_000, p, seed).unwrap().arcs_covered
+        };
         let aggressive: usize = (0..4).map(|seed| covered(0.5, seed)).sum();
         let realistic: usize = (0..4).map(|seed| covered(0.05, seed)).sum();
         assert!(

@@ -32,6 +32,9 @@ pub struct CampaignConfig {
     pub random_budget_multiplier: u64,
     /// Probability of the rare state per interface bit in the baseline.
     pub random_rare_probability: f64,
+    /// Coverage-guided fuzzing budget multiplier, on the same base budget
+    /// as the random baseline; `0` skips the fuzzing column.
+    pub fuzz_budget_multiplier: u64,
     /// RNG seed.
     pub seed: u64,
     /// Worker threads for state enumeration and the per-bug injection
@@ -48,6 +51,7 @@ impl Default for CampaignConfig {
             instruction_limit: Some(10_000),
             random_budget_multiplier: 1,
             random_rare_probability: 0.5,
+            fuzz_budget_multiplier: 1,
             seed: 0xA5CA1E,
             threads: 1,
         }
@@ -67,6 +71,10 @@ pub struct BugOutcome {
     pub random_detected: bool,
     /// Cycles until the random baseline exposed it.
     pub random_cycles_to_detect: Option<u64>,
+    /// Whether equal-budget coverage-guided fuzzing exposed it.
+    pub fuzz_detected: bool,
+    /// Cycles until the fuzzer exposed it.
+    pub fuzz_cycles_to_detect: Option<u64>,
 }
 
 /// The whole campaign's results.
@@ -89,6 +97,11 @@ impl CampaignReport {
     /// Bugs the random baseline exposed.
     pub fn random_detected(&self) -> usize {
         self.outcomes.iter().filter(|o| o.random_detected).count()
+    }
+
+    /// Bugs the coverage-guided fuzzer exposed.
+    pub fn fuzz_detected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.fuzz_detected).count()
     }
 }
 
@@ -127,14 +140,17 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                 scope.spawn(|| loop {
                     let ix = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&bug) = Bug::ALL.get(ix) else { break };
-                    let outcome = bug_outcome(config, &stimuli, tour_cycle_budget, bug);
+                    let outcome = bug_outcome(config, &model, &stimuli, tour_cycle_budget, bug);
                     *slots[ix].lock().unwrap() = Some(outcome);
                 });
             }
         });
         slots.into_iter().map(|s| s.into_inner().unwrap().expect("every bug slot filled")).collect()
     } else {
-        Bug::ALL.iter().map(|&bug| bug_outcome(config, &stimuli, tour_cycle_budget, bug)).collect()
+        Bug::ALL
+            .iter()
+            .map(|&bug| bug_outcome(config, &model, &stimuli, tour_cycle_budget, bug))
+            .collect()
     };
     CampaignReport { outcomes, tour_cycle_budget, traces: stimuli.len() }
 }
@@ -143,6 +159,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
 /// bug.
 fn bug_outcome(
     config: &CampaignConfig,
+    model: &archval_fsm::Model,
     stimuli: &[Stimulus],
     tour_cycle_budget: u64,
     bug: Bug,
@@ -168,12 +185,27 @@ fn bug_outcome(
         config.random_rare_probability,
         config.seed ^ (bug as u64) << 32,
     );
+    let fuzz_budget = tour_cycle_budget * config.fuzz_budget_multiplier;
+    let fuzz_cycles_to_detect = if fuzz_budget == 0 {
+        None
+    } else {
+        crate::fuzz::fuzz_baseline_detects(
+            &config.scale,
+            model,
+            bugs,
+            fuzz_budget,
+            config.seed ^ (bug as u64) << 16,
+            1,
+        )
+    };
     BugOutcome {
         bug,
         tour_detected_at_trace,
         tour_cycles_to_detect,
         random_detected: random_cycles_to_detect.is_some(),
         random_cycles_to_detect,
+        fuzz_detected: fuzz_cycles_to_detect.is_some(),
+        fuzz_cycles_to_detect,
     }
 }
 
@@ -250,6 +282,7 @@ mod tests {
         let config = CampaignConfig {
             scale: PpScale::micro(),
             random_budget_multiplier: 0,
+            fuzz_budget_multiplier: 0,
             ..CampaignConfig::default()
         };
         let report = run_campaign(&config);
@@ -272,6 +305,7 @@ mod tests {
         let base = CampaignConfig {
             scale: PpScale::micro(),
             random_budget_multiplier: 0,
+            fuzz_budget_multiplier: 0,
             ..CampaignConfig::default()
         };
         let seq = run_campaign(&base);
@@ -285,6 +319,8 @@ mod tests {
             assert_eq!(a.tour_cycles_to_detect, b.tour_cycles_to_detect);
             assert_eq!(a.random_detected, b.random_detected);
             assert_eq!(a.random_cycles_to_detect, b.random_cycles_to_detect);
+            assert_eq!(a.fuzz_detected, b.fuzz_detected);
+            assert_eq!(a.fuzz_cycles_to_detect, b.fuzz_cycles_to_detect);
         }
     }
 
@@ -296,7 +332,9 @@ mod tests {
     #[ignore = "minutes-long at full scale; run with --release -- --ignored"]
     fn tour_vectors_expose_every_bug() {
         let config = CampaignConfig {
-            random_budget_multiplier: 0, // skip the baseline in unit tests
+            // skip the baselines in unit tests
+            random_budget_multiplier: 0,
+            fuzz_budget_multiplier: 0,
             ..CampaignConfig::default()
         };
         let report = run_campaign(&config);

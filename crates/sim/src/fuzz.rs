@@ -1,0 +1,295 @@
+//! Coverage-guided fuzzing of the PP control model — the third
+//! validation workload, between [`random_coverage_run`] and the
+//! transition tours.
+//!
+//! [`fuzz_coverage_run`] wraps [`archval_fuzz`]'s engine for the PP:
+//! candidates are `CtrlIn` sequences (as packed choice codes), the
+//! rare-condition boost knows which PP interface values are rare (cache
+//! miss, dirty victim, same-line conflict, interface not ready), and
+//! scoring is exact arc coverage against the enumerated graph — so the
+//! result is a [`CoverageRun`] directly comparable with the random and
+//! tour curves in one ablation.
+//!
+//! [`fuzz_baseline_detects`] runs the same engine *graph-free* (hashed
+//! state-pair feedback, no enumeration consulted) against an injected
+//! bug: every candidate drives the bugged RTL alongside the executable
+//! specification, exactly like the random baseline of the Table 2.1
+//! campaign, and the first architectural divergence reports
+//! cycles-to-detection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use archval_fsm::enumerate::EnumResult;
+use archval_fsm::Model;
+use archval_fuzz::{
+    splitmix64, Error as FuzzError, FuzzConfig, FuzzEngine, GraphFeedback, HashedFeedback, RareSpec,
+};
+use archval_pp::isa::InstrClass;
+use archval_pp::rtl::{ExtIn, Forces, RtlSim};
+use archval_pp::{BugSet, CtrlIn, PpScale, RefSim};
+use archval_stimgen::random::concretize_slot1;
+use archval_stimgen::random::concretize_slot2;
+
+use crate::baseline::{CoverageError, CoverageRun};
+
+/// PP-specific fuzzing knobs layered over [`FuzzConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpFuzzConfig {
+    /// Simulated-cycle budget (equal-budget comparisons with the random
+    /// and tour runs use the same number).
+    pub cycles: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads for candidate generation and replay.
+    pub threads: usize,
+    /// Hard cap on candidate length.
+    pub max_len: usize,
+}
+
+impl Default for PpFuzzConfig {
+    fn default() -> Self {
+        PpFuzzConfig { cycles: 10_000, seed: 0xF0CC_5EED, threads: 1, max_len: 1 << 20 }
+    }
+}
+
+impl PpFuzzConfig {
+    /// Lowers into the generic engine configuration for `model`.
+    #[must_use]
+    pub fn lower(&self, model: &Model) -> FuzzConfig {
+        FuzzConfig {
+            cycle_budget: self.cycles,
+            seed: self.seed,
+            threads: self.threads.max(1),
+            max_len: self.max_len.max(1),
+            rare: pp_rare_specs(model),
+            ..FuzzConfig::default()
+        }
+    }
+}
+
+/// The PP's rare interface values, resolved to choice indices by name:
+/// cache misses, a dirty victim, a same-line conflict, and every
+/// interface in its not-ready state. (`iclass` has no rare value — all
+/// five instruction classes are equally ordinary.)
+#[must_use]
+pub fn pp_rare_specs(model: &Model) -> Vec<RareSpec> {
+    let rare_when = |name: &str, value: u64| {
+        model.choice_by_name(name).map(|c| RareSpec { choice: c.0 as usize, value })
+    };
+    [
+        rare_when("ihit", 0),
+        rare_when("dhit", 0),
+        rare_when("victim_dirty", 1),
+        rare_when("same_line", 1),
+        rare_when("inbox_ready", 0),
+        rare_when("outbox_ready", 0),
+        rare_when("mem_ready", 0),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn coverage_error(e: FuzzError) -> CoverageError {
+    match e {
+        FuzzError::Eval { cycle, source } => CoverageError::Eval { cycle: cycle as u64, source },
+        FuzzError::LeftReachableSet { cycle } => {
+            CoverageError::UnknownState { cycle: cycle as u64 }
+        }
+    }
+}
+
+/// Runs the coverage-guided fuzzer against the enumerated graph for
+/// `config.cycles` simulated cycles, producing a [`CoverageRun`] on the
+/// same axes as [`random_coverage_run`] and
+/// [`tour_coverage_run`].
+///
+/// Deterministic: byte-identical results for the same seed and thread
+/// count.
+///
+/// [`random_coverage_run`]: crate::baseline::random_coverage_run
+/// [`tour_coverage_run`]: crate::baseline::tour_coverage_run
+///
+/// # Errors
+///
+/// Returns [`CoverageError`] if a replay leaves the enumerated reachable
+/// set (stale enumeration) or the model fails to evaluate.
+pub fn fuzz_coverage_run(
+    model: &Model,
+    enumd: &EnumResult,
+    config: &PpFuzzConfig,
+) -> Result<CoverageRun, CoverageError> {
+    let mut engine = FuzzEngine::new(model, GraphFeedback::new(enumd), config.lower(model));
+    let report = engine.run().map_err(coverage_error)?;
+    Ok(CoverageRun {
+        name: format!("fuzz(seed={:#x})", config.seed),
+        curve: report.curve,
+        arcs_total: report.total.unwrap_or(0),
+        arcs_covered: report.covered,
+        cycles: report.cycles,
+    })
+}
+
+/// Hash of a candidate's content, for deriving its concretisation seed.
+fn seq_hash(seq: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &code in seq {
+        h = splitmix64(h ^ code);
+    }
+    h
+}
+
+/// Runs coverage-guided fuzz vectors against the bugged RTL until an
+/// architectural mismatch or the cycle budget runs out; returns the RTL
+/// cycles simulated up to the mismatch — the direct analogue of the
+/// random baseline's count. The model-side candidate search is bounded by
+/// `budget_cycles`.
+///
+/// The candidate search is guided by *graph-free* hashed state-pair
+/// coverage of the control model — no enumeration is consulted, so this
+/// works at scales where enumeration is unaffordable. Each candidate is
+/// concretised like the random baseline (instruction pair per cycle drawn
+/// from the candidate's per-cycle class choices, Inbox provisioned per
+/// `switch`) and compared against the executable specification.
+#[must_use]
+pub fn fuzz_baseline_detects(
+    scale: &PpScale,
+    model: &Model,
+    bugs: BugSet,
+    budget_cycles: u64,
+    seed: u64,
+    threads: usize,
+) -> Option<u64> {
+    let config = PpFuzzConfig { cycles: budget_cycles, seed, threads, max_len: 512 };
+    let mut engine = FuzzEngine::new(model, HashedFeedback::new(20), config.lower(model));
+    let mut rtl_cycles = 0u64;
+    let outcome = engine.run_until(|seq, _cycles_before| {
+        rtl_cycles += seq.len() as u64;
+        if replay_detects(scale, model, bugs, seq, seed ^ seq_hash(seq)) {
+            std::ops::ControlFlow::Break(rtl_cycles)
+        } else {
+            std::ops::ControlFlow::Continue(())
+        }
+    });
+    match outcome {
+        Ok((_, detected)) => detected,
+        // replay errors cannot occur with hashed feedback on a well-formed
+        // model; treat a failure as "not detected" rather than panicking
+        Err(_) => None,
+    }
+}
+
+/// Replays one candidate on the bugged RTL against the specification.
+fn replay_detects(
+    scale: &PpScale,
+    model: &Model,
+    bugs: BugSet,
+    seq: &[u64],
+    concretise_seed: u64,
+) -> bool {
+    let mut rng = StdRng::seed_from_u64(concretise_seed);
+    let inputs: Vec<CtrlIn> =
+        seq.iter().map(|&code| CtrlIn::from_choices(scale, &model.decode_choices(code))).collect();
+    // one concrete instruction pair per cycle (at most one fetch per
+    // cycle), classes following the candidate's per-cycle choices
+    let mut program = Vec::with_capacity(inputs.len() * 2);
+    let mut inbox = Vec::new();
+    for c in &inputs {
+        let class = InstrClass::from_code(c.iclass).unwrap_or(InstrClass::Alu);
+        let a = concretize_slot1(&mut rng, class);
+        let b = concretize_slot2(&mut rng, c.iclass2 % 3);
+        for i in [&a, &b] {
+            if matches!(i.class(), InstrClass::Switch) {
+                inbox.push(rng.gen());
+            }
+        }
+        program.push(a);
+        program.push(b);
+    }
+    let mut rtl = RtlSim::new(*scale, bugs, &program, inbox.clone());
+    for c in &inputs {
+        let ext = ExtIn {
+            inbox_ready: c.inbox_ready,
+            outbox_ready: c.outbox_ready,
+            mem_ready: c.mem_ready,
+        };
+        let forces = Forces {
+            ihit: Some(c.ihit),
+            dhit: Some(c.dhit),
+            victim_dirty: Some(c.victim_dirty),
+            same_line: Some(c.same_line),
+        };
+        rtl.step(ext, forces);
+    }
+    let mut spec = RefSim::new(&program, inbox);
+    spec.run(rtl.retired().len());
+    rtl.retired().iter().enumerate().any(|(i, r)| spec.retired().get(i) != Some(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::random_coverage_run;
+    use archval_fsm::{enumerate, EnumConfig};
+    use archval_pp::pp_control_model;
+
+    /// The acceptance-criterion test: at micro scale, equal cycle
+    /// budgets, fixed seeds, the fuzzer's final arc coverage strictly
+    /// exceeds the uniform-random baseline's.
+    #[test]
+    fn fuzz_strictly_beats_uniform_random_at_equal_budget() {
+        let scale = PpScale::micro();
+        let model = pp_control_model(&scale).unwrap();
+        let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+        let budget = 12_000u64;
+        let fuzz = fuzz_coverage_run(
+            &model,
+            &enumd,
+            &PpFuzzConfig { cycles: budget, seed: 1, ..PpFuzzConfig::default() },
+        )
+        .unwrap();
+        let random = random_coverage_run(&scale, &model, &enumd, budget, 0.5, 1).unwrap();
+        assert_eq!(fuzz.cycles, random.cycles, "budgets must match for a fair comparison");
+        assert!(
+            fuzz.arcs_covered > random.arcs_covered,
+            "fuzz {}/{} should strictly exceed random {}/{}",
+            fuzz.arcs_covered,
+            fuzz.arcs_total,
+            random.arcs_covered,
+            random.arcs_total
+        );
+    }
+
+    #[test]
+    fn fuzz_runs_are_byte_identical_per_seed_and_thread_count() {
+        let scale = PpScale::micro();
+        let model = pp_control_model(&scale).unwrap();
+        let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+        for threads in [1, 2] {
+            let config =
+                PpFuzzConfig { cycles: 4_000, seed: 7, threads, ..PpFuzzConfig::default() };
+            let a = fuzz_coverage_run(&model, &enumd, &config).unwrap();
+            let b = fuzz_coverage_run(&model, &enumd, &config).unwrap();
+            assert_eq!(a, b, "threads={threads}");
+            let mut ja = String::new();
+            let mut jb = String::new();
+            serde::Serialize::serialize_json(&a, &mut ja);
+            serde::Serialize::serialize_json(&b, &mut jb);
+            assert_eq!(ja, jb, "serialized runs differ at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fuzz_bug_detection_is_deterministic() {
+        let scale = PpScale::micro();
+        let model = pp_control_model(&scale).unwrap();
+        let bugs = BugSet::only(archval_pp::Bug::ConflictAddressNotHeld);
+        let a = fuzz_baseline_detects(&scale, &model, bugs, 6_000, 3, 1);
+        let b = fuzz_baseline_detects(&scale, &model, bugs, 6_000, 3, 1);
+        assert_eq!(a, b);
+        if let Some(c) = a {
+            assert!(c > 0);
+        }
+    }
+}

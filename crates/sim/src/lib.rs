@@ -11,6 +11,9 @@
 //!   equal-budget random baseline, and record who detects what;
 //! * [`baseline`] — random-stimulus driving with arc-coverage tracking
 //!   (the coverage-curve ablation);
+//! * [`fuzz`] — coverage-guided fuzzing of the control model: the third
+//!   workload in the random-vs-tour-vs-fuzz comparison, plus a
+//!   graph-free bug-detection mode for the campaign;
 //! * [`conformance`] — the Figure 4.1 / 4.2 more-behaviours and
 //!   fewer-behaviours example FSMs and their detection outcomes;
 //! * [`errata`] — the MIPS R4000 errata classification of Table 1.1.
@@ -20,9 +23,11 @@ pub mod campaign;
 pub mod compare;
 pub mod conformance;
 pub mod errata;
+pub mod fuzz;
 
-pub use baseline::{random_coverage_run, tour_coverage_run, CoverageRun};
+pub use baseline::{random_coverage_run, tour_coverage_run, CoverageError, CoverageRun};
 pub use campaign::{run_campaign, BugOutcome, CampaignConfig, CampaignReport};
 pub use compare::{compare_stimulus, ComparisonReport, Mismatch};
 pub use conformance::{fewer_behaviors_experiment, more_behaviors_experiment, ConformanceOutcome};
 pub use errata::{classify, mips_r4000_errata, BugClass, ErrataRow};
+pub use fuzz::{fuzz_baseline_detects, fuzz_coverage_run, pp_rare_specs, PpFuzzConfig};

@@ -83,4 +83,47 @@ mod tests {
         // the program listing is embedded
         assert!(text.matches("//   ").count() >= stim.program.len());
     }
+
+    /// Golden test: the emitted text for a hand-built two-cycle stimulus,
+    /// byte for byte. Any formatting drift (ordering, change-only
+    /// emission, clock advances) breaks replayability of persisted
+    /// vector files and must show up here.
+    #[test]
+    fn force_file_golden() {
+        use crate::mapping::{CyclePlan, Stimulus};
+        use archval_pp::{CtrlIn, CtrlState};
+
+        let quiet = CtrlIn::quiet();
+        let miss = CtrlIn { ihit: false, mem_ready: false, ..quiet };
+        let plan = |ctrl| CyclePlan { ctrl, expect_after: CtrlState::reset(), fetched: None };
+        let stim = Stimulus {
+            scale: PpScale::micro(),
+            program: Vec::new(),
+            inbox: Vec::new(),
+            cycles: vec![plan(quiet), plan(miss), plan(quiet)],
+        };
+        let expected = "\
+// generated transition-tour vector file
+// 3 cycles, 0 instructions
+// program image (word address: instruction):
+initial begin
+  force dut.iclass = 0;
+  force dut.ihit = 1;
+  force dut.dhit = 1;
+  force dut.victim_dirty = 0;
+  force dut.same_line = 0;
+  force dut.inbox_ready = 1;
+  force dut.outbox_ready = 1;
+  force dut.mem_ready = 1;
+  @(posedge clk);
+  force dut.ihit = 0;
+  force dut.mem_ready = 0;
+  @(posedge clk);
+  force dut.ihit = 1;
+  force dut.mem_ready = 1;
+  @(posedge clk);
+end
+";
+        assert_eq!(emit_force_file(&stim, "dut"), expected);
+    }
 }

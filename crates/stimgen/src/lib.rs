@@ -18,14 +18,19 @@
 //!   conflict comparator, Inbox/Outbox/memory readiness) become per-cycle
 //!   forces on the RTL simulator — our sound analogue of the paper's
 //!   Verilog `force`/`release` files, which this crate can also emit
-//!   textually ([`force_file`]).
+//!   textually ([`force_file`]);
+//! * choice-code sequences (fuzzing corpus entries, failing candidates)
+//!   persist through a trivial line-oriented text format ([`seq_file`]),
+//!   so a corpus survives across processes and hand edits.
 
 pub mod force_file;
 pub mod mapping;
 pub mod random;
 pub mod replay;
+pub mod seq_file;
 
 pub use force_file::emit_force_file;
 pub use mapping::{trace_to_stimulus, CyclePlan, Stimulus};
 pub use random::{random_stimulus, RandomConfig};
 pub use replay::{replay, ReplayError, ReplayOutcome};
+pub use seq_file::{emit_seq, parse_seq, SeqParseError};

@@ -99,6 +99,17 @@ impl ArcCoverage {
         known
     }
 
+    /// Whether the arc `(src, dst)` under `label` has been observed.
+    /// Matching mirrors [`ArcCoverage::observe`]: by exact label first,
+    /// then by state pair.
+    #[must_use]
+    pub fn is_covered(&self, src: StateId, dst: StateId, label: EdgeLabel) -> bool {
+        self.labels
+            .get(&(src.0, dst.0, label))
+            .or_else(|| self.index.get(&(src.0, dst.0)))
+            .is_some_and(|&ix| self.hit[ix])
+    }
+
     /// The sampled coverage curve as `(events, arcs_covered)` pairs.
     pub fn curve(&self) -> &[(u64, usize)] {
         &self.curve
