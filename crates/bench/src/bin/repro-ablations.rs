@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use archval_fsm::graph::{EdgePolicy, StateGraph, StateId};
+use archval_fsm::graph::{EdgePolicy, GraphBuilder, StateGraph, StateId};
 use archval_fsm::{enumerate, EnumConfig};
 use archval_pp::pp_control_model;
 use archval_sim::baseline::{random_coverage_run, tour_coverage_run, CoverageRun};
@@ -117,22 +117,22 @@ fn main() {
 
 /// A strongly connected ring with extra chords.
 fn ring_with_chords(n: u32, stride: u32) -> StateGraph {
-    let mut g = StateGraph::new();
+    let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
     for i in 0..n {
-        g.add_edge(StateId(i), StateId((i + 1) % n), 0, EdgePolicy::AllLabels);
-        g.add_edge(StateId(i), StateId((i + stride) % n), 1, EdgePolicy::AllLabels);
+        b.add_edge(StateId(i), StateId((i + 1) % n), 0);
+        b.add_edge(StateId(i), StateId((i + stride) % n), 1);
     }
-    g
+    b.finish().expect("small synthetic graph").0
 }
 
 /// A small dense graph: i -> (i*k+1) mod n for several k.
 fn dense(n: u32) -> StateGraph {
-    let mut g = StateGraph::new();
+    let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
     for i in 0..n {
         for (lbl, k) in [(0u64, 1u32), (1, 2), (2, 5)] {
-            g.add_edge(StateId(i), StateId((i * k + 1) % n), lbl, EdgePolicy::AllLabels);
+            b.add_edge(StateId(i), StateId((i * k + 1) % n), lbl);
         }
-        g.add_edge(StateId(i), StateId((i + 1) % n), 3, EdgePolicy::AllLabels);
+        b.add_edge(StateId(i), StateId((i + 1) % n), 3);
     }
-    g
+    b.finish().expect("small synthetic graph").0
 }

@@ -1,0 +1,62 @@
+//! Snapshot round-trip smoke check: enumerates the PP control model,
+//! generates transition tours, saves the enumeration to a snapshot file,
+//! loads it back, regenerates the tours from the loaded graph, and
+//! asserts the two paths agree bit-for-bit — same graph, same traces,
+//! same arc coverage. Exits non-zero on any mismatch.
+//!
+//! `--snapshot <path>` overrides where the snapshot file is written
+//! (default: `archval-snapshot-check.avgs` in `ARCHVAL_BENCH_DIR` or the
+//! current directory).
+
+use archval_bench::{scale_from_args, snapshot_from_args};
+use archval_fsm::{enumerate, load_enum_result, save_enum_result, EnumConfig};
+use archval_pp::pp_control_model;
+use archval_sim::baseline::tour_coverage_run;
+use archval_tour::{generate_tours, TourConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let path = snapshot_from_args().unwrap_or_else(|| {
+        let dir = std::env::var("ARCHVAL_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        std::path::Path::new(&dir).join("archval-snapshot-check.avgs")
+    });
+
+    eprintln!("enumerating at {scale:?} ...");
+    let model = pp_control_model(&scale).expect("control model builds");
+    let fresh = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+    let fresh_tours = generate_tours(&fresh.graph, &TourConfig::default());
+    let fresh_cov = tour_coverage_run(&fresh, &fresh_tours);
+
+    save_enum_result(&path, &model, &fresh)
+        .unwrap_or_else(|e| panic!("saving {}: {e}", path.display()));
+    let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    eprintln!("saved {} ({size} bytes)", path.display());
+
+    let loaded = load_enum_result(&path, &model)
+        .unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+    assert_eq!(loaded.graph, fresh.graph, "loaded graph differs from the in-memory graph");
+
+    let loaded_tours = generate_tours(&loaded.graph, &TourConfig::default());
+    assert_eq!(
+        loaded_tours.traces(),
+        fresh_tours.traces(),
+        "tours generated from the snapshot differ from the in-memory tours"
+    );
+    let loaded_cov = tour_coverage_run(&loaded, &loaded_tours);
+    assert_eq!(
+        (loaded_cov.arcs_covered, loaded_cov.arcs_total, loaded_cov.cycles),
+        (fresh_cov.arcs_covered, fresh_cov.arcs_total, fresh_cov.cycles),
+        "arc coverage through the snapshot differs from the in-memory path"
+    );
+    assert_eq!(fresh_cov.arcs_covered, fresh_cov.arcs_total, "tours must cover every arc");
+
+    println!(
+        "snapshot round-trip OK at {scale:?}: {} states, {} edges, {} traces, {}/{} arcs \
+         covered through both paths",
+        fresh.stats.states,
+        fresh.stats.edges,
+        fresh_tours.traces().len(),
+        loaded_cov.arcs_covered,
+        loaded_cov.arcs_total
+    );
+}

@@ -3,17 +3,70 @@
 //! argument or `ARCHVAL_THREADS`) it runs both the sequential and the
 //! frontier-parallel enumerator, checks they agree, and reports both
 //! timings.
+//!
+//! `--snapshot <path>` reuses a saved enumeration: if the file exists the
+//! enumeration is loaded from it (skipping the enumerate entirely),
+//! otherwise the model is enumerated and the result saved there for the
+//! next run.
 
-use archval_bench::{header, row, scale_from_args, threads_from_args};
-use archval_fsm::{enumerate, enumerate_parallel, EnumConfig};
+use serde::{Deserialize, Serialize};
+
+use archval_bench::{
+    header, peak_rss_bytes, row, scale_from_args, snapshot_from_args, threads_from_args,
+};
+use archval_fsm::{enumerate, enumerate_parallel, load_enum_result, save_enum_result, EnumConfig};
 use archval_pp::pp_control_model;
+
+/// Everything `BENCH_table3_2.json` records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Table32Bench {
+    scale: String,
+    threads: usize,
+    states: u64,
+    bits_per_state: u32,
+    edges: u64,
+    enum_seconds: f64,
+    approx_memory_bytes: u64,
+    transitions_evaluated: u64,
+    builder_peak_bytes: u64,
+    graph_bytes: u64,
+    graph_finish_seconds: f64,
+    from_snapshot: bool,
+    snapshot_load_seconds: Option<f64>,
+    peak_rss_bytes: Option<u64>,
+}
 
 fn main() {
     let scale = scale_from_args();
     let threads = threads_from_args();
-    eprintln!("enumerating at {scale:?} ... (use `paper` for the near-paper-scale run)");
+    let snapshot = snapshot_from_args();
     let model = pp_control_model(&scale).expect("control model builds");
-    let r = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+
+    let mut from_snapshot = false;
+    let mut snapshot_load_seconds = None;
+    let r = match &snapshot {
+        Some(path) if path.exists() => {
+            eprintln!("loading snapshot {} ...", path.display());
+            let t0 = std::time::Instant::now();
+            let r = load_enum_result(path, &model)
+                .unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+            let secs = t0.elapsed().as_secs_f64();
+            eprintln!("loaded {} states / {} edges in {secs:.2} s", r.stats.states, r.stats.edges);
+            from_snapshot = true;
+            snapshot_load_seconds = Some(secs);
+            r
+        }
+        _ => {
+            eprintln!("enumerating at {scale:?} ... (use `paper` for the near-paper-scale run)");
+            let r = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+            if let Some(path) = &snapshot {
+                save_enum_result(path, &model, &r)
+                    .unwrap_or_else(|e| panic!("saving {}: {e}", path.display()));
+                eprintln!("saved snapshot {}", path.display());
+            }
+            r
+        }
+    };
 
     header(&format!("Table 3.2 — State Enumeration Statistics ({scale:?})"));
     row("Number of States", "229,571", &r.stats.states.to_string());
@@ -39,8 +92,16 @@ fn main() {
         "transitions evaluated: {} (every choice combination at every state)",
         r.stats.transitions_evaluated
     );
+    println!(
+        "graph build: {} duplicate arcs suppressed, builder peak ~{:.1} MB, CSR {:.1} MB, \
+         finish {:.3} s",
+        r.graph_stats.suppressed_duplicates,
+        r.graph_stats.builder_peak_bytes as f64 / 1048576.0,
+        r.graph_stats.graph_bytes as f64 / 1048576.0,
+        r.graph_stats.finish_seconds
+    );
 
-    if threads > 1 {
+    if threads > 1 && !from_snapshot {
         eprintln!("re-enumerating with {threads} worker threads ...");
         let cfg = EnumConfig { threads, ..EnumConfig::default() };
         let p = enumerate_parallel(&model, &cfg).expect("parallel enumeration");
@@ -54,4 +115,24 @@ fn main() {
             seq / par
         );
     }
+
+    archval_bench::emit_bench_json(
+        "table3_2",
+        &Table32Bench {
+            scale: format!("{scale:?}"),
+            threads,
+            states: r.stats.states as u64,
+            bits_per_state: r.stats.bits_per_state,
+            edges: r.stats.edges as u64,
+            enum_seconds: r.stats.elapsed.as_secs_f64(),
+            approx_memory_bytes: r.stats.approx_memory_bytes as u64,
+            transitions_evaluated: r.stats.transitions_evaluated,
+            builder_peak_bytes: r.graph_stats.builder_peak_bytes,
+            graph_bytes: r.graph_stats.graph_bytes,
+            graph_finish_seconds: r.graph_stats.finish_seconds,
+            from_snapshot,
+            snapshot_load_seconds,
+            peak_rss_bytes: peak_rss_bytes(),
+        },
+    );
 }

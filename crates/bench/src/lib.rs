@@ -1,11 +1,51 @@
 //! Shared helpers for the `repro-*` binaries and criterion benches.
 
+use std::path::PathBuf;
+
 use archval_pp::PpScale;
+
+/// Positional command-line arguments with the `--snapshot` flag (and its
+/// value) removed, so `scale` and `threads` keep their positions whether
+/// or not a snapshot path is present.
+fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--snapshot" {
+            // consume the flag's value
+            if args.next().is_none() {
+                eprintln!("--snapshot requires a path argument");
+                std::process::exit(2);
+            }
+        } else if !a.starts_with("--snapshot=") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Parses the `--snapshot <path>` (or `--snapshot=<path>`) flag: where to
+/// load the enumeration snapshot from, or save it after enumerating.
+pub fn snapshot_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--snapshot" {
+            return Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                eprintln!("--snapshot requires a path argument");
+                std::process::exit(2);
+            })));
+        }
+        if let Some(path) = a.strip_prefix("--snapshot=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
 
 /// Parses a scale argument (`micro|standard|full|paper`), defaulting to
 /// `standard`.
 pub fn scale_from_args() -> PpScale {
-    match std::env::args().nth(1).as_deref() {
+    match positional_args().first().map(String::as_str) {
         Some("micro") => PpScale::micro(),
         Some("full") => PpScale::full(),
         Some("paper") => PpScale::paper(),
@@ -22,7 +62,7 @@ pub fn scale_from_args() -> PpScale {
 /// (sequential). The repro binaries produce identical numbers for any
 /// value; threads only change wall-clock time.
 pub fn threads_from_args() -> usize {
-    let arg = std::env::args().nth(2).or_else(|| std::env::var("ARCHVAL_THREADS").ok());
+    let arg = positional_args().get(1).cloned().or_else(|| std::env::var("ARCHVAL_THREADS").ok());
     match arg.as_deref().map(str::parse::<usize>) {
         None => 1,
         Some(Ok(n)) if n >= 1 => n,
@@ -31,6 +71,16 @@ pub fn threads_from_args() -> usize {
             std::process::exit(2);
         }
     }
+}
+
+/// Peak resident-set size of this process so far, in bytes, from
+/// `VmHWM` in `/proc/self/status`. `None` where procfs is unavailable
+/// (non-Linux) — callers should record it as absent, not zero.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Writes a machine-readable result file `BENCH_<name>.json` for one

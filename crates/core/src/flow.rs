@@ -3,6 +3,7 @@
 use archval_fsm::enumerate::{EnumConfig, EnumResult};
 use archval_fsm::graph::EdgePolicy;
 use archval_fsm::parallel::enumerate_parallel;
+use archval_fsm::snapshot::{load_enum_result, save_enum_result};
 use archval_fsm::Model;
 use archval_fuzz::{FuzzConfig, FuzzEngine, FuzzReport, GraphFeedback};
 use archval_tour::generate::{generate_tours, TourConfig, TourSet};
@@ -21,6 +22,7 @@ pub struct ValidationFlow {
     model: Model,
     enum_config: EnumConfig,
     tour_config: TourConfig,
+    snapshot: Option<std::path::PathBuf>,
 }
 
 impl ValidationFlow {
@@ -55,6 +57,7 @@ impl ValidationFlow {
             model,
             enum_config: EnumConfig::default(),
             tour_config: TourConfig::default(),
+            snapshot: None,
         }
     }
 
@@ -85,6 +88,15 @@ impl ValidationFlow {
         self
     }
 
+    /// Reuses an enumeration snapshot at `path`: [`ValidationFlow::run`]
+    /// loads the enumeration from the file when it exists (the snapshot
+    /// is fingerprint-checked against the model), and otherwise
+    /// enumerates and saves the result there for the next run.
+    pub fn snapshot(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.snapshot = Some(path.into());
+        self
+    }
+
     /// The translated model.
     pub fn model(&self) -> &Model {
         &self.model
@@ -95,9 +107,20 @@ impl ValidationFlow {
     /// # Errors
     ///
     /// Returns [`Error::Fsm`] if the state limit is exceeded or the model
-    /// misbehaves during evaluation.
+    /// misbehaves during evaluation, and [`Error::Snapshot`] if a
+    /// configured snapshot file is corrupt, was built for a different
+    /// model, or cannot be written.
     pub fn run(self) -> Result<FlowResult, Error> {
-        let enumd = enumerate_parallel(&self.model, &self.enum_config)?;
+        let enumd = match &self.snapshot {
+            Some(path) if path.exists() => load_enum_result(path, &self.model)?,
+            maybe_path => {
+                let enumd = enumerate_parallel(&self.model, &self.enum_config)?;
+                if let Some(path) = maybe_path {
+                    save_enum_result(path, &self.model, &enumd)?;
+                }
+                enumd
+            }
+        };
         let tours = generate_tours(&enumd.graph, &self.tour_config);
         Ok(FlowResult { model: self.model, enumd, tours })
     }
@@ -260,6 +283,41 @@ endmodule
         let again =
             r.fuzz(FuzzConfig { cycle_budget: 2_000, seed: 42, ..FuzzConfig::default() }).unwrap();
         assert_eq!(report, again);
+    }
+
+    #[test]
+    fn flow_snapshot_saves_then_reloads_identically() {
+        let path =
+            std::env::temp_dir().join(format!("archval-flow-snapshot-{}.avgs", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // first run enumerates and saves
+        let first = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+            .unwrap()
+            .snapshot(&path)
+            .run()
+            .unwrap();
+        assert!(path.exists(), "first run must write the snapshot");
+
+        // second run loads; same graph and tours bit-for-bit
+        let second = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+            .unwrap()
+            .snapshot(&path)
+            .run()
+            .unwrap();
+        assert_eq!(second.enumd.graph, first.enumd.graph);
+        assert_eq!(second.tours.traces(), first.tours.traces());
+
+        // a different model rejects the snapshot instead of using it
+        let other =
+            ValidationFlow::from_verilog(&HANDSHAKE.replace("handshake", "shakehand"), "shakehand")
+                .unwrap()
+                .snapshot(&path)
+                .run()
+                .unwrap_err();
+        assert!(matches!(other, Error::Snapshot(archval_fsm::SnapshotError::ModelMismatch { .. })));
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -82,6 +82,8 @@ pub enum Error {
     Fsm(archval_fsm::Error),
     /// A coverage-guided fuzzing run failed.
     Fuzz(archval_fuzz::Error),
+    /// Saving or loading an enumeration snapshot failed.
+    Snapshot(archval_fsm::SnapshotError),
 }
 
 impl std::fmt::Display for Error {
@@ -90,6 +92,7 @@ impl std::fmt::Display for Error {
             Error::Verilog(e) => write!(f, "verilog stage failed: {e}"),
             Error::Fsm(e) => write!(f, "fsm stage failed: {e}"),
             Error::Fuzz(e) => write!(f, "fuzzing stage failed: {e}"),
+            Error::Snapshot(e) => write!(f, "snapshot stage failed: {e}"),
         }
     }
 }
@@ -100,6 +103,7 @@ impl std::error::Error for Error {
             Error::Verilog(e) => Some(e),
             Error::Fsm(e) => Some(e),
             Error::Fuzz(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
         }
     }
 }
@@ -119,6 +123,12 @@ impl From<archval_fsm::Error> for Error {
 impl From<archval_fuzz::Error> for Error {
     fn from(e: archval_fuzz::Error) -> Self {
         Error::Fuzz(e)
+    }
+}
+
+impl From<archval_fsm::SnapshotError> for Error {
+    fn from(e: archval_fsm::SnapshotError) -> Self {
+        Error::Snapshot(e)
     }
 }
 

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use crate::error::Error;
 use crate::eval::Evaluator;
-use crate::graph::{EdgePolicy, StateGraph, StateId};
+use crate::graph::{EdgePolicy, GraphBuilder, GraphStats, StateGraph, StateId};
 use crate::model::Model;
 use crate::pack::{StateLayout, StateTable};
 use crate::stats::EnumStats;
@@ -53,6 +53,8 @@ pub struct EnumResult {
     pub table: StateTable,
     /// Table 3.2-shaped statistics.
     pub stats: EnumStats,
+    /// Graph-construction metrics from the [`GraphBuilder`].
+    pub graph_stats: GraphStats,
 }
 
 impl EnumResult {
@@ -99,7 +101,7 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
     let layout = StateLayout::new(model);
     let bits = layout.total_bits();
     let mut table = StateTable::new(layout);
-    let mut graph = StateGraph::new();
+    let mut builder = GraphBuilder::new(config.edge_policy);
     let mut evaluator = Evaluator::new(model);
 
     let n_vars = model.vars().len();
@@ -109,7 +111,7 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
     let mut scratch = Vec::new();
     let reset = model.reset_state();
     let (reset_id, _) = table.intern_values(&reset, &mut scratch);
-    graph.ensure_state(StateId(reset_id));
+    builder.ensure_state(StateId(reset_id));
 
     // BFS frontier as a simple cursor: states are discovered in BFS order
     // because ids are assigned in discovery order and we process them in
@@ -124,6 +126,9 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
     let mut choices = vec![0u64; n_choices];
 
     while (cursor as usize) < table.len() {
+        // grow the per-state bookkeeping to the discovered-state count
+        // once per source rather than edge by edge inside `add_edge`
+        builder.reserve_states(table.len());
         let src = StateId(cursor);
         let src_depth = depth_of[cursor as usize];
         {
@@ -146,10 +151,10 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
                 depth_of.push(src_depth + 1);
                 max_depth = max_depth.max(src_depth + 1);
                 if table.len().is_multiple_of(config.progress_every) {
-                    eprintln!("enumerate: {} states, {} edges", table.len(), graph.edge_count());
+                    eprintln!("enumerate: {} states, {} edges", table.len(), builder.edge_count());
                 }
             }
-            graph.add_edge(src, StateId(dst), code, config.edge_policy);
+            builder.add_edge(src, StateId(dst), code);
 
             // advance mixed-radix counter
             let mut k = 0;
@@ -172,10 +177,9 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
         cursor += 1;
     }
 
+    let (graph, graph_stats) = builder.finish()?;
     let elapsed = start.elapsed();
-    let approx_memory_bytes = table.approx_bytes()
-        + graph.edge_count() * std::mem::size_of::<crate::graph::Edge>()
-        + graph.state_count() * std::mem::size_of::<Vec<crate::graph::Edge>>();
+    let approx_memory_bytes = table.approx_bytes() + graph_stats.graph_bytes as usize;
     let stats = EnumStats {
         states: table.len(),
         bits_per_state: bits,
@@ -185,7 +189,7 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
         transitions_evaluated: transitions,
         max_depth,
     };
-    Ok(EnumResult { graph, table, stats })
+    Ok(EnumResult { graph, table, stats, graph_stats })
 }
 
 #[cfg(test)]

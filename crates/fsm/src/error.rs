@@ -54,6 +54,9 @@ pub enum Error {
     EmptyModel,
     /// Division or modulo by a divisor that can be zero.
     DivisionByZero,
+    /// The enumerated graph exceeded the CSR index range (more than
+    /// `u32::MAX` states or edges).
+    Graph(archval_graph::GraphError),
 }
 
 impl fmt::Display for Error {
@@ -78,11 +81,18 @@ impl fmt::Display for Error {
             }
             Error::EmptyModel => write!(f, "model has no state variables"),
             Error::DivisionByZero => write!(f, "division or modulo by zero"),
+            Error::Graph(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<archval_graph::GraphError> for Error {
+    fn from(e: archval_graph::GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,4 +1,9 @@
-//! The labelled state graph produced by enumeration.
+//! Re-exports of the shared state-graph types.
+//!
+//! The graph itself lives in [`archval_graph`]: one CSR representation
+//! shared by enumeration, tour generation, coverage tracking, fuzzing and
+//! snapshots. This module keeps the historical `archval_fsm::graph::*`
+//! paths working for downstream crates.
 //!
 //! Edges carry the packed choice-combination code that caused the
 //! transition. Under the paper's default policy only the *first* condition
@@ -8,257 +13,7 @@
 //! fix the paper proposes in Section 4 for the missed-bug case of
 //! Figure 4.2.
 
-use std::collections::VecDeque;
-
-use serde::{Deserialize, Serialize};
-
-/// Dense identifier of a state in a [`StateGraph`]. Id 0 is the reset state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct StateId(pub u32);
-
-/// A packed choice-combination code labelling an edge; decode with
-/// [`Model::decode_choices`](crate::model::Model::decode_choices).
-pub type EdgeLabel = u64;
-
-/// How many conditions to record per `(src, dst)` arc.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum EdgePolicy {
-    /// Record only the first condition found per arc (the paper's default;
-    /// can miss aliased-condition bugs, Figure 4.2).
-    #[default]
-    FirstLabel,
-    /// Record every distinct condition per arc (the paper's proposed fix).
-    AllLabels,
-}
-
-/// A single outgoing edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Edge {
-    /// Destination state.
-    pub dst: StateId,
-    /// The choice combination that drives this transition.
-    pub label: EdgeLabel,
-}
-
-/// A directed, edge-labelled state graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct StateGraph {
-    /// `succ[s]` is the list of edges out of state `s`, in discovery order.
-    succ: Vec<Vec<Edge>>,
-    edge_count: usize,
-}
-
-impl StateGraph {
-    /// Creates an empty graph.
-    pub fn new() -> Self {
-        StateGraph::default()
-    }
-
-    /// Ensures state `s` exists (and all lower-numbered states).
-    pub fn ensure_state(&mut self, s: StateId) {
-        if s.0 as usize >= self.succ.len() {
-            self.succ.resize_with(s.0 as usize + 1, Vec::new);
-        }
-    }
-
-    /// Adds an edge under the given policy. Returns `true` if the edge was
-    /// recorded (i.e. it was not suppressed as a duplicate arc label).
-    pub fn add_edge(
-        &mut self,
-        src: StateId,
-        dst: StateId,
-        label: EdgeLabel,
-        policy: EdgePolicy,
-    ) -> bool {
-        self.ensure_state(src);
-        self.ensure_state(dst);
-        let out = &mut self.succ[src.0 as usize];
-        let dup = match policy {
-            EdgePolicy::FirstLabel => out.iter().any(|e| e.dst == dst),
-            EdgePolicy::AllLabels => out.iter().any(|e| e.dst == dst && e.label == label),
-        };
-        if dup {
-            return false;
-        }
-        out.push(Edge { dst, label });
-        self.edge_count += 1;
-        true
-    }
-
-    /// Number of states.
-    pub fn state_count(&self) -> usize {
-        self.succ.len()
-    }
-
-    /// Number of recorded edges.
-    pub fn edge_count(&self) -> usize {
-        self.edge_count
-    }
-
-    /// Outgoing edges of a state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s` is out of range.
-    pub fn edges(&self, s: StateId) -> &[Edge] {
-        &self.succ[s.0 as usize]
-    }
-
-    /// Iterates over all `(src, edge)` pairs.
-    pub fn iter_edges(&self) -> impl Iterator<Item = (StateId, Edge)> + '_ {
-        self.succ
-            .iter()
-            .enumerate()
-            .flat_map(|(s, es)| es.iter().map(move |&e| (StateId(s as u32), e)))
-    }
-
-    /// In-degree of every state.
-    pub fn in_degrees(&self) -> Vec<usize> {
-        let mut deg = vec![0usize; self.succ.len()];
-        for (_, e) in self.iter_edges() {
-            deg[e.dst.0 as usize] += 1;
-        }
-        deg
-    }
-
-    /// Unweighted shortest-path distances (in edges) from `from` to every
-    /// state; `usize::MAX` marks unreachable states.
-    pub fn bfs_distances(&self, from: StateId) -> Vec<usize> {
-        let mut dist = vec![usize::MAX; self.succ.len()];
-        let mut q = VecDeque::new();
-        dist[from.0 as usize] = 0;
-        q.push_back(from);
-        while let Some(s) = q.pop_front() {
-            let d = dist[s.0 as usize];
-            for e in self.edges(s) {
-                let dd = &mut dist[e.dst.0 as usize];
-                if *dd == usize::MAX {
-                    *dd = d + 1;
-                    q.push_back(e.dst);
-                }
-            }
-        }
-        dist
-    }
-
-    /// Whether every state is reachable from state 0 (reset). The
-    /// enumeration always produces such graphs; hand-built graphs may not.
-    pub fn all_reachable_from_reset(&self) -> bool {
-        if self.succ.is_empty() {
-            return true;
-        }
-        self.bfs_distances(StateId(0)).iter().all(|&d| d != usize::MAX)
-    }
-
-    /// Whether the graph is strongly connected (needed for a single
-    /// transition tour to exist; the PP graph is *not*, which is why the
-    /// paper's generator starts multiple traces from reset).
-    pub fn is_strongly_connected(&self) -> bool {
-        if self.succ.is_empty() {
-            return true;
-        }
-        if !self.all_reachable_from_reset() {
-            return false;
-        }
-        // reverse reachability from reset
-        let mut rev = vec![Vec::new(); self.succ.len()];
-        for (s, e) in self.iter_edges() {
-            rev[e.dst.0 as usize].push(s);
-        }
-        let mut seen = vec![false; self.succ.len()];
-        let mut q = VecDeque::new();
-        seen[0] = true;
-        q.push_back(StateId(0));
-        while let Some(s) = q.pop_front() {
-            for &p in &rev[s.0 as usize] {
-                if !seen[p.0 as usize] {
-                    seen[p.0 as usize] = true;
-                    q.push_back(p);
-                }
-            }
-        }
-        seen.into_iter().all(|b| b)
-    }
-
-    /// Emits the graph in Graphviz DOT format with a caller-supplied state
-    /// labeller; intended for small example graphs.
-    pub fn to_dot(&self, mut state_label: impl FnMut(StateId) -> String) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::from("digraph state_graph {\n  rankdir=LR;\n");
-        for i in 0..self.succ.len() {
-            let _ = writeln!(s, "  n{} [label=\"{}\"];", i, state_label(StateId(i as u32)));
-        }
-        for (src, e) in self.iter_edges() {
-            let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", src.0, e.dst.0, e.label);
-        }
-        s.push_str("}\n");
-        s
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn diamond() -> StateGraph {
-        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 0
-        let mut g = StateGraph::new();
-        g.add_edge(StateId(0), StateId(1), 0, EdgePolicy::FirstLabel);
-        g.add_edge(StateId(0), StateId(2), 1, EdgePolicy::FirstLabel);
-        g.add_edge(StateId(1), StateId(3), 0, EdgePolicy::FirstLabel);
-        g.add_edge(StateId(2), StateId(3), 0, EdgePolicy::FirstLabel);
-        g.add_edge(StateId(3), StateId(0), 0, EdgePolicy::FirstLabel);
-        g
-    }
-
-    #[test]
-    fn first_label_suppresses_aliased_conditions() {
-        let mut g = StateGraph::new();
-        assert!(g.add_edge(StateId(0), StateId(1), 7, EdgePolicy::FirstLabel));
-        assert!(!g.add_edge(StateId(0), StateId(1), 9, EdgePolicy::FirstLabel));
-        assert_eq!(g.edge_count(), 1);
-        assert_eq!(g.edges(StateId(0))[0].label, 7);
-    }
-
-    #[test]
-    fn all_labels_keeps_aliased_conditions() {
-        let mut g = StateGraph::new();
-        assert!(g.add_edge(StateId(0), StateId(1), 7, EdgePolicy::AllLabels));
-        assert!(g.add_edge(StateId(0), StateId(1), 9, EdgePolicy::AllLabels));
-        assert!(!g.add_edge(StateId(0), StateId(1), 7, EdgePolicy::AllLabels));
-        assert_eq!(g.edge_count(), 2);
-    }
-
-    #[test]
-    fn bfs_distances_on_diamond() {
-        let g = diamond();
-        let d = g.bfs_distances(StateId(0));
-        assert_eq!(d, vec![0, 1, 1, 2]);
-    }
-
-    #[test]
-    fn strong_connectivity() {
-        let g = diamond();
-        assert!(g.is_strongly_connected());
-        let mut g2 = diamond();
-        g2.add_edge(StateId(0), StateId(4), 2, EdgePolicy::FirstLabel);
-        // state 4 has no way back
-        assert!(g2.all_reachable_from_reset());
-        assert!(!g2.is_strongly_connected());
-    }
-
-    #[test]
-    fn in_degrees_counted() {
-        let g = diamond();
-        assert_eq!(g.in_degrees(), vec![1, 1, 1, 2]);
-    }
-
-    #[test]
-    fn dot_output_mentions_every_edge() {
-        let g = diamond();
-        let dot = g.to_dot(|s| format!("S{}", s.0));
-        assert!(dot.contains("n0 -> n1"));
-        assert!(dot.contains("n3 -> n0"));
-        assert!(dot.contains("S3"));
-    }
-}
+pub use archval_graph::{
+    Edge, EdgeIx, EdgeLabel, EdgePolicy, GraphBuilder, GraphError, GraphStats, OutEdges,
+    SnapshotError, StateGraph, StateId,
+};

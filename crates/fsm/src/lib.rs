@@ -56,14 +56,19 @@ pub mod model;
 pub mod pack;
 pub mod parallel;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 
 pub use builder::ModelBuilder;
 pub use dump::{dump_enum_result, dump_model};
 pub use enumerate::{enumerate, EnumConfig, EnumResult};
 pub use error::Error;
-pub use graph::{EdgeLabel, EdgePolicy, StateGraph, StateId};
+pub use graph::{
+    Edge, EdgeIx, EdgeLabel, EdgePolicy, GraphBuilder, GraphError, GraphStats, OutEdges,
+    SnapshotError, StateGraph, StateId,
+};
 pub use model::{ChoiceId, DefId, ExprId, Model, VarId};
 pub use parallel::enumerate_parallel;
 pub use sim::SyncSim;
+pub use snapshot::{load_enum_result, model_fingerprint, save_enum_result};
 pub use stats::EnumStats;

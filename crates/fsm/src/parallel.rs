@@ -27,7 +27,7 @@ use std::time::Instant;
 use crate::enumerate::{enumerate, EnumConfig, EnumResult};
 use crate::error::Error;
 use crate::eval::Evaluator;
-use crate::graph::{StateGraph, StateId};
+use crate::graph::{GraphBuilder, StateId};
 use crate::model::Model;
 use crate::pack::{StateLayout, StateTable};
 use crate::stats::EnumStats;
@@ -136,7 +136,7 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
     // Global-id-indexed packed states; doubles as the frontier storage
     // (level L is the id range assigned while merging level L-1).
     let mut all_words: Vec<u64> = Vec::new();
-    let mut graph = StateGraph::new();
+    let mut builder = GraphBuilder::new(config.edge_policy);
     let mut depth_of: Vec<usize> = Vec::new();
     let mut max_depth = 0usize;
     let transitions = AtomicU64::new(0);
@@ -159,7 +159,7 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
         shard.global[slot as usize] = 0;
         all_words.extend_from_slice(&packed);
         depth_of.push(0);
-        graph.ensure_state(StateId(0));
+        builder.ensure_state(StateId(0));
         total_states.store(1, Ordering::Relaxed);
     }
 
@@ -269,6 +269,12 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
         let mut chunks = results.into_inner().unwrap();
         chunks.sort_unstable_by_key(|&(ix, _)| ix);
         let level_depth = depth_of[level_start] + 1;
+        // every state this level's merge can reference is already interned
+        // in a shard, so one reservation from the interned total (the next
+        // frontier bound) replaces per-add_edge growth; likewise the edge
+        // arrays get the level's exact transition count up front
+        builder.reserve_states(total_states.load(Ordering::Relaxed));
+        builder.reserve_edges(chunks.iter().map(|(_, e)| e.len()).sum());
         for (_, edges) in chunks {
             for rec in edges {
                 let mut shard = shards[rec.shard as usize].lock().unwrap();
@@ -285,7 +291,7 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
                     max_depth = max_depth.max(level_depth);
                 }
                 drop(shard);
-                graph.add_edge(StateId(rec.src), StateId(dst), rec.code, config.edge_policy);
+                builder.add_edge(StateId(rec.src), StateId(dst), rec.code);
             }
         }
 
@@ -294,7 +300,7 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
             && states_now / config.progress_every > progress_printed
         {
             progress_printed = states_now / config.progress_every;
-            eprintln!("enumerate: {} states, {} edges", states_now, graph.edge_count());
+            eprintln!("enumerate: {} states, {} edges", states_now, builder.edge_count());
         }
         level_start = level_end;
     }
@@ -306,10 +312,9 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
         debug_assert!(fresh && got as usize == id);
     }
 
+    let (graph, graph_stats) = builder.finish()?;
     let elapsed = start.elapsed();
-    let approx_memory_bytes = table.approx_bytes()
-        + graph.edge_count() * std::mem::size_of::<crate::graph::Edge>()
-        + graph.state_count() * std::mem::size_of::<Vec<crate::graph::Edge>>();
+    let approx_memory_bytes = table.approx_bytes() + graph_stats.graph_bytes as usize;
     let stats = EnumStats {
         states: table.len(),
         bits_per_state: bits,
@@ -319,7 +324,7 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
         transitions_evaluated: transitions.load(Ordering::Relaxed),
         max_depth,
     };
-    Ok(EnumResult { graph, table, stats })
+    Ok(EnumResult { graph, table, stats, graph_stats })
 }
 
 #[cfg(test)]

@@ -1,0 +1,317 @@
+//! Saving and loading complete enumeration results.
+//!
+//! Enumerating the paper-scale PP model takes minutes; the tour
+//! generator, the fuzzer and the repro binaries all start from the same
+//! state graph. This module persists an [`EnumResult`] into the
+//! [`archval_graph::snapshot`] container (magic `AVGS`, version, FNV-1a-64
+//! checksum trailer) so downstream runs can `--snapshot` the file instead
+//! of re-enumerating.
+//!
+//! Four chunks, all little-endian:
+//!
+//! | tag    | contents                                                  |
+//! |--------|-----------------------------------------------------------|
+//! | `MODL` | fingerprint of the producing model (name, vars, choices)  |
+//! | `CSRG` | the CSR state graph (shared with `archval-graph`)         |
+//! | `STBL` | packed state words, id-major, with words-per-state        |
+//! | `STAT` | [`EnumStats`] and [`GraphStats`] of the producing run     |
+//!
+//! Loading verifies the checksum, the model fingerprint and the CSR
+//! structure, and rebuilds the interned [`StateTable`] in id order, so a
+//! loaded result is indistinguishable from a freshly enumerated one —
+//! including byte-identical [`dump_enum_result`](crate::dump_enum_result)
+//! output. Writing is deterministic: saving a loaded result reproduces
+//! the file byte for byte.
+
+use std::path::Path;
+use std::time::Duration;
+
+use archval_graph::snapshot::{
+    parse_chunks, read_graph, write_graph, Cursor, Fnv64, Payload, SnapshotWriter, GRAPH_CHUNK,
+};
+use archval_graph::{GraphStats, SnapshotError};
+
+use crate::enumerate::EnumResult;
+use crate::model::Model;
+use crate::pack::{StateLayout, StateTable};
+use crate::stats::EnumStats;
+
+/// Tag of the model-fingerprint chunk.
+pub const MODEL_CHUNK: [u8; 4] = *b"MODL";
+/// Tag of the packed state-table chunk.
+pub const TABLE_CHUNK: [u8; 4] = *b"STBL";
+/// Tag of the statistics chunk.
+pub const STATS_CHUNK: [u8; 4] = *b"STAT";
+
+/// Fingerprints the state-space-defining parts of a model: its name and
+/// the names, domain sizes and reset values of every state variable and
+/// choice input. Two models with the same fingerprint enumerate the same
+/// packed state space, so a snapshot records it to reject cross-model
+/// loads with [`SnapshotError::ModelMismatch`].
+pub fn model_fingerprint(model: &Model) -> u64 {
+    let mut h = Fnv64::new();
+    let name = model.name().as_bytes();
+    h.write_u64(name.len() as u64);
+    h.write(name);
+    h.write_u64(model.vars().len() as u64);
+    for v in model.vars() {
+        h.write_u64(v.name.len() as u64);
+        h.write(v.name.as_bytes());
+        h.write_u64(v.size);
+        h.write_u64(v.init);
+    }
+    h.write_u64(model.choices().len() as u64);
+    for c in model.choices() {
+        h.write_u64(c.name.len() as u64);
+        h.write(c.name.as_bytes());
+        h.write_u64(c.size);
+    }
+    h.finish()
+}
+
+fn write_table(result: &EnumResult) -> Vec<u8> {
+    let wps = result.table.layout().words();
+    let states = result.table.len();
+    let mut p = Payload::with_capacity(12 + states * wps * 8);
+    p.push_u32(wps as u32);
+    p.push_u64(states as u64);
+    for id in 0..states as u32 {
+        for &w in result.table.packed(id) {
+            p.push_u64(w);
+        }
+    }
+    p.into_bytes()
+}
+
+fn write_stats(stats: &EnumStats, graph_stats: &GraphStats) -> Vec<u8> {
+    let mut p = Payload::with_capacity(14 * 8);
+    p.push_u64(stats.states as u64);
+    p.push_u32(stats.bits_per_state);
+    p.push_u64(stats.edges as u64);
+    p.push_u64(stats.elapsed.as_secs());
+    p.push_u32(stats.elapsed.subsec_nanos());
+    p.push_u64(stats.approx_memory_bytes as u64);
+    p.push_u64(stats.transitions_evaluated);
+    p.push_u64(stats.max_depth as u64);
+    p.push_u64(graph_stats.states);
+    p.push_u64(graph_stats.edges);
+    p.push_u64(graph_stats.suppressed_duplicates);
+    p.push_u32(graph_stats.sorted_input as u32);
+    p.push_u64(graph_stats.builder_peak_bytes);
+    p.push_u64(graph_stats.graph_bytes);
+    p.push_u64(graph_stats.finish_seconds.to_bits());
+    p.into_bytes()
+}
+
+fn read_stats(payload: &[u8]) -> Result<(EnumStats, GraphStats), SnapshotError> {
+    let mut c = Cursor::new(payload);
+    let stats = EnumStats {
+        states: c.read_u64()? as usize,
+        bits_per_state: c.read_u32()?,
+        edges: c.read_u64()? as usize,
+        elapsed: Duration::new(c.read_u64()?, c.read_u32()?),
+        approx_memory_bytes: c.read_u64()? as usize,
+        transitions_evaluated: c.read_u64()?,
+        max_depth: c.read_u64()? as usize,
+    };
+    let graph_stats = GraphStats {
+        states: c.read_u64()?,
+        edges: c.read_u64()?,
+        suppressed_duplicates: c.read_u64()?,
+        sorted_input: c.read_u32()? != 0,
+        builder_peak_bytes: c.read_u64()?,
+        graph_bytes: c.read_u64()?,
+        finish_seconds: f64::from_bits(c.read_u64()?),
+    };
+    c.expect_end("trailing bytes after stats chunk")?;
+    Ok((stats, graph_stats))
+}
+
+/// Serializes an enumeration result to snapshot bytes. Deterministic:
+/// the same result always produces the same bytes.
+pub fn snapshot_to_bytes(model: &Model, result: &EnumResult) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    let mut fp = Payload::with_capacity(8);
+    fp.push_u64(model_fingerprint(model));
+    w.chunk(MODEL_CHUNK, &fp.into_bytes());
+    w.chunk(GRAPH_CHUNK, &write_graph(&result.graph));
+    w.chunk(TABLE_CHUNK, &write_table(result));
+    w.chunk(STATS_CHUNK, &write_stats(&result.stats, &result.graph_stats));
+    w.finish()
+}
+
+/// Deserializes snapshot bytes produced by [`snapshot_to_bytes`],
+/// verifying the container checksum, the model fingerprint and the
+/// structural consistency of the graph and state table.
+pub fn snapshot_from_bytes(model: &Model, bytes: &[u8]) -> Result<EnumResult, SnapshotError> {
+    let chunks = parse_chunks(bytes)?;
+    let find = |tag: [u8; 4], name: &'static str| {
+        chunks
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, p)| p)
+            .ok_or(SnapshotError::MissingChunk { tag: name })
+    };
+
+    let mut c = Cursor::new(find(MODEL_CHUNK, "MODL")?);
+    let stored = c.read_u64()?;
+    let expected = model_fingerprint(model);
+    if stored != expected {
+        return Err(SnapshotError::ModelMismatch { stored, expected });
+    }
+
+    let graph = read_graph(find(GRAPH_CHUNK, "CSRG")?)?;
+
+    let layout = StateLayout::new(model);
+    let mut c = Cursor::new(find(TABLE_CHUNK, "STBL")?);
+    let wps = c.read_u32()? as usize;
+    if wps != layout.words() {
+        return Err(SnapshotError::Corrupt("words-per-state does not match the model layout"));
+    }
+    let states =
+        usize::try_from(c.read_u64()?).map_err(|_| SnapshotError::Corrupt("state count"))?;
+    if states != graph.state_count() {
+        return Err(SnapshotError::Corrupt("state table and graph disagree on state count"));
+    }
+    let mut table = StateTable::new(layout);
+    let mut packed = vec![0u64; wps];
+    for id in 0..states {
+        for w in packed.iter_mut() {
+            *w = c.read_u64()?;
+        }
+        let (got, fresh) = table.intern_packed(&packed);
+        if !fresh || got as usize != id {
+            return Err(SnapshotError::Corrupt("duplicate packed state in table"));
+        }
+    }
+    c.expect_end("trailing bytes after state table chunk")?;
+
+    let (stats, graph_stats) = read_stats(find(STATS_CHUNK, "STAT")?)?;
+
+    Ok(EnumResult { graph, table, stats, graph_stats })
+}
+
+/// Saves an enumeration result to a snapshot file.
+pub fn save_enum_result(
+    path: impl AsRef<Path>,
+    model: &Model,
+    result: &EnumResult,
+) -> Result<(), SnapshotError> {
+    std::fs::write(path, snapshot_to_bytes(model, result))?;
+    Ok(())
+}
+
+/// Loads an enumeration result from a snapshot file saved by
+/// [`save_enum_result`] for the same model.
+pub fn load_enum_result(
+    path: impl AsRef<Path>,
+    model: &Model,
+) -> Result<EnumResult, SnapshotError> {
+    snapshot_from_bytes(model, &std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::enumerate::{enumerate, EnumConfig};
+    use crate::graph::EdgePolicy;
+
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", 8, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let inc = b.add(cur, one);
+        let next = b.ternary(b.choice_expr(en), inc, cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let bytes = snapshot_to_bytes(&m, &r);
+        let r2 = snapshot_from_bytes(&m, &bytes).unwrap();
+        assert_eq!(r.graph, r2.graph);
+        assert_eq!(r.stats, r2.stats);
+        assert_eq!(r.graph_stats, r2.graph_stats);
+        for id in 0..r.table.len() as u32 {
+            assert_eq!(r.table.packed(id), r2.table.packed(id));
+        }
+        // saving the loaded result reproduces the bytes exactly
+        assert_eq!(bytes, snapshot_to_bytes(&m, &r2));
+    }
+
+    #[test]
+    fn model_mismatch_rejected() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let bytes = snapshot_to_bytes(&m, &r);
+        let mut b = ModelBuilder::new("other");
+        let v = b.state_var("x", 8, 0);
+        let cur = b.var_expr(v);
+        b.set_next(v, cur);
+        let other = b.build().unwrap();
+        assert!(matches!(
+            snapshot_from_bytes(&other, &bytes),
+            Err(SnapshotError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_domains_and_resets() {
+        let base = model_fingerprint(&counter());
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", 8, 1); // different reset value
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let inc = b.add(cur, one);
+        let next = b.ternary(b.choice_expr(en), inc, cur);
+        b.set_next(v, next);
+        assert_ne!(model_fingerprint(&b.build().unwrap()), base);
+    }
+
+    #[test]
+    fn corrupted_file_rejected() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let mut bytes = snapshot_to_bytes(&m, &r);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            snapshot_from_bytes(&m, &bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_labels_policy_round_trips() {
+        let mut b = ModelBuilder::new("alias");
+        b.choice("c", 2);
+        let v = b.state_var("x", 2, 1);
+        b.set_next(v, b.constant(0));
+        let m = b.build().unwrap();
+        let cfg = EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() };
+        let r = enumerate(&m, &cfg).unwrap();
+        assert_eq!(r.graph.edge_count(), 4);
+        let r2 = snapshot_from_bytes(&m, &snapshot_to_bytes(&m, &r)).unwrap();
+        assert_eq!(r.graph, r2.graph);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("archval-snap-test-{}.avgs", std::process::id()));
+        save_enum_result(&path, &m, &r).unwrap();
+        let r2 = load_enum_result(&path, &m).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(r.graph, r2.graph);
+        assert_eq!(r.stats, r2.stats);
+    }
+}

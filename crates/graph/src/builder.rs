@@ -1,0 +1,411 @@
+//! Incremental construction of a [`StateGraph`].
+//!
+//! The builder replaces the old `Vec<Vec<Edge>>` adjacency (one heap
+//! allocation per state, O(out-degree) duplicate scan per insert) with
+//! flat append-only arrays and hashed dedup.
+//!
+//! Both enumerators emit edges with nondecreasing source ids — the
+//! sequential cursor walks states in id order and the parallel merge
+//! processes frontier chunks in order — so the common case is the
+//! *sorted fast path*: edges land in CSR order as appended, dedup needs
+//! only a per-source scratch set (cleared each time the source advances),
+//! and [`finish`](GraphBuilder::finish) is zero-copy. If a caller inserts
+//! a source lower than the open one, the builder transparently spills to
+//! a general mode (global dedup set, counting-sort in `finish`), so
+//! hand-built test graphs in any order still work.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::{CsrData, EdgeLabel, EdgePolicy, StateGraph, StateId};
+use crate::error::GraphError;
+
+/// Construction metrics reported by [`GraphBuilder::finish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of states in the finished graph.
+    pub states: u64,
+    /// Number of recorded edges.
+    pub edges: u64,
+    /// Edges rejected as duplicates under the edge policy.
+    pub suppressed_duplicates: u64,
+    /// Whether every insert hit the sorted fast path (no spill).
+    pub sorted_input: bool,
+    /// Approximate peak heap footprint of the builder itself, in bytes
+    /// (capacity-based; includes the dedup sets).
+    pub builder_peak_bytes: u64,
+    /// Size of the finished CSR arrays in bytes.
+    pub graph_bytes: u64,
+    /// Wall time spent inside `finish()` (offset build plus any
+    /// counting sort).
+    pub finish_seconds: f64,
+}
+
+struct Unsorted {
+    /// Source of each appended edge, parallel to `dst`/`label`.
+    srcs: Vec<u32>,
+    /// Global dedup set over `(src, dst, key)`.
+    seen: HashSet<(u32, u32, EdgeLabel)>,
+}
+
+/// Builds a [`StateGraph`] from a stream of edges, deduplicating per the
+/// configured [`EdgePolicy`].
+pub struct GraphBuilder {
+    policy: EdgePolicy,
+    /// Out-degree per state; also defines the state count.
+    out_count: Vec<u32>,
+    dst: Vec<u32>,
+    label: Vec<EdgeLabel>,
+    /// `None` while all inserts have had nondecreasing sources.
+    unsorted: Option<Unsorted>,
+    /// The source currently being appended to (sorted mode only).
+    open_src: u32,
+    /// Dedup set for `open_src`'s edges: `(dst, key)`.
+    scratch: HashSet<(u32, EdgeLabel)>,
+    suppressed: u64,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new(policy: EdgePolicy) -> Self {
+        GraphBuilder {
+            policy,
+            out_count: Vec::new(),
+            dst: Vec::new(),
+            label: Vec::new(),
+            unsorted: None,
+            open_src: 0,
+            scratch: HashSet::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// The edge policy this builder deduplicates under.
+    pub fn policy(&self) -> EdgePolicy {
+        self.policy
+    }
+
+    /// Number of states seen so far.
+    pub fn state_count(&self) -> usize {
+        self.out_count.len()
+    }
+
+    /// Number of edges recorded so far.
+    pub fn edge_count(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Ensures state `s` exists (and all lower-numbered states), without
+    /// adding any edges.
+    pub fn ensure_state(&mut self, s: StateId) {
+        let hi = s.0 as usize + 1;
+        if hi > self.out_count.len() {
+            self.out_count.resize(hi, 0);
+        }
+    }
+
+    /// Pre-sizes the per-state bookkeeping for `states` total states.
+    /// Enumerators call this with the known frontier bound per level so
+    /// the out-degree array grows once instead of per `add_edge`.
+    pub fn reserve_states(&mut self, states: usize) {
+        if states > self.out_count.len() {
+            self.out_count.reserve(states - self.out_count.len());
+        }
+    }
+
+    /// Pre-sizes the edge arrays for `edges` additional edges.
+    pub fn reserve_edges(&mut self, edges: usize) {
+        self.dst.reserve(edges);
+        self.label.reserve(edges);
+    }
+
+    /// Adds an edge under the builder's policy. Returns `true` if the edge
+    /// was recorded (i.e. it was not suppressed as a duplicate arc label).
+    pub fn add_edge(&mut self, src: StateId, dst: StateId, label: EdgeLabel) -> bool {
+        let (s, d) = (src.0, dst.0);
+        let hi = s.max(d) as usize + 1;
+        if hi > self.out_count.len() {
+            self.out_count.resize(hi, 0);
+        }
+        let key = match self.policy {
+            EdgePolicy::AllLabels => label,
+            EdgePolicy::FirstLabel => 0,
+        };
+        if self.unsorted.is_none() {
+            if self.dst.is_empty() || s > self.open_src {
+                self.open_src = s;
+                self.scratch.clear();
+            } else if s < self.open_src {
+                self.spill_to_unsorted();
+            }
+        }
+        let fresh = match &mut self.unsorted {
+            Some(u) => u.seen.insert((s, d, key)),
+            None => self.scratch.insert((d, key)),
+        };
+        if !fresh {
+            self.suppressed += 1;
+            return false;
+        }
+        self.out_count[s as usize] += 1;
+        self.dst.push(d);
+        self.label.push(label);
+        if let Some(u) = &mut self.unsorted {
+            u.srcs.push(s);
+        }
+        true
+    }
+
+    /// Leaves the sorted fast path: reconstructs per-edge sources (valid
+    /// because sorted-mode sources were nondecreasing, so repeating each
+    /// state `out_count[s]` times in id order reproduces insertion order)
+    /// and seeds the global dedup set from the edges appended so far.
+    fn spill_to_unsorted(&mut self) {
+        let m = self.dst.len();
+        let mut srcs = Vec::with_capacity(m + 1);
+        for (s, &c) in self.out_count.iter().enumerate() {
+            for _ in 0..c {
+                srcs.push(s as u32);
+            }
+        }
+        debug_assert_eq!(srcs.len(), m);
+        let mut seen = HashSet::with_capacity(m * 2);
+        for ((&s, &d), &l) in srcs.iter().zip(&self.dst).zip(&self.label) {
+            let key = match self.policy {
+                EdgePolicy::AllLabels => l,
+                EdgePolicy::FirstLabel => 0,
+            };
+            seen.insert((s, d, key));
+        }
+        self.scratch.clear();
+        self.unsorted = Some(Unsorted { srcs, seen });
+    }
+
+    fn approx_builder_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        // hashbrown keeps ~1 control byte per slot alongside the entries
+        fn set_bytes(capacity: usize, entry: usize) -> usize {
+            capacity * (entry + 1)
+        }
+        let mut b = self.out_count.capacity() * size_of::<u32>()
+            + self.dst.capacity() * size_of::<u32>()
+            + self.label.capacity() * size_of::<EdgeLabel>()
+            + set_bytes(self.scratch.capacity(), size_of::<(u32, EdgeLabel)>());
+        if let Some(u) = &self.unsorted {
+            b += u.srcs.capacity() * size_of::<u32>()
+                + set_bytes(u.seen.capacity(), size_of::<(u32, u32, EdgeLabel)>());
+        }
+        b as u64
+    }
+
+    /// Seals the builder into an immutable CSR [`StateGraph`].
+    ///
+    /// On the sorted fast path this is zero-copy (the edge arrays are
+    /// already in CSR order); otherwise the edges are counting-sorted by
+    /// source. Returns [`GraphError`] if the state or edge count exceeds
+    /// the `u32` index range of the CSR arrays.
+    pub fn finish(self) -> Result<(StateGraph, GraphStats), GraphError> {
+        let t0 = Instant::now();
+        let builder_peak_bytes = self.approx_builder_bytes();
+        let GraphBuilder { out_count, dst, label, unsorted, suppressed, .. } = self;
+        let n = out_count.len();
+        check_state_count(n)?;
+        let row = row_offsets(&out_count)?;
+        let sorted_input = unsorted.is_none();
+        let (dst, label) = match unsorted {
+            None => (dst, label),
+            Some(u) => {
+                let m = dst.len();
+                let mut ndst = vec![0u32; m];
+                let mut nlabel = vec![0u64; m];
+                let mut cursor: Vec<u32> = row[..n].to_vec();
+                for i in 0..m {
+                    let c = &mut cursor[u.srcs[i] as usize];
+                    ndst[*c as usize] = dst[i];
+                    nlabel[*c as usize] = label[i];
+                    *c += 1;
+                }
+                (ndst, nlabel)
+            }
+        };
+        let graph = StateGraph::from_data(CsrData { row, dst, label });
+        let stats = GraphStats {
+            states: n as u64,
+            edges: graph.edge_count() as u64,
+            suppressed_duplicates: suppressed,
+            sorted_input,
+            builder_peak_bytes,
+            graph_bytes: graph.approx_bytes() as u64,
+            finish_seconds: t0.elapsed().as_secs_f64(),
+        };
+        Ok((graph, stats))
+    }
+}
+
+/// Rejects state counts outside the `u32` id range.
+fn check_state_count(states: usize) -> Result<(), GraphError> {
+    if states > u32::MAX as usize {
+        return Err(GraphError::TooManyStates { states });
+    }
+    Ok(())
+}
+
+/// Prefix-sums per-state out-degrees into CSR row offsets, detecting
+/// `u32` overflow of the running edge count (the accumulator is `u64`, so
+/// no wrap happens before the check).
+fn row_offsets(counts: &[u32]) -> Result<Vec<u32>, GraphError> {
+    let mut row = Vec::with_capacity(counts.len() + 1);
+    let mut acc: u64 = 0;
+    row.push(0u32);
+    for &c in counts {
+        acc += c as u64;
+        let off = u32::try_from(acc).map_err(|_| GraphError::TooManyEdges { edges: acc })?;
+        row.push(off);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Edge;
+
+    fn first(g: &StateGraph, s: StateId) -> Edge {
+        g.edges(s).iter().next().unwrap()
+    }
+
+    #[test]
+    fn first_label_suppresses_aliased_conditions() {
+        let mut b = GraphBuilder::new(EdgePolicy::FirstLabel);
+        assert!(b.add_edge(StateId(0), StateId(1), 7));
+        assert!(!b.add_edge(StateId(0), StateId(1), 9));
+        let (g, stats) = b.finish().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(first(&g, StateId(0)).label, 7);
+        assert_eq!(stats.suppressed_duplicates, 1);
+        assert!(stats.sorted_input);
+    }
+
+    #[test]
+    fn all_labels_keeps_aliased_conditions() {
+        let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
+        assert!(b.add_edge(StateId(0), StateId(1), 7));
+        assert!(b.add_edge(StateId(0), StateId(1), 9));
+        assert!(!b.add_edge(StateId(0), StateId(1), 7));
+        let (g, stats) = b.finish().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(stats.suppressed_duplicates, 1);
+    }
+
+    #[test]
+    fn unsorted_insertion_matches_sorted() {
+        let edges = [(0u32, 1u32, 10u64), (0, 2, 11), (1, 2, 12), (2, 0, 13)];
+        let mut sorted = GraphBuilder::new(EdgePolicy::AllLabels);
+        for &(s, d, l) in &edges {
+            sorted.add_edge(StateId(s), StateId(d), l);
+        }
+        let (gs, ss) = sorted.finish().unwrap();
+        assert!(ss.sorted_input);
+        // same edges, interleaved so sources go backwards
+        let mut shuffled = GraphBuilder::new(EdgePolicy::AllLabels);
+        for &i in &[0usize, 2, 1, 3] {
+            let (s, d, l) = edges[i];
+            shuffled.add_edge(StateId(s), StateId(d), l);
+        }
+        let (gu, su) = shuffled.finish().unwrap();
+        assert!(!su.sorted_input);
+        assert_eq!(gs, gu);
+        assert_eq!(gs.row(), &[0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicates_detected_across_a_spill() {
+        let mut b = GraphBuilder::new(EdgePolicy::FirstLabel);
+        assert!(b.add_edge(StateId(0), StateId(1), 5));
+        assert!(b.add_edge(StateId(1), StateId(0), 6));
+        // going back to source 0 forces the spill; the arc added before
+        // the spill must still count as a duplicate
+        assert!(!b.add_edge(StateId(0), StateId(1), 99));
+        assert!(b.add_edge(StateId(0), StateId(2), 7));
+        let (g, stats) = b.finish().unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(stats.suppressed_duplicates, 1);
+        assert!(!stats.sorted_input);
+        // per-source discovery order is preserved by the counting sort
+        let out: Vec<Edge> = g.edges(StateId(0)).iter().collect();
+        assert_eq!(out[0], Edge { dst: StateId(1), label: 5 });
+        assert_eq!(out[1], Edge { dst: StateId(2), label: 7 });
+    }
+
+    #[test]
+    fn ensure_state_creates_isolated_states() {
+        let mut b = GraphBuilder::new(EdgePolicy::FirstLabel);
+        b.ensure_state(StateId(2)); // states 0..=2, no edges
+        let (g, _) = b.finish().unwrap();
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(StateId(1)), 0);
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_empty_graph() {
+        let (g, stats) = GraphBuilder::new(EdgePolicy::FirstLabel).finish().unwrap();
+        assert_eq!(g.state_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(stats.states, 0);
+        assert!(stats.sorted_input);
+    }
+
+    #[test]
+    fn reserve_does_not_change_results() {
+        let mut a = GraphBuilder::new(EdgePolicy::FirstLabel);
+        let mut b = GraphBuilder::new(EdgePolicy::FirstLabel);
+        b.reserve_states(100);
+        b.reserve_edges(100);
+        for builder in [&mut a, &mut b] {
+            builder.add_edge(StateId(0), StateId(1), 1);
+            builder.add_edge(StateId(1), StateId(2), 2);
+        }
+        assert_eq!(a.finish().unwrap().0, b.finish().unwrap().0);
+    }
+
+    #[test]
+    fn state_count_overflow_is_a_typed_error() {
+        assert_eq!(check_state_count(u32::MAX as usize), Ok(()));
+        assert_eq!(
+            check_state_count(u32::MAX as usize + 1),
+            Err(GraphError::TooManyStates { states: u32::MAX as usize + 1 })
+        );
+    }
+
+    #[test]
+    fn edge_count_overflow_is_a_typed_error() {
+        // two states whose combined out-degree exceeds u32::MAX — the
+        // offsets must fail typed rather than wrap
+        let counts = [u32::MAX, 2];
+        match row_offsets(&counts) {
+            Err(GraphError::TooManyEdges { edges }) => {
+                assert_eq!(edges, u32::MAX as u64 + 2);
+            }
+            other => panic!("expected TooManyEdges, got {other:?}"),
+        }
+        // and the boundary itself is fine
+        let ok = row_offsets(&[u32::MAX]).unwrap();
+        assert_eq!(ok, vec![0, u32::MAX]);
+    }
+
+    #[test]
+    fn stats_report_sizes() {
+        let mut b = GraphBuilder::new(EdgePolicy::FirstLabel);
+        b.add_edge(StateId(0), StateId(1), 0);
+        b.add_edge(StateId(1), StateId(0), 0);
+        let (g, stats) = b.finish().unwrap();
+        assert_eq!(stats.states, 2);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.graph_bytes, g.approx_bytes() as u64);
+        assert!(stats.builder_peak_bytes > 0);
+        assert!(stats.finish_seconds >= 0.0);
+    }
+}

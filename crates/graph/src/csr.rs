@@ -1,0 +1,475 @@
+//! The immutable compressed-sparse-row state graph.
+//!
+//! Edges carry the packed choice-combination code that caused the
+//! transition. Under the paper's default policy only the *first* condition
+//! discovered per `(src, dst)` arc is recorded ("only one is recorded to
+//! become part of the state graph", Section 3.2); the
+//! [`EdgePolicy::AllLabels`] policy records every distinct condition, the
+//! fix the paper proposes in Section 4 for the missed-bug case of
+//! Figure 4.2.
+//!
+//! The storage is three flat arrays — `row` (length `states + 1`), `dst`
+//! and `label` (length `edges`) — shared behind an [`Arc`], so cloning a
+//! [`StateGraph`] is O(1) and every consumer (tour generation, coverage
+//! tracking, fuzz feedback, snapshots) reads the same memory.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a state in a [`StateGraph`]. Id 0 is the reset state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateId(pub u32);
+
+/// Dense index of an edge in a [`StateGraph`]'s flat edge arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeIx(pub u32);
+
+/// A packed choice-combination code labelling an edge.
+pub type EdgeLabel = u64;
+
+/// How many conditions to record per `(src, dst)` arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EdgePolicy {
+    /// Record only the first condition found per arc (the paper's default;
+    /// can miss aliased-condition bugs, Figure 4.2).
+    #[default]
+    FirstLabel,
+    /// Record every distinct condition per arc (the paper's proposed fix).
+    AllLabels,
+}
+
+/// A single outgoing edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Destination state.
+    pub dst: StateId,
+    /// The choice combination that drives this transition.
+    pub label: EdgeLabel,
+}
+
+/// The shared flat arrays. `row[s]..row[s+1]` indexes the out-edges of
+/// state `s` in `dst`/`label`.
+#[derive(Debug, Default)]
+pub(crate) struct CsrData {
+    pub(crate) row: Vec<u32>,
+    pub(crate) dst: Vec<u32>,
+    pub(crate) label: Vec<EdgeLabel>,
+}
+
+/// A directed, edge-labelled state graph in compressed-sparse-row form.
+///
+/// Immutable once built (see [`GraphBuilder`](crate::GraphBuilder));
+/// cloning shares the underlying arrays.
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    data: Arc<CsrData>,
+}
+
+impl Default for StateGraph {
+    fn default() -> Self {
+        StateGraph::new()
+    }
+}
+
+impl PartialEq for StateGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.data.row == other.data.row
+            && self.data.dst == other.data.dst
+            && self.data.label == other.data.label
+    }
+}
+
+impl Eq for StateGraph {}
+
+impl StateGraph {
+    /// Creates an empty graph (zero states, zero edges).
+    pub fn new() -> Self {
+        StateGraph { data: Arc::new(CsrData { row: vec![0], dst: Vec::new(), label: Vec::new() }) }
+    }
+
+    pub(crate) fn from_data(data: CsrData) -> Self {
+        debug_assert_eq!(data.row.first(), Some(&0));
+        debug_assert_eq!(data.row.last().copied().unwrap_or(0) as usize, data.dst.len());
+        debug_assert_eq!(data.dst.len(), data.label.len());
+        StateGraph { data: Arc::new(data) }
+    }
+
+    /// The raw row-offset array (`states + 1` entries, first 0, last
+    /// equals [`edge_count`](Self::edge_count)).
+    pub fn row(&self) -> &[u32] {
+        &self.data.row
+    }
+
+    /// The raw destination array, one entry per edge in [`EdgeIx`] order.
+    pub fn dst(&self) -> &[u32] {
+        &self.data.dst
+    }
+
+    /// The raw label array, one entry per edge in [`EdgeIx`] order.
+    pub fn label(&self) -> &[EdgeLabel] {
+        &self.data.label
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.data.row.len() - 1
+    }
+
+    /// Number of recorded edges.
+    pub fn edge_count(&self) -> usize {
+        self.data.dst.len()
+    }
+
+    /// The dense edge-index range of state `s`'s out-edges.
+    pub fn out_range(&self, s: StateId) -> std::ops::Range<u32> {
+        self.data.row[s.0 as usize]..self.data.row[s.0 as usize + 1]
+    }
+
+    /// Out-degree of state `s`.
+    pub fn out_degree(&self, s: StateId) -> usize {
+        self.out_range(s).len()
+    }
+
+    /// Destination of edge `e`.
+    pub fn edge_dst(&self, e: EdgeIx) -> StateId {
+        StateId(self.data.dst[e.0 as usize])
+    }
+
+    /// Label of edge `e`.
+    pub fn edge_label(&self, e: EdgeIx) -> EdgeLabel {
+        self.data.label[e.0 as usize]
+    }
+
+    /// Source state of edge `e` (binary search over the row array).
+    pub fn edge_src(&self, e: EdgeIx) -> StateId {
+        let i = e.0;
+        // partition_point returns the first row index with row[idx] > i
+        let s = self.data.row.partition_point(|&r| r <= i) - 1;
+        StateId(s as u32)
+    }
+
+    /// Outgoing edges of a state, in discovery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn edges(&self, s: StateId) -> OutEdges<'_> {
+        let r = self.out_range(s);
+        let (lo, hi) = (r.start as usize, r.end as usize);
+        OutEdges { dst: &self.data.dst[lo..hi], label: &self.data.label[lo..hi] }
+    }
+
+    /// Iterates over all `(src, edge)` pairs in [`EdgeIx`] order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (StateId, Edge)> + '_ {
+        (0..self.state_count()).flat_map(move |s| {
+            let s = StateId(s as u32);
+            self.edges(s).iter().map(move |e| (s, e))
+        })
+    }
+
+    /// In-degree of every state.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.state_count()];
+        for &d in &self.data.dst {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Unweighted shortest-path distances (in edges) from `from` to every
+    /// state; `usize::MAX` marks unreachable states.
+    pub fn bfs_distances(&self, from: StateId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.state_count()];
+        let mut q = VecDeque::new();
+        dist[from.0 as usize] = 0;
+        q.push_back(from);
+        while let Some(s) = q.pop_front() {
+            let d = dist[s.0 as usize];
+            for e in self.edges(s) {
+                let dd = &mut dist[e.dst.0 as usize];
+                if *dd == usize::MAX {
+                    *dd = d + 1;
+                    q.push_back(e.dst);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether every state is reachable from state 0 (reset). The
+    /// enumeration always produces such graphs; hand-built graphs may not.
+    pub fn all_reachable_from_reset(&self) -> bool {
+        if self.state_count() == 0 {
+            return true;
+        }
+        self.bfs_distances(StateId(0)).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Whether the graph is strongly connected (needed for a single
+    /// transition tour to exist; the PP graph is *not*, which is why the
+    /// paper's generator starts multiple traces from reset).
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.state_count();
+        if n == 0 {
+            return true;
+        }
+        if !self.all_reachable_from_reset() {
+            return false;
+        }
+        // Reverse reachability from reset over a flat counting-sort
+        // transpose (one `u32` per edge, no per-state allocations).
+        let mut rrow = vec![0u32; n + 1];
+        for &d in &self.data.dst {
+            rrow[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rrow[i + 1] += rrow[i];
+        }
+        let mut rsrc = vec![0u32; self.edge_count()];
+        let mut cursor = rrow.clone();
+        for (s, e) in self.iter_edges() {
+            let c = &mut cursor[e.dst.0 as usize];
+            rsrc[*c as usize] = s.0;
+            *c += 1;
+        }
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[0] = true;
+        q.push_back(0u32);
+        while let Some(s) = q.pop_front() {
+            let (lo, hi) = (rrow[s as usize] as usize, rrow[s as usize + 1] as usize);
+            for &p in &rsrc[lo..hi] {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    q.push_back(p);
+                }
+            }
+        }
+        seen.into_iter().all(|b| b)
+    }
+
+    /// Approximate resident size of the CSR arrays in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.data.row.len() * std::mem::size_of::<u32>()
+            + self.data.dst.len() * std::mem::size_of::<u32>()
+            + self.data.label.len() * std::mem::size_of::<EdgeLabel>()
+    }
+
+    /// Emits the graph in Graphviz DOT format with a caller-supplied state
+    /// labeller; intended for small example graphs.
+    pub fn to_dot(&self, mut state_label: impl FnMut(StateId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph state_graph {\n  rankdir=LR;\n");
+        for i in 0..self.state_count() {
+            let _ = writeln!(s, "  n{} [label=\"{}\"];", i, state_label(StateId(i as u32)));
+        }
+        for (src, e) in self.iter_edges() {
+            let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", src.0, e.dst.0, e.label);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A borrowed view of one state's out-edges: parallel `dst`/`label`
+/// subslices of the CSR arrays. Iterating yields [`Edge`] values, so call
+/// sites written against the old `&[Edge]` adjacency keep working.
+#[derive(Clone, Copy)]
+pub struct OutEdges<'a> {
+    dst: &'a [u32],
+    label: &'a [EdgeLabel],
+}
+
+impl<'a> OutEdges<'a> {
+    /// Number of out-edges.
+    pub fn len(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Whether there are no out-edges.
+    pub fn is_empty(&self) -> bool {
+        self.dst.is_empty()
+    }
+
+    /// The `i`-th out-edge, if in range.
+    pub fn get(&self, i: usize) -> Option<Edge> {
+        Some(Edge { dst: StateId(*self.dst.get(i)?), label: *self.label.get(i)? })
+    }
+
+    /// Iterates the edges in discovery order.
+    pub fn iter(&self) -> OutEdgesIter<'a> {
+        OutEdgesIter { inner: self.dst.iter().zip(self.label.iter()) }
+    }
+}
+
+impl PartialEq for OutEdges<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dst == other.dst && self.label == other.label
+    }
+}
+
+impl Eq for OutEdges<'_> {}
+
+impl std::fmt::Debug for OutEdges<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for OutEdges<'a> {
+    type Item = Edge;
+    type IntoIter = OutEdgesIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &OutEdges<'a> {
+    type Item = Edge;
+    type IntoIter = OutEdgesIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over [`OutEdges`], yielding [`Edge`] values.
+#[derive(Clone)]
+pub struct OutEdgesIter<'a> {
+    inner: std::iter::Zip<std::slice::Iter<'a, u32>, std::slice::Iter<'a, EdgeLabel>>,
+}
+
+impl Iterator for OutEdgesIter<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        let (&dst, &label) = self.inner.next()?;
+        Some(Edge { dst: StateId(dst), label })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for OutEdgesIter<'_> {
+    fn next_back(&mut self) -> Option<Edge> {
+        let (&dst, &label) = self.inner.next_back()?;
+        Some(Edge { dst: StateId(dst), label })
+    }
+}
+
+impl ExactSizeIterator for OutEdgesIter<'_> {}
+impl std::iter::FusedIterator for OutEdgesIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> StateGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 0
+        let mut b = GraphBuilder::new(EdgePolicy::FirstLabel);
+        b.add_edge(StateId(0), StateId(1), 0);
+        b.add_edge(StateId(0), StateId(2), 1);
+        b.add_edge(StateId(1), StateId(3), 0);
+        b.add_edge(StateId(2), StateId(3), 0);
+        b.add_edge(StateId(3), StateId(0), 0);
+        b.finish().unwrap().0
+    }
+
+    #[test]
+    fn bfs_distances_on_diamond() {
+        let g = diamond();
+        let d = g.bfs_distances(StateId(0));
+        assert_eq!(d, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let g = diamond();
+        assert!(g.is_strongly_connected());
+        let mut b = GraphBuilder::new(EdgePolicy::FirstLabel);
+        b.add_edge(StateId(0), StateId(1), 0);
+        b.add_edge(StateId(0), StateId(2), 1);
+        b.add_edge(StateId(0), StateId(4), 2);
+        b.add_edge(StateId(1), StateId(3), 0);
+        b.add_edge(StateId(2), StateId(3), 0);
+        b.add_edge(StateId(3), StateId(0), 0);
+        let g2 = b.finish().unwrap().0;
+        // state 4 has no way back
+        assert!(g2.all_reachable_from_reset());
+        assert!(!g2.is_strongly_connected());
+    }
+
+    #[test]
+    fn in_degrees_counted() {
+        let g = diamond();
+        assert_eq!(g.in_degrees(), vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_edge() {
+        let g = diamond();
+        let dot = g.to_dot(|s| format!("S{}", s.0));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n3 -> n0"));
+        assert!(dot.contains("S3"));
+    }
+
+    #[test]
+    fn edge_src_inverts_out_range() {
+        let g = diamond();
+        for e in 0..g.edge_count() as u32 {
+            let s = g.edge_src(EdgeIx(e));
+            assert!(g.out_range(s).contains(&e));
+        }
+    }
+
+    #[test]
+    fn out_edges_view_behaves_like_a_slice() {
+        let g = diamond();
+        let out = g.edges(StateId(0));
+        assert_eq!(out.len(), 2);
+        assert!(!out.is_empty());
+        assert_eq!(out.get(0), Some(Edge { dst: StateId(1), label: 0 }));
+        assert_eq!(out.get(2), None);
+        let collected: Vec<Edge> = out.iter().collect();
+        assert_eq!(collected.len(), 2);
+        // by-ref and by-value iteration both yield Edge values
+        let mut n = 0;
+        for e in &out {
+            assert!(e.dst.0 <= 2);
+            n += 1;
+        }
+        for e in out {
+            assert!(e.dst.0 <= 2);
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        // reverse iteration sees the same edges
+        let rev: Vec<Edge> = out.iter().rev().collect();
+        assert_eq!(rev.first(), Some(&Edge { dst: StateId(2), label: 1 }));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_connected() {
+        let g = StateGraph::new();
+        assert_eq!(g.state_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.all_reachable_from_reset());
+        assert!(g.is_strongly_connected());
+        assert!(g.in_degrees().is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let g = diamond();
+        let h = g.clone();
+        assert_eq!(g, h);
+        assert!(std::ptr::eq(g.row().as_ptr(), h.row().as_ptr()));
+    }
+}

@@ -1,0 +1,138 @@
+//! Typed errors for graph construction and snapshot I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors from building a CSR graph.
+///
+/// The CSR arrays index states and edges with `u32`, so a graph with more
+/// than `u32::MAX` of either cannot be represented; the builder reports
+/// that as a typed error instead of silently truncating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The state count exceeds `u32::MAX`.
+    TooManyStates {
+        /// The offending number of states.
+        states: usize,
+    },
+    /// The edge count exceeds `u32::MAX` (detected while building row
+    /// offsets, before any index wraps).
+    TooManyEdges {
+        /// The number of edges accumulated when the overflow was detected.
+        edges: u64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooManyStates { states } => {
+                write!(f, "state count {states} exceeds the u32 CSR index range")
+            }
+            GraphError::TooManyEdges { edges } => {
+                write!(f, "edge count {edges} exceeds the u32 CSR index range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Errors from reading or writing a graph snapshot.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The container version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// The trailing checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the file contents.
+        computed: u64,
+    },
+    /// The file ended before a declared chunk or field was complete.
+    Truncated,
+    /// A required chunk is missing.
+    MissingChunk {
+        /// Four-byte chunk tag, e.g. `"CSRG"`.
+        tag: &'static str,
+    },
+    /// A chunk decoded to structurally invalid data.
+    Corrupt(&'static str),
+    /// The snapshot was produced from a different model than the one it is
+    /// being loaded for.
+    ModelMismatch {
+        /// Fingerprint stored in the snapshot.
+        stored: u64,
+        /// Fingerprint of the model supplied at load time.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a graph snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} is not supported (this build reads up to {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::MissingChunk { tag } => {
+                write!(f, "snapshot is missing required chunk {tag:?}")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "snapshot chunk is corrupt: {what}"),
+            SnapshotError::ModelMismatch { stored, expected } => write!(
+                f,
+                "snapshot was enumerated from a different model \
+                 (fingerprint {stored:#018x}, expected {expected:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = GraphError::TooManyStates { states: 5_000_000_000 };
+        assert!(e.to_string().contains("5000000000"));
+        let e = SnapshotError::ModelMismatch { stored: 1, expected: 2 };
+        assert!(e.to_string().contains("different model"));
+        let e = SnapshotError::MissingChunk { tag: "CSRG" };
+        assert!(e.to_string().contains("CSRG"));
+    }
+}

@@ -1,0 +1,29 @@
+//! The shared labelled state graph of the validation pipeline.
+//!
+//! The paper's whole methodology (Sections 3.2–3.3) hangs off one
+//! artifact: the state graph that enumeration produces and that tours,
+//! coverage tracking and fuzzing all read. This crate owns the single
+//! representation of that artifact:
+//!
+//! * [`GraphBuilder`] — append-only construction with hashed per-state
+//!   arc deduplication (no quadratic out-list scans), used by both the
+//!   sequential and the frontier-parallel enumerator;
+//! * [`StateGraph`] — the immutable compressed-sparse-row result: flat
+//!   `row`/`dst`/`label` arrays, dense [`EdgeIx`] edge indices, cheap
+//!   `Clone` (the arrays are shared behind an [`Arc`](std::sync::Arc));
+//! * [`snapshot`] — a versioned, checksummed binary container so an
+//!   enumerated graph can be saved once and reused across runs.
+//!
+//! The crate is deliberately free of any model or simulator types: it
+//! knows nothing about how states are packed or what edge labels mean,
+//! only that states are dense `u32` ids (reset is 0) and labels are
+//! `u64` codes.
+
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod snapshot;
+
+pub use builder::{GraphBuilder, GraphStats};
+pub use csr::{Edge, EdgeIx, EdgeLabel, EdgePolicy, OutEdges, StateGraph, StateId};
+pub use error::{GraphError, SnapshotError};

@@ -1,0 +1,408 @@
+//! The versioned, checksummed binary snapshot container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    b"AVGS"                       4 bytes
+//! version  u32                           4 bytes
+//! chunk*   tag [u8;4], len u64, payload  12 + len bytes each
+//! checksum u64 (FNV-1a-64 over everything preceding it)
+//! ```
+//!
+//! The container is deliberately dumb: it knows tags, lengths and the
+//! checksum, nothing about chunk contents. This crate defines one chunk —
+//! [`GRAPH_CHUNK`] (`"CSRG"`), the CSR arrays of a [`StateGraph`] — and
+//! higher layers add their own (the enumeration snapshot in `archval-fsm`
+//! stores the model fingerprint, the packed state table and the run
+//! statistics as sibling chunks in the same container).
+//!
+//! Writing is fully deterministic — same graph, same bytes — which is
+//! what makes byte-exact golden tests and reproducible artifact caching
+//! possible.
+
+use crate::csr::{CsrData, StateGraph};
+use crate::error::SnapshotError;
+
+/// First four bytes of every snapshot file.
+pub const MAGIC: [u8; 4] = *b"AVGS";
+
+/// Current container version. Readers reject anything newer.
+pub const VERSION: u32 = 1;
+
+/// Tag of the CSR graph chunk.
+pub const GRAPH_CHUNK: [u8; 4] = *b"CSRG";
+
+/// Incremental FNV-1a-64 hasher; used for the container checksum and for
+/// model fingerprints.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a hash at the FNV-1a-64 offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Feeds a little-endian `u64` into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a byte slice with FNV-1a-64 in one call.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Serializes a snapshot: magic and version up front, chunks appended in
+/// call order, checksum on [`finish`](SnapshotWriter::finish).
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        SnapshotWriter::new()
+    }
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot (writes magic and version).
+    pub fn new() -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        SnapshotWriter { buf }
+    }
+
+    /// Appends one chunk.
+    pub fn chunk(&mut self, tag: [u8; 4], payload: &[u8]) {
+        self.buf.extend_from_slice(&tag);
+        self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Appends the checksum trailer and returns the finished bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// A parsed chunk: its 4-byte tag and a borrowed payload.
+pub type Chunk<'a> = ([u8; 4], &'a [u8]);
+
+/// Validates a snapshot's framing (magic, version, checksum) and returns
+/// its chunks as `(tag, payload)` pairs in file order.
+pub fn parse_chunks(bytes: &[u8]) -> Result<Vec<Chunk<'_>>, SnapshotError> {
+    const HEADER: usize = 8; // magic + version
+    const TRAILER: usize = 8; // checksum
+    if bytes.len() < HEADER + TRAILER {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version > VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version, supported: VERSION });
+    }
+    let body = &bytes[..bytes.len() - TRAILER];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - TRAILER..].try_into().unwrap());
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    let mut chunks = Vec::new();
+    let mut pos = HEADER;
+    while pos < body.len() {
+        if body.len() - pos < 12 {
+            return Err(SnapshotError::Truncated);
+        }
+        let tag: [u8; 4] = body[pos..pos + 4].try_into().unwrap();
+        let len = u64::from_le_bytes(body[pos + 4..pos + 12].try_into().unwrap());
+        pos += 12;
+        let len = usize::try_from(len).map_err(|_| SnapshotError::Truncated)?;
+        if body.len() - pos < len {
+            return Err(SnapshotError::Truncated);
+        }
+        chunks.push((tag, &body[pos..pos + len]));
+        pos += len;
+    }
+    Ok(chunks)
+}
+
+/// Little-endian append helpers for chunk payloads.
+#[derive(Default)]
+pub struct Payload {
+    buf: Vec<u8>,
+}
+
+impl Payload {
+    /// Starts an empty payload.
+    pub fn new() -> Self {
+        Payload::default()
+    }
+
+    /// Starts a payload with pre-reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Payload { buf: Vec::with_capacity(n) }
+    }
+
+    /// Appends a `u32`.
+    pub fn push_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn push_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn push_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// The finished payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian read cursor over a chunk payload. Every read fails with
+/// [`SnapshotError::Truncated`] rather than panicking on short input.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads a `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.read_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let b = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(b)
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub fn expect_end(&self, what: &'static str) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(what));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a [`StateGraph`] as a [`GRAPH_CHUNK`] payload.
+pub fn write_graph(g: &StateGraph) -> Vec<u8> {
+    let (row, dst, label) = (g.row(), g.dst(), g.label());
+    let mut p = Payload::with_capacity(16 + row.len() * 4 + dst.len() * 4 + label.len() * 8);
+    p.push_u64(g.state_count() as u64);
+    p.push_u64(g.edge_count() as u64);
+    for &r in row {
+        p.push_u32(r);
+    }
+    for &d in dst {
+        p.push_u32(d);
+    }
+    for &l in label {
+        p.push_u64(l);
+    }
+    p.into_bytes()
+}
+
+/// Decodes a [`GRAPH_CHUNK`] payload, validating the CSR structure
+/// (monotone row offsets, in-range destinations).
+pub fn read_graph(payload: &[u8]) -> Result<StateGraph, SnapshotError> {
+    let mut c = Cursor::new(payload);
+    let n = usize::try_from(c.read_u64()?).map_err(|_| SnapshotError::Corrupt("state count"))?;
+    let m = usize::try_from(c.read_u64()?).map_err(|_| SnapshotError::Corrupt("edge count"))?;
+    if n > u32::MAX as usize || m > u32::MAX as usize {
+        return Err(SnapshotError::Corrupt("counts exceed u32 range"));
+    }
+    let mut row = Vec::with_capacity(n + 1);
+    for _ in 0..n + 1 {
+        row.push(c.read_u32()?);
+    }
+    if row.first() != Some(&0) || row[n] as usize != m {
+        return Err(SnapshotError::Corrupt("row offsets do not span the edge array"));
+    }
+    if row.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Corrupt("row offsets are not monotone"));
+    }
+    let mut dst = Vec::with_capacity(m);
+    for _ in 0..m {
+        let d = c.read_u32()?;
+        if d as usize >= n {
+            return Err(SnapshotError::Corrupt("edge destination out of range"));
+        }
+        dst.push(d);
+    }
+    let mut label = Vec::with_capacity(m);
+    for _ in 0..m {
+        label.push(c.read_u64()?);
+    }
+    c.expect_end("trailing bytes after graph chunk")?;
+    Ok(StateGraph::from_data(CsrData { row, dst, label }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::csr::{EdgePolicy, StateId};
+
+    fn sample() -> StateGraph {
+        let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
+        b.add_edge(StateId(0), StateId(1), 10);
+        b.add_edge(StateId(0), StateId(2), 11);
+        b.add_edge(StateId(1), StateId(2), 12);
+        b.add_edge(StateId(2), StateId(0), 13);
+        b.finish().unwrap().0
+    }
+
+    fn snapshot_bytes(g: &StateGraph) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.chunk(GRAPH_CHUNK, &write_graph(g));
+        w.finish()
+    }
+
+    #[test]
+    fn graph_round_trips() {
+        let g = sample();
+        let bytes = snapshot_bytes(&g);
+        let chunks = parse_chunks(&bytes).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].0, GRAPH_CHUNK);
+        let g2 = read_graph(chunks[0].1).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn writing_is_deterministic() {
+        let g = sample();
+        assert_eq!(snapshot_bytes(&g), snapshot_bytes(&g));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = snapshot_bytes(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(parse_chunks(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.chunk(GRAPH_CHUNK, &write_graph(&sample()));
+        let mut bytes = w.finish();
+        bytes[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        // re-seal so only the version check can fire
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(parse_chunks(&bytes), Err(SnapshotError::UnsupportedVersion { .. })));
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let mut bytes = snapshot_bytes(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(parse_chunks(&bytes), Err(SnapshotError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = snapshot_bytes(&sample());
+        for cut in [0, 3, 9, bytes.len() - 9] {
+            let r = parse_chunks(&bytes[..cut]);
+            assert!(
+                matches!(
+                    r,
+                    Err(SnapshotError::Truncated) | Err(SnapshotError::ChecksumMismatch { .. })
+                ),
+                "cut at {cut} gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn structurally_invalid_graph_rejected() {
+        let g = sample();
+        let mut payload = write_graph(&g);
+        // row[1] (bytes 16..20) made non-monotone relative to row[2]
+        payload[16..20].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(read_graph(&payload), Err(SnapshotError::Corrupt(_))));
+        // out-of-range destination
+        let mut payload = write_graph(&g);
+        let dst0 = 16 + 4 * 4; // after counts and the 4-entry row array
+        payload[dst0..dst0 + 4].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(read_graph(&payload), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = StateGraph::new();
+        let bytes = snapshot_bytes(&g);
+        let chunks = parse_chunks(&bytes).unwrap();
+        let g2 = read_graph(chunks[0].1).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.state_count(), 0);
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a-64 test vectors from the reference implementation
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the state-graph utilities.
+
+use proptest::prelude::*;
+
+use archval_graph::{EdgePolicy, GraphBuilder, StateGraph, StateId};
+
+fn build(edges: &[(u32, u32, u64)], policy: EdgePolicy) -> StateGraph {
+    let mut b = GraphBuilder::new(policy);
+    for &(s, d, l) in edges {
+        b.add_edge(StateId(s), StateId(d), l);
+    }
+    b.finish().unwrap().0
+}
+
+fn arb_graph() -> impl Strategy<Value = StateGraph> {
+    proptest::collection::vec((0u32..30, 0u32..30, 0u64..8), 0..120)
+        .prop_map(|edges| build(&edges, EdgePolicy::AllLabels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn in_degrees_sum_to_edge_count(g in arb_graph()) {
+        let total: usize = g.in_degrees().iter().sum();
+        prop_assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn bfs_distances_respect_edges(g in arb_graph()) {
+        if g.state_count() == 0 {
+            return Ok(());
+        }
+        let d = g.bfs_distances(StateId(0));
+        prop_assert_eq!(d[0], 0);
+        // triangle inequality over every edge
+        for (s, e) in g.iter_edges() {
+            let ds = d[s.0 as usize];
+            let dd = d[e.dst.0 as usize];
+            if ds != usize::MAX {
+                prop_assert!(dd <= ds + 1, "edge {s:?}->{:?} violates BFS", e.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn strong_connectivity_implies_full_reachability(g in arb_graph()) {
+        if g.is_strongly_connected() {
+            prop_assert!(g.all_reachable_from_reset());
+        }
+    }
+
+    #[test]
+    fn first_label_is_a_subset_of_all_labels(edges in proptest::collection::vec((0u32..10, 0u32..10, 0u64..4), 0..60)) {
+        let first = build(&edges, EdgePolicy::FirstLabel);
+        let all = build(&edges, EdgePolicy::AllLabels);
+        prop_assert!(first.edge_count() <= all.edge_count());
+        // every first-label arc exists in the all-labels graph
+        for (s, e) in first.iter_edges() {
+            prop_assert!(all.edges(s).iter().any(|e2| e2.dst == e.dst && e2.label == e.label));
+        }
+    }
+
+    #[test]
+    fn row_offsets_partition_the_edge_array(g in arb_graph()) {
+        let row = g.row();
+        prop_assert_eq!(row.len(), g.state_count() + 1);
+        prop_assert_eq!(row.first().copied().unwrap_or(0), 0);
+        prop_assert_eq!(*row.last().unwrap() as usize, g.edge_count());
+        for w in row.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let degree_sum: usize = (0..g.state_count())
+            .map(|s| g.out_degree(StateId(s as u32)))
+            .sum();
+        prop_assert_eq!(degree_sum, g.edge_count());
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant_to_the_edge_set(
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 0u64..4), 0..60),
+    ) {
+        // sorting by source keeps the builder on the fast path; the
+        // arbitrary order usually spills. The *per-source* edge order can
+        // differ, so compare the edge sets per state.
+        let mut sorted_edges = edges.clone();
+        sorted_edges.sort_by_key(|&(s, _, _)| s);
+        let sorted = build(&sorted_edges, EdgePolicy::AllLabels);
+        let shuffled = build(&edges, EdgePolicy::AllLabels);
+        prop_assert_eq!(sorted.state_count(), shuffled.state_count());
+        prop_assert_eq!(sorted.edge_count(), shuffled.edge_count());
+        for s in 0..sorted.state_count() as u32 {
+            let mut a: Vec<_> = sorted.edges(StateId(s)).iter().map(|e| (e.dst.0, e.label)).collect();
+            let mut b: Vec<_> = shuffled.edges(StateId(s)).iter().map(|e| (e.dst.0, e.label)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

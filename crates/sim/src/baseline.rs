@@ -134,8 +134,10 @@ pub fn tour_coverage_run(enumd: &EnumResult, tours: &TourSet) -> CoverageRun {
     let mut cov = ArcCoverage::new(&enumd.graph, 256);
     let mut cycles = 0u64;
     for trace in tours.traces() {
-        for step in tours.resolve(trace) {
-            cov.observe(step.src, step.dst, step.label);
+        // traces carry dense edge indices into the shared CSR graph, so
+        // coverage needs no (src, dst, label) resolution at all
+        for &step in &trace.steps {
+            cov.observe_edge(step);
             cycles += 1;
         }
     }

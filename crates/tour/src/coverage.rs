@@ -6,20 +6,22 @@
 //! [`ArcCoverage`] observes a sequence of `(state, choice-code)` events and
 //! reports coverage against the enumerated graph, producing the data for
 //! the random-versus-tour coverage-curve ablation.
+//!
+//! Arcs are identified by their dense [`EdgeIx`] in the shared CSR
+//! [`StateGraph`], so the tracker is two flat arrays — no hash maps.
+//! Observations by `(src, dst, label)` resolve the edge with a scan of the
+//! source's out-range, which is short for enumerated control graphs (the
+//! out-degree is bounded by the model's choice combinations).
 
-use std::collections::HashMap;
-
-use archval_fsm::graph::{StateGraph, StateId};
+use archval_fsm::graph::{EdgeIx, StateGraph, StateId};
 use archval_fsm::EdgeLabel;
 
 /// Tracks which arcs of a [`StateGraph`] have been exercised.
 #[derive(Debug)]
 pub struct ArcCoverage {
-    /// arc key -> dense arc index
-    index: HashMap<(u32, u32), usize>,
-    /// labels recorded on each arc at enumeration time (for label-aware
-    /// matching under the all-labels policy)
-    labels: HashMap<(u32, u32, EdgeLabel), usize>,
+    /// Shares storage with the enumerated graph (cheap Arc clone).
+    graph: StateGraph,
+    /// Hit flag per [`EdgeIx`].
     hit: Vec<bool>,
     hits: usize,
     /// history of (events_observed, arcs_covered) samples
@@ -32,18 +34,9 @@ impl ArcCoverage {
     /// Creates a tracker for `graph`, sampling the coverage curve every
     /// `sample_every` observed events.
     pub fn new(graph: &StateGraph, sample_every: u64) -> Self {
-        let mut index = HashMap::new();
-        let mut labels = HashMap::new();
-        let mut count = 0usize;
-        for (s, e) in graph.iter_edges() {
-            labels.insert((s.0, e.dst.0, e.label), count);
-            index.entry((s.0, e.dst.0)).or_insert(count);
-            count += 1;
-        }
         ArcCoverage {
-            index,
-            labels,
-            hit: vec![false; count],
+            hit: vec![false; graph.edge_count()],
+            graph: graph.clone(),
             hits: 0,
             curve: Vec::new(),
             events: 0,
@@ -70,6 +63,43 @@ impl ArcCoverage {
         }
     }
 
+    /// Resolves `(src, dst, label)` to a dense edge index: the exact-label
+    /// edge if the graph recorded one, otherwise the first edge on the
+    /// `(src, dst)` arc (label-blind fallback for the first-label policy).
+    fn find(&self, src: StateId, dst: StateId, label: EdgeLabel) -> Option<EdgeIx> {
+        if src.0 as usize >= self.graph.state_count() {
+            return None;
+        }
+        let mut pair: Option<EdgeIx> = None;
+        for e in self.graph.out_range(src) {
+            let e = EdgeIx(e);
+            if self.graph.edge_dst(e) == dst {
+                if self.graph.edge_label(e) == label {
+                    return Some(e);
+                }
+                if pair.is_none() {
+                    pair = Some(e);
+                }
+            }
+        }
+        pair
+    }
+
+    fn mark(&mut self, e: EdgeIx) {
+        let slot = &mut self.hit[e.0 as usize];
+        if !*slot {
+            *slot = true;
+            self.hits += 1;
+        }
+    }
+
+    fn bump_events(&mut self) {
+        self.events += 1;
+        if self.events.is_multiple_of(self.sample_every) {
+            self.curve.push((self.events, self.hits));
+        }
+    }
+
     /// Records one observed transition. Matching is by `(src, dst)` first
     /// and refined by label when the graph recorded multiple labels per
     /// arc. Unknown transitions (not in the enumerated graph) are counted
@@ -77,25 +107,23 @@ impl ArcCoverage {
     /// cannot occur, so a caller may treat a `false` return on a known
     /// state pair as a modelling discrepancy.
     pub fn observe(&mut self, src: StateId, dst: StateId, label: EdgeLabel) -> bool {
-        self.events += 1;
-        let ix = self
-            .labels
-            .get(&(src.0, dst.0, label))
-            .or_else(|| self.index.get(&(src.0, dst.0)))
-            .copied();
-        let known = match ix {
-            Some(i) => {
-                if !self.hit[i] {
-                    self.hit[i] = true;
-                    self.hits += 1;
-                }
-                true
-            }
-            None => false,
-        };
-        if self.events.is_multiple_of(self.sample_every) {
-            self.curve.push((self.events, self.hits));
+        let found = self.find(src, dst, label);
+        if let Some(e) = found {
+            self.mark(e);
         }
+        self.bump_events();
+        found.is_some()
+    }
+
+    /// Records a traversal of edge `e` directly by its dense index — the
+    /// resolution-free path for tour replay, where the trace already holds
+    /// [`EdgeIx`] steps. Returns `false` for an out-of-range index.
+    pub fn observe_edge(&mut self, e: EdgeIx) -> bool {
+        let known = (e.0 as usize) < self.hit.len();
+        if known {
+            self.mark(e);
+        }
+        self.bump_events();
         known
     }
 
@@ -104,10 +132,13 @@ impl ArcCoverage {
     /// then by state pair.
     #[must_use]
     pub fn is_covered(&self, src: StateId, dst: StateId, label: EdgeLabel) -> bool {
-        self.labels
-            .get(&(src.0, dst.0, label))
-            .or_else(|| self.index.get(&(src.0, dst.0)))
-            .is_some_and(|&ix| self.hit[ix])
+        self.find(src, dst, label).is_some_and(|e| self.hit[e.0 as usize])
+    }
+
+    /// Whether edge `e` has been observed.
+    #[must_use]
+    pub fn is_covered_ix(&self, e: EdgeIx) -> bool {
+        self.hit.get(e.0 as usize).copied().unwrap_or(false)
     }
 
     /// The sampled coverage curve as `(events, arcs_covered)` pairs.
@@ -131,14 +162,14 @@ impl ArcCoverage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use archval_fsm::graph::EdgePolicy;
+    use archval_fsm::graph::{EdgePolicy, GraphBuilder};
 
     fn two_state() -> StateGraph {
-        let mut g = StateGraph::new();
-        g.add_edge(StateId(0), StateId(1), 0, EdgePolicy::AllLabels);
-        g.add_edge(StateId(0), StateId(1), 1, EdgePolicy::AllLabels);
-        g.add_edge(StateId(1), StateId(0), 0, EdgePolicy::AllLabels);
-        g
+        let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
+        b.add_edge(StateId(0), StateId(1), 0);
+        b.add_edge(StateId(0), StateId(1), 1);
+        b.add_edge(StateId(1), StateId(0), 0);
+        b.finish().unwrap().0
     }
 
     #[test]
@@ -162,6 +193,8 @@ mod tests {
         let mut c = ArcCoverage::new(&g, 1);
         assert!(!c.observe(StateId(1), StateId(1), 0));
         assert_eq!(c.covered(), 0);
+        // a source beyond the graph is unknown, not a panic
+        assert!(!c.observe(StateId(7), StateId(0), 0));
     }
 
     #[test]
@@ -184,5 +217,23 @@ mod tests {
         assert_eq!(c.curve(), &[(2, 2), (4, 3)]);
         assert_eq!(c.events_to_reach(1.0), Some(4));
         assert_eq!(c.events_to_reach(0.5), Some(2));
+    }
+
+    #[test]
+    fn dense_edge_observation_matches_resolved() {
+        let g = two_state();
+        let mut by_ix = ArcCoverage::new(&g, 1);
+        let mut by_values = ArcCoverage::new(&g, 1);
+        for e in 0..g.edge_count() as u32 {
+            let ix = EdgeIx(e);
+            assert!(by_ix.observe_edge(ix));
+            by_values.observe(g.edge_src(ix), g.edge_dst(ix), g.edge_label(ix));
+            assert!(by_ix.is_covered_ix(ix));
+        }
+        assert_eq!(by_ix.covered(), by_values.covered());
+        assert_eq!(by_ix.curve(), by_values.curve());
+        // out-of-range index counts the event but covers nothing
+        assert!(!by_ix.observe_edge(EdgeIx(999)));
+        assert!(!by_ix.is_covered_ix(EdgeIx(999)));
     }
 }

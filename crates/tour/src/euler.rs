@@ -204,14 +204,14 @@ pub fn hierholzer_tour(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use archval_fsm::graph::EdgePolicy;
+    use archval_fsm::graph::{EdgePolicy, GraphBuilder};
 
     fn graph(edges: &[(u32, u32)]) -> StateGraph {
-        let mut g = StateGraph::new();
+        let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
         for (i, &(s, d)) in edges.iter().enumerate() {
-            g.add_edge(StateId(s), StateId(d), i as u64, EdgePolicy::AllLabels);
+            b.add_edge(StateId(s), StateId(d), i as u64);
         }
-        g
+        b.finish().unwrap().0
     }
 
     #[test]

@@ -14,13 +14,16 @@
 //!    is cheap in simulation, backtracking is not) and resume the DFS.
 //! 3. When no untraversed edge is reachable, or the per-trace instruction
 //!    limit is hit, close the trace and start a new one from reset.
+//!
+//! The generator walks the shared CSR [`StateGraph`] directly — edges are
+//! addressed by dense [`EdgeIx`] indices into its flat arrays, with no
+//! per-tour recompilation.
 
 use std::time::Instant;
 
-use archval_fsm::graph::{StateGraph, StateId};
+use archval_fsm::graph::{EdgeIx, StateGraph, StateId};
 use archval_fsm::EdgeLabel;
 
-use crate::csr::{CsrGraph, EdgeIx};
 use crate::stats::TourStats;
 
 /// Configuration for [`generate_tours`].
@@ -50,7 +53,7 @@ pub struct TraversedEdge {
 }
 
 /// A single simulation trace: a path starting at the reset state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Dense edge indices, in traversal order.
     pub steps: Vec<EdgeIx>,
@@ -75,7 +78,9 @@ impl Trace {
 /// The complete output of tour generation.
 #[derive(Debug)]
 pub struct TourSet {
-    csr: CsrGraph,
+    /// Shares storage with the graph the caller passed in (CSR arrays are
+    /// reference-counted), so holding a `TourSet` costs no graph copy.
+    graph: StateGraph,
     traces: Vec<Trace>,
     covered: Vec<bool>,
     stats: TourStats,
@@ -87,9 +92,9 @@ impl TourSet {
         &self.traces
     }
 
-    /// The CSR form of the graph the tours were generated over.
-    pub fn csr(&self) -> &CsrGraph {
-        &self.csr
+    /// The graph the tours were generated over.
+    pub fn graph(&self) -> &StateGraph {
+        &self.graph
     }
 
     /// Table 3.3-shaped statistics.
@@ -100,15 +105,15 @@ impl TourSet {
     /// Resolves a trace into `(src, dst, label)` traversals.
     pub fn resolve<'a>(&'a self, trace: &'a Trace) -> impl Iterator<Item = TraversedEdge> + 'a {
         trace.steps.iter().map(move |&e| TraversedEdge {
-            src: self.csr.edge_src(e),
-            dst: self.csr.edge_dst(e),
-            label: self.csr.edge_label(e),
+            src: self.graph.edge_src(e),
+            dst: self.graph.edge_dst(e),
+            label: self.graph.edge_label(e),
         })
     }
 
     /// Whether every arc of `graph` is traversed by some trace.
     pub fn covers_all_arcs(&self, graph: &StateGraph) -> bool {
-        debug_assert_eq!(graph.edge_count(), self.csr.edge_count());
+        debug_assert_eq!(graph.edge_count(), self.graph.edge_count());
         self.covered.iter().all(|&c| c)
     }
 
@@ -123,10 +128,10 @@ impl TourSet {
         self.traces.iter().all(|t| {
             let mut at = reset;
             t.steps.iter().all(|&e| {
-                if self.csr.edge_src(e) != at {
+                if self.graph.edge_src(e) != at {
                     return false;
                 }
-                at = self.csr.edge_dst(e);
+                at = self.graph.edge_dst(e);
                 true
             })
         })
@@ -155,16 +160,15 @@ pub fn generate_tours_with(
     instr_cost: impl Fn(StateId, EdgeLabel, StateId) -> u64,
 ) -> TourSet {
     let start = Instant::now();
-    let csr = CsrGraph::compile(graph);
-    let n = csr.state_count();
-    let m = csr.edge_count();
+    let n = graph.state_count();
+    let m = graph.edge_count();
 
     let mut covered = vec![false; m];
     // per-state count of untraversed out-edges
     let mut untraversed_out: Vec<u32> =
-        (0..n).map(|s| csr.out_degree(StateId(s as u32)) as u32).collect();
+        (0..n).map(|s| graph.out_degree(StateId(s as u32)) as u32).collect();
     // per-state scan cursor for the greedy DFS edge pick
-    let mut cursor: Vec<u32> = (0..n).map(|s| csr.out_range(StateId(s as u32)).start).collect();
+    let mut cursor: Vec<u32> = (0..n).map(|s| graph.out_range(StateId(s as u32)).start).collect();
     let mut remaining = m;
 
     // BFS scratch with generation stamps so it needs no per-call clearing
@@ -185,8 +189,8 @@ pub fn generate_tours_with(
                 untraversed_out: &mut Vec<u32>,
                 remaining: &mut usize,
                 fresh_in_trace: &mut usize| {
-        let src = csr.edge_src(e);
-        let dst = csr.edge_dst(e);
+        let src = graph.edge_src(e);
+        let dst = graph.edge_dst(e);
         if !covered[e.0 as usize] {
             covered[e.0 as usize] = true;
             untraversed_out[src.0 as usize] -= 1;
@@ -194,7 +198,7 @@ pub fn generate_tours_with(
             *fresh_in_trace += 1;
         }
         trace.steps.push(e);
-        trace.instructions += instr_cost(src, csr.edge_label(e), dst);
+        trace.instructions += instr_cost(src, graph.edge_label(e), dst);
         dst
     };
 
@@ -205,7 +209,7 @@ pub fn generate_tours_with(
         loop {
             // --- DFS phase: greedily take untraversed out-edges ---
             loop {
-                let range = csr.out_range(state);
+                let range = graph.out_range(state);
                 let mut cur = cursor[state.0 as usize].max(range.start);
                 while cur < range.end && covered[cur as usize] {
                     cur += 1;
@@ -280,8 +284,8 @@ pub fn generate_tours_with(
                     found = Some(s);
                     break;
                 }
-                for e in csr.out_range(s) {
-                    let d = csr.edge_dst(EdgeIx(e));
+                for e in graph.out_range(s) {
+                    let d = graph.edge_dst(EdgeIx(e));
                     if bfs_gen[d.0 as usize] != generation {
                         bfs_gen[d.0 as usize] = generation;
                         bfs_parent_edge[d.0 as usize] = EdgeIx(e);
@@ -297,7 +301,7 @@ pub fn generate_tours_with(
                     while at != state {
                         let pe = bfs_parent_edge[at.0 as usize];
                         path.push(pe);
-                        at = csr.edge_src(pe);
+                        at = graph.edge_src(pe);
                     }
                     path.reverse();
                     for e in path {
@@ -339,7 +343,7 @@ pub fn generate_tours_with(
     let terminated_by_limit = traces.iter().filter(|t| t.hit_limit).count();
     let in_deg = graph.in_degrees();
     let min_traces_lower_bound =
-        if n > 0 && in_deg[0] == 0 { csr.out_degree(reset) } else { usize::from(n > 0) };
+        if n > 0 && in_deg[0] == 0 { graph.out_degree(reset) } else { usize::from(n > 0) };
     let stats = TourStats {
         traces: traces.len(),
         total_edge_traversals: total_traversals,
@@ -352,20 +356,20 @@ pub fn generate_tours_with(
         min_traces_lower_bound,
     };
 
-    TourSet { csr, traces, covered, stats }
+    TourSet { graph: graph.clone(), traces, covered, stats }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use archval_fsm::graph::EdgePolicy;
+    use archval_fsm::graph::{EdgePolicy, GraphBuilder};
 
     fn graph(edges: &[(u32, u32)]) -> StateGraph {
-        let mut g = StateGraph::new();
+        let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
         for (i, &(s, d)) in edges.iter().enumerate() {
-            g.add_edge(StateId(s), StateId(d), i as u64, EdgePolicy::AllLabels);
+            b.add_edge(StateId(s), StateId(d), i as u64);
         }
-        g
+        b.finish().unwrap().0
     }
 
     #[test]
@@ -465,8 +469,11 @@ mod tests {
     #[test]
     fn unreachable_arcs_reported_not_looped_forever() {
         // state 5 is disconnected from reset
-        let mut g = graph(&[(0, 1), (1, 0)]);
-        g.add_edge(StateId(5), StateId(5), 99, EdgePolicy::AllLabels);
+        let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
+        b.add_edge(StateId(0), StateId(1), 0);
+        b.add_edge(StateId(1), StateId(0), 1);
+        b.add_edge(StateId(5), StateId(5), 99);
+        let g = b.finish().unwrap().0;
         let t = generate_tours(&g, &TourConfig::default());
         assert!(!t.covers_all_arcs(&g));
         assert_eq!(t.stats().arcs_covered, 2);
@@ -490,5 +497,12 @@ mod tests {
         let t = generate_tours(&g, &TourConfig::default());
         assert!(t.covers_all_arcs(&g));
         assert!(t.validate_adjacency(StateId(0)));
+    }
+
+    #[test]
+    fn tour_set_shares_the_graph_storage() {
+        let g = graph(&[(0, 1), (1, 0)]);
+        let t = generate_tours(&g, &TourConfig::default());
+        assert!(std::ptr::eq(g.row().as_ptr(), t.graph().row().as_ptr()));
     }
 }

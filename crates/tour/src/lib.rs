@@ -32,13 +32,12 @@
 //! ```
 
 pub mod coverage;
-pub mod csr;
 pub mod euler;
 pub mod generate;
 pub mod stats;
 
+pub use archval_fsm::graph::EdgeIx;
 pub use coverage::ArcCoverage;
-pub use csr::CsrGraph;
 pub use euler::{eulerize, hierholzer_tour, EulerAnalysis};
 pub use generate::{
     generate_tours, generate_tours_with, TourConfig, TourSet, Trace, TraversedEdge,

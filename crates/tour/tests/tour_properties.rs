@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use archval_fsm::graph::{EdgePolicy, StateGraph, StateId};
+use archval_fsm::graph::{EdgePolicy, GraphBuilder, StateGraph, StateId};
 use archval_tour::euler::{analyze, eulerize, hierholzer_tour};
 use archval_tour::{generate_tours, generate_tours_with, TourConfig};
 
@@ -12,20 +12,17 @@ use archval_tour::{generate_tours, generate_tours_with, TourConfig};
 fn arb_reachable_graph() -> impl Strategy<Value = StateGraph> {
     (2u32..40, proptest::collection::vec((0u32..40, 0u32..40), 0..80), any::<u64>()).prop_map(
         |(n, extra, salt)| {
-            let mut g = StateGraph::new();
+            // sources arrive in arbitrary order, exercising the builder's
+            // unsorted spill path
+            let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
             for i in 1..n {
                 let j = (salt.wrapping_mul(u64::from(i) + 1) % u64::from(i)) as u32;
-                g.add_edge(StateId(j), StateId(i), u64::from(i), EdgePolicy::AllLabels);
+                b.add_edge(StateId(j), StateId(i), u64::from(i));
             }
-            for (a, b) in extra {
-                g.add_edge(
-                    StateId(a % n),
-                    StateId(b % n),
-                    u64::from(a) << 8 | u64::from(b),
-                    EdgePolicy::AllLabels,
-                );
+            for (a, bb) in extra {
+                b.add_edge(StateId(a % n), StateId(bb % n), u64::from(a) << 8 | u64::from(bb));
             }
-            g
+            b.finish().unwrap().0
         },
     )
 }
@@ -63,15 +60,16 @@ proptest! {
     #[test]
     fn eulerize_balances_strongly_connected_graphs(n in 2u32..25, salt in any::<u64>()) {
         // ring + random chords is strongly connected
-        let mut g = StateGraph::new();
+        let mut builder = GraphBuilder::new(EdgePolicy::AllLabels);
         for i in 0..n {
-            g.add_edge(StateId(i), StateId((i + 1) % n), 0, EdgePolicy::AllLabels);
+            builder.add_edge(StateId(i), StateId((i + 1) % n), 0);
         }
         for k in 0..n / 2 {
             let a = (salt.wrapping_mul(u64::from(k) + 3) % u64::from(n)) as u32;
             let b = (salt.wrapping_mul(u64::from(k) + 7) % u64::from(n)) as u32;
-            g.add_edge(StateId(a), StateId(b), 1, EdgePolicy::AllLabels);
+            builder.add_edge(StateId(a), StateId(b), 1);
         }
+        let g: StateGraph = builder.finish().unwrap().0;
         let e = eulerize(&g).expect("strongly connected");
         // the balanced multigraph admits a closed tour touching every arc
         let tour = hierholzer_tour(n as usize, &e.arcs, StateId(0)).expect("eulerian");

@@ -1,0 +1,119 @@
+//! End-to-end snapshot tests through the public pipeline: `AllLabels`
+//! enumeration → CSR compile → tour generation → snapshot round-trip,
+//! byte-exact determinism at micro scale, and a golden-bytes check that
+//! pins the container format (magic, version, checksum) against
+//! accidental layout changes.
+
+use std::time::Duration;
+
+use archval_fsm::graph::EdgePolicy;
+use archval_fsm::snapshot::{snapshot_from_bytes, snapshot_to_bytes};
+use archval_fsm::{enumerate, EnumConfig, ModelBuilder, SnapshotError};
+use archval_pp::{pp_control_model, PpScale};
+use archval_tour::{generate_tours, TourConfig};
+
+/// The paper's Section 4 fix end to end: enumerate the PP control model
+/// recording *every* label per arc, compile to CSR, tour it, and push the
+/// whole result through a snapshot — the loaded graph must tour
+/// identically.
+#[test]
+fn all_labels_pipeline_round_trips_through_a_snapshot() {
+    let scale = PpScale::micro();
+    let model = pp_control_model(&scale).unwrap();
+    let first = enumerate(&model, &EnumConfig::default()).unwrap();
+    let cfg = EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() };
+    let r = enumerate(&model, &cfg).unwrap();
+    assert!(
+        r.graph.edge_count() > first.graph.edge_count(),
+        "all-labels must record the aliased conditions first-label suppresses"
+    );
+
+    let tours = generate_tours(&r.graph, &TourConfig::default());
+    assert!(tours.covers_all_arcs(&r.graph));
+
+    let bytes = snapshot_to_bytes(&model, &r);
+    let loaded = snapshot_from_bytes(&model, &bytes).unwrap();
+    assert_eq!(loaded.graph, r.graph);
+    assert_eq!(loaded.stats, r.stats);
+    assert_eq!(loaded.graph_stats, r.graph_stats);
+
+    let loaded_tours = generate_tours(&loaded.graph, &TourConfig::default());
+    assert_eq!(loaded_tours.traces(), tours.traces());
+    assert!(loaded_tours.covers_all_arcs(&loaded.graph));
+}
+
+/// Save → load → save reproduces identical bytes at micro scale: the
+/// container has no nondeterminism (no timestamps, no map iteration
+/// order).
+#[test]
+fn micro_snapshot_is_byte_exact() {
+    let scale = PpScale::micro();
+    let model = pp_control_model(&scale).unwrap();
+    let r = enumerate(&model, &EnumConfig::default()).unwrap();
+    let bytes = snapshot_to_bytes(&model, &r);
+    let loaded = snapshot_from_bytes(&model, &bytes).unwrap();
+    assert_eq!(snapshot_to_bytes(&model, &loaded), bytes);
+}
+
+fn golden_model() -> archval_fsm::Model {
+    let mut b = ModelBuilder::new("golden");
+    let en = b.choice("en", 2);
+    let v = b.state_var("v", 4, 0);
+    let cur = b.var_expr(v);
+    let one = b.constant(1);
+    let inc = b.add(cur, one);
+    let next = b.ternary(b.choice_expr(en), inc, cur);
+    b.set_next(v, next);
+    b.build().unwrap()
+}
+
+/// Pins the on-disk container: magic, version, total size and checksum of
+/// a fixed 4-state model with timing-dependent statistics zeroed. Any
+/// format change (field order, widths, chunk layout) fails here and must
+/// bump `snapshot::VERSION`.
+#[test]
+fn golden_snapshot_bytes_are_stable() {
+    let model = golden_model();
+    let mut r = enumerate(&model, &EnumConfig::default()).unwrap();
+    assert_eq!(r.stats.states, 4);
+    assert_eq!(r.stats.edges, 8);
+    // zero what depends on the clock or the allocator so the bytes are a
+    // pure function of the model
+    r.stats.elapsed = Duration::ZERO;
+    r.stats.approx_memory_bytes = 0;
+    r.graph_stats.builder_peak_bytes = 0;
+    r.graph_stats.finish_seconds = 0.0;
+
+    let bytes = snapshot_to_bytes(&model, &r);
+    assert_eq!(&bytes[0..4], b"AVGS", "magic");
+    assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1, "format version");
+
+    let checksum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    assert_eq!(
+        (bytes.len(), checksum),
+        (GOLDEN_LEN, GOLDEN_CHECKSUM),
+        "snapshot container layout changed — bump snapshot::VERSION \
+         (got len {}, checksum {checksum:#018x})",
+        bytes.len()
+    );
+
+    // and the pinned bytes still load
+    let loaded = snapshot_from_bytes(&model, &bytes).unwrap();
+    assert_eq!(loaded.graph, r.graph);
+}
+
+const GOLDEN_LEN: usize = 356;
+const GOLDEN_CHECKSUM: u64 = 0x27d7_fe96_73be_5b87;
+
+/// A snapshot taken for one model must not load for another.
+#[test]
+fn snapshot_for_a_different_model_is_rejected() {
+    let scale = PpScale::micro();
+    let model = pp_control_model(&scale).unwrap();
+    let r = enumerate(&model, &EnumConfig::default()).unwrap();
+    let bytes = snapshot_to_bytes(&model, &r);
+    assert!(matches!(
+        snapshot_from_bytes(&golden_model(), &bytes),
+        Err(SnapshotError::ModelMismatch { .. })
+    ));
+}
