@@ -10,14 +10,19 @@
 //! ```sh
 //! cargo run --release -p archval-bench --bin repro-fuzz [scale] [threads]
 //! ```
+//!
+//! `--engine <compiled|tree>` selects the step engine for enumeration
+//! and replay (bit-identical results; compiled is the default).
 
 use serde::{Deserialize, Serialize};
 
-use archval_bench::{emit_bench_json, scale_from_args, threads_from_args};
-use archval_fsm::{enumerate, EnumConfig};
+use archval::Engine;
+use archval_bench::{emit_bench_json, engine_from_args, scale_from_args, threads_from_args};
+use archval_exec::StepProgram;
+use archval_fsm::{enumerate_with, EngineFactory, EnumConfig};
 use archval_pp::pp_control_model;
-use archval_sim::baseline::{random_coverage_run, tour_coverage_run, CoverageRun};
-use archval_sim::fuzz::{fuzz_coverage_run, PpFuzzConfig};
+use archval_sim::baseline::{random_coverage_run_with, tour_coverage_run, CoverageRun};
+use archval_sim::fuzz::{fuzz_coverage_run_with, PpFuzzConfig};
 use archval_tour::{generate_tours, TourConfig};
 
 /// Everything `BENCH_fuzz.json` records.
@@ -27,6 +32,8 @@ struct FuzzBench {
     threads: usize,
     seed: u64,
     budget_cycles: u64,
+    engine: String,
+    compile_seconds: f64,
     runs: Vec<CoverageRun>,
     wall_seconds: f64,
 }
@@ -34,12 +41,25 @@ struct FuzzBench {
 fn main() {
     let scale = scale_from_args();
     let threads = threads_from_args();
+    let engine = engine_from_args();
     let seed = 0xF0CC_5EED_u64;
     let started = std::time::Instant::now();
 
-    eprintln!("enumerating at {scale:?} ...");
+    eprintln!("enumerating at {scale:?} with the {engine} engine ...");
     let model = pp_control_model(&scale).expect("control model builds");
-    let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+    let (program, compile_seconds) = match engine {
+        Engine::Compiled => {
+            let t0 = std::time::Instant::now();
+            let p = StepProgram::compile(&model);
+            (Some(p), t0.elapsed().as_secs_f64())
+        }
+        Engine::Tree => (None, 0.0),
+    };
+    let factory: &dyn EngineFactory = match &program {
+        Some(p) => p,
+        None => &model,
+    };
+    let enumd = enumerate_with(&model, &EnumConfig::default(), factory).expect("enumeration");
 
     // the tour run sets the common budget: the cycles a full transition
     // tour costs are what random and fuzzing get to spend too
@@ -48,13 +68,15 @@ fn main() {
     let budget = tour_run.cycles;
 
     eprintln!("fuzzing for {budget} cycles with {threads} worker thread(s) ...");
-    let fuzz_run = fuzz_coverage_run(
+    let fuzz_run = fuzz_coverage_run_with(
         &model,
         &enumd,
         &PpFuzzConfig { cycles: budget, seed, threads, ..PpFuzzConfig::default() },
+        factory,
     )
     .expect("complete enumeration: replay cannot leave the reachable set");
-    let random_run = random_coverage_run(&scale, &model, &enumd, budget, 0.5, seed).expect("same");
+    let random_run =
+        random_coverage_run_with(&scale, &model, &enumd, budget, 0.5, seed, factory).expect("same");
 
     println!("== coverage-guided fuzzing vs baselines ({scale:?}, equal budget) ==");
     println!("{:<28} {:>10} {:>10} {:>10} {:>9}", "", "arcs", "of", "cycles", "coverage");
@@ -74,6 +96,8 @@ fn main() {
         threads,
         seed,
         budget_cycles: budget,
+        engine: engine.to_string(),
+        compile_seconds,
         runs: vec![tour_run.clone(), fuzz_run.clone(), random_run.clone()],
         wall_seconds: started.elapsed().as_secs_f64(),
     };

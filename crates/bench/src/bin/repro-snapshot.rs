@@ -6,24 +6,36 @@
 //!
 //! `--snapshot <path>` overrides where the snapshot file is written
 //! (default: `archval-snapshot-check.avgs` in `ARCHVAL_BENCH_DIR` or the
-//! current directory).
+//! current directory). `--engine <compiled|tree>` selects the step
+//! engine used for the enumeration (identical results either way).
 
-use archval_bench::{scale_from_args, snapshot_from_args};
-use archval_fsm::{enumerate, load_enum_result, save_enum_result, EnumConfig};
+use archval::Engine;
+use archval_bench::{engine_from_args, scale_from_args, snapshot_from_args};
+use archval_exec::StepProgram;
+use archval_fsm::{enumerate_with, load_enum_result, save_enum_result, EngineFactory, EnumConfig};
 use archval_pp::pp_control_model;
 use archval_sim::baseline::tour_coverage_run;
 use archval_tour::{generate_tours, TourConfig};
 
 fn main() {
     let scale = scale_from_args();
+    let engine = engine_from_args();
     let path = snapshot_from_args().unwrap_or_else(|| {
         let dir = std::env::var("ARCHVAL_BENCH_DIR").unwrap_or_else(|_| ".".into());
         std::path::Path::new(&dir).join("archval-snapshot-check.avgs")
     });
 
-    eprintln!("enumerating at {scale:?} ...");
+    eprintln!("enumerating at {scale:?} with the {engine} engine ...");
     let model = pp_control_model(&scale).expect("control model builds");
-    let fresh = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+    let program = match engine {
+        Engine::Compiled => Some(StepProgram::compile(&model)),
+        Engine::Tree => None,
+    };
+    let factory: &dyn EngineFactory = match &program {
+        Some(p) => p,
+        None => &model,
+    };
+    let fresh = enumerate_with(&model, &EnumConfig::default(), factory).expect("enumeration");
     let fresh_tours = generate_tours(&fresh.graph, &TourConfig::default());
     let fresh_cov = tour_coverage_run(&fresh, &fresh_tours);
 

@@ -8,13 +8,24 @@
 //! enumeration is loaded from it (skipping the enumerate entirely),
 //! otherwise the model is enumerated and the result saved there for the
 //! next run.
+//!
+//! `--engine <compiled|tree>` selects the step engine (compiled bytecode
+//! by default; both produce identical graphs). The JSON records the
+//! lowering time and the per-transition cost so before/after comparisons
+//! need no extra tooling.
 
 use serde::{Deserialize, Serialize};
 
+use archval::Engine;
 use archval_bench::{
-    header, peak_rss_bytes, row, scale_from_args, snapshot_from_args, threads_from_args,
+    engine_from_args, header, peak_rss_bytes, row, scale_from_args, snapshot_from_args,
+    threads_from_args,
 };
-use archval_fsm::{enumerate, enumerate_parallel, load_enum_result, save_enum_result, EnumConfig};
+use archval_exec::StepProgram;
+use archval_fsm::{
+    enumerate_parallel_with, enumerate_with, load_enum_result, save_enum_result, EngineFactory,
+    EnumConfig,
+};
 use archval_pp::pp_control_model;
 
 /// Everything `BENCH_table3_2.json` records.
@@ -22,6 +33,11 @@ use archval_pp::pp_control_model;
 struct Table32Bench {
     scale: String,
     threads: usize,
+    engine: String,
+    /// Seconds spent lowering the model to bytecode (zero for `tree`).
+    compile_seconds: f64,
+    /// Mean cost of one evaluated transition during enumeration.
+    ns_per_transition: f64,
     states: u64,
     bits_per_state: u32,
     edges: u64,
@@ -40,7 +56,28 @@ fn main() {
     let scale = scale_from_args();
     let threads = threads_from_args();
     let snapshot = snapshot_from_args();
+    let engine = engine_from_args();
     let model = pp_control_model(&scale).expect("control model builds");
+
+    let (program, compile_seconds) = match engine {
+        Engine::Compiled => {
+            let t0 = std::time::Instant::now();
+            let p = StepProgram::compile(&model);
+            let secs = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "compiled model to {} instructions ({} prefix) / {} registers in {secs:.3} s",
+                p.stats().instructions,
+                p.stats().prefix_instructions,
+                p.register_count()
+            );
+            (Some(p), secs)
+        }
+        Engine::Tree => (None, 0.0),
+    };
+    let factory: &dyn EngineFactory = match &program {
+        Some(p) => p,
+        None => &model,
+    };
 
     let mut from_snapshot = false;
     let mut snapshot_load_seconds = None;
@@ -57,8 +94,11 @@ fn main() {
             r
         }
         _ => {
-            eprintln!("enumerating at {scale:?} ... (use `paper` for the near-paper-scale run)");
-            let r = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+            eprintln!(
+                "enumerating at {scale:?} with the {engine} engine ... (use `paper` for the \
+                 near-paper-scale run)"
+            );
+            let r = enumerate_with(&model, &EnumConfig::default(), factory).expect("enumeration");
             if let Some(path) = &snapshot {
                 save_enum_result(path, &model, &r)
                     .unwrap_or_else(|e| panic!("saving {}: {e}", path.display()));
@@ -104,7 +144,7 @@ fn main() {
     if threads > 1 && !from_snapshot {
         eprintln!("re-enumerating with {threads} worker threads ...");
         let cfg = EnumConfig { threads, ..EnumConfig::default() };
-        let p = enumerate_parallel(&model, &cfg).expect("parallel enumeration");
+        let p = enumerate_parallel_with(&model, &cfg, factory).expect("parallel enumeration");
         assert_eq!(p.stats.states, r.stats.states, "state count diverged");
         assert_eq!(p.stats.edges, r.stats.edges, "edge count diverged");
         let seq = r.stats.elapsed.as_secs_f64();
@@ -116,11 +156,24 @@ fn main() {
         );
     }
 
+    let ns_per_transition = if r.stats.transitions_evaluated > 0 {
+        r.stats.elapsed.as_secs_f64() * 1e9 / r.stats.transitions_evaluated as f64
+    } else {
+        0.0
+    };
+    println!(
+        "engine: {engine} — lowering {compile_seconds:.3} s, {ns_per_transition:.0} ns per \
+         evaluated transition"
+    );
+
     archval_bench::emit_bench_json(
         "table3_2",
         &Table32Bench {
             scale: format!("{scale:?}"),
             threads,
+            engine: engine.to_string(),
+            compile_seconds,
+            ns_per_transition,
             states: r.stats.states as u64,
             bits_per_state: r.stats.bits_per_state,
             edges: r.stats.edges as u64,

@@ -2,26 +2,53 @@
 
 use std::path::PathBuf;
 
+use archval::Engine;
 use archval_pp::PpScale;
 
-/// Positional command-line arguments with the `--snapshot` flag (and its
-/// value) removed, so `scale` and `threads` keep their positions whether
-/// or not a snapshot path is present.
+/// Positional command-line arguments with the `--snapshot`/`--engine`
+/// flags (and their values) removed, so `scale` and `threads` keep their
+/// positions whether or not the flags are present.
 fn positional_args() -> Vec<String> {
     let mut out = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--snapshot" {
+        if a == "--snapshot" || a == "--engine" {
             // consume the flag's value
             if args.next().is_none() {
-                eprintln!("--snapshot requires a path argument");
+                eprintln!("{a} requires a value argument");
                 std::process::exit(2);
             }
-        } else if !a.starts_with("--snapshot=") {
+        } else if !a.starts_with("--snapshot=") && !a.starts_with("--engine=") {
             out.push(a);
         }
     }
     out
+}
+
+/// Parses the `--engine <compiled|tree>` (or `--engine=<...>`) flag
+/// selecting the step engine, defaulting to [`Engine::Compiled`]. Both
+/// engines produce bit-identical results; `tree` exists as the
+/// differential oracle and for before/after timing comparisons.
+pub fn engine_from_args() -> Engine {
+    let mut args = std::env::args().skip(1);
+    let parse = |s: &str| {
+        s.parse::<Engine>().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        if a == "--engine" {
+            return parse(&args.next().unwrap_or_else(|| {
+                eprintln!("--engine requires a value (compiled|tree)");
+                std::process::exit(2);
+            }));
+        }
+        if let Some(name) = a.strip_prefix("--engine=") {
+            return parse(name);
+        }
+    }
+    Engine::default()
 }
 
 /// Parses the `--snapshot <path>` (or `--snapshot=<path>`) flag: where to

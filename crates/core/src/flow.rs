@@ -1,16 +1,63 @@
 //! The end-to-end validation flow for any annotated Verilog design.
 
+use archval_exec::StepProgram;
 use archval_fsm::enumerate::{EnumConfig, EnumResult};
 use archval_fsm::graph::EdgePolicy;
-use archval_fsm::parallel::enumerate_parallel;
+use archval_fsm::parallel::enumerate_parallel_with;
 use archval_fsm::snapshot::{load_enum_result, save_enum_result};
-use archval_fsm::Model;
+use archval_fsm::{EngineFactory, Model};
 use archval_fuzz::{FuzzConfig, FuzzEngine, FuzzReport, GraphFeedback};
 use archval_tour::generate::{generate_tours, TourConfig, TourSet};
 use archval_verilog::{parse, translate_with_options, TranslateOptions};
 
 use crate::report::ValidationSummary;
 use crate::Error;
+
+/// Which step engine executes the model's transition function.
+///
+/// Both engines are semantically exact — every run is bit-identical
+/// under either (held by the differential suites); only throughput
+/// differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The model is lowered once into flat register bytecode
+    /// (`archval-exec`) and stepped by a tight interpreter loop — the
+    /// fast default.
+    #[default]
+    Compiled,
+    /// The tree-walking expression evaluator — the reference oracle the
+    /// compiled engine is differential-tested against.
+    Tree,
+}
+
+impl Engine {
+    /// The CLI-facing name (`"compiled"` / `"tree"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Compiled => "compiled",
+            Engine::Tree => "tree",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "compiled" => Ok(Engine::Compiled),
+            "tree" => Ok(Engine::Tree),
+            other => Err(format!("unknown engine '{other}' (expected 'compiled' or 'tree')")),
+        }
+    }
+}
 
 /// A configured validation flow: Verilog → FSM → enumeration → tours.
 ///
@@ -23,6 +70,7 @@ pub struct ValidationFlow {
     enum_config: EnumConfig,
     tour_config: TourConfig,
     snapshot: Option<std::path::PathBuf>,
+    engine: Engine,
 }
 
 impl ValidationFlow {
@@ -58,7 +106,16 @@ impl ValidationFlow {
             enum_config: EnumConfig::default(),
             tour_config: TourConfig::default(),
             snapshot: None,
+            engine: Engine::default(),
         }
+    }
+
+    /// Selects the step engine (compiled bytecode by default; the tree
+    /// walker serves as the differential oracle). Results are
+    /// bit-identical either way.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the edge-label policy (the paper's Section 4 discussion:
@@ -111,10 +168,22 @@ impl ValidationFlow {
     /// configured snapshot file is corrupt, was built for a different
     /// model, or cannot be written.
     pub fn run(self) -> Result<FlowResult, Error> {
+        let (program, compile_seconds) = match self.engine {
+            Engine::Compiled => {
+                let start = std::time::Instant::now();
+                let program = StepProgram::compile(&self.model);
+                (Some(program), start.elapsed().as_secs_f64())
+            }
+            Engine::Tree => (None, 0.0),
+        };
+        let factory: &dyn EngineFactory = match &program {
+            Some(p) => p,
+            None => &self.model,
+        };
         let enumd = match &self.snapshot {
             Some(path) if path.exists() => load_enum_result(path, &self.model)?,
             maybe_path => {
-                let enumd = enumerate_parallel(&self.model, &self.enum_config)?;
+                let enumd = enumerate_parallel_with(&self.model, &self.enum_config, factory)?;
                 if let Some(path) = maybe_path {
                     save_enum_result(path, &self.model, &enumd)?;
                 }
@@ -122,7 +191,14 @@ impl ValidationFlow {
             }
         };
         let tours = generate_tours(&enumd.graph, &self.tour_config);
-        Ok(FlowResult { model: self.model, enumd, tours })
+        Ok(FlowResult {
+            model: self.model,
+            enumd,
+            tours,
+            engine: self.engine,
+            program,
+            compile_seconds,
+        })
     }
 }
 
@@ -136,6 +212,14 @@ pub struct FlowResult {
     pub enumd: EnumResult,
     /// The covering tour set and statistics (Table 3.3 shape).
     pub tours: TourSet,
+    /// Which step engine ran (and will run downstream fuzzing).
+    pub engine: Engine,
+    /// The compiled program, when [`Engine::Compiled`] ran — reusable by
+    /// downstream campaigns without recompiling.
+    pub program: Option<StepProgram>,
+    /// Wall-clock seconds spent lowering the model (zero for the tree
+    /// engine).
+    pub compile_seconds: f64,
 }
 
 impl FlowResult {
@@ -168,7 +252,11 @@ impl FlowResult {
     /// Returns [`Error::Fuzz`] if a candidate replay fails (for a
     /// completely enumerated model this indicates a stale enumeration).
     pub fn fuzz(&self, config: FuzzConfig) -> Result<FuzzReport, Error> {
-        let mut engine = FuzzEngine::new(&self.model, GraphFeedback::new(&self.enumd), config);
+        let feedback = GraphFeedback::new(&self.enumd);
+        let mut engine = match &self.program {
+            Some(program) => FuzzEngine::with_factory(&self.model, program, feedback, config),
+            None => FuzzEngine::new(&self.model, feedback, config),
+        };
         Ok(engine.run()?)
     }
 
@@ -258,6 +346,32 @@ endmodule
             use archval_fsm::StateId;
             assert_eq!(par.enumd.graph.edges(StateId(s)), seq.enumd.graph.edges(StateId(s)));
         }
+    }
+
+    #[test]
+    fn tree_and_compiled_flows_agree() {
+        let compiled = ValidationFlow::from_verilog(HANDSHAKE, "handshake").unwrap().run().unwrap();
+        assert_eq!(compiled.engine, Engine::Compiled, "compiled is the default");
+        assert!(compiled.program.is_some());
+        let tree = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+            .unwrap()
+            .engine(Engine::Tree)
+            .run()
+            .unwrap();
+        assert!(tree.program.is_none());
+        assert_eq!(compiled.enumd.graph, tree.enumd.graph);
+        assert_eq!(compiled.tours.traces(), tree.tours.traces());
+        // downstream fuzzing is engine-agnostic too
+        let config = FuzzConfig { cycle_budget: 1_000, seed: 5, ..FuzzConfig::default() };
+        assert_eq!(compiled.fuzz(config.clone()).unwrap(), tree.fuzz(config).unwrap());
+    }
+
+    #[test]
+    fn engine_parses_from_cli_names() {
+        assert_eq!("compiled".parse::<Engine>().unwrap(), Engine::Compiled);
+        assert_eq!("tree".parse::<Engine>().unwrap(), Engine::Tree);
+        assert!("jit".parse::<Engine>().is_err());
+        assert_eq!(Engine::Compiled.to_string(), "compiled");
     }
 
     #[test]

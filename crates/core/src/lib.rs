@@ -61,9 +61,10 @@
 pub mod flow;
 pub mod report;
 
-pub use flow::{FlowResult, ValidationFlow};
+pub use flow::{Engine, FlowResult, ValidationFlow};
 pub use report::ValidationSummary;
 
+pub use archval_exec as exec;
 pub use archval_fsm as fsm;
 pub use archval_fuzz as fuzz;
 pub use archval_pp as pp;

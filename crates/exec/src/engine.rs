@@ -1,0 +1,118 @@
+//! The register-machine interpreter executing a [`StepProgram`].
+
+use archval_fsm::engine::{EngineFactory, StepEngine};
+use archval_fsm::Error;
+
+use crate::program::{Op, StepProgram};
+
+/// A [`StepEngine`] executing a compiled [`StepProgram`].
+///
+/// The engine owns only the mutable register file; the program is shared,
+/// so spawning one engine per worker thread is cheap and workers never
+/// contend. `begin_state` runs the state-only prefix once per dequeued
+/// state; `step_choices` runs the choice-dependent suffix per permutation.
+#[derive(Debug)]
+pub struct CompiledEngine<'p> {
+    program: &'p StepProgram,
+    regs: Vec<u64>,
+}
+
+impl<'p> CompiledEngine<'p> {
+    /// Creates an engine over `program` with a fresh register file.
+    pub fn new(program: &'p StepProgram) -> Self {
+        CompiledEngine { program, regs: program.init_regs.clone() }
+    }
+
+    /// The program this engine executes.
+    pub fn program(&self) -> &'p StepProgram {
+        self.program
+    }
+
+    fn exec(
+        &mut self,
+        start: usize,
+        end: usize,
+        state: &[u64],
+        choices: &[u64],
+        out: &mut [u64],
+    ) -> Result<(), Error> {
+        let p = self.program;
+        let regs = &mut self.regs;
+        let mut pc = start;
+        while pc < end {
+            let i = p.instrs[pc];
+            let (a, b) = (i.a as usize, i.b as usize);
+            match i.op {
+                Op::LoadVar => regs[i.dst as usize] = state[a],
+                Op::LoadChoice => regs[i.dst as usize] = choices[a],
+                Op::Move => regs[i.dst as usize] = regs[a],
+                Op::Not => regs[i.dst as usize] = u64::from(regs[a] == 0),
+                Op::BitNot => regs[i.dst as usize] = !regs[a],
+                Op::And => regs[i.dst as usize] = u64::from(regs[a] != 0 && regs[b] != 0),
+                Op::Or => regs[i.dst as usize] = u64::from(regs[a] != 0 || regs[b] != 0),
+                Op::BitAnd => regs[i.dst as usize] = regs[a] & regs[b],
+                Op::BitOr => regs[i.dst as usize] = regs[a] | regs[b],
+                Op::BitXor => regs[i.dst as usize] = regs[a] ^ regs[b],
+                Op::Add => regs[i.dst as usize] = regs[a].wrapping_add(regs[b]),
+                Op::Sub => regs[i.dst as usize] = regs[a].wrapping_sub(regs[b]),
+                Op::Mul => regs[i.dst as usize] = regs[a].wrapping_mul(regs[b]),
+                Op::ModUnchecked => regs[i.dst as usize] = regs[a] % regs[b],
+                Op::ModChecked => {
+                    let d = regs[b];
+                    if d == 0 {
+                        return Err(Error::DivisionByZero);
+                    }
+                    regs[i.dst as usize] = regs[a] % d;
+                }
+                Op::Eq => regs[i.dst as usize] = u64::from(regs[a] == regs[b]),
+                Op::Ne => regs[i.dst as usize] = u64::from(regs[a] != regs[b]),
+                Op::Lt => regs[i.dst as usize] = u64::from(regs[a] < regs[b]),
+                Op::Le => regs[i.dst as usize] = u64::from(regs[a] <= regs[b]),
+                Op::Gt => regs[i.dst as usize] = u64::from(regs[a] > regs[b]),
+                Op::Ge => regs[i.dst as usize] = u64::from(regs[a] >= regs[b]),
+                Op::Shl => regs[i.dst as usize] = regs[a] << regs[b].min(63),
+                Op::Shr => regs[i.dst as usize] = regs[a] >> regs[b].min(63),
+                Op::CondMove => {
+                    regs[i.dst as usize] = if regs[a] != 0 { regs[b] } else { regs[i.c as usize] }
+                }
+                Op::Jump => {
+                    pc = a;
+                    continue;
+                }
+                Op::JumpIfZero => {
+                    if regs[a] == 0 {
+                        pc = b;
+                        continue;
+                    }
+                }
+                Op::StoreMask => out[i.dst as usize] = regs[a] & p.var_masks[i.dst as usize],
+                Op::StoreMod => out[i.dst as usize] = regs[a] % p.var_sizes[i.dst as usize],
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+impl StepEngine for CompiledEngine<'_> {
+    fn begin_state(&mut self, state: &[u64]) -> Result<(), Error> {
+        debug_assert_eq!(state.len(), self.program.var_sizes.len(), "state width mismatch");
+        // the prefix is branch-free and infallible by construction
+        self.exec(0, self.program.prefix_len, state, &[], &mut [])
+    }
+
+    fn step_choices(&mut self, choices: &[u64], out: &mut [u64]) -> Result<(), Error> {
+        debug_assert_eq!(choices.len(), self.program.n_choices, "choice width mismatch");
+        debug_assert_eq!(out.len(), self.program.var_sizes.len(), "output width mismatch");
+        let end = self.program.instrs.len();
+        self.exec(self.program.prefix_len, end, &[], choices, out)
+    }
+}
+
+/// Spawns one [`CompiledEngine`] per caller over the shared program —
+/// what the parallel enumerator and fuzz workers use.
+impl EngineFactory for StepProgram {
+    fn spawn(&self) -> Box<dyn StepEngine + '_> {
+        Box::new(CompiledEngine::new(self))
+    }
+}

@@ -1,0 +1,67 @@
+//! Bytecode compilation of [`archval_fsm::Model`]s into flat register
+//! programs — the reproduction's fast step engine.
+//!
+//! Every execution layer of the reproduction (sequential and parallel
+//! enumeration, fuzz replay, sim campaigns) advances a model one clock
+//! cycle at a time, tens of millions of times per paper-scale run. The
+//! tree-walking [`Evaluator`](archval_fsm::eval::Evaluator) pays match
+//! dispatch, memo-generation checks and recursion per node per call;
+//! this crate instead lowers the model's expression arena once into a
+//! [`StepProgram`] — a topologically-ordered register bytecode with
+//! constant folding, value-numbering CSE and dead-code elimination — and
+//! executes it with a tight interpreter loop ([`CompiledEngine`]).
+//!
+//! The program is split into a **state-only prefix** (run once per
+//! dequeued state via [`StepEngine::begin_state`]) and a
+//! **choice-dependent suffix** (run per choice permutation via
+//! [`StepEngine::step_choices`]), matching the enumerator's sweep of
+//! every choice combination against a fixed state.
+//!
+//! The engine is *semantically exact*: for every `(state, choices)` pair
+//! it produces bit-identical successors to the tree walker and fails
+//! with [`DivisionByZero`](archval_fsm::Error::DivisionByZero) on
+//! exactly the same inputs — safe expressions are lowered branch-free
+//! (guarded `CondMove`s), while regions that could raise are lowered as
+//! jump-guarded lazy code mirroring the tree walker's demand order. The
+//! differential suites in `tests/` and `tests/engine_differential.rs`
+//! at the workspace root hold this invariant.
+//!
+//! # Example
+//!
+//! ```
+//! use archval_fsm::builder::ModelBuilder;
+//! use archval_fsm::engine::StepEngine;
+//! use archval_exec::StepProgram;
+//!
+//! let mut b = ModelBuilder::new("counter");
+//! let en = b.choice("enable", 2);
+//! let count = b.state_var("count", 4, 0);
+//! let cur = b.var_expr(count);
+//! let bumped = b.add(cur, b.constant(1));
+//! let next = b.ternary(b.choice_expr(en), bumped, cur);
+//! b.set_next(count, next);
+//! let model = b.build()?;
+//!
+//! let program = StepProgram::compile(&model);
+//! let mut engine = archval_exec::CompiledEngine::new(&program);
+//! let mut out = [0u64];
+//! engine.begin_state(&[3])?;
+//! engine.step_choices(&[1], &mut out)?;
+//! assert_eq!(out, [0]); // 3 + 1 wraps in the 4-value domain
+//! # Ok::<(), archval_fsm::Error>(())
+//! ```
+
+pub mod engine;
+pub mod lower;
+pub mod program;
+
+pub use engine::CompiledEngine;
+pub use lower::compile;
+pub use program::{CompileStats, Instr, Op, StepProgram};
+
+impl StepProgram {
+    /// Compiles `model` into a step program; see [`lower::compile`].
+    pub fn compile(model: &archval_fsm::Model) -> StepProgram {
+        lower::compile(model)
+    }
+}

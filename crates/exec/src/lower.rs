@@ -1,0 +1,648 @@
+//! Lowering: one pass over the model's expression arena producing a
+//! [`StepProgram`].
+//!
+//! The arena is already hash-consed by the model builder (structural CSE)
+//! and ids are topologically ordered (children precede parents, and a
+//! definition's expression precedes every `Def` node referencing it), so
+//! the whole analysis runs as a single forward scan computing three
+//! attributes per node:
+//!
+//! * **folded value** — constant folding, including pruning of `Ternary`
+//!   branches and `Select` arms whose guards fold;
+//! * **failure capability** — whether evaluating the node can raise
+//!   `DivisionByZero` (a `Mod` whose divisor is not a nonzero constant,
+//!   or any node demanding one). Only *safe* (non-failing) nodes may be
+//!   evaluated eagerly/branch-free; fallible regions are lowered as
+//!   short jump-guarded code so the compiled engine fails **iff** the
+//!   tree walker's lazy evaluation would demand the failing node;
+//! * **choice dependence** — whether the value can change between choice
+//!   permutations against a fixed state. This drives the state-only
+//!   prefix / choice-dependent suffix split.
+//!
+//! On top of folding, a value-numbering map over *resolved* operands
+//! catches duplicates that only become structurally identical after
+//! simplification, and dead-code elimination keeps just the nodes
+//! demanded by the next-state roots — plus every fallible definition
+//! root, because the tree walker evaluates all definitions
+//! unconditionally and dropping a fallible one would change which inputs
+//! error.
+
+use std::collections::HashMap;
+
+use archval_fsm::expr::{apply_binary, apply_unary, BinaryOp, Expr, UnaryOp};
+use archval_fsm::Model;
+
+use crate::program::{CompileStats, Instr, Op, StepProgram};
+
+/// A resolved operand: either a compile-time constant or the
+/// representative live node computing the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Ref {
+    Const(u64),
+    Node(u32),
+}
+
+/// Per-node analysis result. `repr` is `Const` when the node folds and
+/// otherwise names the representative node after aliasing/CSE.
+#[derive(Debug, Clone, Copy)]
+struct Info {
+    repr: Ref,
+    can_fail: bool,
+    choice_dep: bool,
+}
+
+impl Info {
+    fn constant(v: u64) -> Self {
+        Info { repr: Ref::Const(v), can_fail: false, choice_dep: false }
+    }
+}
+
+/// Simplified structure of a representative node, with operands resolved.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Form {
+    Var(u32),
+    Choice(u32),
+    Unary(UnaryOp, Ref),
+    Binary(BinaryOp, Ref, Ref),
+    Ternary(Ref, Ref, Ref),
+    Select(Vec<(Ref, Ref)>, Ref),
+}
+
+impl Form {
+    fn for_each_ref(&self, mut f: impl FnMut(Ref)) {
+        match self {
+            Form::Var(_) | Form::Choice(_) => {}
+            Form::Unary(_, a) => f(*a),
+            Form::Binary(_, a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Form::Ternary(c, t, o) => {
+                f(*c);
+                f(*t);
+                f(*o);
+            }
+            Form::Select(arms, default) => {
+                for (g, v) in arms {
+                    f(*g);
+                    f(*v);
+                }
+                f(*default);
+            }
+        }
+    }
+}
+
+/// Compiles `model` into a [`StepProgram`].
+///
+/// The program is semantically exact: for every `(state, choices)` pair
+/// it produces the same successor state as
+/// [`Evaluator::next_state`](archval_fsm::eval::Evaluator::next_state),
+/// and fails with `DivisionByZero` on exactly the same inputs.
+pub fn compile(model: &Model) -> StepProgram {
+    let analysis = analyze(model);
+    emit(model, analysis)
+}
+
+struct Analysis {
+    info: Vec<Info>,
+    forms: Vec<Option<Form>>,
+    live: Vec<bool>,
+    /// Fallible definition roots (representatives, in definition order)
+    /// that must be force-evaluated for error fidelity.
+    forced_defs: Vec<u32>,
+    /// Resolved next-state root per variable.
+    var_roots: Vec<Ref>,
+    stats: CompileStats,
+}
+
+fn analyze(model: &Model) -> Analysis {
+    let exprs = model.exprs();
+    let mut info: Vec<Info> = Vec::with_capacity(exprs.len());
+    let mut forms: Vec<Option<Form>> = vec![None; exprs.len()];
+    let mut value_numbers: HashMap<Form, u32> = HashMap::new();
+    let mut stats = CompileStats { arena_nodes: exprs.len(), ..CompileStats::default() };
+
+    // Single forward scan: ids are topological, so every operand's Info
+    // exists by the time its consumer is visited.
+    for (i, expr) in exprs.iter().enumerate() {
+        let r = |id: archval_fsm::ExprId| info[id.0 as usize].repr;
+        let fail = |id: archval_fsm::ExprId| info[id.0 as usize].can_fail;
+        let dep = |id: archval_fsm::ExprId| info[id.0 as usize].choice_dep;
+        let ref_info = |rf: Ref, can_fail: bool, choice_dep: bool| match rf {
+            Ref::Const(v) => Info::constant(v),
+            Ref::Node(_) => Info { repr: rf, can_fail, choice_dep },
+        };
+
+        let next = match expr {
+            Expr::Const(v) => Info::constant(*v),
+            Expr::Var(v) => {
+                intern(Form::Var(v.0), i, false, false, &mut value_numbers, &mut forms, &mut stats)
+            }
+            Expr::Choice(c) => intern(
+                Form::Choice(c.0),
+                i,
+                false,
+                true,
+                &mut value_numbers,
+                &mut forms,
+                &mut stats,
+            ),
+            // A Def reference reads the definition's already-computed
+            // value: alias it to the definition root wholesale.
+            Expr::Def(d) => info[model.defs()[d.0 as usize].expr.0 as usize],
+            Expr::Unary(op, a) => match r(*a) {
+                Ref::Const(av) => Info::constant(apply_unary(*op, av)),
+                ra => intern(
+                    Form::Unary(*op, ra),
+                    i,
+                    fail(*a),
+                    dep(*a),
+                    &mut value_numbers,
+                    &mut forms,
+                    &mut stats,
+                ),
+            },
+            Expr::Binary(op, a, b) => {
+                let (ra, rb) = (r(*a), r(*b));
+                if let (Ref::Const(av), Ref::Const(bv)) = (ra, rb) {
+                    match apply_binary(*op, av, bv) {
+                        Some(v) => Info::constant(v),
+                        // Mod by a constant zero: never folds, always
+                        // fails when demanded. Lower it checked.
+                        None => intern(
+                            Form::Binary(*op, ra, rb),
+                            i,
+                            true,
+                            false,
+                            &mut value_numbers,
+                            &mut forms,
+                            &mut stats,
+                        ),
+                    }
+                } else {
+                    let divisor_fallible =
+                        *op == BinaryOp::Mod && !matches!(rb, Ref::Const(bv) if bv != 0);
+                    intern(
+                        Form::Binary(*op, ra, rb),
+                        i,
+                        fail(*a) || fail(*b) || divisor_fallible,
+                        dep(*a) || dep(*b),
+                        &mut value_numbers,
+                        &mut forms,
+                        &mut stats,
+                    )
+                }
+            }
+            Expr::Ternary { cond, then, other } => match r(*cond) {
+                // Constant condition: the node *is* the taken branch; the
+                // untaken branch is never demanded through this node.
+                Ref::Const(cv) => {
+                    let taken = if cv != 0 { *then } else { *other };
+                    ref_info(r(taken), fail(taken), dep(taken))
+                }
+                rc => {
+                    // Both branches agree and the condition cannot fail:
+                    // the condition's value is irrelevant.
+                    if r(*then) == r(*other) && !fail(*cond) {
+                        ref_info(r(*then), fail(*then), dep(*then))
+                    } else {
+                        intern(
+                            Form::Ternary(rc, r(*then), r(*other)),
+                            i,
+                            fail(*cond) || fail(*then) || fail(*other),
+                            dep(*cond) || dep(*then) || dep(*other),
+                            &mut value_numbers,
+                            &mut forms,
+                            &mut stats,
+                        )
+                    }
+                }
+            },
+            Expr::Select { arms, default } => {
+                // Prune arms whose guards fold: a constant-false guard
+                // drops the arm, a constant-true guard becomes the new
+                // default and cuts everything after it.
+                let mut pruned: Vec<(Ref, Ref)> = Vec::new();
+                let mut new_default = r(*default);
+                let mut def_fail = fail(*default);
+                let mut def_dep = dep(*default);
+                for (g, v) in arms {
+                    match r(*g) {
+                        Ref::Const(0) => continue,
+                        Ref::Const(_) => {
+                            new_default = r(*v);
+                            def_fail = fail(*v);
+                            def_dep = dep(*v);
+                            break;
+                        }
+                        rg => pruned.push((rg, r(*v))),
+                    }
+                }
+                if pruned.is_empty() {
+                    ref_info(new_default, def_fail, def_dep)
+                } else {
+                    let mut can_fail = def_fail;
+                    let mut choice_dep = def_dep;
+                    for &(g, v) in &pruned {
+                        can_fail |= rfail(&info, g) || rfail(&info, v);
+                        choice_dep |= rdep(&info, g) || rdep(&info, v);
+                    }
+                    intern(
+                        Form::Select(pruned, new_default),
+                        i,
+                        can_fail,
+                        choice_dep,
+                        &mut value_numbers,
+                        &mut forms,
+                        &mut stats,
+                    )
+                }
+            }
+        };
+        if !matches!(expr, Expr::Const(_)) && matches!(next.repr, Ref::Const(_)) {
+            stats.folded += 1;
+        }
+        info.push(next);
+    }
+
+    // Roots: every variable's next-state expression, plus every fallible
+    // definition root (the tree walker evaluates all definitions whether
+    // used or not, so their failures are observable).
+    let mut forced_defs = Vec::new();
+    for d in model.defs() {
+        if let Ref::Node(n) = info[d.expr.0 as usize].repr {
+            if info[n as usize].can_fail && !forced_defs.contains(&n) {
+                forced_defs.push(n);
+            }
+        }
+    }
+    let var_roots: Vec<Ref> = model.vars().iter().map(|v| info[v.next.0 as usize].repr).collect();
+
+    // Liveness: demand-reachability from the roots over resolved forms.
+    let mut live = vec![false; exprs.len()];
+    let mut work: Vec<u32> = forced_defs.clone();
+    for r in &var_roots {
+        if let Ref::Node(n) = r {
+            work.push(*n);
+        }
+    }
+    while let Some(n) = work.pop() {
+        if std::mem::replace(&mut live[n as usize], true) {
+            continue;
+        }
+        forms[n as usize].as_ref().expect("live node must be a representative").for_each_ref(
+            |rf| {
+                if let Ref::Node(m) = rf {
+                    work.push(m);
+                }
+            },
+        );
+    }
+    stats.live_nodes = live.iter().filter(|&&l| l).count();
+
+    Analysis { info, forms, live, forced_defs, var_roots, stats }
+}
+
+fn rfail(info: &[Info], r: Ref) -> bool {
+    match r {
+        Ref::Const(_) => false,
+        Ref::Node(n) => info[n as usize].can_fail,
+    }
+}
+
+fn rdep(info: &[Info], r: Ref) -> bool {
+    match r {
+        Ref::Const(_) => false,
+        Ref::Node(n) => info[n as usize].choice_dep,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn intern(
+    form: Form,
+    id: usize,
+    can_fail: bool,
+    choice_dep: bool,
+    value_numbers: &mut HashMap<Form, u32>,
+    forms: &mut [Option<Form>],
+    stats: &mut CompileStats,
+) -> Info {
+    if let Some(&rep) = value_numbers.get(&form) {
+        stats.cse_aliased += 1;
+        return Info { repr: Ref::Node(rep), can_fail, choice_dep };
+    }
+    value_numbers.insert(form.clone(), id as u32);
+    forms[id] = Some(form);
+    Info { repr: Ref::Node(id as u32), can_fail, choice_dep }
+}
+
+/// Code emission state for the fallible (lazily evaluated) section.
+struct Emitter {
+    suffix: Vec<Instr>,
+    /// Whether a node's register holds its value at the current program
+    /// point (compile-time tracking, scoped to conditional regions).
+    available: Vec<bool>,
+    /// One frame per open conditional region: the nodes whose
+    /// availability must be revoked when the region closes.
+    scopes: Vec<Vec<u32>>,
+    node_reg: Vec<u32>,
+    const_reg: HashMap<u64, u32>,
+}
+
+impl Emitter {
+    fn reg_of(&self, r: Ref) -> u32 {
+        match r {
+            Ref::Const(v) => self.const_reg[&v],
+            Ref::Node(n) => self.node_reg[n as usize],
+        }
+    }
+
+    fn push(&mut self, op: Op, dst: u32, a: u32, b: u32, c: u32) -> usize {
+        self.suffix.push(Instr { op, dst, a, b, c });
+        self.suffix.len() - 1
+    }
+
+    fn open_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn close_scope(&mut self) {
+        for n in self.scopes.pop().expect("unbalanced scope") {
+            self.available[n as usize] = false;
+        }
+    }
+
+    fn mark_available(&mut self, n: u32) {
+        self.available[n as usize] = true;
+        if let Some(frame) = self.scopes.last_mut() {
+            frame.push(n);
+        }
+    }
+
+    /// Makes `r`'s value available in its register at the current point,
+    /// emitting lazily-guarded code for fallible nodes on demand, and
+    /// returns the register.
+    fn ensure(&mut self, r: Ref, an: &Analysis) -> u32 {
+        if let Ref::Node(n) = r {
+            if !self.available[n as usize] {
+                self.emit_lazy(n, an);
+            }
+        }
+        self.reg_of(r)
+    }
+
+    /// Emits code computing fallible node `n` at the current program
+    /// point, guarded exactly as the tree walker's lazy evaluation
+    /// demands it.
+    fn emit_lazy(&mut self, n: u32, an: &Analysis) {
+        let dst = self.node_reg[n as usize];
+        let form = an.forms[n as usize].clone().expect("fallible node must have a form");
+        match form {
+            // Leaves and safe nodes are emitted eagerly up front and are
+            // always available; only fallible interior nodes reach here.
+            Form::Var(_) | Form::Choice(_) => unreachable!("leaves are always available"),
+            Form::Unary(op, a) => {
+                let ra = self.ensure(a, an);
+                let op = unary_opcode(op);
+                self.push(op, dst, ra, 0, 0);
+            }
+            Form::Binary(op, a, b) => {
+                let ra = self.ensure(a, an);
+                let rb = self.ensure(b, an);
+                let op = binary_opcode(op, b);
+                self.push(op, dst, ra, rb, 0);
+            }
+            Form::Ternary(c, t, o) => {
+                let rc = self.ensure(c, an);
+                let jz = self.push(Op::JumpIfZero, 0, rc, 0, 0);
+                self.open_scope();
+                let rt = self.ensure(t, an);
+                self.push(Op::Move, dst, rt, 0, 0);
+                self.close_scope();
+                let jend = self.push(Op::Jump, 0, 0, 0, 0);
+                self.suffix[jz].b = self.suffix.len() as u32;
+                self.open_scope();
+                let ro = self.ensure(o, an);
+                self.push(Op::Move, dst, ro, 0, 0);
+                self.close_scope();
+                self.suffix[jend].a = self.suffix.len() as u32;
+            }
+            Form::Select(arms, default) => {
+                let mut jends = Vec::with_capacity(arms.len());
+                let mut fall_scopes = 0;
+                for (g, v) in arms {
+                    let rg = self.ensure(g, an);
+                    let jz = self.push(Op::JumpIfZero, 0, rg, 0, 0);
+                    self.open_scope();
+                    let rv = self.ensure(v, an);
+                    self.push(Op::Move, dst, rv, 0, 0);
+                    self.close_scope();
+                    jends.push(self.push(Op::Jump, 0, 0, 0, 0));
+                    self.suffix[jz].b = self.suffix.len() as u32;
+                    // everything after a failed guard only runs on that
+                    // fall-through path: open a region for the rest
+                    self.open_scope();
+                    fall_scopes += 1;
+                }
+                let rd = self.ensure(default, an);
+                self.push(Op::Move, dst, rd, 0, 0);
+                for _ in 0..fall_scopes {
+                    self.close_scope();
+                }
+                let end = self.suffix.len() as u32;
+                for j in jends {
+                    self.suffix[j].a = end;
+                }
+            }
+        }
+        self.mark_available(n);
+    }
+}
+
+fn unary_opcode(op: UnaryOp) -> Op {
+    match op {
+        UnaryOp::Not => Op::Not,
+        UnaryOp::BitNot => Op::BitNot,
+    }
+}
+
+/// Maps a binary operator to its opcode; `Mod` picks the unchecked form
+/// only when the divisor is a nonzero constant.
+fn binary_opcode(op: BinaryOp, divisor: Ref) -> Op {
+    match op {
+        BinaryOp::And => Op::And,
+        BinaryOp::Or => Op::Or,
+        BinaryOp::BitAnd => Op::BitAnd,
+        BinaryOp::BitOr => Op::BitOr,
+        BinaryOp::BitXor => Op::BitXor,
+        BinaryOp::Add => Op::Add,
+        BinaryOp::Sub => Op::Sub,
+        BinaryOp::Mul => Op::Mul,
+        BinaryOp::Mod => match divisor {
+            Ref::Const(v) if v != 0 => Op::ModUnchecked,
+            _ => Op::ModChecked,
+        },
+        BinaryOp::Eq => Op::Eq,
+        BinaryOp::Ne => Op::Ne,
+        BinaryOp::Lt => Op::Lt,
+        BinaryOp::Le => Op::Le,
+        BinaryOp::Gt => Op::Gt,
+        BinaryOp::Ge => Op::Ge,
+        BinaryOp::Shl => Op::Shl,
+        BinaryOp::Shr => Op::Shr,
+    }
+}
+
+fn emit(model: &Model, an: Analysis) -> StepProgram {
+    let n_exprs = an.info.len();
+
+    // Register allocation: constants first (preloaded, never written),
+    // then one register per live node. No reuse — register files for
+    // real models are a few hundred words.
+    let mut const_reg: HashMap<u64, u32> = HashMap::new();
+    let mut init_consts: Vec<u64> = Vec::new();
+    let alloc_const = |v: u64, pool: &mut HashMap<u64, u32>, vals: &mut Vec<u64>| {
+        *pool.entry(v).or_insert_with(|| {
+            vals.push(v);
+            (vals.len() - 1) as u32
+        })
+    };
+    for i in 0..n_exprs {
+        if !an.live[i] {
+            continue;
+        }
+        an.forms[i].as_ref().expect("live node must have a form").for_each_ref(|r| {
+            if let Ref::Const(v) = r {
+                alloc_const(v, &mut const_reg, &mut init_consts);
+            }
+        });
+    }
+    for r in &an.var_roots {
+        if let Ref::Const(v) = r {
+            alloc_const(*v, &mut const_reg, &mut init_consts);
+        }
+    }
+    let n_consts = init_consts.len();
+    let mut node_reg = vec![u32::MAX; n_exprs];
+    let mut next_reg = n_consts as u32;
+    for (i, reg) in node_reg.iter_mut().enumerate() {
+        if an.live[i] {
+            *reg = next_reg;
+            next_reg += 1;
+        }
+    }
+
+    // Phase A: eager emission of every safe live node in topological
+    // (id) order — state-only nodes into the prefix, choice-dependent
+    // ones into the suffix. Safe nodes never fail, so evaluating them
+    // unconditionally (branch-free CondMove for Ternary/Select) is
+    // value- and error-exact.
+    let mut prefix: Vec<Instr> = Vec::new();
+    let mut em = Emitter {
+        suffix: Vec::new(),
+        available: vec![false; n_exprs],
+        scopes: Vec::new(),
+        node_reg,
+        const_reg,
+    };
+    for i in 0..n_exprs {
+        if !an.live[i] || an.info[i].can_fail {
+            continue;
+        }
+        let form = an.forms[i].as_ref().expect("live node must have a form");
+        let dst = em.node_reg[i];
+        let sink = if an.info[i].choice_dep { &mut em.suffix } else { &mut prefix };
+        match form {
+            Form::Var(v) => sink.push(Instr { op: Op::LoadVar, dst, a: *v, b: 0, c: 0 }),
+            Form::Choice(c) => sink.push(Instr { op: Op::LoadChoice, dst, a: *c, b: 0, c: 0 }),
+            Form::Unary(op, a) => {
+                let ra = match a {
+                    Ref::Const(v) => em.const_reg[v],
+                    Ref::Node(n) => em.node_reg[*n as usize],
+                };
+                sink.push(Instr { op: unary_opcode(*op), dst, a: ra, b: 0, c: 0 });
+            }
+            Form::Binary(op, a, b) => {
+                let reg = |r: &Ref| match r {
+                    Ref::Const(v) => em.const_reg[v],
+                    Ref::Node(n) => em.node_reg[*n as usize],
+                };
+                sink.push(Instr { op: binary_opcode(*op, *b), dst, a: reg(a), b: reg(b), c: 0 });
+            }
+            Form::Ternary(c, t, o) => {
+                let reg = |r: &Ref| match r {
+                    Ref::Const(v) => em.const_reg[v],
+                    Ref::Node(n) => em.node_reg[*n as usize],
+                };
+                sink.push(Instr { op: Op::CondMove, dst, a: reg(c), b: reg(t), c: reg(o) });
+            }
+            Form::Select(arms, default) => {
+                let reg = |r: &Ref| match r {
+                    Ref::Const(v) => em.const_reg[v],
+                    Ref::Node(n) => em.node_reg[*n as usize],
+                };
+                // dst starts as the default; arms applied in reverse so
+                // the first matching guard wins.
+                sink.push(Instr { op: Op::Move, dst, a: reg(default), b: 0, c: 0 });
+                for (g, v) in arms.iter().rev() {
+                    sink.push(Instr { op: Op::CondMove, dst, a: reg(g), b: reg(v), c: dst });
+                }
+            }
+        }
+        em.available[i] = true;
+    }
+
+    // Phase B: the fallible tail of the suffix. Fallible definition
+    // roots are forced in definition order (the tree walker evaluates
+    // them unconditionally before any next-state root), then each
+    // variable's root is ensured and stored.
+    for &n in &an.forced_defs {
+        if !em.available[n as usize] {
+            em.emit_lazy(n, &an);
+        }
+    }
+    for (vix, (root, var)) in an.var_roots.iter().zip(model.vars()).enumerate() {
+        let src = em.ensure(*root, &an);
+        let op = if var.size.is_power_of_two() { Op::StoreMask } else { Op::StoreMod };
+        em.push(op, vix as u32, src, 0, 0);
+    }
+    debug_assert!(em.scopes.is_empty(), "unbalanced lazy-emission scopes");
+
+    // Concatenate: jump targets were suffix-relative, rebase them.
+    let prefix_len = prefix.len();
+    let mut instrs = prefix;
+    for mut i in em.suffix {
+        match i.op {
+            Op::Jump => i.a += prefix_len as u32,
+            Op::JumpIfZero => i.b += prefix_len as u32,
+            _ => {}
+        }
+        instrs.push(i);
+    }
+
+    let mut init_regs = vec![0u64; next_reg as usize];
+    init_regs[..n_consts].copy_from_slice(&init_consts);
+
+    let var_sizes: Vec<u64> = model.vars().iter().map(|v| v.size).collect();
+    let var_masks: Vec<u64> =
+        var_sizes.iter().map(|&s| if s.is_power_of_two() { s - 1 } else { 0 }).collect();
+
+    let stats = CompileStats {
+        instructions: instrs.len(),
+        prefix_instructions: prefix_len,
+        registers: init_regs.len(),
+        const_registers: n_consts,
+        ..an.stats
+    };
+    StepProgram {
+        instrs,
+        prefix_len,
+        init_regs,
+        const_regs: n_consts,
+        var_sizes,
+        var_masks,
+        n_choices: model.choices().len(),
+        stats,
+    }
+}

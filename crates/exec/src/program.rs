@@ -1,0 +1,186 @@
+//! The compiled form of a model: a flat register-machine program.
+//!
+//! A [`StepProgram`] is produced by [`compile`](crate::lower::compile)
+//! from an [`archval_fsm::Model`] and executed by
+//! [`CompiledEngine`](crate::engine::CompiledEngine). The program is a
+//! single topologically-ordered instruction vector split at
+//! [`prefix_len`](StepProgram::prefix_len):
+//!
+//! * the **state-only prefix** reads `state` and computes every
+//!   infallible expression that does not depend on a choice input. The
+//!   enumerator sweeps all choice combinations against one dequeued
+//!   state, so this part runs once per state, not once per transition;
+//! * the **choice-dependent suffix** reads `choices`, finishes the
+//!   computation (including any lazily-evaluated fallible regions) and
+//!   writes the successor into `out` via the `Store*` instructions.
+//!
+//! Registers are plain `u64`s. Register indices below
+//! [`const_regs`](StepProgram::const_regs) hold constants preloaded at
+//! engine construction and are never written by instructions.
+
+use archval_fsm::Model;
+
+/// Instruction opcodes.
+///
+/// Binary value opcodes read registers `a` and `b` and write `dst`;
+/// `Mod` comes in two flavours so the interpreter only pays for the
+/// zero-divisor check where the compiler could not prove it away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// `r[dst] = state[a]` (prefix only).
+    LoadVar,
+    /// `r[dst] = choices[a]` (suffix only).
+    LoadChoice,
+    /// `r[dst] = r[a]`.
+    Move,
+    /// `r[dst] = (r[a] == 0) as u64`.
+    Not,
+    /// `r[dst] = !r[a]`.
+    BitNot,
+    /// `r[dst] = (r[a] != 0 && r[b] != 0) as u64`.
+    And,
+    /// `r[dst] = (r[a] != 0 || r[b] != 0) as u64`.
+    Or,
+    /// `r[dst] = r[a] & r[b]`.
+    BitAnd,
+    /// `r[dst] = r[a] | r[b]`.
+    BitOr,
+    /// `r[dst] = r[a] ^ r[b]`.
+    BitXor,
+    /// `r[dst] = r[a].wrapping_add(r[b])`.
+    Add,
+    /// `r[dst] = r[a].wrapping_sub(r[b])`.
+    Sub,
+    /// `r[dst] = r[a].wrapping_mul(r[b])`.
+    Mul,
+    /// `r[dst] = r[a] % r[b]`, divisor statically proven nonzero.
+    ModUnchecked,
+    /// `r[dst] = r[a] % r[b]`, failing with `DivisionByZero` on `r[b] == 0`.
+    ModChecked,
+    /// `r[dst] = (r[a] == r[b]) as u64`.
+    Eq,
+    /// `r[dst] = (r[a] != r[b]) as u64`.
+    Ne,
+    /// `r[dst] = (r[a] < r[b]) as u64`.
+    Lt,
+    /// `r[dst] = (r[a] <= r[b]) as u64`.
+    Le,
+    /// `r[dst] = (r[a] > r[b]) as u64`.
+    Gt,
+    /// `r[dst] = (r[a] >= r[b]) as u64`.
+    Ge,
+    /// `r[dst] = r[a] << r[b].min(63)`.
+    Shl,
+    /// `r[dst] = r[a] >> r[b].min(63)`.
+    Shr,
+    /// `r[dst] = if r[a] != 0 { r[b] } else { r[c] }` — the branch-free
+    /// lowering of safe `Ternary`/`Select` nodes.
+    CondMove,
+    /// Unconditional jump to instruction index `a`.
+    Jump,
+    /// Jump to instruction index `b` when `r[a] == 0`.
+    JumpIfZero,
+    /// `out[dst] = r[a] & var_masks[dst]` (power-of-two domain).
+    StoreMask,
+    /// `out[dst] = r[a] % var_sizes[dst]` (general domain truncation).
+    StoreMod,
+}
+
+/// One fixed-width instruction. Operand meaning depends on [`Op`]; unused
+/// operands are zero.
+#[derive(Debug, Clone, Copy)]
+pub struct Instr {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register, or output-variable index for stores.
+    pub dst: u32,
+    /// First operand (register, input index or jump target).
+    pub a: u32,
+    /// Second operand (register or jump target).
+    pub b: u32,
+    /// Third operand (register; `CondMove` only).
+    pub c: u32,
+}
+
+/// Compile-time metrics, reported by the repro binaries alongside the
+/// paper tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Expression-arena nodes in the source model.
+    pub arena_nodes: usize,
+    /// Nodes folded to compile-time constants.
+    pub folded: usize,
+    /// Nodes aliased to an identical node by value numbering (CSE on top
+    /// of the arena's structural hash-consing).
+    pub cse_aliased: usize,
+    /// Live non-constant nodes surviving dead-code elimination.
+    pub live_nodes: usize,
+    /// Total instructions emitted.
+    pub instructions: usize,
+    /// Instructions in the state-only prefix.
+    pub prefix_instructions: usize,
+    /// Registers in the register file (constants included).
+    pub registers: usize,
+    /// Registers preloaded with constants.
+    pub const_registers: usize,
+}
+
+/// A compiled model: flat instructions plus the tables the interpreter
+/// needs (initial register file, per-variable domain truncation).
+#[derive(Debug, Clone)]
+pub struct StepProgram {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) prefix_len: usize,
+    pub(crate) init_regs: Vec<u64>,
+    pub(crate) const_regs: usize,
+    pub(crate) var_sizes: Vec<u64>,
+    pub(crate) var_masks: Vec<u64>,
+    pub(crate) n_choices: usize,
+    pub(crate) stats: CompileStats,
+}
+
+impl StepProgram {
+    /// The full instruction stream (prefix then suffix).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of leading instructions that only depend on the state.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Size of the register file.
+    pub fn register_count(&self) -> usize {
+        self.init_regs.len()
+    }
+
+    /// Number of leading registers preloaded with constants.
+    pub fn const_regs(&self) -> usize {
+        self.const_regs
+    }
+
+    /// Number of state variables the program steps.
+    pub fn var_count(&self) -> usize {
+        self.var_sizes.len()
+    }
+
+    /// Number of choice inputs the program reads.
+    pub fn choice_count(&self) -> usize {
+        self.n_choices
+    }
+
+    /// Compile-time metrics.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Checks that this program was compiled for a model of the same
+    /// shape (variable count/domains and choice count) as `model`.
+    pub fn fits(&self, model: &Model) -> bool {
+        self.n_choices == model.choices().len()
+            && self.var_sizes.len() == model.vars().len()
+            && self.var_sizes.iter().zip(model.vars()).all(|(&s, v)| s == v.size)
+    }
+}

@@ -1,0 +1,284 @@
+//! Differential equivalence: the compiled [`StepProgram`] must be
+//! bit-identical to the tree-walking [`Evaluator`] — same successor for
+//! every `(state, choices)` pair and a `DivisionByZero` failure on
+//! exactly the same inputs — over randomly generated models exercising
+//! every operator, `Ternary`/`Select` nesting, shared definitions and
+//! fallible `Mod` nodes.
+
+use archval_exec::StepProgram;
+use archval_fsm::builder::ModelBuilder;
+use archval_fsm::engine::StepEngine;
+use archval_fsm::enumerate::{enumerate, enumerate_with, EnumConfig};
+use archval_fsm::eval::Evaluator;
+use archval_fsm::expr::BinaryOp;
+use archval_fsm::{dump_enum_result, ExprId, Model};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BINOPS: [BinaryOp; 17] = [
+    BinaryOp::And,
+    BinaryOp::Or,
+    BinaryOp::BitAnd,
+    BinaryOp::BitOr,
+    BinaryOp::BitXor,
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Mod,
+    BinaryOp::Eq,
+    BinaryOp::Ne,
+    BinaryOp::Lt,
+    BinaryOp::Le,
+    BinaryOp::Gt,
+    BinaryOp::Ge,
+    BinaryOp::Shl,
+    BinaryOp::Shr,
+];
+
+/// Builds a random small model from `seed`. Every operator can appear,
+/// including `Mod` with arbitrary (sometimes zero, sometimes fallible)
+/// divisors, guarded and unguarded `Ternary`/`Select` nests, and
+/// definitions shared between next-state functions.
+fn random_model(seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ModelBuilder::new("random");
+
+    let n_choices = rng.gen_range(0..=3usize);
+    let choices: Vec<_> =
+        (0..n_choices).map(|i| b.choice(format!("c{i}"), rng.gen_range(2..=4u64))).collect();
+    let n_vars = rng.gen_range(1..=4usize);
+    let vars: Vec<_> = (0..n_vars)
+        .map(|i| {
+            let size = rng.gen_range(2..=9u64);
+            let init = rng.gen_range(0..size);
+            b.state_var(format!("v{i}"), size, init)
+        })
+        .collect();
+
+    // terminal pool: constants (zero included, deliberately, so Mod can
+    // fail), current-state reads and choice reads
+    let mut pool: Vec<ExprId> = Vec::new();
+    for k in [0u64, 1, 2, 3, 7, u64::MAX] {
+        pool.push(b.constant(k));
+    }
+    for &v in &vars {
+        pool.push(b.var_expr(v));
+    }
+    for &c in &choices {
+        pool.push(b.choice_expr(c));
+    }
+
+    let n_nodes = rng.gen_range(5..=30usize);
+    for i in 0..n_nodes {
+        let pick = |rng: &mut StdRng, pool: &Vec<ExprId>| pool[rng.gen_range(0..pool.len())];
+        let node = match rng.gen_range(0..10u32) {
+            0 => b.not(pick(&mut rng, &pool)),
+            1 => b.bit_not(pick(&mut rng, &pool)),
+            2..=5 => {
+                let op = BINOPS[rng.gen_range(0..BINOPS.len())];
+                b.binary(op, pick(&mut rng, &pool), pick(&mut rng, &pool))
+            }
+            6 | 7 => b.ternary(pick(&mut rng, &pool), pick(&mut rng, &pool), pick(&mut rng, &pool)),
+            8 => {
+                let arms = (0..rng.gen_range(1..=3usize))
+                    .map(|_| (pick(&mut rng, &pool), pick(&mut rng, &pool)))
+                    .collect();
+                b.select(arms, pick(&mut rng, &pool))
+            }
+            _ => {
+                let d = b.def(format!("d{i}"), pick(&mut rng, &pool));
+                b.def_expr(d)
+            }
+        };
+        pool.push(node);
+    }
+
+    for &v in &vars {
+        let next = pool[rng.gen_range(0..pool.len())];
+        b.set_next(v, next);
+    }
+    b.build().expect("random model must build")
+}
+
+/// One random in-domain (state, choices) pair for `model`.
+fn random_inputs(model: &Model, rng: &mut StdRng) -> (Vec<u64>, Vec<u64>) {
+    let state = model.vars().iter().map(|v| rng.gen_range(0..v.size)).collect();
+    let choices = model.choices().iter().map(|c| rng.gen_range(0..c.size)).collect();
+    (state, choices)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn compiled_step_matches_tree_step(seed in proptest::any::<u64>()) {
+        let model = random_model(seed);
+        let program = StepProgram::compile(&model);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_EE0D);
+        let mut tree = Evaluator::new(&model);
+        let mut engine = archval_exec::CompiledEngine::new(&program);
+        let mut tree_out = vec![0u64; model.vars().len()];
+        let mut comp_out = vec![0u64; model.vars().len()];
+        for case in 0..32 {
+            let (state, choices) = random_inputs(&model, &mut rng);
+            let want = tree.next_state(&state, &choices, &mut tree_out);
+            let got = engine.step(&state, &choices, &mut comp_out);
+            prop_assert_eq!(
+                &got, &want,
+                "error disagreement seed {} case {} state {:?} choices {:?}",
+                seed, case, &state, &choices
+            );
+            if want.is_ok() {
+                prop_assert_eq!(
+                    &comp_out, &tree_out,
+                    "value disagreement seed {} case {} state {:?} choices {:?}",
+                    seed, case, &state, &choices
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_reuse_across_choice_sweeps_matches_tree(seed in proptest::any::<u64>()) {
+        // exercise the enumerator's access pattern: one begin_state, many
+        // step_choices against the same state
+        let model = random_model(seed);
+        let program = StepProgram::compile(&model);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+        let mut tree = Evaluator::new(&model);
+        let mut engine = archval_exec::CompiledEngine::new(&program);
+        let mut tree_out = vec![0u64; model.vars().len()];
+        let mut comp_out = vec![0u64; model.vars().len()];
+        let (state, _) = random_inputs(&model, &mut rng);
+        engine.begin_state(&state).expect("prefix is infallible");
+        let combos = model.choice_combinations().min(64);
+        for code in 0..combos {
+            let choices = model.decode_choices(code);
+            let want = tree.next_state(&state, &choices, &mut tree_out);
+            let got = engine.step_choices(&choices, &mut comp_out);
+            prop_assert_eq!(&got, &want, "seed {} code {}", seed, code);
+            if want.is_ok() {
+                prop_assert_eq!(&comp_out, &tree_out, "seed {} code {}", seed, code);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_enumeration_is_byte_identical(seed in proptest::any::<u64>()) {
+        let model = random_model(seed);
+        let program = StepProgram::compile(&model);
+        let config = EnumConfig { state_limit: 100_000, ..EnumConfig::default() };
+        let tree = enumerate(&model, &config);
+        let compiled = enumerate_with(&model, &config, &program);
+        match (tree, compiled) {
+            (Ok(t), Ok(c)) => {
+                let t_dump = dump_enum_result(&model, &t);
+                let c_dump = dump_enum_result(&model, &c);
+                prop_assert_eq!(t_dump, c_dump, "dump mismatch for seed {}", seed);
+            }
+            (t, c) => prop_assert_eq!(
+                t.err(), c.err(),
+                "enumeration error disagreement for seed {}", seed
+            ),
+        }
+    }
+}
+
+/// A hand-built model hitting the tricky lowering paths deterministically:
+/// a `Mod` that only fails on the untaken branch of a `Ternary`, and one
+/// inside a `Select` arm shadowed by an earlier guard.
+#[test]
+fn guarded_division_only_fails_when_demanded() {
+    let mut b = ModelBuilder::new("guarded");
+    let c = b.choice("c", 2);
+    let v = b.state_var("x", 8, 1);
+    let cur = b.var_expr(v);
+    let ce = b.choice_expr(c);
+    // x % c fails exactly when c == 0
+    let risky = b.modulo(cur, ce);
+    // guard: when c == 0, take the safe path — never demands `risky`
+    let safe = b.add(cur, b.constant(1));
+    let next = b.ternary(ce, risky, safe);
+    b.set_next(v, next);
+    let m = b.build().unwrap();
+    let program = StepProgram::compile(&m);
+    let mut tree = Evaluator::new(&m);
+    let mut engine = archval_exec::CompiledEngine::new(&program);
+    let mut t_out = [0u64];
+    let mut c_out = [0u64];
+    for state in 0..8u64 {
+        for choice in 0..2u64 {
+            let want = tree.next_state(&[state], &[choice], &mut t_out);
+            let got = engine.step(&[state], &[choice], &mut c_out);
+            assert!(want.is_ok(), "the guard makes every input safe");
+            assert_eq!(got, want, "state {state} choice {choice}");
+            assert_eq!(c_out, t_out, "state {state} choice {choice}");
+        }
+    }
+}
+
+#[test]
+fn unconditional_division_by_zero_fails_in_both_engines() {
+    let mut b = ModelBuilder::new("bad");
+    let v = b.state_var("x", 4, 1);
+    let cur = b.var_expr(v);
+    let zero = b.constant(0);
+    b.set_next(v, b.modulo(cur, zero));
+    let m = b.build().unwrap();
+    let program = StepProgram::compile(&m);
+    let mut tree = Evaluator::new(&m);
+    let mut engine = archval_exec::CompiledEngine::new(&program);
+    let mut out = [0u64];
+    let want = tree.next_state(&[1], &[], &mut out).unwrap_err();
+    let got = engine.step(&[1], &[], &mut out).unwrap_err();
+    assert_eq!(got, want);
+}
+
+/// The tree walker evaluates *every* definition whether referenced or
+/// not, so a fallible unused definition must still fail under the
+/// compiled engine (it may not be dead-code-eliminated).
+#[test]
+fn fallible_unused_definition_still_fails() {
+    let mut b = ModelBuilder::new("deadmod");
+    let c = b.choice("c", 2);
+    let v = b.state_var("x", 4, 1);
+    let cur = b.var_expr(v);
+    let risky = b.modulo(cur, b.choice_expr(c));
+    b.def("unused", risky);
+    b.set_next(v, cur);
+    let m = b.build().unwrap();
+    let program = StepProgram::compile(&m);
+    let mut tree = Evaluator::new(&m);
+    let mut engine = archval_exec::CompiledEngine::new(&program);
+    let mut t_out = [0u64];
+    let mut c_out = [0u64];
+    for choice in 0..2u64 {
+        let want = tree.next_state(&[1], &[choice], &mut t_out);
+        let got = engine.step(&[1], &[choice], &mut c_out);
+        assert_eq!(got, want, "choice {choice}");
+        assert_eq!(want.is_err(), choice == 0);
+    }
+}
+
+/// Safe unused definitions, by contrast, are dead code: dropping them is
+/// unobservable and the program should shrink.
+#[test]
+fn safe_unused_definition_is_eliminated() {
+    let mut with_dead = ModelBuilder::new("m");
+    let c = with_dead.choice("c", 2);
+    let v = with_dead.state_var("x", 4, 0);
+    let cur = with_dead.var_expr(v);
+    let dead = with_dead.add(cur, with_dead.constant(3));
+    let dead2 = with_dead.binary(BinaryOp::Mul, dead, with_dead.choice_expr(c));
+    with_dead.def("unused", dead2);
+    with_dead.set_next(v, cur);
+    let m = with_dead.build().unwrap();
+    let program = StepProgram::compile(&m);
+    // only LoadVar + Store survive: the unused safe def is eliminated
+    assert_eq!(program.stats().live_nodes, 1, "{:?}", program.stats());
+}

@@ -1,0 +1,165 @@
+//! The step-engine abstraction: pluggable implementations of one clock
+//! cycle of a [`Model`].
+//!
+//! Every execution layer — the sequential and frontier-parallel
+//! enumerators, tour/fuzz replay through [`SyncSim`](crate::sim::SyncSim)
+//! and the sim-campaign baselines — advances a model one cycle at a time.
+//! [`StepEngine`] is that cycle, split in two to match the enumerator's
+//! access pattern:
+//!
+//! * [`begin_state`](StepEngine::begin_state) fixes the *current state*.
+//!   An engine may do per-state work here exactly once — the compiled
+//!   engine in `archval-exec` evaluates its state-only instruction
+//!   prefix — because the enumerator sweeps **every choice combination
+//!   against the same state** before moving on;
+//! * [`step_choices`](StepEngine::step_choices) produces the successor
+//!   state for one choice assignment against the fixed state.
+//!
+//! [`EngineFactory`] mints per-worker engine instances so parallel layers
+//! can give each thread its own scratch space while sharing the
+//! read-only compiled form. The factory is the seam between crates: this
+//! crate implements it for [`Model`] (the tree-walking [`Evaluator`]
+//! oracle) and `archval-exec` implements it for its compiled
+//! `StepProgram`, so enumeration, fuzzing and simulation are written once
+//! against the trait and run bit-identically under either engine.
+
+use crate::error::Error;
+use crate::eval::Evaluator;
+use crate::model::Model;
+
+/// One clock cycle of a [`Model`], split into a per-state and a
+/// per-choice phase.
+///
+/// Implementations must be *pure* with respect to `(state, choices)`:
+/// for the same inputs they produce the same successor (or the same
+/// error), regardless of call history. That purity is what makes engines
+/// interchangeable — the differential suites assert tree/compiled
+/// bit-identity through every layer.
+pub trait StepEngine: std::fmt::Debug {
+    /// Fixes the current state for subsequent [`step_choices`] calls,
+    /// performing any per-state precomputation.
+    ///
+    /// # Errors
+    ///
+    /// Engines that evaluate state-only logic here may report evaluation
+    /// failures; the tree engine never fails in this phase.
+    ///
+    /// [`step_choices`]: StepEngine::step_choices
+    fn begin_state(&mut self, state: &[u64]) -> Result<(), Error>;
+
+    /// Evaluates the successor of the fixed state under `choices`,
+    /// writing one value per state variable into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] when a demanded `Mod` evaluates
+    /// with a zero divisor — bit-for-bit the tree walker's behaviour.
+    fn step_choices(&mut self, choices: &[u64], out: &mut [u64]) -> Result<(), Error>;
+
+    /// Convenience: one full `(state, choices) -> successor` step.
+    ///
+    /// # Errors
+    ///
+    /// As [`begin_state`](StepEngine::begin_state) and
+    /// [`step_choices`](StepEngine::step_choices).
+    fn step(&mut self, state: &[u64], choices: &[u64], out: &mut [u64]) -> Result<(), Error> {
+        self.begin_state(state)?;
+        self.step_choices(choices, out)
+    }
+}
+
+/// Mints [`StepEngine`] instances — one per worker thread — over some
+/// shared read-only compiled form of a model.
+pub trait EngineFactory: Sync + std::fmt::Debug {
+    /// Creates a fresh engine with its own mutable scratch space.
+    fn spawn(&self) -> Box<dyn StepEngine + '_>;
+}
+
+/// The reference engine: a [`Evaluator`] tree walk per step.
+///
+/// `begin_state` merely latches the state (the tree walker has no
+/// per-state precomputation to reuse); `step_choices` re-walks the
+/// expression DAG with the evaluator's generation-validated memo.
+#[derive(Debug)]
+pub struct TreeEngine<'m> {
+    eval: Evaluator<'m>,
+    state: Vec<u64>,
+}
+
+impl<'m> TreeEngine<'m> {
+    /// Creates a tree engine for `model`.
+    pub fn new(model: &'m Model) -> Self {
+        TreeEngine { eval: Evaluator::new(model), state: vec![0; model.vars().len()] }
+    }
+}
+
+impl StepEngine for TreeEngine<'_> {
+    fn begin_state(&mut self, state: &[u64]) -> Result<(), Error> {
+        self.state.copy_from_slice(state);
+        Ok(())
+    }
+
+    fn step_choices(&mut self, choices: &[u64], out: &mut [u64]) -> Result<(), Error> {
+        self.eval.next_state(&self.state, choices, out)
+    }
+
+    fn step(&mut self, state: &[u64], choices: &[u64], out: &mut [u64]) -> Result<(), Error> {
+        // skip the begin_state latch copy on the single-step path
+        self.eval.next_state(state, choices, out)
+    }
+}
+
+/// A [`Model`] is its own engine factory, spawning tree walkers — the
+/// differential oracle every other engine is checked against.
+impl EngineFactory for Model {
+    fn spawn(&self) -> Box<dyn StepEngine + '_> {
+        Box::new(TreeEngine::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", 8, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let inc = b.add(cur, one);
+        let next = b.ternary(b.choice_expr(en), inc, cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tree_engine_matches_direct_evaluation() {
+        let m = counter();
+        let mut engine = m.spawn();
+        let mut eval = Evaluator::new(&m);
+        let mut a = [0u64];
+        let mut b = [0u64];
+        for state in 0..8u64 {
+            engine.begin_state(&[state]).unwrap();
+            for choice in 0..2u64 {
+                engine.step_choices(&[choice], &mut a).unwrap();
+                eval.next_state(&[state], &[choice], &mut b).unwrap();
+                assert_eq!(a, b, "state {state} choice {choice}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_step_path_agrees_with_split_path() {
+        let m = counter();
+        let mut engine = m.spawn();
+        let mut a = [0u64];
+        let mut b = [0u64];
+        engine.step(&[3], &[1], &mut a).unwrap();
+        engine.begin_state(&[3]).unwrap();
+        engine.step_choices(&[1], &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

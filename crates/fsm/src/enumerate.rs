@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 
+use crate::engine::EngineFactory;
 use crate::error::Error;
-use crate::eval::Evaluator;
 use crate::graph::{EdgePolicy, GraphBuilder, GraphStats, StateGraph, StateId};
 use crate::model::Model;
 use crate::pack::{StateLayout, StateTable};
@@ -96,13 +96,29 @@ impl EnumResult {
 /// # Ok::<(), archval_fsm::Error>(())
 /// ```
 pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error> {
+    enumerate_with(model, config, model)
+}
+
+/// [`enumerate`] with an explicit step-engine factory, so callers can run
+/// the search on a compiled engine (see `archval-exec`) instead of the
+/// tree-walking default. State ids, graph and labels are engine-invariant
+/// as long as the engine is faithful to the model.
+///
+/// # Errors
+///
+/// As [`enumerate`].
+pub fn enumerate_with(
+    model: &Model,
+    config: &EnumConfig,
+    factory: &dyn EngineFactory,
+) -> Result<EnumResult, Error> {
     model.validate()?;
     let start = Instant::now();
     let layout = StateLayout::new(model);
     let bits = layout.total_bits();
     let mut table = StateTable::new(layout);
     let mut builder = GraphBuilder::new(config.edge_policy);
-    let mut evaluator = Evaluator::new(model);
+    let mut engine = factory.spawn();
 
     let n_vars = model.vars().len();
     let n_choices = model.choices().len();
@@ -137,11 +153,14 @@ pub fn enumerate(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error
             let packed: Vec<u64> = packed.to_vec();
             table.layout().unpack(&packed, &mut cur_values);
         }
-        // mixed-radix iteration over all choice combinations
+        // mixed-radix iteration over all choice combinations, all against
+        // the state fixed once here (compiled engines reuse their
+        // state-only prefix across the whole sweep)
+        engine.begin_state(&cur_values)?;
         choices.iter_mut().for_each(|c| *c = 0);
         let mut code: u64 = 0;
         loop {
-            evaluator.next_state(&cur_values, &choices, &mut next_values)?;
+            engine.step_choices(&choices, &mut next_values)?;
             transitions += 1;
             let (dst, fresh) = table.intern_values(&next_values, &mut scratch);
             if fresh {

@@ -38,51 +38,60 @@ impl<'m> Evaluator<'m> {
         self.model
     }
 
+    /// Starts a new memo generation, invalidating every cached expression
+    /// value. Handles counter wrap-around: when the u32 generation wraps to
+    /// zero, every memo slot is force-expired so stale entries from ~4
+    /// billion calls ago cannot be read as current.
+    fn bump_gen(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.expr_gen.iter_mut().for_each(|g| *g = u32::MAX);
+            self.gen = 1;
+        }
+    }
+
     fn eval(&mut self, id: ExprId, state: &[u64], choices: &[u64]) -> Result<u64, Error> {
         let ix = id.0 as usize;
         if self.expr_gen[ix] == self.gen {
             return Ok(self.expr_values[ix]);
         }
-        // Clone of the node is avoided by re-borrowing the model; nodes are
-        // small and `Select` arms are walked in place via raw indices.
-        let value = match self.model.expr(id) {
+        // Borrow the node through the copied `&'m Model` so the match arms
+        // don't hold a borrow of `self` across recursive calls — `Select`
+        // arms in particular are walked in place, never cloned.
+        let model = self.model;
+        let value = match model.expr(id) {
             Expr::Const(v) => *v,
             Expr::Var(v) => state[v.0 as usize],
             Expr::Choice(c) => choices[c.0 as usize],
             Expr::Def(d) => self.def_values[d.0 as usize],
             Expr::Unary(op, a) => {
-                let (op, a) = (*op, *a);
-                let av = self.eval(a, state, choices)?;
-                apply_unary(op, av)
+                let av = self.eval(*a, state, choices)?;
+                apply_unary(*op, av)
             }
             Expr::Binary(op, a, b) => {
-                let (op, a, b) = (*op, *a, *b);
-                let av = self.eval(a, state, choices)?;
-                let bv = self.eval(b, state, choices)?;
-                apply_binary(op, av, bv).ok_or(Error::DivisionByZero)?
+                let av = self.eval(*a, state, choices)?;
+                let bv = self.eval(*b, state, choices)?;
+                apply_binary(*op, av, bv).ok_or(Error::DivisionByZero)?
             }
             Expr::Ternary { cond, then, other } => {
-                let (cond, then, other) = (*cond, *then, *other);
-                let cv = self.eval(cond, state, choices)?;
+                let cv = self.eval(*cond, state, choices)?;
                 if cv != 0 {
-                    self.eval(then, state, choices)?
+                    self.eval(*then, state, choices)?
                 } else {
-                    self.eval(other, state, choices)?
+                    self.eval(*other, state, choices)?
                 }
             }
             Expr::Select { arms, default } => {
-                let default = *default;
-                let arms: Vec<(ExprId, ExprId)> = arms.clone();
                 let mut chosen = None;
                 for (guard, value) in arms {
-                    if self.eval(guard, state, choices)? != 0 {
-                        chosen = Some(self.eval(value, state, choices)?);
+                    if self.eval(*guard, state, choices)? != 0 {
+                        chosen = Some(self.eval(*value, state, choices)?);
                         break;
                     }
                 }
                 match chosen {
                     Some(v) => v,
-                    None => self.eval(default, state, choices)?,
+                    None => self.eval(*default, state, choices)?,
                 }
             }
         };
@@ -117,12 +126,7 @@ impl<'m> Evaluator<'m> {
         assert_eq!(choices.len(), model.choices().len(), "choice width mismatch");
         assert_eq!(out.len(), model.vars().len(), "output width mismatch");
 
-        self.gen = self.gen.wrapping_add(1);
-        if self.gen == 0 {
-            // generation counter wrapped: invalidate everything once
-            self.expr_gen.iter_mut().for_each(|g| *g = u32::MAX);
-            self.gen = 1;
-        }
+        self.bump_gen();
         // Definitions are in dependency order by construction: evaluate in
         // sequence so later defs can read earlier ones.
         for i in 0..model.defs().len() {
@@ -148,7 +152,7 @@ impl<'m> Evaluator<'m> {
         state: &[u64],
         choices: &[u64],
     ) -> Result<u64, Error> {
-        self.gen = self.gen.wrapping_add(1);
+        self.bump_gen();
         for i in 0..=def.0 as usize {
             let expr = self.model.defs()[i].expr;
             self.def_values[i] = self.eval(expr, state, choices)?;
@@ -248,6 +252,23 @@ mod tests {
         let mut ev = Evaluator::new(&m);
         let mut out = [0u64];
         assert_eq!(ev.next_state(&[1], &[], &mut out).unwrap_err(), Error::DivisionByZero);
+    }
+
+    #[test]
+    fn eval_def_invalidates_memo_on_generation_wrap() {
+        let mut b = ModelBuilder::new("wrap");
+        let c = b.choice("c", 4);
+        let d = b.def("id", b.choice_expr(c));
+        let v = b.state_var("x", 4, 0);
+        b.set_next(v, b.def_expr(d));
+        let m = b.build().unwrap();
+        let mut ev = Evaluator::new(&m);
+        // Freshly-constructed memo slots carry generation 0; force the next
+        // bump to wrap to 0 so a missing invalidation would read every slot
+        // as current and return the stale value 0 instead of the choice.
+        ev.gen = u32::MAX;
+        let got = ev.eval_def(crate::model::DefId(0), &[0], &[1]).unwrap();
+        assert_eq!(got, 1);
     }
 
     #[test]

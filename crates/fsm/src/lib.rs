@@ -47,6 +47,7 @@
 
 pub mod builder;
 pub mod dump;
+pub mod engine;
 pub mod enumerate;
 pub mod error;
 pub mod eval;
@@ -61,14 +62,15 @@ pub mod stats;
 
 pub use builder::ModelBuilder;
 pub use dump::{dump_enum_result, dump_model};
-pub use enumerate::{enumerate, EnumConfig, EnumResult};
+pub use engine::{EngineFactory, StepEngine, TreeEngine};
+pub use enumerate::{enumerate, enumerate_with, EnumConfig, EnumResult};
 pub use error::Error;
 pub use graph::{
     Edge, EdgeIx, EdgeLabel, EdgePolicy, GraphBuilder, GraphError, GraphStats, OutEdges,
     SnapshotError, StateGraph, StateId,
 };
 pub use model::{ChoiceId, DefId, ExprId, Model, VarId};
-pub use parallel::enumerate_parallel;
+pub use parallel::{enumerate_parallel, enumerate_parallel_with};
 pub use sim::SyncSim;
 pub use snapshot::{load_enum_result, model_fingerprint, save_enum_result};
 pub use stats::EnumStats;

@@ -24,9 +24,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::enumerate::{enumerate, EnumConfig, EnumResult};
+use crate::engine::EngineFactory;
+use crate::enumerate::{enumerate_with, EnumConfig, EnumResult};
 use crate::error::Error;
-use crate::eval::Evaluator;
 use crate::graph::{GraphBuilder, StateId};
 use crate::model::Model;
 use crate::pack::{StateLayout, StateTable};
@@ -115,8 +115,24 @@ fn shard_hash(words: &[u64]) -> u64 {
 /// # Ok::<(), archval_fsm::Error>(())
 /// ```
 pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResult, Error> {
+    enumerate_parallel_with(model, config, model)
+}
+
+/// [`enumerate_parallel`] with an explicit step-engine factory; each
+/// worker thread spawns its own engine instance from the shared factory.
+/// Like the tree default, the result is bit-identical to the sequential
+/// enumerator for any thread count.
+///
+/// # Errors
+///
+/// As [`enumerate_parallel`].
+pub fn enumerate_parallel_with(
+    model: &Model,
+    config: &EnumConfig,
+    factory: &dyn EngineFactory,
+) -> Result<EnumResult, Error> {
     if config.threads <= 1 {
-        return enumerate(model, config);
+        return enumerate_with(model, config, factory);
     }
     model.validate()?;
     let start = Instant::now();
@@ -178,7 +194,7 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
         std::thread::scope(|scope| {
             for _ in 0..threads.min(num_chunks) {
                 scope.spawn(|| {
-                    let mut evaluator = Evaluator::new(model);
+                    let mut engine = factory.spawn();
                     let mut cur_values = vec![0u64; n_vars];
                     let mut next_values = vec![0u64; n_vars];
                     let mut choices = vec![0u64; n_choices];
@@ -201,12 +217,18 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
                                 &frontier_words[pos * wps..(pos + 1) * wps],
                                 &mut cur_values,
                             );
+                            if let Err(e) = engine.begin_state(&cur_values) {
+                                let mut slot = first_error.lock().unwrap();
+                                if slot.as_ref().is_none_or(|(c, _)| chunk < *c) {
+                                    *slot = Some((chunk, e));
+                                }
+                                stop.store(true, Ordering::Relaxed);
+                                break 'states;
+                            }
                             choices.iter_mut().for_each(|c| *c = 0);
                             let mut code: u64 = 0;
                             loop {
-                                if let Err(e) =
-                                    evaluator.next_state(&cur_values, &choices, &mut next_values)
-                                {
+                                if let Err(e) = engine.step_choices(&choices, &mut next_values) {
                                     let mut slot = first_error.lock().unwrap();
                                     if slot.as_ref().is_none_or(|(c, _)| chunk < *c) {
                                         *slot = Some((chunk, e));
@@ -331,6 +353,7 @@ pub fn enumerate_parallel(model: &Model, config: &EnumConfig) -> Result<EnumResu
 mod tests {
     use super::*;
     use crate::builder::ModelBuilder;
+    use crate::enumerate::enumerate;
     use crate::graph::EdgePolicy;
 
     fn counter() -> Model {

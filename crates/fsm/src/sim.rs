@@ -4,25 +4,40 @@
 //! lockstep the translated FSM against the Verilog interpreter, and to run
 //! the random-stimulus baseline for coverage comparisons.
 
+use crate::engine::{EngineFactory, StepEngine};
 use crate::error::Error;
 use crate::eval::Evaluator;
 use crate::model::{DefId, Model};
 
 /// A running instance of a [`Model`] starting from reset.
+///
+/// Stepping goes through a pluggable [`StepEngine`] (tree walker by
+/// default; pass a compiled engine via [`SyncSim::with_engine`]); probes
+/// of combinational definitions always use the tree [`Evaluator`], which
+/// is off the hot path.
 #[derive(Debug)]
 pub struct SyncSim<'m> {
-    evaluator: Evaluator<'m>,
+    model: &'m Model,
+    engine: Box<dyn StepEngine + 'm>,
+    probe: Evaluator<'m>,
     state: Vec<u64>,
     next: Vec<u64>,
     cycles: u64,
 }
 
 impl<'m> SyncSim<'m> {
-    /// Creates a simulation of `model` in its reset state.
+    /// Creates a simulation of `model` in its reset state, stepping with
+    /// the tree-walking evaluator.
     pub fn new(model: &'m Model) -> Self {
+        SyncSim::with_engine(model, model.spawn())
+    }
+
+    /// Creates a simulation of `model` in its reset state, stepping with
+    /// the given engine (e.g. a compiled `archval-exec` engine).
+    pub fn with_engine(model: &'m Model, engine: Box<dyn StepEngine + 'm>) -> Self {
         let state = model.reset_state();
         let next = vec![0; state.len()];
-        SyncSim { evaluator: Evaluator::new(model), state, next, cycles: 0 }
+        SyncSim { model, engine, probe: Evaluator::new(model), state, next, cycles: 0 }
     }
 
     /// Creates a simulation of `model` starting from an explicit state —
@@ -32,18 +47,31 @@ impl<'m> SyncSim<'m> {
     ///
     /// Panics if `state` has the wrong number of state variables.
     pub fn from_state(model: &'m Model, state: &[u64]) -> Self {
+        let mut sim = SyncSim::new(model);
+        sim.set_state(state);
+        sim
+    }
+
+    /// Rewinds the simulation to an explicit checkpoint state, zeroing
+    /// the cycle counter. Reusing one sim via `set_state` instead of
+    /// constructing a fresh one keeps replay loops allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong number of state variables.
+    pub fn set_state(&mut self, state: &[u64]) {
         assert_eq!(
             state.len(),
-            model.reset_state().len(),
+            self.state.len(),
             "checkpoint has the wrong number of state variables"
         );
-        let next = vec![0; state.len()];
-        SyncSim { evaluator: Evaluator::new(model), state: state.to_vec(), next, cycles: 0 }
+        self.state.copy_from_slice(state);
+        self.cycles = 0;
     }
 
     /// The model being simulated.
     pub fn model(&self) -> &'m Model {
-        self.evaluator.model()
+        self.model
     }
 
     /// The current state, one value per state variable.
@@ -68,7 +96,7 @@ impl<'m> SyncSim<'m> {
     ///
     /// Propagates evaluation failures.
     pub fn probe(&mut self, def: DefId, choices: &[u64]) -> Result<u64, Error> {
-        self.evaluator.eval_def(def, &self.state, choices)
+        self.probe.eval_def(def, &self.state, choices)
     }
 
     /// Advances one clock cycle with the given choice-input values.
@@ -77,7 +105,7 @@ impl<'m> SyncSim<'m> {
     ///
     /// Propagates evaluation failures.
     pub fn step(&mut self, choices: &[u64]) -> Result<(), Error> {
-        self.evaluator.next_state(&self.state, choices, &mut self.next)?;
+        self.engine.step(&self.state, choices, &mut self.next)?;
         std::mem::swap(&mut self.state, &mut self.next);
         self.cycles += 1;
         Ok(())
@@ -165,6 +193,18 @@ mod tests {
         b.step(&[0, 1]).unwrap();
         assert_eq!(a.state(), b.state());
         assert_eq!(b.cycles(), 1);
+    }
+
+    #[test]
+    fn set_state_rewinds_a_reused_sim() {
+        let m = gray2();
+        let mut s = SyncSim::new(&m);
+        s.step(&[1, 1]).unwrap();
+        s.set_state(&[0, 1]);
+        assert_eq!(s.state(), &[0, 1]);
+        assert_eq!(s.cycles(), 0);
+        s.step(&[1, 0]).unwrap();
+        assert_eq!(s.state(), &[1, 0]);
     }
 
     #[test]

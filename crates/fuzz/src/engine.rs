@@ -12,9 +12,12 @@
 //!    reset. Extensions give the fuzzer the per-cycle exploration rate of
 //!    a continuous random walk (no reset-replay waste); rewrites keep
 //!    branch-point diversity;
-//! 2. **replay** — candidates are traced on fresh simulators
-//!    ([`Feedback::trace`]), fanned out across the worker pool (the only
-//!    phase where wall-clock parallelism helps: tracing dominates);
+//! 2. **replay** — candidates are traced ([`Feedback::trace`]) on
+//!    per-worker simulators, fanned out across the worker pool (the only
+//!    phase where wall-clock parallelism helps: tracing dominates). Each
+//!    worker builds one [`SyncSim`] per chunk — over the tree walker, or
+//!    over an [`EngineFactory`]-spawned compiled engine
+//!    ([`FuzzEngine::with_factory`]) — and rewinds it between candidates;
 //! 3. **merge** — observations fold into the global coverage map in
 //!    `(worker, candidate)` order; novel candidates are admitted to the
 //!    corpus with schedule energy and their end-state checkpoint, the
@@ -31,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use archval_fsm::Model;
+use archval_fsm::{EngineFactory, Model, SyncSim};
 
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::feedback::{Feedback, Trace};
@@ -149,6 +152,7 @@ enum Candidate {
 #[derive(Debug)]
 pub struct FuzzEngine<'a, F: Feedback> {
     model: &'a Model,
+    factory: Option<&'a dyn EngineFactory>,
     feedback: F,
     config: FuzzConfig,
     ctx: MutationCtx,
@@ -161,8 +165,32 @@ pub struct FuzzEngine<'a, F: Feedback> {
 }
 
 impl<'a, F: Feedback> FuzzEngine<'a, F> {
-    /// Creates an engine over `model` scoring with `feedback`.
+    /// Creates an engine over `model` scoring with `feedback`, replaying
+    /// on the tree-walking evaluator.
     pub fn new(model: &'a Model, feedback: F, config: FuzzConfig) -> Self {
+        FuzzEngine::build(model, None, feedback, config)
+    }
+
+    /// Creates an engine whose replay simulators step through engines
+    /// spawned from `factory` — e.g. a compiled `archval-exec`
+    /// `StepProgram`. Every run is bit-identical to the tree-walking
+    /// default (engines are differential-tested for exact equivalence);
+    /// only the replay throughput changes.
+    pub fn with_factory(
+        model: &'a Model,
+        factory: &'a dyn EngineFactory,
+        feedback: F,
+        config: FuzzConfig,
+    ) -> Self {
+        FuzzEngine::build(model, Some(factory), feedback, config)
+    }
+
+    fn build(
+        model: &'a Model,
+        factory: Option<&'a dyn EngineFactory>,
+        feedback: F,
+        config: FuzzConfig,
+    ) -> Self {
         let ctx = MutationCtx {
             sizes: model.choices().iter().map(|c| c.size).collect(),
             rare: config.rare.clone(),
@@ -170,6 +198,7 @@ impl<'a, F: Feedback> FuzzEngine<'a, F> {
         };
         FuzzEngine {
             model,
+            factory,
             feedback,
             config,
             ctx,
@@ -421,16 +450,27 @@ impl<'a, F: Feedback> FuzzEngine<'a, F> {
         }
     }
 
+    /// Builds one replay simulator: over an engine spawned from the
+    /// configured factory, or the tree-walking default. Workers call this
+    /// once per chunk and rewind the sim between candidates.
+    fn make_sim(&self) -> SyncSim<'a> {
+        match self.factory {
+            Some(factory) => SyncSim::with_engine(self.model, factory.spawn()),
+            None => SyncSim::new(self.model),
+        }
+    }
+
     /// Replays every candidate, fanning contiguous chunks across the
     /// worker pool; results return in candidate order.
     fn trace_all(&self, candidates: &[Candidate]) -> Result<Vec<Trace>, Error> {
-        let replay = |cand: &Candidate| {
+        let replay = |sim: &mut SyncSim<'_>, cand: &Candidate| {
             let (start, seq) = self.replay_inputs(cand);
-            self.feedback.trace(self.model, start, seq)
+            self.feedback.trace(sim, start, seq)
         };
         let workers = self.config.threads.max(1).min(candidates.len().max(1));
         if workers <= 1 {
-            return candidates.iter().map(replay).collect();
+            let mut sim = self.make_sim();
+            return candidates.iter().map(|cand| replay(&mut sim, cand)).collect();
         }
         let chunk_len = candidates.len().div_ceil(workers);
         let mut results: Vec<Result<Vec<Trace>, Error>> = Vec::new();
@@ -438,7 +478,13 @@ impl<'a, F: Feedback> FuzzEngine<'a, F> {
             let handles: Vec<_> = candidates
                 .chunks(chunk_len)
                 .map(|chunk| {
-                    scope.spawn(move || chunk.iter().map(replay).collect::<Result<Vec<_>, Error>>())
+                    scope.spawn(move || {
+                        let mut sim = self.make_sim();
+                        chunk
+                            .iter()
+                            .map(|cand| replay(&mut sim, cand))
+                            .collect::<Result<Vec<_>, Error>>()
+                    })
                 })
                 .collect();
             results = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
@@ -528,6 +574,30 @@ mod tests {
     }
 
     #[test]
+    fn compiled_factory_run_is_bit_identical_to_tree() {
+        // the engine seam must be invisible: swapping the tree walker for
+        // the compiled bytecode engine changes replay throughput only
+        let m = ratchet_model(8);
+        let program = archval_exec::StepProgram::compile(&m);
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        for threads in [1, 3] {
+            let config = FuzzConfig { cycle_budget: 3_000, threads, ..FuzzConfig::default() };
+            let run = |factory: Option<&dyn EngineFactory>| {
+                let fb = GraphFeedback::new(&enumd);
+                let mut e = match factory {
+                    Some(f) => FuzzEngine::with_factory(&m, f, fb, config.clone()),
+                    None => FuzzEngine::new(&m, fb, config.clone()),
+                };
+                let report = e.run().unwrap();
+                (report, e.corpus().clone())
+            };
+            let tree = run(None);
+            let compiled = run(Some(&program));
+            assert_eq!(tree, compiled, "engines diverge at threads={threads}");
+        }
+    }
+
+    #[test]
     fn hashed_feedback_runs_without_enumeration() {
         let m = ratchet_model(16);
         let config = FuzzConfig { cycle_budget: 4_000, ..FuzzConfig::default() };
@@ -553,10 +623,11 @@ mod tests {
 
         // uniform baseline through the same accounting
         let mut uniform = GraphFeedback::new(&enumd);
+        let mut sim = SyncSim::new(&m);
         let mut rng = StdRng::seed_from_u64(7);
         let ctx = MutationCtx { sizes: vec![3], rare: vec![], max_len: 1 };
         let seq: Seq = (0..budget).map(|_| ctx.random_code(&mut rng)).collect();
-        let t = uniform.trace(&m, None, &seq).unwrap();
+        let t = uniform.trace(&mut sim, None, &seq).unwrap();
         uniform.merge(&t.obs);
 
         assert!(

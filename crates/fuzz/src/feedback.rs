@@ -26,7 +26,7 @@
 
 use archval_fsm::enumerate::EnumResult;
 use archval_fsm::graph::StateId;
-use archval_fsm::{Model, SyncSim};
+use archval_fsm::SyncSim;
 use archval_tour::coverage::ArcCoverage;
 
 use crate::{splitmix64, Error};
@@ -59,8 +59,15 @@ impl Trace {
 
 /// A two-phase coverage map.
 pub trait Feedback: Sync {
-    /// Replays `seq` from `start` (a state checkpoint) or from reset,
-    /// returning one observation per cycle and the final state.
+    /// Replays `seq` on `sim` from `start` (a state checkpoint) or from
+    /// reset, returning one observation per cycle and the final state.
+    ///
+    /// The caller supplies (and may reuse) the simulator, so a replay
+    /// worker pays for engine construction once per batch rather than
+    /// once per candidate, and the engine can plug in a compiled
+    /// [`StepEngine`](archval_fsm::StepEngine) via
+    /// [`SyncSim::with_engine`]. Implementations rewind `sim` before
+    /// replaying; any prior state is discarded.
     ///
     /// Pure with respect to the map (parallel-safe).
     ///
@@ -69,7 +76,12 @@ pub trait Feedback: Sync {
     /// Returns [`Error::Eval`] if the model fails to evaluate, or
     /// [`Error::LeftReachableSet`] when a graph-backed map meets a state
     /// missing from its enumeration.
-    fn trace(&self, model: &Model, start: Option<&[u64]>, seq: &[u64]) -> Result<Trace, Error>;
+    fn trace(
+        &self,
+        sim: &mut SyncSim<'_>,
+        start: Option<&[u64]>,
+        seq: &[u64],
+    ) -> Result<Trace, Error>;
 
     /// Folds observations into the map; returns the indices (into `obs`)
     /// that newly covered a feature. The engine uses the count as the
@@ -129,11 +141,16 @@ impl<'a> GraphFeedback<'a> {
 }
 
 impl Feedback for GraphFeedback<'_> {
-    fn trace(&self, model: &Model, start: Option<&[u64]>, seq: &[u64]) -> Result<Trace, Error> {
-        let mut sim = match start {
-            Some(state) => SyncSim::from_state(model, state),
-            None => SyncSim::new(model),
-        };
+    fn trace(
+        &self,
+        sim: &mut SyncSim<'_>,
+        start: Option<&[u64]>,
+        seq: &[u64],
+    ) -> Result<Trace, Error> {
+        match start {
+            Some(state) => sim.set_state(state),
+            None => sim.reset(),
+        }
         let mut src =
             self.enumd.find_state(sim.state()).ok_or(Error::LeftReachableSet { cycle: 0 })?;
         let mut obs = Vec::with_capacity(seq.len());
@@ -246,11 +263,16 @@ impl HashedFeedback {
 }
 
 impl Feedback for HashedFeedback {
-    fn trace(&self, model: &Model, start: Option<&[u64]>, seq: &[u64]) -> Result<Trace, Error> {
-        let mut sim = match start {
-            Some(state) => SyncSim::from_state(model, state),
-            None => SyncSim::new(model),
-        };
+    fn trace(
+        &self,
+        sim: &mut SyncSim<'_>,
+        start: Option<&[u64]>,
+        seq: &[u64],
+    ) -> Result<Trace, Error> {
+        match start {
+            Some(state) => sim.set_state(state),
+            None => sim.reset(),
+        }
         let mut src = Self::state_key(sim.state());
         let mut obs = Vec::with_capacity(seq.len());
         let mut states = Vec::with_capacity(seq.len());
@@ -292,6 +314,7 @@ mod tests {
     use super::*;
     use archval_fsm::builder::ModelBuilder;
     use archval_fsm::enumerate::{enumerate, EnumConfig};
+    use archval_fsm::Model;
 
     /// A 2-bit register loaded from a 2-bit choice: 4 states, 16 arcs.
     fn load_model() -> Model {
@@ -307,8 +330,9 @@ mod tests {
         let m = load_model();
         let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
         let mut fb = GraphFeedback::new(&enumd);
+        let mut sim = SyncSim::new(&m);
         assert_eq!(fb.total(), Some(16));
-        let t = fb.trace(&m, None, &[1, 2, 2, 0]).unwrap();
+        let t = fb.trace(&mut sim, None, &[1, 2, 2, 0]).unwrap();
         assert_eq!(t.obs.len(), 4);
         assert_eq!(t.end_state(), &[0]);
         assert_eq!(fb.merge(&t.obs), vec![0, 1, 2, 3], "0->1, 1->2, 2->2, 2->0 are distinct arcs");
@@ -321,9 +345,10 @@ mod tests {
         let m = load_model();
         let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
         let fb = GraphFeedback::new(&enumd);
-        let full = fb.trace(&m, None, &[1, 2, 3, 0, 1]).unwrap();
-        let head = fb.trace(&m, None, &[1, 2]).unwrap();
-        let tail = fb.trace(&m, Some(head.end_state()), &[3, 0, 1]).unwrap();
+        let mut sim = SyncSim::new(&m);
+        let full = fb.trace(&mut sim, None, &[1, 2, 3, 0, 1]).unwrap();
+        let head = fb.trace(&mut sim, None, &[1, 2]).unwrap();
+        let tail = fb.trace(&mut sim, Some(head.end_state()), &[3, 0, 1]).unwrap();
         let stitched: Vec<_> = head.obs.iter().chain(&tail.obs).copied().collect();
         assert_eq!(full.obs, stitched);
         assert_eq!(full.end_state(), tail.end_state());
@@ -335,9 +360,10 @@ mod tests {
         let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
         let mut graph = GraphFeedback::new(&enumd);
         let mut hashed = HashedFeedback::new(16);
+        let mut sim = SyncSim::new(&m);
         let seq = [1u64, 2, 2, 0, 3, 3, 1, 0];
-        let go = graph.trace(&m, None, &seq).unwrap();
-        let ho = hashed.trace(&m, None, &seq).unwrap();
+        let go = graph.trace(&mut sim, None, &seq).unwrap();
+        let ho = hashed.trace(&mut sim, None, &seq).unwrap();
         // a 2^16 map over 16 features: collisions are virtually impossible
         assert_eq!(graph.merge(&go.obs), hashed.merge(&ho.obs));
     }
@@ -347,16 +373,17 @@ mod tests {
         let m = load_model();
         let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
         let mut fb = GraphFeedback::new(&enumd);
+        let mut sim = SyncSim::new(&m);
         // from state 0 every choice is an uncovered arc at first
         let first = fb.suggest(&[0], 0.0).unwrap();
-        let t = fb.trace(&m, None, &[first]).unwrap();
+        let t = fb.trace(&mut sim, None, &[first]).unwrap();
         fb.merge(&t.obs);
         // the suggestion is always one of the still-uncovered labels, so
         // following suggestions from reset must cover all four out-arcs
         // of state 0 in exactly four steps
         for _ in 0..3 {
             let code = fb.suggest(&[0], 0.0).unwrap();
-            let t = fb.trace(&m, None, &[code]).unwrap();
+            let t = fb.trace(&mut sim, None, &[code]).unwrap();
             assert_eq!(t.obs.len(), fb.merge(&t.obs).len(), "suggested arc was already covered");
         }
         assert_eq!(fb.suggest(&[0], 0.0), None, "state 0 is mined out");
@@ -369,7 +396,8 @@ mod tests {
         let m = load_model();
         let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
         let mut fb = GraphFeedback::new(&enumd);
-        let t = fb.trace(&m, None, &[1, 2, 0]).unwrap();
+        let mut sim = SyncSim::new(&m);
+        let t = fb.trace(&mut sim, None, &[1, 2, 0]).unwrap();
         fb.merge(&t.obs);
         // every state still has uncovered out-arcs, so the cut is the
         // trace's last position
@@ -377,7 +405,7 @@ mod tests {
         // mine out state 0 (the trace's landing state): the cut retreats
         // to the deepest position that still fronts uncovered arcs
         for code in [0u64, 1, 2, 3] {
-            let t0 = fb.trace(&m, None, &[code]).unwrap();
+            let t0 = fb.trace(&mut sim, None, &[code]).unwrap();
             fb.merge(&t0.obs);
         }
         assert_eq!(fb.frontier_cut(&t.obs), Some(1), "cut retreats past the mined-out state");
@@ -387,9 +415,10 @@ mod tests {
     fn hashed_trace_is_pure() {
         let m = load_model();
         let fb = HashedFeedback::new(12);
+        let mut sim = SyncSim::new(&m);
         assert_eq!(
-            fb.trace(&m, None, &[1, 2, 3]).unwrap(),
-            fb.trace(&m, None, &[1, 2, 3]).unwrap()
+            fb.trace(&mut sim, None, &[1, 2, 3]).unwrap(),
+            fb.trace(&mut sim, None, &[1, 2, 3]).unwrap()
         );
     }
 }

@@ -5,7 +5,7 @@
 
 use archval_fsm::builder::ModelBuilder;
 use archval_fsm::enumerate::{enumerate, EnumConfig};
-use archval_fsm::Model;
+use archval_fsm::{Model, SyncSim};
 use archval_fuzz::feedback::{Feedback, GraphFeedback, HashedFeedback};
 use archval_fuzz::{FuzzConfig, FuzzEngine, RareSpec};
 
@@ -82,9 +82,10 @@ fn graph_and_hashed_feedback_replay_identical_state_trajectories() {
     let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
     let graph = GraphFeedback::new(&enumd);
     let hashed = HashedFeedback::new(20);
+    let mut sim = SyncSim::new(&model);
     let seq: Vec<u64> = (0..200).map(|i| [1u64, 4, 1, 2, 1, 1, 3][i % 7]).collect();
-    let go = graph.trace(&model, None, &seq).unwrap().obs;
-    let ho = hashed.trace(&model, None, &seq).unwrap().obs;
+    let go = graph.trace(&mut sim, None, &seq).unwrap().obs;
+    let ho = hashed.trace(&mut sim, None, &seq).unwrap().obs;
     assert_eq!(go.len(), ho.len());
     // same labels cycle-for-cycle, and state-equality structure matches:
     // two cycles share a graph src-state iff they share a hashed src-key
@@ -123,7 +124,8 @@ fn fuzzer_reaches_the_gated_arcs_uniform_random_misses() {
     let seq: Vec<u64> = (0..budget)
         .map(|_| model.encode_choices(&[rng.gen_range(0..3), rng.gen_range(0..2)]))
         .collect();
-    let t = uniform.trace(&model, None, &seq).unwrap();
+    let mut sim = SyncSim::new(&model);
+    let t = uniform.trace(&mut sim, None, &seq).unwrap();
     uniform.merge(&t.obs);
 
     assert!(

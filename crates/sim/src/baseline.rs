@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use archval_fsm::enumerate::EnumResult;
-use archval_fsm::{Model, SyncSim};
+use archval_fsm::{EngineFactory, Model, SyncSim};
 use archval_pp::{CtrlIn, PpScale};
 use archval_stimgen::random::random_ctrl_in;
 use archval_tour::coverage::ArcCoverage;
@@ -105,8 +105,29 @@ pub fn random_coverage_run(
     rare_probability: f64,
     seed: u64,
 ) -> Result<CoverageRun, CoverageError> {
+    random_coverage_run_with(scale, model, enumd, cycles, rare_probability, seed, model)
+}
+
+/// [`random_coverage_run`] stepping through an engine spawned from
+/// `factory` — e.g. a compiled `archval-exec` `StepProgram`. Passing the
+/// model itself recovers the tree-walking default; results are
+/// bit-identical either way.
+///
+/// # Errors
+///
+/// As [`random_coverage_run`].
+#[allow(clippy::too_many_arguments)]
+pub fn random_coverage_run_with(
+    scale: &PpScale,
+    model: &Model,
+    enumd: &EnumResult,
+    cycles: u64,
+    rare_probability: f64,
+    seed: u64,
+    factory: &dyn EngineFactory,
+) -> Result<CoverageRun, CoverageError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut sim = SyncSim::new(model);
+    let mut sim = SyncSim::with_engine(model, factory.spawn());
     let mut cov = ArcCoverage::new(&enumd.graph, (cycles / 256).max(1));
     // one state lookup per cycle: this cycle's destination is the next
     // cycle's source

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use archval_fsm::enumerate::EnumResult;
-use archval_fsm::Model;
+use archval_fsm::{EngineFactory, Model};
 use archval_fuzz::{
     splitmix64, Error as FuzzError, FuzzConfig, FuzzEngine, GraphFeedback, HashedFeedback, RareSpec,
 };
@@ -120,7 +120,25 @@ pub fn fuzz_coverage_run(
     enumd: &EnumResult,
     config: &PpFuzzConfig,
 ) -> Result<CoverageRun, CoverageError> {
-    let mut engine = FuzzEngine::new(model, GraphFeedback::new(enumd), config.lower(model));
+    fuzz_coverage_run_with(model, enumd, config, model)
+}
+
+/// [`fuzz_coverage_run`] with candidate replay stepping through an engine
+/// spawned from `factory` — e.g. a compiled `archval-exec` `StepProgram`.
+/// Passing the model itself recovers the tree-walking default; results
+/// are bit-identical either way.
+///
+/// # Errors
+///
+/// As [`fuzz_coverage_run`].
+pub fn fuzz_coverage_run_with(
+    model: &Model,
+    enumd: &EnumResult,
+    config: &PpFuzzConfig,
+    factory: &dyn EngineFactory,
+) -> Result<CoverageRun, CoverageError> {
+    let mut engine =
+        FuzzEngine::with_factory(model, factory, GraphFeedback::new(enumd), config.lower(model));
     let report = engine.run().map_err(coverage_error)?;
     Ok(CoverageRun {
         name: format!("fuzz(seed={:#x})", config.seed),
@@ -161,8 +179,25 @@ pub fn fuzz_baseline_detects(
     seed: u64,
     threads: usize,
 ) -> Option<u64> {
+    fuzz_baseline_detects_with(scale, model, bugs, budget_cycles, seed, threads, model)
+}
+
+/// [`fuzz_baseline_detects`] with model-side candidate replay stepping
+/// through an engine spawned from `factory`. The RTL side is unaffected.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn fuzz_baseline_detects_with(
+    scale: &PpScale,
+    model: &Model,
+    bugs: BugSet,
+    budget_cycles: u64,
+    seed: u64,
+    threads: usize,
+    factory: &dyn EngineFactory,
+) -> Option<u64> {
     let config = PpFuzzConfig { cycles: budget_cycles, seed, threads, max_len: 512 };
-    let mut engine = FuzzEngine::new(model, HashedFeedback::new(20), config.lower(model));
+    let mut engine =
+        FuzzEngine::with_factory(model, factory, HashedFeedback::new(20), config.lower(model));
     let mut rtl_cycles = 0u64;
     let outcome = engine.run_until(|seq, _cycles_before| {
         rtl_cycles += seq.len() as u64;
@@ -278,6 +313,28 @@ mod tests {
             serde::Serialize::serialize_json(&b, &mut jb);
             assert_eq!(ja, jb, "serialized runs differ at threads={threads}");
         }
+    }
+
+    #[test]
+    fn compiled_engine_runs_are_bit_identical_to_tree() {
+        // the engine knob must not perturb results: the compiled program
+        // and the tree walker produce byte-identical coverage runs
+        let scale = PpScale::micro();
+        let model = pp_control_model(&scale).unwrap();
+        let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
+        let program = archval_exec::StepProgram::compile(&model);
+
+        let config = PpFuzzConfig { cycles: 4_000, seed: 7, threads: 2, ..PpFuzzConfig::default() };
+        let tree = fuzz_coverage_run(&model, &enumd, &config).unwrap();
+        let compiled = fuzz_coverage_run_with(&model, &enumd, &config, &program).unwrap();
+        assert_eq!(tree, compiled, "fuzz runs diverge between engines");
+
+        let tree = random_coverage_run(&scale, &model, &enumd, 4_000, 0.5, 9).unwrap();
+        let compiled = crate::baseline::random_coverage_run_with(
+            &scale, &model, &enumd, 4_000, 0.5, 9, &program,
+        )
+        .unwrap();
+        assert_eq!(tree, compiled, "random runs diverge between engines");
     }
 
     #[test]

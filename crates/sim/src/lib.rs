@@ -25,9 +25,14 @@ pub mod conformance;
 pub mod errata;
 pub mod fuzz;
 
-pub use baseline::{random_coverage_run, tour_coverage_run, CoverageError, CoverageRun};
+pub use baseline::{
+    random_coverage_run, random_coverage_run_with, tour_coverage_run, CoverageError, CoverageRun,
+};
 pub use campaign::{run_campaign, BugOutcome, CampaignConfig, CampaignReport};
 pub use compare::{compare_stimulus, ComparisonReport, Mismatch};
 pub use conformance::{fewer_behaviors_experiment, more_behaviors_experiment, ConformanceOutcome};
 pub use errata::{classify, mips_r4000_errata, BugClass, ErrataRow};
-pub use fuzz::{fuzz_baseline_detects, fuzz_coverage_run, pp_rare_specs, PpFuzzConfig};
+pub use fuzz::{
+    fuzz_baseline_detects, fuzz_baseline_detects_with, fuzz_coverage_run, fuzz_coverage_run_with,
+    pp_rare_specs, PpFuzzConfig,
+};

@@ -1,0 +1,74 @@
+//! End-to-end differential equivalence of the compiled bytecode engine
+//! and the tree-walking evaluator on the real PP control model — the
+//! random-model suite lives in `crates/exec/tests/differential.rs`; this
+//! one holds the invariant at the system level: enumeration dumps are
+//! byte-identical, the parallel enumerator agrees under compiled
+//! per-worker engines, and the full `ValidationFlow` produces the same
+//! graph and tours under either engine.
+
+use archval::flow::{Engine, ValidationFlow};
+use archval_exec::StepProgram;
+use archval_fsm::enumerate::{enumerate, enumerate_with, EnumConfig};
+use archval_fsm::parallel::enumerate_parallel_with;
+use archval_fsm::{dump_enum_result, EdgePolicy};
+use archval_pp::{pp_control_model, pp_control_verilog, PpScale};
+
+#[test]
+fn pp_micro_compiled_enumeration_dump_is_byte_identical() {
+    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let program = StepProgram::compile(&model);
+    assert!(program.fits(&model));
+    for policy in [EdgePolicy::FirstLabel, EdgePolicy::AllLabels] {
+        let cfg = EnumConfig { edge_policy: policy, ..EnumConfig::default() };
+        let tree = enumerate(&model, &cfg).unwrap();
+        let compiled = enumerate_with(&model, &cfg, &program).unwrap();
+        assert_eq!(
+            dump_enum_result(&model, &compiled),
+            dump_enum_result(&model, &tree),
+            "{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn pp_micro_parallel_compiled_enumeration_matches_tree() {
+    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let program = StepProgram::compile(&model);
+    let tree = enumerate(&model, &EnumConfig::default()).unwrap();
+    let dump_tree = dump_enum_result(&model, &tree);
+    for threads in [2usize, 8] {
+        let cfg = EnumConfig { threads, ..EnumConfig::default() };
+        let compiled = enumerate_parallel_with(&model, &cfg, &program).unwrap();
+        assert_eq!(dump_enum_result(&model, &compiled), dump_tree, "x{threads}");
+    }
+}
+
+#[test]
+fn pp_standard_compiled_enumeration_matches_tree() {
+    let model = pp_control_model(&PpScale::standard()).unwrap();
+    let program = StepProgram::compile(&model);
+    let cfg = EnumConfig { threads: 8, ..EnumConfig::default() };
+    let tree = enumerate_parallel_with(&model, &cfg, &model).unwrap();
+    let compiled = enumerate_parallel_with(&model, &cfg, &program).unwrap();
+    assert_eq!(dump_enum_result(&model, &compiled), dump_enum_result(&model, &tree));
+}
+
+#[test]
+fn validation_flow_engines_agree_on_pp_verilog() {
+    let scale = PpScale::micro();
+    let src = pp_control_verilog(&scale);
+    let compiled = ValidationFlow::from_verilog(&src, "pp_control").unwrap().run().unwrap();
+    let tree = ValidationFlow::from_verilog(&src, "pp_control")
+        .unwrap()
+        .engine(Engine::Tree)
+        .run()
+        .unwrap();
+    assert_eq!(compiled.engine, Engine::Compiled, "compiled is the default");
+    assert_eq!(compiled.enumd.graph, tree.enumd.graph);
+    assert_eq!(compiled.enumd.stats.states, tree.enumd.stats.states);
+    assert_eq!(compiled.enumd.stats.edges, tree.enumd.stats.edges);
+    assert_eq!(compiled.tours.traces(), tree.tours.traces());
+    let program = compiled.program.as_ref().expect("compiled flow exposes its program");
+    assert!(program.fits(&compiled.model));
+    assert!(program.stats().instructions > 0);
+}
