@@ -6,15 +6,18 @@
 //! cargo run --release -p archval-bench --bin dump-pp-model standard
 //! ```
 
-use archval_bench::scale_from_args;
+use archval_bench::{scale_from_args, BenchError};
 use archval_fsm::dump_model;
 use archval_pp::{pp_control_model, pp_control_verilog};
 
 fn main() {
-    let scale = scale_from_args();
-    println!("// ======== annotated Verilog (translator input) ========\n");
-    println!("{}", pp_control_verilog(&scale));
-    let model = pp_control_model(&scale).expect("control model builds");
-    println!("\n-- ======== translated FSM model (enumerator input) ========\n");
-    println!("{}", dump_model(&model));
+    archval_bench::run("dump-pp-model", || {
+        let scale = scale_from_args();
+        println!("// ======== annotated Verilog (translator input) ========\n");
+        println!("{}", pp_control_verilog(&scale));
+        let model = pp_control_model(&scale).map_err(BenchError::from)?;
+        println!("\n-- ======== translated FSM model (enumerator input) ========\n");
+        println!("{}", dump_model(&model));
+        Ok(())
+    });
 }

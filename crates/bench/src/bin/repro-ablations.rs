@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use archval_bench::BenchError;
 use archval_fsm::graph::{EdgePolicy, GraphBuilder, StateGraph, StateId};
 use archval_fsm::{enumerate, EnumConfig};
 use archval_pp::pp_control_model;
@@ -28,11 +29,15 @@ struct AblationBench {
 }
 
 fn main() {
+    archval_bench::run("repro-ablations", body);
+}
+
+fn body() -> Result<(), BenchError> {
     let scale = archval_bench::scale_from_args();
     let started = std::time::Instant::now();
-    let model = pp_control_model(&scale).expect("model");
+    let model = pp_control_model(&scale)?;
     eprintln!("enumerating at {scale:?} ...");
-    let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+    let enumd = enumerate(&model, &EnumConfig::default())?;
 
     println!("== ablation 1: per-trace instruction limit ==");
     println!(
@@ -42,7 +47,11 @@ fn main() {
     let base = generate_tours(&enumd.graph, &TourConfig::default());
     for limit in [None, Some(10_000u64), Some(1_000), Some(100)] {
         let t = generate_tours(&enumd.graph, &TourConfig { instruction_limit: limit });
-        assert!(t.covers_all_arcs(&enumd.graph));
+        if !t.covers_all_arcs(&enumd.graph) {
+            return Err(BenchError::Invalid(format!(
+                "tours with limit {limit:?} left arcs uncovered"
+            )));
+        }
         println!(
             "{:>8} {:>8} {:>12} {:>14} {:>9.3}x",
             limit.map_or("none".into(), |l| l.to_string()),
@@ -55,11 +64,14 @@ fn main() {
 
     println!("\n== ablation 2: greedy DFS tours vs Chinese-Postman optimum ==");
     // strongly-connected synthetic graphs (the PP graph is not SC)
-    for (name, g) in [("ring+chords", ring_with_chords(60, 7)), ("dense", dense(24))] {
+    for (name, g) in [("ring+chords", ring_with_chords(60, 7)?), ("dense", dense(24)?)] {
         let greedy = generate_tours(&g, &TourConfig::default());
-        let e = eulerize(&g).expect("strongly connected by construction");
-        let postman =
-            hierholzer_tour(g.state_count(), &e.arcs, StateId(0)).expect("balanced multigraph");
+        let e = eulerize(&g).ok_or_else(|| {
+            BenchError::Invalid(format!("synthetic graph `{name}` is not strongly connected"))
+        })?;
+        let postman = hierholzer_tour(g.state_count(), &e.arcs, StateId(0)).ok_or_else(|| {
+            BenchError::Invalid(format!("eulerized `{name}` is not a balanced multigraph"))
+        })?;
         println!(
             "  {name:<12} arcs {:>5}  greedy traversals {:>6}  postman {:>6}  ratio {:.3}",
             g.edge_count(),
@@ -73,8 +85,7 @@ fn main() {
     let all = enumerate(
         &model,
         &EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() },
-    )
-    .expect("enumeration");
+    )?;
     println!(
         "  first-label: {} arcs; all-labels: {} arcs ({:.1}x more to tour — the cost of\n\
          \x20 the Figure 4.2 fix)",
@@ -92,8 +103,7 @@ fn main() {
     );
     let mut runs = vec![tour_run.clone()];
     for p in [0.5, 0.2, 0.05] {
-        let r = random_coverage_run(&scale, &model, &enumd, tour_run.cycles, p, 42)
-            .expect("complete enumeration: the run cannot leave the reachable set");
+        let r = random_coverage_run(&scale, &model, &enumd, tour_run.cycles, p, 42)?;
         println!(
             "  random(p_rare={p}): {}/{} arcs ({:.1}%) in the same budget",
             r.arcs_covered,
@@ -112,21 +122,22 @@ fn main() {
             runs,
             wall_seconds: started.elapsed().as_secs_f64(),
         },
-    );
+    )?;
+    Ok(())
 }
 
 /// A strongly connected ring with extra chords.
-fn ring_with_chords(n: u32, stride: u32) -> StateGraph {
+fn ring_with_chords(n: u32, stride: u32) -> Result<StateGraph, BenchError> {
     let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
     for i in 0..n {
         b.add_edge(StateId(i), StateId((i + 1) % n), 0);
         b.add_edge(StateId(i), StateId((i + stride) % n), 1);
     }
-    b.finish().expect("small synthetic graph").0
+    finish_synthetic(b)
 }
 
 /// A small dense graph: i -> (i*k+1) mod n for several k.
-fn dense(n: u32) -> StateGraph {
+fn dense(n: u32) -> Result<StateGraph, BenchError> {
     let mut b = GraphBuilder::new(EdgePolicy::AllLabels);
     for i in 0..n {
         for (lbl, k) in [(0u64, 1u32), (1, 2), (2, 5)] {
@@ -134,5 +145,9 @@ fn dense(n: u32) -> StateGraph {
         }
         b.add_edge(StateId(i), StateId((i + 1) % n), 3);
     }
-    b.finish().expect("small synthetic graph").0
+    finish_synthetic(b)
+}
+
+fn finish_synthetic(b: GraphBuilder) -> Result<StateGraph, BenchError> {
+    Ok(b.finish().map_err(|e| BenchError::Invalid(format!("synthetic graph: {e}")))?.0)
 }

@@ -7,7 +7,13 @@
 
 use std::process::Command;
 
+use archval_bench::BenchError;
+
 fn main() {
+    archval_bench::run("repro-all", body);
+}
+
+fn body() -> Result<(), BenchError> {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "standard".into());
     let bins = [
         "repro-table1-1",
@@ -22,8 +28,11 @@ fn main() {
         "repro-ablations",
         "repro-fuzz",
     ];
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("bin dir");
+    let exe = std::env::current_exe()
+        .map_err(|source| BenchError::Io { path: "current exe".into(), source })?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| BenchError::Invalid(format!("{} has no parent dir", exe.display())))?;
     let mut failures = Vec::new();
     for bin in bins {
         println!("\n────────────────────────────────────────────────────────────");
@@ -31,16 +40,15 @@ fn main() {
         let status = Command::new(dir.join(bin))
             .arg(&scale)
             .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+            .map_err(|source| BenchError::Io { path: dir.join(bin), source })?;
         if !status.success() {
             failures.push(bin);
         }
     }
     println!("\n────────────────────────────────────────────────────────────");
-    if failures.is_empty() {
-        println!("all {} experiments reproduced at scale `{scale}`", bins.len());
-    } else {
-        println!("FAILED: {failures:?}");
-        std::process::exit(1);
+    if !failures.is_empty() {
+        return Err(BenchError::Invalid(format!("experiments failed: {failures:?}")));
     }
+    println!("all {} experiments reproduced at scale `{scale}`", bins.len());
+    Ok(())
 }

@@ -4,6 +4,7 @@
 //! stall lands in the window of opportunity, leaving garbage in the
 //! register (Figure 2.3).
 
+use archval_bench::BenchError;
 use archval_pp::asm::assemble;
 use archval_pp::bugs::GARBAGE;
 use archval_pp::rtl::{ExtIn, Forces, RtlSim};
@@ -12,7 +13,7 @@ use archval_pp::{Bug, BugSet, PpScale, RefSim};
 /// Runs the directed Bug-5 scenario; `stall_in_window` injects the
 /// external stall (the companion `send` finds the Outbox busy) during the
 /// two-cycle window after the critical word.
-fn run_scenario(stall_in_window: bool) -> (u32, u32) {
+fn run_scenario(stall_in_window: bool) -> Result<(u32, u32), BenchError> {
     // load (will miss) followed by a load/store pair whose companion is a
     // send — the only way an external stall can hit while a memory op
     // holds the pipe
@@ -27,7 +28,7 @@ fn run_scenario(stall_in_window: bool) -> (u32, u32) {
          nop\n\
          halt",
     )
-    .expect("scenario assembles");
+    .map_err(|e| BenchError::Invalid(format!("bug-5 scenario does not assemble: {e}")))?;
     let scale = PpScale::standard();
     let mut rtl = RtlSim::new(scale, BugSet::only(Bug::MembusValidGlitch), &program, vec![]);
     let mut spec = RefSim::new(&program, vec![]);
@@ -52,29 +53,42 @@ fn run_scenario(stall_in_window: bool) -> (u32, u32) {
     }
     let got = rtl.regs()[1];
     let want = spec.regs()[1];
-    (want, got)
+    Ok((want, got))
 }
 
 fn main() {
+    archval_bench::run("repro-fig2-2", body);
+}
+
+fn body() -> Result<(), BenchError> {
     println!("== Figures 2.2 / 2.3 — Bug #5 timing window ==\n");
-    let (want, got) = run_scenario(false);
+    let (want, got) = run_scenario(false)?;
     println!(
         "Figure 2.2 (no external stall): data re-written, glitch masked\n\
          \x20 r1 expected {want:#010x}, observed {got:#010x} -> {}",
         if want == got { "CORRECT (bug hidden)" } else { "corrupted" }
     );
-    assert_eq!(want, got, "without the stall the rewrite must mask the glitch");
+    if want != got {
+        return Err(BenchError::Invalid(
+            "without the stall the rewrite must mask the glitch".into(),
+        ));
+    }
 
-    let (want, got) = run_scenario(true);
+    let (want, got) = run_scenario(true)?;
     println!(
         "\nFigure 2.3 (external stall in the window): second write suppressed\n\
          \x20 r1 expected {want:#010x}, observed {got:#010x} -> {}",
         if want == got { "correct" } else { "GARBAGE latched" }
     );
-    assert_eq!(got, GARBAGE, "the stall in the window must leave garbage");
+    if got != GARBAGE {
+        return Err(BenchError::Invalid(format!(
+            "the stall in the window must leave garbage, observed {got:#010x}"
+        )));
+    }
     println!(
         "\nthe correctness bug exists only when an external stall arises between the\n\
          glitch and the second write — the improbable conjunction the tour vectors\n\
          generate deliberately."
     );
+    Ok(())
 }

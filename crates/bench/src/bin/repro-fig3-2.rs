@@ -5,8 +5,15 @@ use archval_bench::scale_from_args;
 use archval_pp::pp_control_model;
 
 fn main() {
-    let scale = scale_from_args();
-    let model = pp_control_model(&scale).expect("control model builds");
+    archval_bench::run("repro-fig3-2", || {
+        let scale = scale_from_args();
+        let model = pp_control_model(&scale)?;
+        run_body(&scale, &model);
+        Ok(())
+    });
+}
+
+fn run_body(scale: &archval_pp::PpScale, model: &archval_fsm::Model) {
     println!("== Figure 3.2 — FSM representation of the PP ({scale:?}) ==\n");
     println!("abstract interface models (nondeterministic inputs):");
     for c in model.choices() {

@@ -17,7 +17,9 @@
 use serde::{Deserialize, Serialize};
 
 use archval::Engine;
-use archval_bench::{emit_bench_json, engine_from_args, scale_from_args, threads_from_args};
+use archval_bench::{
+    emit_bench_json, engine_from_args, scale_from_args, threads_from_args, BenchError,
+};
 use archval_exec::StepProgram;
 use archval_fsm::{enumerate_with, EngineFactory, EnumConfig};
 use archval_pp::pp_control_model;
@@ -39,6 +41,10 @@ struct FuzzBench {
 }
 
 fn main() {
+    archval_bench::run("repro-fuzz", body);
+}
+
+fn body() -> Result<(), BenchError> {
     let scale = scale_from_args();
     let threads = threads_from_args();
     let engine = engine_from_args();
@@ -46,7 +52,7 @@ fn main() {
     let started = std::time::Instant::now();
 
     eprintln!("enumerating at {scale:?} with the {engine} engine ...");
-    let model = pp_control_model(&scale).expect("control model builds");
+    let model = pp_control_model(&scale)?;
     let (program, compile_seconds) = match engine {
         Engine::Compiled => {
             let t0 = std::time::Instant::now();
@@ -59,7 +65,7 @@ fn main() {
         Some(p) => p,
         None => &model,
     };
-    let enumd = enumerate_with(&model, &EnumConfig::default(), factory).expect("enumeration");
+    let enumd = enumerate_with(&model, &EnumConfig::default(), factory)?;
 
     // the tour run sets the common budget: the cycles a full transition
     // tour costs are what random and fuzzing get to spend too
@@ -73,10 +79,8 @@ fn main() {
         &enumd,
         &PpFuzzConfig { cycles: budget, seed, threads, ..PpFuzzConfig::default() },
         factory,
-    )
-    .expect("complete enumeration: replay cannot leave the reachable set");
-    let random_run =
-        random_coverage_run_with(&scale, &model, &enumd, budget, 0.5, seed, factory).expect("same");
+    )?;
+    let random_run = random_coverage_run_with(&scale, &model, &enumd, budget, 0.5, seed, factory)?;
 
     println!("== coverage-guided fuzzing vs baselines ({scale:?}, equal budget) ==");
     println!("{:<28} {:>10} {:>10} {:>10} {:>9}", "", "arcs", "of", "cycles", "coverage");
@@ -101,14 +105,13 @@ fn main() {
         runs: vec![tour_run.clone(), fuzz_run.clone(), random_run.clone()],
         wall_seconds: started.elapsed().as_secs_f64(),
     };
-    emit_bench_json("fuzz", &bench);
+    emit_bench_json("fuzz", &bench)?;
 
     if fuzz_run.arcs_covered < random_run.arcs_covered {
-        eprintln!(
-            "FAIL: fuzzing covered {} arcs but uniform random covered {} in the same budget",
+        return Err(BenchError::Invalid(format!(
+            "fuzzing covered {} arcs but uniform random covered {} in the same budget",
             fuzz_run.arcs_covered, random_run.arcs_covered
-        );
-        std::process::exit(1);
+        )));
     }
     println!(
         "\nfuzzing beats uniform random by {} arcs and closes {:.1}% of the tour gap \
@@ -121,4 +124,5 @@ fn main() {
             100.0
         }
     );
+    Ok(())
 }

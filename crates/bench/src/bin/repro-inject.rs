@@ -1,0 +1,239 @@
+//! Fault-injection campaign over the PP control model: how well do the
+//! three stimulus strategies (transition tours, coverage-guided fuzz,
+//! uniform random) discriminate a faulty design from the reference?
+//!
+//! Derives ≥50 mutants from the model and its compiled bytecode — plus
+//! the three chaos mutants (explode / wedge / panic) that exercise the
+//! campaign's budget and isolation machinery — runs every mutant under a
+//! budget with panic isolation, prints the kill-rate matrix, and writes
+//! `BENCH_inject.json`. The run then demonstrates checkpoint/resume: a
+//! second campaign is halted partway, resumed from its JSONL checkpoint,
+//! and must reproduce the uninterrupted report byte-for-byte.
+//!
+//! Exits non-zero if any mutant is missing a verdict, the chaos mutants
+//! fail to land on their designated verdicts, the tours' kill rate falls
+//! below the seeded floor, or the resumed report differs.
+//!
+//! ```sh
+//! cargo run --release -p archval-bench --bin repro-inject micro [threads]
+//! ```
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use archval::inject::{run_campaign, CampaignConfig, CampaignReport, RunBudget, Strategy, Verdict};
+use archval_bench::{emit_bench_json, scale_from_args, threads_from_args, BenchError};
+use archval_fsm::{enumerate, EnumConfig};
+use archval_pp::pp_control_model;
+
+/// Tours replay every arc of the reference graph; a campaign where they
+/// kill less than this fraction of the scored mutants indicates a broken
+/// generator or replay, not a hard fault model.
+const TOUR_KILL_RATE_FLOOR: f64 = 0.5;
+
+/// One row of the kill-rate matrix in `BENCH_inject.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KillRateRow {
+    strategy: String,
+    killed: usize,
+    survived: usize,
+    excluded: usize,
+    rate: f64,
+}
+
+/// Everything `BENCH_inject.json` records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct InjectBench {
+    scale: String,
+    threads: usize,
+    mutant_count: usize,
+    reference_states: u64,
+    reference_edges: u64,
+    state_explosions: usize,
+    timeouts: usize,
+    panics: usize,
+    kill_rates: Vec<KillRateRow>,
+    tour_kill_rate_floor: f64,
+    resume_byte_identical: bool,
+    report: CampaignReport,
+    wall_seconds: f64,
+}
+
+fn main() {
+    archval_bench::run("repro-inject", body);
+}
+
+fn body() -> Result<(), BenchError> {
+    let scale = scale_from_args();
+    let threads = threads_from_args();
+    let started = std::time::Instant::now();
+
+    let model = pp_control_model(&scale)?;
+    eprintln!("sizing budgets: enumerating the reference at {scale:?} ...");
+    let reference = enumerate(&model, &EnumConfig::default())?;
+    let ref_states = reference.stats.states;
+    let combos = model.choice_combinations();
+
+    // Budgets sized off the reference: a genuine mutant may grow the
+    // reachable set several-fold and still complete; the explode engine's
+    // cross product cannot fit and must trip the cut.
+    let max_states = ref_states * 8 + 1024;
+    let config = CampaignConfig {
+        mutant_limit: 50,
+        include_chaos: true,
+        budget: RunBudget {
+            max_states,
+            max_transitions: (max_states as u64 + 1) * combos,
+            deadline: Duration::from_secs(10),
+            max_cycles: 1 << 16,
+        },
+        threads,
+        wedge_sleep: Duration::from_secs(2),
+        ..Default::default()
+    };
+
+    eprintln!(
+        "running {}-mutant campaign over {ref_states} reference states with {threads} worker \
+         thread(s) ...",
+        config.mutant_limit
+    );
+    let report = run_campaign(&model, &config)?;
+
+    // ---- gates: every mutant typed-verdicted, chaos where it belongs ----
+    if !report.complete {
+        return Err(BenchError::Invalid("campaign did not complete".into()));
+    }
+    if report.mutants.len() < 50 {
+        return Err(BenchError::Invalid(format!(
+            "campaign ran {} mutants, need at least 50",
+            report.mutants.len()
+        )));
+    }
+    for outcome in &report.mutants {
+        if outcome.verdicts.len() != 3 {
+            return Err(BenchError::Invalid(format!(
+                "mutant {} is missing verdicts ({} of 3)",
+                outcome.label,
+                outcome.verdicts.len()
+            )));
+        }
+    }
+    let count = |v: &Verdict| {
+        report.mutants.iter().filter(|o| o.verdicts.iter().any(|s| s.verdict == *v)).count()
+    };
+    let state_explosions = count(&Verdict::StateExplosion);
+    let timeouts = count(&Verdict::Timeout);
+    let panics = count(&Verdict::Panicked);
+    if state_explosions == 0 || timeouts == 0 || panics == 0 {
+        return Err(BenchError::Invalid(format!(
+            "degenerate verdicts missing: {state_explosions} explosions, {timeouts} timeouts, \
+             {panics} panics (expected at least one of each from the chaos mutants)"
+        )));
+    }
+
+    // ---- kill-rate matrix ----
+    println!(
+        "== fault-injection kill-rate matrix ({scale:?}, {} mutants) ==",
+        report.mutants.len()
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>9} {:>8}",
+        "strategy", "killed", "survived", "excluded", "rate"
+    );
+    let mut kill_rates = Vec::new();
+    for kr in &report.kill_rates {
+        println!(
+            "{:<10} {:>8} {:>9} {:>9} {:>7.1}%",
+            kr.strategy.name(),
+            kr.killed,
+            kr.survived,
+            kr.excluded,
+            100.0 * kr.rate()
+        );
+        kill_rates.push(KillRateRow {
+            strategy: kr.strategy.name().to_string(),
+            killed: kr.killed,
+            survived: kr.survived,
+            excluded: kr.excluded,
+            rate: kr.rate(),
+        });
+    }
+    for family in ["model", "program", "chaos"] {
+        let members = report.mutants.iter().filter(|o| o.family == family).count();
+        println!("  {family:<8} family: {members} mutants");
+    }
+
+    // ---- checkpoint/resume byte-identity demonstration ----
+    eprintln!("demonstrating checkpoint/resume (halt after 20 mutants, then resume) ...");
+    let dir = std::env::var("ARCHVAL_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let checkpoint = std::path::Path::new(&dir).join("archval-inject-checkpoint.jsonl");
+    let _ = std::fs::remove_file(&checkpoint);
+    let halted_config = CampaignConfig {
+        checkpoint: Some(checkpoint.clone()),
+        halt_after: Some(20),
+        threads: 1, // exact halt count, deterministic interrupt point
+        ..config.clone()
+    };
+    let partial = run_campaign(&model, &halted_config)?;
+    if partial.complete {
+        return Err(BenchError::Invalid("halted campaign unexpectedly completed".into()));
+    }
+    let resumed_config =
+        CampaignConfig { checkpoint: Some(checkpoint.clone()), threads, ..config.clone() };
+    let resumed = run_campaign(&model, &resumed_config)?;
+    let _ = std::fs::remove_file(&checkpoint);
+    let resume_byte_identical = resumed.to_json() == report.to_json();
+    if !resume_byte_identical {
+        return Err(BenchError::Invalid(
+            "resumed campaign report differs from the uninterrupted run".into(),
+        ));
+    }
+    println!(
+        "\ncheckpoint/resume: killed after {} mutants, resumed the remaining {}, report \
+         byte-identical to the uninterrupted run",
+        partial.mutants.len(),
+        report.mutants.len() - partial.mutants.len()
+    );
+
+    emit_bench_json(
+        "inject",
+        &InjectBench {
+            scale: format!("{scale:?}"),
+            threads,
+            mutant_count: report.mutants.len(),
+            reference_states: report.reference_states,
+            reference_edges: report.reference_edges,
+            state_explosions,
+            timeouts,
+            panics,
+            kill_rates,
+            tour_kill_rate_floor: TOUR_KILL_RATE_FLOOR,
+            resume_byte_identical,
+            report: report.clone(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+        },
+    )?;
+
+    // ---- seeded floor gate (after the JSON so a failure still leaves data) ----
+    let tours = report
+        .kill_rate(Strategy::Tours)
+        .ok_or_else(|| BenchError::Invalid("no tour kill rate in report".into()))?;
+    if tours.rate() < TOUR_KILL_RATE_FLOOR {
+        return Err(BenchError::Invalid(format!(
+            "tour kill rate {:.1}% is below the seeded floor {:.0}%",
+            100.0 * tours.rate(),
+            100.0 * TOUR_KILL_RATE_FLOOR
+        )));
+    }
+    println!(
+        "tour kill rate {:.1}% clears the {:.0}% floor; campaign survived {} explosion(s), \
+         {} timeout(s) and {} panic(s) without aborting",
+        100.0 * tours.rate(),
+        100.0 * TOUR_KILL_RATE_FLOOR,
+        state_explosions,
+        timeouts,
+        panics
+    );
+    Ok(())
+}

@@ -10,7 +10,7 @@
 //! engine used for the enumeration (identical results either way).
 
 use archval::Engine;
-use archval_bench::{engine_from_args, scale_from_args, snapshot_from_args};
+use archval_bench::{engine_from_args, scale_from_args, snapshot_from_args, BenchError};
 use archval_exec::StepProgram;
 use archval_fsm::{enumerate_with, load_enum_result, save_enum_result, EngineFactory, EnumConfig};
 use archval_pp::pp_control_model;
@@ -18,6 +18,10 @@ use archval_sim::baseline::tour_coverage_run;
 use archval_tour::{generate_tours, TourConfig};
 
 fn main() {
+    archval_bench::run("repro-snapshot", body);
+}
+
+fn body() -> Result<(), BenchError> {
     let scale = scale_from_args();
     let engine = engine_from_args();
     let path = snapshot_from_args().unwrap_or_else(|| {
@@ -26,7 +30,7 @@ fn main() {
     });
 
     eprintln!("enumerating at {scale:?} with the {engine} engine ...");
-    let model = pp_control_model(&scale).expect("control model builds");
+    let model = pp_control_model(&scale)?;
     let program = match engine {
         Engine::Compiled => Some(StepProgram::compile(&model)),
         Engine::Tree => None,
@@ -35,32 +39,36 @@ fn main() {
         Some(p) => p,
         None => &model,
     };
-    let fresh = enumerate_with(&model, &EnumConfig::default(), factory).expect("enumeration");
+    let fresh = enumerate_with(&model, &EnumConfig::default(), factory)?;
     let fresh_tours = generate_tours(&fresh.graph, &TourConfig::default());
     let fresh_cov = tour_coverage_run(&fresh, &fresh_tours);
 
-    save_enum_result(&path, &model, &fresh)
-        .unwrap_or_else(|e| panic!("saving {}: {e}", path.display()));
+    save_enum_result(&path, &model, &fresh)?;
     let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     eprintln!("saved {} ({size} bytes)", path.display());
 
-    let loaded = load_enum_result(&path, &model)
-        .unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
-    assert_eq!(loaded.graph, fresh.graph, "loaded graph differs from the in-memory graph");
+    let loaded = load_enum_result(&path, &model)?;
+    if loaded.graph != fresh.graph {
+        return Err(BenchError::Invalid("loaded graph differs from the in-memory graph".into()));
+    }
 
     let loaded_tours = generate_tours(&loaded.graph, &TourConfig::default());
-    assert_eq!(
-        loaded_tours.traces(),
-        fresh_tours.traces(),
-        "tours generated from the snapshot differ from the in-memory tours"
-    );
+    if loaded_tours.traces() != fresh_tours.traces() {
+        return Err(BenchError::Invalid(
+            "tours generated from the snapshot differ from the in-memory tours".into(),
+        ));
+    }
     let loaded_cov = tour_coverage_run(&loaded, &loaded_tours);
-    assert_eq!(
-        (loaded_cov.arcs_covered, loaded_cov.arcs_total, loaded_cov.cycles),
-        (fresh_cov.arcs_covered, fresh_cov.arcs_total, fresh_cov.cycles),
-        "arc coverage through the snapshot differs from the in-memory path"
-    );
-    assert_eq!(fresh_cov.arcs_covered, fresh_cov.arcs_total, "tours must cover every arc");
+    if (loaded_cov.arcs_covered, loaded_cov.arcs_total, loaded_cov.cycles)
+        != (fresh_cov.arcs_covered, fresh_cov.arcs_total, fresh_cov.cycles)
+    {
+        return Err(BenchError::Invalid(
+            "arc coverage through the snapshot differs from the in-memory path".into(),
+        ));
+    }
+    if fresh_cov.arcs_covered != fresh_cov.arcs_total {
+        return Err(BenchError::Invalid("tours must cover every arc".into()));
+    }
 
     println!(
         "snapshot round-trip OK at {scale:?}: {} states, {} edges, {} traces, {}/{} arcs \
@@ -71,4 +79,5 @@ fn main() {
         loaded_cov.arcs_covered,
         loaded_cov.arcs_total
     );
+    Ok(())
 }

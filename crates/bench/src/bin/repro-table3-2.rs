@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use archval::Engine;
 use archval_bench::{
     engine_from_args, header, peak_rss_bytes, row, scale_from_args, snapshot_from_args,
-    threads_from_args,
+    threads_from_args, BenchError,
 };
 use archval_exec::StepProgram;
 use archval_fsm::{
@@ -53,11 +53,15 @@ struct Table32Bench {
 }
 
 fn main() {
+    archval_bench::run("repro-table3-2", body);
+}
+
+fn body() -> Result<(), BenchError> {
     let scale = scale_from_args();
     let threads = threads_from_args();
     let snapshot = snapshot_from_args();
     let engine = engine_from_args();
-    let model = pp_control_model(&scale).expect("control model builds");
+    let model = pp_control_model(&scale)?;
 
     let (program, compile_seconds) = match engine {
         Engine::Compiled => {
@@ -85,8 +89,7 @@ fn main() {
         Some(path) if path.exists() => {
             eprintln!("loading snapshot {} ...", path.display());
             let t0 = std::time::Instant::now();
-            let r = load_enum_result(path, &model)
-                .unwrap_or_else(|e| panic!("loading {}: {e}", path.display()));
+            let r = load_enum_result(path, &model)?;
             let secs = t0.elapsed().as_secs_f64();
             eprintln!("loaded {} states / {} edges in {secs:.2} s", r.stats.states, r.stats.edges);
             from_snapshot = true;
@@ -98,10 +101,9 @@ fn main() {
                 "enumerating at {scale:?} with the {engine} engine ... (use `paper` for the \
                  near-paper-scale run)"
             );
-            let r = enumerate_with(&model, &EnumConfig::default(), factory).expect("enumeration");
+            let r = enumerate_with(&model, &EnumConfig::default(), factory)?;
             if let Some(path) = &snapshot {
-                save_enum_result(path, &model, &r)
-                    .unwrap_or_else(|e| panic!("saving {}: {e}", path.display()));
+                save_enum_result(path, &model, &r)?;
                 eprintln!("saved snapshot {}", path.display());
             }
             r
@@ -144,9 +146,13 @@ fn main() {
     if threads > 1 && !from_snapshot {
         eprintln!("re-enumerating with {threads} worker threads ...");
         let cfg = EnumConfig { threads, ..EnumConfig::default() };
-        let p = enumerate_parallel_with(&model, &cfg, factory).expect("parallel enumeration");
-        assert_eq!(p.stats.states, r.stats.states, "state count diverged");
-        assert_eq!(p.stats.edges, r.stats.edges, "edge count diverged");
+        let p = enumerate_parallel_with(&model, &cfg, factory)?;
+        if p.stats.states != r.stats.states || p.stats.edges != r.stats.edges {
+            return Err(BenchError::Invalid(format!(
+                "parallel enumeration diverged: {}/{} states, {}/{} edges",
+                p.stats.states, r.stats.states, p.stats.edges, r.stats.edges
+            )));
+        }
         let seq = r.stats.elapsed.as_secs_f64();
         let par = p.stats.elapsed.as_secs_f64();
         println!(
@@ -187,5 +193,6 @@ fn main() {
             snapshot_load_seconds,
             peak_rss_bytes: peak_rss_bytes(),
         },
-    );
+    )?;
+    Ok(())
 }

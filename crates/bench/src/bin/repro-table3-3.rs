@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use archval_bench::{emit_bench_json, scale_from_args};
+use archval_bench::{emit_bench_json, scale_from_args, BenchError};
 use archval_fsm::{enumerate, EnumConfig};
 use archval_pp::pp_control_model;
 use archval_stimgen::mapping::pp_instr_cost;
@@ -29,11 +29,15 @@ struct Table33Bench {
 }
 
 fn main() {
+    archval_bench::run("repro-table3-3", body);
+}
+
+fn body() -> Result<(), BenchError> {
     let scale = scale_from_args();
     let started = std::time::Instant::now();
     eprintln!("enumerating at {scale:?} ...");
-    let model = pp_control_model(&scale).expect("control model builds");
-    let enumd = enumerate(&model, &EnumConfig::default()).expect("enumeration");
+    let model = pp_control_model(&scale)?;
+    let enumd = enumerate(&model, &EnumConfig::default())?;
     eprintln!("generating tours ...");
 
     let unlimited = generate_tours_with(
@@ -46,8 +50,9 @@ fn main() {
         &TourConfig::with_paper_limit(),
         pp_instr_cost(&scale, &model, &enumd),
     );
-    assert!(unlimited.covers_all_arcs(&enumd.graph));
-    assert!(limited.covers_all_arcs(&enumd.graph));
+    if !unlimited.covers_all_arcs(&enumd.graph) || !limited.covers_all_arcs(&enumd.graph) {
+        return Err(BenchError::Invalid("tours left arcs uncovered".into()));
+    }
 
     println!("== Table 3.3 — Test Vector Generation Statistics ({scale:?}) ==");
     println!(
@@ -140,5 +145,6 @@ fn main() {
             rows: vec![gen_row(None, u), gen_row(Some(10_000), l)],
             wall_seconds: started.elapsed().as_secs_f64(),
         },
-    );
+    )?;
+    Ok(())
 }

@@ -110,23 +110,124 @@ pub fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// Anything a `repro-*` binary can fail with.
+///
+/// Every binary funnels its fallible body through [`run`], so a failure
+/// is one typed error, one line on stderr, and a non-zero exit — never a
+/// panic backtrace.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A pipeline stage failed (Verilog, enumeration, fuzzing, snapshot
+    /// or fault injection — see [`archval::Error`]).
+    Flow(archval::Error),
+    /// A coverage replay failed (stale enumeration / configuration
+    /// mismatch).
+    Coverage(archval_sim::baseline::CoverageError),
+    /// Reading or writing a result or snapshot file failed.
+    Io { path: PathBuf, source: std::io::Error },
+    /// A result value did not serialize.
+    Json(String),
+    /// An experiment precondition did not hold (malformed synthetic
+    /// graph, missing sibling binary, a gate below its floor, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Flow(e) => write!(f, "{e}"),
+            BenchError::Coverage(e) => write!(f, "coverage replay failed: {e}"),
+            BenchError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            BenchError::Json(e) => write!(f, "serializing result: {e}"),
+            BenchError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Flow(e) => Some(e),
+            BenchError::Coverage(e) => Some(e),
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Json(_) | BenchError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<archval::Error> for BenchError {
+    fn from(e: archval::Error) -> Self {
+        BenchError::Flow(e)
+    }
+}
+
+impl From<archval::fsm::Error> for BenchError {
+    fn from(e: archval::fsm::Error) -> Self {
+        BenchError::Flow(e.into())
+    }
+}
+
+impl From<archval::fsm::SnapshotError> for BenchError {
+    fn from(e: archval::fsm::SnapshotError) -> Self {
+        BenchError::Flow(e.into())
+    }
+}
+
+impl From<archval::fuzz::Error> for BenchError {
+    fn from(e: archval::fuzz::Error) -> Self {
+        BenchError::Flow(e.into())
+    }
+}
+
+impl From<archval::verilog::VerilogError> for BenchError {
+    fn from(e: archval::verilog::VerilogError) -> Self {
+        BenchError::Flow(e.into())
+    }
+}
+
+impl From<archval::inject::Error> for BenchError {
+    fn from(e: archval::inject::Error) -> Self {
+        BenchError::Flow(archval::Error::Inject(e))
+    }
+}
+
+impl From<archval_sim::baseline::CoverageError> for BenchError {
+    fn from(e: archval_sim::baseline::CoverageError) -> Self {
+        BenchError::Coverage(e)
+    }
+}
+
+/// Runs a repro binary's fallible body: on `Err`, prints one
+/// `<bin>: <error>` line to stderr and exits with status 1.
+pub fn run(bin: &str, body: impl FnOnce() -> Result<(), BenchError>) {
+    if let Err(e) = body() {
+        eprintln!("{bin}: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// Writes a machine-readable result file `BENCH_<name>.json` for one
 /// experiment, returning the path.
 ///
 /// The directory comes from `ARCHVAL_BENCH_DIR` when set (CI points this
 /// at its artifact directory), otherwise the current directory.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if serialization or the write fails — in a repro binary a lost
-/// result should be loud.
-pub fn emit_bench_json<T: serde::Serialize>(name: &str, value: &T) -> std::path::PathBuf {
+/// Returns [`BenchError::Json`] if the value does not serialize and
+/// [`BenchError::Io`] if the write fails — in a repro binary a lost
+/// result must fail the run.
+pub fn emit_bench_json<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> Result<std::path::PathBuf, BenchError> {
     let dir = std::env::var("ARCHVAL_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("result serializes");
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| BenchError::Json(format!("{e:?}")))?;
+    std::fs::write(&path, json).map_err(|source| BenchError::Io { path: path.clone(), source })?;
     eprintln!("wrote {}", path.display());
-    path
+    Ok(path)
 }
 
 /// Prints a two-column paper-vs-measured table row.

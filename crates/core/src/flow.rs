@@ -260,6 +260,27 @@ impl FlowResult {
         Ok(engine.run()?)
     }
 
+    /// Runs a fault-injection campaign against the validated model — the
+    /// robustness workload that measures how well the flow's stimulus
+    /// strategies (tours, coverage-guided fuzz, uniform random)
+    /// discriminate a faulty design from the reference. Mutants are
+    /// derived from the model and its compiled bytecode, each run under
+    /// the campaign budget with panic isolation; see
+    /// [`archval_inject::run_campaign`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Inject`] for campaign-level failures (reference
+    /// enumeration, checkpoint I/O or a mismatched checkpoint).
+    /// Individual mutant failures never surface here — they degrade to
+    /// typed verdicts in the report.
+    pub fn inject(
+        &self,
+        config: &archval_inject::CampaignConfig,
+    ) -> Result<archval_inject::CampaignReport, Error> {
+        Ok(archval_inject::run_campaign(&self.model, config)?)
+    }
+
     /// Emits a generic Verilog force/release vector file for one trace:
     /// each tour condition becomes `force <dut>.<choice> = <value>;`
     /// commands followed by a clock advance.
@@ -432,6 +453,27 @@ endmodule
         assert!(matches!(other, Error::Snapshot(archval_fsm::SnapshotError::ModelMismatch { .. })));
 
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flow_runs_an_injection_campaign() {
+        use archval_inject::{CampaignConfig, Strategy, SuiteConfig};
+        let r = ValidationFlow::from_verilog(HANDSHAKE, "handshake").unwrap().run().unwrap();
+        let config = CampaignConfig {
+            mutant_limit: 8,
+            include_chaos: false,
+            suite: SuiteConfig {
+                fuzz_cycles: 256,
+                random_seqs: 4,
+                random_len: 32,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = r.inject(&config).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.mutants.len(), 8);
+        assert!(report.kill_rate(Strategy::Tours).unwrap().killed > 0);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub use report::ValidationSummary;
 pub use archval_exec as exec;
 pub use archval_fsm as fsm;
 pub use archval_fuzz as fuzz;
+pub use archval_inject as inject;
 pub use archval_pp as pp;
 pub use archval_sim as sim;
 pub use archval_stimgen as stimgen;
@@ -85,6 +86,10 @@ pub enum Error {
     Fuzz(archval_fuzz::Error),
     /// Saving or loading an enumeration snapshot failed.
     Snapshot(archval_fsm::SnapshotError),
+    /// A fault-injection campaign failed at the campaign level (reference
+    /// design, checkpoint I/O or checkpoint mismatch — individual mutants
+    /// never fail a campaign, they degrade to typed verdicts).
+    Inject(archval_inject::Error),
 }
 
 impl std::fmt::Display for Error {
@@ -94,6 +99,7 @@ impl std::fmt::Display for Error {
             Error::Fsm(e) => write!(f, "fsm stage failed: {e}"),
             Error::Fuzz(e) => write!(f, "fuzzing stage failed: {e}"),
             Error::Snapshot(e) => write!(f, "snapshot stage failed: {e}"),
+            Error::Inject(e) => write!(f, "fault-injection stage failed: {e}"),
         }
     }
 }
@@ -105,6 +111,7 @@ impl std::error::Error for Error {
             Error::Fsm(e) => Some(e),
             Error::Fuzz(e) => Some(e),
             Error::Snapshot(e) => Some(e),
+            Error::Inject(e) => Some(e),
         }
     }
 }
@@ -124,6 +131,12 @@ impl From<archval_fsm::Error> for Error {
 impl From<archval_fuzz::Error> for Error {
     fn from(e: archval_fuzz::Error) -> Self {
         Error::Fuzz(e)
+    }
+}
+
+impl From<archval_inject::Error> for Error {
+    fn from(e: archval_inject::Error) -> Self {
+        Error::Inject(e)
     }
 }
 

@@ -53,10 +53,12 @@
 
 pub mod engine;
 pub mod lower;
+pub mod mutate;
 pub mod program;
 
 pub use engine::CompiledEngine;
 pub use lower::compile;
+pub use mutate::{apply_program_mutation, program_mutation_sites, ProgramMutation};
 pub use program::{CompileStats, Instr, Op, StepProgram};
 
 impl StepProgram {

@@ -1,0 +1,347 @@
+//! Bytecode-level fault injection: opcode and operand flips over a
+//! compiled [`StepProgram`].
+//!
+//! Model-level mutants (see `archval_fsm::mutate`) perturb the design
+//! *before* lowering; the operators here perturb the design *after*
+//! lowering, modelling faults the compiler pipeline itself could
+//! introduce — a wrong ALU opcode, swapped operands on a non-commutative
+//! operation, an inverted multiplexer select. A campaign running both
+//! families checks that tours kill faults regardless of which layer they
+//! originate in.
+//!
+//! Only value-computing instructions are mutated. Control flow (`Jump`,
+//! `JumpIfZero`), input loads, domain-truncating stores and the `Mod`
+//! flavours are left untouched: flipping those produces programs that are
+//! malformed rather than *wrong*, and the campaign wants semantic faults,
+//! not crashes. Every mutant produced here passes
+//! [`StepProgram::validate`], which independently checks operand ranges so
+//! a corrupted program is rejected with a typed error instead of panicking
+//! the interpreter.
+
+use archval_fsm::Error;
+
+use crate::program::{Op, StepProgram};
+
+/// One applicable bytecode fault, identified by instruction index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProgramMutation {
+    /// The instruction's opcode is replaced by its paired wrong opcode
+    /// (`Add`↔`Sub`, `Eq`↔`Ne`, `Lt`↔`Ge`, `And`↔`Or`, ...).
+    OpFlip {
+        /// Index into [`StepProgram::instrs`].
+        instr: usize,
+    },
+    /// The instruction's register operands are swapped: `a`/`b` for
+    /// non-commutative binary ops, the taken/not-taken pair `b`/`c` for
+    /// `CondMove` (an inverted multiplexer select).
+    SwapOperands {
+        /// Index into [`StepProgram::instrs`].
+        instr: usize,
+    },
+}
+
+impl ProgramMutation {
+    /// A short, stable, human-readable label for reports and checkpoints.
+    pub fn label(&self) -> String {
+        match self {
+            ProgramMutation::OpFlip { instr } => format!("op_flip(i{instr})"),
+            ProgramMutation::SwapOperands { instr } => format!("swap_operands(i{instr})"),
+        }
+    }
+}
+
+/// The wrong-but-well-formed opcode a fault would substitute, if any.
+fn flip_of(op: Op) -> Option<Op> {
+    Some(match op {
+        Op::And => Op::Or,
+        Op::Or => Op::And,
+        Op::BitAnd => Op::BitOr,
+        Op::BitOr => Op::BitAnd,
+        Op::BitXor => Op::BitOr,
+        Op::Add => Op::Sub,
+        Op::Sub => Op::Add,
+        Op::Mul => Op::Add,
+        Op::Eq => Op::Ne,
+        Op::Ne => Op::Eq,
+        Op::Lt => Op::Ge,
+        Op::Ge => Op::Lt,
+        Op::Le => Op::Gt,
+        Op::Gt => Op::Le,
+        Op::Shl => Op::Shr,
+        Op::Shr => Op::Shl,
+        Op::Not => Op::BitNot,
+        Op::BitNot => Op::Not,
+        _ => return None,
+    })
+}
+
+/// `true` when swapping `a` and `b` changes the result and stays safe.
+fn swappable(op: Op) -> bool {
+    matches!(op, Op::Sub | Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::Shl | Op::Shr)
+}
+
+/// Scans a program and returns every applicable bytecode mutation, in
+/// instruction order — deterministic for a given program.
+pub fn program_mutation_sites(program: &StepProgram) -> Vec<ProgramMutation> {
+    let mut out = Vec::new();
+    for (i, instr) in program.instrs().iter().enumerate() {
+        if flip_of(instr.op).is_some() {
+            out.push(ProgramMutation::OpFlip { instr: i });
+        }
+        if swappable(instr.op) || instr.op == Op::CondMove {
+            out.push(ProgramMutation::SwapOperands { instr: i });
+        }
+    }
+    out
+}
+
+/// Applies one bytecode mutation, returning the mutant program.
+///
+/// The mutant steps the same variable/choice shape as the original
+/// ([`StepProgram::fits`] is unchanged) and always passes
+/// [`StepProgram::validate`].
+///
+/// # Errors
+///
+/// Returns a typed error when `mutation` does not apply to this program
+/// (out-of-range index or an instruction with no such fault).
+pub fn apply_program_mutation(
+    program: &StepProgram,
+    mutation: &ProgramMutation,
+) -> Result<StepProgram, Error> {
+    let bad = |what: String| Error::DanglingReference { what };
+    let mut mutant = program.clone();
+    match mutation {
+        ProgramMutation::OpFlip { instr } => {
+            let i = mutant
+                .instrs
+                .get_mut(*instr)
+                .ok_or_else(|| bad(format!("mutation targets missing instruction {instr}")))?;
+            i.op = flip_of(i.op)
+                .ok_or_else(|| bad(format!("instruction {instr} ({:?}) has no flip", i.op)))?;
+        }
+        ProgramMutation::SwapOperands { instr } => {
+            let i = mutant
+                .instrs
+                .get_mut(*instr)
+                .ok_or_else(|| bad(format!("mutation targets missing instruction {instr}")))?;
+            if i.op == Op::CondMove {
+                std::mem::swap(&mut i.b, &mut i.c);
+            } else if swappable(i.op) {
+                std::mem::swap(&mut i.a, &mut i.b);
+            } else {
+                return Err(bad(format!("instruction {instr} ({:?}) is not swappable", i.op)));
+            }
+        }
+    }
+    mutant.validate()?;
+    Ok(mutant)
+}
+
+impl StepProgram {
+    /// Structurally validates the program: every register operand is in
+    /// range, writes never clobber preloaded constant registers, jump
+    /// targets stay inside the instruction stream and on the correct side
+    /// of the prefix/suffix split, loads and stores index real inputs and
+    /// outputs.
+    ///
+    /// A freshly compiled or correctly mutated program always passes; a
+    /// corrupted program fails with a typed error *before* the interpreter
+    /// would panic on an out-of-range index — the campaign's fault-safe
+    /// execution guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DanglingReference`] naming the first offending
+    /// instruction.
+    pub fn validate(&self) -> Result<(), Error> {
+        let regs = self.init_regs.len() as u32;
+        let vars = self.var_sizes.len() as u32;
+        let choices = self.n_choices as u32;
+        let n = self.instrs.len();
+        let bad = |i: usize, what: &str| {
+            Err(Error::DanglingReference { what: format!("instruction {i}: {what}") })
+        };
+        if self.prefix_len > n {
+            return Err(Error::DanglingReference {
+                what: format!("prefix length {} exceeds program length {n}", self.prefix_len),
+            });
+        }
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let dst_reg = |x: u32| x >= self.const_regs as u32 && x < regs;
+            let src_reg = |x: u32| x < regs;
+            let in_prefix = i < self.prefix_len;
+            let ok = match instr.op {
+                Op::LoadVar => dst_reg(instr.dst) && instr.a < vars,
+                Op::LoadChoice => dst_reg(instr.dst) && instr.a < choices && !in_prefix,
+                Op::Move | Op::Not | Op::BitNot => dst_reg(instr.dst) && src_reg(instr.a),
+                Op::And
+                | Op::Or
+                | Op::BitAnd
+                | Op::BitOr
+                | Op::BitXor
+                | Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::ModUnchecked
+                | Op::ModChecked
+                | Op::Eq
+                | Op::Ne
+                | Op::Lt
+                | Op::Le
+                | Op::Gt
+                | Op::Ge
+                | Op::Shl
+                | Op::Shr => dst_reg(instr.dst) && src_reg(instr.a) && src_reg(instr.b),
+                Op::CondMove => {
+                    dst_reg(instr.dst) && src_reg(instr.a) && src_reg(instr.b) && src_reg(instr.c)
+                }
+                Op::Jump => {
+                    let t = instr.a as usize;
+                    if in_prefix {
+                        t <= self.prefix_len
+                    } else {
+                        t >= self.prefix_len && t <= n
+                    }
+                }
+                Op::JumpIfZero => {
+                    let t = instr.b as usize;
+                    src_reg(instr.a)
+                        && if in_prefix {
+                            t <= self.prefix_len
+                        } else {
+                            t >= self.prefix_len && t <= n
+                        }
+                }
+                Op::StoreMask | Op::StoreMod => instr.dst < vars && src_reg(instr.a) && !in_prefix,
+            };
+            if !ok {
+                return bad(i, "operand out of range");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Instr;
+    use archval_fsm::builder::ModelBuilder;
+    use archval_fsm::engine::StepEngine;
+    use archval_fsm::expr::BinaryOp;
+    use archval_fsm::Model;
+
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("counter");
+        let en = b.choice("enable", 2);
+        let count = b.state_var("count", 4, 0);
+        let cur = b.var_expr(count);
+        let bumped = b.add(cur, b.constant(1));
+        let limit = b.binary(BinaryOp::Lt, bumped, b.constant(4));
+        let wrapped = b.ternary(limit, bumped, b.constant(0));
+        let next = b.ternary(b.choice_expr(en), wrapped, cur);
+        b.set_next(count, next);
+        b.build().unwrap()
+    }
+
+    fn step(program: &StepProgram, state: &[u64], choices: &[u64]) -> Vec<u64> {
+        let mut engine = crate::CompiledEngine::new(program);
+        let mut out = vec![0; program.var_count()];
+        engine.begin_state(state).unwrap();
+        engine.step_choices(choices, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn compiled_programs_validate() {
+        let program = StepProgram::compile(&counter());
+        program.validate().unwrap();
+    }
+
+    #[test]
+    fn sites_are_deterministic_and_nonempty() {
+        let program = StepProgram::compile(&counter());
+        let a = program_mutation_sites(&program);
+        let b = program_mutation_sites(&program);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_site_yields_a_valid_runnable_mutant() {
+        let model = counter();
+        let program = StepProgram::compile(&model);
+        for site in program_mutation_sites(&program) {
+            let mutant = apply_program_mutation(&program, &site)
+                .unwrap_or_else(|e| panic!("{}: {e}", site.label()));
+            assert!(mutant.fits(&model));
+            mutant.validate().unwrap_or_else(|e| panic!("{}: {e}", site.label()));
+            // the mutant must execute without panicking on every input
+            for state in 0..4u64 {
+                for choice in 0..2u64 {
+                    let _ = step(&mutant, &[state], &[choice]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_mutant_changes_behavior() {
+        let model = counter();
+        let program = StepProgram::compile(&model);
+        let changed = program_mutation_sites(&program).iter().any(|site| {
+            let mutant = apply_program_mutation(&program, site).unwrap();
+            (0..4u64)
+                .any(|s| (0..2u64).any(|c| step(&mutant, &[s], &[c]) != step(&program, &[s], &[c])))
+        });
+        assert!(changed, "at least one bytecode mutant must diverge from the original");
+    }
+
+    #[test]
+    fn bad_sites_are_typed_errors() {
+        let program = StepProgram::compile(&counter());
+        let n = program.instrs().len();
+        assert!(apply_program_mutation(&program, &ProgramMutation::OpFlip { instr: n }).is_err());
+        if let Some(i) =
+            program.instrs().iter().position(|i| matches!(i.op, Op::StoreMask | Op::StoreMod))
+        {
+            assert!(
+                apply_program_mutation(&program, &ProgramMutation::OpFlip { instr: i }).is_err(),
+                "stores must not be flippable"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_programs() {
+        let program = StepProgram::compile(&counter());
+        let regs = program.register_count() as u32;
+
+        let mut oob = program.clone();
+        if let Some(i) = oob.instrs.iter_mut().find(|i| matches!(i.op, Op::Add | Op::CondMove)) {
+            i.a = regs + 7;
+        } else {
+            oob.instrs.push(Instr { op: Op::Move, dst: regs + 1, a: 0, b: 0, c: 0 });
+        }
+        assert!(oob.validate().is_err(), "out-of-range operand must be rejected");
+
+        let mut clobber = program.clone();
+        clobber.instrs.push(Instr { op: Op::Move, dst: 0, a: 0, b: 0, c: 0 });
+        if clobber.const_regs > 0 {
+            assert!(clobber.validate().is_err(), "writes to constant registers must be rejected");
+        }
+
+        let mut bad_prefix = program.clone();
+        bad_prefix.prefix_len = bad_prefix.instrs.len() + 3;
+        assert!(bad_prefix.validate().is_err());
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let program = StepProgram::compile(&counter());
+        let sites = program_mutation_sites(&program);
+        let labels: std::collections::HashSet<String> = sites.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), sites.len());
+    }
+}

@@ -6,7 +6,7 @@
 //! choice of actions that caused the transition from the current state to
 //! the new state becomes the edge of the state graph."
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::engine::EngineFactory;
 use crate::error::Error;
@@ -29,6 +29,10 @@ pub struct EnumConfig {
     /// `1` (the default) runs the sequential enumerator. Ignored by
     /// [`enumerate`].
     pub threads: usize,
+    /// Soft resource budget: hitting a bound returns the partial graph
+    /// built so far with [`EnumResult::truncated`] set, unlike
+    /// `state_limit` which aborts with a hard error. Unbounded by default.
+    pub budget: EnumBudget,
 }
 
 impl Default for EnumConfig {
@@ -38,8 +42,76 @@ impl Default for EnumConfig {
             edge_policy: EdgePolicy::FirstLabel,
             progress_every: usize::MAX,
             threads: 1,
+            budget: EnumBudget::default(),
         }
     }
+}
+
+/// A soft resource budget for enumeration.
+///
+/// A budgeted run that hits one of these bounds stops expanding and
+/// returns everything discovered so far as a *partial* [`EnumResult`]
+/// with [`EnumResult::truncated`] naming the bound that fired; an
+/// unbudgeted run behaves exactly as before. This is what lets a
+/// fault-injection campaign re-enumerate pathological mutant models —
+/// state-space explosions and wedged engines degrade to a truncated
+/// partial result instead of unbounded work.
+///
+/// The bounds are checked per dequeued state (and every few thousand
+/// evaluated transitions within a state's choice sweep), so a truncated
+/// graph may contain a final source state whose sweep was cut short.
+/// States- and transitions-bounded truncations of a *sequential* run are
+/// deterministic; deadline truncations and parallel runs stop at a
+/// wall-clock- or scheduling-dependent point (the `truncated` marker is
+/// still always set).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnumBudget {
+    /// Stop once this many states have been discovered.
+    pub max_states: Option<usize>,
+    /// Stop once this many transitions have been evaluated.
+    pub max_transitions: Option<u64>,
+    /// Stop once this much wall-clock time has elapsed.
+    pub deadline: Option<Duration>,
+}
+
+impl EnumBudget {
+    /// Whether every bound is absent (the default).
+    pub fn is_unbounded(&self) -> bool {
+        self.max_states.is_none() && self.max_transitions.is_none() && self.deadline.is_none()
+    }
+
+    /// Returns the bound that `states`/`transitions`/elapsed time has
+    /// reached, if any. States are checked before transitions before the
+    /// deadline, so deterministic truncation reasons win over the
+    /// wall-clock one when several fire at once.
+    pub(crate) fn check(
+        &self,
+        states: usize,
+        transitions: u64,
+        started: Instant,
+    ) -> Option<Truncation> {
+        if self.max_states.is_some_and(|s| states >= s) {
+            return Some(Truncation::States);
+        }
+        if self.max_transitions.is_some_and(|t| transitions >= t) {
+            return Some(Truncation::Transitions);
+        }
+        if self.deadline.is_some_and(|d| started.elapsed() >= d) {
+            return Some(Truncation::Deadline);
+        }
+        None
+    }
+}
+
+/// Which [`EnumBudget`] bound cut an enumeration short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truncation {
+    /// [`EnumBudget::max_states`] was reached.
+    States,
+    /// [`EnumBudget::max_transitions`] was reached.
+    Transitions,
+    /// [`EnumBudget::deadline`] passed.
+    Deadline,
 }
 
 /// The output of [`enumerate`]: the complete state graph, the interned
@@ -55,6 +127,10 @@ pub struct EnumResult {
     pub stats: EnumStats,
     /// Graph-construction metrics from the [`GraphBuilder`].
     pub graph_stats: GraphStats,
+    /// `Some` when an [`EnumBudget`] bound stopped the search early; the
+    /// graph and table then hold only the states reached before the cut.
+    /// Always `None` for unbudgeted runs and loaded snapshots.
+    pub truncated: Option<Truncation>,
 }
 
 impl EnumResult {
@@ -67,6 +143,11 @@ impl EnumResult {
     /// reachable.
     pub fn find_state(&self, values: &[u64]) -> Option<StateId> {
         self.table.lookup_values(values).map(StateId)
+    }
+
+    /// Whether the search ran to completion (no budget bound fired).
+    pub fn is_complete(&self) -> bool {
+        self.truncated.is_none()
     }
 }
 
@@ -140,8 +221,16 @@ pub fn enumerate_with(
     let mut cur_values = vec![0u64; n_vars];
     let mut next_values = vec![0u64; n_vars];
     let mut choices = vec![0u64; n_choices];
+    let budgeted = !config.budget.is_unbounded();
+    let mut truncated = None;
 
-    while (cursor as usize) < table.len() {
+    'search: while (cursor as usize) < table.len() {
+        if budgeted {
+            truncated = config.budget.check(table.len(), transitions, start);
+            if truncated.is_some() {
+                break;
+            }
+        }
         // grow the per-state bookkeeping to the discovered-state count
         // once per source rather than edge by edge inside `add_edge`
         builder.reserve_states(table.len());
@@ -160,6 +249,15 @@ pub fn enumerate_with(
         choices.iter_mut().for_each(|c| *c = 0);
         let mut code: u64 = 0;
         loop {
+            // re-check the budget a few thousand transitions into a long
+            // sweep: a model with many choice inputs (or a wedged mutant
+            // engine) can burn the whole deadline inside one state
+            if budgeted && transitions.is_multiple_of(4096) {
+                truncated = config.budget.check(table.len(), transitions, start);
+                if truncated.is_some() {
+                    break 'search;
+                }
+            }
             engine.step_choices(&choices, &mut next_values)?;
             transitions += 1;
             let (dst, fresh) = table.intern_values(&next_values, &mut scratch);
@@ -208,7 +306,7 @@ pub fn enumerate_with(
         transitions_evaluated: transitions,
         max_depth,
     };
-    Ok(EnumResult { graph, table, stats, graph_stats })
+    Ok(EnumResult { graph, table, stats, graph_stats, truncated })
 }
 
 #[cfg(test)]
@@ -259,6 +357,76 @@ mod tests {
     fn state_limit_enforced() {
         let cfg = EnumConfig { state_limit: 4, ..EnumConfig::default() };
         assert_eq!(enumerate(&counter(), &cfg).unwrap_err(), Error::StateLimit { limit: 4 });
+    }
+
+    #[test]
+    fn state_budget_truncates_with_partial_graph() {
+        let cfg = EnumConfig {
+            budget: EnumBudget { max_states: Some(4), ..EnumBudget::default() },
+            ..EnumConfig::default()
+        };
+        let r = enumerate(&counter(), &cfg).unwrap();
+        assert_eq!(r.truncated, Some(Truncation::States));
+        assert!(!r.is_complete());
+        // the partial graph keeps everything discovered before the cut:
+        // at least the budgeted states, possibly a frontier successor
+        assert!(r.graph.state_count() >= 4);
+        assert!(r.graph.state_count() < 8);
+        assert!(r.graph.edge_count() > 0);
+        // reset is present and decodable
+        assert_eq!(r.state_values(StateId(0)), vec![0]);
+    }
+
+    #[test]
+    fn transition_budget_truncates() {
+        let cfg = EnumConfig {
+            budget: EnumBudget { max_transitions: Some(6), ..EnumBudget::default() },
+            ..EnumConfig::default()
+        };
+        let r = enumerate(&counter(), &cfg).unwrap();
+        assert_eq!(r.truncated, Some(Truncation::Transitions));
+        assert!(r.stats.transitions_evaluated >= 6);
+        assert!(r.stats.transitions_evaluated < 16);
+    }
+
+    #[test]
+    fn zero_deadline_truncates_immediately() {
+        let cfg = EnumConfig {
+            budget: EnumBudget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..EnumBudget::default()
+            },
+            ..EnumConfig::default()
+        };
+        let r = enumerate(&counter(), &cfg).unwrap();
+        assert_eq!(r.truncated, Some(Truncation::Deadline));
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let cfg = EnumConfig {
+            budget: EnumBudget {
+                max_states: Some(1_000),
+                max_transitions: Some(1_000_000),
+                deadline: Some(std::time::Duration::from_secs(3600)),
+            },
+            ..EnumConfig::default()
+        };
+        let budgeted = enumerate(&counter(), &cfg).unwrap();
+        let free = enumerate(&counter(), &EnumConfig::default()).unwrap();
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.graph, free.graph);
+        assert_eq!(budgeted.stats.transitions_evaluated, free.stats.transitions_evaluated);
+    }
+
+    #[test]
+    fn states_bound_wins_over_deadline_when_both_fire() {
+        let budget = EnumBudget {
+            max_states: Some(1),
+            deadline: Some(std::time::Duration::ZERO),
+            ..EnumBudget::default()
+        };
+        assert_eq!(budget.check(1, 0, Instant::now()), Some(Truncation::States));
     }
 
     #[test]

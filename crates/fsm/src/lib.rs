@@ -54,6 +54,7 @@ pub mod eval;
 pub mod expr;
 pub mod graph;
 pub mod model;
+pub mod mutate;
 pub mod pack;
 pub mod parallel;
 pub mod sim;
@@ -63,13 +64,14 @@ pub mod stats;
 pub use builder::ModelBuilder;
 pub use dump::{dump_enum_result, dump_model};
 pub use engine::{EngineFactory, StepEngine, TreeEngine};
-pub use enumerate::{enumerate, enumerate_with, EnumConfig, EnumResult};
+pub use enumerate::{enumerate, enumerate_with, EnumBudget, EnumConfig, EnumResult, Truncation};
 pub use error::Error;
 pub use graph::{
     Edge, EdgeIx, EdgeLabel, EdgePolicy, GraphBuilder, GraphError, GraphStats, OutEdges,
     SnapshotError, StateGraph, StateId,
 };
 pub use model::{ChoiceId, DefId, ExprId, Model, VarId};
+pub use mutate::{apply_mutation, mutation_sites, ModelMutation};
 pub use parallel::{enumerate_parallel, enumerate_parallel_with};
 pub use sim::SyncSim;
 pub use snapshot::{load_enum_result, model_fingerprint, save_enum_result};

@@ -1,0 +1,552 @@
+//! Model-level fault injection: systematic mutation operators over a
+//! [`Model`]'s next-state functions and expression arena.
+//!
+//! The paper evaluates transition tours by seeding design errors into the
+//! control logic and checking that a tour exposes them (Section 4). This
+//! module generalises the two hand-written bugs in the repo into a
+//! deterministic mutant generator: [`mutation_sites`] scans a model and
+//! yields every applicable [`ModelMutation`], and [`apply_mutation`]
+//! produces a well-formed mutant model with the same state variables,
+//! choice inputs and state layout as the original — so a mutant's packed
+//! states remain directly comparable with the reference model's.
+//!
+//! Mutants are built by rebuilding the expression arena with an id remap
+//! (never by pointing an existing node at a later one): the arena's
+//! *children-precede-parents* topological invariant is load-bearing for the
+//! compiled engine's single forward lowering scan, and every mutant must
+//! stay compilable.
+
+use crate::error::Error;
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::model::{bits_for, ChoiceId, ExprId, Model, VarId};
+
+/// One applicable fault, identified by its site in the model.
+///
+/// Sites are stable across runs: [`mutation_sites`] scans variables and the
+/// expression arena in index order, so the same model always yields the same
+/// mutation list in the same order — campaign checkpoints rely on this to
+/// re-derive mutants on resume.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ModelMutation {
+    /// The variable's next-state function is replaced by a constant: the
+    /// variable is stuck at `value` from the first clock edge onward.
+    StuckVar {
+        /// Target state variable.
+        var: VarId,
+        /// Value the variable is stuck at (within its domain).
+        value: u64,
+    },
+    /// One bit of the variable's next-state value is forced to 0 or 1
+    /// (before domain truncation), modelling a stuck-at fault on a single
+    /// state flip-flop.
+    StuckBit {
+        /// Target state variable.
+        var: VarId,
+        /// Bit position within the variable's encoding.
+        bit: u32,
+        /// `true` forces the bit to 1, `false` forces it to 0.
+        set: bool,
+    },
+    /// The condition of a `Ternary` node is logically inverted.
+    InvertCond {
+        /// Arena id of the `Ternary` node.
+        expr: ExprId,
+    },
+    /// One guard of a `Select` node is logically inverted, perturbing the
+    /// priority chain that models a Verilog `case`.
+    InvertGuard {
+        /// Arena id of the `Select` node.
+        expr: ExprId,
+        /// Index of the arm whose guard is inverted.
+        arm: usize,
+    },
+    /// A choice-input read is collapsed to a constant: every expression
+    /// that consumed the nondeterministic input now sees `value`. The
+    /// choice input itself stays in the model (the choice space and packed
+    /// layout are unchanged), it just no longer influences the next state.
+    CollapseChoice {
+        /// Arena id of the `Choice` node.
+        expr: ExprId,
+        /// Constant the choice read is pinned to.
+        value: u64,
+    },
+    /// A constant operand of a comparison is nudged by ±1, shifting a
+    /// distinguished-case boundary (the classic off-by-one on a case split).
+    OffByOne {
+        /// Arena id of the comparison `Binary` node.
+        expr: ExprId,
+        /// Which operand is the constant: 0 = left, 1 = right.
+        operand: u8,
+        /// Signed nudge applied to the constant (wrapping).
+        delta: i64,
+    },
+}
+
+impl ModelMutation {
+    /// A short, stable, human-readable label for reports and checkpoints.
+    pub fn label(&self) -> String {
+        match self {
+            ModelMutation::StuckVar { var, value } => format!("stuck_var(v{}={})", var.0, value),
+            ModelMutation::StuckBit { var, bit, set } => {
+                format!("stuck_bit(v{}.b{}={})", var.0, bit, u8::from(*set))
+            }
+            ModelMutation::InvertCond { expr } => format!("invert_cond(e{})", expr.0),
+            ModelMutation::InvertGuard { expr, arm } => {
+                format!("invert_guard(e{}.a{})", expr.0, arm)
+            }
+            ModelMutation::CollapseChoice { expr, value } => {
+                format!("collapse_choice(e{}={})", expr.0, value)
+            }
+            ModelMutation::OffByOne { expr, operand, delta } => {
+                format!("off_by_one(e{}.op{}{:+})", expr.0, operand, delta)
+            }
+        }
+    }
+}
+
+/// Scans a model and returns every applicable mutation, deterministically.
+///
+/// Ordering: per-variable stuck-at faults first (variable index order), then
+/// expression-arena faults in arena id order. The list can be large for big
+/// models; campaigns are expected to sample or truncate it.
+pub fn mutation_sites(model: &Model) -> Vec<ModelMutation> {
+    let mut out = Vec::new();
+    for (i, v) in model.vars().iter().enumerate() {
+        let var = VarId(i as u32);
+        out.push(ModelMutation::StuckVar { var, value: 0 });
+        if v.size > 1 {
+            out.push(ModelMutation::StuckVar { var, value: v.size - 1 });
+        }
+        if v.size >= 2 {
+            for bit in 0..bits_for(v.size) {
+                out.push(ModelMutation::StuckBit { var, bit, set: true });
+                out.push(ModelMutation::StuckBit { var, bit, set: false });
+            }
+        }
+    }
+    for (i, e) in model.exprs().iter().enumerate() {
+        let expr = ExprId(i as u32);
+        match e {
+            Expr::Ternary { .. } => out.push(ModelMutation::InvertCond { expr }),
+            Expr::Select { arms, .. } => {
+                for arm in 0..arms.len() {
+                    out.push(ModelMutation::InvertGuard { expr, arm });
+                }
+            }
+            Expr::Choice(c) => {
+                let size = model.choices()[c.0 as usize].size;
+                out.push(ModelMutation::CollapseChoice { expr, value: 0 });
+                if size > 1 {
+                    out.push(ModelMutation::CollapseChoice { expr, value: size - 1 });
+                }
+            }
+            Expr::Binary(op, a, b) if is_comparison(*op) => {
+                if matches!(model.expr(*a), Expr::Const(_)) {
+                    out.push(ModelMutation::OffByOne { expr, operand: 0, delta: 1 });
+                    out.push(ModelMutation::OffByOne { expr, operand: 0, delta: -1 });
+                }
+                if matches!(model.expr(*b), Expr::Const(_)) {
+                    out.push(ModelMutation::OffByOne { expr, operand: 1, delta: 1 });
+                    out.push(ModelMutation::OffByOne { expr, operand: 1, delta: -1 });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn is_comparison(op: BinaryOp) -> bool {
+    matches!(
+        op,
+        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+    )
+}
+
+/// Applies one mutation, returning a new well-formed mutant model.
+///
+/// The mutant has identical name, state variables (names, domains, resets),
+/// choice inputs and definitions-by-name; only expressions change. The
+/// returned model passes [`Model::validate`] and preserves the arena's
+/// topological ordering, so it enumerates, simulates and compiles through
+/// every engine exactly like a built model.
+///
+/// # Errors
+///
+/// Returns [`Error::DanglingReference`] when the mutation's site does not
+/// exist in this model (wrong node kind, out-of-range id, out-of-domain
+/// stuck value) — which happens only when a mutation is applied to a model
+/// it was not derived from.
+pub fn apply_mutation(model: &Model, mutation: &ModelMutation) -> Result<Model, Error> {
+    let bad = |what: String| Error::DanglingReference { what };
+    let mut vars = model.vars().to_vec();
+    let choices = model.choices().to_vec();
+    let mut defs = model.defs().to_vec();
+    let mut exprs;
+
+    match mutation {
+        ModelMutation::StuckVar { var, value } => {
+            let v = vars
+                .get_mut(var.0 as usize)
+                .ok_or_else(|| bad(format!("mutation targets missing var {}", var.0)))?;
+            if *value >= v.size {
+                return Err(bad(format!("stuck value {value} outside domain {}", v.size)));
+            }
+            exprs = model.exprs().to_vec();
+            exprs.push(Expr::Const(*value));
+            v.next = ExprId((exprs.len() - 1) as u32);
+        }
+        ModelMutation::StuckBit { var, bit, set } => {
+            let v = vars
+                .get_mut(var.0 as usize)
+                .ok_or_else(|| bad(format!("mutation targets missing var {}", var.0)))?;
+            if *bit >= bits_for(v.size.max(2)) {
+                return Err(bad(format!("bit {bit} outside encoding of domain {}", v.size)));
+            }
+            exprs = model.exprs().to_vec();
+            let mask = 1u64 << bit;
+            let (mask_value, op) =
+                if *set { (mask, BinaryOp::BitOr) } else { (!mask, BinaryOp::BitAnd) };
+            exprs.push(Expr::Const(mask_value));
+            let mask_id = ExprId((exprs.len() - 1) as u32);
+            exprs.push(Expr::Binary(op, v.next, mask_id));
+            v.next = ExprId((exprs.len() - 1) as u32);
+        }
+        ModelMutation::InvertCond { expr } => {
+            let inserted;
+            (exprs, inserted) = rebuild(model, *expr, |node, push| match node {
+                Expr::Ternary { cond, then, other } => {
+                    let not = push(Expr::Unary(UnaryOp::Not, *cond));
+                    Ok(Expr::Ternary { cond: not, then: *then, other: *other })
+                }
+                _ => Err(bad(format!("expression {} is not a ternary", expr.0))),
+            })?;
+            remap_roots(&mut vars, &mut defs, *expr, inserted);
+        }
+        ModelMutation::InvertGuard { expr, arm } => {
+            let inserted;
+            (exprs, inserted) = rebuild(model, *expr, |node, push| match node {
+                Expr::Select { arms, default } => {
+                    let (guard, _) = *arms
+                        .get(*arm)
+                        .ok_or_else(|| bad(format!("select {} has no arm {arm}", expr.0)))?;
+                    let not = push(Expr::Unary(UnaryOp::Not, guard));
+                    let mut arms = arms.clone();
+                    arms[*arm].0 = not;
+                    Ok(Expr::Select { arms, default: *default })
+                }
+                _ => Err(bad(format!("expression {} is not a select", expr.0))),
+            })?;
+            remap_roots(&mut vars, &mut defs, *expr, inserted);
+        }
+        ModelMutation::CollapseChoice { expr, value } => {
+            // In-place leaf replacement: no nodes inserted, roots unchanged.
+            (exprs, _) = rebuild(model, *expr, |node, _push| match node {
+                Expr::Choice(c) => {
+                    let size = choices
+                        .get(c.0 as usize)
+                        .map(|ch| ch.size)
+                        .ok_or_else(|| bad(format!("choice {} missing", c.0)))?;
+                    if *value >= size {
+                        return Err(bad(format!("collapse value {value} outside domain {size}")));
+                    }
+                    Ok(Expr::Const(*value))
+                }
+                _ => Err(bad(format!("expression {} is not a choice read", expr.0))),
+            })?;
+        }
+        ModelMutation::OffByOne { expr, operand, delta } => {
+            let inserted;
+            (exprs, inserted) = rebuild(model, *expr, |node, push| match node {
+                Expr::Binary(op, a, b) if is_comparison(*op) => {
+                    let side = if *operand == 0 { *a } else { *b };
+                    let Expr::Const(c) = *model.expr(side) else {
+                        return Err(bad(format!(
+                            "operand {operand} of expression {} is not a constant",
+                            expr.0
+                        )));
+                    };
+                    let nudged = push(Expr::Const(c.wrapping_add(*delta as u64)));
+                    if *operand == 0 {
+                        Ok(Expr::Binary(*op, nudged, *b))
+                    } else {
+                        Ok(Expr::Binary(*op, *a, nudged))
+                    }
+                }
+                _ => Err(bad(format!("expression {} is not a comparison", expr.0))),
+            })?;
+            remap_roots(&mut vars, &mut defs, *expr, inserted);
+        }
+    }
+
+    let mutant = Model::from_parts(model.name().to_string(), vars, choices, defs, exprs);
+    mutant.validate()?;
+    Ok(mutant)
+}
+
+/// Rebuilds the arena, handing the node at `target` to `edit`. `edit`
+/// receives the original node (its children all have ids `< target`, which
+/// are copied verbatim, so original child ids remain valid in the new
+/// arena) and a `push` callback that inserts a helper node *before* the
+/// edited node's slot, returning its new id; the edited node's replacement
+/// is then appended after all pushed helpers.
+///
+/// Because helpers only reference already-copied (smaller) ids and the
+/// edited node is emitted after its helpers, children-precede-parents is
+/// preserved. The resulting id map is: `id < target` → `id`, `id >= target`
+/// → `id + inserted`; nodes after the target are copied with that remap
+/// applied to their children, and the returned insertion count lets
+/// [`remap_roots`] fix `var.next` / `def.expr` the same way.
+fn rebuild(
+    model: &Model,
+    target: ExprId,
+    edit: impl FnOnce(&Expr, &mut dyn FnMut(Expr) -> ExprId) -> Result<Expr, Error>,
+) -> Result<(Vec<Expr>, u32), Error> {
+    let old = model.exprs();
+    let t = target.0 as usize;
+    if t >= old.len() {
+        return Err(Error::DanglingReference {
+            what: format!("mutation targets missing expression {}", target.0),
+        });
+    }
+    let mut new_exprs: Vec<Expr> = Vec::with_capacity(old.len() + 2);
+    new_exprs.extend_from_slice(&old[..t]);
+
+    let mut push = |helper: Expr| -> ExprId {
+        new_exprs.push(helper);
+        ExprId((new_exprs.len() - 1) as u32)
+    };
+    let replaced = edit(&old[t], &mut push)?;
+    new_exprs.push(replaced);
+    let inserted = (new_exprs.len() - 1 - t) as u32;
+
+    let remap = |id: ExprId| -> ExprId {
+        if id.0 >= target.0 {
+            ExprId(id.0 + inserted)
+        } else {
+            id
+        }
+    };
+    for e in &old[t + 1..] {
+        new_exprs.push(remap_node(e, remap));
+    }
+    Ok((new_exprs, inserted))
+}
+
+fn remap_node(e: &Expr, remap: impl Fn(ExprId) -> ExprId) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Choice(_) | Expr::Def(_) => e.clone(),
+        Expr::Unary(op, a) => Expr::Unary(*op, remap(*a)),
+        Expr::Binary(op, a, b) => Expr::Binary(*op, remap(*a), remap(*b)),
+        Expr::Ternary { cond, then, other } => {
+            Expr::Ternary { cond: remap(*cond), then: remap(*then), other: remap(*other) }
+        }
+        Expr::Select { arms, default } => Expr::Select {
+            arms: arms.iter().map(|(g, v)| (remap(*g), remap(*v))).collect(),
+            default: remap(*default),
+        },
+    }
+}
+
+/// After `rebuild` inserted `inserted` helper nodes before the slot of
+/// `target`, every root id at or after `target` shifts up by `inserted`.
+fn remap_roots(
+    vars: &mut [crate::model::StateVar],
+    defs: &mut [crate::model::Def],
+    target: ExprId,
+    inserted: u32,
+) {
+    let fix = |id: &mut ExprId| {
+        if id.0 >= target.0 {
+            id.0 += inserted;
+        }
+    };
+    for v in vars {
+        fix(&mut v.next);
+    }
+    for d in defs {
+        fix(&mut d.expr);
+    }
+}
+
+/// Convenience: how many distinct choice reads a model has (useful when
+/// sizing a campaign's choice-collapse share).
+pub fn choice_read_sites(model: &Model) -> Vec<(ExprId, ChoiceId)> {
+    model
+        .exprs()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            Expr::Choice(c) => Some((ExprId(i as u32), *c)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::enumerate::{enumerate, EnumConfig};
+
+    /// Two-bit counter with enable: 4 states, 8 arcs.
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("counter");
+        let en = b.choice("enable", 2);
+        let count = b.state_var("count", 4, 0);
+        let cur = b.var_expr(count);
+        let bumped = b.add(cur, b.constant(1));
+        let wrapped = b.modulo(bumped, b.constant(4));
+        let next = b.ternary(b.choice_expr(en), wrapped, cur);
+        b.set_next(count, next);
+        b.build().unwrap()
+    }
+
+    /// Model exercising Select and a comparison-with-constant boundary.
+    fn boundary() -> Model {
+        let mut b = ModelBuilder::new("boundary");
+        let go = b.choice("go", 2);
+        let v = b.state_var("v", 8, 0);
+        let cur = b.var_expr(v);
+        let at_top = b.binary(BinaryOp::Ge, cur, b.constant(6));
+        let bumped = b.add(cur, b.constant(1));
+        let next = b.select(vec![(at_top, b.constant(0)), (b.choice_expr(go), bumped)], cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sites_are_deterministic_and_nonempty() {
+        let m = counter();
+        let a = mutation_sites(&m);
+        let b = mutation_sites(&m);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        // the counter has a ternary, a choice read and stuck-at sites
+        assert!(a.iter().any(|s| matches!(s, ModelMutation::InvertCond { .. })));
+        assert!(a.iter().any(|s| matches!(s, ModelMutation::CollapseChoice { .. })));
+        assert!(a.iter().any(|s| matches!(s, ModelMutation::StuckBit { .. })));
+    }
+
+    #[test]
+    fn every_site_yields_a_valid_enumerable_mutant() {
+        for model in [counter(), boundary()] {
+            for site in mutation_sites(&model) {
+                let mutant = apply_mutation(&model, &site)
+                    .unwrap_or_else(|e| panic!("{}: {e}", site.label()));
+                assert_eq!(mutant.vars().len(), model.vars().len());
+                assert_eq!(mutant.choices().len(), model.choices().len());
+                assert_eq!(mutant.bits_per_state(), model.bits_per_state());
+                let r = enumerate(&mutant, &EnumConfig::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", site.label()));
+                assert!(r.graph.state_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mutant_arenas_stay_topological() {
+        for model in [counter(), boundary()] {
+            for site in mutation_sites(&model) {
+                let mutant = apply_mutation(&model, &site).unwrap();
+                for (i, e) in mutant.exprs().iter().enumerate() {
+                    e.for_each_child(|c| {
+                        assert!(
+                            (c.0 as usize) < i,
+                            "{}: node {i} references non-preceding child {}",
+                            site.label(),
+                            c.0
+                        );
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_var_freezes_the_variable() {
+        let m = counter();
+        let var = m.var_by_name("count").unwrap();
+        let mutant = apply_mutation(&m, &ModelMutation::StuckVar { var, value: 0 }).unwrap();
+        let r = enumerate(&mutant, &EnumConfig::default()).unwrap();
+        assert_eq!(r.graph.state_count(), 1, "stuck-at-reset collapses to one state");
+    }
+
+    #[test]
+    fn invert_cond_swaps_enable_sense() {
+        let m = counter();
+        let site = mutation_sites(&m)
+            .into_iter()
+            .find(|s| matches!(s, ModelMutation::InvertCond { .. }))
+            .unwrap();
+        let mutant = apply_mutation(&m, &site).unwrap();
+        // enable=1 must now hold, enable=0 must now count.
+        let mut sim = crate::sim::SyncSim::new(&mutant);
+        sim.step(&[1]).unwrap();
+        assert_eq!(sim.state(), &[0], "inverted enable holds");
+        sim.step(&[0]).unwrap();
+        assert_eq!(sim.state(), &[1], "inverted disable counts");
+    }
+
+    #[test]
+    fn collapse_choice_removes_nondeterminism() {
+        let m = counter();
+        let site = mutation_sites(&m)
+            .into_iter()
+            .find(|s| matches!(s, ModelMutation::CollapseChoice { value: 0, .. }))
+            .unwrap();
+        let mutant = apply_mutation(&m, &site).unwrap();
+        let r = enumerate(&mutant, &EnumConfig::default()).unwrap();
+        // enable pinned to 0: the counter never moves, but both choice
+        // values are still swept (the choice input remains in the model).
+        assert_eq!(r.graph.state_count(), 1);
+        assert_eq!(mutant.choice_combinations(), 2);
+    }
+
+    #[test]
+    fn off_by_one_moves_the_wrap_boundary() {
+        let m = boundary();
+        let site = mutation_sites(&m)
+            .into_iter()
+            .find(|s| matches!(s, ModelMutation::OffByOne { operand: 1, delta: 1, .. }))
+            .unwrap();
+        let mutant = apply_mutation(&m, &site).unwrap();
+        let reference = enumerate(&m, &EnumConfig::default()).unwrap();
+        let mutated = enumerate(&mutant, &EnumConfig::default()).unwrap();
+        // wrap at >=7 instead of >=6 reaches one extra state
+        assert_eq!(reference.graph.state_count() + 1, mutated.graph.state_count());
+    }
+
+    #[test]
+    fn stuck_bit_set_forces_odd_values() {
+        let m = counter();
+        let var = m.var_by_name("count").unwrap();
+        let mutant =
+            apply_mutation(&m, &ModelMutation::StuckBit { var, bit: 0, set: true }).unwrap();
+        let mut sim = crate::sim::SyncSim::new(&mutant);
+        sim.step(&[0]).unwrap();
+        assert_eq!(sim.state(), &[1], "held value 0 acquires the stuck bit");
+        sim.step(&[1]).unwrap();
+        assert_eq!(sim.state(), &[3], "1+1=2 acquires the stuck bit");
+    }
+
+    #[test]
+    fn bad_sites_are_typed_errors() {
+        let m = counter();
+        assert!(apply_mutation(&m, &ModelMutation::StuckVar { var: VarId(9), value: 0 }).is_err());
+        assert!(
+            apply_mutation(&m, &ModelMutation::InvertCond { expr: ExprId(0) }).is_err(),
+            "node 0 is not a ternary"
+        );
+        let var = m.var_by_name("count").unwrap();
+        assert!(apply_mutation(&m, &ModelMutation::StuckVar { var, value: 4 }).is_err());
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let m = boundary();
+        let sites = mutation_sites(&m);
+        let labels: std::collections::HashSet<String> = sites.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), sites.len(), "labels must uniquely identify sites");
+    }
+}

@@ -25,7 +25,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::engine::EngineFactory;
-use crate::enumerate::{enumerate_with, EnumConfig, EnumResult};
+use crate::enumerate::{enumerate_with, EnumConfig, EnumResult, Truncation};
 use crate::error::Error;
 use crate::graph::{GraphBuilder, StateId};
 use crate::model::Model;
@@ -162,6 +162,14 @@ pub fn enumerate_parallel_with(
     let stop = AtomicBool::new(false);
     let limit_hit = AtomicBool::new(false);
     let first_error: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+    // Budget bookkeeping: workers flush their transition counts here per
+    // state so mid-level budget checks see live totals, and record the
+    // first bound that fired. Unlike `limit_hit`, a fired budget is not
+    // an error — the level's partial edge lists are still merged and the
+    // truncated result returned.
+    let budgeted = !config.budget.is_unbounded();
+    let live_transitions = AtomicU64::new(0);
+    let budget_cut: Mutex<Option<Truncation>> = Mutex::new(None);
 
     // Seed the search: reset state is id 0, interned into its home shard.
     {
@@ -181,6 +189,7 @@ pub fn enumerate_parallel_with(
 
     let mut level_start: usize = 0; // first id of the current frontier
     let mut progress_printed: usize = 0;
+    let mut truncated: Option<Truncation> = None;
 
     while level_start * wps < all_words.len() {
         let level_end = all_words.len() / wps;
@@ -200,6 +209,7 @@ pub fn enumerate_parallel_with(
                     let mut choices = vec![0u64; n_choices];
                     let mut packed = vec![0u64; wps];
                     let mut local_transitions = 0u64;
+                    let mut flushed_transitions = 0u64;
                     loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                         if chunk >= num_chunks || stop.load(Ordering::Relaxed) {
@@ -211,6 +221,25 @@ pub fn enumerate_parallel_with(
                         'states: for pos in lo..hi {
                             if stop.load(Ordering::Relaxed) {
                                 break;
+                            }
+                            if budgeted {
+                                live_transitions.fetch_add(
+                                    local_transitions - flushed_transitions,
+                                    Ordering::Relaxed,
+                                );
+                                flushed_transitions = local_transitions;
+                                if let Some(t) = config.budget.check(
+                                    total_states.load(Ordering::Relaxed),
+                                    live_transitions.load(Ordering::Relaxed),
+                                    start,
+                                ) {
+                                    let mut cut = budget_cut.lock().unwrap();
+                                    if cut.is_none() {
+                                        *cut = Some(t);
+                                    }
+                                    stop.store(true, Ordering::Relaxed);
+                                    break 'states;
+                                }
                             }
                             let src = (level_start + pos) as u32;
                             layout.unpack(
@@ -284,6 +313,10 @@ pub fn enumerate_parallel_with(
         if limit_hit.load(Ordering::Relaxed) {
             return Err(Error::StateLimit { limit: config.state_limit });
         }
+        // a fired budget still merges the level's partial edge lists (the
+        // workers push what they evaluated before stopping), so the
+        // truncated result is a well-formed graph over everything seen
+        let cut = budget_cut.lock().unwrap().take();
 
         // Deterministic merge: replay the level's transitions in
         // (frontier position, code) order — the sequential scan order —
@@ -324,6 +357,19 @@ pub fn enumerate_parallel_with(
             progress_printed = states_now / config.progress_every;
             eprintln!("enumerate: {} states, {} edges", states_now, builder.edge_count());
         }
+        if let Some(t) = cut {
+            truncated = Some(t);
+            break;
+        }
+        if budgeted {
+            // level-boundary check: the merge itself can push the state
+            // count past the bound, and a deadline can expire between
+            // levels without any worker noticing
+            truncated = config.budget.check(states_now, transitions.load(Ordering::Relaxed), start);
+            if truncated.is_some() {
+                break;
+            }
+        }
         level_start = level_end;
     }
 
@@ -346,7 +392,7 @@ pub fn enumerate_parallel_with(
         transitions_evaluated: transitions.load(Ordering::Relaxed),
         max_depth,
     };
-    Ok(EnumResult { graph, table, stats, graph_stats })
+    Ok(EnumResult { graph, table, stats, graph_stats, truncated })
 }
 
 #[cfg(test)]
@@ -402,6 +448,48 @@ mod tests {
             enumerate_parallel(&counter(), &cfg).unwrap_err(),
             Error::StateLimit { limit: 4 }
         );
+    }
+
+    #[test]
+    fn state_budget_truncates_in_parallel() {
+        use crate::enumerate::EnumBudget;
+        let cfg = EnumConfig {
+            threads: 4,
+            budget: EnumBudget { max_states: Some(4), ..EnumBudget::default() },
+            ..EnumConfig::default()
+        };
+        let r = enumerate_parallel(&counter(), &cfg).unwrap();
+        assert_eq!(r.truncated, Some(Truncation::States));
+        assert!(r.graph.state_count() >= 4);
+        assert!(r.graph.state_count() < 8, "got {}", r.graph.state_count());
+        // the partial table still decodes its states
+        assert_eq!(r.table.packed(0).len(), r.table.layout().words());
+    }
+
+    #[test]
+    fn generous_budget_is_bit_identical_to_unbudgeted_parallel() {
+        use crate::enumerate::EnumBudget;
+        let m = counter();
+        let free =
+            enumerate_parallel(&m, &EnumConfig { threads: 3, ..EnumConfig::default() }).unwrap();
+        let budgeted = enumerate_parallel(
+            &m,
+            &EnumConfig {
+                threads: 3,
+                budget: EnumBudget {
+                    max_states: Some(1_000),
+                    max_transitions: Some(1_000_000),
+                    deadline: Some(std::time::Duration::from_secs(3600)),
+                },
+                ..EnumConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(budgeted.is_complete());
+        assert_eq!(budgeted.graph, free.graph);
+        for s in 0..free.graph.state_count() as u32 {
+            assert_eq!(budgeted.table.packed(s), free.table.packed(s));
+        }
     }
 
     #[test]

@@ -129,6 +129,11 @@ fn read_stats(payload: &[u8]) -> Result<(EnumStats, GraphStats), SnapshotError> 
 
 /// Serializes an enumeration result to snapshot bytes. Deterministic:
 /// the same result always produces the same bytes.
+///
+/// The container records complete enumerations only; a budget-truncated
+/// partial result (see [`EnumResult::truncated`]) is a transient campaign
+/// artifact and its truncation marker is deliberately not persisted —
+/// loading always yields `truncated: None`.
 pub fn snapshot_to_bytes(model: &Model, result: &EnumResult) -> Vec<u8> {
     let mut w = SnapshotWriter::new();
     let mut fp = Payload::with_capacity(8);
@@ -188,7 +193,9 @@ pub fn snapshot_from_bytes(model: &Model, bytes: &[u8]) -> Result<EnumResult, Sn
 
     let (stats, graph_stats) = read_stats(find(STATS_CHUNK, "STAT")?)?;
 
-    Ok(EnumResult { graph, table, stats, graph_stats })
+    // snapshots only ever hold complete enumerations (see
+    // `snapshot_to_bytes`), so a loaded result is never truncated
+    Ok(EnumResult { graph, table, stats, graph_stats, truncated: None })
 }
 
 /// Saves an enumeration result to a snapshot file.

@@ -268,6 +268,13 @@ pub fn read_graph(payload: &[u8]) -> Result<StateGraph, SnapshotError> {
     if n > u32::MAX as usize || m > u32::MAX as usize {
         return Err(SnapshotError::Corrupt("counts exceed u32 range"));
     }
+    // Check the payload actually holds what the counts claim before any
+    // count-sized allocation: a corrupt header must fail with a typed
+    // error, not ask the allocator for gigabytes.
+    let need = (n + 1) * 4 + m * 12;
+    if c.remaining() < need {
+        return Err(SnapshotError::Truncated);
+    }
     let mut row = Vec::with_capacity(n + 1);
     for _ in 0..n + 1 {
         row.push(c.read_u32()?);

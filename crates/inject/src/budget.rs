@@ -1,0 +1,69 @@
+//! Per-mutant resource budgets.
+
+use std::time::Duration;
+
+use archval_fsm::EnumBudget;
+
+/// The resource envelope one mutant may consume, across both campaign
+/// stages.
+///
+/// Stage 1 (re-enumeration) is bounded by `max_states`,
+/// `max_transitions` and `deadline` through the enumerator's
+/// [`EnumBudget`]; stage 2 (strategy replay) is bounded by `max_cycles`
+/// per strategy and the same wall-clock `deadline`. A mutant exceeding a
+/// bound is assigned [`StateExplosion`](crate::Verdict::StateExplosion)
+/// or [`Timeout`](crate::Verdict::Timeout) — the campaign never runs
+/// unbounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Enumeration stops after discovering this many states. A mutant
+    /// reaching the bound is a state explosion (pick a multiple of the
+    /// reference design's state count).
+    pub max_states: usize,
+    /// Enumeration stops after evaluating this many transitions.
+    pub max_transitions: u64,
+    /// Wall-clock deadline for each stage of one mutant's run (the guard
+    /// against wedged engines).
+    pub deadline: Duration,
+    /// Replay cycles each strategy may spend on one mutant before the
+    /// mutant counts as [`Survived`](crate::Verdict::Survived).
+    pub max_cycles: u64,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_states: 1 << 16,
+            max_transitions: 1 << 24,
+            deadline: Duration::from_secs(10),
+            max_cycles: 1 << 16,
+        }
+    }
+}
+
+impl RunBudget {
+    /// The enumerator-facing slice of this budget.
+    pub fn enum_budget(&self) -> EnumBudget {
+        EnumBudget {
+            max_states: Some(self.max_states),
+            max_transitions: Some(self.max_transitions),
+            deadline: Some(self.deadline),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::Truncation;
+
+    #[test]
+    fn enum_budget_mirrors_bounds() {
+        let b = RunBudget { max_states: 7, ..Default::default() };
+        let eb = b.enum_budget();
+        assert_eq!(eb.max_states, Some(7));
+        assert!(!eb.is_unbounded());
+        // sanity: the truncation reasons the campaign maps to verdicts exist
+        let _ = (Truncation::States, Truncation::Transitions, Truncation::Deadline);
+    }
+}

@@ -1,0 +1,595 @@
+//! The campaign runner: budgeted, panic-isolated, checkpointed.
+//!
+//! A campaign processes every generated mutant through two stages:
+//!
+//! 1. **re-enumeration** — the mutant's reachable state space is explored
+//!    under the campaign [`RunBudget`]'s enumeration slice. Explosions,
+//!    deadline overruns and panics become blanket verdicts for every
+//!    strategy (see [`EnumOutcome::blanket_verdict`]);
+//! 2. **strategy replay** — each stimulus suite (tours / fuzz / random,
+//!    built once from the reference) replays in lockstep against a
+//!    reference engine and the mutant engine. The first observable
+//!    divergence — different successor state, or one side erring where
+//!    the other does not — kills the mutant for that strategy.
+//!
+//! Both stages run inside [`run_isolated`], so a panicking mutant yields
+//! [`Verdict::Panicked`] while the rest of the campaign proceeds. Every
+//! finished mutant is appended to the JSONL checkpoint (when configured)
+//! and flushed before the next one starts, so a killed campaign resumes
+//! from its last completed mutant; resumed and uninterrupted campaigns
+//! produce byte-identical reports because no outcome payload carries
+//! wall-clock readings.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use archval_exec::{apply_program_mutation, StepProgram};
+use archval_fsm::engine::EngineFactory;
+use archval_fsm::{
+    apply_mutation, enumerate, enumerate_with, EnumConfig, Model, SyncSim, Truncation,
+};
+
+use crate::budget::RunBudget;
+use crate::chaos::ChaosFactory;
+use crate::guard::run_isolated;
+use crate::mutant::{generate_mutants, MutantSpec};
+use crate::stimulus::{build_suites, StimulusSuite, Strategy, SuiteConfig};
+use crate::verdict::{EnumOutcome, Verdict};
+use crate::Error;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of mutants to generate (chaos mutants included when
+    /// `include_chaos` is set). Fewer are run when the design has fewer
+    /// mutation sites.
+    pub mutant_limit: usize,
+    /// Append the three chaos mutants (explode / wedge / panic) that
+    /// continuously prove the campaign's isolation machinery.
+    pub include_chaos: bool,
+    /// Per-mutant resource envelope.
+    pub budget: RunBudget,
+    /// Stimulus-suite sizing.
+    pub suite: SuiteConfig,
+    /// Worker threads processing mutants (each mutant runs sequentially
+    /// inside one worker, keeping its outcome deterministic).
+    pub threads: usize,
+    /// JSONL checkpoint path; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Stop claiming new mutants after this many *newly* completed ones
+    /// (exact with one worker, a lower bound with several) — the hook the
+    /// interrupted-campaign tests and the resume demo use.
+    pub halt_after: Option<usize>,
+    /// Per-state stall of the wedge chaos mutant; keep well above the
+    /// deadline/states ratio so the wedge reliably times out.
+    pub wedge_sleep: Duration,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            mutant_limit: 50,
+            include_chaos: true,
+            budget: RunBudget::default(),
+            suite: SuiteConfig::default(),
+            threads: 1,
+            checkpoint: None,
+            halt_after: None,
+            wedge_sleep: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One strategy's verdict on one mutant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrategyVerdict {
+    /// The stimulus strategy.
+    pub strategy: Strategy,
+    /// What it concluded.
+    pub verdict: Verdict,
+}
+
+/// Everything the campaign learned about one mutant — one JSONL
+/// checkpoint line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutantOutcome {
+    /// Index into the deterministically generated mutant list.
+    pub id: usize,
+    /// The mutant's stable label (checked against the regenerated list on
+    /// resume).
+    pub label: String,
+    /// Fault family: `model`, `program` or `chaos`.
+    pub family: String,
+    /// Stage-1 result.
+    pub enumeration: EnumOutcome,
+    /// Stage-2 results, one per strategy in campaign order.
+    pub verdicts: Vec<StrategyVerdict>,
+}
+
+/// Kill-rate tally for one strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillRate {
+    /// The stimulus strategy.
+    pub strategy: Strategy,
+    /// Mutants this strategy killed.
+    pub killed: usize,
+    /// Mutants that survived this strategy's whole budget.
+    pub survived: usize,
+    /// Cells excluded from scoring (explosion / timeout / panic).
+    pub excluded: usize,
+}
+
+impl KillRate {
+    /// `killed / (killed + survived)`; `0.0` when nothing scored.
+    pub fn rate(&self) -> f64 {
+        let scored = self.killed + self.survived;
+        if scored == 0 {
+            0.0
+        } else {
+            self.killed as f64 / scored as f64
+        }
+    }
+}
+
+/// The campaign's deliverable: per-mutant outcomes and the kill-rate
+/// matrix. Contains no wall-clock readings, so a resumed campaign's
+/// report is byte-identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Name of the reference model.
+    pub model: String,
+    /// Reference reachable states.
+    pub reference_states: u64,
+    /// Reference state-graph arcs.
+    pub reference_edges: u64,
+    /// One outcome per mutant, sorted by id.
+    pub mutants: Vec<MutantOutcome>,
+    /// Whether every generated mutant has an outcome (false when
+    /// `halt_after` stopped the run early).
+    pub complete: bool,
+    /// Per-strategy kill rates over the outcomes present.
+    pub kill_rates: Vec<KillRate>,
+}
+
+impl CampaignReport {
+    /// This strategy's tally, if present.
+    pub fn kill_rate(&self, strategy: Strategy) -> Option<&KillRate> {
+        self.kill_rates.iter().find(|k| k.strategy == strategy)
+    }
+
+    /// Canonical JSON form (pretty-printed, trailing newline) — the bytes
+    /// the resume guarantee is stated over.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+}
+
+/// Runs a full fault-injection campaign against `model`.
+///
+/// Builds the reference program, enumeration and stimulus suites, derives
+/// the mutant list, resumes from the checkpoint when one exists, and
+/// processes every remaining mutant under budgeted panic isolation.
+///
+/// # Errors
+///
+/// Fails only for *campaign-level* problems: the reference design not
+/// enumerating, checkpoint I/O failing, or a checkpoint that does not
+/// match this campaign's mutant list. Individual mutants never fail the
+/// campaign — they degrade to typed [`Verdict`]s.
+pub fn run_campaign(model: &Model, config: &CampaignConfig) -> Result<CampaignReport, Error> {
+    let program = StepProgram::compile(model);
+    let enumd = enumerate(model, &EnumConfig::default())?;
+    let suites = build_suites(model, &enumd, &config.suite)?;
+    let specs = generate_mutants(model, &program, config.mutant_limit, config.include_chaos);
+
+    let mut done: Vec<Option<MutantOutcome>> = vec![None; specs.len()];
+    if let Some(path) = &config.checkpoint {
+        if path.exists() {
+            let file = File::open(path)?;
+            for (lineno, line) in BufReader::new(file).lines().enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let outcome: MutantOutcome = serde_json::from_str(&line)
+                    .map_err(|e| Error::Checkpoint(format!("line {}: {e:?}", lineno + 1)))?;
+                let spec = specs.get(outcome.id).ok_or_else(|| {
+                    Error::Checkpoint(format!(
+                        "line {}: mutant id {} outside campaign of {}",
+                        lineno + 1,
+                        outcome.id,
+                        specs.len()
+                    ))
+                })?;
+                if spec.label() != outcome.label {
+                    return Err(Error::Checkpoint(format!(
+                        "line {}: mutant {} is {:?} on disk but {:?} in this campaign — \
+                         stale checkpoint for a different model or configuration",
+                        lineno + 1,
+                        outcome.id,
+                        outcome.label,
+                        spec.label()
+                    )));
+                }
+                let id = outcome.id;
+                done[id] = Some(outcome);
+            }
+        }
+    }
+
+    let writer: Mutex<Option<File>> = Mutex::new(match &config.checkpoint {
+        Some(path) => Some(OpenOptions::new().create(true).append(true).open(path)?),
+        None => None,
+    });
+    let fresh: Mutex<Vec<MutantOutcome>> = Mutex::new(Vec::new());
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let next = AtomicUsize::new(0);
+    let newly_completed = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let id = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(id) else { break };
+                if done[id].is_some() {
+                    continue;
+                }
+                let outcome = run_mutant(model, &program, &suites, spec, id, config);
+                let line = serde_json::to_string(&outcome).unwrap_or_default();
+                {
+                    let mut guard = writer.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(file) = guard.as_mut() {
+                        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+                            *io_error.lock().unwrap_or_else(|p| p.into_inner()) = Some(e);
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                fresh.lock().unwrap_or_else(|e| e.into_inner()).push(outcome);
+                let n = newly_completed.fetch_add(1, Ordering::Relaxed) + 1;
+                if config.halt_after.is_some_and(|h| n >= h) {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+
+    if let Some(e) = io_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e.into());
+    }
+
+    let mut mutants: Vec<MutantOutcome> = done
+        .into_iter()
+        .flatten()
+        .chain(fresh.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    mutants.sort_by_key(|o| o.id);
+    let complete = mutants.len() == specs.len();
+    let kill_rates = tally_kill_rates(&mutants);
+    Ok(CampaignReport {
+        model: model.name().to_string(),
+        reference_states: enumd.graph.state_count() as u64,
+        reference_edges: enumd.graph.edge_count() as u64,
+        mutants,
+        complete,
+        kill_rates,
+    })
+}
+
+fn tally_kill_rates(outcomes: &[MutantOutcome]) -> Vec<KillRate> {
+    crate::stimulus::STRATEGIES
+        .iter()
+        .map(|&strategy| {
+            let mut rate = KillRate { strategy, killed: 0, survived: 0, excluded: 0 };
+            for cell in outcomes.iter().flat_map(|o| &o.verdicts) {
+                if cell.strategy != strategy {
+                    continue;
+                }
+                match cell.verdict {
+                    Verdict::Killed { .. } => rate.killed += 1,
+                    Verdict::Survived => rate.survived += 1,
+                    _ => rate.excluded += 1,
+                }
+            }
+            rate
+        })
+        .collect()
+}
+
+/// The built, runnable form of a mutant.
+enum Artifact {
+    Model(Model),
+    Program(StepProgram),
+    Chaos(crate::mutant::ChaosKind),
+}
+
+fn run_mutant(
+    model: &Model,
+    ref_program: &StepProgram,
+    suites: &[StimulusSuite],
+    spec: &MutantSpec,
+    id: usize,
+    config: &CampaignConfig,
+) -> MutantOutcome {
+    let budget = &config.budget;
+    let artifact: Result<Artifact, String> = match spec {
+        MutantSpec::Model(m) => {
+            apply_mutation(model, m).map(Artifact::Model).map_err(|e| e.to_string())
+        }
+        MutantSpec::Program(p) => {
+            apply_program_mutation(ref_program, p).map(Artifact::Program).map_err(|e| e.to_string())
+        }
+        MutantSpec::Chaos(k) => Ok(Artifact::Chaos(*k)),
+    };
+
+    let (enumeration, blanket) = match &artifact {
+        Ok(Artifact::Model(m)) => {
+            let outcome = enumerate_stage(m, m, budget);
+            let blanket = outcome.blanket_verdict();
+            (outcome, blanket)
+        }
+        Ok(Artifact::Program(p)) => {
+            let outcome = enumerate_stage(model, p, budget);
+            let blanket = outcome.blanket_verdict();
+            (outcome, blanket)
+        }
+        Ok(Artifact::Chaos(k)) => {
+            let factory = ChaosFactory::new(model, *k, config.wedge_sleep);
+            let outcome = enumerate_stage(model, &factory, budget);
+            let blanket = outcome.blanket_verdict();
+            (outcome, blanket)
+        }
+        // Unbuildable mutants cannot occur for specs derived from this
+        // very model/program (the mutate test suites prove every site
+        // builds); if one ever does, its cells are reported as Panicked —
+        // excluded from scoring, like every degenerate cell.
+        Err(e) => (EnumOutcome::Failed { error: e.clone() }, Some(Verdict::Panicked)),
+    };
+
+    let verdicts = suites
+        .iter()
+        .map(|suite| {
+            let verdict = match (&blanket, &artifact) {
+                (Some(v), _) => v.clone(),
+                (None, Ok(a)) => {
+                    replay_verdict(model, ref_program, a, config.wedge_sleep, suite, budget)
+                }
+                (None, Err(_)) => Verdict::Panicked,
+            };
+            StrategyVerdict { strategy: suite.strategy, verdict }
+        })
+        .collect();
+
+    MutantOutcome {
+        id,
+        label: spec.label(),
+        family: spec.family().to_string(),
+        enumeration,
+        verdicts,
+    }
+}
+
+/// Stage 1: budgeted, isolated re-enumeration of one mutant.
+fn enumerate_stage(
+    enum_model: &Model,
+    factory: &dyn EngineFactory,
+    budget: &RunBudget,
+) -> EnumOutcome {
+    let config = EnumConfig {
+        budget: budget.enum_budget(),
+        // the soft budget must always fire before the hard state_limit
+        state_limit: usize::MAX,
+        ..Default::default()
+    };
+    match run_isolated(|| enumerate_with(enum_model, &config, factory)) {
+        Ok(Ok(result)) => match result.truncated {
+            None => EnumOutcome::Completed {
+                states: result.graph.state_count() as u64,
+                edges: result.graph.edge_count() as u64,
+            },
+            Some(Truncation::States | Truncation::Transitions) => {
+                EnumOutcome::Exploded { states: result.graph.state_count() as u64 }
+            }
+            Some(Truncation::Deadline) => EnumOutcome::Timeout,
+        },
+        Ok(Err(e)) => EnumOutcome::Failed { error: e.to_string() },
+        Err(_panic) => EnumOutcome::Panicked,
+    }
+}
+
+/// Stage 2: lockstep replay of one suite against reference and mutant.
+///
+/// The deadline is rechecked every 128 cycles; a deadline cut carries no
+/// payload, so marginal timing cannot perturb report bytes — only a
+/// mutant pathologically slower than the budget envelope flips from
+/// `Survived`/`Killed` to `Timeout`, and such a mutant times out in
+/// stage 1 already.
+fn replay_verdict(
+    model: &Model,
+    ref_program: &StepProgram,
+    artifact: &Artifact,
+    wedge_sleep: Duration,
+    suite: &StimulusSuite,
+    budget: &RunBudget,
+) -> Verdict {
+    let started = Instant::now();
+    run_isolated(|| {
+        let mut ref_sim = SyncSim::with_engine(model, ref_program.spawn());
+        let chaos_factory;
+        let mut mut_sim = match artifact {
+            Artifact::Model(m) => SyncSim::new(m),
+            Artifact::Program(p) => SyncSim::with_engine(model, p.spawn()),
+            Artifact::Chaos(k) => {
+                chaos_factory = ChaosFactory::new(model, *k, wedge_sleep);
+                SyncSim::with_engine(model, chaos_factory.spawn())
+            }
+        };
+        let mut cycles = 0u64;
+        for seq in &suite.seqs {
+            ref_sim.reset();
+            mut_sim.reset();
+            for &code in seq {
+                if cycles >= budget.max_cycles {
+                    return Verdict::Survived;
+                }
+                if cycles.is_multiple_of(128) && started.elapsed() >= budget.deadline {
+                    return Verdict::Timeout;
+                }
+                let r = ref_sim.step_code(code);
+                let m = mut_sim.step_code(code);
+                cycles += 1;
+                match (r, m) {
+                    (Ok(()), Ok(())) => {
+                        if ref_sim.state() != mut_sim.state() {
+                            return Verdict::Killed { cycles };
+                        }
+                    }
+                    (Ok(()), Err(_)) | (Err(_), Ok(())) => return Verdict::Killed { cycles },
+                    // both sides fail identically: indistinguishable here,
+                    // move on to the next sequence
+                    (Err(_), Err(_)) => break,
+                }
+            }
+        }
+        Verdict::Survived
+    })
+    .unwrap_or(Verdict::Panicked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::builder::ModelBuilder;
+
+    fn counter(bits: u64) -> Model {
+        let size = 1 << bits;
+        let mut b = ModelBuilder::new("counter");
+        let en = b.choice("enable", 2);
+        let count = b.state_var("count", size, 0);
+        let cur = b.var_expr(count);
+        let bumped = b.add(cur, b.constant(1));
+        let wrapped = b.modulo(bumped, b.constant(size));
+        let next = b.ternary(b.choice_expr(en), wrapped, cur);
+        b.set_next(count, next);
+        b.build().unwrap()
+    }
+
+    fn quick_config() -> CampaignConfig {
+        CampaignConfig {
+            mutant_limit: 10,
+            include_chaos: false,
+            suite: SuiteConfig {
+                fuzz_cycles: 512,
+                random_seqs: 4,
+                random_len: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("archval_inject_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn campaign_assigns_every_mutant_a_full_verdict_row() {
+        let m = counter(3);
+        let report = run_campaign(&m, &quick_config()).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.mutants.len(), 10);
+        for (i, o) in report.mutants.iter().enumerate() {
+            assert_eq!(o.id, i);
+            assert_eq!(o.verdicts.len(), 3, "{}", o.label);
+        }
+        let tours = report.kill_rate(Strategy::Tours).unwrap();
+        assert!(tours.killed > 0, "tours must kill some counter mutants");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let m = counter(3);
+        let a = run_campaign(&m, &quick_config()).unwrap();
+        let b = run_campaign(&m, &quick_config()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn halted_then_resumed_campaign_reports_byte_identically() {
+        let m = counter(3);
+        let path = temp_path("resume");
+        let _ = std::fs::remove_file(&path);
+
+        let uninterrupted = run_campaign(&m, &quick_config()).unwrap();
+
+        let mut halted = quick_config();
+        halted.checkpoint = Some(path.clone());
+        halted.halt_after = Some(4);
+        let partial = run_campaign(&m, &halted).unwrap();
+        assert!(!partial.complete);
+        assert_eq!(partial.mutants.len(), 4);
+
+        let mut resumed_cfg = quick_config();
+        resumed_cfg.checkpoint = Some(path.clone());
+        let resumed = run_campaign(&m, &resumed_cfg).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(resumed.complete);
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(resumed.to_json().into_bytes(), uninterrupted.to_json().into_bytes());
+    }
+
+    #[test]
+    fn stale_checkpoint_is_a_typed_error() {
+        let m = counter(3);
+        let path = temp_path("stale");
+        std::fs::write(
+            &path,
+            "{\"id\":0,\"label\":\"model:not_a_real_site\",\"family\":\"model\",\
+             \"enumeration\":\"Timeout\",\"verdicts\":[]}\n",
+        )
+        .unwrap();
+        let mut cfg = quick_config();
+        cfg.checkpoint = Some(path.clone());
+        let err = run_campaign(&m, &cfg).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, Error::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_line_is_a_typed_error() {
+        let m = counter(3);
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{not json\n").unwrap();
+        let mut cfg = quick_config();
+        cfg.checkpoint = Some(path.clone());
+        let err = run_campaign(&m, &cfg).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, Error::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let m = counter(3);
+        let sequential = run_campaign(&m, &quick_config()).unwrap();
+        let mut par = quick_config();
+        par.threads = 4;
+        let parallel = run_campaign(&m, &par).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+}

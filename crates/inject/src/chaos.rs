@@ -1,0 +1,174 @@
+//! Chaos mutants: engines built to explode, wedge or panic.
+//!
+//! A fault-injection campaign must stay alive when a mutant misbehaves in
+//! the worst ways an engine can. These three adversarial engines exercise
+//! exactly those paths on purpose — one per failure mode of the verdict
+//! taxonomy — and ship in every default campaign so the isolation
+//! machinery is continuously proven, not just unit-tested:
+//!
+//! * [`ChaosKind::Explode`] — successors are a hash of the whole
+//!   `(state, choices)` tuple across each variable's full domain, so the
+//!   reachable set is the entire cross product and the enumeration budget
+//!   *must* fire ([`Verdict::StateExplosion`](crate::Verdict::StateExplosion));
+//! * [`ChaosKind::Wedge`] — a faithful engine that sleeps on every
+//!   dequeued state, so the wall-clock deadline *must* fire
+//!   ([`Verdict::Timeout`](crate::Verdict::Timeout));
+//! * [`ChaosKind::Panic`] — panics on the first evaluated transition, so
+//!   panic isolation *must* catch it
+//!   ([`Verdict::Panicked`](crate::Verdict::Panicked)).
+
+use std::thread;
+use std::time::Duration;
+
+use archval_fsm::engine::{EngineFactory, StepEngine};
+use archval_fsm::{Error, Model};
+use archval_fuzz::splitmix64;
+
+use crate::mutant::ChaosKind;
+
+/// Spawns adversarial engines of one [`ChaosKind`] over `model`'s shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosFactory<'m> {
+    model: &'m Model,
+    kind: ChaosKind,
+    wedge_sleep: Duration,
+}
+
+impl<'m> ChaosFactory<'m> {
+    /// Creates a factory for `kind` over the reference model's variable
+    /// and choice shape. `wedge_sleep` is the per-state stall of the
+    /// wedge engine (ignored by the other kinds).
+    pub fn new(model: &'m Model, kind: ChaosKind, wedge_sleep: Duration) -> Self {
+        ChaosFactory { model, kind, wedge_sleep }
+    }
+}
+
+impl EngineFactory for ChaosFactory<'_> {
+    fn spawn(&self) -> Box<dyn StepEngine + '_> {
+        match self.kind {
+            ChaosKind::Explode => Box::new(ExplodeEngine {
+                sizes: self.model.vars().iter().map(|v| v.size).collect(),
+                state_hash: 0,
+            }),
+            ChaosKind::Wedge => {
+                Box::new(WedgeEngine { inner: self.model.spawn(), sleep: self.wedge_sleep })
+            }
+            ChaosKind::Panic => Box::new(PanicEngine),
+        }
+    }
+}
+
+/// Successor = hash of `(state, choices)` over the full variable domains.
+#[derive(Debug)]
+struct ExplodeEngine {
+    sizes: Vec<u64>,
+    state_hash: u64,
+}
+
+impl StepEngine for ExplodeEngine {
+    fn begin_state(&mut self, state: &[u64]) -> Result<(), Error> {
+        let mut h = 0x9E37_79B9_7F4A_7C15;
+        for &v in state {
+            h = splitmix64(h ^ v);
+        }
+        self.state_hash = h;
+        Ok(())
+    }
+
+    fn step_choices(&mut self, choices: &[u64], out: &mut [u64]) -> Result<(), Error> {
+        let mut h = self.state_hash;
+        for &c in choices {
+            h = splitmix64(h ^ c);
+        }
+        for (o, &size) in out.iter_mut().zip(&self.sizes) {
+            h = splitmix64(h);
+            *o = h % size;
+        }
+        Ok(())
+    }
+}
+
+/// A faithful engine that stalls on every dequeued state.
+#[derive(Debug)]
+struct WedgeEngine<'m> {
+    inner: Box<dyn StepEngine + 'm>,
+    sleep: Duration,
+}
+
+impl StepEngine for WedgeEngine<'_> {
+    fn begin_state(&mut self, state: &[u64]) -> Result<(), Error> {
+        thread::sleep(self.sleep);
+        self.inner.begin_state(state)
+    }
+
+    fn step_choices(&mut self, choices: &[u64], out: &mut [u64]) -> Result<(), Error> {
+        self.inner.step_choices(choices, out)
+    }
+}
+
+/// Panics on the first evaluated transition.
+#[derive(Debug)]
+struct PanicEngine;
+
+impl StepEngine for PanicEngine {
+    fn begin_state(&mut self, _state: &[u64]) -> Result<(), Error> {
+        Ok(())
+    }
+
+    fn step_choices(&mut self, _choices: &[u64], _out: &mut [u64]) -> Result<(), Error> {
+        panic!("chaos mutant: deliberate panic in step_choices");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::builder::ModelBuilder;
+    use archval_fsm::{enumerate_with, EnumBudget, EnumConfig, Truncation};
+
+    fn wide_model() -> Model {
+        let mut b = ModelBuilder::new("wide");
+        let c = b.choice("c", 4);
+        for i in 0..4 {
+            let v = b.state_var(format!("v{i}"), 16, 0);
+            b.set_next(v, b.choice_expr(c));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explode_engine_blows_the_state_budget() {
+        let m = wide_model();
+        let factory = ChaosFactory::new(&m, ChaosKind::Explode, Duration::ZERO);
+        let cfg = EnumConfig {
+            budget: EnumBudget { max_states: Some(100), ..Default::default() },
+            ..Default::default()
+        };
+        let r = enumerate_with(&m, &cfg, &factory).unwrap();
+        assert_eq!(r.truncated, Some(Truncation::States));
+        assert!(r.graph.state_count() >= 100);
+    }
+
+    #[test]
+    fn wedge_engine_hits_the_deadline() {
+        let m = wide_model();
+        let factory = ChaosFactory::new(&m, ChaosKind::Wedge, Duration::from_millis(20));
+        let cfg = EnumConfig {
+            budget: EnumBudget { deadline: Some(Duration::from_millis(60)), ..Default::default() },
+            ..Default::default()
+        };
+        let r = enumerate_with(&m, &cfg, &factory).unwrap();
+        assert_eq!(r.truncated, Some(Truncation::Deadline));
+    }
+
+    #[test]
+    fn panic_engine_panics_and_is_isolatable() {
+        let m = wide_model();
+        let factory = ChaosFactory::new(&m, ChaosKind::Panic, Duration::ZERO);
+        let caught = crate::run_isolated(|| {
+            enumerate_with(&m, &EnumConfig::default(), &factory).map(|_| ())
+        });
+        let msg = caught.expect_err("panic engine must panic");
+        assert!(msg.contains("deliberate panic"), "{msg}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Panic isolation for mutant runs.
+//!
+//! A mutated engine may panic (and one campaign chaos mutant is *built*
+//! to). Campaign workers wrap every mutant stage in [`run_isolated`],
+//! which converts an unwind into a typed error string. The default panic
+//! hook would still print a backtrace per caught panic — noise that reads
+//! like a campaign failure — so the first isolated run installs, once per
+//! process, a composite hook that stays silent for panics inside an
+//! isolated region and delegates to the previous hook everywhere else.
+//! The suppression flag is thread-local: concurrent panics on
+//! non-campaign threads (e.g. other tests in the same process) keep their
+//! normal reporting.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    static SUPPRESS: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL: Once = Once::new();
+
+fn install_quiet_hook() {
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, catching any panic and returning its message as `Err`.
+///
+/// The closure's captured state is treated as unwind-safe: campaign
+/// callers pass freshly built per-mutant state that is discarded on
+/// `Err`, so a torn invariant cannot leak into later mutants.
+pub fn run_isolated<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_hook();
+    let was = SUPPRESS.with(|s| s.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS.with(|s| s.set(was));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_value_passes_through() {
+        assert_eq!(run_isolated(|| 7), Ok(7));
+    }
+
+    #[test]
+    fn panic_becomes_typed_error() {
+        let err = run_isolated(|| -> u32 { panic!("chaos mutant panicked at cycle 3") });
+        assert_eq!(err, Err("chaos mutant panicked at cycle 3".to_string()));
+    }
+
+    #[test]
+    fn formatted_panic_message_is_captured() {
+        let err = run_isolated(|| -> u32 { panic!("cycle {}", 9) });
+        assert_eq!(err, Err("cycle 9".to_string()));
+    }
+
+    #[test]
+    fn isolation_is_reentrant_and_reusable() {
+        assert!(run_isolated(|| panic!("a")).is_err());
+        assert_eq!(run_isolated(|| 1), Ok(1));
+        let nested = run_isolated(|| run_isolated(|| -> u32 { panic!("inner") }));
+        assert_eq!(nested, Ok(Err("inner".to_string())));
+    }
+}

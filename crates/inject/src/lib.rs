@@ -1,0 +1,121 @@
+//! Fault-injection campaigns over FSM models and compiled step programs.
+//!
+//! The paper's evaluation (Section 4) hinges on one question: do
+//! transition tours actually expose seeded design errors? This crate turns
+//! that question into a measurement. It derives **mutants** from a
+//! reference design — model-level faults ([`archval_fsm::mutate`]:
+//! stuck-at state bits, inverted conditions and guards, collapsed choice
+//! inputs, off-by-one case boundaries) and bytecode-level faults
+//! ([`archval_exec::mutate`]: opcode and operand flips in the compiled
+//! [`StepProgram`](archval_exec::StepProgram)) — then runs a **campaign**:
+//! each mutant is re-enumerated under a budget, and the paper's three
+//! stimulus strategies (transition tours, coverage-guided fuzz, uniform
+//! random) are replayed in lockstep against reference and mutant,
+//! producing a per-`(mutant, strategy)` [`Verdict`] and a kill-rate
+//! matrix.
+//!
+//! Robustness is the design center: every mutant run executes under a
+//! [`RunBudget`] with `catch_unwind` panic isolation, so a mutant that
+//! explodes the state space, wedges, or panics degrades to a typed verdict
+//! (`StateExplosion` / `Timeout` / `Panicked`) instead of aborting the
+//! campaign — and progress checkpoints to disk as JSONL, so an interrupted
+//! campaign resumes where it left off and produces a byte-identical
+//! report.
+//!
+//! # Example
+//!
+//! ```
+//! use archval_fsm::builder::ModelBuilder;
+//! use archval_inject::{run_campaign, CampaignConfig, Strategy};
+//!
+//! let mut b = ModelBuilder::new("counter");
+//! let en = b.choice("enable", 2);
+//! let count = b.state_var("count", 4, 0);
+//! let cur = b.var_expr(count);
+//! let bumped = b.add(cur, b.constant(1));
+//! let wrapped = b.modulo(bumped, b.constant(4));
+//! let next = b.ternary(b.choice_expr(en), wrapped, cur);
+//! b.set_next(count, next);
+//! let model = b.build().unwrap();
+//!
+//! let config = CampaignConfig { mutant_limit: 8, include_chaos: false, ..Default::default() };
+//! let report = run_campaign(&model, &config)?;
+//! assert_eq!(report.mutants.len(), 8);
+//! assert!(report.complete);
+//! let tours = report.kill_rate(Strategy::Tours).unwrap();
+//! assert!(tours.rate() > 0.0, "tours must kill some counter mutants");
+//! # Ok::<(), archval_inject::Error>(())
+//! ```
+
+pub mod budget;
+pub mod campaign;
+pub mod chaos;
+pub mod guard;
+pub mod mutant;
+pub mod stimulus;
+pub mod verdict;
+
+pub use budget::RunBudget;
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, KillRate, MutantOutcome, StrategyVerdict,
+};
+pub use guard::run_isolated;
+pub use mutant::{generate_mutants, ChaosKind, MutantSpec};
+pub use stimulus::{build_suites, StimulusSuite, Strategy, SuiteConfig};
+pub use verdict::{EnumOutcome, Verdict};
+
+/// Fault-injection failure: anything that stops a whole campaign (never a
+/// single mutant — misbehaving mutants become [`Verdict`]s).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Enumerating or simulating the *reference* design failed.
+    Fsm(archval_fsm::Error),
+    /// The reference fuzz run building the fuzz stimulus suite failed.
+    Fuzz(archval_fuzz::Error),
+    /// Reading or writing the campaign checkpoint failed.
+    Io(std::io::Error),
+    /// The checkpoint on disk does not belong to this campaign (mutant
+    /// labels or count mismatch) or is malformed.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Fsm(e) => write!(f, "reference enumeration failed: {e}"),
+            Error::Fuzz(e) => write!(f, "reference fuzz run failed: {e}"),
+            Error::Io(e) => write!(f, "campaign checkpoint I/O failed: {e}"),
+            Error::Checkpoint(m) => write!(f, "campaign checkpoint invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Fsm(e) => Some(e),
+            Error::Fuzz(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Checkpoint(_) => None,
+        }
+    }
+}
+
+impl From<archval_fsm::Error> for Error {
+    fn from(e: archval_fsm::Error) -> Self {
+        Error::Fsm(e)
+    }
+}
+
+impl From<archval_fuzz::Error> for Error {
+    fn from(e: archval_fuzz::Error) -> Self {
+        Error::Fuzz(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

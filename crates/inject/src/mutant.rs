@@ -1,0 +1,164 @@
+//! Mutant generation: which faults a campaign injects.
+
+use archval_exec::{program_mutation_sites, ProgramMutation, StepProgram};
+use archval_fsm::{mutation_sites, Model, ModelMutation};
+
+/// The three adversarial engines every default campaign carries; see
+/// [`crate::chaos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosKind {
+    /// Reachable set is the full variable cross product.
+    Explode,
+    /// Sleeps on every dequeued state.
+    Wedge,
+    /// Panics on the first evaluated transition.
+    Panic,
+}
+
+impl ChaosKind {
+    /// Stable label fragment.
+    fn name(self) -> &'static str {
+        match self {
+            ChaosKind::Explode => "explode",
+            ChaosKind::Wedge => "wedge",
+            ChaosKind::Panic => "panic",
+        }
+    }
+}
+
+/// One mutant a campaign will run: a fault plus the layer it lives in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MutantSpec {
+    /// A model-level fault (applied before lowering; runs on the mutant
+    /// model's own engines).
+    Model(ModelMutation),
+    /// A bytecode-level fault (applied to the compiled reference program;
+    /// runs on a [`CompiledEngine`](archval_exec::CompiledEngine) over the
+    /// mutant program).
+    Program(ProgramMutation),
+    /// An adversarial engine exercising the campaign's isolation paths.
+    Chaos(ChaosKind),
+}
+
+impl MutantSpec {
+    /// A short, stable label, unique within one generated mutant list.
+    pub fn label(&self) -> String {
+        match self {
+            MutantSpec::Model(m) => format!("model:{}", m.label()),
+            MutantSpec::Program(p) => format!("program:{}", p.label()),
+            MutantSpec::Chaos(k) => format!("chaos:{}", k.name()),
+        }
+    }
+
+    /// The fault family, for the report's per-family breakdown.
+    pub fn family(&self) -> &'static str {
+        match self {
+            MutantSpec::Model(_) => "model",
+            MutantSpec::Program(_) => "program",
+            MutantSpec::Chaos(_) => "chaos",
+        }
+    }
+}
+
+/// Selects the campaign's mutant list, deterministically.
+///
+/// Model-level and bytecode-level sites are interleaved (alternating
+/// family, each family in its own deterministic site order) so a
+/// truncated list still spans both layers, then capped at `limit` minus
+/// the chaos slots; when `include_chaos` is set the three chaos mutants
+/// are appended last. The same `(model, program, limit, include_chaos)`
+/// always yields the same list — campaign checkpoints re-derive it on
+/// resume and verify labels line up.
+pub fn generate_mutants(
+    model: &Model,
+    program: &StepProgram,
+    limit: usize,
+    include_chaos: bool,
+) -> Vec<MutantSpec> {
+    let chaos: &[ChaosKind] =
+        if include_chaos { &[ChaosKind::Explode, ChaosKind::Wedge, ChaosKind::Panic] } else { &[] };
+    let budget = limit.saturating_sub(chaos.len());
+
+    let model_sites = mutation_sites(model);
+    let program_sites = program_mutation_sites(program);
+    let mut out = Vec::with_capacity(limit.min(model_sites.len() + program_sites.len()));
+    let mut models = model_sites.into_iter();
+    let mut programs = program_sites.into_iter();
+    while out.len() < budget {
+        match (models.next(), programs.next()) {
+            (Some(m), Some(p)) => {
+                out.push(MutantSpec::Model(m));
+                if out.len() < budget {
+                    out.push(MutantSpec::Program(p));
+                }
+            }
+            (Some(m), None) => out.push(MutantSpec::Model(m)),
+            (None, Some(p)) => out.push(MutantSpec::Program(p)),
+            (None, None) => break,
+        }
+    }
+    out.extend(chaos.iter().map(|&k| MutantSpec::Chaos(k)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::builder::ModelBuilder;
+
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("counter");
+        let en = b.choice("enable", 2);
+        let count = b.state_var("count", 4, 0);
+        let cur = b.var_expr(count);
+        let bumped = b.add(cur, b.constant(1));
+        let wrapped = b.modulo(bumped, b.constant(4));
+        let next = b.ternary(b.choice_expr(en), wrapped, cur);
+        b.set_next(count, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_mixed() {
+        let m = counter();
+        let p = StepProgram::compile(&m);
+        let a = generate_mutants(&m, &p, 12, true);
+        let b = generate_mutants(&m, &p, 12, true);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert!(a.iter().any(|s| s.family() == "model"));
+        assert!(a.iter().any(|s| s.family() == "program"));
+        assert_eq!(a.iter().filter(|s| s.family() == "chaos").count(), 3);
+        // chaos occupies the tail
+        assert_eq!(a[9], MutantSpec::Chaos(ChaosKind::Explode));
+        assert_eq!(a[11], MutantSpec::Chaos(ChaosKind::Panic));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let m = counter();
+        let p = StepProgram::compile(&m);
+        let specs = generate_mutants(&m, &p, 64, true);
+        let labels: std::collections::HashSet<String> =
+            specs.iter().map(MutantSpec::label).collect();
+        assert_eq!(labels.len(), specs.len());
+    }
+
+    #[test]
+    fn chaos_can_be_disabled() {
+        let m = counter();
+        let p = StepProgram::compile(&m);
+        let specs = generate_mutants(&m, &p, 8, false);
+        assert!(specs.iter().all(|s| s.family() != "chaos"));
+        assert_eq!(specs.len(), 8);
+    }
+
+    #[test]
+    fn limit_larger_than_site_count_is_exhaustive() {
+        let m = counter();
+        let p = StepProgram::compile(&m);
+        let specs = generate_mutants(&m, &p, 10_000, false);
+        let total = mutation_sites(&m).len() + program_mutation_sites(&p).len();
+        assert_eq!(specs.len(), total);
+    }
+}

@@ -1,0 +1,199 @@
+//! Stimulus suites: the choice-code sequences each strategy replays.
+//!
+//! Suites are built **once**, from the reference design, and replayed
+//! against every mutant — exactly how the paper's methodology works
+//! (vectors are generated from the model, then run against an
+//! implementation that may be wrong). All three suites are deterministic
+//! functions of `(reference model, SuiteConfig)`, which keeps campaign
+//! reports reproducible and resumable.
+
+use std::ops::ControlFlow;
+
+use serde::{Deserialize, Serialize};
+
+use archval_fsm::{EnumResult, Model};
+use archval_fuzz::{splitmix64, FuzzConfig, FuzzEngine, GraphFeedback};
+use archval_tour::{generate_tours, TourConfig};
+
+use crate::Error;
+
+/// The stimulus-generation strategies the campaign compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Transition tours covering every arc of the reference graph (the
+    /// paper's generator).
+    Tours,
+    /// Sequences collected from a coverage-guided fuzz run on the
+    /// reference design.
+    Fuzz,
+    /// Uniform random choice codes.
+    Random,
+}
+
+/// Every strategy, in campaign order.
+pub const STRATEGIES: [Strategy; 3] = [Strategy::Tours, Strategy::Fuzz, Strategy::Random];
+
+impl Strategy {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Tours => "tours",
+            Strategy::Fuzz => "fuzz",
+            Strategy::Random => "random",
+        }
+    }
+}
+
+/// Sizing knobs for [`build_suites`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteConfig {
+    /// Base seed for the fuzz run and the random sequences.
+    pub seed: u64,
+    /// Cycle budget of the reference fuzz run whose candidates form the
+    /// fuzz suite (also caps the suite's total replay cycles).
+    pub fuzz_cycles: u64,
+    /// Number of uniform random sequences.
+    pub random_seqs: usize,
+    /// Cycles per random sequence.
+    pub random_len: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig { seed: 0x017E_C7ED, fuzz_cycles: 4_096, random_seqs: 16, random_len: 256 }
+    }
+}
+
+/// One strategy's replayable stimuli: choice-code sequences, each starting
+/// from reset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StimulusSuite {
+    /// The strategy that produced these sequences.
+    pub strategy: Strategy,
+    /// Sequences of packed choice codes (see
+    /// [`Model::decode_choices`](archval_fsm::Model::decode_choices)).
+    pub seqs: Vec<Vec<u64>>,
+}
+
+impl StimulusSuite {
+    /// Total cycles one full replay of this suite costs.
+    pub fn total_cycles(&self) -> u64 {
+        self.seqs.iter().map(|s| s.len() as u64).sum()
+    }
+}
+
+/// Builds the three suites from the reference design.
+///
+/// `enumd` must be the reference model's complete enumeration (tours and
+/// graph-feedback fuzz both need the full graph).
+///
+/// # Errors
+///
+/// Propagates a failure of the reference fuzz run; tours and random
+/// generation are infallible.
+pub fn build_suites(
+    model: &Model,
+    enumd: &EnumResult,
+    config: &SuiteConfig,
+) -> Result<Vec<StimulusSuite>, Error> {
+    Ok(vec![tour_suite(enumd), fuzz_suite(model, enumd, config)?, random_suite(model, config)])
+}
+
+fn tour_suite(enumd: &EnumResult) -> StimulusSuite {
+    let tours = generate_tours(&enumd.graph, &TourConfig::default());
+    let seqs = tours.traces().iter().map(|t| tours.resolve(t).map(|e| e.label).collect()).collect();
+    StimulusSuite { strategy: Strategy::Tours, seqs }
+}
+
+fn fuzz_suite(
+    model: &Model,
+    enumd: &EnumResult,
+    config: &SuiteConfig,
+) -> Result<StimulusSuite, Error> {
+    let fuzz_config = FuzzConfig {
+        cycle_budget: config.fuzz_cycles,
+        seed: config.seed,
+        threads: 1,
+        ..Default::default()
+    };
+    let mut engine = FuzzEngine::new(model, GraphFeedback::new(enumd), fuzz_config);
+    let mut seqs: Vec<Vec<u64>> = Vec::new();
+    let mut collected = 0u64;
+    // Keep every executed candidate (full from-reset sequence) until one
+    // suite replay costs as much as the fuzz run itself did.
+    let (_report, _) = engine.run_until(|seq, _cycles_before| {
+        collected += seq.len() as u64;
+        seqs.push(seq.to_vec());
+        if collected >= config.fuzz_cycles {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    })?;
+    Ok(StimulusSuite { strategy: Strategy::Fuzz, seqs })
+}
+
+fn random_suite(model: &Model, config: &SuiteConfig) -> StimulusSuite {
+    let combos = model.choice_combinations();
+    let seqs = (0..config.random_seqs)
+        .map(|i| {
+            let mut h =
+                splitmix64(config.seed ^ 0xDA7A_0D0A ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            (0..config.random_len)
+                .map(|_| {
+                    h = splitmix64(h);
+                    h % combos
+                })
+                .collect()
+        })
+        .collect();
+    StimulusSuite { strategy: Strategy::Random, seqs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::builder::ModelBuilder;
+    use archval_fsm::{enumerate, EnumConfig};
+
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("counter");
+        let en = b.choice("enable", 2);
+        let count = b.state_var("count", 8, 0);
+        let cur = b.var_expr(count);
+        let bumped = b.add(cur, b.constant(1));
+        let wrapped = b.modulo(bumped, b.constant(8));
+        let next = b.ternary(b.choice_expr(en), wrapped, cur);
+        b.set_next(count, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn suites_are_deterministic_and_cover_all_strategies() {
+        let m = counter();
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let cfg = SuiteConfig::default();
+        let a = build_suites(&m, &enumd, &cfg).unwrap();
+        let b = build_suites(&m, &enumd, &cfg).unwrap();
+        assert_eq!(a, b);
+        let strategies: Vec<Strategy> = a.iter().map(|s| s.strategy).collect();
+        assert_eq!(strategies, STRATEGIES);
+        for suite in &a {
+            assert!(!suite.seqs.is_empty(), "{:?} suite is empty", suite.strategy);
+            assert!(suite.total_cycles() > 0);
+        }
+    }
+
+    #[test]
+    fn tour_suite_codes_are_valid_choice_codes() {
+        let m = counter();
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let suites = build_suites(&m, &enumd, &SuiteConfig::default()).unwrap();
+        let combos = m.choice_combinations();
+        for suite in &suites {
+            for seq in &suite.seqs {
+                assert!(seq.iter().all(|&c| c < combos), "{:?}", suite.strategy);
+            }
+        }
+    }
+}

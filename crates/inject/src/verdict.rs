@@ -1,0 +1,146 @@
+//! The typed outcome taxonomy: what happened to one mutant.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of running one stimulus strategy against one mutant.
+///
+/// Every `(mutant, strategy)` cell of a campaign gets exactly one verdict;
+/// there is no "crashed the campaign" outcome by construction. Verdict
+/// payloads never contain wall-clock readings, so a resumed campaign
+/// reports byte-identically to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The strategy exposed the fault: reference and mutant diverged (in
+    /// state, or one erred where the other did not) after `cycles`
+    /// replayed cycles.
+    Killed {
+        /// Replay cycles spent before the first observable divergence.
+        cycles: u64,
+    },
+    /// The strategy's whole stimulus budget replayed without an observable
+    /// difference.
+    Survived,
+    /// The mutant's state space blew past the enumeration budget, so no
+    /// strategy was replayed against it.
+    StateExplosion,
+    /// The mutant exceeded the wall-clock deadline (a wedged engine, or an
+    /// enumeration too slow to finish under the budget).
+    Timeout,
+    /// The mutant's engine panicked; the panic was caught and isolated.
+    Panicked,
+}
+
+impl Verdict {
+    /// Whether this verdict counts toward the kill-rate denominator.
+    ///
+    /// Kill rate is `killed / (killed + survived)`: explosion, timeout and
+    /// panic cells say nothing about a strategy's fault-finding power (the
+    /// mutant degenerated before stimuli could discriminate), so they are
+    /// excluded rather than counted either way.
+    pub fn scores(&self) -> bool {
+        matches!(self, Verdict::Killed { .. } | Verdict::Survived)
+    }
+}
+
+/// The outcome of re-enumerating one mutant under the campaign budget.
+///
+/// Like [`Verdict`], payloads are wall-clock-free: a `States`- or
+/// `Transitions`-truncated sequential enumeration is deterministic, but a
+/// deadline cut is not, so `Timeout` carries nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnumOutcome {
+    /// Enumeration finished inside the budget.
+    Completed {
+        /// Reachable states of the mutant.
+        states: u64,
+        /// Arcs of the mutant's state graph.
+        edges: u64,
+    },
+    /// The state or transition budget fired: the mutant's reachable space
+    /// is (at least) `states` states — a state explosion.
+    Exploded {
+        /// States discovered before the cut.
+        states: u64,
+    },
+    /// The enumeration deadline passed before the search finished.
+    Timeout,
+    /// The mutant's engine panicked during enumeration.
+    Panicked,
+    /// Enumeration failed with a typed model error (e.g. a mutation that
+    /// introduced a division by zero on the enumerated paths).
+    Failed {
+        /// Display form of the underlying error.
+        error: String,
+    },
+}
+
+impl EnumOutcome {
+    /// The blanket verdict this outcome forces on every strategy, if any.
+    /// `Completed` and `Failed` return `None`: strategies still replay
+    /// (lockstep replay does not need the mutant's graph, and an
+    /// enumeration error does not prevent bounded replay).
+    pub fn blanket_verdict(&self) -> Option<Verdict> {
+        match self {
+            EnumOutcome::Exploded { .. } => Some(Verdict::StateExplosion),
+            EnumOutcome::Timeout => Some(Verdict::Timeout),
+            EnumOutcome::Panicked => Some(Verdict::Panicked),
+            EnumOutcome::Completed { .. } | EnumOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_json_round_trips() {
+        for v in [
+            Verdict::Killed { cycles: 42 },
+            Verdict::Survived,
+            Verdict::StateExplosion,
+            Verdict::Timeout,
+            Verdict::Panicked,
+        ] {
+            let s = serde_json::to_string(&v).unwrap();
+            let back: Verdict = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, v, "{s}");
+        }
+    }
+
+    #[test]
+    fn enum_outcome_json_round_trips() {
+        for o in [
+            EnumOutcome::Completed { states: 10, edges: 20 },
+            EnumOutcome::Exploded { states: 9000 },
+            EnumOutcome::Timeout,
+            EnumOutcome::Panicked,
+            EnumOutcome::Failed { error: "division by zero".into() },
+        ] {
+            let s = serde_json::to_string(&o).unwrap();
+            let back: EnumOutcome = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, o, "{s}");
+        }
+    }
+
+    #[test]
+    fn scoring_matrix() {
+        assert!(Verdict::Killed { cycles: 1 }.scores());
+        assert!(Verdict::Survived.scores());
+        assert!(!Verdict::StateExplosion.scores());
+        assert!(!Verdict::Timeout.scores());
+        assert!(!Verdict::Panicked.scores());
+    }
+
+    #[test]
+    fn blanket_verdicts() {
+        assert_eq!(EnumOutcome::Timeout.blanket_verdict(), Some(Verdict::Timeout));
+        assert_eq!(
+            EnumOutcome::Exploded { states: 5 }.blanket_verdict(),
+            Some(Verdict::StateExplosion)
+        );
+        assert_eq!(EnumOutcome::Panicked.blanket_verdict(), Some(Verdict::Panicked));
+        assert_eq!(EnumOutcome::Completed { states: 1, edges: 1 }.blanket_verdict(), None);
+        assert_eq!(EnumOutcome::Failed { error: String::new() }.blanket_verdict(), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Campaign-level robustness: a panicking mutant must not take the
+//! campaign down.
+//!
+//! Runs a real multi-mutant campaign whose tail contains all three chaos
+//! mutants — including the engine that panics on its first evaluated
+//! transition — under tight budgets, and checks that every mutant still
+//! receives a typed verdict, the report is written, and the degenerate
+//! mutants land on exactly the verdicts their failure modes demand.
+
+use std::time::Duration;
+
+use archval_fsm::builder::ModelBuilder;
+use archval_fsm::Model;
+use archval_inject::{run_campaign, CampaignConfig, RunBudget, Strategy, SuiteConfig, Verdict};
+
+/// Four 16-valued variables all tracking one 4-valued choice: 5 reachable
+/// states, but a 65 536-state cross product for the explode engine to get
+/// lost in.
+fn wide_model() -> Model {
+    let mut b = ModelBuilder::new("wide");
+    let c = b.choice("c", 4);
+    for i in 0..4 {
+        let v = b.state_var(format!("v{i}"), 16, 0);
+        b.set_next(v, b.choice_expr(c));
+    }
+    b.build().unwrap()
+}
+
+fn chaos_config(checkpoint: Option<std::path::PathBuf>) -> CampaignConfig {
+    CampaignConfig {
+        mutant_limit: 15,
+        include_chaos: true,
+        budget: RunBudget {
+            max_states: 256,
+            max_transitions: 1 << 20,
+            deadline: Duration::from_millis(500),
+            max_cycles: 4_096,
+        },
+        suite: SuiteConfig {
+            fuzz_cycles: 512,
+            random_seqs: 4,
+            random_len: 64,
+            ..Default::default()
+        },
+        // 200 ms per dequeued state vs a 500 ms deadline: the wedge engine
+        // cannot finish even three states in budget.
+        wedge_sleep: Duration::from_millis(200),
+        checkpoint,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn panicking_mutant_is_isolated_and_the_campaign_completes() {
+    let model = wide_model();
+    let checkpoint =
+        std::env::temp_dir().join(format!("archval_inject_chaos_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&checkpoint);
+
+    let report = run_campaign(&model, &chaos_config(Some(checkpoint.clone()))).unwrap();
+
+    // The report was written: one checkpoint line per completed mutant.
+    let lines = std::fs::read_to_string(&checkpoint).unwrap();
+    assert_eq!(lines.lines().count(), report.mutants.len());
+    std::fs::remove_file(&checkpoint).unwrap();
+
+    // Zero campaign aborts: every generated mutant carries a verdict for
+    // every strategy.
+    assert!(report.complete);
+    assert_eq!(report.mutants.len(), 15);
+    for outcome in &report.mutants {
+        assert_eq!(outcome.verdicts.len(), 3, "{}", outcome.label);
+    }
+
+    let by_label = |label: &str| {
+        report
+            .mutants
+            .iter()
+            .find(|o| o.label == label)
+            .unwrap_or_else(|| panic!("campaign lost mutant {label}"))
+    };
+
+    // The panicking engine degrades to Panicked on every strategy…
+    let panicked = by_label("chaos:panic");
+    assert!(panicked.verdicts.iter().all(|v| v.verdict == Verdict::Panicked), "{panicked:?}");
+
+    // …the exploding engine to StateExplosion…
+    let exploded = by_label("chaos:explode");
+    assert!(exploded.verdicts.iter().all(|v| v.verdict == Verdict::StateExplosion), "{exploded:?}");
+
+    // …and the wedged engine to Timeout.
+    let wedged = by_label("chaos:wedge");
+    assert!(wedged.verdicts.iter().all(|v| v.verdict == Verdict::Timeout), "{wedged:?}");
+
+    // The campaign still did its real job around the chaos: genuine
+    // mutants ran to genuine verdicts, and tours killed some of them.
+    let tours = report.kill_rate(Strategy::Tours).unwrap();
+    assert!(tours.killed > 0, "tours killed nothing: {tours:?}");
+    assert!(
+        report
+            .mutants
+            .iter()
+            .filter(|o| o.family != "chaos")
+            .all(|o| o.verdicts.iter().all(|v| v.verdict.scores())),
+        "a genuine mutant degenerated under chaos budgets"
+    );
+}
+
+#[test]
+fn chaos_campaign_is_reproducible_despite_wall_clock_verdicts() {
+    let model = wide_model();
+    let a = run_campaign(&model, &chaos_config(None)).unwrap();
+    let b = run_campaign(&model, &chaos_config(None)).unwrap();
+    // Timeout and StateExplosion verdicts carry no wall-clock payloads, so
+    // even the chaos rows serialize identically across runs.
+    assert_eq!(a.to_json(), b.to_json());
+}
