@@ -54,7 +54,7 @@ fn body() -> Result<(), BenchError> {
     eprintln!("enumerating at {scale:?} with the {engine} engine ...");
     let model = pp_control_model(&scale)?;
     let (program, compile_seconds) = match engine {
-        Engine::Compiled => {
+        Engine::Compiled | Engine::Batched => {
             let t0 = std::time::Instant::now();
             let p = StepProgram::compile(&model);
             (Some(p), t0.elapsed().as_secs_f64())
@@ -65,7 +65,12 @@ fn body() -> Result<(), BenchError> {
         Some(p) => p,
         None => &model,
     };
-    let enumd = enumerate_with(&model, &EnumConfig::default(), factory)?;
+    let lanes = if engine == Engine::Batched { archval::DEFAULT_LANES } else { 1 };
+    let enumd = enumerate_with(
+        &model,
+        &EnumConfig { batch_lanes: lanes, ..EnumConfig::default() },
+        factory,
+    )?;
 
     // the tour run sets the common budget: the cycles a full transition
     // tour costs are what random and fuzzing get to spend too

@@ -23,7 +23,11 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use archval::inject::{run_campaign, CampaignConfig, CampaignReport, RunBudget, Strategy, Verdict};
-use archval_bench::{emit_bench_json, scale_from_args, threads_from_args, BenchError};
+use archval::Engine;
+use archval_bench::{
+    emit_bench_json, engine_from_args, lanes_from_args, scale_from_args, threads_from_args,
+    BenchError,
+};
 use archval_fsm::{enumerate, EnumConfig};
 use archval_pp::pp_control_model;
 
@@ -47,6 +51,9 @@ struct KillRateRow {
 struct InjectBench {
     scale: String,
     threads: usize,
+    engine: String,
+    /// Batch width of each mutant's budgeted re-enumeration (1 = scalar).
+    batch_lanes: usize,
     mutant_count: usize,
     reference_states: u64,
     reference_edges: u64,
@@ -67,6 +74,18 @@ fn main() {
 fn body() -> Result<(), BenchError> {
     let scale = scale_from_args();
     let threads = threads_from_args();
+    let engine = engine_from_args();
+    // each mutant's budgeted re-enumeration sweeps in SoA batches under
+    // `--engine batched`; verdicts and checkpoint bytes are identical
+    let batch_lanes = match engine {
+        Engine::Batched => lanes_from_args(),
+        Engine::Compiled => 1,
+        Engine::Tree => {
+            return Err(BenchError::Invalid(
+                "repro-inject mutates compiled bytecode; use --engine compiled|batched".into(),
+            ))
+        }
+    };
     let started = std::time::Instant::now();
 
     let model = pp_control_model(&scale)?;
@@ -90,6 +109,7 @@ fn body() -> Result<(), BenchError> {
         },
         threads,
         wedge_sleep: Duration::from_secs(2),
+        batch_lanes,
         ..Default::default()
     };
 
@@ -201,6 +221,8 @@ fn body() -> Result<(), BenchError> {
         &InjectBench {
             scale: format!("{scale:?}"),
             threads,
+            engine: engine.to_string(),
+            batch_lanes,
             mutant_count: report.mutants.len(),
             reference_states: report.reference_states,
             reference_edges: report.reference_edges,

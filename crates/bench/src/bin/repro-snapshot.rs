@@ -32,14 +32,19 @@ fn body() -> Result<(), BenchError> {
     eprintln!("enumerating at {scale:?} with the {engine} engine ...");
     let model = pp_control_model(&scale)?;
     let program = match engine {
-        Engine::Compiled => Some(StepProgram::compile(&model)),
+        Engine::Compiled | Engine::Batched => Some(StepProgram::compile(&model)),
         Engine::Tree => None,
     };
     let factory: &dyn EngineFactory = match &program {
         Some(p) => p,
         None => &model,
     };
-    let fresh = enumerate_with(&model, &EnumConfig::default(), factory)?;
+    let lanes = if engine == Engine::Batched { archval::DEFAULT_LANES } else { 1 };
+    let fresh = enumerate_with(
+        &model,
+        &EnumConfig { batch_lanes: lanes, ..EnumConfig::default() },
+        factory,
+    )?;
     let fresh_tours = generate_tours(&fresh.graph, &TourConfig::default());
     let fresh_cov = tour_coverage_run(&fresh, &fresh_tours);
 

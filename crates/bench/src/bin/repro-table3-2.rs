@@ -9,22 +9,27 @@
 //! otherwise the model is enumerated and the result saved there for the
 //! next run.
 //!
-//! `--engine <compiled|tree>` selects the step engine (compiled bytecode
-//! by default; both produce identical graphs). The JSON records the
-//! lowering time and the per-transition cost so before/after comparisons
-//! need no extra tooling.
+//! `--engine <compiled|tree|batched>` selects the step engine (compiled
+//! bytecode by default; all produce identical graphs — `batched` sweeps
+//! choice permutations in SoA lane batches sized by `--lanes <N>`). The
+//! JSON records the lowering time, lane count and the per-transition
+//! cost so before/after comparisons need no extra tooling.
+//!
+//! `--check-tree` re-enumerates with the tree-walking oracle afterwards
+//! and exits non-zero unless the graph dumps are byte-identical — the
+//! CI gate for the batched engine.
 
 use serde::{Deserialize, Serialize};
 
 use archval::Engine;
 use archval_bench::{
-    engine_from_args, header, peak_rss_bytes, row, scale_from_args, snapshot_from_args,
-    threads_from_args, BenchError,
+    check_tree_from_args, engine_from_args, header, lanes_from_args, peak_rss_bytes, row,
+    scale_from_args, snapshot_from_args, threads_from_args, BenchError,
 };
 use archval_exec::StepProgram;
 use archval_fsm::{
-    enumerate_parallel_with, enumerate_with, load_enum_result, save_enum_result, EngineFactory,
-    EnumConfig,
+    dump_enum_result, enumerate_parallel_with, enumerate_with, load_enum_result, save_enum_result,
+    EngineFactory, EnumConfig,
 };
 use archval_pp::pp_control_model;
 
@@ -34,6 +39,9 @@ struct Table32Bench {
     scale: String,
     threads: usize,
     engine: String,
+    /// Batch width the enumerator swept choice permutations with (1 for
+    /// the scalar engines).
+    lanes: usize,
     /// Seconds spent lowering the model to bytecode (zero for `tree`).
     compile_seconds: f64,
     /// Mean cost of one evaluated transition during enumeration.
@@ -61,10 +69,14 @@ fn body() -> Result<(), BenchError> {
     let threads = threads_from_args();
     let snapshot = snapshot_from_args();
     let engine = engine_from_args();
+    let lanes = match engine {
+        Engine::Batched => lanes_from_args(),
+        Engine::Compiled | Engine::Tree => 1,
+    };
     let model = pp_control_model(&scale)?;
 
     let (program, compile_seconds) = match engine {
-        Engine::Compiled => {
+        Engine::Compiled | Engine::Batched => {
             let t0 = std::time::Instant::now();
             let p = StepProgram::compile(&model);
             let secs = t0.elapsed().as_secs_f64();
@@ -82,6 +94,7 @@ fn body() -> Result<(), BenchError> {
         Some(p) => p,
         None => &model,
     };
+    let enum_config = EnumConfig { batch_lanes: lanes, ..EnumConfig::default() };
 
     let mut from_snapshot = false;
     let mut snapshot_load_seconds = None;
@@ -101,7 +114,7 @@ fn body() -> Result<(), BenchError> {
                 "enumerating at {scale:?} with the {engine} engine ... (use `paper` for the \
                  near-paper-scale run)"
             );
-            let r = enumerate_with(&model, &EnumConfig::default(), factory)?;
+            let r = enumerate_with(&model, &enum_config, factory)?;
             if let Some(path) = &snapshot {
                 save_enum_result(path, &model, &r)?;
                 eprintln!("saved snapshot {}", path.display());
@@ -145,7 +158,7 @@ fn body() -> Result<(), BenchError> {
 
     if threads > 1 && !from_snapshot {
         eprintln!("re-enumerating with {threads} worker threads ...");
-        let cfg = EnumConfig { threads, ..EnumConfig::default() };
+        let cfg = EnumConfig { threads, ..enum_config.clone() };
         let p = enumerate_parallel_with(&model, &cfg, factory)?;
         if p.stats.states != r.stats.states || p.stats.edges != r.stats.edges {
             return Err(BenchError::Invalid(format!(
@@ -162,14 +175,25 @@ fn body() -> Result<(), BenchError> {
         );
     }
 
+    if check_tree_from_args() {
+        eprintln!("re-enumerating with the tree-walking oracle for the byte-identity gate ...");
+        let oracle = enumerate_with(&model, &EnumConfig::default(), &model)?;
+        if dump_enum_result(&model, &r) != dump_enum_result(&model, &oracle) {
+            return Err(BenchError::Invalid(format!(
+                "--check-tree: {engine} (lanes {lanes}) graph dump diverged from the tree oracle"
+            )));
+        }
+        println!("check-tree: graph dump byte-identical to the tree-walking oracle");
+    }
+
     let ns_per_transition = if r.stats.transitions_evaluated > 0 {
         r.stats.elapsed.as_secs_f64() * 1e9 / r.stats.transitions_evaluated as f64
     } else {
         0.0
     };
     println!(
-        "engine: {engine} — lowering {compile_seconds:.3} s, {ns_per_transition:.0} ns per \
-         evaluated transition"
+        "engine: {engine} (lanes {lanes}) — lowering {compile_seconds:.3} s, \
+         {ns_per_transition:.0} ns per evaluated transition"
     );
 
     archval_bench::emit_bench_json(
@@ -178,6 +202,7 @@ fn body() -> Result<(), BenchError> {
             scale: format!("{scale:?}"),
             threads,
             engine: engine.to_string(),
+            lanes,
             compile_seconds,
             ns_per_transition,
             states: r.stats.states as u64,

@@ -5,30 +5,44 @@ use std::path::PathBuf;
 use archval::Engine;
 use archval_pp::PpScale;
 
-/// Positional command-line arguments with the `--snapshot`/`--engine`
-/// flags (and their values) removed, so `scale` and `threads` keep their
+/// Positional command-line arguments with the
+/// `--snapshot`/`--engine`/`--lanes` flags (and their values) and the
+/// `--check-tree` switch removed, so `scale` and `threads` keep their
 /// positions whether or not the flags are present.
 fn positional_args() -> Vec<String> {
     let mut out = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--snapshot" || a == "--engine" {
+        if a == "--snapshot" || a == "--engine" || a == "--lanes" {
             // consume the flag's value
             if args.next().is_none() {
                 eprintln!("{a} requires a value argument");
                 std::process::exit(2);
             }
-        } else if !a.starts_with("--snapshot=") && !a.starts_with("--engine=") {
+        } else if a != "--check-tree"
+            && !a.starts_with("--snapshot=")
+            && !a.starts_with("--engine=")
+            && !a.starts_with("--lanes=")
+        {
             out.push(a);
         }
     }
     out
 }
 
-/// Parses the `--engine <compiled|tree>` (or `--engine=<...>`) flag
-/// selecting the step engine, defaulting to [`Engine::Compiled`]. Both
-/// engines produce bit-identical results; `tree` exists as the
-/// differential oracle and for before/after timing comparisons.
+/// Whether `--check-tree` was passed: re-enumerate with the tree-walking
+/// oracle and fail unless the graph dump is byte-identical. The CI
+/// `batched-differential` job runs `repro-table3-2 micro --engine
+/// batched --check-tree` as its end-to-end gate.
+pub fn check_tree_from_args() -> bool {
+    std::env::args().skip(1).any(|a| a == "--check-tree")
+}
+
+/// Parses the `--engine <compiled|tree|batched>` (or `--engine=<...>`)
+/// flag selecting the step engine, defaulting to [`Engine::Compiled`].
+/// All engines produce bit-identical results; `tree` exists as the
+/// differential oracle and for before/after timing comparisons, and
+/// `batched` sweeps choice permutations in SoA lane batches.
 pub fn engine_from_args() -> Engine {
     let mut args = std::env::args().skip(1);
     let parse = |s: &str| {
@@ -40,7 +54,7 @@ pub fn engine_from_args() -> Engine {
     while let Some(a) = args.next() {
         if a == "--engine" {
             return parse(&args.next().unwrap_or_else(|| {
-                eprintln!("--engine requires a value (compiled|tree)");
+                eprintln!("--engine requires a value (compiled|tree|batched)");
                 std::process::exit(2);
             }));
         }
@@ -49,6 +63,32 @@ pub fn engine_from_args() -> Engine {
         }
     }
     Engine::default()
+}
+
+/// Parses the `--lanes <N>` (or `--lanes=<N>`) flag: the batch width for
+/// `--engine batched`, defaulting to [`archval::DEFAULT_LANES`]. Ignored
+/// by the other engines; any width produces identical results.
+pub fn lanes_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    let parse = |s: &str| match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--lanes must be a positive integer");
+            std::process::exit(2);
+        }
+    };
+    while let Some(a) = args.next() {
+        if a == "--lanes" {
+            return parse(&args.next().unwrap_or_else(|| {
+                eprintln!("--lanes requires a value argument");
+                std::process::exit(2);
+            }));
+        }
+        if let Some(n) = a.strip_prefix("--lanes=") {
+            return parse(n);
+        }
+    }
+    archval::DEFAULT_LANES
 }
 
 /// Parses the `--snapshot <path>` (or `--snapshot=<path>`) flag: where to

@@ -28,15 +28,21 @@ pub enum Engine {
     /// The tree-walking expression evaluator — the reference oracle the
     /// compiled engine is differential-tested against.
     Tree,
+    /// The compiled engine with the choice-dependent suffix executed in
+    /// structure-of-arrays batches across whole blocks of choice
+    /// permutations (`archval_exec::batch`) — the fastest engine for
+    /// enumeration-heavy runs.
+    Batched,
 }
 
 impl Engine {
-    /// The CLI-facing name (`"compiled"` / `"tree"`).
+    /// The CLI-facing name (`"compiled"` / `"tree"` / `"batched"`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Engine::Compiled => "compiled",
             Engine::Tree => "tree",
+            Engine::Batched => "batched",
         }
     }
 }
@@ -54,7 +60,10 @@ impl std::str::FromStr for Engine {
         match s {
             "compiled" => Ok(Engine::Compiled),
             "tree" => Ok(Engine::Tree),
-            other => Err(format!("unknown engine '{other}' (expected 'compiled' or 'tree')")),
+            "batched" => Ok(Engine::Batched),
+            other => {
+                Err(format!("unknown engine '{other}' (expected 'compiled', 'tree' or 'batched')"))
+            }
         }
     }
 }
@@ -71,7 +80,13 @@ pub struct ValidationFlow {
     tour_config: TourConfig,
     snapshot: Option<std::path::PathBuf>,
     engine: Engine,
+    lanes: usize,
 }
+
+/// Default lane count for [`Engine::Batched`] — wide enough to amortise
+/// the per-batch broadcast, small enough that lane arrays stay cache
+/// resident for paper-scale register counts.
+pub const DEFAULT_LANES: usize = 256;
 
 impl ValidationFlow {
     /// Parses and translates `top` from annotated Verilog source.
@@ -107,6 +122,7 @@ impl ValidationFlow {
             tour_config: TourConfig::default(),
             snapshot: None,
             engine: Engine::default(),
+            lanes: DEFAULT_LANES,
         }
     }
 
@@ -115,6 +131,14 @@ impl ValidationFlow {
     /// bit-identical either way.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the batch width for [`Engine::Batched`] (default
+    /// [`DEFAULT_LANES`]); ignored by the other engines. Any width
+    /// produces the identical graph — only throughput differs.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
         self
     }
 
@@ -167,15 +191,18 @@ impl ValidationFlow {
     /// misbehaves during evaluation, and [`Error::Snapshot`] if a
     /// configured snapshot file is corrupt, was built for a different
     /// model, or cannot be written.
-    pub fn run(self) -> Result<FlowResult, Error> {
+    pub fn run(mut self) -> Result<FlowResult, Error> {
         let (program, compile_seconds) = match self.engine {
-            Engine::Compiled => {
+            Engine::Compiled | Engine::Batched => {
                 let start = std::time::Instant::now();
                 let program = StepProgram::compile(&self.model);
                 (Some(program), start.elapsed().as_secs_f64())
             }
             Engine::Tree => (None, 0.0),
         };
+        if self.engine == Engine::Batched {
+            self.enum_config.batch_lanes = self.lanes;
+        }
         let factory: &dyn EngineFactory = match &program {
             Some(p) => p,
             None => &self.model,
@@ -391,8 +418,26 @@ endmodule
     fn engine_parses_from_cli_names() {
         assert_eq!("compiled".parse::<Engine>().unwrap(), Engine::Compiled);
         assert_eq!("tree".parse::<Engine>().unwrap(), Engine::Tree);
+        assert_eq!("batched".parse::<Engine>().unwrap(), Engine::Batched);
         assert!("jit".parse::<Engine>().is_err());
         assert_eq!(Engine::Compiled.to_string(), "compiled");
+        assert_eq!(Engine::Batched.to_string(), "batched");
+    }
+
+    #[test]
+    fn batched_flow_matches_compiled_across_lane_counts() {
+        let compiled = ValidationFlow::from_verilog(HANDSHAKE, "handshake").unwrap().run().unwrap();
+        for lanes in [1, 3, 64] {
+            let batched = ValidationFlow::from_verilog(HANDSHAKE, "handshake")
+                .unwrap()
+                .engine(Engine::Batched)
+                .lanes(lanes)
+                .run()
+                .unwrap();
+            assert!(batched.program.is_some());
+            assert_eq!(batched.enumd.graph, compiled.enumd.graph, "lanes={lanes}");
+            assert_eq!(batched.tours.traces(), compiled.tours.traces());
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@
 pub mod flow;
 pub mod report;
 
-pub use flow::{Engine, FlowResult, ValidationFlow};
+pub use flow::{Engine, FlowResult, ValidationFlow, DEFAULT_LANES};
 pub use report::ValidationSummary;
 
 pub use archval_exec as exec;

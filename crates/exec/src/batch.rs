@@ -1,0 +1,393 @@
+//! Batched structure-of-arrays execution of the choice-dependent suffix.
+//!
+//! The enumerator sweeps every choice permutation against one dequeued
+//! state — ~1,920 permutations per state at paper scale — and the scalar
+//! interpreter re-fetches and re-decodes every suffix instruction once
+//! per permutation. A [`BatchProgram`] flips that loop nest: the suffix
+//! is lowered once into a *predicated* form with no control flow, and
+//! each instruction is then executed once per batch with its operation
+//! applied across all lanes (`lane l` = choice permutation `l`), so the
+//! dispatch cost is amortised over the whole batch and the inner loops
+//! are tight, branch-free passes over contiguous lane arrays.
+//!
+//! # Lowering
+//!
+//! The compiler emits strictly structured suffix control flow (see
+//! `lower.rs`): every `JumpIfZero c -> ELSE` guards a then-region whose
+//! last instruction is `Jump END` at `ELSE - 1`, with the else-region
+//! ending at `END`. That shape is parsed here by recursive descent and
+//! replaced with **per-lane predicate masks**: entering a guarded region
+//! derives child predicates `p_then = p & (c != 0)` and
+//! `p_else = p & (c == 0)` from the parent predicate `p`, and every
+//! instruction inside the region writes its destination only in lanes
+//! where its predicate is set. Full predication is exactly equivalent to
+//! per-lane scalar control flow because the emitter's availability
+//! scoping guarantees no permutation reads a register its own path did
+//! not write — values computed in lanes that a region's predicate masks
+//! off are never observed by those lanes.
+//!
+//! `ModChecked` — the only fallible opcode — detects its error
+//! per-lane: a predicate-active lane with a zero divisor is recorded
+//! (earliest lane wins, matching the scalar engine's code-order
+//! semantics) while execution continues harmlessly, so output lanes
+//! before the failing one still hold exact successors. Inactive lanes
+//! may carry garbage divisors, so the actual division substitutes 1 for
+//! zero divisors — the quotient in such lanes is never observed.
+//!
+//! # Register layout
+//!
+//! Lane storage is allocated only for registers the suffix touches,
+//! remapped to compact slots. Slots whose first access is a *read* are
+//! suffix live-ins (constants and prefix results); their scalar values
+//! are broadcast into the lane arrays once per dequeued state by
+//! [`CompiledEngine`](crate::engine::CompiledEngine) — not recomputed or
+//! recopied per lane batch. Predicates occupy slots in the same arena.
+//!
+//! A program whose suffix does not parse as structured regions (a
+//! corrupted instruction stream — the mutation operators in
+//! [`mutate`](crate::mutate) never touch control flow, so this does not
+//! happen for campaign mutants) yields no `BatchProgram`; the engine
+//! falls back to the scalar per-lane loop instead of panicking.
+
+use archval_fsm::engine::BatchError;
+use archval_fsm::Error;
+
+use crate::program::{Instr, Op, StepProgram};
+
+/// Sentinel slot index: "no predicate" (all lanes active).
+const NO_PRED: u32 = u32::MAX;
+
+/// One predicated lane instruction.
+#[derive(Debug, Clone, Copy)]
+enum BInstr {
+    /// A value/store op applied across all lanes; writes are masked by
+    /// `pred` unless it is [`NO_PRED`]. Operand meaning follows [`Op`],
+    /// with register operands remapped to lane slots (`LoadChoice.a` and
+    /// `Store*.dst` stay raw input/output indices).
+    Val { op: Op, dst: u32, a: u32, b: u32, c: u32, pred: u32 },
+    /// `pred[dst] = parent & ((reg[cond] != 0) ^ invert)` per lane, with
+    /// an absent parent treated as all-active.
+    MkPred { dst: u32, parent: u32, cond: u32, invert: bool },
+}
+
+/// The suffix of a [`StepProgram`] lowered to predicated SoA form.
+#[derive(Debug)]
+pub(crate) struct BatchProgram {
+    instrs: Vec<BInstr>,
+    /// `(scalar register, lane slot)` pairs to broadcast per state:
+    /// every register the suffix reads before writing.
+    broadcast: Vec<(u32, u32)>,
+    /// Total lane arrays (value and predicate slots).
+    n_slots: usize,
+}
+
+/// Recursive-descent lowering state.
+struct Lowerer<'p> {
+    p: &'p StepProgram,
+    /// Scalar register -> lane slot (`u32::MAX` = not yet touched).
+    reg_slot: Vec<u32>,
+    broadcast: Vec<(u32, u32)>,
+    instrs: Vec<BInstr>,
+    n_slots: u32,
+}
+
+impl Lowerer<'_> {
+    fn alloc(&mut self) -> u32 {
+        let s = self.n_slots;
+        self.n_slots += 1;
+        s
+    }
+
+    /// Slot for a register the current instruction *reads*: first touch
+    /// means the value flows in from the scalar file (broadcast).
+    fn slot_read(&mut self, r: u32) -> u32 {
+        let s = self.reg_slot[r as usize];
+        if s != u32::MAX {
+            return s;
+        }
+        let s = self.alloc();
+        self.reg_slot[r as usize] = s;
+        self.broadcast.push((r, s));
+        s
+    }
+
+    /// Slot for a register the current instruction *writes*: first touch
+    /// needs no broadcast.
+    fn slot_write(&mut self, r: u32) -> u32 {
+        let s = self.reg_slot[r as usize];
+        if s != u32::MAX {
+            return s;
+        }
+        let s = self.alloc();
+        self.reg_slot[r as usize] = s;
+        s
+    }
+
+    /// Lowers instructions `[pc, end)` under predicate `pred`. `None`
+    /// means the stream is not the structured shape the emitter
+    /// produces.
+    fn region(&mut self, mut pc: usize, end: usize, pred: u32) -> Option<()> {
+        while pc < end {
+            let i = self.p.instrs[pc];
+            match i.op {
+                // a bare Jump only appears as a region terminator, which
+                // the JumpIfZero arm below consumes
+                Op::Jump => return None,
+                Op::JumpIfZero => {
+                    let else_start = i.b as usize;
+                    if else_start <= pc + 1 || else_start > end {
+                        return None;
+                    }
+                    let jump = self.p.instrs[else_start - 1];
+                    if jump.op != Op::Jump {
+                        return None;
+                    }
+                    let region_end = jump.a as usize;
+                    if region_end < else_start || region_end > end {
+                        return None;
+                    }
+                    let cond = self.slot_read(i.a);
+                    let p_then = self.alloc();
+                    let p_else = self.alloc();
+                    self.instrs.push(BInstr::MkPred {
+                        dst: p_then,
+                        parent: pred,
+                        cond,
+                        invert: false,
+                    });
+                    self.instrs.push(BInstr::MkPred {
+                        dst: p_else,
+                        parent: pred,
+                        cond,
+                        invert: true,
+                    });
+                    self.region(pc + 1, else_start - 1, p_then)?;
+                    self.region(else_start, region_end, p_else)?;
+                    pc = region_end;
+                }
+                _ => {
+                    self.value(i, pred)?;
+                    pc += 1;
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Lowers one straight-line instruction under `pred`.
+    fn value(&mut self, i: Instr, pred: u32) -> Option<()> {
+        let (dst, a, b, c) = match i.op {
+            // the suffix runs with no state slice; a LoadVar here would
+            // make the scalar interpreter panic, so refuse to vectorise
+            Op::LoadVar | Op::Jump | Op::JumpIfZero => return None,
+            Op::LoadChoice => (self.slot_write(i.dst), i.a, 0, 0),
+            Op::Move | Op::Not | Op::BitNot => {
+                let a = self.slot_read(i.a);
+                (self.slot_write(i.dst), a, 0, 0)
+            }
+            Op::CondMove => {
+                let (a, b, c) = (self.slot_read(i.a), self.slot_read(i.b), self.slot_read(i.c));
+                (self.slot_write(i.dst), a, b, c)
+            }
+            Op::StoreMask | Op::StoreMod => (i.dst, self.slot_read(i.a), 0, 0),
+            // every remaining op is a binary read-a-read-b-write-dst
+            _ => {
+                let (a, b) = (self.slot_read(i.a), self.slot_read(i.b));
+                (self.slot_write(i.dst), a, b, 0)
+            }
+        };
+        self.instrs.push(BInstr::Val { op: i.op, dst, a, b, c, pred });
+        Some(())
+    }
+}
+
+impl BatchProgram {
+    /// Lowers `program`'s suffix, or `None` when its control flow is not
+    /// the structured shape full predication requires.
+    pub(crate) fn build(program: &StepProgram) -> Option<BatchProgram> {
+        let mut lw = Lowerer {
+            p: program,
+            reg_slot: vec![u32::MAX; program.register_count()],
+            broadcast: Vec::new(),
+            instrs: Vec::new(),
+            n_slots: 0,
+        };
+        lw.region(program.prefix_len, program.instrs.len(), NO_PRED)?;
+        Some(BatchProgram {
+            instrs: lw.instrs,
+            broadcast: lw.broadcast,
+            // at least one slot so unused operand index 0 stays in bounds
+            n_slots: (lw.n_slots as usize).max(1),
+        })
+    }
+
+    /// Lane-array words needed for `lanes` lanes.
+    pub(crate) fn buf_len(&self, lanes: usize) -> usize {
+        self.n_slots * lanes
+    }
+
+    /// Copies the suffix's scalar live-ins (constants and prefix
+    /// results) from `regs` into every lane of `buf` — the once-per-state
+    /// transpose.
+    pub(crate) fn broadcast(&self, regs: &[u64], lanes: usize, buf: &mut [u64]) {
+        for &(reg, slot) in &self.broadcast {
+            let base = slot as usize * lanes;
+            buf[base..base + lanes].fill(regs[reg as usize]);
+        }
+    }
+
+    /// Executes the predicated suffix over `lanes` lanes.
+    ///
+    /// `choices` and `out` are SoA (`input index * lanes + lane`); `buf`
+    /// must hold [`buf_len`](BatchProgram::buf_len) words with the
+    /// broadcast slots already filled for the current state.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError`] naming the earliest lane whose scalar evaluation
+    /// would fail with `DivisionByZero`; lanes before it are exact.
+    pub(crate) fn exec(
+        &self,
+        p: &StepProgram,
+        lanes: usize,
+        buf: &mut [u64],
+        choices: &[u64],
+        out: &mut [u64],
+    ) -> Result<(), BatchError> {
+        debug_assert!(buf.len() >= self.n_slots * lanes);
+        let mut first_fail = usize::MAX;
+        for instr in &self.instrs {
+            match *instr {
+                BInstr::MkPred { dst, parent, cond, invert } => {
+                    let (db, cb) = (dst as usize * lanes, cond as usize * lanes);
+                    if parent == NO_PRED {
+                        for l in 0..lanes {
+                            buf[db + l] = u64::from((buf[cb + l] != 0) ^ invert);
+                        }
+                    } else {
+                        let pb = parent as usize * lanes;
+                        for l in 0..lanes {
+                            buf[db + l] = buf[pb + l] & u64::from((buf[cb + l] != 0) ^ invert);
+                        }
+                    }
+                }
+                BInstr::Val { op, dst, a, b, c, pred } => {
+                    let (db, ab, bb, cb) = (
+                        dst as usize * lanes,
+                        a as usize * lanes,
+                        b as usize * lanes,
+                        c as usize * lanes,
+                    );
+                    let pb = if pred == NO_PRED { usize::MAX } else { pred as usize * lanes };
+                    // masked select keeping the old value in masked-off
+                    // lanes — predicates are 0/1 so the mask is all-ones
+                    // or all-zeros
+                    macro_rules! lanes_store {
+                        (|$l:ident| $val:expr) => {
+                            if pb == usize::MAX {
+                                for $l in 0..lanes {
+                                    buf[db + $l] = $val;
+                                }
+                            } else {
+                                for $l in 0..lanes {
+                                    let m = (buf[pb + $l] & 1).wrapping_neg();
+                                    buf[db + $l] = ($val & m) | (buf[db + $l] & !m);
+                                }
+                            }
+                        };
+                    }
+                    match op {
+                        Op::LoadChoice => {
+                            let src = a as usize * lanes;
+                            lanes_store!(|l| choices[src + l]);
+                        }
+                        Op::Move => lanes_store!(|l| buf[ab + l]),
+                        Op::Not => lanes_store!(|l| u64::from(buf[ab + l] == 0)),
+                        Op::BitNot => lanes_store!(|l| !buf[ab + l]),
+                        Op::And => {
+                            lanes_store!(|l| u64::from(buf[ab + l] != 0 && buf[bb + l] != 0));
+                        }
+                        Op::Or => {
+                            lanes_store!(|l| u64::from(buf[ab + l] != 0 || buf[bb + l] != 0));
+                        }
+                        Op::BitAnd => lanes_store!(|l| buf[ab + l] & buf[bb + l]),
+                        Op::BitOr => lanes_store!(|l| buf[ab + l] | buf[bb + l]),
+                        Op::BitXor => lanes_store!(|l| buf[ab + l] ^ buf[bb + l]),
+                        Op::Add => lanes_store!(|l| buf[ab + l].wrapping_add(buf[bb + l])),
+                        Op::Sub => lanes_store!(|l| buf[ab + l].wrapping_sub(buf[bb + l])),
+                        Op::Mul => lanes_store!(|l| buf[ab + l].wrapping_mul(buf[bb + l])),
+                        // a masked-off lane may hold a garbage zero
+                        // divisor; substitute 1 so the (unobserved)
+                        // quotient computes instead of trapping
+                        Op::ModUnchecked => {
+                            lanes_store!(|l| {
+                                let d = buf[bb + l];
+                                buf[ab + l] % (d | u64::from(d == 0))
+                            });
+                        }
+                        Op::ModChecked => {
+                            for l in 0..lanes {
+                                let active = pb == usize::MAX || buf[pb + l] != 0;
+                                if active && buf[bb + l] == 0 && l < first_fail {
+                                    first_fail = l;
+                                }
+                            }
+                            lanes_store!(|l| {
+                                let d = buf[bb + l];
+                                buf[ab + l] % (d | u64::from(d == 0))
+                            });
+                        }
+                        Op::Eq => lanes_store!(|l| u64::from(buf[ab + l] == buf[bb + l])),
+                        Op::Ne => lanes_store!(|l| u64::from(buf[ab + l] != buf[bb + l])),
+                        Op::Lt => lanes_store!(|l| u64::from(buf[ab + l] < buf[bb + l])),
+                        Op::Le => lanes_store!(|l| u64::from(buf[ab + l] <= buf[bb + l])),
+                        Op::Gt => lanes_store!(|l| u64::from(buf[ab + l] > buf[bb + l])),
+                        Op::Ge => lanes_store!(|l| u64::from(buf[ab + l] >= buf[bb + l])),
+                        Op::Shl => lanes_store!(|l| buf[ab + l] << buf[bb + l].min(63)),
+                        Op::Shr => lanes_store!(|l| buf[ab + l] >> buf[bb + l].min(63)),
+                        Op::CondMove => {
+                            lanes_store!(|l| if buf[ab + l] != 0 {
+                                buf[bb + l]
+                            } else {
+                                buf[cb + l]
+                            });
+                        }
+                        Op::StoreMask => {
+                            let (ob, mask) = (db, p.var_masks[dst as usize]);
+                            if pb == usize::MAX {
+                                for l in 0..lanes {
+                                    out[ob + l] = buf[ab + l] & mask;
+                                }
+                            } else {
+                                for l in 0..lanes {
+                                    let m = (buf[pb + l] & 1).wrapping_neg();
+                                    out[ob + l] = ((buf[ab + l] & mask) & m) | (out[ob + l] & !m);
+                                }
+                            }
+                        }
+                        Op::StoreMod => {
+                            let (ob, size) = (db, p.var_sizes[dst as usize]);
+                            if pb == usize::MAX {
+                                for l in 0..lanes {
+                                    out[ob + l] = buf[ab + l] % size;
+                                }
+                            } else {
+                                for l in 0..lanes {
+                                    let m = (buf[pb + l] & 1).wrapping_neg();
+                                    out[ob + l] = ((buf[ab + l] % size) & m) | (out[ob + l] & !m);
+                                }
+                            }
+                        }
+                        Op::LoadVar | Op::Jump | Op::JumpIfZero => {
+                            unreachable!("rejected during batch lowering")
+                        }
+                    }
+                }
+            }
+        }
+        if first_fail != usize::MAX {
+            return Err(BatchError { lane: first_fail, error: Error::DivisionByZero });
+        }
+        Ok(())
+    }
+}

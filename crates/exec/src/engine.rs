@@ -1,31 +1,75 @@
 //! The register-machine interpreter executing a [`StepProgram`].
 
-use archval_fsm::engine::{EngineFactory, StepEngine};
+use archval_fsm::engine::{BatchError, EngineFactory, StepEngine};
 use archval_fsm::Error;
 
+use crate::batch::BatchProgram;
 use crate::program::{Op, StepProgram};
+
+/// The lazily built batched-execution state of a [`CompiledEngine`].
+#[derive(Debug)]
+struct BatchPlan {
+    /// The predicated SoA suffix, or `None` when the program's control
+    /// flow is unstructured and batches fall back to the scalar loop.
+    program: Option<BatchProgram>,
+    /// Lane arrays (values and predicates), slot-major.
+    buf: Vec<u64>,
+    /// Lane count the broadcast slots in `buf` are valid for.
+    lanes: usize,
+    /// Whether the broadcast slots hold the *current* state's prefix
+    /// results (invalidated by `begin_state`).
+    fresh: bool,
+}
 
 /// A [`StepEngine`] executing a compiled [`StepProgram`].
 ///
 /// The engine owns only the mutable register file; the program is shared,
 /// so spawning one engine per worker thread is cheap and workers never
 /// contend. `begin_state` runs the state-only prefix once per dequeued
-/// state; `step_choices` runs the choice-dependent suffix per permutation.
+/// state; `step_choices` runs the choice-dependent suffix per permutation
+/// and `step_batch` runs it once across a whole batch of permutations in
+/// structure-of-arrays form (see [`crate::batch`]).
 #[derive(Debug)]
 pub struct CompiledEngine<'p> {
     program: &'p StepProgram,
     regs: Vec<u64>,
+    prefix_evals: u64,
+    batch: Option<BatchPlan>,
 }
 
 impl<'p> CompiledEngine<'p> {
     /// Creates an engine over `program` with a fresh register file.
     pub fn new(program: &'p StepProgram) -> Self {
-        CompiledEngine { program, regs: program.init_regs.clone() }
+        CompiledEngine { program, regs: program.init_regs.clone(), prefix_evals: 0, batch: None }
     }
 
     /// The program this engine executes.
     pub fn program(&self) -> &'p StepProgram {
         self.program
+    }
+
+    /// How many times the state-only prefix has been evaluated — exactly
+    /// once per `begin_state`, regardless of how many scalar or batched
+    /// suffix sweeps follow (the batched-execution regression guard).
+    pub fn prefix_evals(&self) -> u64 {
+        self.prefix_evals
+    }
+
+    /// Whether [`step_batch`](StepEngine::step_batch) runs the SoA
+    /// interpreter for this program (`false` means the suffix control
+    /// flow is unstructured and batches fall back to the scalar loop).
+    /// Builds the batch plan as a side effect.
+    pub fn batch_is_vectorised(&mut self) -> bool {
+        self.plan().program.is_some()
+    }
+
+    fn plan(&mut self) -> &mut BatchPlan {
+        self.batch.get_or_insert_with(|| BatchPlan {
+            program: BatchProgram::build(self.program),
+            buf: Vec::new(),
+            lanes: 0,
+            fresh: false,
+        })
     }
 
     fn exec(
@@ -97,6 +141,10 @@ impl<'p> CompiledEngine<'p> {
 impl StepEngine for CompiledEngine<'_> {
     fn begin_state(&mut self, state: &[u64]) -> Result<(), Error> {
         debug_assert_eq!(state.len(), self.program.var_sizes.len(), "state width mismatch");
+        self.prefix_evals += 1;
+        if let Some(plan) = &mut self.batch {
+            plan.fresh = false;
+        }
         // the prefix is branch-free and infallible by construction
         self.exec(0, self.program.prefix_len, state, &[], &mut [])
     }
@@ -106,6 +154,60 @@ impl StepEngine for CompiledEngine<'_> {
         debug_assert_eq!(out.len(), self.program.var_sizes.len(), "output width mismatch");
         let end = self.program.instrs.len();
         self.exec(self.program.prefix_len, end, &[], choices, out)
+    }
+
+    fn step_batch(
+        &mut self,
+        lanes: usize,
+        choices: &[u64],
+        out: &mut [u64],
+    ) -> Result<(), BatchError> {
+        if lanes == 0 {
+            return Ok(());
+        }
+        debug_assert_eq!(choices.len(), self.program.n_choices * lanes);
+        debug_assert_eq!(out.len(), self.program.var_sizes.len() * lanes);
+        if self.plan().program.is_none() {
+            // unstructured suffix: scalar per-lane fallback, never a panic
+            return self.step_batch_scalar(lanes, choices, out);
+        }
+        let prog = self.program;
+        let regs = &self.regs;
+        let plan = self.batch.as_mut().expect("plan built above");
+        let bp = plan.program.as_ref().expect("vectorised checked above");
+        if !plan.fresh || plan.lanes != lanes {
+            plan.buf.resize(bp.buf_len(lanes), 0);
+            bp.broadcast(regs, lanes, &mut plan.buf);
+            plan.lanes = lanes;
+            plan.fresh = true;
+        }
+        bp.exec(prog, lanes, &mut plan.buf, choices, out)
+    }
+}
+
+impl CompiledEngine<'_> {
+    /// The default trait body, reachable from `step_batch` after the
+    /// plan borrow ends.
+    fn step_batch_scalar(
+        &mut self,
+        lanes: usize,
+        choices: &[u64],
+        out: &mut [u64],
+    ) -> Result<(), BatchError> {
+        let n_choices = self.program.n_choices;
+        let n_vars = self.program.var_sizes.len();
+        let mut ch = vec![0u64; n_choices];
+        let mut vals = vec![0u64; n_vars];
+        for l in 0..lanes {
+            for (c, slot) in ch.iter_mut().enumerate() {
+                *slot = choices[c * lanes + l];
+            }
+            self.step_choices(&ch, &mut vals).map_err(|error| BatchError { lane: l, error })?;
+            for (v, &val) in vals.iter().enumerate() {
+                out[v * lanes + l] = val;
+            }
+        }
+        Ok(())
     }
 }
 

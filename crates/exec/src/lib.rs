@@ -51,6 +51,7 @@
 //! # Ok::<(), archval_fsm::Error>(())
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod lower;
 pub mod mutate;

@@ -1,0 +1,429 @@
+//! Lane-equivalence differential suite for the batched SoA suffix
+//! executor (`archval_exec::batch`): for every model, state and block of
+//! choice permutations, `step_batch` must agree value-for-value with the
+//! scalar `step_choices` path and the tree walker — including which lane
+//! raises `DivisionByZero` first and what every earlier lane produced —
+//! and whole enumerations must dump byte-identically for any lane count.
+//!
+//! The suite also pins the two batching regressions named by the design:
+//! the state-only prefix is evaluated exactly once per dequeued state no
+//! matter how many batches sweep it (`prefix_evals`), and structurally
+//! valid bytecode mutants never panic the SoA interpreter in any lane.
+
+use archval_exec::{apply_program_mutation, program_mutation_sites, CompiledEngine, StepProgram};
+use archval_fsm::builder::ModelBuilder;
+use archval_fsm::engine::{BatchError, StepEngine};
+use archval_fsm::enumerate::{enumerate, enumerate_with, EnumConfig};
+use archval_fsm::eval::Evaluator;
+use archval_fsm::expr::BinaryOp;
+use archval_fsm::{dump_enum_result, Error, ExprId, Model};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BINOPS: [BinaryOp; 17] = [
+    BinaryOp::And,
+    BinaryOp::Or,
+    BinaryOp::BitAnd,
+    BinaryOp::BitOr,
+    BinaryOp::BitXor,
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Mod,
+    BinaryOp::Eq,
+    BinaryOp::Ne,
+    BinaryOp::Lt,
+    BinaryOp::Le,
+    BinaryOp::Gt,
+    BinaryOp::Ge,
+    BinaryOp::Shl,
+    BinaryOp::Shr,
+];
+
+/// Builds a random small model from `seed` — same generator family as
+/// `tests/differential.rs`: every operator, fallible `Mod` divisors,
+/// guarded `Ternary`/`Select` nests and shared definitions, but biased
+/// to always have at least one choice so a suffix exists to batch.
+fn random_model(seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ModelBuilder::new("random");
+
+    let n_choices = rng.gen_range(1..=3usize);
+    let choices: Vec<_> =
+        (0..n_choices).map(|i| b.choice(format!("c{i}"), rng.gen_range(2..=4u64))).collect();
+    let n_vars = rng.gen_range(1..=4usize);
+    let vars: Vec<_> = (0..n_vars)
+        .map(|i| {
+            let size = rng.gen_range(2..=9u64);
+            let init = rng.gen_range(0..size);
+            b.state_var(format!("v{i}"), size, init)
+        })
+        .collect();
+
+    let mut pool: Vec<ExprId> = Vec::new();
+    for k in [0u64, 1, 2, 3, 7, u64::MAX] {
+        pool.push(b.constant(k));
+    }
+    for &v in &vars {
+        pool.push(b.var_expr(v));
+    }
+    for &c in &choices {
+        pool.push(b.choice_expr(c));
+    }
+
+    let n_nodes = rng.gen_range(5..=30usize);
+    for i in 0..n_nodes {
+        let pick = |rng: &mut StdRng, pool: &Vec<ExprId>| pool[rng.gen_range(0..pool.len())];
+        let node = match rng.gen_range(0..10u32) {
+            0 => b.not(pick(&mut rng, &pool)),
+            1 => b.bit_not(pick(&mut rng, &pool)),
+            2..=5 => {
+                let op = BINOPS[rng.gen_range(0..BINOPS.len())];
+                b.binary(op, pick(&mut rng, &pool), pick(&mut rng, &pool))
+            }
+            6 | 7 => b.ternary(pick(&mut rng, &pool), pick(&mut rng, &pool), pick(&mut rng, &pool)),
+            8 => {
+                let arms = (0..rng.gen_range(1..=3usize))
+                    .map(|_| (pick(&mut rng, &pool), pick(&mut rng, &pool)))
+                    .collect();
+                b.select(arms, pick(&mut rng, &pool))
+            }
+            _ => {
+                let d = b.def(format!("d{i}"), pick(&mut rng, &pool));
+                b.def_expr(d)
+            }
+        };
+        pool.push(node);
+    }
+
+    for &v in &vars {
+        let next = pool[rng.gen_range(0..pool.len())];
+        b.set_next(v, next);
+    }
+    b.build().expect("random model must build")
+}
+
+/// One random in-domain state for `model`.
+fn random_state(model: &Model, rng: &mut StdRng) -> Vec<u64> {
+    model.vars().iter().map(|v| rng.gen_range(0..v.size)).collect()
+}
+
+/// Runs the scalar suffix over `lanes` consecutive choice codes starting
+/// at `code0` and returns, per lane, what `step_choices` produced —
+/// truncated at (and including) the first failing lane. The reference
+/// the batched path must reproduce exactly.
+fn scalar_reference(
+    engine: &mut dyn StepEngine,
+    model: &Model,
+    code0: u64,
+    lanes: usize,
+) -> (Vec<Vec<u64>>, Option<(usize, Error)>) {
+    let n_vars = model.vars().len();
+    let mut outs = Vec::new();
+    let mut out = vec![0u64; n_vars];
+    for l in 0..lanes {
+        let choices = model.decode_choices(code0 + l as u64);
+        match engine.step_choices(&choices, &mut out) {
+            Ok(()) => outs.push(out.clone()),
+            Err(e) => return (outs, Some((l, e))),
+        }
+    }
+    (outs, None)
+}
+
+/// Fills the SoA choice block for `lanes` codes starting at `code0`.
+fn soa_choices(model: &Model, code0: u64, lanes: usize) -> Vec<u64> {
+    let n_choices = model.choices().len();
+    let mut block = vec![0u64; n_choices * lanes];
+    for l in 0..lanes {
+        for (c, &v) in model.decode_choices(code0 + l as u64).iter().enumerate() {
+            block[c * lanes + l] = v;
+        }
+    }
+    block
+}
+
+/// Asserts one batched sweep against its scalar reference: same failing
+/// lane (or none), same error, and value-identical lanes up to it.
+#[allow(clippy::too_many_arguments)]
+fn assert_batch_matches(
+    batched: &mut CompiledEngine,
+    model: &Model,
+    state: &[u64],
+    code0: u64,
+    lanes: usize,
+    scalar_outs: &[Vec<u64>],
+    scalar_err: &Option<(usize, Error)>,
+    ctx: &str,
+) {
+    let n_vars = model.vars().len();
+    let choices = soa_choices(model, code0, lanes);
+    let mut out = vec![0u64; n_vars * lanes];
+    batched.begin_state(state).expect("prefix is infallible");
+    let got = batched.step_batch(lanes, &choices, &mut out);
+    match scalar_err {
+        None => assert_eq!(got, Ok(()), "{ctx}: scalar sweep succeeded"),
+        Some((lane, error)) => assert_eq!(
+            got,
+            Err(BatchError { lane: *lane, error: error.clone() }),
+            "{ctx}: scalar failed at lane {lane}"
+        ),
+    }
+    for (l, want) in scalar_outs.iter().enumerate() {
+        for v in 0..n_vars {
+            assert_eq!(
+                out[v * lanes + l],
+                want[v],
+                "{ctx}: lane {l} var {v} diverged (of {lanes} lanes)"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Tree, compiled-scalar and batched agree value-for-value on random
+    /// states and choice blocks — `DivisionByZero` lanes included: the
+    /// batched error carries the first scalar-failing lane index, and
+    /// every earlier lane's outputs are bit-identical.
+    #[test]
+    fn batched_suffix_matches_scalar_and_tree(seed in proptest::any::<u64>()) {
+        let model = random_model(seed);
+        let program = StepProgram::compile(&model);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C_4ED5);
+        let mut tree = Evaluator::new(&model);
+        let mut scalar = CompiledEngine::new(&program);
+        let mut batched = CompiledEngine::new(&program);
+        let combos = model.choice_combinations();
+        let n_vars = model.vars().len();
+        let mut tree_out = vec![0u64; n_vars];
+        for _case in 0..8 {
+            let state = random_state(&model, &mut rng);
+            let widths: Vec<usize> =
+                [1usize, 2, 3, 7, 16].iter().copied().filter(|&n| n as u64 <= combos).collect();
+            let lanes = widths[rng.gen_range(0..widths.len())];
+            let code0 = rng.gen_range(0..=combos - lanes as u64);
+
+            scalar.begin_state(&state).expect("prefix is infallible");
+            let (scalar_outs, scalar_err) =
+                scalar_reference(&mut scalar, &model, code0, lanes);
+
+            // the scalar engine itself must match the tree walker lane
+            // by lane (anchoring the chain to the oracle)
+            for (l, want) in scalar_outs.iter().enumerate() {
+                let ch = model.decode_choices(code0 + l as u64);
+                tree.next_state(&state, &ch, &mut tree_out)
+                    .expect("scalar succeeded on this lane");
+                prop_assert_eq!(&tree_out, want, "tree vs scalar, lane {}", l);
+            }
+            if let Some((l, e)) = &scalar_err {
+                let ch = model.decode_choices(code0 + *l as u64);
+                let t = tree.next_state(&state, &ch, &mut tree_out).unwrap_err();
+                prop_assert_eq!(&t, e, "tree vs scalar error, lane {}", l);
+            }
+
+            assert_batch_matches(
+                &mut batched, &model, &state, code0, lanes,
+                &scalar_outs, &scalar_err,
+                &format!("seed {seed} code0 {code0}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whole enumerations dump byte-identically to the tree walker for
+    /// any batch width, `DivisionByZero`-failing models included (the
+    /// typed error must match too).
+    #[test]
+    fn batched_enumeration_is_byte_identical(seed in proptest::any::<u64>()) {
+        let model = random_model(seed);
+        let program = StepProgram::compile(&model);
+        let config = EnumConfig { state_limit: 50_000, ..EnumConfig::default() };
+        let tree = enumerate(&model, &config);
+        for lanes in [2usize, 5, 64] {
+            let cfg = EnumConfig { batch_lanes: lanes, ..config.clone() };
+            let batched = enumerate_with(&model, &cfg, &program);
+            match (&tree, &batched) {
+                (Ok(t), Ok(c)) => prop_assert_eq!(
+                    dump_enum_result(&model, t),
+                    dump_enum_result(&model, c),
+                    "dump mismatch for seed {} lanes {}", seed, lanes
+                ),
+                (t, c) => prop_assert_eq!(
+                    t.as_ref().err(), c.as_ref().err(),
+                    "error disagreement for seed {} lanes {}", seed, lanes
+                ),
+            }
+        }
+    }
+
+    /// Satellite 2: every structurally valid bytecode mutant executes
+    /// under the batched engine without panicking in any lane, and its
+    /// batched results equal its own scalar results (the mutant is its
+    /// own oracle — both paths run the same wrong program).
+    #[test]
+    fn mutants_never_panic_and_stay_lane_equivalent(seed in proptest::any::<u64>()) {
+        let model = random_model(seed);
+        let program = StepProgram::compile(&model);
+        let sites = program_mutation_sites(&program);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD5_EED5);
+        let combos = model.choice_combinations();
+        for site in sites.iter().take(12) {
+            let mutant = apply_program_mutation(&program, site)
+                .expect("sites enumerated from this very program must apply");
+            mutant.validate().expect("mutants stay structurally valid");
+            let mut scalar = CompiledEngine::new(&mutant);
+            let mut batched = CompiledEngine::new(&mutant);
+            let state = random_state(&model, &mut rng);
+            let lanes = combos.min(16) as usize;
+            scalar.begin_state(&state).expect("mutated prefix stays infallible");
+            let (scalar_outs, scalar_err) =
+                scalar_reference(&mut scalar, &model, 0, lanes);
+            assert_batch_matches(
+                &mut batched, &model, &state, 0, lanes,
+                &scalar_outs, &scalar_err,
+                &format!("seed {seed} mutant {}", site.label()),
+            );
+        }
+    }
+}
+
+/// Satellite 1: the state-only prefix runs exactly once per dequeued
+/// state — batching must not re-evaluate it per lane or per batch, and
+/// the broadcast of prefix results into lane arrays must not disturb the
+/// scalar register file.
+#[test]
+fn prefix_evaluates_once_per_state_across_batches() {
+    let model = random_model(0xFEED_FACE);
+    let program = StepProgram::compile(&model);
+    let mut engine = CompiledEngine::new(&program);
+    assert_eq!(engine.prefix_evals(), 0);
+    let combos = model.choice_combinations();
+    let n_vars = model.vars().len();
+    let mut rng = StdRng::seed_from_u64(7);
+    for states in 1..=4u64 {
+        let state = random_state(&model, &mut rng);
+        engine.begin_state(&state).unwrap();
+        // many batches of varying width against the same state: the
+        // prefix count must stay pinned to the begin_state count
+        for lanes in [1usize, 4, 2, 8] {
+            let lanes = lanes.min(combos as usize);
+            let choices = soa_choices(&model, 0, lanes);
+            let mut out = vec![0u64; n_vars * lanes];
+            let _ = engine.step_batch(lanes, &choices, &mut out);
+        }
+        assert_eq!(
+            engine.prefix_evals(),
+            states,
+            "prefix must run exactly once per dequeued state"
+        );
+    }
+}
+
+/// A hand-built fallible model where specific lanes divide by zero:
+/// checks the earliest failing lane wins and earlier lanes keep exact
+/// values (the division-by-zero half of the headline suite, pinned
+/// deterministically rather than probabilistically).
+#[test]
+fn division_by_zero_reports_first_failing_lane() {
+    let mut b = ModelBuilder::new("lanefail");
+    let c = b.choice("c", 4);
+    let v = b.state_var("x", 8, 5);
+    let cur = b.var_expr(v);
+    let ce = b.choice_expr(c);
+    // x % c: fails exactly on the c == 0 lane
+    b.set_next(v, b.modulo(cur, ce));
+    let model = b.build().unwrap();
+    let program = StepProgram::compile(&model);
+    let mut engine = CompiledEngine::new(&program);
+    engine.begin_state(&[5]).unwrap();
+
+    // lanes carry codes 0..4, i.e. c = 0,1,2,3 — lane 0 fails
+    let choices = soa_choices(&model, 0, 4);
+    let mut out = vec![0u64; 4];
+    let err = engine.step_batch(4, &choices, &mut out).unwrap_err();
+    assert_eq!(err, BatchError { lane: 0, error: Error::DivisionByZero });
+
+    // re-order so the failure sits mid-batch: codes 2,3,0,1 → lane 2
+    let mut block = vec![0u64; 4];
+    for (l, code) in [2u64, 3, 0, 1].iter().enumerate() {
+        block[l] = *code;
+    }
+    engine.begin_state(&[5]).unwrap();
+    let err = engine.step_batch(4, &block, &mut out).unwrap_err();
+    assert_eq!(err, BatchError { lane: 2, error: Error::DivisionByZero });
+    // lanes before the failure hold exact values: 5 % 2, 5 % 3
+    assert_eq!(out[0], 1);
+    assert_eq!(out[1], 2);
+}
+
+/// `step_batch` with zero lanes is a no-op, and a lane-count change
+/// mid-state re-broadcasts correctly (the cached lane arrays must not
+/// leak stale widths).
+#[test]
+fn lane_count_changes_mid_state_are_safe() {
+    let model = random_model(0xABCD);
+    let program = StepProgram::compile(&model);
+    let combos = model.choice_combinations();
+    let mut scalar = CompiledEngine::new(&program);
+    let mut batched = CompiledEngine::new(&program);
+    let mut rng = StdRng::seed_from_u64(99);
+    let state = random_state(&model, &mut rng);
+    batched.begin_state(&state).unwrap();
+    let mut out = vec![0u64; 0];
+    assert_eq!(batched.step_batch(0, &[], &mut out), Ok(()));
+    for lanes in [4usize, 1, 7, 2] {
+        let lanes = lanes.min(combos as usize);
+        scalar.begin_state(&state).unwrap();
+        let (scalar_outs, scalar_err) = scalar_reference(&mut scalar, &model, 0, lanes);
+        assert_batch_matches(
+            &mut batched,
+            &model,
+            &state,
+            0,
+            lanes,
+            &scalar_outs,
+            &scalar_err,
+            &format!("width change to {lanes}"),
+        );
+    }
+}
+
+/// The predicate-mask lowering must actually engage: a jump-guarded
+/// `Ternary` (fallible arm demanded lazily) vectorises instead of
+/// falling back to the scalar per-lane loop, and random models
+/// overwhelmingly vectorise too — the differential suites above would
+/// be vacuous if everything fell back.
+#[test]
+fn guarded_regions_lower_to_predicates_not_fallback() {
+    let mut b = ModelBuilder::new("guarded");
+    let c = b.choice("c", 2);
+    let v = b.state_var("x", 8, 1);
+    let cur = b.var_expr(v);
+    let ce = b.choice_expr(c);
+    let risky = b.modulo(cur, ce);
+    let safe = b.add(cur, b.constant(1));
+    let next = b.ternary(ce, risky, safe);
+    b.set_next(v, next);
+    let model = b.build().unwrap();
+    let program = StepProgram::compile(&model);
+    let has_jumps = program.instrs()[program.prefix_len()..]
+        .iter()
+        .any(|i| matches!(i.op, archval_exec::Op::JumpIfZero));
+    assert!(has_jumps, "the guarded arm must lower to a jump-guarded region");
+    let mut engine = CompiledEngine::new(&program);
+    assert!(engine.batch_is_vectorised(), "guarded regions must predicate, not fall back");
+
+    let vectorised = (0..64u64)
+        .filter(|&seed| {
+            let p = StepProgram::compile(&random_model(seed));
+            CompiledEngine::new(&p).batch_is_vectorised()
+        })
+        .count();
+    assert!(vectorised >= 56, "only {vectorised}/64 random models vectorised");
+}

@@ -27,6 +27,34 @@ use crate::error::Error;
 use crate::eval::Evaluator;
 use crate::model::Model;
 
+/// A failure inside a batched step: which lane failed and why.
+///
+/// Lanes are executed in choice-code order, so `lane` is the offset of
+/// the *first* permutation in the batch whose scalar evaluation would
+/// have failed — output lanes before it still hold valid successors,
+/// which is what lets a batched enumerator reproduce the scalar
+/// enumerator's behaviour exactly (intern everything up to the failing
+/// permutation, then surface its error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Offset of the first failing lane within the batch.
+    pub lane: usize,
+    /// The failure the scalar engine would have reported for that lane.
+    pub error: Error,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lane {}: {}", self.lane, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// One clock cycle of a [`Model`], split into a per-state and a
 /// per-choice phase.
 ///
@@ -65,6 +93,48 @@ pub trait StepEngine: std::fmt::Debug {
     fn step(&mut self, state: &[u64], choices: &[u64], out: &mut [u64]) -> Result<(), Error> {
         self.begin_state(state)?;
         self.step_choices(choices, out)
+    }
+
+    /// Evaluates `lanes` choice permutations against the fixed state in
+    /// one call, in structure-of-arrays form: `choices[c * lanes + l]`
+    /// holds choice `c` of lane `l` and the successor of lane `l` is
+    /// written to `out[v * lanes + l]` for every state variable `v`.
+    ///
+    /// Lane `l` must produce exactly the values (and exactly the error)
+    /// that [`step_choices`](StepEngine::step_choices) produces for the
+    /// same permutation — the default implementation *is* that scalar
+    /// loop, so engines without a vectorised path (the tree walker, the
+    /// chaos engines) stay correct unchanged. The compiled engine in
+    /// `archval-exec` overrides this with an SoA interpreter that
+    /// executes each suffix instruction once across all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BatchError`] naming the first failing lane in
+    /// choice-code order; output lanes before it are still valid.
+    fn step_batch(
+        &mut self,
+        lanes: usize,
+        choices: &[u64],
+        out: &mut [u64],
+    ) -> Result<(), BatchError> {
+        if lanes == 0 {
+            return Ok(());
+        }
+        let n_choices = choices.len() / lanes;
+        let n_vars = out.len() / lanes;
+        let mut ch = vec![0u64; n_choices];
+        let mut vals = vec![0u64; n_vars];
+        for l in 0..lanes {
+            for (c, slot) in ch.iter_mut().enumerate() {
+                *slot = choices[c * lanes + l];
+            }
+            self.step_choices(&ch, &mut vals).map_err(|error| BatchError { lane: l, error })?;
+            for (v, &val) in vals.iter().enumerate() {
+                out[v * lanes + l] = val;
+            }
+        }
+        Ok(())
     }
 }
 

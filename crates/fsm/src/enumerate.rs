@@ -33,6 +33,17 @@ pub struct EnumConfig {
     /// built so far with [`EnumResult::truncated`] set, unlike
     /// `state_limit` which aborts with a hard error. Unbounded by default.
     pub budget: EnumBudget,
+    /// Choice permutations evaluated per [`StepEngine::step_batch`] call
+    /// during the per-state sweep; `0` or `1` (the default) runs the
+    /// scalar [`StepEngine::step_choices`] path unchanged. The result is
+    /// bit-identical for every lane count — graph, state ids, stats, and
+    /// (for the deterministic bounds) budget truncation points — because
+    /// batches are capped so budget checks land on exactly the scalar
+    /// path's transition boundaries.
+    ///
+    /// [`StepEngine::step_batch`]: crate::engine::StepEngine::step_batch
+    /// [`StepEngine::step_choices`]: crate::engine::StepEngine::step_choices
+    pub batch_lanes: usize,
 }
 
 impl Default for EnumConfig {
@@ -43,6 +54,7 @@ impl Default for EnumConfig {
             progress_every: usize::MAX,
             threads: 1,
             budget: EnumBudget::default(),
+            batch_lanes: 1,
         }
     }
 }
@@ -224,6 +236,47 @@ pub fn enumerate_with(
     let budgeted = !config.budget.is_unbounded();
     let mut truncated = None;
 
+    // SoA scratch for the batched sweep (empty on the scalar path)
+    let lanes_max = config.batch_lanes.max(1);
+    let combos: u64 = choice_sizes.iter().product();
+    let (mut batch_choices, mut batch_out) = if lanes_max > 1 {
+        (vec![0u64; n_choices * lanes_max], vec![0u64; n_vars * lanes_max])
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    // The sweep evaluates the identical code sequence 0..combos at every
+    // state, so the lane transposition is done once up front. Budgeted
+    // runs cap batches at budget-check boundaries instead and fill on
+    // the fly (their batch sizes depend on the running transition count).
+    let batch_blocks: Vec<(usize, Vec<u64>)> = if lanes_max > 1 && !budgeted {
+        let mut blocks = Vec::new();
+        let mut code = 0u64;
+        while code < combos {
+            let n = (combos - code).min(lanes_max as u64) as usize;
+            let mut block = vec![0u64; n_choices * n];
+            for l in 0..n {
+                for (c, &v) in choices.iter().enumerate() {
+                    block[c * n + l] = v;
+                }
+                let mut k = 0;
+                while k < n_choices {
+                    choices[k] += 1;
+                    if choices[k] < choice_sizes[k] {
+                        break;
+                    }
+                    choices[k] = 0;
+                    k += 1;
+                }
+            }
+            blocks.push((n, block));
+            code += n as u64;
+        }
+        choices.iter_mut().for_each(|c| *c = 0);
+        blocks
+    } else {
+        Vec::new()
+    };
+
     'search: while (cursor as usize) < table.len() {
         if budgeted {
             truncated = config.budget.check(table.len(), transitions, start);
@@ -248,6 +301,98 @@ pub fn enumerate_with(
         engine.begin_state(&cur_values)?;
         choices.iter_mut().for_each(|c| *c = 0);
         let mut code: u64 = 0;
+        if lanes_max > 1 {
+            // batched sweep: same transitions in the same order, evaluated
+            // `n` lanes at a time through `step_batch`
+            let mut block_ix = 0usize;
+            // consecutive permutations usually land on the same successor
+            // (most choice bits don't affect the next state); remembering
+            // the previous lane's values and id skips the pack + intern
+            // for those lanes with identical results — a repeated value is
+            // never `fresh`, so no state-limit or depth bookkeeping is
+            // skipped with it
+            let mut have_prev = false;
+            let mut prev_dst = 0u32;
+            while code < combos {
+                // the scalar path re-checks the budget at every multiple
+                // of 4096 evaluated transitions; batches are capped at
+                // those boundaries so the checks see identical counts
+                if budgeted && transitions.is_multiple_of(4096) {
+                    truncated = config.budget.check(table.len(), transitions, start);
+                    if truncated.is_some() {
+                        break 'search;
+                    }
+                }
+                let (n, block): (usize, &[u64]) = if budgeted {
+                    let n = ((combos - code).min(lanes_max as u64) as usize)
+                        .min(4096 - (transitions % 4096) as usize);
+                    for l in 0..n {
+                        for (c, &v) in choices.iter().enumerate() {
+                            batch_choices[c * n + l] = v;
+                        }
+                        let mut k = 0;
+                        while k < n_choices {
+                            choices[k] += 1;
+                            if choices[k] < choice_sizes[k] {
+                                break;
+                            }
+                            choices[k] = 0;
+                            k += 1;
+                        }
+                    }
+                    (n, &batch_choices[..n_choices * n])
+                } else {
+                    let (n, block) = &batch_blocks[block_ix];
+                    block_ix += 1;
+                    (*n, block.as_slice())
+                };
+                let step = engine.step_batch(n, block, &mut batch_out[..n_vars * n]);
+                // a failing batch still interns the lanes before the
+                // failing permutation — exactly what the scalar loop
+                // does before surfacing the error
+                let ok_lanes = match &step {
+                    Ok(()) => n,
+                    Err(e) => e.lane,
+                };
+                for l in 0..ok_lanes {
+                    let mut same = have_prev;
+                    for (v, slot) in next_values.iter_mut().enumerate() {
+                        let val = batch_out[v * n + l];
+                        same = same && *slot == val;
+                        *slot = val;
+                    }
+                    transitions += 1;
+                    let (dst, fresh) = if same {
+                        (prev_dst, false)
+                    } else {
+                        table.intern_values(&next_values, &mut scratch)
+                    };
+                    prev_dst = dst;
+                    have_prev = true;
+                    if fresh {
+                        if table.len() > config.state_limit {
+                            return Err(Error::StateLimit { limit: config.state_limit });
+                        }
+                        depth_of.push(src_depth + 1);
+                        max_depth = max_depth.max(src_depth + 1);
+                        if table.len().is_multiple_of(config.progress_every) {
+                            eprintln!(
+                                "enumerate: {} states, {} edges",
+                                table.len(),
+                                builder.edge_count()
+                            );
+                        }
+                    }
+                    builder.add_edge(src, StateId(dst), code + l as u64);
+                }
+                if let Err(e) = step {
+                    return Err(e.error);
+                }
+                code += n as u64;
+            }
+            cursor += 1;
+            continue;
+        }
         loop {
             // re-check the budget a few thousand transitions into a long
             // sweep: a model with many choice inputs (or a wedged mutant

@@ -63,7 +63,7 @@ pub mod stats;
 
 pub use builder::ModelBuilder;
 pub use dump::{dump_enum_result, dump_model};
-pub use engine::{EngineFactory, StepEngine, TreeEngine};
+pub use engine::{BatchError, EngineFactory, StepEngine, TreeEngine};
 pub use enumerate::{enumerate, enumerate_with, EnumBudget, EnumConfig, EnumResult, Truncation};
 pub use error::Error;
 pub use graph::{

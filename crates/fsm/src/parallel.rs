@@ -144,6 +144,8 @@ pub fn enumerate_parallel_with(
     let n_vars = model.vars().len();
     let n_choices = model.choices().len();
     let choice_sizes: Vec<u64> = model.choices().iter().map(|c| c.size).collect();
+    let lanes_max = config.batch_lanes.max(1);
+    let combos: u64 = choice_sizes.iter().product();
 
     let num_shards = (threads * 8).next_power_of_two();
     let shard_mask = (num_shards - 1) as u64;
@@ -210,6 +212,11 @@ pub fn enumerate_parallel_with(
                     let mut packed = vec![0u64; wps];
                     let mut local_transitions = 0u64;
                     let mut flushed_transitions = 0u64;
+                    let (mut batch_choices, mut batch_out) = if lanes_max > 1 {
+                        (vec![0u64; n_choices * lanes_max], vec![0u64; n_vars * lanes_max])
+                    } else {
+                        (Vec::new(), Vec::new())
+                    };
                     loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                         if chunk >= num_chunks || stop.load(Ordering::Relaxed) {
@@ -256,6 +263,71 @@ pub fn enumerate_parallel_with(
                             }
                             choices.iter_mut().for_each(|c| *c = 0);
                             let mut code: u64 = 0;
+                            if lanes_max > 1 {
+                                // batched sweep: workers have no mid-sweep
+                                // budget checks, so batches run full width
+                                while code < combos {
+                                    let n = (combos - code).min(lanes_max as u64) as usize;
+                                    for l in 0..n {
+                                        for (c, &v) in choices.iter().enumerate() {
+                                            batch_choices[c * n + l] = v;
+                                        }
+                                        let mut k = 0;
+                                        while k < n_choices {
+                                            choices[k] += 1;
+                                            if choices[k] < choice_sizes[k] {
+                                                break;
+                                            }
+                                            choices[k] = 0;
+                                            k += 1;
+                                        }
+                                    }
+                                    let step = engine.step_batch(
+                                        n,
+                                        &batch_choices[..n_choices * n],
+                                        &mut batch_out[..n_vars * n],
+                                    );
+                                    let ok_lanes = match &step {
+                                        Ok(()) => n,
+                                        Err(e) => e.lane,
+                                    };
+                                    for l in 0..ok_lanes {
+                                        for (v, slot) in next_values.iter_mut().enumerate() {
+                                            *slot = batch_out[v * n + l];
+                                        }
+                                        local_transitions += 1;
+                                        layout.pack(&next_values, &mut packed);
+                                        let shard_ix = (shard_hash(&packed) & shard_mask) as usize;
+                                        let (slot, fresh) = {
+                                            let mut shard = shards[shard_ix].lock().unwrap();
+                                            shard.intern(&packed, wps)
+                                        };
+                                        if fresh
+                                            && total_states.fetch_add(1, Ordering::Relaxed) + 1
+                                                > config.state_limit
+                                        {
+                                            limit_hit.store(true, Ordering::Relaxed);
+                                            stop.store(true, Ordering::Relaxed);
+                                        }
+                                        edges.push(EdgeRec {
+                                            src,
+                                            code: code + l as u64,
+                                            shard: shard_ix as u32,
+                                            slot,
+                                        });
+                                    }
+                                    if let Err(e) = step {
+                                        let mut guard = first_error.lock().unwrap();
+                                        if guard.as_ref().is_none_or(|(c, _)| chunk < *c) {
+                                            *guard = Some((chunk, e.error));
+                                        }
+                                        stop.store(true, Ordering::Relaxed);
+                                        break 'states;
+                                    }
+                                    code += n as u64;
+                                }
+                                continue;
+                            }
                             loop {
                                 if let Err(e) = engine.step_choices(&choices, &mut next_values) {
                                     let mut slot = first_error.lock().unwrap();

@@ -64,6 +64,10 @@ pub struct GraphBuilder {
     open_src: u32,
     /// Dedup set for `open_src`'s edges: `(dst, key)`.
     scratch: HashSet<(u32, EdgeLabel)>,
+    /// The `(src, dst, key)` of the most recent insert. Choice sweeps
+    /// emit long runs of the same arc, so matching the previous triple
+    /// proves the edge is already in the dedup set without hashing.
+    last: Option<(u32, u32, EdgeLabel)>,
     suppressed: u64,
 }
 
@@ -78,6 +82,7 @@ impl GraphBuilder {
             unsorted: None,
             open_src: 0,
             scratch: HashSet::new(),
+            last: None,
             suppressed: 0,
         }
     }
@@ -133,6 +138,14 @@ impl GraphBuilder {
             EdgePolicy::AllLabels => label,
             EdgePolicy::FirstLabel => 0,
         };
+        // A repeat of the immediately preceding triple is already in the
+        // dedup set (it was inserted or matched there last call), so it
+        // can be suppressed without touching the hash.
+        if self.last == Some((s, d, key)) {
+            self.suppressed += 1;
+            return false;
+        }
+        self.last = Some((s, d, key));
         if self.unsorted.is_none() {
             if self.dst.is_empty() || s > self.open_src {
                 self.open_src = s;

@@ -69,6 +69,11 @@ pub struct CampaignConfig {
     /// Per-state stall of the wedge chaos mutant; keep well above the
     /// deadline/states ratio so the wedge reliably times out.
     pub wedge_sleep: Duration,
+    /// Batch width for each mutant's budgeted re-enumeration (stage 1);
+    /// `1` (the default) runs the scalar sweep. Any width yields the
+    /// same typed verdicts, truncation points and checkpoint bytes — the
+    /// enumerator caps batches at budget-check boundaries.
+    pub batch_lanes: usize,
 }
 
 impl Default for CampaignConfig {
@@ -82,6 +87,7 @@ impl Default for CampaignConfig {
             checkpoint: None,
             halt_after: None,
             wedge_sleep: Duration::from_millis(25),
+            batch_lanes: 1,
         }
     }
 }
@@ -338,18 +344,18 @@ fn run_mutant(
 
     let (enumeration, blanket) = match &artifact {
         Ok(Artifact::Model(m)) => {
-            let outcome = enumerate_stage(m, m, budget);
+            let outcome = enumerate_stage(m, m, budget, config.batch_lanes);
             let blanket = outcome.blanket_verdict();
             (outcome, blanket)
         }
         Ok(Artifact::Program(p)) => {
-            let outcome = enumerate_stage(model, p, budget);
+            let outcome = enumerate_stage(model, p, budget, config.batch_lanes);
             let blanket = outcome.blanket_verdict();
             (outcome, blanket)
         }
         Ok(Artifact::Chaos(k)) => {
             let factory = ChaosFactory::new(model, *k, config.wedge_sleep);
-            let outcome = enumerate_stage(model, &factory, budget);
+            let outcome = enumerate_stage(model, &factory, budget, config.batch_lanes);
             let blanket = outcome.blanket_verdict();
             (outcome, blanket)
         }
@@ -388,11 +394,13 @@ fn enumerate_stage(
     enum_model: &Model,
     factory: &dyn EngineFactory,
     budget: &RunBudget,
+    batch_lanes: usize,
 ) -> EnumOutcome {
     let config = EnumConfig {
         budget: budget.enum_budget(),
         // the soft budget must always fire before the hard state_limit
         state_limit: usize::MAX,
+        batch_lanes,
         ..Default::default()
     };
     match run_isolated(|| enumerate_with(enum_model, &config, factory)) {

@@ -1,0 +1,101 @@
+//! Satellite to the batched SoA engine: a campaign whose per-mutant
+//! enumeration budget exhausts *inside* a lane batch must produce the
+//! same typed verdicts and byte-identical checkpoint lines as the scalar
+//! campaign — across a boundary-value sweep of `max_transitions` around
+//! the enumerator's 4096-transition mid-sweep check interval.
+
+use std::time::Duration;
+
+use archval_fsm::builder::ModelBuilder;
+use archval_fsm::Model;
+use archval_inject::{run_campaign, CampaignConfig, RunBudget, SuiteConfig};
+
+/// Three 16-valued choices → 4096 permutations per state, so one state's
+/// sweep spans the enumerator's whole 4096-transition budget-check
+/// window and a 1920-lane batch must be capped mid-state to land the
+/// check on the scalar boundary.
+fn wide_sweep_model() -> Model {
+    let mut b = ModelBuilder::new("wide_sweep");
+    let c0 = b.choice("c0", 16);
+    let c1 = b.choice("c1", 16);
+    let c2 = b.choice("c2", 16);
+    let v0 = b.state_var("v0", 16, 0);
+    let v1 = b.state_var("v1", 16, 0);
+    b.set_next(v0, b.choice_expr(c0));
+    let sum = b.add(b.choice_expr(c1), b.choice_expr(c2));
+    b.set_next(v1, sum);
+    b.build().unwrap()
+}
+
+fn budgeted_config(max_transitions: u64, batch_lanes: usize) -> CampaignConfig {
+    CampaignConfig {
+        mutant_limit: 8,
+        // chaos excluded: this test pins deterministic budget truncation,
+        // not the wall-clock machinery (covered by panic_isolation.rs)
+        include_chaos: false,
+        budget: RunBudget {
+            max_states: 1 << 20,
+            max_transitions,
+            deadline: Duration::from_secs(30),
+            max_cycles: 2_048,
+        },
+        suite: SuiteConfig {
+            fuzz_cycles: 256,
+            random_seqs: 2,
+            random_len: 32,
+            ..Default::default()
+        },
+        batch_lanes,
+        ..Default::default()
+    }
+}
+
+/// Boundary values around one state's 4096-permutation sweep and the
+/// enumerator's mid-sweep check interval: budgets that exhaust on the
+/// first transition, mid-batch, exactly on the 4096 boundary, one off
+/// either side, and beyond the first state's sweep.
+#[test]
+fn budget_exhaustion_mid_batch_matches_scalar_verdicts_and_checkpoints() {
+    let model = wide_sweep_model();
+    let tmp = std::env::temp_dir();
+    for max_transitions in [1u64, 1919, 1920, 4095, 4096, 4097, 8192] {
+        let scalar_ckpt = tmp.join(format!(
+            "archval_batched_budget_s_{}_{max_transitions}.jsonl",
+            std::process::id()
+        ));
+        let batched_ckpt = tmp.join(format!(
+            "archval_batched_budget_b_{}_{max_transitions}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&scalar_ckpt);
+        let _ = std::fs::remove_file(&batched_ckpt);
+
+        let scalar_config = CampaignConfig {
+            checkpoint: Some(scalar_ckpt.clone()),
+            ..budgeted_config(max_transitions, 1)
+        };
+        let scalar = run_campaign(&model, &scalar_config).unwrap();
+
+        for lanes in [64usize, 1920] {
+            let batched_config = CampaignConfig {
+                checkpoint: Some(batched_ckpt.clone()),
+                ..budgeted_config(max_transitions, lanes)
+            };
+            let batched = run_campaign(&model, &batched_config).unwrap();
+
+            assert_eq!(
+                batched.to_json(),
+                scalar.to_json(),
+                "report diverged at max_transitions {max_transitions} lanes {lanes}"
+            );
+            let scalar_bytes = std::fs::read(&scalar_ckpt).unwrap();
+            let batched_bytes = std::fs::read(&batched_ckpt).unwrap();
+            assert_eq!(
+                batched_bytes, scalar_bytes,
+                "checkpoint bytes diverged at max_transitions {max_transitions} lanes {lanes}"
+            );
+            std::fs::remove_file(&batched_ckpt).unwrap();
+        }
+        std::fs::remove_file(&scalar_ckpt).unwrap();
+    }
+}

@@ -115,3 +115,27 @@ fn chaos_campaign_is_reproducible_despite_wall_clock_verdicts() {
     // even the chaos rows serialize identically across runs.
     assert_eq!(a.to_json(), b.to_json());
 }
+
+/// Batched re-enumeration must not disturb the chaos machinery: the
+/// chaos engines only implement the scalar `step_choices` (the default
+/// `step_batch` loops it per lane), so under `batch_lanes > 1` the
+/// panicking engine still panics into isolation, the exploder still
+/// trips the state budget, the wedge still times out — and every genuine
+/// mutant lands on the same verdict as the scalar campaign.
+#[test]
+fn chaos_verdicts_survive_batched_re_enumeration() {
+    let model = wide_model();
+    let scalar = run_campaign(&model, &chaos_config(None)).unwrap();
+    let batched_config = CampaignConfig { batch_lanes: 64, ..chaos_config(None) };
+    let batched = run_campaign(&model, &batched_config).unwrap();
+
+    assert!(batched.complete);
+    assert_eq!(batched.mutants.len(), scalar.mutants.len());
+    for (b, s) in batched.mutants.iter().zip(&scalar.mutants) {
+        assert_eq!(b.label, s.label);
+        assert_eq!(b.verdicts, s.verdicts, "verdicts diverged for {}", b.label);
+    }
+    // the full reports serialize byte-identically: batching changes no
+    // verdict, no enumeration outcome, no kill-rate cell
+    assert_eq!(batched.to_json(), scalar.to_json());
+}

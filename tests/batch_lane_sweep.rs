@@ -1,0 +1,117 @@
+//! Lane-sweep equivalence at the system level: enumerating the real PP
+//! control model with the batched SoA engine must produce byte-identical
+//! graph dumps to the tree-walking oracle for every lane count — from
+//! degenerate single-lane batches through the paper-scale sweep width of
+//! 1920 permutations per state — and budgeted runs must truncate at
+//! exactly the same transition boundaries as the scalar engine.
+
+use archval::flow::{Engine, ValidationFlow};
+use archval_exec::StepProgram;
+use archval_fsm::enumerate::{enumerate, enumerate_with, EnumBudget, EnumConfig};
+use archval_fsm::parallel::enumerate_parallel_with;
+use archval_fsm::{dump_enum_result, EdgePolicy};
+use archval_pp::{pp_control_model, pp_control_verilog, PpScale};
+
+/// The headline lane sweep: N ∈ {1, 4, 16, 64, 1920} all dump
+/// byte-identically to the tree oracle at micro scale. 1920 exceeds the
+/// micro model's permutation count, exercising the partial-final-batch
+/// path; the in-between widths exercise every batch/remainder split.
+#[test]
+fn pp_micro_batched_dump_is_byte_identical_for_every_lane_count() {
+    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let program = StepProgram::compile(&model);
+    let tree = enumerate(&model, &EnumConfig::default()).unwrap();
+    let oracle = dump_enum_result(&model, &tree);
+    for lanes in [1usize, 4, 16, 64, 1920] {
+        let cfg = EnumConfig { batch_lanes: lanes, ..EnumConfig::default() };
+        let batched = enumerate_with(&model, &cfg, &program).unwrap();
+        assert_eq!(
+            dump_enum_result(&model, &batched),
+            oracle,
+            "lanes {lanes} diverged from the tree oracle"
+        );
+    }
+}
+
+/// The sweep holds under `AllLabels` edge recording too (more edges per
+/// state pair — the policy most sensitive to per-lane ordering).
+#[test]
+fn pp_micro_batched_all_labels_matches_tree() {
+    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let program = StepProgram::compile(&model);
+    let base = EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() };
+    let tree = enumerate(&model, &base).unwrap();
+    let oracle = dump_enum_result(&model, &tree);
+    for lanes in [4usize, 1920] {
+        let cfg = EnumConfig { batch_lanes: lanes, ..base.clone() };
+        let batched = enumerate_with(&model, &cfg, &program).unwrap();
+        assert_eq!(dump_enum_result(&model, &batched), oracle, "lanes {lanes}");
+    }
+}
+
+/// The parallel enumerator's per-worker batched sweeps agree with the
+/// sequential tree oracle (merge determinism must survive batching).
+#[test]
+fn pp_micro_parallel_batched_matches_tree() {
+    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let program = StepProgram::compile(&model);
+    let tree = enumerate(&model, &EnumConfig::default()).unwrap();
+    let oracle = dump_enum_result(&model, &tree);
+    for threads in [2usize, 4] {
+        let cfg = EnumConfig { threads, batch_lanes: 64, ..EnumConfig::default() };
+        let batched = enumerate_parallel_with(&model, &cfg, &program).unwrap();
+        assert_eq!(dump_enum_result(&model, &batched), oracle, "{threads} threads");
+    }
+}
+
+/// Satellite 3 (enumerator half): a `max_transitions` budget landing in
+/// the middle of a lane batch must truncate at exactly the scalar
+/// engine's boundary — same partial graph, same stats, same truncation
+/// marker — across a boundary-value sweep around the 4096-transition
+/// check interval.
+#[test]
+fn budget_exhaustion_mid_batch_truncates_identically_to_scalar() {
+    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let program = StepProgram::compile(&model);
+    for max_transitions in [1u64, 7, 4095, 4096, 4097, 8192, 10_000] {
+        let budget = EnumBudget { max_transitions: Some(max_transitions), ..EnumBudget::default() };
+        let scalar_cfg = EnumConfig { budget: budget.clone(), ..EnumConfig::default() };
+        let scalar = enumerate_with(&model, &scalar_cfg, &program).unwrap();
+        for lanes in [3usize, 64, 1920] {
+            let cfg = EnumConfig { batch_lanes: lanes, ..scalar_cfg.clone() };
+            let batched = enumerate_with(&model, &cfg, &program).unwrap();
+            assert_eq!(
+                batched.truncated, scalar.truncated,
+                "truncation marker, budget {max_transitions} lanes {lanes}"
+            );
+            assert_eq!(
+                batched.stats.transitions_evaluated, scalar.stats.transitions_evaluated,
+                "transition count, budget {max_transitions} lanes {lanes}"
+            );
+            assert_eq!(
+                dump_enum_result(&model, &batched),
+                dump_enum_result(&model, &scalar),
+                "partial graph, budget {max_transitions} lanes {lanes}"
+            );
+        }
+    }
+}
+
+/// The `ValidationFlow` front door: `Engine::Batched` produces the same
+/// graph and tours as the default engine on the translated PP Verilog.
+#[test]
+fn pp_flow_batched_engine_matches_compiled() {
+    let scale = PpScale::micro();
+    let src = pp_control_verilog(&scale);
+    let compiled = ValidationFlow::from_verilog(&src, "pp_control").unwrap().run().unwrap();
+    for lanes in [4usize, 1920] {
+        let batched = ValidationFlow::from_verilog(&src, "pp_control")
+            .unwrap()
+            .engine(Engine::Batched)
+            .lanes(lanes)
+            .run()
+            .unwrap();
+        assert_eq!(batched.enumd.graph, compiled.enumd.graph, "lanes {lanes}");
+        assert_eq!(batched.tours.traces(), compiled.tours.traces(), "lanes {lanes}");
+    }
+}
