@@ -1,0 +1,249 @@
+//! Campaign-server latency and throughput: what the fingerprint-keyed
+//! graph cache buys over per-request re-enumeration.
+//!
+//! ```text
+//! repro-serve [micro|standard|full|paper] [clients]
+//! ```
+//!
+//! Starts an in-process [`archval_serve::Server`] on a Unix socket and
+//! measures, over real protocol round trips:
+//!
+//! 1. **cold** — the first `enumerate` request ever (re-enumerates the
+//!    model, persists the snapshot);
+//! 2. **warm** — repeat requests against the resident graph (median and
+//!    mean over 32 requests);
+//! 3. **snapshot restart** — a fresh server process image on the same
+//!    cache dir (first request loads the snapshot file);
+//! 4. **sustained** — `clients` concurrent connections each firing 50
+//!    cache-hit requests, reported as requests/sec.
+//!
+//! The binary exits non-zero unless the `graph_ready` sources confirm
+//! each phase hit the intended path (`enumerated` → `cache` →
+//! `snapshot`) and the warm median beats the cold request. Results land
+//! in `BENCH_serve.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use archval_bench::{emit_bench_json, peak_rss_bytes, run, BenchError};
+use archval_serve::client::Client;
+use archval_serve::{line_is_event, CacheConfig, Cmd, ModelRef, Request, Server, ServerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ServeBench {
+    scale: String,
+    clients: usize,
+    cold_request_seconds: f64,
+    warm_request_seconds_median: f64,
+    warm_request_seconds_mean: f64,
+    snapshot_request_seconds: f64,
+    cold_over_warm_speedup: f64,
+    sustained_requests: usize,
+    sustained_seconds: f64,
+    requests_per_sec: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+fn positional(n: usize) -> Option<String> {
+    std::env::args().skip(1).filter(|a| !a.starts_with("--")).nth(n)
+}
+
+fn io_err(path: &std::path::Path) -> impl Fn(std::io::Error) -> BenchError + '_ {
+    move |source| BenchError::Io { path: path.to_path_buf(), source }
+}
+
+/// Sends one enumerate request and returns (seconds-to-done, source).
+fn timed_enumerate(
+    sock: &std::path::Path,
+    model: &str,
+    id: &str,
+) -> Result<(f64, String), BenchError> {
+    let mut client = Client::connect_unix(sock).map_err(io_err(sock))?;
+    let mut req = Request::new(Cmd::Enumerate);
+    req.id = id.into();
+    req.model = Some(ModelRef::Named(model.into()));
+    let t0 = Instant::now();
+    client.send(&req).map_err(io_err(sock))?;
+    let lines = client.recv_until("done").map_err(io_err(sock))?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    let ready = lines
+        .iter()
+        .find(|l| line_is_event(l, "graph_ready"))
+        .ok_or_else(|| BenchError::Invalid(format!("no graph_ready for {id}: {lines:?}")))?;
+    let source = ready
+        .split("\"source\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or("")
+        .to_string();
+    Ok((elapsed, source))
+}
+
+fn start(
+    sock: &std::path::Path,
+    cache_dir: &std::path::Path,
+    jobs_dir: &std::path::Path,
+    workers: usize,
+) -> Result<Arc<Server>, BenchError> {
+    let config = ServerConfig {
+        workers,
+        cache: CacheConfig {
+            snapshot_dir: Some(cache_dir.to_path_buf()),
+            ..CacheConfig::default()
+        },
+        jobs_dir: Some(jobs_dir.to_path_buf()),
+    };
+    let server = Arc::new(Server::start(config).map_err(io_err(cache_dir))?);
+    let listener = server.clone();
+    let sock = sock.to_path_buf();
+    std::thread::spawn(move || {
+        if let Err(e) = archval_serve::listen_unix(&listener, &sock) {
+            eprintln!("repro-serve: listener failed: {e}");
+        }
+    });
+    // the listener thread binds asynchronously; callers connect with retry
+    Ok(server)
+}
+
+fn stop(sock: &std::path::Path, server: &Arc<Server>) {
+    if let Ok(mut c) = Client::connect_unix(sock) {
+        let _ = c.send(&Request::new(Cmd::Shutdown));
+        let _ = c.recv_line();
+    }
+    server.join();
+}
+
+fn connect_with_retry(sock: &std::path::Path) -> Result<Client, BenchError> {
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match Client::connect_unix(sock) {
+            Ok(c) => return Ok(c),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(BenchError::Io { path: sock.to_path_buf(), source: e })
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+}
+
+fn main() {
+    run("repro-serve", || {
+        let scale_word = positional(0).unwrap_or_else(|| "micro".into());
+        if !matches!(scale_word.as_str(), "micro" | "standard" | "full" | "paper") {
+            return Err(BenchError::Invalid(format!(
+                "unknown scale {scale_word:?} (expected micro|standard|full|paper)"
+            )));
+        }
+        let model = format!("pp-{scale_word}");
+        let clients: usize = positional(1).map(|s| s.parse().unwrap_or(0)).unwrap_or(4).max(1);
+
+        let root = std::env::temp_dir().join(format!("repro-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).map_err(io_err(&root))?;
+        let sock = root.join("served.sock");
+        let cache_dir = root.join("cache");
+        let jobs_dir = root.join("jobs");
+
+        // ---- cold + warm on one server ----
+        let server = start(&sock, &cache_dir, &jobs_dir, clients.max(2))?;
+        // wait until the listener accepts
+        drop(connect_with_retry(&sock)?);
+
+        let (cold, source) = timed_enumerate(&sock, &model, "cold-0")?;
+        if source != "enumerated" {
+            return Err(BenchError::Invalid(format!(
+                "cold request came from {source:?}, expected a fresh enumeration"
+            )));
+        }
+        eprintln!("cold request ({model}): {cold:.4} s");
+
+        const WARM: usize = 32;
+        let mut warm = Vec::with_capacity(WARM);
+        for i in 0..WARM {
+            let (t, source) = timed_enumerate(&sock, &model, &format!("warm-{i}"))?;
+            if source != "cache" {
+                return Err(BenchError::Invalid(format!(
+                    "warm request {i} came from {source:?}, expected the cache"
+                )));
+            }
+            warm.push(t);
+        }
+        warm.sort_by(f64::total_cmp);
+        let warm_median = warm[WARM / 2];
+        let warm_mean = warm.iter().sum::<f64>() / WARM as f64;
+        eprintln!("warm requests: median {warm_median:.6} s, mean {warm_mean:.6} s over {WARM}");
+        if warm_median >= cold {
+            return Err(BenchError::Invalid(format!(
+                "cache bought nothing: warm median {warm_median:.4} s >= cold {cold:.4} s"
+            )));
+        }
+
+        // ---- sustained throughput with N concurrent clients ----
+        const PER_CLIENT: usize = 50;
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let sock = sock.clone();
+                let model = model.clone();
+                std::thread::spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect_unix(&sock).map_err(|e| e.to_string())?;
+                    for i in 0..PER_CLIENT {
+                        let mut req = Request::new(Cmd::Enumerate);
+                        req.id = format!("sus-{c}-{i}");
+                        req.model = Some(ModelRef::Named(model.clone()));
+                        client.send(&req).map_err(|e| e.to_string())?;
+                        client.recv_until("done").map_err(|e| e.to_string())?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .map_err(|_| BenchError::Invalid("sustained client panicked".into()))?
+                .map_err(BenchError::Invalid)?;
+        }
+        let sustained_seconds = t0.elapsed().as_secs_f64();
+        let sustained_requests = clients * PER_CLIENT;
+        let requests_per_sec = sustained_requests as f64 / sustained_seconds;
+        eprintln!(
+            "sustained: {sustained_requests} requests over {clients} clients in \
+             {sustained_seconds:.3} s — {requests_per_sec:.0} req/s"
+        );
+        stop(&sock, &server);
+
+        // ---- snapshot warm-start on a fresh server over the same cache ----
+        // (its own socket path: the stopped listener removes its socket
+        // file asynchronously and must not race the new bind)
+        let sock = root.join("served2.sock");
+        let jobs2 = root.join("jobs2");
+        let server = start(&sock, &cache_dir, &jobs2, 2)?;
+        drop(connect_with_retry(&sock)?);
+        let (snapshot, source) = timed_enumerate(&sock, &model, "snap-0")?;
+        if source != "snapshot" {
+            return Err(BenchError::Invalid(format!(
+                "restart request came from {source:?}, expected the snapshot file"
+            )));
+        }
+        eprintln!("snapshot warm-start request: {snapshot:.4} s");
+        stop(&sock, &server);
+
+        let result = ServeBench {
+            scale: scale_word,
+            clients,
+            cold_request_seconds: cold,
+            warm_request_seconds_median: warm_median,
+            warm_request_seconds_mean: warm_mean,
+            snapshot_request_seconds: snapshot,
+            cold_over_warm_speedup: cold / warm_median.max(1e-9),
+            sustained_requests,
+            sustained_seconds,
+            requests_per_sec,
+            peak_rss_bytes: peak_rss_bytes(),
+        };
+        emit_bench_json("serve", &result)?;
+        std::fs::remove_dir_all(&root).ok();
+        Ok(())
+    });
+}

@@ -6,7 +6,7 @@ use archval_fsm::graph::EdgePolicy;
 use archval_fsm::parallel::enumerate_parallel_with;
 use archval_fsm::snapshot::{load_enum_result, save_enum_result};
 use archval_fsm::{EngineFactory, Model};
-use archval_fuzz::{FuzzConfig, FuzzEngine, FuzzReport, GraphFeedback};
+use archval_fuzz::{Feedback, FuzzConfig, FuzzEngine, FuzzReport, GraphFeedback};
 use archval_tour::generate::{generate_tours, TourConfig, TourSet};
 use archval_verilog::{parse, translate_with_options, TranslateOptions};
 
@@ -66,6 +66,69 @@ impl std::str::FromStr for Engine {
             }
         }
     }
+}
+
+/// Runs a coverage-guided fuzz campaign from its parts — the entry
+/// point for callers (the campaign server, bench binaries) that hold a
+/// shared model, program and enumeration rather than a whole
+/// [`FlowResult`]. Equivalent to [`FlowResult::fuzz`] on the same parts.
+///
+/// # Errors
+///
+/// Returns [`Error::Fuzz`] if a candidate replay fails (for a completely
+/// enumerated model this indicates a stale enumeration).
+pub fn fuzz_campaign(
+    model: &Model,
+    program: Option<&StepProgram>,
+    enumd: &EnumResult,
+    config: FuzzConfig,
+) -> Result<FuzzReport, Error> {
+    fuzz_campaign_with_feedback(model, program, GraphFeedback::new(enumd), config)
+}
+
+/// [`fuzz_campaign`] with a caller-supplied [`Feedback`] — the seam a
+/// streaming server uses to observe coverage as it accumulates (wrap
+/// [`GraphFeedback`] in a delegating feedback that reports after each
+/// merge) without perturbing the run itself.
+///
+/// # Errors
+///
+/// Returns [`Error::Fuzz`] if a candidate replay fails.
+pub fn fuzz_campaign_with_feedback<F: Feedback>(
+    model: &Model,
+    program: Option<&StepProgram>,
+    feedback: F,
+    config: FuzzConfig,
+) -> Result<FuzzReport, Error> {
+    let mut engine = match program {
+        Some(program) => FuzzEngine::with_factory(model, program, feedback, config),
+        None => FuzzEngine::new(model, feedback, config),
+    };
+    Ok(engine.run()?)
+}
+
+/// Generates the covering tour set for a caller-supplied enumeration —
+/// the flow's tour stage as a free function.
+pub fn tour_campaign(enumd: &EnumResult, config: &TourConfig) -> TourSet {
+    generate_tours(&enumd.graph, config)
+}
+
+/// Runs a fault-injection campaign from a caller-supplied reference
+/// enumeration — [`FlowResult::inject`] without owning a flow, and
+/// without the reference re-enumeration `archval_inject::run_campaign`
+/// performs. See [`archval_inject::run_campaign_with`].
+///
+/// # Errors
+///
+/// Returns [`Error::Inject`] for campaign-level failures (checkpoint I/O
+/// or a mismatched checkpoint); individual mutant failures degrade to
+/// typed verdicts in the report.
+pub fn inject_campaign(
+    model: &Model,
+    enumd: &EnumResult,
+    config: &archval_inject::CampaignConfig,
+) -> Result<archval_inject::CampaignReport, Error> {
+    Ok(archval_inject::run_campaign_with(model, enumd, config)?)
 }
 
 /// A configured validation flow: Verilog → FSM → enumeration → tours.
@@ -279,12 +342,7 @@ impl FlowResult {
     /// Returns [`Error::Fuzz`] if a candidate replay fails (for a
     /// completely enumerated model this indicates a stale enumeration).
     pub fn fuzz(&self, config: FuzzConfig) -> Result<FuzzReport, Error> {
-        let feedback = GraphFeedback::new(&self.enumd);
-        let mut engine = match &self.program {
-            Some(program) => FuzzEngine::with_factory(&self.model, program, feedback, config),
-            None => FuzzEngine::new(&self.model, feedback, config),
-        };
-        Ok(engine.run()?)
+        fuzz_campaign(&self.model, self.program.as_ref(), &self.enumd, config)
     }
 
     /// Runs a fault-injection campaign against the validated model — the
@@ -293,19 +351,20 @@ impl FlowResult {
     /// discriminate a faulty design from the reference. Mutants are
     /// derived from the model and its compiled bytecode, each run under
     /// the campaign budget with panic isolation; see
-    /// [`archval_inject::run_campaign`].
+    /// [`archval_inject::run_campaign_with`]. The flow's own enumeration
+    /// serves as the campaign reference, so no re-enumeration happens
+    /// here.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Inject`] for campaign-level failures (reference
-    /// enumeration, checkpoint I/O or a mismatched checkpoint).
-    /// Individual mutant failures never surface here — they degrade to
-    /// typed verdicts in the report.
+    /// Returns [`Error::Inject`] for campaign-level failures (checkpoint
+    /// I/O or a mismatched checkpoint). Individual mutant failures never
+    /// surface here — they degrade to typed verdicts in the report.
     pub fn inject(
         &self,
         config: &archval_inject::CampaignConfig,
     ) -> Result<archval_inject::CampaignReport, Error> {
-        Ok(archval_inject::run_campaign(&self.model, config)?)
+        inject_campaign(&self.model, &self.enumd, config)
     }
 
     /// Emits a generic Verilog force/release vector file for one trace:

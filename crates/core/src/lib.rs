@@ -61,7 +61,10 @@
 pub mod flow;
 pub mod report;
 
-pub use flow::{Engine, FlowResult, ValidationFlow, DEFAULT_LANES};
+pub use flow::{
+    fuzz_campaign, fuzz_campaign_with_feedback, inject_campaign, tour_campaign, Engine, FlowResult,
+    ValidationFlow, DEFAULT_LANES,
+};
 pub use report::ValidationSummary;
 
 pub use archval_exec as exec;

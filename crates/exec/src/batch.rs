@@ -79,6 +79,10 @@ pub(crate) struct BatchProgram {
     broadcast: Vec<(u32, u32)>,
     /// Total lane arrays (value and predicate slots).
     n_slots: usize,
+    /// Exclusive upper bound of the raw choice rows `LoadChoice` reads.
+    n_choice_rows: usize,
+    /// Exclusive upper bound of the raw output rows `Store*` writes.
+    n_out_rows: usize,
 }
 
 /// Recursive-descent lowering state.
@@ -213,11 +217,26 @@ impl BatchProgram {
             n_slots: 0,
         };
         lw.region(program.prefix_len, program.instrs.len(), NO_PRED)?;
+        // record the raw row bounds so `exec` can validate every access
+        // once up front instead of bounds-checking per element
+        let mut n_choice_rows = 0usize;
+        let mut n_out_rows = 0usize;
+        for instr in &lw.instrs {
+            if let BInstr::Val { op, dst, a, .. } = *instr {
+                match op {
+                    Op::LoadChoice => n_choice_rows = n_choice_rows.max(a as usize + 1),
+                    Op::StoreMask | Op::StoreMod => n_out_rows = n_out_rows.max(dst as usize + 1),
+                    _ => {}
+                }
+            }
+        }
         Some(BatchProgram {
             instrs: lw.instrs,
             broadcast: lw.broadcast,
             // at least one slot so unused operand index 0 stays in bounds
             n_slots: (lw.n_slots as usize).max(1),
+            n_choice_rows,
+            n_out_rows,
         })
     }
 
@@ -254,7 +273,37 @@ impl BatchProgram {
         choices: &[u64],
         out: &mut [u64],
     ) -> Result<(), BatchError> {
-        debug_assert!(buf.len() >= self.n_slots * lanes);
+        // One validation pass covers every row access in the hot loop:
+        // value/predicate rows start at `slot * lanes` with `slot <
+        // n_slots`, choice reads at `a * lanes` with `a < n_choice_rows`,
+        // stores at `dst * lanes` with `dst < n_out_rows` — all bounds
+        // recorded at build time — so `base + l` with `l < lanes` stays
+        // inside the respective slice and the lane loops can use
+        // debug-asserted unchecked access.
+        assert!(buf.len() >= self.n_slots * lanes, "lane buffer shorter than n_slots * lanes");
+        assert!(
+            choices.len() >= self.n_choice_rows * lanes,
+            "choice rows shorter than the program reads"
+        );
+        assert!(
+            out.len() >= self.n_out_rows * lanes,
+            "output rows shorter than the program writes"
+        );
+
+        #[inline(always)]
+        fn ld(xs: &[u64], i: usize) -> u64 {
+            debug_assert!(i < xs.len());
+            // SAFETY: i = row_base + l with the row base and lane count
+            // validated against xs.len() at exec entry
+            unsafe { *xs.get_unchecked(i) }
+        }
+        #[inline(always)]
+        fn st(xs: &mut [u64], i: usize, v: u64) {
+            debug_assert!(i < xs.len());
+            // SAFETY: as in `ld`
+            unsafe { *xs.get_unchecked_mut(i) = v }
+        }
+
         let mut first_fail = usize::MAX;
         for instr in &self.instrs {
             match *instr {
@@ -262,12 +311,13 @@ impl BatchProgram {
                     let (db, cb) = (dst as usize * lanes, cond as usize * lanes);
                     if parent == NO_PRED {
                         for l in 0..lanes {
-                            buf[db + l] = u64::from((buf[cb + l] != 0) ^ invert);
+                            st(buf, db + l, u64::from((ld(buf, cb + l) != 0) ^ invert));
                         }
                     } else {
                         let pb = parent as usize * lanes;
                         for l in 0..lanes {
-                            buf[db + l] = buf[pb + l] & u64::from((buf[cb + l] != 0) ^ invert);
+                            let pv = ld(buf, pb + l) & u64::from((ld(buf, cb + l) != 0) ^ invert);
+                            st(buf, db + l, pv);
                         }
                     }
                 }
@@ -286,12 +336,15 @@ impl BatchProgram {
                         (|$l:ident| $val:expr) => {
                             if pb == usize::MAX {
                                 for $l in 0..lanes {
-                                    buf[db + $l] = $val;
+                                    let v = $val;
+                                    st(buf, db + $l, v);
                                 }
                             } else {
                                 for $l in 0..lanes {
-                                    let m = (buf[pb + $l] & 1).wrapping_neg();
-                                    buf[db + $l] = ($val & m) | (buf[db + $l] & !m);
+                                    let m = (ld(buf, pb + $l) & 1).wrapping_neg();
+                                    let v = $val;
+                                    let merged = (v & m) | (ld(buf, db + $l) & !m);
+                                    st(buf, db + $l, merged);
                                 }
                             }
                         };
@@ -299,69 +352,75 @@ impl BatchProgram {
                     match op {
                         Op::LoadChoice => {
                             let src = a as usize * lanes;
-                            lanes_store!(|l| choices[src + l]);
+                            lanes_store!(|l| ld(choices, src + l));
                         }
-                        Op::Move => lanes_store!(|l| buf[ab + l]),
-                        Op::Not => lanes_store!(|l| u64::from(buf[ab + l] == 0)),
-                        Op::BitNot => lanes_store!(|l| !buf[ab + l]),
+                        Op::Move => lanes_store!(|l| ld(buf, ab + l)),
+                        Op::Not => lanes_store!(|l| u64::from(ld(buf, ab + l) == 0)),
+                        Op::BitNot => lanes_store!(|l| !ld(buf, ab + l)),
                         Op::And => {
-                            lanes_store!(|l| u64::from(buf[ab + l] != 0 && buf[bb + l] != 0));
+                            lanes_store!(|l| u64::from(
+                                ld(buf, ab + l) != 0 && ld(buf, bb + l) != 0
+                            ));
                         }
                         Op::Or => {
-                            lanes_store!(|l| u64::from(buf[ab + l] != 0 || buf[bb + l] != 0));
+                            lanes_store!(|l| u64::from(
+                                ld(buf, ab + l) != 0 || ld(buf, bb + l) != 0
+                            ));
                         }
-                        Op::BitAnd => lanes_store!(|l| buf[ab + l] & buf[bb + l]),
-                        Op::BitOr => lanes_store!(|l| buf[ab + l] | buf[bb + l]),
-                        Op::BitXor => lanes_store!(|l| buf[ab + l] ^ buf[bb + l]),
-                        Op::Add => lanes_store!(|l| buf[ab + l].wrapping_add(buf[bb + l])),
-                        Op::Sub => lanes_store!(|l| buf[ab + l].wrapping_sub(buf[bb + l])),
-                        Op::Mul => lanes_store!(|l| buf[ab + l].wrapping_mul(buf[bb + l])),
+                        Op::BitAnd => lanes_store!(|l| ld(buf, ab + l) & ld(buf, bb + l)),
+                        Op::BitOr => lanes_store!(|l| ld(buf, ab + l) | ld(buf, bb + l)),
+                        Op::BitXor => lanes_store!(|l| ld(buf, ab + l) ^ ld(buf, bb + l)),
+                        Op::Add => lanes_store!(|l| ld(buf, ab + l).wrapping_add(ld(buf, bb + l))),
+                        Op::Sub => lanes_store!(|l| ld(buf, ab + l).wrapping_sub(ld(buf, bb + l))),
+                        Op::Mul => lanes_store!(|l| ld(buf, ab + l).wrapping_mul(ld(buf, bb + l))),
                         // a masked-off lane may hold a garbage zero
                         // divisor; substitute 1 so the (unobserved)
                         // quotient computes instead of trapping
                         Op::ModUnchecked => {
                             lanes_store!(|l| {
-                                let d = buf[bb + l];
-                                buf[ab + l] % (d | u64::from(d == 0))
+                                let d = ld(buf, bb + l);
+                                ld(buf, ab + l) % (d | u64::from(d == 0))
                             });
                         }
                         Op::ModChecked => {
                             for l in 0..lanes {
-                                let active = pb == usize::MAX || buf[pb + l] != 0;
-                                if active && buf[bb + l] == 0 && l < first_fail {
+                                let active = pb == usize::MAX || ld(buf, pb + l) != 0;
+                                if active && ld(buf, bb + l) == 0 && l < first_fail {
                                     first_fail = l;
                                 }
                             }
                             lanes_store!(|l| {
-                                let d = buf[bb + l];
-                                buf[ab + l] % (d | u64::from(d == 0))
+                                let d = ld(buf, bb + l);
+                                ld(buf, ab + l) % (d | u64::from(d == 0))
                             });
                         }
-                        Op::Eq => lanes_store!(|l| u64::from(buf[ab + l] == buf[bb + l])),
-                        Op::Ne => lanes_store!(|l| u64::from(buf[ab + l] != buf[bb + l])),
-                        Op::Lt => lanes_store!(|l| u64::from(buf[ab + l] < buf[bb + l])),
-                        Op::Le => lanes_store!(|l| u64::from(buf[ab + l] <= buf[bb + l])),
-                        Op::Gt => lanes_store!(|l| u64::from(buf[ab + l] > buf[bb + l])),
-                        Op::Ge => lanes_store!(|l| u64::from(buf[ab + l] >= buf[bb + l])),
-                        Op::Shl => lanes_store!(|l| buf[ab + l] << buf[bb + l].min(63)),
-                        Op::Shr => lanes_store!(|l| buf[ab + l] >> buf[bb + l].min(63)),
+                        Op::Eq => lanes_store!(|l| u64::from(ld(buf, ab + l) == ld(buf, bb + l))),
+                        Op::Ne => lanes_store!(|l| u64::from(ld(buf, ab + l) != ld(buf, bb + l))),
+                        Op::Lt => lanes_store!(|l| u64::from(ld(buf, ab + l) < ld(buf, bb + l))),
+                        Op::Le => lanes_store!(|l| u64::from(ld(buf, ab + l) <= ld(buf, bb + l))),
+                        Op::Gt => lanes_store!(|l| u64::from(ld(buf, ab + l) > ld(buf, bb + l))),
+                        Op::Ge => lanes_store!(|l| u64::from(ld(buf, ab + l) >= ld(buf, bb + l))),
+                        Op::Shl => lanes_store!(|l| ld(buf, ab + l) << ld(buf, bb + l).min(63)),
+                        Op::Shr => lanes_store!(|l| ld(buf, ab + l) >> ld(buf, bb + l).min(63)),
                         Op::CondMove => {
-                            lanes_store!(|l| if buf[ab + l] != 0 {
-                                buf[bb + l]
+                            lanes_store!(|l| if ld(buf, ab + l) != 0 {
+                                ld(buf, bb + l)
                             } else {
-                                buf[cb + l]
+                                ld(buf, cb + l)
                             });
                         }
                         Op::StoreMask => {
                             let (ob, mask) = (db, p.var_masks[dst as usize]);
                             if pb == usize::MAX {
                                 for l in 0..lanes {
-                                    out[ob + l] = buf[ab + l] & mask;
+                                    st(out, ob + l, ld(buf, ab + l) & mask);
                                 }
                             } else {
                                 for l in 0..lanes {
-                                    let m = (buf[pb + l] & 1).wrapping_neg();
-                                    out[ob + l] = ((buf[ab + l] & mask) & m) | (out[ob + l] & !m);
+                                    let m = (ld(buf, pb + l) & 1).wrapping_neg();
+                                    let merged =
+                                        ((ld(buf, ab + l) & mask) & m) | (ld(out, ob + l) & !m);
+                                    st(out, ob + l, merged);
                                 }
                             }
                         }
@@ -369,12 +428,14 @@ impl BatchProgram {
                             let (ob, size) = (db, p.var_sizes[dst as usize]);
                             if pb == usize::MAX {
                                 for l in 0..lanes {
-                                    out[ob + l] = buf[ab + l] % size;
+                                    st(out, ob + l, ld(buf, ab + l) % size);
                                 }
                             } else {
                                 for l in 0..lanes {
-                                    let m = (buf[pb + l] & 1).wrapping_neg();
-                                    out[ob + l] = ((buf[ab + l] % size) & m) | (out[ob + l] & !m);
+                                    let m = (ld(buf, pb + l) & 1).wrapping_neg();
+                                    let merged =
+                                        ((ld(buf, ab + l) % size) & m) | (ld(out, ob + l) & !m);
+                                    st(out, ob + l, merged);
                                 }
                             }
                         }

@@ -74,5 +74,5 @@ pub use model::{ChoiceId, DefId, ExprId, Model, VarId};
 pub use mutate::{apply_mutation, mutation_sites, ModelMutation};
 pub use parallel::{enumerate_parallel, enumerate_parallel_with};
 pub use sim::SyncSim;
-pub use snapshot::{load_enum_result, model_fingerprint, save_enum_result};
+pub use snapshot::{load_enum_result, model_fingerprint, save_enum_result, snapshot_fingerprint};
 pub use stats::EnumStats;

@@ -173,6 +173,40 @@ pub fn enumerate_parallel_with(
     let live_transitions = AtomicU64::new(0);
     let budget_cut: Mutex<Option<Truncation>> = Mutex::new(None);
 
+    // The batched sweep evaluates the identical code sequence 0..combos
+    // at every state, and workers never split a batch mid-sweep (their
+    // budget checks are per-state), so the lane transposition is done
+    // once here and shared read-only by every worker — the sequential
+    // enumerator's precomputed-choice-block fast path.
+    let batch_blocks: Vec<(usize, Vec<u64>)> = if lanes_max > 1 {
+        let mut blocks = Vec::new();
+        let mut choices = vec![0u64; n_choices];
+        let mut code = 0u64;
+        while code < combos {
+            let n = (combos - code).min(lanes_max as u64) as usize;
+            let mut block = vec![0u64; n_choices * n];
+            for l in 0..n {
+                for (c, &v) in choices.iter().enumerate() {
+                    block[c * n + l] = v;
+                }
+                let mut k = 0;
+                while k < n_choices {
+                    choices[k] += 1;
+                    if choices[k] < choice_sizes[k] {
+                        break;
+                    }
+                    choices[k] = 0;
+                    k += 1;
+                }
+            }
+            blocks.push((n, block));
+            code += n as u64;
+        }
+        blocks
+    } else {
+        Vec::new()
+    };
+
     // Seed the search: reset state is id 0, interned into its home shard.
     {
         let reset = model.reset_state();
@@ -212,11 +246,8 @@ pub fn enumerate_parallel_with(
                     let mut packed = vec![0u64; wps];
                     let mut local_transitions = 0u64;
                     let mut flushed_transitions = 0u64;
-                    let (mut batch_choices, mut batch_out) = if lanes_max > 1 {
-                        (vec![0u64; n_choices * lanes_max], vec![0u64; n_vars * lanes_max])
-                    } else {
-                        (Vec::new(), Vec::new())
-                    };
+                    let mut batch_out =
+                        if lanes_max > 1 { vec![0u64; n_vars * lanes_max] } else { Vec::new() };
                     loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                         if chunk >= num_chunks || stop.load(Ordering::Relaxed) {
@@ -266,25 +297,23 @@ pub fn enumerate_parallel_with(
                             if lanes_max > 1 {
                                 // batched sweep: workers have no mid-sweep
                                 // budget checks, so batches run full width
-                                while code < combos {
-                                    let n = (combos - code).min(lanes_max as u64) as usize;
-                                    for l in 0..n {
-                                        for (c, &v) in choices.iter().enumerate() {
-                                            batch_choices[c * n + l] = v;
-                                        }
-                                        let mut k = 0;
-                                        while k < n_choices {
-                                            choices[k] += 1;
-                                            if choices[k] < choice_sizes[k] {
-                                                break;
-                                            }
-                                            choices[k] = 0;
-                                            k += 1;
-                                        }
-                                    }
+                                // over the shared precomputed choice blocks.
+                                // Consecutive permutations usually land on
+                                // the same successor; remembering the
+                                // previous lane's values and (shard, slot)
+                                // skips the pack + shard lock + intern for
+                                // identical lanes — a repeated value is
+                                // never fresh, so no state-limit
+                                // bookkeeping is skipped with it, and the
+                                // emitted EdgeRec stream is unchanged.
+                                let mut have_prev = false;
+                                let mut prev_shard = 0u32;
+                                let mut prev_slot = 0u32;
+                                for (n, block) in &batch_blocks {
+                                    let n = *n;
                                     let step = engine.step_batch(
                                         n,
-                                        &batch_choices[..n_choices * n],
+                                        &block[..n_choices * n],
                                         &mut batch_out[..n_vars * n],
                                     );
                                     let ok_lanes = match &step {
@@ -292,27 +321,39 @@ pub fn enumerate_parallel_with(
                                         Err(e) => e.lane,
                                     };
                                     for l in 0..ok_lanes {
+                                        let mut same = have_prev;
                                         for (v, slot) in next_values.iter_mut().enumerate() {
-                                            *slot = batch_out[v * n + l];
+                                            let val = batch_out[v * n + l];
+                                            same = same && *slot == val;
+                                            *slot = val;
                                         }
                                         local_transitions += 1;
-                                        layout.pack(&next_values, &mut packed);
-                                        let shard_ix = (shard_hash(&packed) & shard_mask) as usize;
-                                        let (slot, fresh) = {
-                                            let mut shard = shards[shard_ix].lock().unwrap();
-                                            shard.intern(&packed, wps)
+                                        let (shard_ix, slot) = if same {
+                                            (prev_shard, prev_slot)
+                                        } else {
+                                            layout.pack(&next_values, &mut packed);
+                                            let shard_ix =
+                                                (shard_hash(&packed) & shard_mask) as usize;
+                                            let (slot, fresh) = {
+                                                let mut shard = shards[shard_ix].lock().unwrap();
+                                                shard.intern(&packed, wps)
+                                            };
+                                            if fresh
+                                                && total_states.fetch_add(1, Ordering::Relaxed) + 1
+                                                    > config.state_limit
+                                            {
+                                                limit_hit.store(true, Ordering::Relaxed);
+                                                stop.store(true, Ordering::Relaxed);
+                                            }
+                                            (shard_ix as u32, slot)
                                         };
-                                        if fresh
-                                            && total_states.fetch_add(1, Ordering::Relaxed) + 1
-                                                > config.state_limit
-                                        {
-                                            limit_hit.store(true, Ordering::Relaxed);
-                                            stop.store(true, Ordering::Relaxed);
-                                        }
+                                        prev_shard = shard_ix;
+                                        prev_slot = slot;
+                                        have_prev = true;
                                         edges.push(EdgeRec {
                                             src,
                                             code: code + l as u64,
-                                            shard: shard_ix as u32,
+                                            shard: shard_ix,
                                             slot,
                                         });
                                     }
@@ -561,6 +602,23 @@ mod tests {
         assert_eq!(budgeted.graph, free.graph);
         for s in 0..free.graph.state_count() as u32 {
             assert_eq!(budgeted.table.packed(s), free.table.packed(s));
+        }
+    }
+
+    #[test]
+    fn batched_workers_match_sequential_across_lane_counts() {
+        let m = counter();
+        let seq = enumerate(&m, &EnumConfig::default()).unwrap();
+        for lanes in [1, 2, 3, 64] {
+            for threads in [2, 4] {
+                let cfg = EnumConfig { threads, batch_lanes: lanes, ..EnumConfig::default() };
+                let par = enumerate_parallel(&m, &cfg).unwrap();
+                assert_eq!(par.graph, seq.graph, "lanes={lanes} threads={threads}");
+                assert_eq!(par.stats.transitions_evaluated, seq.stats.transitions_evaluated);
+                for s in 0..seq.graph.state_count() as u32 {
+                    assert_eq!(par.table.packed(s), seq.table.packed(s));
+                }
+            }
         }
     }
 

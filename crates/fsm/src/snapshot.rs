@@ -69,6 +69,30 @@ pub fn model_fingerprint(model: &Model) -> u64 {
     h.finish()
 }
 
+impl Model {
+    /// The model's snapshot fingerprint — see [`model_fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        model_fingerprint(self)
+    }
+}
+
+/// Reads the model fingerprint recorded in snapshot bytes without
+/// needing the producing model — the lookup primitive for
+/// fingerprint-keyed snapshot stores. Verifies the container checksum
+/// first, so a corrupt file is rejected rather than misfiled.
+pub fn snapshot_fingerprint(bytes: &[u8]) -> Result<u64, SnapshotError> {
+    let chunks = parse_chunks(bytes)?;
+    let payload = chunks
+        .iter()
+        .find(|&&(t, _)| t == MODEL_CHUNK)
+        .map(|&(_, p)| p)
+        .ok_or(SnapshotError::MissingChunk { tag: "MODL" })?;
+    let mut c = Cursor::new(payload);
+    let fp = c.read_u64()?;
+    c.expect_end("trailing bytes after model chunk")?;
+    Ok(fp)
+}
+
 fn write_table(result: &EnumResult) -> Vec<u8> {
     let wps = result.table.layout().words();
     let states = result.table.len();
@@ -250,6 +274,20 @@ mod tests {
         }
         // saving the loaded result reproduces the bytes exactly
         assert_eq!(bytes, snapshot_to_bytes(&m, &r2));
+    }
+
+    #[test]
+    fn fingerprint_peek_matches_model() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let bytes = snapshot_to_bytes(&m, &r);
+        assert_eq!(snapshot_fingerprint(&bytes).unwrap(), m.fingerprint());
+        assert_eq!(m.fingerprint(), model_fingerprint(&m));
+        // a flipped byte fails the checksum before the peek returns
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(snapshot_fingerprint(&bad).is_err());
     }
 
     #[test]

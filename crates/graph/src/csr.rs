@@ -250,6 +250,15 @@ impl StateGraph {
         seen.into_iter().all(|b| b)
     }
 
+    /// Whether two handles share the same underlying CSR arrays.
+    ///
+    /// Clones are O(1) views over one allocation; a cache handing out
+    /// graph handles can assert with this that consumers received shares,
+    /// not copies.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
     /// Approximate resident size of the CSR arrays in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.data.row.len() * std::mem::size_of::<u32>()

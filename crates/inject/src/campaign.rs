@@ -32,7 +32,7 @@ use serde::{Deserialize, Serialize};
 use archval_exec::{apply_program_mutation, StepProgram};
 use archval_fsm::engine::EngineFactory;
 use archval_fsm::{
-    apply_mutation, enumerate, enumerate_with, EnumConfig, Model, SyncSim, Truncation,
+    apply_mutation, enumerate, enumerate_with, EnumConfig, EnumResult, Model, SyncSim, Truncation,
 };
 
 use crate::budget::RunBudget;
@@ -191,9 +191,43 @@ impl CampaignReport {
 /// match this campaign's mutant list. Individual mutants never fail the
 /// campaign — they degrade to typed [`Verdict`]s.
 pub fn run_campaign(model: &Model, config: &CampaignConfig) -> Result<CampaignReport, Error> {
-    let program = StepProgram::compile(model);
     let enumd = enumerate(model, &EnumConfig::default())?;
-    let suites = build_suites(model, &enumd, &config.suite)?;
+    run_campaign_with(model, &enumd, config)
+}
+
+/// [`run_campaign`] with a caller-supplied reference enumeration —
+/// the entry point for callers that already hold the graph (a snapshot
+/// load, a shared cache), skipping the reference re-enumeration that
+/// dominates campaign startup at scale.
+///
+/// `enumd` must be the *complete* enumeration of `model` under the
+/// default config; the suites and kill verdicts are only meaningful
+/// against the true reference graph.
+pub fn run_campaign_with(
+    model: &Model,
+    enumd: &EnumResult,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, Error> {
+    run_campaign_streaming(model, enumd, config, &|_| {})
+}
+
+/// [`run_campaign_with`] with an incremental observer: `observe` is
+/// called once per *newly completed* mutant, after its outcome has been
+/// appended to the checkpoint (when one is configured) — so anything an
+/// observer has seen is already durable. Outcomes restored from an
+/// existing checkpoint on resume are not replayed through the observer;
+/// they appear in the final report only. With several worker threads the
+/// observer may be invoked concurrently and out of id order — callers
+/// needing order should sort by [`MutantOutcome::id`] as the final
+/// report does.
+pub fn run_campaign_streaming(
+    model: &Model,
+    enumd: &EnumResult,
+    config: &CampaignConfig,
+    observe: &(dyn Fn(&MutantOutcome) + Sync),
+) -> Result<CampaignReport, Error> {
+    let program = StepProgram::compile(model);
+    let suites = build_suites(model, enumd, &config.suite)?;
     let specs = generate_mutants(model, &program, config.mutant_limit, config.include_chaos);
 
     let mut done: Vec<Option<MutantOutcome>> = vec![None; specs.len()];
@@ -264,6 +298,7 @@ pub fn run_campaign(model: &Model, config: &CampaignConfig) -> Result<CampaignRe
                         }
                     }
                 }
+                observe(&outcome);
                 fresh.lock().unwrap_or_else(|e| e.into_inner()).push(outcome);
                 let n = newly_completed.fetch_add(1, Ordering::Relaxed) + 1;
                 if config.halt_after.is_some_and(|h| n >= h) {
@@ -589,6 +624,22 @@ mod tests {
         let err = run_campaign(&m, &cfg).unwrap_err();
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(err, Error::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn caller_supplied_enumeration_matches_and_streams_every_mutant_once() {
+        let m = counter(3);
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let streamed = run_campaign_streaming(&m, &enumd, &quick_config(), &|o| {
+            seen.lock().unwrap().push(o.id);
+        })
+        .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..streamed.mutants.len()).collect::<Vec<_>>());
+        assert_eq!(streamed, run_campaign(&m, &quick_config()).unwrap());
+        assert_eq!(streamed, run_campaign_with(&m, &enumd, &quick_config()).unwrap());
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub mod verdict;
 
 pub use budget::RunBudget;
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignReport, KillRate, MutantOutcome, StrategyVerdict,
+    run_campaign, run_campaign_streaming, run_campaign_with, CampaignConfig, CampaignReport,
+    KillRate, MutantOutcome, StrategyVerdict,
 };
 pub use guard::run_isolated;
 pub use mutant::{generate_mutants, ChaosKind, MutantSpec};

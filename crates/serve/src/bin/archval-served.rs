@@ -1,0 +1,118 @@
+//! The campaign server binary.
+//!
+//! ```text
+//! archval-served --unix /tmp/archval.sock --cache-dir .archval/cache \
+//!                --jobs-dir .archval/jobs --workers 2
+//! archval-served --tcp 127.0.0.1:7317 --cache-mb 512 --threads 4
+//! ```
+//!
+//! Exactly one of `--unix <path>` / `--tcp <addr>` selects the listener.
+//! `--cache-dir` enables snapshot persistence, `--jobs-dir` the durable
+//! job store (crash-resume), `--cache-mb` caps resident graph bytes,
+//! `--workers` sizes the campaign pool, `--threads`/`--lanes` size
+//! cold-start enumeration. The process exits after a client sends
+//! `{"cmd":"shutdown"}` and in-flight jobs drain.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+
+use archval_serve::{listen_tcp, listen_unix, CacheConfig, Server, ServerConfig};
+
+struct Args {
+    unix: Option<PathBuf>,
+    tcp: Option<String>,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+    jobs_dir: Option<PathBuf>,
+    cache_mb: usize,
+    threads: usize,
+    lanes: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: archval-served (--unix <path> | --tcp <addr>) [--workers N] \
+         [--cache-dir DIR] [--jobs-dir DIR] [--cache-mb N] [--threads N] [--lanes N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        unix: None,
+        tcp: None,
+        workers: 2,
+        cache_dir: None,
+        jobs_dir: None,
+        cache_mb: 1024,
+        threads: 1,
+        lanes: archval::DEFAULT_LANES,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--unix" => out.unix = Some(PathBuf::from(value())),
+            "--tcp" => out.tcp = Some(value()),
+            "--workers" => out.workers = parse_num(&value()),
+            "--cache-dir" => out.cache_dir = Some(PathBuf::from(value())),
+            "--jobs-dir" => out.jobs_dir = Some(PathBuf::from(value())),
+            "--cache-mb" => out.cache_mb = parse_num(&value()),
+            "--threads" => out.threads = parse_num(&value()),
+            "--lanes" => out.lanes = parse_num(&value()),
+            _ => usage(),
+        }
+    }
+    if out.unix.is_some() == out.tcp.is_some() {
+        usage();
+    }
+    out
+}
+
+fn parse_num(s: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let config = ServerConfig {
+        workers: args.workers,
+        cache: CacheConfig {
+            snapshot_dir: args.cache_dir,
+            max_bytes: args.cache_mb << 20,
+            enum_threads: args.threads,
+            batch_lanes: args.lanes,
+        },
+        jobs_dir: args.jobs_dir,
+    };
+    let server = match Server::start(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("archval-served: startup failed: {e}");
+            exit(1);
+        }
+    };
+    if server.recovered() > 0 {
+        eprintln!("archval-served: resuming {} in-flight job(s)", server.recovered());
+    }
+    let result = match (&args.unix, &args.tcp) {
+        (Some(path), None) => {
+            eprintln!("archval-served: listening on unix socket {}", path.display());
+            listen_unix(&server, path)
+        }
+        (None, Some(addr)) => {
+            eprintln!("archval-served: listening on tcp {addr}");
+            listen_tcp(&server, addr.as_str())
+        }
+        _ => unreachable!("parse_args enforces exactly one listener"),
+    };
+    if let Err(e) = result {
+        eprintln!("archval-served: listener failed: {e}");
+        exit(1);
+    }
+    eprintln!("archval-served: drained, exiting");
+}

@@ -1,0 +1,421 @@
+//! The fingerprint-keyed graph cache.
+//!
+//! Campaign setup cost is dominated by state enumeration (~13 s at paper
+//! scale), yet every campaign against the same model walks the same
+//! graph. The cache keys hot [`EnumResult`]s by
+//! [`model_fingerprint`](archval_fsm::model_fingerprint) and shares them
+//! across requests behind an `Arc`, so repeat campaigns skip setup
+//! entirely. A miss first tries the snapshot file
+//! `<dir>/<fingerprint:016x>.avgs` (the AVGS container written by
+//! [`save_enum_result`]); only a cold start re-enumerates, then persists
+//! the snapshot so the *next* server process warm-starts too.
+//!
+//! Concurrency follows the single-flight pattern: the first requester of
+//! a fingerprint installs a `Loading` slot and loads outside the lock;
+//! concurrent requesters of the same fingerprint block on a condvar and
+//! wake to the shared `Ready` entry — one load, no thundering herd. A
+//! load that fails (or panics) removes its `Loading` slot on the way out,
+//! so an error never poisons the key: the next request simply retries. A
+//! corrupt snapshot file degrades to a typed [`CacheWarning`] plus
+//! re-enumeration, and the rebuilt snapshot overwrites the corrupt one.
+//!
+//! Residency is bounded by [`CacheConfig::max_bytes`]: after each insert,
+//! least-recently-used entries are dropped until the total fits (the
+//! newly inserted entry is never its own victim). Evicted graphs remain
+//! one snapshot load away.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
+
+use archval_exec::StepProgram;
+use archval_fsm::{
+    enumerate_parallel_with, load_enum_result, save_enum_result, EnumConfig, EnumResult, Model,
+};
+
+/// Cache sizing and load policy.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Snapshot directory; `None` disables persistence (every miss
+    /// re-enumerates).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Approximate byte cap on resident graphs; LRU entries are evicted
+    /// past it.
+    pub max_bytes: usize,
+    /// Worker threads for cold-start enumeration.
+    pub enum_threads: usize,
+    /// SoA batch width for cold-start enumeration (`1` = scalar sweep).
+    pub batch_lanes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            snapshot_dir: None,
+            max_bytes: 1 << 30,
+            enum_threads: 1,
+            batch_lanes: archval::DEFAULT_LANES,
+        }
+    }
+}
+
+/// A resident graph: the enumeration result plus the compiled step
+/// program every campaign engine replays with.
+#[derive(Debug)]
+pub struct CachedGraph {
+    /// The model fingerprint this entry is keyed by.
+    pub fingerprint: u64,
+    /// The (always complete) enumeration.
+    pub enumd: EnumResult,
+    /// Compiled step program for the same model.
+    pub program: StepProgram,
+    /// Approximate resident bytes charged against the cap.
+    pub bytes: usize,
+}
+
+/// Where a [`GraphCache::get`] found its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSource {
+    /// Already resident.
+    Hit,
+    /// Loaded from a snapshot file.
+    Snapshot,
+    /// Re-enumerated from the model.
+    Enumerated,
+}
+
+impl LoadSource {
+    /// Wire name used by the `graph_ready` event.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadSource::Hit => "cache",
+            LoadSource::Snapshot => "snapshot",
+            LoadSource::Enumerated => "enumerated",
+        }
+    }
+}
+
+/// A non-fatal cache condition, surfaced to the requester as a typed
+/// `warning` event rather than an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheWarning {
+    /// A snapshot file existed but failed validation; the cache fell back
+    /// to re-enumeration and will overwrite the file.
+    CorruptSnapshot {
+        /// The rejected file.
+        path: PathBuf,
+        /// The snapshot error.
+        detail: String,
+    },
+    /// Persisting a freshly enumerated graph failed; the entry is served
+    /// from memory but the next cold start will re-enumerate.
+    SnapshotWriteFailed {
+        /// The destination file.
+        path: PathBuf,
+        /// The I/O error.
+        detail: String,
+    },
+}
+
+impl CacheWarning {
+    /// Stable wire kind for the `warning` event.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CacheWarning::CorruptSnapshot { .. } => "corrupt_snapshot",
+            CacheWarning::SnapshotWriteFailed { .. } => "snapshot_write_failed",
+        }
+    }
+
+    /// Human-readable detail for the `warning` event.
+    #[must_use]
+    pub fn detail(&self) -> String {
+        match self {
+            CacheWarning::CorruptSnapshot { path, detail } => {
+                format!("snapshot {} rejected ({detail}); re-enumerating", path.display())
+            }
+            CacheWarning::SnapshotWriteFailed { path, detail } => {
+                format!("could not persist snapshot {} ({detail})", path.display())
+            }
+        }
+    }
+}
+
+/// Monotonic cache counters (exposed by the `stats` protocol verb).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Requests served from a resident entry.
+    pub hits: AtomicU64,
+    /// Misses served by a snapshot file.
+    pub snapshot_loads: AtomicU64,
+    /// Misses that re-enumerated.
+    pub enumerations: AtomicU64,
+    /// Entries evicted under the byte cap.
+    pub evictions: AtomicU64,
+    /// Snapshot files rejected as corrupt.
+    pub corrupt_snapshots: AtomicU64,
+}
+
+enum Slot {
+    Loading,
+    Ready(Arc<CachedGraph>),
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Slot>,
+    /// Fingerprints in recency order, least-recent first.
+    recency: Vec<u64>,
+    resident_bytes: usize,
+}
+
+impl Inner {
+    fn touch(&mut self, fp: u64) {
+        self.recency.retain(|&f| f != fp);
+        self.recency.push(fp);
+    }
+}
+
+/// The shared fingerprint-keyed graph cache.
+pub struct GraphCache {
+    config: CacheConfig,
+    inner: Mutex<Inner>,
+    loaded: Condvar,
+    /// Monotonic counters.
+    pub counters: CacheCounters,
+}
+
+/// Removes the `Loading` slot if the load never completed — keeps a
+/// failed or panicking load from wedging every waiter on the key.
+struct LoadGuard<'a> {
+    cache: &'a GraphCache,
+    fp: u64,
+    done: bool,
+}
+
+impl Drop for LoadGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut inner = self.cache.inner.lock().unwrap();
+            if matches!(inner.map.get(&self.fp), Some(Slot::Loading)) {
+                inner.map.remove(&self.fp);
+            }
+            self.cache.loaded.notify_all();
+        }
+    }
+}
+
+impl GraphCache {
+    /// An empty cache with the given policy.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> GraphCache {
+        GraphCache {
+            config,
+            inner: Mutex::new(Inner::default()),
+            loaded: Condvar::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The configured policy.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Whether the fingerprint is currently resident (`Ready`; a key
+    /// mid-load does not count).
+    #[must_use]
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        matches!(self.inner.lock().unwrap().map.get(&fingerprint), Some(Slot::Ready(_)))
+    }
+
+    /// Number of resident graphs.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.map.values().filter(|s| matches!(s, Slot::Ready(_))).count()
+    }
+
+    /// Approximate bytes held by resident graphs.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().unwrap().resident_bytes
+    }
+
+    /// The snapshot path a fingerprint persists to, when persistence is
+    /// configured.
+    #[must_use]
+    pub fn snapshot_path(&self, fingerprint: u64) -> Option<PathBuf> {
+        self.config.snapshot_dir.as_ref().map(|d| snapshot_file(d, fingerprint))
+    }
+
+    /// Returns the shared graph for `model`, loading it on miss.
+    ///
+    /// Exactly one requester per fingerprint performs the load;
+    /// concurrent requesters block and share the result. `warn` receives
+    /// non-fatal conditions (corrupt snapshot, failed persist).
+    ///
+    /// # Errors
+    ///
+    /// Returns the enumeration error when a cold start fails; the key is
+    /// left vacant (not poisoned), so a later request retries.
+    pub fn get(
+        &self,
+        model: &Model,
+        warn: &mut dyn FnMut(CacheWarning),
+    ) -> Result<(Arc<CachedGraph>, LoadSource), archval::Error> {
+        let fp = model.fingerprint();
+        {
+            let mut inner = self.inner.lock().unwrap();
+            loop {
+                match inner.map.get(&fp) {
+                    Some(Slot::Ready(entry)) => {
+                        let entry = entry.clone();
+                        inner.touch(fp);
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((entry, LoadSource::Hit));
+                    }
+                    Some(Slot::Loading) => inner = self.loaded.wait(inner).unwrap(),
+                    None => {
+                        inner.map.insert(fp, Slot::Loading);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut guard = LoadGuard { cache: self, fp, done: false };
+        let program = StepProgram::compile(model);
+        let mut source = LoadSource::Enumerated;
+        let mut enumd: Option<EnumResult> = None;
+
+        if let Some(dir) = &self.config.snapshot_dir {
+            let path = snapshot_file(dir, fp);
+            if path.exists() {
+                match load_enum_result(&path, model) {
+                    Ok(r) => {
+                        source = LoadSource::Snapshot;
+                        self.counters.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                        enumd = Some(r);
+                    }
+                    Err(e) => {
+                        self.counters.corrupt_snapshots.fetch_add(1, Ordering::Relaxed);
+                        warn(CacheWarning::CorruptSnapshot { path, detail: e.to_string() });
+                    }
+                }
+            }
+        }
+
+        let enumd = match enumd {
+            Some(r) => r,
+            None => {
+                self.counters.enumerations.fetch_add(1, Ordering::Relaxed);
+                let config = EnumConfig {
+                    threads: self.config.enum_threads,
+                    batch_lanes: self.config.batch_lanes,
+                    ..EnumConfig::default()
+                };
+                let r = enumerate_parallel_with(model, &config, &program)?;
+                if let Some(dir) = &self.config.snapshot_dir {
+                    let path = snapshot_file(dir, fp);
+                    if let Err(e) = save_enum_result(&path, model, &r) {
+                        warn(CacheWarning::SnapshotWriteFailed { path, detail: e.to_string() });
+                    }
+                }
+                r
+            }
+        };
+
+        let bytes = enumd.stats.approx_memory_bytes;
+        let entry = Arc::new(CachedGraph { fingerprint: fp, enumd, program, bytes });
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.map.insert(fp, Slot::Ready(entry.clone()));
+            inner.touch(fp);
+            inner.resident_bytes += bytes;
+            while inner.resident_bytes > self.config.max_bytes {
+                // evict the least-recent *other* resident entry; the entry
+                // just built is never its own victim even when oversized
+                let victim = inner
+                    .recency
+                    .iter()
+                    .copied()
+                    .find(|&v| v != fp && matches!(inner.map.get(&v), Some(Slot::Ready(_))));
+                let Some(victim) = victim else { break };
+                if let Some(Slot::Ready(old)) = inner.map.remove(&victim) {
+                    inner.resident_bytes -= old.bytes;
+                }
+                inner.recency.retain(|&f| f != victim);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            guard.done = true;
+        }
+        self.loaded.notify_all();
+        Ok((entry, source))
+    }
+}
+
+fn snapshot_file(dir: &Path, fingerprint: u64) -> PathBuf {
+    dir.join(format!("{fingerprint:016x}.avgs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archval_fsm::ModelBuilder;
+
+    fn counter_model(size: u64) -> Model {
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", size, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let inc = b.add(cur, one);
+        let next = b.ternary(b.choice_expr(en), inc, cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_shares_one_arc() {
+        let cache = GraphCache::new(CacheConfig::default());
+        let model = counter_model(4);
+        let mut warnings = Vec::new();
+        let (a, src_a) = cache.get(&model, &mut |w| warnings.push(w)).unwrap();
+        let (b, src_b) = cache.get(&model, &mut |w| warnings.push(w)).unwrap();
+        assert_eq!(src_a, LoadSource::Enumerated);
+        assert_eq!(src_b, LoadSource::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.enumd.graph.ptr_eq(&b.enumd.graph));
+        assert_eq!(a.enumd.graph.state_count(), 4);
+        assert!(warnings.is_empty());
+        assert_eq!(cache.counters.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.counters.enumerations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_across_cache_instances() {
+        let dir = std::env::temp_dir().join(format!("archval-serve-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = counter_model(5);
+        let config = CacheConfig { snapshot_dir: Some(dir.clone()), ..CacheConfig::default() };
+
+        let cold = GraphCache::new(config.clone());
+        let (_, src) = cold.get(&model, &mut |_| {}).unwrap();
+        assert_eq!(src, LoadSource::Enumerated);
+        assert!(cold.snapshot_path(model.fingerprint()).unwrap().exists());
+
+        let warm = GraphCache::new(config);
+        let (entry, src) = warm.get(&model, &mut |_| {}).unwrap();
+        assert_eq!(src, LoadSource::Snapshot);
+        assert_eq!(entry.enumd.graph.state_count(), 5);
+        assert_eq!(warm.counters.snapshot_loads.load(Ordering::Relaxed), 1);
+        assert_eq!(warm.counters.enumerations.load(Ordering::Relaxed), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

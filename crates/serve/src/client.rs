@@ -1,0 +1,115 @@
+//! A minimal line-level client for the serve protocol.
+//!
+//! Deliberately string-based: it writes request lines and hands back raw
+//! event lines (dispatch on them with
+//! [`line_is_event`](crate::protocol::line_is_event)), so tests and
+//! benchmarks can assert on exact wire bytes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{line_is_event, Request};
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Connects to a Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(Box::new(reader)), writer: Box::new(stream) })
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(Box::new(reader)), writer: Box::new(stream) })
+    }
+
+    /// Sends a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the write error.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        self.send_line(&request.to_json())
+    }
+
+    /// Sends a raw protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the write error.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next event line; `None` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns the read error.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Reads events until one carries `tag`, returning every line read
+    /// (the tagged line last). An `error` event or EOF before the tag is
+    /// an error carrying the lines seen so far in its message.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] on transport failure, premature EOF,
+    /// or an intervening `error` event.
+    pub fn recv_until(&mut self, tag: &str) -> std::io::Result<Vec<String>> {
+        let mut seen = Vec::new();
+        loop {
+            match self.recv_line()? {
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        format!("connection closed before {tag:?}; saw {seen:?}"),
+                    ))
+                }
+                Some(line) => {
+                    let done = line_is_event(&line, tag);
+                    let failed = tag != "error" && line_is_event(&line, "error");
+                    seen.push(line);
+                    if failed {
+                        return Err(std::io::Error::other(format!(
+                            "error event before {tag:?}: {seen:?}"
+                        )));
+                    }
+                    if done {
+                        return Ok(seen);
+                    }
+                }
+            }
+        }
+    }
+}

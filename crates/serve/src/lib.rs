@@ -1,0 +1,34 @@
+//! # archval-serve — a long-lived validation campaign server
+//!
+//! Validation campaigns against one design repeat: re-run fault
+//! injection after a fix, re-fuzz with a new seed, regenerate tours. Each
+//! run pays the same dominant setup cost — enumerating the control state
+//! graph (~13 s at paper scale) — for a graph that has not changed. This
+//! crate keeps that graph *hot*: a server process holds enumerated
+//! [`EnumResult`](archval_fsm::EnumResult)s in an `Arc`-shared
+//! [`GraphCache`] keyed by model fingerprint, falls back to AVGS snapshot
+//! files on miss, and re-enumerates (then persists) only on a true cold
+//! start. A cache-hit campaign starts in milliseconds.
+//!
+//! Clients speak newline-delimited JSON over a Unix or TCP socket (see
+//! [`protocol`]): one [`Request`](protocol::Request) line in, a stream of
+//! [`Event`](protocol::Event) lines back — campaign admission, graph
+//! readiness, fuzz coverage-curve points, per-mutant verdicts, the final
+//! report. Campaigns run on a fixed worker pool under per-request
+//! [`RunBudget`](archval_inject::RunBudget)s with `catch_unwind`
+//! isolation, and the inject campaign's JSONL checkpoints double as a
+//! durable job store: a SIGKILLed server resumes in-flight campaigns on
+//! restart and produces byte-identical final reports.
+//!
+//! The `archval-served` binary wraps [`Server`] + [`listen_unix`] /
+//! [`listen_tcp`]; [`client::Client`] is the line-level client the tests
+//! and the `repro-serve` benchmark drive the server with.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheConfig, CacheCounters, CacheWarning, CachedGraph, GraphCache, LoadSource};
+pub use protocol::{line_is_event, BudgetSpec, Cmd, Event, ModelRef, Request};
+pub use server::{listen_tcp, listen_unix, EventSink, Server, ServerConfig};

@@ -1,0 +1,725 @@
+//! The newline-delimited JSON wire protocol: one [`Request`] object per
+//! input line, a stream of [`Event`] objects (one per output line) back.
+//!
+//! # Grammar
+//!
+//! A request is a single-line JSON object:
+//!
+//! ```json
+//! {"cmd":"inject","id":"job-1","model":"pp-micro","mutants":8,
+//!  "chaos":false,"seed":7,"threads":2,
+//!  "budget":{"max_states":65536,"deadline_ms":10000}}
+//! ```
+//!
+//! - `cmd` (required): `ping` | `stats` | `enumerate` | `tour` | `fuzz` |
+//!   `inject` | `shutdown`.
+//! - `id`: job identifier (required for campaign commands; `[A-Za-z0-9._-]`,
+//!   at most 64 chars). Doubles as the durable job-store key, so
+//!   resubmitting a completed id replays its report from disk.
+//! - `model`: a named model (`pp-micro` | `pp-standard` | `pp-full` |
+//!   `pp-paper`), or inline Verilog via `"verilog"` + `"top"` keys.
+//! - `budget`: per-request resource envelope; absent fields fall back to
+//!   [`RunBudget::default`].
+//! - `seed`, `cycles`, `mutants`, `chaos`, `threads`: campaign knobs.
+//!
+//! Unknown keys are skipped, and every field except `cmd` has a default —
+//! the derived `Deserialize` of the vendored serde treats missing fields
+//! as hard errors, so `Request` parsing is written by hand against
+//! [`serde::de::Parser`].
+//!
+//! Events are single-line JSON objects tagged by a leading `"event"` key:
+//! `accepted`, `graph_ready`, `coverage`, `verdict`, `warning`, `report`,
+//! `error`, `done`, `pong`, `stats`, `shutting_down`. The `verdict` and
+//! `report` events embed campaign JSON (a checkpoint-format
+//! `MutantOutcome`, a final report) verbatim as a nested object.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use archval_inject::RunBudget;
+use serde::{de, write_json_string};
+
+/// Protocol command verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmd {
+    /// Liveness probe; answered inline with `pong`.
+    Ping,
+    /// Cache / scheduler counters; answered inline with `stats`.
+    Stats,
+    /// Enumerate the model's reachable control states.
+    Enumerate,
+    /// Generate a transition tour over the enumerated graph.
+    Tour,
+    /// Run a coverage-guided fuzz campaign against the graph.
+    Fuzz,
+    /// Run a fault-injection campaign (checkpointed, crash-resumable).
+    Inject,
+    /// Stop accepting connections and drain in-flight jobs.
+    Shutdown,
+}
+
+impl Cmd {
+    /// The wire name of the verb.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Cmd::Ping => "ping",
+            Cmd::Stats => "stats",
+            Cmd::Enumerate => "enumerate",
+            Cmd::Tour => "tour",
+            Cmd::Fuzz => "fuzz",
+            Cmd::Inject => "inject",
+            Cmd::Shutdown => "shutdown",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Cmd> {
+        Some(match s {
+            "ping" => Cmd::Ping,
+            "stats" => Cmd::Stats,
+            "enumerate" => Cmd::Enumerate,
+            "tour" => Cmd::Tour,
+            "fuzz" => Cmd::Fuzz,
+            "inject" => Cmd::Inject,
+            "shutdown" => Cmd::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// Whether this verb runs on the worker pool (vs. answered inline by
+    /// the session thread).
+    #[must_use]
+    pub fn is_campaign(self) -> bool {
+        matches!(self, Cmd::Enumerate | Cmd::Tour | Cmd::Fuzz | Cmd::Inject)
+    }
+}
+
+/// Which model a request targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelRef {
+    /// A named built-in model (`pp-micro`, `pp-standard`, `pp-full`,
+    /// `pp-paper`).
+    Named(String),
+    /// Inline annotated Verilog source plus its top module name.
+    Inline {
+        /// Annotated Verilog source text.
+        verilog: String,
+        /// Top module to translate.
+        top: String,
+    },
+}
+
+/// Per-request resource envelope; every absent field falls back to the
+/// corresponding [`RunBudget::default`] bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetSpec {
+    /// Enumeration state bound.
+    pub max_states: Option<usize>,
+    /// Enumeration transition bound.
+    pub max_transitions: Option<u64>,
+    /// Wall-clock deadline per stage, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Replay cycle bound per strategy.
+    pub max_cycles: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// Whether any bound was explicitly given.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.max_states.is_some()
+            || self.max_transitions.is_some()
+            || self.deadline_ms.is_some()
+            || self.max_cycles.is_some()
+    }
+
+    /// Resolves the spec against the default bounds.
+    #[must_use]
+    pub fn to_run_budget(&self) -> RunBudget {
+        let d = RunBudget::default();
+        RunBudget {
+            max_states: self.max_states.unwrap_or(d.max_states),
+            max_transitions: self.max_transitions.unwrap_or(d.max_transitions),
+            deadline: self.deadline_ms.map_or(d.deadline, Duration::from_millis),
+            max_cycles: self.max_cycles.unwrap_or(d.max_cycles),
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Command verb.
+    pub cmd: Cmd,
+    /// Job identifier (empty for `ping`/`stats`/`shutdown`).
+    pub id: String,
+    /// Target model; `None` for verbs that need none.
+    pub model: Option<ModelRef>,
+    /// Resource envelope; `None` means all defaults.
+    pub budget: Option<BudgetSpec>,
+    /// RNG seed for fuzz campaigns.
+    pub seed: u64,
+    /// Fuzz cycle budget; defaults to the budget's `max_cycles`.
+    pub cycles: Option<u64>,
+    /// Inject mutant limit; defaults to the campaign default.
+    pub mutants: Option<usize>,
+    /// Include the chaos mutants in an inject campaign.
+    pub chaos: bool,
+    /// Worker threads inside the campaign (fuzz replay / mutant fan-out).
+    pub threads: Option<usize>,
+}
+
+impl Request {
+    /// A request with the given verb and all other fields defaulted.
+    #[must_use]
+    pub fn new(cmd: Cmd) -> Request {
+        Request {
+            cmd,
+            id: String::new(),
+            model: None,
+            budget: None,
+            seed: 0,
+            cycles: None,
+            mutants: None,
+            chaos: false,
+            threads: None,
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] when the line is not a JSON object, `cmd`
+    /// is missing or unknown, a present field has the wrong type, or
+    /// inline Verilog lacks a `top`.
+    pub fn parse(line: &str) -> Result<Request, de::Error> {
+        let mut p = de::Parser::new(line);
+        let mut cmd: Option<Cmd> = None;
+        let mut req = Request::new(Cmd::Ping);
+        let mut named: Option<String> = None;
+        let mut verilog: Option<String> = None;
+        let mut top: Option<String> = None;
+
+        p.expect('{')?;
+        if !p.try_char('}') {
+            loop {
+                let key = p.parse_string()?;
+                p.expect(':')?;
+                match key.as_str() {
+                    "cmd" => {
+                        let s = p.parse_string()?;
+                        cmd = Some(
+                            Cmd::from_name(&s)
+                                .ok_or_else(|| p.error(&format!("unknown cmd {s:?}")))?,
+                        );
+                    }
+                    "id" => req.id = p.parse_string()?,
+                    "model" => named = Some(p.parse_string()?),
+                    "verilog" => verilog = Some(p.parse_string()?),
+                    "top" => top = Some(p.parse_string()?),
+                    "seed" => req.seed = parse_u64(&mut p)?,
+                    "cycles" => req.cycles = Some(parse_u64(&mut p)?),
+                    "mutants" => req.mutants = Some(parse_u64(&mut p)? as usize),
+                    "chaos" => req.chaos = p.parse_bool()?,
+                    "threads" => req.threads = Some(parse_u64(&mut p)? as usize),
+                    "budget" => req.budget = Some(parse_budget(&mut p)?),
+                    _ => p.skip_value()?,
+                }
+                if !p.try_char(',') {
+                    break;
+                }
+            }
+            p.expect('}')?;
+        }
+        p.finish()?;
+
+        req.cmd = cmd.ok_or_else(|| p.error("missing required field \"cmd\""))?;
+        req.model = match (named, verilog) {
+            (Some(_), Some(_)) => {
+                return Err(p.error("give either \"model\" or \"verilog\", not both"))
+            }
+            (Some(name), None) => Some(ModelRef::Named(name)),
+            (None, Some(src)) => {
+                let top = top.ok_or_else(|| p.error("inline \"verilog\" requires \"top\""))?;
+                Some(ModelRef::Inline { verilog: src, top })
+            }
+            (None, None) => None,
+        };
+        Ok(req)
+    }
+
+    /// Serializes the request as a single protocol line (no trailing
+    /// newline). `Request::parse` of the result round-trips.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"cmd\":");
+        write_json_string(self.cmd.name(), &mut out);
+        if !self.id.is_empty() {
+            out.push_str(",\"id\":");
+            write_json_string(&self.id, &mut out);
+        }
+        match &self.model {
+            None => {}
+            Some(ModelRef::Named(name)) => {
+                out.push_str(",\"model\":");
+                write_json_string(name, &mut out);
+            }
+            Some(ModelRef::Inline { verilog, top }) => {
+                out.push_str(",\"verilog\":");
+                write_json_string(verilog, &mut out);
+                out.push_str(",\"top\":");
+                write_json_string(top, &mut out);
+            }
+        }
+        if let Some(b) = &self.budget {
+            out.push_str(",\"budget\":{");
+            let mut first = true;
+            let mut field = |key: &str, val: Option<u64>, out: &mut String| {
+                if let Some(v) = val {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "\"{key}\":{v}");
+                }
+            };
+            field("max_states", b.max_states.map(|v| v as u64), &mut out);
+            field("max_transitions", b.max_transitions, &mut out);
+            field("deadline_ms", b.deadline_ms, &mut out);
+            field("max_cycles", b.max_cycles, &mut out);
+            out.push('}');
+        }
+        if self.seed != 0 {
+            let _ = write!(out, ",\"seed\":{}", self.seed);
+        }
+        if let Some(c) = self.cycles {
+            let _ = write!(out, ",\"cycles\":{c}");
+        }
+        if let Some(m) = self.mutants {
+            let _ = write!(out, ",\"mutants\":{m}");
+        }
+        if self.chaos {
+            out.push_str(",\"chaos\":true");
+        }
+        if let Some(t) = self.threads {
+            let _ = write!(out, ",\"threads\":{t}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn parse_u64(p: &mut de::Parser<'_>) -> Result<u64, de::Error> {
+    let v = p.parse_integer()?;
+    u64::try_from(v).map_err(|_| p.error("expected a non-negative integer"))
+}
+
+fn parse_budget(p: &mut de::Parser<'_>) -> Result<BudgetSpec, de::Error> {
+    let mut spec = BudgetSpec::default();
+    p.expect('{')?;
+    if p.try_char('}') {
+        return Ok(spec);
+    }
+    loop {
+        let key = p.parse_string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "max_states" => spec.max_states = Some(parse_u64(p)? as usize),
+            "max_transitions" => spec.max_transitions = Some(parse_u64(p)?),
+            "deadline_ms" => spec.deadline_ms = Some(parse_u64(p)?),
+            "max_cycles" => spec.max_cycles = Some(parse_u64(p)?),
+            _ => p.skip_value()?,
+        }
+        if !p.try_char(',') {
+            break;
+        }
+    }
+    p.expect('}')?;
+    Ok(spec)
+}
+
+/// One output line of the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Answer to `ping`.
+    Pong {
+        /// Worker-pool size.
+        workers: usize,
+    },
+    /// Answer to `stats`: cache and scheduler counters.
+    Stats {
+        /// Cache hits (graph already resident).
+        hits: u64,
+        /// Cache misses served from a snapshot file.
+        snapshot_loads: u64,
+        /// Cache misses that re-enumerated from scratch.
+        enumerations: u64,
+        /// Entries evicted under the memory cap.
+        evictions: u64,
+        /// Snapshot files rejected as corrupt.
+        corrupt_snapshots: u64,
+        /// Graphs currently resident.
+        resident_graphs: usize,
+        /// Approximate bytes held by resident graphs.
+        resident_bytes: usize,
+        /// Jobs currently running or queued.
+        active_jobs: usize,
+    },
+    /// A campaign request was admitted to the queue.
+    Accepted {
+        /// Job id.
+        id: String,
+        /// Verb name.
+        cmd: &'static str,
+        /// Model fingerprint (hex).
+        fingerprint: u64,
+        /// Whether the graph was already resident when admitted.
+        cached: bool,
+    },
+    /// The job's state graph is ready.
+    GraphReady {
+        /// Job id.
+        id: String,
+        /// `"cache"`, `"snapshot"`, `"enumerated"` or `"budgeted"`.
+        source: &'static str,
+        /// States in the graph.
+        states: usize,
+        /// Edges in the graph.
+        edges: usize,
+        /// Wall-clock milliseconds spent obtaining it.
+        setup_ms: u64,
+    },
+    /// A fuzz coverage-curve point (emitted when coverage grows).
+    Coverage {
+        /// Job id.
+        id: String,
+        /// Features covered so far.
+        covered: usize,
+        /// Total features when known.
+        total: Option<usize>,
+    },
+    /// One completed mutant of an inject campaign; `outcome` embeds the
+    /// checkpoint-format `MutantOutcome` JSON verbatim.
+    Verdict {
+        /// Job id.
+        id: String,
+        /// Compact `MutantOutcome` JSON.
+        outcome: String,
+    },
+    /// A non-fatal condition (e.g. a corrupt snapshot file).
+    Warning {
+        /// Job id (empty when not job-specific).
+        id: String,
+        /// Stable warning kind, e.g. `corrupt_snapshot`.
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The job's final report; `report` embeds the compact report JSON
+    /// verbatim (byte-identical to the durable `{id}.report.json`).
+    Report {
+        /// Job id.
+        id: String,
+        /// Verb name the report belongs to.
+        kind: &'static str,
+        /// Compact report JSON.
+        report: String,
+    },
+    /// The request failed (parse error, bad model, panic, budget abort).
+    Error {
+        /// Job id (empty when the line never parsed).
+        id: String,
+        /// Stable error kind: `protocol`, `rejected`, `failed`, `panic`.
+        kind: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The job finished; no further events carry its id.
+    Done {
+        /// Job id.
+        id: String,
+    },
+    /// Answer to `shutdown`; the server drains and exits.
+    ShuttingDown,
+}
+
+impl Event {
+    /// Serializes the event as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        let tag = |out: &mut String, name: &str| {
+            out.push_str("{\"event\":");
+            write_json_string(name, out);
+        };
+        let sfield = |out: &mut String, key: &str, val: &str| {
+            let _ = write!(out, ",\"{key}\":");
+            write_json_string(val, out);
+        };
+        match self {
+            Event::Pong { workers } => {
+                tag(&mut out, "pong");
+                let _ = write!(out, ",\"workers\":{workers}");
+            }
+            Event::Stats {
+                hits,
+                snapshot_loads,
+                enumerations,
+                evictions,
+                corrupt_snapshots,
+                resident_graphs,
+                resident_bytes,
+                active_jobs,
+            } => {
+                tag(&mut out, "stats");
+                let _ = write!(
+                    out,
+                    ",\"hits\":{hits},\"snapshot_loads\":{snapshot_loads},\
+                     \"enumerations\":{enumerations},\"evictions\":{evictions},\
+                     \"corrupt_snapshots\":{corrupt_snapshots},\
+                     \"resident_graphs\":{resident_graphs},\
+                     \"resident_bytes\":{resident_bytes},\"active_jobs\":{active_jobs}"
+                );
+            }
+            Event::Accepted { id, cmd, fingerprint, cached } => {
+                tag(&mut out, "accepted");
+                sfield(&mut out, "id", id);
+                sfield(&mut out, "cmd", cmd);
+                let _ = write!(out, ",\"fingerprint\":\"{fingerprint:016x}\",\"cached\":{cached}");
+            }
+            Event::GraphReady { id, source, states, edges, setup_ms } => {
+                tag(&mut out, "graph_ready");
+                sfield(&mut out, "id", id);
+                sfield(&mut out, "source", source);
+                let _ =
+                    write!(out, ",\"states\":{states},\"edges\":{edges},\"setup_ms\":{setup_ms}");
+            }
+            Event::Coverage { id, covered, total } => {
+                tag(&mut out, "coverage");
+                sfield(&mut out, "id", id);
+                let _ = write!(out, ",\"covered\":{covered}");
+                match total {
+                    Some(t) => {
+                        let _ = write!(out, ",\"total\":{t}");
+                    }
+                    None => out.push_str(",\"total\":null"),
+                }
+            }
+            Event::Verdict { id, outcome } => {
+                tag(&mut out, "verdict");
+                sfield(&mut out, "id", id);
+                out.push_str(",\"outcome\":");
+                out.push_str(outcome);
+            }
+            Event::Warning { id, kind, detail } => {
+                tag(&mut out, "warning");
+                sfield(&mut out, "id", id);
+                sfield(&mut out, "kind", kind);
+                sfield(&mut out, "detail", detail);
+            }
+            Event::Report { id, kind, report } => {
+                tag(&mut out, "report");
+                sfield(&mut out, "id", id);
+                sfield(&mut out, "kind", kind);
+                out.push_str(",\"report\":");
+                out.push_str(report);
+            }
+            Event::Error { id, kind, detail } => {
+                tag(&mut out, "error");
+                sfield(&mut out, "id", id);
+                sfield(&mut out, "kind", kind);
+                sfield(&mut out, "detail", detail);
+            }
+            Event::Done { id } => {
+                tag(&mut out, "done");
+                sfield(&mut out, "id", id);
+            }
+            Event::ShuttingDown => tag(&mut out, "shutting_down"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// The event's tag name as it appears on the wire.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Pong { .. } => "pong",
+            Event::Stats { .. } => "stats",
+            Event::Accepted { .. } => "accepted",
+            Event::GraphReady { .. } => "graph_ready",
+            Event::Coverage { .. } => "coverage",
+            Event::Verdict { .. } => "verdict",
+            Event::Warning { .. } => "warning",
+            Event::Report { .. } => "report",
+            Event::Error { .. } => "error",
+            Event::Done { .. } => "done",
+            Event::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Whether a serialized event line carries the given tag — cheap
+/// client-side dispatch without a full parse (every line starts with
+/// `{"event":"<tag>"`).
+#[must_use]
+pub fn line_is_event(line: &str, tag: &str) -> bool {
+    let mut prefix = String::with_capacity(tag.len() + 12);
+    prefix.push_str("{\"event\":\"");
+    prefix.push_str(tag);
+    prefix.push('"');
+    line.starts_with(&prefix)
+}
+
+/// Validates a job id for use as a durable job-store file stem.
+///
+/// # Errors
+///
+/// Returns a description of the violated constraint: ids are non-empty,
+/// at most 64 characters, drawn from `[A-Za-z0-9._-]`, and do not begin
+/// with a dot.
+pub fn validate_job_id(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("job id must be non-empty".into());
+    }
+    if id.len() > 64 {
+        return Err("job id longer than 64 characters".into());
+    }
+    if id.starts_with('.') {
+        return Err("job id may not start with a dot".into());
+    }
+    if let Some(c) =
+        id.chars().find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(format!("job id contains forbidden character {c:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_and_defaults() {
+        let r = Request::parse(r#"{"cmd":"ping"}"#).unwrap();
+        assert_eq!(r.cmd, Cmd::Ping);
+        assert_eq!(r.id, "");
+        assert_eq!(r.model, None);
+        assert_eq!(r.budget, None);
+        assert!(!r.chaos);
+    }
+
+    #[test]
+    fn parse_full_inject_request() {
+        let line = r#"{"cmd":"inject","id":"j1","model":"pp-micro","mutants":8,
+            "chaos":true,"seed":7,"threads":2,"future_knob":[1,2,3],
+            "budget":{"max_states":1024,"deadline_ms":5000,"ignored":true}}"#
+            .replace('\n', " ");
+        let r = Request::parse(&line).unwrap();
+        assert_eq!(r.cmd, Cmd::Inject);
+        assert_eq!(r.id, "j1");
+        assert_eq!(r.model, Some(ModelRef::Named("pp-micro".into())));
+        assert_eq!(r.mutants, Some(8));
+        assert!(r.chaos);
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.threads, Some(2));
+        let b = r.budget.unwrap();
+        assert_eq!(b.max_states, Some(1024));
+        assert_eq!(b.deadline_ms, Some(5000));
+        assert_eq!(b.max_transitions, None);
+        let rb = b.to_run_budget();
+        assert_eq!(rb.max_states, 1024);
+        assert_eq!(rb.deadline, Duration::from_secs(5));
+        assert_eq!(rb.max_cycles, RunBudget::default().max_cycles);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Request::parse(r#"{"id":"x"}"#).is_err(), "cmd is required");
+        assert!(Request::parse(r#"{"cmd":"frobnicate"}"#).is_err(), "unknown cmd");
+        assert!(Request::parse(r#"{"cmd":"fuzz","verilog":"module m; endmodule"}"#).is_err());
+        assert!(Request::parse(
+            r#"{"cmd":"fuzz","model":"pp-micro","verilog":"module m; endmodule","top":"m"}"#
+        )
+        .is_err());
+        assert!(Request::parse(r#"{"cmd":"fuzz"} trailing"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"fuzz","seed":-3}"#).is_err());
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let mut r = Request::new(Cmd::Fuzz);
+        r.id = "fz-1".into();
+        r.model = Some(ModelRef::Inline {
+            verilog: "module m(clk);\n input clk;\nendmodule".into(),
+            top: "m".into(),
+        });
+        r.budget = Some(BudgetSpec {
+            max_cycles: Some(4096),
+            deadline_ms: Some(100),
+            ..Default::default()
+        });
+        r.seed = 99;
+        r.cycles = Some(2048);
+        r.threads = Some(3);
+        let line = r.to_json();
+        assert_eq!(Request::parse(&line).unwrap(), r);
+
+        let plain = Request::new(Cmd::Stats);
+        assert_eq!(Request::parse(&plain.to_json()).unwrap(), plain);
+    }
+
+    #[test]
+    fn event_lines_are_single_line_tagged_json() {
+        let events = [
+            Event::Pong { workers: 4 },
+            Event::Accepted {
+                id: "a".into(),
+                cmd: "inject",
+                fingerprint: 0xdead_beef,
+                cached: true,
+            },
+            Event::GraphReady {
+                id: "a".into(),
+                source: "snapshot",
+                states: 10,
+                edges: 20,
+                setup_ms: 3,
+            },
+            Event::Coverage { id: "a".into(), covered: 5, total: None },
+            Event::Verdict { id: "a".into(), outcome: r#"{"id":0}"#.into() },
+            Event::Warning {
+                id: "a".into(),
+                kind: "corrupt_snapshot".into(),
+                detail: "x\"y".into(),
+            },
+            Event::Report { id: "a".into(), kind: "inject", report: r#"{"ok":true}"#.into() },
+            Event::Error { id: String::new(), kind: "protocol", detail: "bad".into() },
+            Event::Done { id: "a".into() },
+            Event::ShuttingDown,
+        ];
+        for e in &events {
+            let line = e.to_line();
+            assert!(!line.contains('\n'), "JSONL event must be one line: {line}");
+            assert!(line_is_event(&line, e.kind()), "tag mismatch: {line}");
+            // embedded strings stay valid JSON — parseable as a generic value
+            let mut p = de::Parser::new(&line);
+            p.skip_value().unwrap();
+            p.finish().unwrap();
+        }
+        assert!(!line_is_event(&events[0].to_line(), "stats"));
+    }
+
+    #[test]
+    fn job_id_validation() {
+        assert!(validate_job_id("job-1.retry_2").is_ok());
+        assert!(validate_job_id("").is_err());
+        assert!(validate_job_id(".hidden").is_err());
+        assert!(validate_job_id("a/b").is_err());
+        assert!(validate_job_id("a b").is_err());
+        assert!(validate_job_id(&"x".repeat(65)).is_err());
+    }
+}

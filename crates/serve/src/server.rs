@@ -1,0 +1,687 @@
+//! The campaign server: session loop, worker-pool scheduler, and the
+//! durable job store.
+//!
+//! # Scheduling
+//!
+//! Each accepted connection gets a session thread that reads request
+//! lines. `ping`/`stats` are answered inline; `shutdown` drains the
+//! server; campaign verbs are admitted to a bounded worker pool
+//! ([`ServerConfig::workers`] threads) through an mpsc queue, so a slow
+//! campaign never blocks the protocol. Every job runs inside
+//! [`run_isolated`] — a panicking campaign degrades to a typed `error`
+//! event, and its worker survives — and under the request's
+//! [`RunBudget`](archval_inject::RunBudget): enumeration bounds cap
+//! budgeted enumerate requests, per-mutant envelopes cap inject, the
+//! cycle bound caps fuzz.
+//!
+//! # Durability and crash-resume
+//!
+//! With a jobs directory configured, each campaign id owns up to three
+//! files:
+//!
+//! - `<id>.request.json` — the request line, written on admission;
+//! - `<id>.checkpoint.jsonl` — the inject campaign's own JSONL
+//!   checkpoint (one `MutantOutcome` per line, appended and flushed as
+//!   each mutant completes);
+//! - `<id>.report.json` — the final compact report plus newline, written
+//!   via temp-file + rename only when the job finishes.
+//!
+//! A request file without a report file marks an in-flight job; on
+//! startup the server re-enqueues exactly those. A resumed inject
+//! campaign replays nothing — completed mutants come back from the
+//! checkpoint byte-identically, only the remainder runs — so the resumed
+//! report equals the uninterrupted one byte for byte. Resubmitting a
+//! completed id short-circuits to the stored report.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use archval::{fuzz_campaign_with_feedback, tour_campaign};
+use archval_exec::StepProgram;
+use archval_fsm::SyncSim;
+use archval_fsm::{enumerate_parallel_with, EnumConfig, Model};
+use archval_fuzz::{Feedback, FuzzConfig, GraphFeedback, Observation, Trace};
+use archval_inject::{run_campaign_streaming, run_isolated, CampaignConfig};
+use archval_pp::{pp_control_model, PpScale};
+use archval_tour::TourConfig;
+use archval_verilog::translate::TranslateOptions;
+use serde::Serialize;
+
+use crate::cache::{CacheConfig, GraphCache};
+use crate::protocol::{validate_job_id, Cmd, Event, ModelRef, Request};
+
+/// Server sizing and storage policy.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Campaign worker threads.
+    pub workers: usize,
+    /// Graph-cache policy (snapshot dir, byte cap, enumeration sizing).
+    pub cache: CacheConfig,
+    /// Durable job-store directory; `None` disables persistence and
+    /// crash-resume.
+    pub jobs_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 2, cache: CacheConfig::default(), jobs_dir: None }
+    }
+}
+
+/// A thread-safe JSONL event writer shared by a job and its session.
+///
+/// Each event is written and flushed as one line under a lock, so
+/// concurrent jobs streaming to the same connection never interleave
+/// mid-line. A write error detaches the sink — the client is gone, but
+/// the job keeps running so its durable report still lands.
+#[derive(Clone)]
+pub struct EventSink {
+    out: Arc<Mutex<Option<Box<dyn Write + Send>>>>,
+}
+
+impl EventSink {
+    /// A sink writing to `writer`.
+    #[must_use]
+    pub fn new(writer: Box<dyn Write + Send>) -> EventSink {
+        EventSink { out: Arc::new(Mutex::new(Some(writer))) }
+    }
+
+    /// A sink that discards every event (recovered jobs have no client).
+    #[must_use]
+    pub fn detached() -> EventSink {
+        EventSink { out: Arc::new(Mutex::new(None)) }
+    }
+
+    /// Emits one event line (best-effort; a dead client detaches).
+    pub fn emit(&self, event: &Event) {
+        let mut line = event.to_line();
+        line.push('\n');
+        let mut out = self.out.lock().unwrap();
+        if let Some(w) = out.as_mut() {
+            if w.write_all(line.as_bytes()).and_then(|()| w.flush()).is_err() {
+                *out = None;
+            }
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    sink: EventSink,
+}
+
+struct Shared {
+    cache: GraphCache,
+    jobs_dir: Option<PathBuf>,
+    workers: usize,
+    queue: Mutex<Option<Sender<Job>>>,
+    shutdown: AtomicBool,
+    active: Mutex<HashSet<String>>,
+}
+
+/// The long-lived campaign server. See the [module docs](self) for the
+/// scheduling and durability model.
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    recovered: AtomicUsize,
+}
+
+impl Server {
+    /// Starts the worker pool and re-enqueues any in-flight jobs found in
+    /// the job store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when a configured cache or jobs directory
+    /// cannot be created.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &config.cache.snapshot_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        if let Some(dir) = &config.jobs_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let (tx, rx) = mpsc::channel::<Job>();
+        let shared = Arc::new(Shared {
+            cache: GraphCache::new(config.cache),
+            jobs_dir: config.jobs_dir,
+            workers: config.workers.max(1),
+            queue: Mutex::new(Some(tx)),
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(HashSet::new()),
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::new();
+        for _ in 0..shared.workers {
+            let shared = shared.clone();
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+        let server =
+            Server { shared, handles: Mutex::new(handles), recovered: AtomicUsize::new(0) };
+        let n = server.recover();
+        server.recovered.store(n, Ordering::Relaxed);
+        Ok(server)
+    }
+
+    /// Jobs re-enqueued from the job store at startup.
+    #[must_use]
+    pub fn recovered(&self) -> usize {
+        self.recovered.load(Ordering::Relaxed)
+    }
+
+    /// The graph cache (counters and residency are test/stats surface).
+    #[must_use]
+    pub fn cache(&self) -> &GraphCache {
+        &self.shared.cache
+    }
+
+    /// Whether `shutdown` has been requested; accept loops poll this.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Stops admitting jobs and lets workers drain the queue.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        *self.shared.queue.lock().unwrap() = None;
+    }
+
+    /// Waits for every worker to finish (call after
+    /// [`begin_shutdown`](Server::begin_shutdown)).
+    pub fn join(&self) {
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Runs one session: reads request lines from `reader`, streams
+    /// events to `writer`, returns when the client disconnects or asks
+    /// for shutdown.
+    pub fn serve_stream(&self, reader: impl Read, writer: Box<dyn Write + Send>) {
+        let sink = EventSink::new(writer);
+        for line in BufReader::new(reader).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Request::parse(&line) {
+                Err(e) => sink.emit(&Event::Error {
+                    id: String::new(),
+                    kind: "protocol",
+                    detail: e.to_string(),
+                }),
+                Ok(req) => match req.cmd {
+                    Cmd::Ping => sink.emit(&Event::Pong { workers: self.shared.workers }),
+                    Cmd::Stats => sink.emit(&self.stats_event()),
+                    Cmd::Shutdown => {
+                        sink.emit(&Event::ShuttingDown);
+                        self.begin_shutdown();
+                        return;
+                    }
+                    _ => self.submit(req, &line, &sink),
+                },
+            }
+        }
+    }
+
+    /// Current cache and scheduler counters as a `stats` event.
+    #[must_use]
+    pub fn stats_event(&self) -> Event {
+        let c = &self.shared.cache.counters;
+        Event::Stats {
+            hits: c.hits.load(Ordering::Relaxed),
+            snapshot_loads: c.snapshot_loads.load(Ordering::Relaxed),
+            enumerations: c.enumerations.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            corrupt_snapshots: c.corrupt_snapshots.load(Ordering::Relaxed),
+            resident_graphs: self.shared.cache.resident_count(),
+            resident_bytes: self.shared.cache.resident_bytes(),
+            active_jobs: self.shared.active.lock().unwrap().len(),
+        }
+    }
+
+    /// Admits one campaign request: validates the id, replays stored
+    /// reports, rejects duplicates, persists the request line, then
+    /// queues the job.
+    fn submit(&self, req: Request, raw_line: &str, sink: &EventSink) {
+        let id = req.id.clone();
+        if let Err(detail) = validate_job_id(&id) {
+            sink.emit(&Event::Error { id, kind: "rejected", detail });
+            return;
+        }
+        if let Some(dir) = &self.shared.jobs_dir {
+            if let Ok(stored) = std::fs::read_to_string(report_path(dir, &id)) {
+                sink.emit(&Event::Report {
+                    id: id.clone(),
+                    kind: req.cmd.name(),
+                    report: stored.trim_end_matches('\n').to_string(),
+                });
+                sink.emit(&Event::Done { id });
+                return;
+            }
+        }
+        if !self.shared.active.lock().unwrap().insert(id.clone()) {
+            sink.emit(&Event::Error {
+                id,
+                kind: "rejected",
+                detail: "a job with this id is already running".into(),
+            });
+            return;
+        }
+        if let Some(dir) = &self.shared.jobs_dir {
+            let path = dir.join(format!("{id}.request.json"));
+            if let Err(e) = std::fs::write(&path, format!("{raw_line}\n")) {
+                sink.emit(&Event::Warning {
+                    id: id.clone(),
+                    kind: "job_store_write_failed".into(),
+                    detail: format!(
+                        "{}: {e}; job will run but cannot crash-resume",
+                        path.display()
+                    ),
+                });
+            }
+        }
+        let queued = {
+            let queue = self.shared.queue.lock().unwrap();
+            match queue.as_ref() {
+                Some(tx) => tx.send(Job { request: req, sink: sink.clone() }).is_ok(),
+                None => false,
+            }
+        };
+        if !queued {
+            self.shared.active.lock().unwrap().remove(&id);
+            sink.emit(&Event::Error {
+                id,
+                kind: "rejected",
+                detail: "server is shutting down".into(),
+            });
+        }
+    }
+
+    /// Re-enqueues request files without a matching report file.
+    fn recover(&self) -> usize {
+        let Some(dir) = self.shared.jobs_dir.clone() else { return 0 };
+        let Ok(entries) = std::fs::read_dir(&dir) else { return 0 };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".request.json"))
+            .collect();
+        names.sort();
+        let mut recovered = 0;
+        for name in names {
+            let id = name.trim_end_matches(".request.json");
+            if report_path(&dir, id).exists() {
+                continue;
+            }
+            let Ok(raw) = std::fs::read_to_string(dir.join(&name)) else { continue };
+            let line = raw.lines().next().unwrap_or("");
+            match Request::parse(line) {
+                Ok(req) if req.cmd.is_campaign() && req.id == id => {
+                    self.submit(req, line, &EventSink::detached());
+                    recovered += 1;
+                }
+                _ => eprintln!("archval-serve: ignoring unparseable job-store entry {name}"),
+            }
+        }
+        recovered
+    }
+}
+
+fn report_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{id}.report.json"))
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap();
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        let id = job.request.id.clone();
+        match run_isolated(|| execute(shared, &job.request, &job.sink)) {
+            Ok(Ok(())) => {}
+            Ok(Err(detail)) => {
+                job.sink.emit(&Event::Error { id: id.clone(), kind: "failed", detail });
+            }
+            Err(panic_msg) => {
+                job.sink.emit(&Event::Error { id: id.clone(), kind: "panic", detail: panic_msg });
+            }
+        }
+        shared.active.lock().unwrap().remove(&id);
+    }
+}
+
+/// Compact report payloads (the durable byte-identity surface for the
+/// non-inject verbs; inject reports reuse the campaign's own types).
+#[derive(Serialize)]
+struct EnumReport {
+    states: usize,
+    bits_per_state: u32,
+    edges: usize,
+    transitions_evaluated: u64,
+    max_depth: usize,
+    truncated: Option<String>,
+}
+
+#[derive(Serialize)]
+struct TourReport {
+    traces: usize,
+    total_edge_traversals: u64,
+    total_instructions: u64,
+    longest_trace_edges: usize,
+    arcs_total: usize,
+    arcs_covered: usize,
+    full_coverage: bool,
+}
+
+fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), String> {
+    let id = &req.id;
+    let model = resolve_model(req)?;
+    let fingerprint = model.fingerprint();
+    sink.emit(&Event::Accepted {
+        id: id.clone(),
+        cmd: req.cmd.name(),
+        fingerprint,
+        cached: shared.cache.contains(fingerprint),
+    });
+    let budget = req.budget.unwrap_or_default().to_run_budget();
+    let setup = Instant::now();
+
+    // A budgeted enumerate is a bounded exploration job: it may truncate,
+    // so it bypasses the cache (which holds only complete enumerations).
+    if req.cmd == Cmd::Enumerate && req.budget.is_some_and(|b| b.is_set()) {
+        let program = StepProgram::compile(&model);
+        let config = EnumConfig {
+            threads: req.threads.unwrap_or(shared.cache.config().enum_threads),
+            batch_lanes: shared.cache.config().batch_lanes,
+            budget: budget.enum_budget(),
+            ..EnumConfig::default()
+        };
+        let r = enumerate_parallel_with(&model, &config, &program).map_err(|e| e.to_string())?;
+        sink.emit(&Event::GraphReady {
+            id: id.clone(),
+            source: "budgeted",
+            states: r.graph.state_count(),
+            edges: r.graph.edge_count(),
+            setup_ms: setup.elapsed().as_millis() as u64,
+        });
+        let report = EnumReport {
+            states: r.stats.states,
+            bits_per_state: r.stats.bits_per_state,
+            edges: r.stats.edges,
+            transitions_evaluated: r.stats.transitions_evaluated,
+            max_depth: r.stats.max_depth,
+            truncated: r.truncated.map(|t| format!("{t:?}").to_lowercase()),
+        };
+        let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+        return finish(shared, sink, id, req.cmd.name(), json);
+    }
+
+    let (entry, source) = shared
+        .cache
+        .get(&model, &mut |w| {
+            sink.emit(&Event::Warning {
+                id: id.clone(),
+                kind: w.kind().into(),
+                detail: w.detail(),
+            });
+        })
+        .map_err(|e| e.to_string())?;
+    sink.emit(&Event::GraphReady {
+        id: id.clone(),
+        source: source.name(),
+        states: entry.enumd.graph.state_count(),
+        edges: entry.enumd.graph.edge_count(),
+        setup_ms: setup.elapsed().as_millis() as u64,
+    });
+
+    let json = match req.cmd {
+        Cmd::Enumerate => {
+            let s = &entry.enumd.stats;
+            let report = EnumReport {
+                states: s.states,
+                bits_per_state: s.bits_per_state,
+                edges: s.edges,
+                transitions_evaluated: s.transitions_evaluated,
+                max_depth: s.max_depth,
+                truncated: None,
+            };
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        }
+        Cmd::Tour => {
+            let tours = tour_campaign(&entry.enumd, &TourConfig::default());
+            let s = tours.stats();
+            let report = TourReport {
+                traces: s.traces,
+                total_edge_traversals: s.total_edge_traversals,
+                total_instructions: s.total_instructions,
+                longest_trace_edges: s.longest_trace_edges,
+                arcs_total: s.arcs_total,
+                arcs_covered: s.arcs_covered,
+                full_coverage: s.arcs_covered == s.arcs_total,
+            };
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        }
+        Cmd::Fuzz => {
+            let config = FuzzConfig {
+                cycle_budget: req
+                    .cycles
+                    .or(req.budget.and_then(|b| b.max_cycles))
+                    .unwrap_or(FuzzConfig::default().cycle_budget),
+                seed: req.seed,
+                threads: req.threads.unwrap_or(1),
+                ..FuzzConfig::default()
+            };
+            let feedback = StreamingFeedback {
+                inner: GraphFeedback::new(&entry.enumd),
+                sink,
+                id,
+                last_emitted: std::sync::atomic::AtomicUsize::new(0),
+            };
+            let report =
+                fuzz_campaign_with_feedback(&model, Some(&entry.program), feedback, config)
+                    .map_err(|e| e.to_string())?;
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        }
+        Cmd::Inject => {
+            let config = CampaignConfig {
+                mutant_limit: req.mutants.unwrap_or(CampaignConfig::default().mutant_limit),
+                include_chaos: req.chaos,
+                budget,
+                threads: req.threads.unwrap_or(1),
+                checkpoint: shared
+                    .jobs_dir
+                    .as_ref()
+                    .map(|d| d.join(format!("{id}.checkpoint.jsonl"))),
+                ..CampaignConfig::default()
+            };
+            let report = run_campaign_streaming(&model, &entry.enumd, &config, &|outcome| {
+                let line = serde_json::to_string(outcome).unwrap_or_default();
+                sink.emit(&Event::Verdict { id: id.clone(), outcome: line });
+            })
+            .map_err(|e| e.to_string())?;
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        }
+        Cmd::Ping | Cmd::Stats | Cmd::Shutdown => unreachable!("handled inline by the session"),
+    };
+    finish(shared, sink, id, req.cmd.name(), json)
+}
+
+/// Persists the report atomically (temp + rename), then emits
+/// `report` and `done`.
+fn finish(
+    shared: &Arc<Shared>,
+    sink: &EventSink,
+    id: &str,
+    kind: &'static str,
+    report_json: String,
+) -> Result<(), String> {
+    if let Some(dir) = &shared.jobs_dir {
+        let path = report_path(dir, id);
+        let tmp = dir.join(format!("{id}.report.json.tmp"));
+        std::fs::write(&tmp, format!("{report_json}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| format!("persisting report {}: {e}", path.display()))?;
+    }
+    sink.emit(&Event::Report { id: id.to_string(), kind, report: report_json });
+    sink.emit(&Event::Done { id: id.to_string() });
+    Ok(())
+}
+
+fn resolve_model(req: &Request) -> Result<Model, String> {
+    match &req.model {
+        None => Err("campaign requests require \"model\" or \"verilog\"+\"top\"".into()),
+        Some(ModelRef::Named(name)) => {
+            let scale = match name.as_str() {
+                "pp-micro" => PpScale::micro(),
+                "pp-standard" => PpScale::standard(),
+                "pp-full" => PpScale::full(),
+                "pp-paper" => PpScale::paper(),
+                other => {
+                    return Err(format!(
+                        "unknown model {other:?} (expected pp-micro|pp-standard|pp-full|pp-paper, \
+                         or inline \"verilog\"+\"top\")"
+                    ))
+                }
+            };
+            pp_control_model(&scale).map_err(|e| e.to_string())
+        }
+        Some(ModelRef::Inline { verilog, top }) => {
+            let design = archval_verilog::parser::parse(verilog).map_err(|e| e.to_string())?;
+            archval_verilog::translate::translate_with_options(
+                &design,
+                top,
+                &TranslateOptions::default(),
+            )
+            .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Delegating feedback that emits a `coverage` event whenever the wrapped
+/// map's covered count grows. Merging is untouched, so fuzz determinism
+/// (and the final report) is identical to the unwrapped run.
+struct StreamingFeedback<'a, F> {
+    inner: F,
+    sink: &'a EventSink,
+    id: &'a str,
+    last_emitted: AtomicUsize,
+}
+
+impl<F: Feedback> Feedback for StreamingFeedback<'_, F> {
+    fn trace(
+        &self,
+        sim: &mut SyncSim<'_>,
+        start: Option<&[u64]>,
+        seq: &[u64],
+    ) -> Result<Trace, archval_fuzz::Error> {
+        self.inner.trace(sim, start, seq)
+    }
+
+    fn merge(&mut self, obs: &[Observation]) -> Vec<usize> {
+        let novel = self.inner.merge(obs);
+        let covered = self.inner.covered();
+        if covered > self.last_emitted.load(Ordering::Relaxed) {
+            self.last_emitted.store(covered, Ordering::Relaxed);
+            self.sink.emit(&Event::Coverage {
+                id: self.id.to_string(),
+                covered,
+                total: self.inner.total(),
+            });
+        }
+        novel
+    }
+
+    fn suggest(&self, state: &[u64], unit: f64) -> Option<u64> {
+        self.inner.suggest(state, unit)
+    }
+
+    fn frontier_cut(&self, obs: &[Observation]) -> Option<usize> {
+        self.inner.frontier_cut(obs)
+    }
+
+    fn covered(&self) -> usize {
+        self.inner.covered()
+    }
+
+    fn total(&self) -> Option<usize> {
+        self.inner.total()
+    }
+}
+
+/// Accepts connections on a Unix socket until shutdown, spawning one
+/// session thread per connection. Removes a stale socket file first and
+/// cleans it up on exit.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn listen_unix(server: &Arc<Server>, path: &Path) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    accept_loop(server, || match listener.accept() {
+        Ok((stream, _)) => {
+            stream.set_nonblocking(false).ok();
+            let reader = stream.try_clone().ok()?;
+            Some((
+                Box::new(reader) as Box<dyn Read + Send>,
+                Box::new(stream) as Box<dyn Write + Send>,
+            ))
+        }
+        Err(_) => None,
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// As [`listen_unix`], over TCP.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn listen_tcp(server: &Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    accept_loop(server, || match listener.accept() {
+        Ok((stream, _)) => {
+            stream.set_nonblocking(false).ok();
+            let reader = stream.try_clone().ok()?;
+            Some((
+                Box::new(reader) as Box<dyn Read + Send>,
+                Box::new(stream) as Box<dyn Write + Send>,
+            ))
+        }
+        Err(_) => None,
+    });
+    Ok(())
+}
+
+fn accept_loop(
+    server: &Arc<Server>,
+    mut accept: impl FnMut() -> Option<(Box<dyn Read + Send>, Box<dyn Write + Send>)>,
+) {
+    while !server.is_shutting_down() {
+        match accept() {
+            Some((reader, writer)) => {
+                let server = server.clone();
+                std::thread::spawn(move || server.serve_stream(reader, writer));
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    server.join();
+}

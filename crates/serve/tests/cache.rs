@@ -1,0 +1,170 @@
+//! Graph-cache behaviour under contention, memory pressure and disk
+//! corruption.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+
+use archval_fsm::{Model, ModelBuilder};
+use archval_serve::{CacheConfig, CacheWarning, GraphCache, LoadSource};
+
+fn counter_model(size: u64) -> Model {
+    let mut b = ModelBuilder::new("cnt");
+    let en = b.choice("en", 2);
+    let v = b.state_var("c", size, 0);
+    let cur = b.var_expr(v);
+    let one = b.constant(1);
+    let inc = b.add(cur, one);
+    let next = b.ternary(b.choice_expr(en), inc, cur);
+    b.set_next(v, next);
+    b.build().unwrap()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("archval-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Concurrent requests for one fingerprint perform exactly one load; the
+/// rest share the entry (no thundering herd).
+#[test]
+fn concurrent_same_fingerprint_requests_load_once() {
+    const CLIENTS: usize = 8;
+    let cache = Arc::new(GraphCache::new(CacheConfig::default()));
+    let model = Arc::new(counter_model(64));
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+
+    let entries: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let cache = cache.clone();
+            let model = model.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (entry, _) = cache.get(&model, &mut |_| {}).unwrap();
+                entry
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    for e in &entries[1..] {
+        assert!(Arc::ptr_eq(&entries[0], e), "all requesters must share one entry");
+        assert!(entries[0].enumd.graph.ptr_eq(&e.enumd.graph));
+    }
+    assert_eq!(
+        cache.counters.enumerations.load(Ordering::Relaxed),
+        1,
+        "exactly one requester enumerates"
+    );
+    assert_eq!(cache.counters.snapshot_loads.load(Ordering::Relaxed), 0);
+    assert_eq!(
+        cache.counters.hits.load(Ordering::Relaxed),
+        (CLIENTS - 1) as u64,
+        "everyone else hits the shared entry"
+    );
+    assert_eq!(cache.resident_count(), 1);
+}
+
+/// Under the byte cap, inserting a second graph evicts the
+/// least-recently-used entry; the evicted graph stays one snapshot load
+/// away and its memory is released.
+#[test]
+fn eviction_under_memory_cap_frees_snapshot_backed_entry() {
+    let dir = temp_dir("evict");
+    let small = counter_model(16);
+    let big = counter_model(200);
+
+    // measure both graphs' resident charge with an uncapped throwaway
+    let probe = GraphCache::new(CacheConfig::default());
+    let (small_entry, _) = probe.get(&small, &mut |_| {}).unwrap();
+    let (big_entry, _) = probe.get(&big, &mut |_| {}).unwrap();
+    let cap = small_entry.bytes + big_entry.bytes - 1;
+    drop(probe);
+
+    let cache = GraphCache::new(CacheConfig {
+        snapshot_dir: Some(dir.clone()),
+        max_bytes: cap,
+        ..CacheConfig::default()
+    });
+    let (resident_small, _) = cache.get(&small, &mut |_| {}).unwrap();
+    let fp_small = resident_small.fingerprint;
+    assert!(cache.contains(fp_small));
+    let weak_small = Arc::downgrade(&resident_small);
+    drop(resident_small);
+
+    let (resident_big, _) = cache.get(&big, &mut |_| {}).unwrap();
+    assert_eq!(cache.counters.evictions.load(Ordering::Relaxed), 1);
+    assert!(!cache.contains(fp_small), "LRU entry is gone");
+    assert!(cache.contains(resident_big.fingerprint), "new entry survives its own insert");
+    assert!(
+        cache.resident_bytes() <= cap,
+        "resident bytes ({}) exceed the cap ({cap})",
+        cache.resident_bytes()
+    );
+    assert!(
+        weak_small.upgrade().is_none(),
+        "eviction must release the entry's memory once callers drop it"
+    );
+
+    // the evicted graph reloads from its snapshot, not by re-enumerating
+    let before = cache.counters.enumerations.load(Ordering::Relaxed);
+    let (_again, source) = cache.get(&small, &mut |_| {}).unwrap();
+    assert_eq!(source, LoadSource::Snapshot);
+    assert_eq!(cache.counters.enumerations.load(Ordering::Relaxed), before);
+    assert_eq!(cache.counters.snapshot_loads.load(Ordering::Relaxed), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupted snapshot degrades to a typed warning plus re-enumeration
+/// — and never poisons the cache: the entry is served, later requests
+/// hit it, and the snapshot is rewritten so the next cold start is clean.
+#[test]
+fn corrupted_snapshot_falls_back_with_typed_warning() {
+    let dir = temp_dir("corrupt");
+    let model = counter_model(32);
+    let config = CacheConfig { snapshot_dir: Some(dir.clone()), ..CacheConfig::default() };
+
+    // seed a valid snapshot, then corrupt it in place
+    let seeder = GraphCache::new(config.clone());
+    seeder.get(&model, &mut |_| {}).unwrap();
+    let path = seeder.snapshot_path(model.fingerprint()).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    drop(seeder);
+
+    let cache = GraphCache::new(config.clone());
+    let mut warnings = Vec::new();
+    let (entry, source) = cache.get(&model, &mut |w| warnings.push(w)).unwrap();
+    assert_eq!(source, LoadSource::Enumerated, "corrupt snapshot must re-enumerate");
+    assert_eq!(cache.counters.corrupt_snapshots.load(Ordering::Relaxed), 1);
+    assert_eq!(warnings.len(), 1, "exactly one typed warning: {warnings:?}");
+    match &warnings[0] {
+        CacheWarning::CorruptSnapshot { path: warned, detail } => {
+            assert_eq!(warned, &path);
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected CorruptSnapshot, got {other:?}"),
+    }
+    assert_eq!(entry.enumd.graph.state_count(), 32);
+
+    // not poisoned: the same cache now hits, with no further warnings
+    let (again, source) = cache.get(&model, &mut |w| warnings.push(w)).unwrap();
+    assert_eq!(source, LoadSource::Hit);
+    assert!(Arc::ptr_eq(&entry, &again));
+    assert_eq!(warnings.len(), 1);
+
+    // the rebuilt snapshot replaced the corrupt file: a fresh cache loads it
+    let fresh = GraphCache::new(config);
+    let (_, source) = fresh.get(&model, &mut |w| warnings.push(w)).unwrap();
+    assert_eq!(source, LoadSource::Snapshot, "snapshot must be rewritten after corruption");
+    assert_eq!(warnings.len(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

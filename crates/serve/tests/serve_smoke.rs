@@ -1,0 +1,233 @@
+//! End-to-end smoke of the `archval-served` binary over a Unix socket:
+//! the protocol round trip, cache warm-up across requests, and the
+//! crash-resume guarantee (SIGKILL mid-inject-campaign, restart, final
+//! report byte-identical to an uninterrupted run).
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use archval_serve::client::Client;
+use archval_serve::{line_is_event, BudgetSpec, Cmd, ModelRef, Request};
+
+const SERVER_BIN: &str = env!("CARGO_BIN_EXE_archval-served");
+
+struct Dirs {
+    root: PathBuf,
+    sock: PathBuf,
+    cache: PathBuf,
+    jobs: PathBuf,
+}
+
+fn dirs(tag: &str) -> Dirs {
+    let root = std::env::temp_dir().join(format!("archval-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    Dirs {
+        sock: root.join("served.sock"),
+        cache: root.join("cache"),
+        jobs: root.join("jobs"),
+        root,
+    }
+}
+
+fn start_server(d: &Dirs) -> Child {
+    let child = Command::new(SERVER_BIN)
+        .args(["--unix"])
+        .arg(&d.sock)
+        .args(["--cache-dir"])
+        .arg(&d.cache)
+        .args(["--jobs-dir"])
+        .arg(&d.jobs)
+        .args(["--workers", "1"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn archval-served");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !d.sock.exists() {
+        assert!(Instant::now() < deadline, "server socket never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+fn shutdown_server(d: &Dirs, mut child: Child) {
+    if let Ok(mut c) = Client::connect_unix(&d.sock) {
+        let _ = c.send(&Request::new(Cmd::Shutdown));
+        let _ = c.recv_line();
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return,
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return;
+            }
+        }
+    }
+}
+
+fn micro_request(cmd: Cmd, id: &str) -> Request {
+    let mut r = Request::new(cmd);
+    r.id = id.into();
+    r.model = Some(ModelRef::Named("pp-micro".into()));
+    r
+}
+
+fn inject_request(id: &str) -> Request {
+    let mut r = micro_request(Cmd::Inject, id);
+    r.mutants = Some(12);
+    r.chaos = false;
+    r.threads = Some(1);
+    r.budget = Some(BudgetSpec { deadline_ms: Some(30_000), ..Default::default() });
+    r
+}
+
+fn wait_for_file(path: &Path, what: &str) -> Vec<u8> {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        if let Ok(bytes) = std::fs::read(path) {
+            if !bytes.is_empty() {
+                return bytes;
+            }
+        }
+        assert!(Instant::now() < deadline, "{what} never appeared at {}", path.display());
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+#[test]
+fn protocol_round_trip_over_unix_socket() {
+    let d = dirs("roundtrip");
+    let child = start_server(&d);
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+
+    c.send(&Request::new(Cmd::Ping)).unwrap();
+    let pong = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&pong, "pong"), "{pong}");
+
+    // cold enumerate: graph comes from a fresh enumeration
+    c.send(&micro_request(Cmd::Enumerate, "e1")).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let ready = lines.iter().find(|l| line_is_event(l, "graph_ready")).unwrap();
+    assert_eq!(field(ready, "source"), Some("enumerated"), "{ready}");
+    let report = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    assert!(report.contains("\"states\":"), "{report}");
+
+    // same model again under a new id: served straight from the cache
+    c.send(&micro_request(Cmd::Enumerate, "e2")).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let ready = lines.iter().find(|l| line_is_event(l, "graph_ready")).unwrap();
+    assert_eq!(field(ready, "source"), Some("cache"), "{ready}");
+
+    // tours over the cached graph cover every arc
+    c.send(&micro_request(Cmd::Tour, "t1")).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let report = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    assert!(report.contains("\"full_coverage\":true"), "{report}");
+
+    // fuzz streams coverage-curve points before its report
+    let mut fz = micro_request(Cmd::Fuzz, "f1");
+    fz.cycles = Some(2_000);
+    fz.seed = 7;
+    c.send(&fz).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    assert!(
+        lines.iter().any(|l| line_is_event(l, "coverage")),
+        "fuzz must stream coverage points: {lines:?}"
+    );
+
+    // resubmitting a completed id replays the stored report verbatim
+    c.send(&micro_request(Cmd::Enumerate, "e1")).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let replay = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    let stored = std::fs::read_to_string(d.jobs.join("e1.report.json")).unwrap();
+    assert!(replay.ends_with(&format!(",\"report\":{}}}", stored.trim_end())), "{replay}");
+
+    // malformed ids and lines produce typed errors, not disconnects
+    let mut bad = micro_request(Cmd::Enumerate, "../escape");
+    c.send(&bad).unwrap();
+    let err = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&err, "error"), "{err}");
+    bad.id = String::new();
+    c.send(&bad).unwrap();
+    let err = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&err, "error"), "{err}");
+    c.send_line("{not json").unwrap();
+    let err = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&err, "error"), "{err}");
+
+    c.send(&Request::new(Cmd::Stats)).unwrap();
+    let stats = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&stats, "stats"), "{stats}");
+    assert!(stats.contains("\"enumerations\":1"), "one cold enumeration total: {stats}");
+
+    shutdown_server(&d, child);
+    assert!(!d.sock.exists(), "socket file cleaned up on shutdown");
+    std::fs::remove_dir_all(&d.root).ok();
+}
+
+#[test]
+fn sigkill_mid_campaign_resumes_to_byte_identical_report() {
+    let req = inject_request("camp");
+
+    // baseline: the same campaign, uninterrupted
+    let base = dirs("baseline");
+    let child = start_server(&base);
+    let mut c = Client::connect_unix(&base.sock).unwrap();
+    c.send(&req).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    assert_eq!(lines.iter().filter(|l| line_is_event(l, "verdict")).count(), 12);
+    shutdown_server(&base, child);
+    let expected = wait_for_file(&base.jobs.join("camp.report.json"), "baseline report");
+
+    // interrupted: SIGKILL after the second streamed verdict
+    let d = dirs("killed");
+    let mut child = start_server(&d);
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    c.send(&req).unwrap();
+    c.recv_until("verdict").unwrap();
+    c.recv_until("verdict").unwrap();
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let checkpoint = d.jobs.join("camp.checkpoint.jsonl");
+    let lines = std::fs::read_to_string(&checkpoint).unwrap_or_default();
+    assert!(lines.lines().count() >= 2, "checkpoint must hold the streamed mutants at kill time");
+
+    // restart on the same job store: the campaign resumes unattended
+    let child = start_server(&d);
+    let resumed = wait_for_file(&d.jobs.join("camp.report.json"), "resumed report");
+    assert_eq!(
+        String::from_utf8_lossy(&resumed),
+        String::from_utf8_lossy(&expected),
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+
+    // resubmitting the finished id replays the identical report
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    c.send(&req).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let replay = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    let stored = String::from_utf8_lossy(&resumed);
+    assert!(replay.ends_with(&format!(",\"report\":{}}}", stored.trim_end())), "{replay}");
+
+    shutdown_server(&d, child);
+    std::fs::remove_dir_all(&d.root).ok();
+    std::fs::remove_dir_all(&base.root).ok();
+}
