@@ -1,0 +1,318 @@
+//! Cross-design campaign matrix: every member of the generated design
+//! family, validated end-to-end, in one table.
+//!
+//! ```text
+//! repro-matrix [smoke|matrix] [threads]
+//! ```
+//!
+//! Expands a [`FamilyAxes`] family (`matrix`, the default: 30+ designs
+//! across the fill-beat / pipe-depth / dual-issue / cache-way / spill /
+//! Outbox axes; `smoke`: 8 micro-sized designs for CI), then for each
+//! member:
+//!
+//! 1. builds its control model from the spec (generate → parse →
+//!    translate) and obtains the reachable state graph through the same
+//!    fingerprint-keyed [`GraphCache`] the campaign server uses — the
+//!    first run enumerates and persists one snapshot per design, repeat
+//!    runs load snapshots, and the in-process verification pass hits the
+//!    resident entries;
+//! 2. runs the three stimulus strategies against the member: transition
+//!    tours (arc coverage), coverage-guided fuzz (feature coverage), and
+//!    a fault-injection campaign (per-strategy kill rates) under
+//!    micro budgets.
+//!
+//! The result is a configuration × strategy matrix keyed by each
+//! member's canonical spec string (legacy members share the
+//! `pp_control` design id, so the id cannot key rows), written to
+//! `BENCH_matrix.json`.
+//!
+//! Exits non-zero if any member fails to build or enumerate, a tour set
+//! misses an arc, an inject campaign is incomplete, the matrix holds
+//! fewer members than the family promises (≥24 for `matrix`, exactly 8
+//! for `smoke`), or the second in-process pass over the cached graphs
+//! does not reproduce the first byte-for-byte.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use archval::fuzz::FuzzConfig;
+use archval::inject::{CampaignConfig, RunBudget};
+use archval::tour::TourConfig;
+use archval::{fuzz_campaign, inject_campaign, tour_campaign};
+use archval_bench::{emit_bench_json, run, threads_from_args, BenchError};
+use archval_pp::{pp_control_model, DesignSpec, FamilyAxes};
+use archval_serve::{CacheConfig, GraphCache};
+
+/// One configuration × strategy row of the matrix.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+struct MatrixRow {
+    /// Canonical spec string — the row key (unique across the family).
+    design: String,
+    /// Module/model name; all legacy members share `pp_control`.
+    design_id: String,
+    /// Model fingerprint (hex) — the serve-cache key.
+    fingerprint: String,
+    legacy: bool,
+    states: usize,
+    edges: usize,
+    tour_traces: usize,
+    tour_arcs_covered: usize,
+    tour_arcs_total: usize,
+    fuzz_covered: usize,
+    fuzz_total: Option<usize>,
+    fuzz_cycles: u64,
+    inject_mutants: usize,
+    /// `strategy → (killed, survived, excluded)` in campaign order.
+    kill_rates: Vec<KillCell>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+struct KillCell {
+    strategy: &'static str,
+    killed: usize,
+    survived: usize,
+    excluded: usize,
+    rate: f64,
+}
+
+#[derive(Serialize)]
+struct MatrixBench {
+    family: String,
+    configs: usize,
+    legacy_members: usize,
+    threads: usize,
+    /// Graph provenance per row, first pass (`enumerated` on a cold
+    /// cache dir, `snapshot` on a warm one). Kept out of [`MatrixRow`]
+    /// so the determinism check compares pure results.
+    graph_sources: Vec<String>,
+    cache_hits: u64,
+    cache_snapshot_loads: u64,
+    cache_enumerations: u64,
+    /// The second pass over the resident graphs reproduced every row.
+    deterministic: bool,
+    rows: Vec<MatrixRow>,
+    wall_seconds: f64,
+}
+
+/// Micro budgets: every member of both families enumerates well under
+/// these bounds, and replay budgets keep the whole matrix debug-build
+/// friendly for CI.
+///
+/// The deadline is a wedge guard only, set far above any real mutant's
+/// runtime: the determinism gate needs every verdict cut by the
+/// *deterministic* bounds (states / transitions / cycles) — a tight
+/// wall-clock deadline lets boundary mutants race between `Timeout` and
+/// a real verdict across the two passes.
+fn micro_budget() -> RunBudget {
+    RunBudget {
+        max_states: 1 << 15,
+        max_transitions: 1 << 23,
+        deadline: Duration::from_secs(600),
+        max_cycles: 2_048,
+    }
+}
+
+/// Runs the three strategies for one member whose graph is `entry`.
+fn run_member(
+    spec: &DesignSpec,
+    entry: &archval_serve::CachedGraph,
+    threads: usize,
+) -> Result<MatrixRow, BenchError> {
+    let model = &entry.model;
+    let tours = tour_campaign(&entry.enumd, &TourConfig::default());
+    let tour_stats = tours.stats();
+
+    let fuzz = fuzz_campaign(
+        model,
+        Some(&entry.program),
+        &entry.enumd,
+        FuzzConfig {
+            cycle_budget: micro_budget().max_cycles,
+            seed: 7,
+            threads: 1,
+            ..FuzzConfig::default()
+        },
+    )?;
+
+    let inject = inject_campaign(
+        model,
+        &entry.enumd,
+        &CampaignConfig {
+            mutant_limit: 12,
+            include_chaos: false,
+            budget: micro_budget(),
+            threads,
+            checkpoint: None,
+            ..CampaignConfig::default()
+        },
+    )?;
+    if !inject.complete {
+        return Err(BenchError::Invalid(format!(
+            "incomplete inject campaign for {}",
+            spec.to_canonical_string()
+        )));
+    }
+
+    Ok(MatrixRow {
+        design: spec.to_canonical_string(),
+        design_id: spec.design_id(),
+        fingerprint: format!("{:016x}", model.fingerprint()),
+        legacy: spec.is_legacy(),
+        states: entry.enumd.graph.state_count(),
+        edges: entry.enumd.graph.edge_count(),
+        tour_traces: tour_stats.traces,
+        tour_arcs_covered: tour_stats.arcs_covered,
+        tour_arcs_total: tour_stats.arcs_total,
+        fuzz_covered: fuzz.covered,
+        fuzz_total: fuzz.total,
+        fuzz_cycles: fuzz.cycles,
+        inject_mutants: inject.mutants.len(),
+        kill_rates: inject
+            .kill_rates
+            .iter()
+            .map(|k| KillCell {
+                strategy: k.strategy.name(),
+                killed: k.killed,
+                survived: k.survived,
+                excluded: k.excluded,
+                rate: k.rate(),
+            })
+            .collect(),
+    })
+}
+
+fn main() {
+    run("repro-matrix", body);
+}
+
+fn body() -> Result<(), BenchError> {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    let (family_name, axes) = match args.first().map(String::as_str) {
+        Some("smoke") => ("smoke", FamilyAxes::smoke()),
+        Some("matrix") | None => ("matrix", FamilyAxes::matrix()),
+        Some(other) => {
+            return Err(BenchError::Invalid(format!("unknown family `{other}`; use smoke|matrix")))
+        }
+    };
+    let threads = threads_from_args();
+    let started = Instant::now();
+
+    let family = axes.expand();
+    let floor = match family_name {
+        "smoke" => 8,
+        _ => 24,
+    };
+    if family.len() < floor {
+        return Err(BenchError::Invalid(format!(
+            "family `{family_name}` expanded to {} members, need at least {floor}",
+            family.len()
+        )));
+    }
+
+    // One snapshot file per design fingerprint, shared with (and reusable
+    // by) archval-served pointed at the same directory.
+    let bench_dir = std::env::var("ARCHVAL_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let snapshot_dir = std::path::Path::new(&bench_dir).join("matrix-cache");
+    std::fs::create_dir_all(&snapshot_dir)
+        .map_err(|source| BenchError::Io { path: snapshot_dir.clone(), source })?;
+    let cache = GraphCache::new(CacheConfig {
+        snapshot_dir: Some(snapshot_dir),
+        enum_threads: threads,
+        ..CacheConfig::default()
+    });
+
+    let mut rows = Vec::with_capacity(family.len());
+    let mut sources = Vec::with_capacity(family.len());
+    let mut entries: Vec<Arc<archval_serve::CachedGraph>> = Vec::with_capacity(family.len());
+    for spec in &family {
+        let model = pp_control_model(spec).map_err(BenchError::from)?;
+        let (entry, source) = cache.get(&model, &mut |w| {
+            eprintln!("repro-matrix: warning ({}): {}", w.kind(), w.detail());
+        })?;
+        sources.push(source.name().to_string());
+        rows.push(run_member(spec, &entry, threads)?);
+        entries.push(entry);
+    }
+
+    // Verification pass: identical campaigns over the now-resident
+    // graphs must reproduce every row exactly.
+    let mut deterministic = true;
+    for (i, spec) in family.iter().enumerate() {
+        let again = run_member(spec, &entries[i], threads)?;
+        if again != rows[i] {
+            deterministic = false;
+            eprintln!("repro-matrix: row {} not deterministic: {}", i, spec.to_canonical_string());
+        }
+    }
+
+    for (i, row) in rows.iter().enumerate() {
+        if row.tour_arcs_covered != row.tour_arcs_total {
+            return Err(BenchError::Invalid(format!(
+                "tours missed arcs on {}: {}/{}",
+                row.design, row.tour_arcs_covered, row.tour_arcs_total
+            )));
+        }
+        if row.kill_rates.len() != 3 {
+            return Err(BenchError::Invalid(format!(
+                "row {i} ({}) is missing strategies: {:?}",
+                row.design, row.kill_rates
+            )));
+        }
+    }
+    let legacy_members = rows.iter().filter(|r| r.legacy).count();
+
+    // the configuration × strategy table
+    println!("== cross-design campaign matrix ({family_name}) ==");
+    println!(
+        "{:<46} {:>7} {:>7} {:>10} {:>7} {:>7} {:>7}",
+        "design", "states", "edges", "tour", "fuzz%", "tours%", "fuzz-k%"
+    );
+    for row in &rows {
+        let fuzz_pct = row.fuzz_total.map_or_else(
+            || "?".into(),
+            |t| format!("{:.0}", 100.0 * row.fuzz_covered as f64 / t as f64),
+        );
+        let kill = |name: &str| {
+            row.kill_rates
+                .iter()
+                .find(|k| k.strategy == name)
+                .map_or_else(|| "?".into(), |k| format!("{:.0}", 100.0 * k.rate))
+        };
+        println!(
+            "{:<46} {:>7} {:>7} {:>6}/{:<3} {:>7} {:>7} {:>7}",
+            row.design,
+            row.states,
+            row.edges,
+            row.tour_arcs_covered,
+            row.tour_arcs_total,
+            fuzz_pct,
+            kill("tours"),
+            kill("fuzz"),
+        );
+    }
+
+    let bench = MatrixBench {
+        family: family_name.to_string(),
+        configs: rows.len(),
+        legacy_members,
+        threads,
+        graph_sources: sources,
+        cache_hits: cache.counters.hits.load(std::sync::atomic::Ordering::Relaxed),
+        cache_snapshot_loads: cache
+            .counters
+            .snapshot_loads
+            .load(std::sync::atomic::Ordering::Relaxed),
+        cache_enumerations: cache.counters.enumerations.load(std::sync::atomic::Ordering::Relaxed),
+        deterministic,
+        rows,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    };
+    emit_bench_json("matrix", &bench)?;
+
+    if !deterministic {
+        return Err(BenchError::Invalid("matrix rows were not deterministic".into()));
+    }
+    Ok(())
+}

@@ -109,18 +109,22 @@ pub fn snapshot_from_args() -> Option<PathBuf> {
     None
 }
 
-/// Parses a scale argument (`micro|standard|full|paper`), defaulting to
-/// `standard`.
+/// Parses a scale argument — a preset name (`micro|standard|full|paper`,
+/// with or without the `pp-` prefix) or a canonical design-spec string
+/// (`beats=4,ways=2,dual=1`) — defaulting to `standard`.
 pub fn scale_from_args() -> PpScale {
     match positional_args().first().map(String::as_str) {
-        Some("micro") => PpScale::micro(),
-        Some("full") => PpScale::full(),
-        Some("paper") => PpScale::paper(),
-        Some("standard") | None => PpScale::standard(),
-        Some(other) => {
-            eprintln!("unknown scale `{other}`; use micro|standard|full|paper");
-            std::process::exit(2);
-        }
+        None => PpScale::standard(),
+        Some(arg) => match archval_pp::resolve_preset(arg) {
+            Some(scale) => scale,
+            None => PpScale::parse(arg).unwrap_or_else(|e| {
+                eprintln!(
+                    "unknown scale `{arg}`; use micro|standard|full|paper or a design \
+                     spec like beats=4,ways=2,dual=1 ({e})"
+                );
+                std::process::exit(2);
+            }),
+        },
     }
 }
 

@@ -1,56 +1,19 @@
-//! Scale configuration for the PP control model.
+//! Historical scale configuration, now an alias of the declarative
+//! design layer.
 //!
-//! The paper's PP model reached 229,571 states with 98 bits of state.
-//! Our reproduction exposes the structural knobs that grow the control
-//! state space — refill burst length, an extra modelled pipeline stage and
-//! the dual-issue communication slot — so the state-enumeration experiment
-//! (Table 3.2) can be run at several scales on one code base.
+//! The paper's PP model reached 229,571 states with 98 bits of state, and
+//! the original `PpScale` exposed three structural knobs — refill burst
+//! length, an extra modelled pipeline stage and the dual-issue
+//! communication slot. Those knobs are now three of the nine axes of
+//! [`DesignSpec`](crate::design::DesignSpec); `PpScale` remains as a type
+//! alias so the historical name keeps working everywhere, and the four
+//! presets ([`PpScale::micro`](crate::design::DesignSpec::micro) and
+//! friends) are the legacy sub-family producing byte-identical artifacts
+//! (see [`DesignSpec::is_legacy`](crate::design::DesignSpec::is_legacy)).
 
-use serde::{Deserialize, Serialize};
-
-/// Structural scale of the PP control model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PpScale {
-    /// Cache-line refill length in memory beats (words per line).
-    pub fill_beats: u64,
-    /// Model an extra pipeline stage between fetch and MEM.
-    pub extra_stage: bool,
-    /// Model the dual-issue second slot, which may carry an ALU, `switch`
-    /// or `send` instruction alongside the memory-pipe slot. Required for
-    /// Bug #5's window (an external stall while a load/store holds the
-    /// memory pipe can only come from the companion slot).
-    pub dual_comm_slot: bool,
-}
-
-impl PpScale {
-    /// Smallest useful configuration — fast enough for debug-build tests.
-    pub fn micro() -> Self {
-        PpScale { fill_beats: 2, extra_stage: false, dual_comm_slot: false }
-    }
-
-    /// The default configuration modelling all PP mechanisms.
-    pub fn standard() -> Self {
-        PpScale { fill_beats: 4, extra_stage: false, dual_comm_slot: true }
-    }
-
-    /// All mechanisms enabled at the smallest size: every Table 2.1 bug
-    /// trigger is reachable (Bugs #2/#4 need the extra stage, Bug #5 the
-    /// dual-issue communication slot) while enumeration stays test-sized.
-    pub fn full() -> Self {
-        PpScale { fill_beats: 2, extra_stage: true, dual_comm_slot: true }
-    }
-
-    /// A configuration sized to approach the paper's Table 3.2 state count.
-    pub fn paper() -> Self {
-        PpScale { fill_beats: 16, extra_stage: true, dual_comm_slot: true }
-    }
-}
-
-impl Default for PpScale {
-    fn default() -> Self {
-        PpScale::standard()
-    }
-}
+/// Structural scale of the PP control model — the historical name for a
+/// [`DesignSpec`](crate::design::DesignSpec).
+pub type PpScale = crate::design::DesignSpec;
 
 #[cfg(test)]
 mod tests {
@@ -63,6 +26,6 @@ mod tests {
         let p = PpScale::paper();
         assert!(m.fill_beats < s.fill_beats && s.fill_beats < p.fill_beats);
         assert!(!m.dual_comm_slot && s.dual_comm_slot);
-        assert!(!s.extra_stage && p.extra_stage);
+        assert!(!s.extra_stage() && p.extra_stage());
     }
 }

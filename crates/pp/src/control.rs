@@ -1,25 +1,34 @@
 //! The PP control logic: stall machine, refill FSMs, split-store conflict
 //! tracking and abstract pipeline class registers.
 //!
-//! This module is the single behavioural specification of the PP control.
-//! The generated Verilog ([`crate::verilog_gen`]) transcribes exactly this
-//! logic (a property test keeps the two in lockstep), and the RTL simulator
+//! This module is the single behavioural specification of the PP control,
+//! parameterised over the whole design family described by
+//! [`DesignSpec`]. The generated Verilog ([`crate::verilog_gen`])
+//! transcribes exactly this logic (a property test keeps the two in
+//! lockstep for every family axis), and the RTL simulator
 //! ([`crate::rtl`]) embeds a [`CtrlState`] directly so its control
 //! trajectory is the FSM model's trajectory by construction.
 //!
 //! The FSMs are the ones in the paper's Figure 3.2: I-cache refill,
 //! D-cache refill, fill/spill, cache-conflict and the stall FSM, fed by
-//! abstract models of the caches (hit/miss bits), the pipeline instruction
-//! registers (five instruction classes), the Inbox, Outbox and the memory
-//! controller.
+//! abstract models of the caches (hit/miss bits plus an optional victim
+//! way pointer), the pipeline instruction registers (the design's enabled
+//! instruction classes), the Inbox, Outbox (ready bits or occupancy
+//! counters, per the spec) and the memory controller.
+//!
+//! Rust-side state and inputs always use the *canonical* class codes of
+//! [`class_code`]/[`slot2_code`]; designs with disabled classes use dense
+//! re-mapped codes on the wire and in the Verilog, and
+//! [`CtrlState::to_values`]/[`CtrlIn::to_choices`] translate at the
+//! boundary.
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::PpScale;
+use crate::design::{DesignSpec, FillPolicy};
 use crate::isa::InstrClass;
 
-/// Pipeline-register instruction class codes used by the control model:
-/// Table 3.1's five classes plus an internal bubble.
+/// Canonical pipeline-register instruction class codes used by the control
+/// model: Table 3.1's five classes plus an internal bubble.
 pub mod class_code {
     /// ALU class.
     pub const ALU: u64 = 0;
@@ -35,8 +44,8 @@ pub mod class_code {
     pub const BUBBLE: u64 = 5;
 }
 
-/// Second-slot class codes (dual-issue companion pipe): it can carry only
-/// control-inert ALU work or the communication instructions.
+/// Canonical second-slot class codes (dual-issue companion pipe): it can
+/// carry only control-inert ALU work or the communication instructions.
 pub mod slot2_code {
     /// ALU (or no-op) in the companion slot.
     pub const ALU: u64 = 0;
@@ -72,20 +81,23 @@ pub mod drefill {
     pub const CRIT: u64 = 2;
     /// Receiving the rest of the line in the background.
     pub const FILL: u64 = 3;
-    /// Writing back the dirty victim from the spill buffer
-    /// (fill-before-spill: this happens *after* the fill).
+    /// Writing back dirty victims from the spill buffer (fill-before-
+    /// spill: this happens *after* the fill; deep buffers drain one entry
+    /// per memory grant).
     pub const SPILL: u64 = 4;
 }
 
 /// The abstract inputs the control logic samples each cycle — one value
-/// per nondeterministic choice of the enumeration.
+/// per nondeterministic choice of the enumeration. Class fields hold
+/// canonical codes; fields that a given [`DesignSpec`] does not expose as
+/// choices are simply ignored by [`CtrlState::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CtrlIn {
     /// Class of the instruction the I-cache presents to the memory pipe
-    /// (`class_code::ALU..=SEND`).
+    /// (`class_code::ALU..=SEND`, canonical).
     pub iclass: u64,
-    /// Class in the companion slot (`slot2_code::ALU/SWITCH/SEND`); ignored
-    /// unless [`PpScale::dual_comm_slot`].
+    /// Class in the companion slot (`slot2_code::ALU/SWITCH/SEND`,
+    /// canonical); ignored unless [`DesignSpec::dual_comm_slot`].
     pub iclass2: u64,
     /// Whether the fetch address hits in the I-cache.
     pub ihit: bool,
@@ -95,16 +107,23 @@ pub struct CtrlIn {
     pub victim_dirty: bool,
     /// Whether the access following a split store touches the same line.
     pub same_line: bool,
-    /// Inbox has a word available.
+    /// Inbox has a word available (abstract Inbox only).
     pub inbox_ready: bool,
-    /// Outbox can accept a word.
+    /// Outbox can accept a word (abstract Outbox only).
     pub outbox_ready: bool,
+    /// The network delivers a word to the Inbox this cycle (sized Inbox
+    /// only; ignored when the Inbox is full).
+    pub inbox_push: bool,
+    /// The network drains a word from the Outbox this cycle (sized Outbox
+    /// only; ignored when the Outbox is empty).
+    pub outbox_pop: bool,
     /// Memory controller handshake this cycle.
     pub mem_ready: bool,
 }
 
 impl CtrlIn {
-    /// A quiescent input: ALU instruction, all hits, everything ready.
+    /// A quiescent input: ALU instruction, all hits, everything ready,
+    /// no network activity.
     pub fn quiet() -> Self {
         CtrlIn {
             iclass: class_code::ALU,
@@ -115,51 +134,83 @@ impl CtrlIn {
             same_line: false,
             inbox_ready: true,
             outbox_ready: true,
+            inbox_push: false,
+            outbox_pop: false,
             mem_ready: true,
         }
     }
 
     /// Orders the choice values exactly as the generated Verilog declares
-    /// its abstract inputs, for driving a translated model.
-    pub fn to_choices(&self, scale: &PpScale) -> Vec<u64> {
-        let mut v = vec![
-            self.iclass,
+    /// its abstract inputs, for driving a translated model. Class codes
+    /// are converted to the design's dense wire encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class field names a class the design disables.
+    pub fn to_choices(&self, scale: &DesignSpec) -> Vec<u64> {
+        let mut v = vec![scale.dense1(self.iclass)];
+        if scale.dual_comm_slot {
+            v.push(scale.dense2(self.iclass2));
+        }
+        v.extend([
             u64::from(self.ihit),
             u64::from(self.dhit),
             u64::from(self.victim_dirty),
             u64::from(self.same_line),
-            u64::from(self.inbox_ready),
-            u64::from(self.outbox_ready),
-            u64::from(self.mem_ready),
-        ];
-        if scale.dual_comm_slot {
-            v.insert(1, self.iclass2);
+        ]);
+        if scale.has_inbox_choice() {
+            v.push(u64::from(if scale.inbox_abstract() {
+                self.inbox_ready
+            } else {
+                self.inbox_push
+            }));
         }
+        if scale.has_outbox_choice() {
+            v.push(u64::from(if scale.outbox_abstract() {
+                self.outbox_ready
+            } else {
+                self.outbox_pop
+            }));
+        }
+        v.push(u64::from(self.mem_ready));
         v
     }
 
-    /// Inverse of [`CtrlIn::to_choices`].
+    /// Inverse of [`CtrlIn::to_choices`]. Choices the design does not
+    /// expose take their [`CtrlIn::quiet`] defaults.
     ///
     /// # Panics
     ///
     /// Panics if `choices` has the wrong length for `scale`.
-    pub fn from_choices(scale: &PpScale, choices: &[u64]) -> Self {
-        let expect = if scale.dual_comm_slot { 9 } else { 8 };
-        assert_eq!(choices.len(), expect, "wrong choice count");
-        let (iclass2, rest_ix) =
-            if scale.dual_comm_slot { (choices[1], 2) } else { (slot2_code::BUBBLE, 1) };
-        let r = &choices[rest_ix..];
-        CtrlIn {
-            iclass: choices[0],
-            iclass2,
-            ihit: r[0] != 0,
-            dhit: r[1] != 0,
-            victim_dirty: r[2] != 0,
-            same_line: r[3] != 0,
-            inbox_ready: r[4] != 0,
-            outbox_ready: r[5] != 0,
-            mem_ready: r[6] != 0,
+    pub fn from_choices(scale: &DesignSpec, choices: &[u64]) -> Self {
+        let mut it = choices.iter().copied();
+        let mut next = || it.next().expect("choice vector too short");
+        let mut i = CtrlIn::quiet();
+        i.iclass = scale.canon1(next());
+        i.iclass2 = if scale.dual_comm_slot { scale.canon2(next()) } else { slot2_code::BUBBLE };
+        i.ihit = next() != 0;
+        i.dhit = next() != 0;
+        i.victim_dirty = next() != 0;
+        i.same_line = next() != 0;
+        if scale.has_inbox_choice() {
+            let v = next() != 0;
+            if scale.inbox_abstract() {
+                i.inbox_ready = v;
+            } else {
+                i.inbox_push = v;
+            }
         }
+        if scale.has_outbox_choice() {
+            let v = next() != 0;
+            if scale.outbox_abstract() {
+                i.outbox_ready = v;
+            } else {
+                i.outbox_pop = v;
+            }
+        }
+        i.mem_ready = next() != 0;
+        assert!(it.next().is_none(), "choice vector too long");
+        i
     }
 }
 
@@ -192,20 +243,26 @@ pub struct CtrlSignals {
 }
 
 /// The control state: one field per state register of the control model.
+/// Fields a given [`DesignSpec`] does not materialise stay at their reset
+/// values and are skipped by [`CtrlState::to_values`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CtrlState {
     /// 0 only in the reset state; reset arcs can never be revisited, which
     /// is what makes the trace count equal the reset out-degree (the
     /// paper's Table 3.3 lower-bound argument).
     pub booted: bool,
-    /// Memory-pipe class in MEM.
+    /// Memory-pipe class in MEM (canonical code).
     pub m_class: u64,
-    /// Companion-slot class in MEM.
+    /// Companion-slot class in MEM (canonical code).
     pub m2_class: u64,
-    /// Memory-pipe class in the extra stage (paper-scale only).
+    /// Memory-pipe class in the first extra stage (`pipe_extra >= 1`).
     pub e_class: u64,
-    /// Companion-slot class in the extra stage.
+    /// Companion-slot class in the first extra stage.
     pub e2_class: u64,
+    /// Memory-pipe class in the second extra stage (`pipe_extra == 2`).
+    pub f_class: u64,
+    /// Companion-slot class in the second extra stage.
+    pub f2_class: u64,
     /// Memory-pipe class in WB.
     pub w_class: u64,
     /// I-cache refill FSM state.
@@ -216,12 +273,19 @@ pub struct CtrlState {
     pub dcnt: u64,
     /// I-refill beat counter.
     pub icnt: u64,
-    /// A dirty victim occupies the spill buffer.
-    pub spill_pend: bool,
+    /// Occupied spill-buffer entries (0 or 1 for the legacy depth-1
+    /// buffer).
+    pub spill: u64,
     /// A split store's data phase is pending.
     pub store_pend: bool,
     /// A cache-conflict stall is asserted this cycle.
     pub conflict: bool,
+    /// Victim way pointer (`cache_ways >= 2` only).
+    pub dway: u64,
+    /// Inbox occupancy (sized Inbox only).
+    pub ibox_cnt: u64,
+    /// Outbox occupancy (sized Outbox only).
+    pub obox_cnt: u64,
 }
 
 impl CtrlState {
@@ -233,30 +297,63 @@ impl CtrlState {
             m2_class: slot2_code::BUBBLE,
             e_class: class_code::BUBBLE,
             e2_class: slot2_code::BUBBLE,
+            f_class: class_code::BUBBLE,
+            f2_class: slot2_code::BUBBLE,
             w_class: class_code::BUBBLE,
             irefill: irefill::IDLE,
             drefill: drefill::IDLE,
             dcnt: 0,
             icnt: 0,
-            spill_pend: false,
+            spill: 0,
             store_pend: false,
             conflict: false,
+            dway: 0,
+            ibox_cnt: 0,
+            obox_cnt: 0,
         }
     }
 
+    /// Legacy view of the spill buffer: at least one entry occupied.
+    pub fn spill_pend(&self) -> bool {
+        self.spill != 0
+    }
+
+    /// How many communication-class slots in MEM need the Inbox (0..=2).
+    fn sw_need(&self, scale: &DesignSpec) -> u64 {
+        u64::from(self.m_class == class_code::SWITCH)
+            + u64::from(scale.dual_comm_slot && self.m2_class == slot2_code::SWITCH)
+    }
+
+    /// How many communication-class slots in MEM need the Outbox (0..=2).
+    fn se_need(&self, scale: &DesignSpec) -> u64 {
+        u64::from(self.m_class == class_code::SEND)
+            + u64::from(scale.dual_comm_slot && self.m2_class == slot2_code::SEND)
+    }
+
     /// Computes this cycle's combinational control signals.
-    pub fn signals(&self, scale: &PpScale, i: &CtrlIn) -> CtrlSignals {
+    pub fn signals(&self, scale: &DesignSpec, i: &CtrlIn) -> CtrlSignals {
         let is_ld = self.m_class == class_code::LD;
         let is_sd = self.m_class == class_code::SD;
         let is_mem = is_ld || is_sd;
-        let is_sw = self.m_class == class_code::SWITCH;
-        let is_se = self.m_class == class_code::SEND;
-        let m2_sw = scale.dual_comm_slot && self.m2_class == slot2_code::SWITCH;
-        let m2_se = scale.dual_comm_slot && self.m2_class == slot2_code::SEND;
-        let ext_stall = (is_se && !i.outbox_ready)
-            || (is_sw && !i.inbox_ready)
-            || (m2_se && !i.outbox_ready)
-            || (m2_sw && !i.inbox_ready);
+        let sw_need = self.sw_need(scale);
+        let se_need = self.se_need(scale);
+        // Inbox shortfall: abstract handshake or occupancy counter.
+        let in_short = if !scale.classes.switch_ {
+            false
+        } else if scale.inbox_abstract() {
+            sw_need != 0 && !i.inbox_ready
+        } else {
+            sw_need > self.ibox_cnt
+        };
+        // Outbox shortfall: the pending writes must fit in the free slots.
+        let out_short = if !scale.classes.send {
+            false
+        } else if scale.outbox_abstract() {
+            se_need != 0 && !i.outbox_ready
+        } else {
+            self.obox_cnt + se_need > u64::from(scale.outbox_width)
+        };
+        let ext_stall = in_short || out_short;
         let conflict_stall = self.conflict;
         let dr_idle = self.drefill == drefill::IDLE;
         let dr_req = self.drefill == drefill::REQ;
@@ -290,30 +387,39 @@ impl CtrlState {
     }
 
     /// Advances one clock cycle. Returns the new state.
-    pub fn step(&self, scale: &PpScale, i: &CtrlIn) -> CtrlState {
+    #[allow(clippy::too_many_lines)]
+    pub fn step(&self, scale: &DesignSpec, i: &CtrlIn) -> CtrlState {
         let s = self.signals(scale, i);
         let beats = scale.fill_beats;
         let fetched_m = if s.fetch_valid { i.iclass } else { class_code::BUBBLE };
         let fetched_m2 =
             if s.fetch_valid && scale.dual_comm_slot { i.iclass2 } else { slot2_code::BUBBLE };
-        // the class that will occupy MEM next cycle (used by the conflict
-        // comparator on a completing split store)
-        let (next_m, next_m2, next_e, next_e2) = if scale.extra_stage {
-            if s.advance {
-                (self.e_class, self.e2_class, fetched_m, fetched_m2)
-            } else {
-                (self.m_class, self.m2_class, self.e_class, self.e2_class)
+        // the pipeline chain fetch -> [f ->] [e ->] m -> w, shifted only
+        // when the pipe advances; next_m is also what the conflict
+        // comparator sees on a completing split store
+        let bub = (class_code::BUBBLE, slot2_code::BUBBLE);
+        let ((next_m, next_m2), (next_e, next_e2), (next_f, next_f2)) = if s.advance {
+            match scale.pipe_extra {
+                0 => ((fetched_m, fetched_m2), bub, bub),
+                1 => ((self.e_class, self.e2_class), (fetched_m, fetched_m2), bub),
+                _ => (
+                    (self.e_class, self.e2_class),
+                    (self.f_class, self.f2_class),
+                    (fetched_m, fetched_m2),
+                ),
             }
-        } else if s.advance {
-            (fetched_m, fetched_m2, class_code::BUBBLE, slot2_code::BUBBLE)
         } else {
-            (self.m_class, self.m2_class, class_code::BUBBLE, slot2_code::BUBBLE)
+            let hold_e = if scale.pipe_extra >= 1 { (self.e_class, self.e2_class) } else { bub };
+            let hold_f = if scale.pipe_extra >= 2 { (self.f_class, self.f2_class) } else { bub };
+            ((self.m_class, self.m2_class), hold_e, hold_f)
         };
 
         let sd_completes = s.advance && self.m_class == class_code::SD;
         let conflict_next =
             sd_completes && (next_m == class_code::SD || (next_m == class_code::LD && i.same_line));
 
+        let depth = u64::from(scale.spill_depth);
+        let spill_full = self.spill == depth;
         let drefill_next = match self.drefill {
             drefill::IDLE => {
                 if s.d_miss_start {
@@ -333,7 +439,9 @@ impl CtrlState {
             drefill::CRIT => drefill::FILL,
             drefill::FILL => {
                 if i.mem_ready && self.dcnt == beats - 1 {
-                    if self.spill_pend {
+                    // legacy depth-1 buffers drain whenever occupied;
+                    // deeper buffers defer the write-back until full
+                    if spill_full {
                         drefill::SPILL
                     } else {
                         drefill::IDLE
@@ -343,8 +451,9 @@ impl CtrlState {
                 }
             }
             _ => {
-                // SPILL
-                if i.mem_ready {
+                // SPILL: one entry retires per memory grant
+                let last = scale.spill_depth == 1 || self.spill == 1;
+                if i.mem_ready && last {
                     drefill::IDLE
                 } else {
                     drefill::SPILL
@@ -362,12 +471,50 @@ impl CtrlState {
         } else {
             self.dcnt
         };
+        // a dirty victim enters the spill buffer; with a modelled way
+        // pointer, way 0 is the abstractly clean-preferred way
+        let spill_push = i.victim_dirty && (scale.cache_ways == 1 || self.dway != 0);
         let spill_next = if s.d_miss_start {
-            i.victim_dirty
+            if scale.spill_depth == 1 {
+                // legacy semantics: plain assignment of the dirty bit
+                u64::from(spill_push)
+            } else if spill_push {
+                (self.spill + 1).min(depth)
+            } else {
+                self.spill
+            }
         } else if self.drefill == drefill::SPILL && i.mem_ready {
-            false
+            if scale.spill_depth == 1 {
+                0
+            } else {
+                self.spill.saturating_sub(1)
+            }
         } else {
-            self.spill_pend
+            self.spill
+        };
+        let dway_next = if scale.cache_ways >= 2 {
+            let ways = u64::from(scale.cache_ways);
+            if s.d_miss_start {
+                // the miss claims the pointed-to way and advances the
+                // pointer round-robin
+                if self.dway == ways - 1 {
+                    0
+                } else {
+                    self.dway + 1
+                }
+            } else if scale.fill_policy == FillPolicy::Lru
+                && s.advance
+                && (self.m_class == class_code::LD || self.m_class == class_code::SD)
+                && i.dhit
+                && self.drefill == drefill::IDLE
+            {
+                // a completing hit promotes way 0 to next victim-safe
+                0
+            } else {
+                self.dway
+            }
+        } else {
+            0
         };
         let irefill_next = match self.irefill {
             irefill::IDLE => {
@@ -403,6 +550,21 @@ impl CtrlState {
         } else {
             self.icnt
         };
+        let ibox_next = if scale.inbox_width > 0 {
+            let cap = u64::from(scale.inbox_width);
+            let pushed = u64::from(i.inbox_push && self.ibox_cnt != cap);
+            let consumed = if s.advance { self.sw_need(scale) } else { 0 };
+            (self.ibox_cnt + pushed).saturating_sub(consumed)
+        } else {
+            0
+        };
+        let obox_next = if scale.outbox_width > 0 {
+            let produced = if s.advance { self.se_need(scale) } else { 0 };
+            let popped = u64::from(i.outbox_pop && self.obox_cnt != 0);
+            (self.obox_cnt + produced).saturating_sub(popped)
+        } else {
+            0
+        };
 
         CtrlState {
             booted: true,
@@ -410,40 +572,65 @@ impl CtrlState {
             m2_class: next_m2,
             e_class: next_e,
             e2_class: next_e2,
+            f_class: next_f,
+            f2_class: next_f2,
             w_class: if s.advance { self.m_class } else { self.w_class },
             irefill: irefill_next,
             drefill: drefill_next,
             dcnt: dcnt_next,
             icnt: icnt_next,
-            spill_pend: spill_next,
+            spill: spill_next,
             store_pend: sd_completes,
             conflict: conflict_next,
+            dway: dway_next,
+            ibox_cnt: ibox_next,
+            obox_cnt: obox_next,
         }
     }
 
     /// Serializes the state in the variable order of the generated Verilog
-    /// / translated FSM model, for lockstep comparison.
-    pub fn to_values(&self, scale: &PpScale) -> Vec<u64> {
-        let mut v = vec![u64::from(self.booted), self.m_class];
+    /// / translated FSM model, for lockstep comparison. Class registers
+    /// are converted to the design's dense encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class register holds a class the design disables.
+    pub fn to_values(&self, scale: &DesignSpec) -> Vec<u64> {
+        let mut v = vec![u64::from(self.booted), scale.dense1(self.m_class)];
         if scale.dual_comm_slot {
-            v.push(self.m2_class);
+            v.push(scale.dense2(self.m2_class));
         }
-        if scale.extra_stage {
-            v.push(self.e_class);
+        if scale.pipe_extra >= 1 {
+            v.push(scale.dense1(self.e_class));
             if scale.dual_comm_slot {
-                v.push(self.e2_class);
+                v.push(scale.dense2(self.e2_class));
+            }
+        }
+        if scale.pipe_extra >= 2 {
+            v.push(scale.dense1(self.f_class));
+            if scale.dual_comm_slot {
+                v.push(scale.dense2(self.f2_class));
             }
         }
         v.extend([
-            self.w_class,
+            scale.dense1(self.w_class),
             self.irefill,
             self.drefill,
             self.dcnt,
             self.icnt,
-            u64::from(self.spill_pend),
+            self.spill,
             u64::from(self.store_pend),
             u64::from(self.conflict),
         ]);
+        if scale.cache_ways >= 2 {
+            v.push(self.dway);
+        }
+        if scale.inbox_width > 0 {
+            v.push(self.ibox_cnt);
+        }
+        if scale.outbox_width > 0 {
+            v.push(self.obox_cnt);
+        }
         v
     }
 
@@ -452,34 +639,44 @@ impl CtrlState {
     /// # Panics
     ///
     /// Panics if `values` has the wrong length for `scale`.
-    pub fn from_values(scale: &PpScale, values: &[u64]) -> CtrlState {
+    pub fn from_values(scale: &DesignSpec, values: &[u64]) -> CtrlState {
         let mut it = values.iter().copied();
         let mut next = || it.next().expect("state value vector too short");
-        let booted = next() != 0;
-        let m_class = next();
-        let m2_class = if scale.dual_comm_slot { next() } else { slot2_code::BUBBLE };
-        let (e_class, e2_class) = if scale.extra_stage {
-            let e = next();
-            let e2 = if scale.dual_comm_slot { next() } else { slot2_code::BUBBLE };
-            (e, e2)
-        } else {
-            (class_code::BUBBLE, slot2_code::BUBBLE)
-        };
-        let s = CtrlState {
-            booted,
-            m_class,
-            m2_class,
-            e_class,
-            e2_class,
-            w_class: next(),
-            irefill: next(),
-            drefill: next(),
-            dcnt: next(),
-            icnt: next(),
-            spill_pend: next() != 0,
-            store_pend: next() != 0,
-            conflict: next() != 0,
-        };
+        let mut s = CtrlState::reset();
+        s.booted = next() != 0;
+        s.m_class = scale.canon1(next());
+        if scale.dual_comm_slot {
+            s.m2_class = scale.canon2(next());
+        }
+        if scale.pipe_extra >= 1 {
+            s.e_class = scale.canon1(next());
+            if scale.dual_comm_slot {
+                s.e2_class = scale.canon2(next());
+            }
+        }
+        if scale.pipe_extra >= 2 {
+            s.f_class = scale.canon1(next());
+            if scale.dual_comm_slot {
+                s.f2_class = scale.canon2(next());
+            }
+        }
+        s.w_class = scale.canon1(next());
+        s.irefill = next();
+        s.drefill = next();
+        s.dcnt = next();
+        s.icnt = next();
+        s.spill = next();
+        s.store_pend = next() != 0;
+        s.conflict = next() != 0;
+        if scale.cache_ways >= 2 {
+            s.dway = next();
+        }
+        if scale.inbox_width > 0 {
+            s.ibox_cnt = next();
+        }
+        if scale.outbox_width > 0 {
+            s.obox_cnt = next();
+        }
         assert!(it.next().is_none(), "state value vector too long");
         s
     }
@@ -493,6 +690,8 @@ impl CtrlState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::design::ClassSet;
+    use crate::PpScale;
 
     fn sc() -> PpScale {
         PpScale::standard()
@@ -535,7 +734,7 @@ mod tests {
         assert!(sig.d_miss_start && sig.mem_stall && !sig.advance);
         s = s.step(&scale, &miss);
         assert_eq!(s.drefill, drefill::REQ);
-        assert!(s.spill_pend, "dirty victim parked in the spill buffer");
+        assert!(s.spill_pend(), "dirty victim parked in the spill buffer");
         assert_eq!(s.m_class, class_code::LD, "the load holds in MEM");
         // memory not ready: wait in REQ
         let mut wait = CtrlIn::quiet();
@@ -559,7 +758,7 @@ mod tests {
         assert_eq!(s.drefill, drefill::SPILL, "fill-before-spill: spill after fill");
         s = s.step(&scale, &CtrlIn::quiet());
         assert_eq!(s.drefill, drefill::IDLE);
-        assert!(!s.spill_pend);
+        assert!(!s.spill_pend());
     }
 
     #[test]
@@ -758,11 +957,49 @@ mod tests {
     }
 
     #[test]
+    fn choices_round_trip_sized_boxes() {
+        let scale =
+            PpScale { inbox_width: 2, outbox_width: 2, dual_comm_slot: true, ..PpScale::micro() };
+        scale.validate().unwrap();
+        let mut i = CtrlIn::quiet();
+        i.inbox_push = true;
+        i.outbox_pop = true;
+        let v = i.to_choices(&scale);
+        // 9 choices: iclass, iclass2, 4 cache bits, push, pop, mem_ready
+        assert_eq!(v.len(), 9);
+        assert_eq!(CtrlIn::from_choices(&scale, &v), i);
+    }
+
+    #[test]
+    fn choices_drop_disabled_comm_classes() {
+        let scale = PpScale {
+            classes: ClassSet { switch_: false, send: false, ..ClassSet::all() },
+            ..PpScale::micro()
+        };
+        scale.validate().unwrap();
+        let v = CtrlIn::quiet().to_choices(&scale);
+        // iclass + 4 cache bits + mem_ready: no box handshakes at all
+        assert_eq!(v.len(), 6);
+        let back = CtrlIn::from_choices(&scale, &v);
+        assert_eq!(back.iclass, class_code::ALU);
+    }
+
+    #[test]
     fn to_from_values_round_trips() {
-        for scale in [PpScale::micro(), PpScale::standard(), PpScale::paper()] {
+        let deep = PpScale {
+            pipe_extra: 2,
+            cache_ways: 2,
+            spill_depth: 2,
+            inbox_width: 2,
+            outbox_width: 2,
+            ..PpScale::full()
+        };
+        deep.validate().unwrap();
+        for scale in [PpScale::micro(), PpScale::standard(), PpScale::paper(), deep] {
             let mut s = CtrlState::reset();
             let mut i = CtrlIn::quiet();
             i.iclass = class_code::SD;
+            i.inbox_push = true;
             for _ in 0..5 {
                 s = s.step(&scale, &i);
                 let v = s.to_values(&scale);
@@ -780,5 +1017,157 @@ mod tests {
             s = s.step(&scale, &CtrlIn::quiet());
             assert!(s.booted);
         }
+    }
+
+    #[test]
+    fn deep_pipe_delays_arrival_in_mem() {
+        let scale = PpScale { pipe_extra: 2, ..PpScale::full() };
+        scale.validate().unwrap();
+        let mut s = CtrlState::reset();
+        let mut i = CtrlIn::quiet();
+        i.iclass = class_code::LD;
+        s = s.step(&scale, &i); // LD enters f
+        assert_eq!(s.f_class, class_code::LD);
+        assert_eq!(s.m_class, class_code::BUBBLE);
+        s = s.step(&scale, &CtrlIn::quiet()); // LD moves to e
+        assert_eq!(s.e_class, class_code::LD);
+        s = s.step(&scale, &CtrlIn::quiet()); // LD reaches MEM
+        assert_eq!(s.m_class, class_code::LD);
+    }
+
+    #[test]
+    fn deep_spill_buffer_defers_writeback_until_full() {
+        let scale = PpScale { spill_depth: 2, ..PpScale::micro() };
+        scale.validate().unwrap();
+        let mut s = CtrlState::reset();
+        let mut ld = CtrlIn::quiet();
+        ld.iclass = class_code::LD;
+        s = s.step(&scale, &ld); // LD in MEM
+        let mut miss = ld;
+        miss.dhit = false;
+        miss.victim_dirty = true;
+        s = s.step(&scale, &miss); // first dirty miss: 1 entry buffered
+        assert_eq!(s.spill, 1);
+        // service the whole refill; the buffer is not full, so no SPILL
+        while s.drefill != drefill::IDLE {
+            s = s.step(&scale, &ld);
+            assert_ne!(s.drefill, drefill::SPILL, "half-full buffer must not drain");
+        }
+        assert_eq!(s.spill, 1, "the entry stays buffered");
+        // second dirty miss fills the buffer; now the refill ends in SPILL
+        s = s.step(&scale, &miss);
+        assert_eq!(s.spill, 2);
+        while s.drefill != drefill::SPILL {
+            s = s.step(&scale, &CtrlIn::quiet());
+        }
+        // two entries drain one per grant
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!((s.drefill, s.spill), (drefill::SPILL, 1));
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!((s.drefill, s.spill), (drefill::IDLE, 0));
+    }
+
+    #[test]
+    fn way_pointer_advances_round_robin_and_gates_spill() {
+        let scale = PpScale { cache_ways: 2, ..PpScale::micro() };
+        scale.validate().unwrap();
+        let mut s = CtrlState::reset();
+        let mut ld = CtrlIn::quiet();
+        ld.iclass = class_code::LD;
+        s = s.step(&scale, &ld);
+        let mut miss = ld;
+        miss.dhit = false;
+        miss.victim_dirty = true;
+        // first miss victimises way 0 — the clean-preferred way, so the
+        // dirty bit does NOT enter the spill buffer
+        assert_eq!(s.dway, 0);
+        s = s.step(&scale, &miss);
+        assert_eq!(s.dway, 1, "round-robin advanced");
+        assert_eq!(s.spill, 0, "way-0 victim treated clean");
+        while s.drefill != drefill::IDLE {
+            s = s.step(&scale, &ld);
+        }
+        // second dirty miss victimises way 1: spill entry buffered
+        s = s.step(&scale, &miss);
+        assert_eq!(s.dway, 0);
+        assert_eq!(s.spill, 1);
+    }
+
+    #[test]
+    fn lru_policy_redirects_pointer_on_hit() {
+        let scale = PpScale { cache_ways: 2, fill_policy: FillPolicy::Lru, ..PpScale::micro() };
+        scale.validate().unwrap();
+        let mut s = CtrlState::reset();
+        let mut ld = CtrlIn::quiet();
+        ld.iclass = class_code::LD;
+        s = s.step(&scale, &ld);
+        let mut miss = ld;
+        miss.dhit = false;
+        s = s.step(&scale, &miss);
+        assert_eq!(s.dway, 1);
+        while s.drefill != drefill::IDLE {
+            s = s.step(&scale, &ld);
+        }
+        // a completing load hit promotes way 0 back to victim
+        assert_eq!(s.m_class, class_code::LD);
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.dway, 0, "LRU hit redirects the pointer");
+    }
+
+    #[test]
+    fn sized_inbox_counts_occupancy() {
+        let scale = PpScale { inbox_width: 2, ..PpScale::micro() };
+        scale.validate().unwrap();
+        let mut s = CtrlState::reset();
+        let mut sw = CtrlIn::quiet();
+        sw.iclass = class_code::SWITCH;
+        s = s.step(&scale, &sw); // switch in MEM, inbox empty
+        let sig = s.signals(&scale, &CtrlIn::quiet());
+        assert!(sig.ext_stall, "empty sized inbox stalls the switch");
+        // a network push delivers a word; the switch still stalls this
+        // cycle (the count updates at the clock edge)
+        let mut push = CtrlIn::quiet();
+        push.inbox_push = true;
+        s = s.step(&scale, &push);
+        assert_eq!(s.ibox_cnt, 1);
+        let sig = s.signals(&scale, &CtrlIn::quiet());
+        assert!(!sig.ext_stall, "a buffered word unblocks the switch");
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.ibox_cnt, 0, "completion consumed the word");
+        assert_eq!(s.w_class, class_code::SWITCH);
+        // pushes saturate at the width
+        let mut idle = CtrlIn::quiet();
+        idle.inbox_push = true;
+        for _ in 0..4 {
+            s = s.step(&scale, &idle);
+        }
+        assert_eq!(s.ibox_cnt, 2, "occupancy saturates at inbox_width");
+    }
+
+    #[test]
+    fn sized_outbox_blocks_when_full() {
+        let scale = PpScale { outbox_width: 2, ..PpScale::micro() };
+        scale.validate().unwrap();
+        let mut s = CtrlState::reset();
+        let mut se = CtrlIn::quiet();
+        se.iclass = class_code::SEND;
+        // two sends fill the outbox (no network pop)
+        s = s.step(&scale, &se);
+        s = s.step(&scale, &se);
+        assert_eq!(s.obox_cnt, 1);
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.obox_cnt, 2);
+        // a third send stalls until the network drains a word
+        s = s.step(&scale, &se);
+        s = s.step(&scale, &se); // the new send reaches MEM
+        assert_eq!(s.m_class, class_code::SEND);
+        assert!(s.signals(&scale, &CtrlIn::quiet()).ext_stall, "full outbox blocks send");
+        let mut pop = CtrlIn::quiet();
+        pop.outbox_pop = true;
+        s = s.step(&scale, &pop);
+        assert_eq!(s.obox_cnt, 1);
+        assert!(!s.signals(&scale, &CtrlIn::quiet()).ext_stall);
+        s = s.step(&scale, &CtrlIn::quiet());
+        assert_eq!(s.obox_cnt, 2, "the waiting send completed into the freed slot");
     }
 }

@@ -1,0 +1,976 @@
+//! The declarative design description of the PP family.
+//!
+//! The paper validates one fixed Protocol Processor. This module promotes
+//! the device under validation to a *family*: a [`DesignSpec`] describes
+//! every structural axis of the control model — refill burst length,
+//! extra pipeline depth, the dual-issue communication slot, control-visible
+//! cache ways with a victim fill policy, the spill-buffer depth,
+//! Inbox/Outbox sizing and the optional instruction classes — and the
+//! generator ([`crate::verilog_gen`]) plus the Rust control specification
+//! ([`crate::control`]) are both pure functions of it.
+//!
+//! Four named specs — [`DesignSpec::micro`], [`DesignSpec::standard`],
+//! [`DesignSpec::full`], [`DesignSpec::paper`] — reproduce the historical
+//! `PpScale` presets *byte-identically*: they keep the historical module
+//! name `pp_control` (see [`DesignSpec::design_id`]) so their generated
+//! Verilog, translated models, fingerprints, snapshots and enumerated
+//! graph dumps are exactly the PpScale-era artifacts (pinned by golden
+//! tests). Every other point of the family gets a module name derived
+//! from its axes, so distinct designs can never collide on
+//! [`Model::fingerprint`](archval_fsm::Model::fingerprint) even when they
+//! share a state layout.
+//!
+//! [`FamilyAxes`] expands axis ranges into the valid cross product —
+//! dozens to hundreds of configurations from one description — which the
+//! `repro-matrix` driver enumerates, snapshots and campaigns across.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::InstrClass;
+
+/// Victim-way selection policy of the control-visible D-cache way pointer
+/// (meaningful only when [`DesignSpec::cache_ways`] ≥ 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FillPolicy {
+    /// The victim pointer advances one way on every miss start.
+    RoundRobin,
+    /// As round-robin, but a completing D-hit redirects the pointer to
+    /// way 0 — an abstraction of most-recently-used promotion.
+    Lru,
+}
+
+impl FillPolicy {
+    /// Canonical short name (`rr` / `lru`), used by the canonical string
+    /// form and the design id.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FillPolicy::RoundRobin => "rr",
+            FillPolicy::Lru => "lru",
+        }
+    }
+}
+
+/// The optional instruction classes a design implements. ALU (and the
+/// internal bubble) are always present; each of the other Table 3.1
+/// classes can be dropped, shrinking both the fetch choice domain and the
+/// pipeline-register encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClassSet {
+    /// Loads (`lw`).
+    pub ld: bool,
+    /// Stores (`sw`).
+    pub sd: bool,
+    /// The MAGIC `switch` (Inbox read) instruction.
+    pub switch_: bool,
+    /// The MAGIC `send` (Outbox write) instruction.
+    pub send: bool,
+}
+
+impl ClassSet {
+    /// Every class implemented (the legacy configuration).
+    #[must_use]
+    pub fn all() -> ClassSet {
+        ClassSet { ld: true, sd: true, switch_: true, send: true }
+    }
+
+    /// Whether a canonical class code is implemented.
+    #[must_use]
+    pub fn contains(&self, class: InstrClass) -> bool {
+        match class {
+            InstrClass::Alu => true,
+            InstrClass::Ld => self.ld,
+            InstrClass::Sd => self.sd,
+            InstrClass::Switch => self.switch_,
+            InstrClass::Send => self.send,
+        }
+    }
+
+    /// Bitmask over `{ld=1, sd=2, switch=4, send=8}` — the compact form
+    /// used by the design id.
+    #[must_use]
+    pub fn mask(&self) -> u32 {
+        u32::from(self.ld)
+            | u32::from(self.sd) << 1
+            | u32::from(self.switch_) << 2
+            | u32::from(self.send) << 3
+    }
+
+    /// Canonical `+`-joined name list (`alu` is implicit), e.g.
+    /// `ld+sd+send`.
+    #[must_use]
+    pub fn names(&self) -> String {
+        let mut parts = Vec::new();
+        if self.ld {
+            parts.push("ld");
+        }
+        if self.sd {
+            parts.push("sd");
+        }
+        if self.switch_ {
+            parts.push("sw");
+        }
+        if self.send {
+            parts.push("se");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    fn parse(s: &str) -> Result<ClassSet, DesignError> {
+        let mut set = ClassSet { ld: false, sd: false, switch_: false, send: false };
+        if s == "none" {
+            return Ok(set);
+        }
+        for part in s.split('+') {
+            match part {
+                "ld" => set.ld = true,
+                "sd" => set.sd = true,
+                "sw" => set.switch_ = true,
+                "se" => set.send = true,
+                "alu" => {}
+                other => {
+                    return Err(DesignError::Parse {
+                        detail: format!("unknown class `{other}` (expected ld|sd|sw|se)"),
+                    })
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+impl Default for ClassSet {
+    fn default() -> Self {
+        ClassSet::all()
+    }
+}
+
+/// A structural description of one member of the PP design family.
+///
+/// Every axis is independent; [`DesignSpec::validate`] rejects the
+/// incoherent combinations (see [`DesignError`]). The historical
+/// three-knob `PpScale` is the sub-family with every new axis at its
+/// legacy default ([`DesignSpec::is_legacy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignSpec {
+    /// Cache-line refill length in memory beats (power of two, 2..=64).
+    pub fill_beats: u64,
+    /// Extra modelled pipeline stages between fetch and MEM (0..=2).
+    /// `1` is the legacy `extra_stage` knob.
+    pub pipe_extra: u32,
+    /// Model the dual-issue second slot, which may carry an ALU, `switch`
+    /// or `send` instruction alongside the memory-pipe slot. Required for
+    /// Bug #5's window (an external stall while a load/store holds the
+    /// memory pipe can only come from the companion slot).
+    pub dual_comm_slot: bool,
+    /// Control-visible D-cache ways (1..=4). `1` keeps the victim way
+    /// abstract (legacy); ≥ 2 adds a victim-way pointer register whose
+    /// update follows [`DesignSpec::fill_policy`], and makes way 0 an
+    /// abstractly clean-preferred way (a dirty victim enters the spill
+    /// buffer only when the pointer is off way 0).
+    pub cache_ways: u32,
+    /// Victim-way pointer policy; must be [`FillPolicy::RoundRobin`]
+    /// when `cache_ways == 1` (there is no pointer to steer).
+    pub fill_policy: FillPolicy,
+    /// Spill (victim write-back) buffer entries (1..=4). Depth 1 drains
+    /// after every fill (legacy fill-before-spill); deeper buffers defer
+    /// the write-back until the buffer is full, then drain one beat per
+    /// memory grant.
+    pub spill_depth: u32,
+    /// Inbox sizing: `0` keeps the paper's abstract ready-bit handshake;
+    /// 1..=4 models an occupancy counter fed by a nondeterministic
+    /// network push, with `switch` consuming words.
+    pub inbox_width: u32,
+    /// Outbox sizing: `0` keeps the abstract ready bit; 1..=4 models an
+    /// occupancy counter drained by a nondeterministic network pop, with
+    /// `send` producing words.
+    pub outbox_width: u32,
+    /// The optional instruction classes the design implements.
+    pub classes: ClassSet,
+}
+
+/// Why a [`DesignSpec`] is invalid. Every variant names the incoherent
+/// combination it rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// `fill_beats` must be a power of two in 2..=64 (counter widths must
+    /// be exact).
+    FillBeats {
+        /// The rejected value.
+        got: u64,
+    },
+    /// `pipe_extra` must be at most 2.
+    PipeDepth {
+        /// The rejected value.
+        got: u32,
+    },
+    /// `cache_ways` must be in 1..=4.
+    CacheWays {
+        /// The rejected value.
+        got: u32,
+    },
+    /// An LRU fill policy needs at least two ways to steer between.
+    PolicyWithoutWays,
+    /// `spill_depth` must be in 1..=4.
+    SpillDepth {
+        /// The rejected value.
+        got: u32,
+    },
+    /// Inbox/Outbox widths must be at most 4.
+    BoxWidth {
+        /// `"inbox"` or `"outbox"`.
+        side: &'static str,
+        /// The rejected value.
+        got: u32,
+    },
+    /// A dual-issue pair can present two communication instructions in one
+    /// cycle; a depth-1 modelled box can never satisfy both, so the pair
+    /// would wedge forever. Sized boxes need depth ≥ 2 under dual issue.
+    BoxTooNarrowForDual {
+        /// `"inbox"` or `"outbox"`.
+        side: &'static str,
+    },
+    /// A sized Inbox with the `switch` class disabled: nothing could ever
+    /// read it.
+    InboxWithoutSwitch,
+    /// A sized Outbox with the `send` class disabled: nothing could ever
+    /// write it.
+    OutboxWithoutSend,
+    /// The dual-issue slot exists to carry communication instructions;
+    /// with both `switch` and `send` disabled it is incoherent.
+    DualSlotWithoutComm,
+    /// With both memory classes disabled the refill and spill machinery
+    /// is unreachable — the design degenerates out of the family.
+    NoMemoryClass,
+    /// A canonical string failed to parse.
+    Parse {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::FillBeats { got } => {
+                write!(f, "fill_beats must be a power of two in 2..=64, got {got}")
+            }
+            DesignError::PipeDepth { got } => {
+                write!(f, "pipe_extra must be at most 2, got {got}")
+            }
+            DesignError::CacheWays { got } => {
+                write!(f, "cache_ways must be in 1..=4, got {got}")
+            }
+            DesignError::PolicyWithoutWays => {
+                write!(f, "fill_policy lru needs cache_ways >= 2 (no pointer to steer)")
+            }
+            DesignError::SpillDepth { got } => {
+                write!(f, "spill_depth must be in 1..=4, got {got}")
+            }
+            DesignError::BoxWidth { side, got } => {
+                write!(f, "{side}_width must be at most 4, got {got}")
+            }
+            DesignError::BoxTooNarrowForDual { side } => {
+                write!(
+                    f,
+                    "{side}_width 1 with dual_comm_slot: a dual pair of communication \
+                     instructions needs two {side} slots and would wedge forever"
+                )
+            }
+            DesignError::InboxWithoutSwitch => {
+                write!(f, "inbox_width > 0 with the switch class disabled: nothing reads the Inbox")
+            }
+            DesignError::OutboxWithoutSend => {
+                write!(
+                    f,
+                    "outbox_width > 0 with the send class disabled: nothing writes the Outbox"
+                )
+            }
+            DesignError::DualSlotWithoutComm => {
+                write!(
+                    f,
+                    "dual_comm_slot with both switch and send disabled: \
+                     the companion slot exists to carry communication instructions"
+                )
+            }
+            DesignError::NoMemoryClass => {
+                write!(f, "at least one of ld/sd must be enabled: the memory pipe needs traffic")
+            }
+            DesignError::Parse { detail } => write!(f, "bad design spec: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl DesignSpec {
+    /// Smallest useful configuration — fast enough for debug-build tests.
+    #[must_use]
+    pub fn micro() -> Self {
+        DesignSpec { fill_beats: 2, pipe_extra: 0, dual_comm_slot: false, ..DesignSpec::base() }
+    }
+
+    /// The default configuration modelling all PP mechanisms.
+    #[must_use]
+    pub fn standard() -> Self {
+        DesignSpec { fill_beats: 4, pipe_extra: 0, dual_comm_slot: true, ..DesignSpec::base() }
+    }
+
+    /// All mechanisms enabled at the smallest size: every Table 2.1 bug
+    /// trigger is reachable (Bugs #2/#4 need the extra stage, Bug #5 the
+    /// dual-issue communication slot) while enumeration stays test-sized.
+    #[must_use]
+    pub fn full() -> Self {
+        DesignSpec { fill_beats: 2, pipe_extra: 1, dual_comm_slot: true, ..DesignSpec::base() }
+    }
+
+    /// A configuration sized to approach the paper's Table 3.2 state count.
+    #[must_use]
+    pub fn paper() -> Self {
+        DesignSpec { fill_beats: 16, pipe_extra: 1, dual_comm_slot: true, ..DesignSpec::base() }
+    }
+
+    /// The legacy baseline every preset derives from: one abstract way,
+    /// depth-1 spill buffer, abstract Inbox/Outbox handshakes, all
+    /// classes.
+    fn base() -> Self {
+        DesignSpec {
+            fill_beats: 2,
+            pipe_extra: 0,
+            dual_comm_slot: false,
+            cache_ways: 1,
+            fill_policy: FillPolicy::RoundRobin,
+            spill_depth: 1,
+            inbox_width: 0,
+            outbox_width: 0,
+            classes: ClassSet::all(),
+        }
+    }
+
+    /// Whether the spec lies in the historical `PpScale` sub-family:
+    /// every post-`PpScale` axis at its legacy default. Legacy specs keep
+    /// the historical `pp_control` module name and produce byte-identical
+    /// artifacts.
+    #[must_use]
+    pub fn is_legacy(&self) -> bool {
+        self.cache_ways == 1
+            && self.fill_policy == FillPolicy::RoundRobin
+            && self.spill_depth == 1
+            && self.inbox_width == 0
+            && self.outbox_width == 0
+            && self.classes == ClassSet::all()
+            && self.pipe_extra <= 1
+    }
+
+    /// Legacy accessor: whether at least one extra pipeline stage is
+    /// modelled (the historical `extra_stage` knob).
+    #[must_use]
+    pub fn extra_stage(&self) -> bool {
+        self.pipe_extra >= 1
+    }
+
+    /// Checks every axis bound and cross-axis coherence rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DesignError`] naming the violated rule.
+    pub fn validate(&self) -> Result<(), DesignError> {
+        if !self.fill_beats.is_power_of_two() || !(2..=64).contains(&self.fill_beats) {
+            return Err(DesignError::FillBeats { got: self.fill_beats });
+        }
+        if self.pipe_extra > 2 {
+            return Err(DesignError::PipeDepth { got: self.pipe_extra });
+        }
+        if !(1..=4).contains(&self.cache_ways) {
+            return Err(DesignError::CacheWays { got: self.cache_ways });
+        }
+        if self.cache_ways == 1 && self.fill_policy != FillPolicy::RoundRobin {
+            return Err(DesignError::PolicyWithoutWays);
+        }
+        if !(1..=4).contains(&self.spill_depth) {
+            return Err(DesignError::SpillDepth { got: self.spill_depth });
+        }
+        if self.inbox_width > 4 {
+            return Err(DesignError::BoxWidth { side: "inbox", got: self.inbox_width });
+        }
+        if self.outbox_width > 4 {
+            return Err(DesignError::BoxWidth { side: "outbox", got: self.outbox_width });
+        }
+        if self.dual_comm_slot && self.inbox_width == 1 {
+            return Err(DesignError::BoxTooNarrowForDual { side: "inbox" });
+        }
+        if self.dual_comm_slot && self.outbox_width == 1 {
+            return Err(DesignError::BoxTooNarrowForDual { side: "outbox" });
+        }
+        if self.inbox_width > 0 && !self.classes.switch_ {
+            return Err(DesignError::InboxWithoutSwitch);
+        }
+        if self.outbox_width > 0 && !self.classes.send {
+            return Err(DesignError::OutboxWithoutSend);
+        }
+        if self.dual_comm_slot && !self.classes.switch_ && !self.classes.send {
+            return Err(DesignError::DualSlotWithoutComm);
+        }
+        if !self.classes.ld && !self.classes.sd {
+            return Err(DesignError::NoMemoryClass);
+        }
+        Ok(())
+    }
+
+    /// The stable design identifier, doubling as the generated Verilog
+    /// module name (and hence the model name that feeds
+    /// [`Model::fingerprint`](archval_fsm::Model::fingerprint)).
+    ///
+    /// Specs in the legacy sub-family return the historical `pp_control`
+    /// — their fingerprints already differ through their state layouts,
+    /// and the shared name is what keeps PpScale-era snapshots and graph
+    /// dumps loadable byte-identically. Every other spec gets a name
+    /// encoding all nine axes, so two distinct designs that happen to
+    /// share a state layout (e.g. round-robin vs LRU at the same sizing)
+    /// still fingerprint apart.
+    #[must_use]
+    pub fn design_id(&self) -> String {
+        if self.is_legacy() {
+            return "pp_control".to_string();
+        }
+        format!(
+            "pp_b{}_x{}{}_w{}{}_s{}_i{}_o{}_c{:x}",
+            self.fill_beats,
+            self.pipe_extra,
+            if self.dual_comm_slot { "d" } else { "u" },
+            self.cache_ways,
+            match self.fill_policy {
+                FillPolicy::RoundRobin => "r",
+                FillPolicy::Lru => "l",
+            },
+            self.spill_depth,
+            self.inbox_width,
+            self.outbox_width,
+            self.classes.mask(),
+        )
+    }
+
+    /// The canonical single-line string form, accepted by
+    /// [`DesignSpec::parse`] and by the server's `spec` request field:
+    ///
+    /// ```text
+    /// beats=4,extra=1,dual=1,ways=2,policy=lru,spill=2,inbox=0,outbox=1,classes=ld+sd+se
+    /// ```
+    #[must_use]
+    pub fn to_canonical_string(&self) -> String {
+        format!(
+            "beats={},extra={},dual={},ways={},policy={},spill={},inbox={},outbox={},classes={}",
+            self.fill_beats,
+            self.pipe_extra,
+            u8::from(self.dual_comm_slot),
+            self.cache_ways,
+            self.fill_policy.name(),
+            self.spill_depth,
+            self.inbox_width,
+            self.outbox_width,
+            self.classes.names(),
+        )
+    }
+
+    /// Parses the canonical string form. Absent keys take their legacy
+    /// defaults, so `"beats=4,dual=1"` is the standard preset. The parsed
+    /// spec is validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::Parse`] for malformed input and the
+    /// specific axis error when the parsed combination is invalid.
+    pub fn parse(s: &str) -> Result<DesignSpec, DesignError> {
+        let mut spec = DesignSpec::base();
+        let bad = |detail: String| DesignError::Parse { detail };
+        for item in s.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| bad(format!("expected key=value, got `{item}`")))?;
+            let uint =
+                || value.parse::<u64>().map_err(|_| bad(format!("`{key}` needs an integer value")));
+            match key {
+                "beats" => spec.fill_beats = uint()?,
+                "extra" => spec.pipe_extra = uint()? as u32,
+                "dual" => spec.dual_comm_slot = uint()? != 0,
+                "ways" => spec.cache_ways = uint()? as u32,
+                "policy" => {
+                    spec.fill_policy = match value {
+                        "rr" => FillPolicy::RoundRobin,
+                        "lru" => FillPolicy::Lru,
+                        other => return Err(bad(format!("unknown policy `{other}`"))),
+                    }
+                }
+                "spill" => spec.spill_depth = uint()? as u32,
+                "inbox" => spec.inbox_width = uint()? as u32,
+                "outbox" => spec.outbox_width = uint()? as u32,
+                "classes" => spec.classes = ClassSet::parse(value)?,
+                other => return Err(bad(format!("unknown key `{other}`"))),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    // ---- derived encodings -------------------------------------------
+
+    /// Canonical slot-1 class codes that are fetchable, in canonical
+    /// order (always starts with ALU).
+    #[must_use]
+    pub fn slot1_classes(&self) -> Vec<u64> {
+        use crate::control::class_code;
+        let mut v = vec![class_code::ALU];
+        if self.classes.ld {
+            v.push(class_code::LD);
+        }
+        if self.classes.sd {
+            v.push(class_code::SD);
+        }
+        if self.classes.switch_ {
+            v.push(class_code::SWITCH);
+        }
+        if self.classes.send {
+            v.push(class_code::SEND);
+        }
+        v
+    }
+
+    /// Canonical slot-2 class codes that are fetchable, in canonical
+    /// order (always starts with ALU).
+    #[must_use]
+    pub fn slot2_classes(&self) -> Vec<u64> {
+        use crate::control::slot2_code;
+        let mut v = vec![slot2_code::ALU];
+        if self.classes.switch_ {
+            v.push(slot2_code::SWITCH);
+        }
+        if self.classes.send {
+            v.push(slot2_code::SEND);
+        }
+        v
+    }
+
+    /// Maps a canonical slot-1 class code (including BUBBLE) to the dense
+    /// wire encoding of this design. With all classes enabled the mapping
+    /// is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is disabled in this design.
+    #[must_use]
+    pub fn dense1(&self, canon: u64) -> u64 {
+        if canon == crate::control::class_code::BUBBLE {
+            return self.slot1_classes().len() as u64;
+        }
+        self.slot1_classes()
+            .iter()
+            .position(|&c| c == canon)
+            .unwrap_or_else(|| panic!("slot-1 class {canon} disabled in {}", self.design_id()))
+            as u64
+    }
+
+    /// Inverse of [`DesignSpec::dense1`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dense code is out of range for this design.
+    #[must_use]
+    pub fn canon1(&self, dense: u64) -> u64 {
+        let classes = self.slot1_classes();
+        if dense == classes.len() as u64 {
+            return crate::control::class_code::BUBBLE;
+        }
+        classes[dense as usize]
+    }
+
+    /// Maps a canonical slot-2 class code (including BUBBLE) to the dense
+    /// wire encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is disabled in this design.
+    #[must_use]
+    pub fn dense2(&self, canon: u64) -> u64 {
+        if canon == crate::control::slot2_code::BUBBLE {
+            return self.slot2_classes().len() as u64;
+        }
+        self.slot2_classes()
+            .iter()
+            .position(|&c| c == canon)
+            .unwrap_or_else(|| panic!("slot-2 class {canon} disabled in {}", self.design_id()))
+            as u64
+    }
+
+    /// Inverse of [`DesignSpec::dense2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dense code is out of range for this design.
+    #[must_use]
+    pub fn canon2(&self, dense: u64) -> u64 {
+        let classes = self.slot2_classes();
+        if dense == classes.len() as u64 {
+            return crate::control::slot2_code::BUBBLE;
+        }
+        classes[dense as usize]
+    }
+
+    /// Register bit width of a slot-1 pipeline class register (must also
+    /// hold the bubble code).
+    #[must_use]
+    pub fn slot1_bits(&self) -> u32 {
+        width_for(self.slot1_classes().len() as u64 + 1)
+    }
+
+    /// Register bit width of a slot-2 pipeline class register.
+    #[must_use]
+    pub fn slot2_bits(&self) -> u32 {
+        width_for(self.slot2_classes().len() as u64 + 1)
+    }
+
+    /// Whether the Inbox handshake is a free choice bit (abstract mode)
+    /// as opposed to a modelled occupancy counter.
+    #[must_use]
+    pub fn inbox_abstract(&self) -> bool {
+        self.inbox_width == 0
+    }
+
+    /// Whether the Outbox handshake is a free choice bit.
+    #[must_use]
+    pub fn outbox_abstract(&self) -> bool {
+        self.outbox_width == 0
+    }
+
+    /// Whether the design has any Inbox-side choice input (`switch`
+    /// disabled drops it entirely).
+    #[must_use]
+    pub fn has_inbox_choice(&self) -> bool {
+        self.classes.switch_
+    }
+
+    /// Whether the design has any Outbox-side choice input.
+    #[must_use]
+    pub fn has_outbox_choice(&self) -> bool {
+        self.classes.send
+    }
+}
+
+impl Default for DesignSpec {
+    fn default() -> Self {
+        DesignSpec::standard()
+    }
+}
+
+impl fmt::Display for DesignSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_canonical_string())
+    }
+}
+
+/// Bits needed to hold values `0..n` (at least 1).
+#[must_use]
+pub fn width_for(n: u64) -> u32 {
+    debug_assert!(n >= 2);
+    64 - (n - 1).leading_zeros()
+}
+
+/// The named presets, resolvable by both the CLI and the campaign
+/// server. Names are the historical `pp-*` model names.
+#[must_use]
+pub fn presets() -> [(&'static str, DesignSpec); 4] {
+    [
+        ("pp-micro", DesignSpec::micro()),
+        ("pp-standard", DesignSpec::standard()),
+        ("pp-full", DesignSpec::full()),
+        ("pp-paper", DesignSpec::paper()),
+    ]
+}
+
+/// Resolves a preset name (`pp-micro` | `pp-standard` | `pp-full` |
+/// `pp-paper`, with the bare `micro`.. forms accepted too).
+#[must_use]
+pub fn resolve_preset(name: &str) -> Option<DesignSpec> {
+    let canonical = if name.starts_with("pp-") { name.to_string() } else { format!("pp-{name}") };
+    presets().iter().find(|(n, _)| *n == canonical).map(|(_, s)| *s)
+}
+
+/// Axis ranges whose cross product generates a design family. Invalid
+/// combinations are silently skipped by [`FamilyAxes::expand`], so a
+/// range can include e.g. LRU alongside single-way designs.
+#[derive(Debug, Clone)]
+pub struct FamilyAxes {
+    /// Refill burst lengths.
+    pub fill_beats: Vec<u64>,
+    /// Extra pipeline depths.
+    pub pipe_extra: Vec<u32>,
+    /// Dual-issue slot settings.
+    pub dual_comm_slot: Vec<bool>,
+    /// `(ways, policy)` pairs.
+    pub ways: Vec<(u32, FillPolicy)>,
+    /// Spill-buffer depths.
+    pub spill_depth: Vec<u32>,
+    /// Inbox widths.
+    pub inbox_width: Vec<u32>,
+    /// Outbox widths.
+    pub outbox_width: Vec<u32>,
+    /// Class subsets.
+    pub classes: Vec<ClassSet>,
+}
+
+impl FamilyAxes {
+    /// Expands the cross product in deterministic (row-major) order,
+    /// keeping exactly the valid combinations.
+    #[must_use]
+    pub fn expand(&self) -> Vec<DesignSpec> {
+        let mut out = Vec::new();
+        for &fill_beats in &self.fill_beats {
+            for &pipe_extra in &self.pipe_extra {
+                for &dual_comm_slot in &self.dual_comm_slot {
+                    for &(cache_ways, fill_policy) in &self.ways {
+                        for &spill_depth in &self.spill_depth {
+                            for &inbox_width in &self.inbox_width {
+                                for &outbox_width in &self.outbox_width {
+                                    for &classes in &self.classes {
+                                        let spec = DesignSpec {
+                                            fill_beats,
+                                            pipe_extra,
+                                            dual_comm_slot,
+                                            cache_ways,
+                                            fill_policy,
+                                            spill_depth,
+                                            inbox_width,
+                                            outbox_width,
+                                            classes,
+                                        };
+                                        if spec.validate().is_ok() {
+                                            out.push(spec);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A small family for CI smoke runs: 8 valid configurations, all
+    /// micro-sized (cheap to enumerate even in debug builds).
+    #[must_use]
+    pub fn smoke() -> FamilyAxes {
+        FamilyAxes {
+            fill_beats: vec![2],
+            pipe_extra: vec![0],
+            dual_comm_slot: vec![false, true],
+            ways: vec![(1, FillPolicy::RoundRobin), (2, FillPolicy::RoundRobin)],
+            spill_depth: vec![1, 2],
+            inbox_width: vec![0],
+            outbox_width: vec![0],
+            classes: vec![ClassSet::all()],
+        }
+    }
+
+    /// The default cross-design matrix family: 36 valid configurations
+    /// spanning the way/policy, spill, pipeline-depth, dual-issue and
+    /// Outbox axes while staying enumerable at campaign budgets. (The
+    /// dual-issue × 1-deep-Outbox cells are invalid — see
+    /// [`DesignError::BoxTooNarrowForDual`] — and are skipped.)
+    #[must_use]
+    pub fn matrix() -> FamilyAxes {
+        FamilyAxes {
+            fill_beats: vec![2],
+            pipe_extra: vec![0, 1],
+            dual_comm_slot: vec![false, true],
+            ways: vec![
+                (1, FillPolicy::RoundRobin),
+                (2, FillPolicy::RoundRobin),
+                (2, FillPolicy::Lru),
+            ],
+            spill_depth: vec![1, 2],
+            inbox_width: vec![0],
+            outbox_width: vec![0, 1],
+            classes: vec![ClassSet::all()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_legacy_and_valid() {
+        for (name, spec) in presets() {
+            spec.validate().unwrap();
+            assert!(spec.is_legacy(), "{name} must stay in the legacy sub-family");
+            assert_eq!(spec.design_id(), "pp_control", "{name}");
+            assert_eq!(resolve_preset(name), Some(spec));
+        }
+        assert_eq!(resolve_preset("micro"), Some(DesignSpec::micro()));
+        assert_eq!(resolve_preset("pp-frob"), None);
+    }
+
+    #[test]
+    fn validation_rejects_incoherent_combos() {
+        let base = DesignSpec::micro();
+        let cases = [
+            (DesignSpec { fill_beats: 3, ..base }, "beats"),
+            (DesignSpec { fill_beats: 128, ..base }, "beats-large"),
+            (DesignSpec { pipe_extra: 3, ..base }, "depth"),
+            (DesignSpec { cache_ways: 0, ..base }, "ways"),
+            (DesignSpec { cache_ways: 5, ..base }, "ways-large"),
+            (DesignSpec { fill_policy: FillPolicy::Lru, ..base }, "policy"),
+            (DesignSpec { spill_depth: 0, ..base }, "spill"),
+            (DesignSpec { inbox_width: 5, ..base }, "inbox"),
+            (
+                DesignSpec {
+                    inbox_width: 1,
+                    classes: ClassSet { switch_: false, ..ClassSet::all() },
+                    ..base
+                },
+                "inbox-no-switch",
+            ),
+            (
+                DesignSpec {
+                    outbox_width: 1,
+                    classes: ClassSet { send: false, ..ClassSet::all() },
+                    ..base
+                },
+                "outbox-no-send",
+            ),
+            (
+                DesignSpec {
+                    dual_comm_slot: true,
+                    classes: ClassSet { switch_: false, send: false, ..ClassSet::all() },
+                    ..base
+                },
+                "dual-no-comm",
+            ),
+            (
+                DesignSpec {
+                    classes: ClassSet { ld: false, sd: false, ..ClassSet::all() },
+                    ..base
+                },
+                "no-mem",
+            ),
+            (DesignSpec { dual_comm_slot: true, outbox_width: 1, ..base }, "dual-narrow-outbox"),
+            (DesignSpec { dual_comm_slot: true, inbox_width: 1, ..base }, "dual-narrow-inbox"),
+        ];
+        for (spec, what) in cases {
+            assert!(spec.validate().is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn canonical_string_round_trips() {
+        let specs = [
+            DesignSpec::micro(),
+            DesignSpec::paper(),
+            DesignSpec {
+                cache_ways: 2,
+                fill_policy: FillPolicy::Lru,
+                spill_depth: 3,
+                outbox_width: 2,
+                classes: ClassSet { switch_: false, ..ClassSet::all() },
+                ..DesignSpec::standard()
+            },
+        ];
+        for spec in specs {
+            let s = spec.to_canonical_string();
+            assert_eq!(DesignSpec::parse(&s).unwrap(), spec, "{s}");
+        }
+        assert_eq!(DesignSpec::parse("beats=4,dual=1").unwrap(), DesignSpec::standard());
+        assert!(DesignSpec::parse("beats=3").is_err(), "parse validates");
+        assert!(DesignSpec::parse("frob=1").is_err());
+        assert!(DesignSpec::parse("classes=xyzzy").is_err());
+    }
+
+    #[test]
+    fn design_ids_are_distinct_off_the_legacy_family() {
+        let rr = DesignSpec { cache_ways: 2, ..DesignSpec::micro() };
+        let lru = DesignSpec { fill_policy: FillPolicy::Lru, ..rr };
+        assert_ne!(rr.design_id(), lru.design_id());
+        assert!(rr.design_id().chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    }
+
+    #[test]
+    fn dense_codes_are_identity_for_full_class_set() {
+        let spec = DesignSpec::standard();
+        for c in 0..=5 {
+            assert_eq!(spec.dense1(c), c);
+            assert_eq!(spec.canon1(c), c);
+        }
+        for c in 0..=3 {
+            assert_eq!(spec.dense2(c), c);
+            assert_eq!(spec.canon2(c), c);
+        }
+        assert_eq!(spec.slot1_bits(), 3);
+        assert_eq!(spec.slot2_bits(), 2);
+    }
+
+    #[test]
+    fn dense_codes_compact_when_classes_dropped() {
+        use crate::control::{class_code, slot2_code};
+        let spec = DesignSpec {
+            classes: ClassSet { switch_: false, ..ClassSet::all() },
+            ..DesignSpec::micro()
+        };
+        assert_eq!(spec.slot1_classes().len(), 4);
+        assert_eq!(spec.dense1(class_code::SEND), 3);
+        assert_eq!(spec.dense1(class_code::BUBBLE), 4);
+        assert_eq!(spec.canon1(3), class_code::SEND);
+        assert_eq!(spec.slot1_bits(), 3);
+        assert_eq!(spec.dense2(slot2_code::SEND), 1);
+        assert_eq!(spec.dense2(slot2_code::BUBBLE), 2);
+        assert_eq!(spec.slot2_bits(), 2);
+    }
+
+    #[test]
+    fn family_expansion_is_deterministic_and_valid() {
+        let smoke = FamilyAxes::smoke().expand();
+        assert_eq!(smoke.len(), 8);
+        let matrix = FamilyAxes::matrix().expand();
+        assert!(matrix.len() >= 24, "matrix family has {} configs", matrix.len());
+        for spec in &matrix {
+            spec.validate().unwrap();
+        }
+        // the canonical string is the unique family key; design ids are
+        // unique only off the legacy sub-family (every legacy member
+        // deliberately shares the historical `pp_control` module name)
+        let mut keys: Vec<String> = matrix.iter().map(DesignSpec::to_canonical_string).collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "canonical strings must be unique across the family");
+        let mut ids: Vec<String> =
+            matrix.iter().filter(|s| !s.is_legacy()).map(DesignSpec::design_id).collect();
+        let non_legacy = ids.len();
+        assert!(non_legacy >= 24, "family is dominated by non-legacy members, got {non_legacy}");
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), non_legacy, "non-legacy design ids must be unique");
+        assert_eq!(FamilyAxes::matrix().expand(), matrix, "expansion is deterministic");
+    }
+
+    #[test]
+    fn width_for_covers_domains() {
+        assert_eq!(width_for(2), 1);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(4), 2);
+        assert_eq!(width_for(5), 3);
+        assert_eq!(width_for(6), 3);
+        assert_eq!(width_for(8), 3);
+    }
+}

@@ -5,27 +5,31 @@
 use archval_fsm::Model;
 use archval_verilog::{parse, translate, VerilogError};
 
-use crate::config::PpScale;
+use crate::design::DesignSpec;
 use crate::verilog_gen::pp_control_verilog;
 
-/// Builds the FSM model of the PP control logic at the given scale by
-/// translating the generated Verilog.
+/// Builds the FSM model of the PP control logic for the given design by
+/// translating the generated Verilog. The model is named
+/// [`DesignSpec::design_id`], so distinct designs can never collide on
+/// [`Model::fingerprint`].
 ///
 /// # Errors
 ///
 /// Returns a [`VerilogError`] only if the generator and translator have
 /// diverged — the test suite keeps them aligned, so callers may treat this
 /// as a bug.
-pub fn pp_control_model(scale: &PpScale) -> Result<Model, VerilogError> {
+pub fn pp_control_model(scale: &DesignSpec) -> Result<Model, VerilogError> {
     let src = pp_control_verilog(scale);
     let design = parse(&src)?;
-    translate(&design, "pp_control")
+    translate(&design, &scale.design_id())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::control::{class_code, CtrlIn, CtrlState};
+    use crate::design::{ClassSet, FillPolicy};
+    use crate::PpScale;
     use archval_fsm::SyncSim;
     use proptest::prelude::*;
 
@@ -89,8 +93,75 @@ mod tests {
         );
     }
 
+    #[test]
+    fn sized_design_exposes_counter_vars_and_push_pop_choices() {
+        let scale = PpScale {
+            cache_ways: 2,
+            fill_policy: FillPolicy::Lru,
+            spill_depth: 2,
+            inbox_width: 2,
+            outbox_width: 2,
+            ..PpScale::standard()
+        };
+        scale.validate().unwrap();
+        let m = pp_control_model(&scale).unwrap();
+        let vars: Vec<&str> = m.vars().iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            vars,
+            vec![
+                "booted",
+                "m_class",
+                "m2_class",
+                "w_class",
+                "irefill",
+                "drefill",
+                "dcnt",
+                "icnt",
+                "spill_cnt",
+                "store_pend",
+                "conflict",
+                "dway",
+                "ibox_cnt",
+                "obox_cnt"
+            ]
+        );
+        let choices: Vec<&str> = m.choices().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            choices,
+            vec![
+                "iclass",
+                "iclass2",
+                "ihit",
+                "dhit",
+                "victim_dirty",
+                "same_line",
+                "inbox_push",
+                "outbox_pop",
+                "mem_ready"
+            ]
+        );
+        assert_eq!(m.name(), scale.design_id());
+    }
+
+    #[test]
+    fn dropped_classes_shrink_the_choice_domain() {
+        let scale = PpScale {
+            classes: ClassSet { switch_: false, send: false, ..ClassSet::all() },
+            ..PpScale::micro()
+        };
+        scale.validate().unwrap();
+        let m = pp_control_model(&scale).unwrap();
+        let choices: Vec<&str> = m.choices().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            choices,
+            vec!["iclass", "ihit", "dhit", "victim_dirty", "same_line", "mem_ready"]
+        );
+        assert_eq!(m.choices()[0].size, 3, "alu+ld+sd fetch domain");
+    }
+
     /// The central fidelity property: the translated Verilog and the Rust
-    /// control specification agree cycle-by-cycle on every state bit.
+    /// control specification agree cycle-by-cycle on every state bit, on
+    /// every member of the design family.
     fn lockstep(scale: PpScale, inputs: Vec<CtrlIn>) {
         let m = pp_control_model(&scale).unwrap();
         let mut sim = SyncSim::new(&m);
@@ -107,10 +178,13 @@ mod tests {
         }
     }
 
-    fn arb_ctrl_in() -> impl Strategy<Value = CtrlIn> {
+    /// Inputs restricted to the classes a design enables (canonical codes).
+    fn arb_ctrl_in_for(scale: PpScale) -> impl Strategy<Value = CtrlIn> {
+        let slot1 = scale.slot1_classes();
+        let slot2 = scale.slot2_classes();
         (
-            0u64..5,
-            0u64..3,
+            0usize..slot1.len(),
+            0usize..slot2.len(),
             proptest::bool::ANY,
             proptest::bool::ANY,
             proptest::bool::ANY,
@@ -119,37 +193,105 @@ mod tests {
             proptest::bool::ANY,
             proptest::bool::ANY,
         )
-            .prop_map(
-                |(iclass, iclass2, ihit, dhit, victim_dirty, same_line, ib, ob, mr)| CtrlIn {
-                    iclass,
-                    iclass2,
+            .prop_map(move |(i1, i2, ihit, dhit, victim_dirty, same_line, ib, ob, mr)| {
+                CtrlIn {
+                    iclass: slot1[i1],
+                    iclass2: slot2[i2],
                     ihit,
                     dhit,
                     victim_dirty,
                     same_line,
                     inbox_ready: ib,
                     outbox_ready: ob,
+                    inbox_push: ib,
+                    outbox_pop: ob,
                     mem_ready: mr,
-                },
-            )
+                }
+            })
+    }
+
+    fn arb_trace(scale: PpScale, max: usize) -> impl Strategy<Value = Vec<CtrlIn>> {
+        proptest::collection::vec(arb_ctrl_in_for(scale), 1..max)
     }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
         #[test]
-        fn prop_lockstep_micro(inputs in proptest::collection::vec(arb_ctrl_in(), 1..120)) {
+        fn prop_lockstep_micro(inputs in arb_trace(PpScale::micro(), 120)) {
             lockstep(PpScale::micro(), inputs);
         }
 
         #[test]
-        fn prop_lockstep_standard(inputs in proptest::collection::vec(arb_ctrl_in(), 1..120)) {
+        fn prop_lockstep_standard(inputs in arb_trace(PpScale::standard(), 120)) {
             lockstep(PpScale::standard(), inputs);
         }
 
         #[test]
-        fn prop_lockstep_paper(inputs in proptest::collection::vec(arb_ctrl_in(), 1..80)) {
+        fn prop_lockstep_paper(inputs in arb_trace(PpScale::paper(), 80)) {
             lockstep(PpScale::paper(), inputs);
+        }
+    }
+
+    // family-axis lockstep: each case exercises one non-legacy mechanism
+    // (plus one combining all of them) at reduced case counts
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_lockstep_ways_rr(inputs in arb_trace(PpScale { cache_ways: 2, ..PpScale::micro() }, 100)) {
+            lockstep(PpScale { cache_ways: 2, ..PpScale::micro() }, inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_ways_lru(inputs in arb_trace(PpScale { cache_ways: 3, fill_policy: FillPolicy::Lru, ..PpScale::micro() }, 100)) {
+            lockstep(PpScale { cache_ways: 3, fill_policy: FillPolicy::Lru, ..PpScale::micro() }, inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_deep_spill(inputs in arb_trace(PpScale { spill_depth: 3, cache_ways: 2, ..PpScale::micro() }, 100)) {
+            lockstep(PpScale { spill_depth: 3, cache_ways: 2, ..PpScale::micro() }, inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_sized_boxes(inputs in arb_trace(PpScale { inbox_width: 2, outbox_width: 1, ..PpScale::micro() }, 100)) {
+            lockstep(PpScale { inbox_width: 2, outbox_width: 1, ..PpScale::micro() }, inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_sized_boxes_dual(inputs in arb_trace(PpScale { inbox_width: 2, outbox_width: 2, ..PpScale::standard() }, 100)) {
+            lockstep(PpScale { inbox_width: 2, outbox_width: 2, ..PpScale::standard() }, inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_deep_pipe(inputs in arb_trace(PpScale { pipe_extra: 2, ..PpScale::full() }, 100)) {
+            lockstep(PpScale { pipe_extra: 2, ..PpScale::full() }, inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_dropped_classes(inputs in arb_trace(PpScale { classes: ClassSet { send: false, ..ClassSet::all() }, ..PpScale::standard() }, 100)) {
+            lockstep(PpScale { classes: ClassSet { send: false, ..ClassSet::all() }, ..PpScale::standard() }, inputs);
+        }
+
+        #[test]
+        fn prop_lockstep_kitchen_sink(inputs in arb_trace(PpScale {
+            pipe_extra: 2,
+            cache_ways: 2,
+            fill_policy: FillPolicy::Lru,
+            spill_depth: 2,
+            inbox_width: 2,
+            outbox_width: 2,
+            ..PpScale::standard()
+        }, 80)) {
+            lockstep(PpScale {
+                pipe_extra: 2,
+                cache_ways: 2,
+                fill_policy: FillPolicy::Lru,
+                spill_depth: 2,
+                inbox_width: 2,
+                outbox_width: 2,
+                ..PpScale::standard()
+            }, inputs);
         }
     }
 

@@ -19,22 +19,32 @@
 //!   (fill-before-spill, spill buffer, critical-word-first restart, split
 //!   stores), an instruction cache, Inbox/Outbox interfaces and a shared
 //!   memory port ([`rtl`]);
-//! * the six injectable bugs of the paper's Table 2.1 ([`bugs`]).
+//! * the six injectable bugs of the paper's Table 2.1 ([`bugs`]);
+//! * a declarative design-description layer ([`design`]) that promotes the
+//!   device under validation to a generated *family* of configurations,
+//!   with the historical [`PpScale`] presets as its legacy sub-family;
+//! * shared test/bench support ([`testkit`]) building models from specs or
+//!   preset names without re-spelling the translation pipeline.
 
 pub mod asm;
 pub mod bugs;
 pub mod config;
 pub mod control;
+pub mod design;
 pub mod fsm_model;
 pub mod isa;
 pub mod mem;
 pub mod ref_sim;
 pub mod rtl;
+pub mod testkit;
 pub mod verilog_gen;
 
 pub use bugs::{Bug, BugSet};
 pub use config::PpScale;
 pub use control::{CtrlIn, CtrlSignals, CtrlState};
+pub use design::{
+    presets, resolve_preset, ClassSet, DesignError, DesignSpec, FamilyAxes, FillPolicy,
+};
 pub use fsm_model::pp_control_model;
 pub use isa::{Instr, InstrClass, Reg};
 pub use ref_sim::RefSim;

@@ -357,7 +357,19 @@ pub struct RtlSim {
 impl RtlSim {
     /// Creates a PP over a program image and Inbox stream, with the given
     /// bug set injected.
+    ///
+    /// # Panics
+    ///
+    /// The RTL datapath implements the legacy sub-family (physical caches,
+    /// depth-1 spill buffer, abstract Inbox/Outbox, all classes, at most
+    /// one extra stage) — see [`PpScale::is_legacy`]. Non-legacy specs are
+    /// validated at the model layer instead and rejected here.
     pub fn new(scale: PpScale, bugs: BugSet, program: &[Instr], inbox: Vec<u32>) -> Self {
+        assert!(
+            scale.is_legacy(),
+            "RtlSim implements only the legacy sub-family; {} is outside it",
+            scale.design_id()
+        );
         let mut mem = Memory::new();
         let words: Vec<u32> = program.iter().map(Instr::encode).collect();
         mem.load_program(&words);
@@ -516,7 +528,7 @@ impl RtlSim {
                 return None;
             }
             let sd_addr = m.addr?;
-            let incoming = if self.scale.extra_stage {
+            let incoming = if self.scale.extra_stage() {
                 self.e_slot.as_ref().map(|s| s.slot1.instr)
             } else {
                 peek.as_ref().map(|(a, _)| a.instr)
@@ -539,6 +551,8 @@ impl RtlSim {
             same_line,
             inbox_ready: ext.inbox_ready,
             outbox_ready: ext.outbox_ready,
+            inbox_push: false,
+            outbox_pop: false,
             mem_ready: ext.mem_ready,
         }
     }
@@ -616,7 +630,7 @@ impl RtlSim {
         if self.ctrl.drefill == crate::control::drefill::FILL
             && inputs.mem_ready
             && self.ctrl.dcnt == self.scale.fill_beats - 1
-            && !self.ctrl.spill_pend
+            && !self.ctrl.spill_pend()
         {
             self.d_miss = None;
         }
@@ -662,7 +676,7 @@ impl RtlSim {
         // 7. pipeline shift and fetch
         if sig.advance {
             let fetched = if sig.fetch_valid { self.fetch_pair() } else { None };
-            if self.scale.extra_stage {
+            if self.scale.extra_stage() {
                 self.m_slot = self.e_slot.take().map(|s| self.with_addr(s));
                 self.e_slot = fetched;
             } else {

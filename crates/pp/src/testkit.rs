@@ -1,0 +1,90 @@
+//! Shared test and bench support: building control models from specs,
+//! preset names or canonical spec strings without re-spelling the
+//! generate → parse → translate pipeline in every test file.
+//!
+//! Tests and downstream crates used to open with the same two lines —
+//! `let scale = PpScale::micro(); let model =
+//! pp_control_model(&scale).unwrap();` — which meant every spec change
+//! fanned out through every test file. They now call [`micro_model`] (or
+//! [`model_for`]/[`named_model`] for non-preset designs) instead.
+
+use archval_fsm::Model;
+
+use crate::design::{resolve_preset, DesignSpec};
+use crate::fsm_model::pp_control_model;
+
+/// Builds the control model for a spec, panicking on failure — the
+/// ergonomic form for tests and benches, where a generator/translator
+/// divergence is a hard bug.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid or the generated Verilog fails to
+/// translate.
+#[must_use]
+pub fn model_for(scale: &DesignSpec) -> Model {
+    pp_control_model(scale)
+        .unwrap_or_else(|e| panic!("control model for {} failed: {e}", scale.design_id()))
+}
+
+/// The micro preset and its model.
+#[must_use]
+pub fn micro_model() -> (DesignSpec, Model) {
+    let scale = DesignSpec::micro();
+    let model = model_for(&scale);
+    (scale, model)
+}
+
+/// The standard preset and its model.
+#[must_use]
+pub fn standard_model() -> (DesignSpec, Model) {
+    let scale = DesignSpec::standard();
+    let model = model_for(&scale);
+    (scale, model)
+}
+
+/// The full preset and its model.
+#[must_use]
+pub fn full_model() -> (DesignSpec, Model) {
+    let scale = DesignSpec::full();
+    let model = model_for(&scale);
+    (scale, model)
+}
+
+/// Resolves a preset name (`pp-micro`, `micro`, ...) or a canonical spec
+/// string (`beats=2,ways=2`) and builds its model.
+///
+/// # Panics
+///
+/// Panics if the name is neither a preset nor a parsable valid spec.
+#[must_use]
+pub fn named_model(name: &str) -> (DesignSpec, Model) {
+    let scale = resolve_preset(name)
+        .or_else(|| DesignSpec::parse(name).ok())
+        .unwrap_or_else(|| panic!("`{name}` is neither a preset nor a valid design spec"));
+    let model = model_for(&scale);
+    (scale, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_named_resolution_covers_both_forms() {
+        let (scale, model) = micro_model();
+        assert_eq!(model.name(), scale.design_id());
+        let (by_name, model2) = named_model("pp-micro");
+        assert_eq!(by_name, scale);
+        assert_eq!(model2.fingerprint(), model.fingerprint());
+        let (by_spec, model3) = named_model("beats=2,ways=2");
+        assert!(!by_spec.is_legacy());
+        assert_eq!(model3.name(), by_spec.design_id());
+    }
+
+    #[test]
+    #[should_panic(expected = "neither a preset nor a valid design spec")]
+    fn named_model_rejects_garbage() {
+        let _ = named_model("pp-frob");
+    }
+}

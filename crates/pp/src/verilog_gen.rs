@@ -7,76 +7,156 @@
 //! designers annotate the real Verilog and the translator extracts the
 //! interacting control FSMs (581 of 2727 control lines for the PP).
 //!
+//! The generator is a pure function of a [`DesignSpec`]: every family
+//! axis (class subsets and their dense encodings, pipeline depth, way
+//! pointer, spill-buffer depth, sized Inbox/Outbox counters) adds or
+//! rewrites exactly the lines it owns. Specs in the legacy sub-family
+//! ([`DesignSpec::is_legacy`]) reproduce the historical `pp_control`
+//! text byte-for-byte — pinned by golden tests — which is what keeps the
+//! PpScale-era fingerprints, snapshots and graph dumps stable.
+//!
 //! [`CtrlState::step`]: crate::control::CtrlState::step
 
 use std::fmt::Write as _;
 
-use crate::config::PpScale;
+use crate::control::{class_code, slot2_code};
+use crate::design::{width_for, DesignSpec, FillPolicy};
 
 fn log2(n: u64) -> u32 {
     debug_assert!(n.is_power_of_two());
     n.trailing_zeros()
 }
 
-/// Emits the annotated Verilog source of the PP control module
-/// `pp_control` at the given scale.
+/// Emits the annotated Verilog source of the control module for one
+/// design. The module is named [`DesignSpec::design_id`] (`pp_control`
+/// for the legacy sub-family).
 ///
 /// # Panics
 ///
-/// Panics if `scale.fill_beats` is not a power of two of at least 2
-/// (counter widths must be exact).
-pub fn pp_control_verilog(scale: &PpScale) -> String {
-    assert!(
-        scale.fill_beats.is_power_of_two() && scale.fill_beats >= 2,
-        "fill_beats must be a power of two >= 2"
-    );
+/// Panics if the spec fails [`DesignSpec::validate`] (e.g. a
+/// `fill_beats` that is not a power of two: counter widths must be
+/// exact).
+#[allow(clippy::too_many_lines)]
+pub fn pp_control_verilog(scale: &DesignSpec) -> String {
+    if let Err(e) = scale.validate() {
+        panic!("invalid design spec: {e}");
+    }
     let w = log2(scale.fill_beats); // beat counter width
     let last = scale.fill_beats - 1;
     let mut s = String::new();
     let dual = scale.dual_comm_slot;
-    let extra = scale.extra_stage;
+    let depth = scale.pipe_extra;
+    let b1 = scale.slot1_bits();
+    let b2 = scale.slot2_bits();
+    let n1 = scale.slot1_classes().len() as u64;
+    let n2 = scale.slot2_classes().len() as u64;
+    let cls = scale.classes;
+    // class literals in the design's dense wire encoding
+    let lit1 = |canon: u64| format!("{}'d{}", b1, scale.dense1(canon));
+    let lit2 = |canon: u64| format!("{}'d{}", b2, scale.dense2(canon));
+    let bub1 = format!("{b1}'d{n1}");
+    let bub2 = format!("{b2}'d{n2}");
+    let in_sized = scale.has_inbox_choice() && !scale.inbox_abstract();
+    let out_sized = scale.has_outbox_choice() && !scale.outbox_abstract();
+    let ib = if in_sized { width_for(u64::from(scale.inbox_width) + 1) } else { 1 };
+    let ob = if out_sized { width_for(u64::from(scale.outbox_width) + 1) } else { 1 };
+    let ways = scale.cache_ways;
+    let wb = if ways >= 2 { width_for(u64::from(ways)) } else { 1 };
+    let sd = scale.spill_depth;
+    let sb = if sd >= 2 { width_for(u64::from(sd) + 1) } else { 1 };
 
+    // header: the legacy sub-family keeps its historical comment line and
+    // the `pp_control` module name so the text stays byte-identical
+    let meta = if scale.is_legacy() {
+        format!(
+            "scale: fill_beats={} extra_stage={} dual_comm_slot={}",
+            scale.fill_beats,
+            scale.extra_stage(),
+            dual
+        )
+    } else {
+        format!("design: {}", scale.to_canonical_string())
+    };
+    let in_port = if scale.inbox_abstract() { "inbox_ready" } else { "inbox_push" };
+    let out_port = if scale.outbox_abstract() { "outbox_ready" } else { "outbox_pop" };
+    let mut tail_ports: Vec<&str> = Vec::new();
+    if scale.has_inbox_choice() {
+        tail_ports.push(in_port);
+    }
+    if scale.has_outbox_choice() {
+        tail_ports.push(out_port);
+    }
+    tail_ports.push("mem_ready");
+    tail_ports.push("stall_out");
     let _ = writeln!(
         s,
         "// Protocol Processor control logic (generated)\n\
-         // scale: fill_beats={} extra_stage={} dual_comm_slot={}\n\
-         module pp_control(clk, reset, iclass,{} ihit, dhit, victim_dirty, same_line,\n\
-         \x20                 inbox_ready, outbox_ready, mem_ready, stall_out);",
-        scale.fill_beats,
-        extra,
-        dual,
-        if dual { " iclass2," } else { "" }
+         // {}\n\
+         module {}(clk, reset, iclass,{} ihit, dhit, victim_dirty, same_line,\n\
+         \x20                 {});",
+        meta,
+        scale.design_id(),
+        if dual { " iclass2," } else { "" },
+        tail_ports.join(", ")
     );
     s.push_str("  input clk, reset;\n");
-    s.push_str("  input [2:0] iclass;       // archval: abstract classes=5\n");
+    let _ = writeln!(s, "  input [{}:0] iclass;       // archval: abstract classes={}", b1 - 1, n1);
     if dual {
-        s.push_str("  input [1:0] iclass2;      // archval: abstract classes=3\n");
+        let _ =
+            writeln!(s, "  input [{}:0] iclass2;      // archval: abstract classes={}", b2 - 1, n2);
     }
-    for sig in
-        ["ihit", "dhit", "victim_dirty", "same_line", "inbox_ready", "outbox_ready", "mem_ready"]
-    {
+    let mut bool_inputs = vec!["ihit", "dhit", "victim_dirty", "same_line"];
+    if scale.has_inbox_choice() {
+        bool_inputs.push(in_port);
+    }
+    if scale.has_outbox_choice() {
+        bool_inputs.push(out_port);
+    }
+    bool_inputs.push("mem_ready");
+    for sig in bool_inputs {
         let _ = writeln!(s, "  input {sig};             // archval: abstract");
     }
     s.push_str("  output stall_out;\n\n");
 
     // state registers — declaration order must match CtrlState::to_values
     s.push_str("  reg booted;\n");
-    s.push_str("  reg [2:0] m_class;\n");
+    let _ = writeln!(s, "  reg [{}:0] m_class;", b1 - 1);
     if dual {
-        s.push_str("  reg [1:0] m2_class;\n");
+        let _ = writeln!(s, "  reg [{}:0] m2_class;", b2 - 1);
     }
-    if extra {
-        s.push_str("  reg [2:0] e_class;\n");
+    if depth >= 1 {
+        let _ = writeln!(s, "  reg [{}:0] e_class;", b1 - 1);
         if dual {
-            s.push_str("  reg [1:0] e2_class;\n");
+            let _ = writeln!(s, "  reg [{}:0] e2_class;", b2 - 1);
         }
     }
-    s.push_str("  reg [2:0] w_class;\n");
+    if depth >= 2 {
+        let _ = writeln!(s, "  reg [{}:0] f_class;", b1 - 1);
+        if dual {
+            let _ = writeln!(s, "  reg [{}:0] f2_class;", b2 - 1);
+        }
+    }
+    let _ = writeln!(s, "  reg [{}:0] w_class;", b1 - 1);
     s.push_str("  reg [1:0] irefill;\n");
     s.push_str("  reg [2:0] drefill;\n");
     let _ = writeln!(s, "  reg [{}:0] dcnt;", w - 1);
     let _ = writeln!(s, "  reg [{}:0] icnt;", w - 1);
-    s.push_str("  reg spill_pend;\n  reg store_pend;\n  reg conflict;\n\n");
+    if sd == 1 {
+        s.push_str("  reg spill_pend;\n");
+    } else {
+        let _ = writeln!(s, "  reg [{}:0] spill_cnt;", sb - 1);
+    }
+    s.push_str("  reg store_pend;\n  reg conflict;\n");
+    if ways >= 2 {
+        let _ = writeln!(s, "  reg [{}:0] dway;", wb - 1);
+    }
+    if in_sized {
+        let _ = writeln!(s, "  reg [{}:0] ibox_cnt;", ib - 1);
+    }
+    if out_sized {
+        let _ = writeln!(s, "  reg [{}:0] obox_cnt;", ob - 1);
+    }
+    s.push('\n');
 
     // combinational control signals — inside the control region: the
     // paper includes "any logic that feeds the state machines"
@@ -106,24 +186,94 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
     for wd in wires {
         let _ = writeln!(s, "  wire {wd};");
     }
-    s.push_str("  wire [2:0] fetched_m;\n  wire [2:0] next_m;\n");
+    let _ = writeln!(s, "  wire [{}:0] fetched_m;", b1 - 1);
+    let _ = writeln!(s, "  wire [{}:0] next_m;", b1 - 1);
     if dual {
-        s.push_str("  wire [1:0] fetched_m2;\n");
+        let _ = writeln!(s, "  wire [{}:0] fetched_m2;", b2 - 1);
+    }
+    // 3-bit need sums: dual issue can demand two box slots in one cycle,
+    // and 2-bit arithmetic would wrap when comparing against a full box
+    if dual && in_sized {
+        s.push_str("  wire [2:0] sw_need;\n");
+    }
+    if dual && out_sized {
+        s.push_str("  wire [2:0] se_need;\n");
     }
     s.push('\n');
-    s.push_str("  assign is_ld = m_class == 3'd1;\n");
-    s.push_str("  assign is_sd = m_class == 3'd2;\n");
+    // disabled classes decay to constant-false decode wires
+    let decode = |name: &str, canon: u64, enabled: bool| {
+        if enabled {
+            format!("  assign {name} = m_class == {};\n", lit1(canon))
+        } else {
+            format!("  assign {name} = 1'b0;\n")
+        }
+    };
+    s.push_str(&decode("is_ld", class_code::LD, cls.ld));
+    s.push_str(&decode("is_sd", class_code::SD, cls.sd));
     s.push_str("  assign is_mem = is_ld || is_sd;\n");
-    s.push_str("  assign is_sw = m_class == 3'd3;\n");
-    s.push_str("  assign is_se = m_class == 3'd4;\n");
-    if dual {
-        s.push_str(
-            "  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready)\n\
-             \x20                 || ((m2_class == 2'd2) && !outbox_ready)\n\
-             \x20                 || ((m2_class == 2'd1) && !inbox_ready);\n",
+    s.push_str(&decode("is_sw", class_code::SWITCH, cls.switch_));
+    s.push_str(&decode("is_se", class_code::SEND, cls.send));
+    if dual && in_sized {
+        let _ = writeln!(
+            s,
+            "  assign sw_need = (is_sw ? 3'd1 : 3'd0) + ((m2_class == {}) ? 3'd1 : 3'd0);",
+            lit2(slot2_code::SWITCH)
         );
+    }
+    if dual && out_sized {
+        let _ = writeln!(
+            s,
+            "  assign se_need = (is_se ? 3'd1 : 3'd0) + ((m2_class == {}) ? 3'd1 : 3'd0);",
+            lit2(slot2_code::SEND)
+        );
+    }
+    if scale.inbox_abstract() && scale.outbox_abstract() && cls.switch_ && cls.send {
+        // the legacy ready-bit handshake, in its historical layout
+        if dual {
+            s.push_str(
+                "  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready)\n\
+                 \x20                 || ((m2_class == 2'd2) && !outbox_ready)\n\
+                 \x20                 || ((m2_class == 2'd1) && !inbox_ready);\n",
+            );
+        } else {
+            s.push_str(
+                "  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready);\n",
+            );
+        }
     } else {
-        s.push_str("  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready);\n");
+        let mut terms: Vec<String> = Vec::new();
+        if cls.send {
+            if scale.outbox_abstract() {
+                terms.push("(is_se && !outbox_ready)".to_string());
+                if dual {
+                    terms.push(format!(
+                        "((m2_class == {}) && !outbox_ready)",
+                        lit2(slot2_code::SEND)
+                    ));
+                }
+            } else if dual {
+                terms.push(format!("((obox_cnt + se_need) > 3'd{})", scale.outbox_width));
+            } else {
+                terms.push(format!("(is_se && (obox_cnt == {}'d{}))", ob, scale.outbox_width));
+            }
+        }
+        if cls.switch_ {
+            if scale.inbox_abstract() {
+                terms.push("(is_sw && !inbox_ready)".to_string());
+                if dual {
+                    terms.push(format!(
+                        "((m2_class == {}) && !inbox_ready)",
+                        lit2(slot2_code::SWITCH)
+                    ));
+                }
+            } else if dual {
+                terms.push("(sw_need > ibox_cnt)".to_string());
+            } else {
+                terms.push(format!("(is_sw && (ibox_cnt == {ib}'d0))"));
+            }
+        }
+        let rhs = if terms.is_empty() { "1'b0".to_string() } else { terms.join(" || ") };
+        let _ = writeln!(s, "  assign ext_stall = {rhs};");
     }
     s.push_str("  assign conflict_stall = conflict;\n");
     s.push_str("  assign dr_idle = drefill == 3'd0;\n");
@@ -144,11 +294,11 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
     s.push_str("  assign i_miss_start = advance && !ihit && ir_idle;\n");
     s.push_str("  assign fetch_valid = advance && ihit && ir_idle;\n");
     s.push_str("  assign sd_completes = advance && is_sd;\n");
-    s.push_str("  assign fetched_m = fetch_valid ? iclass : 3'd5;\n");
+    let _ = writeln!(s, "  assign fetched_m = fetch_valid ? iclass : {bub1};");
     if dual {
-        s.push_str("  assign fetched_m2 = fetch_valid ? iclass2 : 2'd3;\n");
+        let _ = writeln!(s, "  assign fetched_m2 = fetch_valid ? iclass2 : {bub2};");
     }
-    if extra {
+    if depth >= 1 {
         s.push_str("  assign next_m = advance ? e_class : m_class;\n");
     } else {
         s.push_str("  assign next_m = advance ? fetched_m : m_class;\n");
@@ -158,37 +308,81 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
     // clocked state updates
     s.push_str("  always @(posedge clk) begin\n");
     s.push_str("    if (reset) begin\n");
-    s.push_str("      booted <= 1'b0;\n      m_class <= 3'd5;\n");
+    s.push_str("      booted <= 1'b0;\n");
+    let _ = writeln!(s, "      m_class <= {bub1};");
     if dual {
-        s.push_str("      m2_class <= 2'd3;\n");
+        let _ = writeln!(s, "      m2_class <= {bub2};");
     }
-    if extra {
-        s.push_str("      e_class <= 3'd5;\n");
+    if depth >= 1 {
+        let _ = writeln!(s, "      e_class <= {bub1};");
         if dual {
-            s.push_str("      e2_class <= 2'd3;\n");
+            let _ = writeln!(s, "      e2_class <= {bub2};");
         }
     }
-    s.push_str("      w_class <= 3'd5;\n      irefill <= 2'd0;\n      drefill <= 3'd0;\n");
+    if depth >= 2 {
+        let _ = writeln!(s, "      f_class <= {bub1};");
+        if dual {
+            let _ = writeln!(s, "      f2_class <= {bub2};");
+        }
+    }
+    let _ = writeln!(s, "      w_class <= {bub1};");
+    s.push_str("      irefill <= 2'd0;\n      drefill <= 3'd0;\n");
     let _ = writeln!(s, "      dcnt <= {w}'d0;\n      icnt <= {w}'d0;");
-    s.push_str("      spill_pend <= 1'b0;\n      store_pend <= 1'b0;\n      conflict <= 1'b0;\n");
+    if sd == 1 {
+        s.push_str("      spill_pend <= 1'b0;\n");
+    } else {
+        let _ = writeln!(s, "      spill_cnt <= {sb}'d0;");
+    }
+    s.push_str("      store_pend <= 1'b0;\n      conflict <= 1'b0;\n");
+    if ways >= 2 {
+        let _ = writeln!(s, "      dway <= {wb}'d0;");
+    }
+    if in_sized {
+        let _ = writeln!(s, "      ibox_cnt <= {ib}'d0;");
+    }
+    if out_sized {
+        let _ = writeln!(s, "      obox_cnt <= {ob}'d0;");
+    }
     s.push_str("    end else begin\n");
     s.push_str("      booted <= 1'b1;\n");
-    if extra {
-        s.push_str("      if (advance) begin\n");
-        s.push_str("        m_class <= e_class;\n        e_class <= fetched_m;\n");
-        if dual {
-            s.push_str("        m2_class <= e2_class;\n        e2_class <= fetched_m2;\n");
+    s.push_str("      if (advance) begin\n");
+    match depth {
+        0 => {
+            s.push_str("        m_class <= fetched_m;\n");
+            if dual {
+                s.push_str("        m2_class <= fetched_m2;\n");
+            }
         }
-        s.push_str("        w_class <= m_class;\n      end\n");
-    } else {
-        s.push_str("      if (advance) begin\n");
-        s.push_str("        m_class <= fetched_m;\n");
-        if dual {
-            s.push_str("        m2_class <= fetched_m2;\n");
+        1 => {
+            s.push_str("        m_class <= e_class;\n        e_class <= fetched_m;\n");
+            if dual {
+                s.push_str("        m2_class <= e2_class;\n        e2_class <= fetched_m2;\n");
+            }
         }
-        s.push_str("        w_class <= m_class;\n      end\n");
+        _ => {
+            s.push_str(
+                "        m_class <= e_class;\n        e_class <= f_class;\n\
+                 \x20       f_class <= fetched_m;\n",
+            );
+            if dual {
+                s.push_str(
+                    "        m2_class <= e2_class;\n        e2_class <= f2_class;\n\
+                     \x20       f2_class <= fetched_m2;\n",
+                );
+            }
+        }
     }
-    // D refill FSM
+    s.push_str("        w_class <= m_class;\n      end\n");
+    // D refill FSM; a depth-1 spill buffer drains whenever occupied, a
+    // deeper one defers the write-back until full, then drains one entry
+    // per memory grant
+    let spill_go =
+        if sd == 1 { "spill_pend".to_string() } else { format!("spill_cnt == {sb}'d{sd}") };
+    let spill_done = if sd == 1 {
+        "mem_ready".to_string()
+    } else {
+        format!("mem_ready && (spill_cnt == {sb}'d1)")
+    };
     let _ = writeln!(
         s,
         "      case (drefill)\n\
@@ -196,10 +390,10 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
          \x20       3'd1: if (mem_ready && !(irefill == 2'd2)) drefill <= 3'd2;\n\
          \x20       3'd2: drefill <= 3'd3;\n\
          \x20       3'd3: if (mem_ready && (dcnt == {w}'d{last})) begin\n\
-         \x20         if (spill_pend) drefill <= 3'd4;\n\
+         \x20         if ({spill_go}) drefill <= 3'd4;\n\
          \x20         else drefill <= 3'd0;\n\
          \x20       end\n\
-         \x20       default: if (mem_ready) drefill <= 3'd0;\n\
+         \x20       default: if ({spill_done}) drefill <= 3'd0;\n\
          \x20     endcase"
     );
     let _ = writeln!(
@@ -210,10 +404,41 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
          \x20       else dcnt <= dcnt + {w}'d1;\n\
          \x20     end"
     );
-    s.push_str(
-        "      if (d_miss_start) spill_pend <= victim_dirty;\n\
-         \x20     else if (dr_spill && mem_ready) spill_pend <= 1'b0;\n",
-    );
+    // spill-buffer occupancy; with a modelled way pointer, way 0 is the
+    // abstractly clean-preferred way and never enters the buffer
+    let push = if ways == 1 {
+        "victim_dirty".to_string()
+    } else {
+        format!("victim_dirty && (dway != {wb}'d0)")
+    };
+    if sd == 1 {
+        let _ = writeln!(
+            s,
+            "      if (d_miss_start) spill_pend <= {push};\n\
+             \x20     else if (dr_spill && mem_ready) spill_pend <= 1'b0;"
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "      if (d_miss_start && ({push}))\n\
+             \x20       spill_cnt <= (spill_cnt == {sb}'d{sd}) ? {sb}'d{sd} : spill_cnt + {sb}'d1;\n\
+             \x20     else if (dr_spill && mem_ready) spill_cnt <= spill_cnt - {sb}'d1;"
+        );
+    }
+    if ways >= 2 {
+        let _ = writeln!(
+            s,
+            "      if (d_miss_start) dway <= (dway == {wb}'d{}) ? {wb}'d0 : dway + {wb}'d1;",
+            ways - 1
+        );
+        if scale.fill_policy == FillPolicy::Lru {
+            // a completing hit promotes way 0 back to next victim
+            let _ = writeln!(
+                s,
+                "      else if (advance && is_mem && dhit && dr_idle) dway <= {wb}'d0;"
+            );
+        }
+    }
     // I refill FSM
     let _ = writeln!(
         s,
@@ -232,10 +457,47 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
          \x20     end"
     );
     s.push_str("      store_pend <= sd_completes;\n");
-    s.push_str(
-        "      conflict <= sd_completes\n\
-         \x20               && ((next_m == 3'd2) || ((next_m == 3'd1) && same_line));\n",
-    );
+    if cls.sd && cls.ld {
+        let _ = writeln!(
+            s,
+            "      conflict <= sd_completes\n\
+             \x20               && ((next_m == {}) || ((next_m == {}) && same_line));",
+            lit1(class_code::SD),
+            lit1(class_code::LD)
+        );
+    } else if cls.sd {
+        let _ =
+            writeln!(s, "      conflict <= sd_completes && (next_m == {});", lit1(class_code::SD));
+    } else {
+        s.push_str("      conflict <= 1'b0;\n");
+    }
+    // sized-box occupancy counters: pushes/pops are guarded against
+    // overflow/underflow, consumption happens when MEM advances
+    if in_sized {
+        let consume = if dual {
+            "(advance ? sw_need : 3'd0)".to_string()
+        } else {
+            format!("((advance && is_sw) ? {ib}'d1 : {ib}'d0)")
+        };
+        let _ = writeln!(
+            s,
+            "      ibox_cnt <= (ibox_cnt + ((inbox_push && (ibox_cnt != {ib}'d{})) ? {ib}'d1 : {ib}'d0))\n\
+             \x20               - {consume};",
+            scale.inbox_width
+        );
+    }
+    if out_sized {
+        let produce = if dual {
+            "(advance ? se_need : 3'd0)".to_string()
+        } else {
+            format!("((advance && is_se) ? {ob}'d1 : {ob}'d0)")
+        };
+        let _ = writeln!(
+            s,
+            "      obox_cnt <= (obox_cnt + {produce})\n\
+             \x20               - ((outbox_pop && (obox_cnt != {ob}'d0)) ? {ob}'d1 : {ob}'d0);"
+        );
+    }
     s.push_str("    end\n  end\n");
     s.push_str("  // archval: control-end\n");
     s.push_str("endmodule\n");
@@ -245,6 +507,8 @@ pub fn pp_control_verilog(scale: &PpScale) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::design::ClassSet;
+    use crate::PpScale;
 
     #[test]
     fn log2_of_powers() {
@@ -271,5 +535,71 @@ mod tests {
     fn odd_beats_rejected() {
         let bad = PpScale { fill_beats: 3, ..PpScale::micro() };
         let _ = pp_control_verilog(&bad);
+    }
+
+    #[test]
+    fn legacy_specs_keep_the_historical_module_name() {
+        for spec in [PpScale::micro(), PpScale::standard(), PpScale::full(), PpScale::paper()] {
+            let v = pp_control_verilog(&spec);
+            assert!(v.contains("module pp_control("), "legacy module name");
+            assert!(v.contains("// scale: fill_beats="), "legacy header comment");
+        }
+    }
+
+    #[test]
+    fn non_legacy_specs_are_named_by_their_axes() {
+        let spec = PpScale { cache_ways: 2, ..PpScale::micro() };
+        let v = pp_control_verilog(&spec);
+        assert!(v.contains(&format!("module {}(", spec.design_id())));
+        assert!(v.contains("// design: "), "non-legacy header carries the canonical spec");
+        assert!(v.contains("reg [0:0] dway;"));
+    }
+
+    #[test]
+    fn deep_pipe_emits_second_stage() {
+        let spec = PpScale { pipe_extra: 2, ..PpScale::full() };
+        let v = pp_control_verilog(&spec);
+        assert!(v.contains("reg [2:0] f_class;"));
+        assert!(v.contains("e_class <= f_class;"));
+        assert!(v.contains("f_class <= fetched_m;"));
+    }
+
+    #[test]
+    fn sized_boxes_emit_counters() {
+        let spec = PpScale { inbox_width: 2, outbox_width: 2, ..PpScale::micro() };
+        let v = pp_control_verilog(&spec);
+        assert!(v.contains("input inbox_push;"));
+        assert!(v.contains("input outbox_pop;"));
+        assert!(v.contains("reg [1:0] ibox_cnt;"));
+        assert!(v.contains("(is_se && (obox_cnt == 2'd2))"));
+        assert!(!v.contains("inbox_ready"), "abstract handshake fully replaced");
+        // dual issue brings the 3-bit need sums
+        let spec = PpScale { inbox_width: 2, outbox_width: 2, ..PpScale::standard() };
+        let v = pp_control_verilog(&spec);
+        assert!(v.contains("wire [2:0] sw_need;"));
+        assert!(v.contains("((obox_cnt + se_need) > 3'd2)"));
+    }
+
+    #[test]
+    fn deep_spill_buffer_emits_counter() {
+        let spec = PpScale { spill_depth: 2, ..PpScale::micro() };
+        let v = pp_control_verilog(&spec);
+        assert!(v.contains("reg [1:0] spill_cnt;"));
+        assert!(!v.contains("spill_pend"));
+        assert!(v.contains("if (spill_cnt == 2'd2) drefill <= 3'd4;"));
+    }
+
+    #[test]
+    fn dropped_classes_use_dense_codes() {
+        let spec = PpScale {
+            classes: ClassSet { switch_: false, send: false, ..ClassSet::all() },
+            ..PpScale::micro()
+        };
+        let v = pp_control_verilog(&spec);
+        assert!(v.contains("// archval: abstract classes=3"), "alu+ld+sd fetch domain");
+        assert!(v.contains("assign is_sw = 1'b0;"));
+        assert!(v.contains("assign ext_stall = 1'b0;"));
+        assert!(v.contains("m_class <= 2'd3;"), "2-bit bubble code");
+        assert!(!v.contains("inbox_ready"), "no box ports at all");
     }
 }

@@ -1,0 +1,114 @@
+//! Property tests over the generated design family: every valid
+//! [`DesignSpec`] the strategy can produce must round-trip through its
+//! canonical string, build a control model, enumerate under a micro
+//! budget, and fingerprint identically across independent builds.
+
+use std::time::Duration;
+
+use archval_fsm::{enumerate, EnumBudget, EnumConfig};
+use archval_pp::{pp_control_model, ClassSet, DesignSpec, FillPolicy};
+use proptest::prelude::*;
+
+/// An arbitrary *valid* spec, derived by construction rather than by
+/// filtering (the vendored proptest has no `prop_filter`): each axis is
+/// drawn independently, then the cross-axis rules from
+/// `DesignSpec::validate` are repaired in `prop_map` — LRU needs ways,
+/// boxes need their consuming class, dual-issue needs a comm class and
+/// refuses width-1 boxes.
+fn arb_valid_spec() -> impl Strategy<Value = DesignSpec> {
+    (
+        0usize..4,           // fill-beat index into [2, 4, 8, 16]
+        0u32..3,             // pipe_extra
+        proptest::bool::ANY, // dual_comm_slot
+        1u32..5,             // cache_ways
+        proptest::bool::ANY, // prefer LRU (only meaningful with ways >= 2)
+        1u32..4,             // spill_depth
+        0u32..5,             // inbox_width
+        0u32..5,             // outbox_width
+        proptest::bool::ANY, // switch class
+        proptest::bool::ANY, // send class
+    )
+        .prop_map(|(bi, pipe_extra, dual, ways, lru, spill, inbox, outbox, sw, se)| {
+            let sw = sw || (dual && !se); // dual-issue needs a comm class
+            let inbox = match (sw, dual, inbox) {
+                (false, _, _) => 0,   // Inbox counter needs `switch`
+                (true, true, 1) => 2, // width 1 deadlocks the dual slot
+                (true, _, w) => w,
+            };
+            let outbox = match (se, dual, outbox) {
+                (false, _, _) => 0,
+                (true, true, 1) => 2,
+                (true, _, w) => w,
+            };
+            DesignSpec {
+                fill_beats: [2, 4, 8, 16][bi],
+                pipe_extra,
+                dual_comm_slot: dual,
+                cache_ways: ways,
+                fill_policy: if ways >= 2 && lru {
+                    FillPolicy::Lru
+                } else {
+                    FillPolicy::RoundRobin
+                },
+                spill_depth: spill,
+                inbox_width: inbox,
+                outbox_width: outbox,
+                classes: ClassSet { ld: true, sd: true, switch_: sw, send: se },
+            }
+        })
+}
+
+/// Keeps each sampled member micro-sized: the property is "enumerates
+/// cleanly under a budget", not "the whole space is small".
+fn micro_enum_config() -> EnumConfig {
+    EnumConfig {
+        budget: EnumBudget {
+            max_states: Some(2_000),
+            max_transitions: Some(400_000),
+            deadline: Some(Duration::from_secs(10)),
+        },
+        ..EnumConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Validity by construction, canonical round-trip, buildability,
+    /// budgeted enumeration, and fingerprint stability for arbitrary
+    /// family members.
+    #[test]
+    fn generated_specs_build_enumerate_and_fingerprint_stably(spec in arb_valid_spec()) {
+        prop_assert!(spec.validate().is_ok(), "strategy produced invalid spec {spec:?}");
+
+        // canonical string is the family key: parse(to_canonical_string) is identity
+        let canonical = spec.to_canonical_string();
+        let reparsed = DesignSpec::parse(&canonical)
+            .map_err(|e| TestCaseError::Fail(format!("{canonical}: {e}")))?;
+        prop_assert_eq!(&reparsed, &spec, "canonical round-trip changed the spec");
+
+        // the spec builds a model whose name is its design id
+        let model = pp_control_model(&spec)
+            .map_err(|e| TestCaseError::Fail(format!("{canonical}: {e}")))?;
+        let design_id = spec.design_id();
+        prop_assert_eq!(model.name(), design_id.as_str());
+
+        // fingerprints are a pure function of the spec: an independent
+        // generate -> parse -> translate run agrees bit-for-bit
+        let again = pp_control_model(&spec)
+            .map_err(|e| TestCaseError::Fail(format!("{canonical}: {e}")))?;
+        prop_assert_eq!(model.fingerprint(), again.fingerprint(), "{}", canonical);
+
+        // the reachable graph comes up non-trivially under a micro budget
+        let enumd = enumerate(&model, &micro_enum_config())
+            .map_err(|e| TestCaseError::Fail(format!("{canonical}: {e}")))?;
+        prop_assert!(enumd.graph.state_count() > 1, "{}: graph collapsed", canonical);
+        if enumd.truncated.is_none() {
+            prop_assert!(
+                enumd.graph.edge_count() >= enumd.graph.state_count(),
+                "{}: complete graph with dangling states",
+                canonical
+            );
+        }
+    }
+}

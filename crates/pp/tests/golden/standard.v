@@ -1,0 +1,135 @@
+// Protocol Processor control logic (generated)
+// scale: fill_beats=4 extra_stage=false dual_comm_slot=true
+module pp_control(clk, reset, iclass, iclass2, ihit, dhit, victim_dirty, same_line,
+                  inbox_ready, outbox_ready, mem_ready, stall_out);
+  input clk, reset;
+  input [2:0] iclass;       // archval: abstract classes=5
+  input [1:0] iclass2;      // archval: abstract classes=3
+  input ihit;             // archval: abstract
+  input dhit;             // archval: abstract
+  input victim_dirty;             // archval: abstract
+  input same_line;             // archval: abstract
+  input inbox_ready;             // archval: abstract
+  input outbox_ready;             // archval: abstract
+  input mem_ready;             // archval: abstract
+  output stall_out;
+
+  reg booted;
+  reg [2:0] m_class;
+  reg [1:0] m2_class;
+  reg [2:0] w_class;
+  reg [1:0] irefill;
+  reg [2:0] drefill;
+  reg [1:0] dcnt;
+  reg [1:0] icnt;
+  reg spill_pend;
+  reg store_pend;
+  reg conflict;
+
+  // archval: control-begin
+  wire is_ld;
+  wire is_sd;
+  wire is_mem;
+  wire is_sw;
+  wire is_se;
+  wire ext_stall;
+  wire conflict_stall;
+  wire dr_idle;
+  wire dr_req;
+  wire dr_crit;
+  wire dr_fill;
+  wire dr_spill;
+  wire d_stall;
+  wire mem_stall;
+  wire advance;
+  wire d_miss_start;
+  wire ir_idle;
+  wire i_miss_start;
+  wire fetch_valid;
+  wire sd_completes;
+  wire [2:0] fetched_m;
+  wire [2:0] next_m;
+  wire [1:0] fetched_m2;
+
+  assign is_ld = m_class == 3'd1;
+  assign is_sd = m_class == 3'd2;
+  assign is_mem = is_ld || is_sd;
+  assign is_sw = m_class == 3'd3;
+  assign is_se = m_class == 3'd4;
+  assign ext_stall = (is_se && !outbox_ready) || (is_sw && !inbox_ready)
+                  || ((m2_class == 2'd2) && !outbox_ready)
+                  || ((m2_class == 2'd1) && !inbox_ready);
+  assign conflict_stall = conflict;
+  assign dr_idle = drefill == 3'd0;
+  assign dr_req = drefill == 3'd1;
+  assign dr_crit = drefill == 3'd2;
+  assign dr_fill = drefill == 3'd3;
+  assign dr_spill = drefill == 3'd4;
+  assign d_stall = is_mem && !ext_stall && !conflict_stall
+                && (dr_req || dr_fill || dr_spill || (!dhit && dr_idle));
+  assign mem_stall = ext_stall || conflict_stall || d_stall;
+  assign advance = !mem_stall;
+  assign d_miss_start = is_mem && !dhit && dr_idle && !ext_stall && !conflict_stall;
+  assign ir_idle = irefill == 2'd0;
+  assign i_miss_start = advance && !ihit && ir_idle;
+  assign fetch_valid = advance && ihit && ir_idle;
+  assign sd_completes = advance && is_sd;
+  assign fetched_m = fetch_valid ? iclass : 3'd5;
+  assign fetched_m2 = fetch_valid ? iclass2 : 2'd3;
+  assign next_m = advance ? fetched_m : m_class;
+  assign stall_out = mem_stall;
+
+  always @(posedge clk) begin
+    if (reset) begin
+      booted <= 1'b0;
+      m_class <= 3'd5;
+      m2_class <= 2'd3;
+      w_class <= 3'd5;
+      irefill <= 2'd0;
+      drefill <= 3'd0;
+      dcnt <= 2'd0;
+      icnt <= 2'd0;
+      spill_pend <= 1'b0;
+      store_pend <= 1'b0;
+      conflict <= 1'b0;
+    end else begin
+      booted <= 1'b1;
+      if (advance) begin
+        m_class <= fetched_m;
+        m2_class <= fetched_m2;
+        w_class <= m_class;
+      end
+      case (drefill)
+        3'd0: if (d_miss_start) drefill <= 3'd1;
+        3'd1: if (mem_ready && !(irefill == 2'd2)) drefill <= 3'd2;
+        3'd2: drefill <= 3'd3;
+        3'd3: if (mem_ready && (dcnt == 2'd3)) begin
+          if (spill_pend) drefill <= 3'd4;
+          else drefill <= 3'd0;
+        end
+        default: if (mem_ready) drefill <= 3'd0;
+      endcase
+      if (dr_crit) dcnt <= 2'd0;
+      else if (dr_fill && mem_ready) begin
+        if (dcnt == 2'd3) dcnt <= 2'd0;
+        else dcnt <= dcnt + 2'd1;
+      end
+      if (d_miss_start) spill_pend <= victim_dirty;
+      else if (dr_spill && mem_ready) spill_pend <= 1'b0;
+      case (irefill)
+        2'd0: if (i_miss_start) irefill <= 2'd1;
+        2'd1: if (mem_ready && dr_idle) irefill <= 2'd2;
+        2'd2: if (mem_ready && (icnt == 2'd3)) irefill <= 2'd3;
+        default: irefill <= 2'd0;
+      endcase
+      if ((irefill == 2'd2) && mem_ready) begin
+        if (icnt == 2'd3) icnt <= 2'd0;
+        else icnt <= icnt + 2'd1;
+      end
+      store_pend <= sd_completes;
+      conflict <= sd_completes
+                && ((next_m == 3'd2) || ((next_m == 3'd1) && same_line));
+    end
+  end
+  // archval: control-end
+endmodule

@@ -1,0 +1,70 @@
+//! Byte-identity pins for the legacy sub-family.
+//!
+//! The four historical `PpScale` presets, now expressed as
+//! [`DesignSpec`]s, must keep producing exactly the PpScale-era
+//! artifacts: the generated Verilog text, the translated model dump, and
+//! the enumerated graph dump (hashed — the full dump is megabytes).
+//! This is the contract that keeps old snapshots, fingerprints and
+//! BENCH baselines valid across the design-family refactor.
+
+use archval_fsm::{dump_enum_result, dump_model, enumerate, EnumConfig};
+use archval_pp::{pp_control_model, pp_control_verilog, DesignSpec};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn presets() -> [(&'static str, DesignSpec); 4] {
+    [
+        ("micro", DesignSpec::micro()),
+        ("standard", DesignSpec::standard()),
+        ("full", DesignSpec::full()),
+        ("paper", DesignSpec::paper()),
+    ]
+}
+
+#[test]
+fn legacy_verilog_is_byte_identical() {
+    for (name, scale) in presets() {
+        let v = pp_control_verilog(&scale);
+        assert_eq!(v, golden(&format!("{name}.v")), "{name}.v drifted");
+    }
+}
+
+#[test]
+fn legacy_model_dumps_are_byte_identical() {
+    for (name, scale) in presets() {
+        let m = pp_control_model(&scale).unwrap();
+        assert_eq!(dump_model(&m), golden(&format!("{name}.model")), "{name}.model drifted");
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The enumerated graph dumps are pinned by FNV-1a-64 hash and length
+/// (the `full` dump alone is >5 MB). Paper scale is excluded — its
+/// enumeration is a bench-tier run.
+#[test]
+fn legacy_graph_dumps_are_byte_identical() {
+    let pinned = golden("graph_dumps.fnv64");
+    for line in pinned.lines() {
+        let mut parts = line.split_whitespace();
+        let name = parts.next().unwrap();
+        let want_hash = u64::from_str_radix(parts.next().unwrap(), 16).unwrap();
+        let want_len: usize = parts.next().unwrap().parse().unwrap();
+        let scale = presets().iter().find(|(n, _)| *n == name).unwrap().1;
+        let m = pp_control_model(&scale).unwrap();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let d = dump_enum_result(&m, &r);
+        assert_eq!(d.len(), want_len, "{name} graph dump length drifted");
+        assert_eq!(fnv64(d.as_bytes()), want_hash, "{name} graph dump content drifted");
+    }
+}

@@ -67,6 +67,10 @@ impl Default for CacheConfig {
 pub struct CachedGraph {
     /// The model fingerprint this entry is keyed by.
     pub fingerprint: u64,
+    /// The model the graph was enumerated from, kept so
+    /// fingerprint-addressed requests can run campaigns without
+    /// re-resolving it.
+    pub model: Model,
     /// The (always complete) enumeration.
     pub enumd: EnumResult,
     /// Compiled step program for the same model.
@@ -233,6 +237,24 @@ impl GraphCache {
         matches!(self.inner.lock().unwrap().map.get(&fingerprint), Some(Slot::Ready(_)))
     }
 
+    /// Returns the resident entry for a fingerprint, counting a hit and
+    /// refreshing its recency, or `None` when it is absent or mid-load.
+    /// This is the fingerprint-addressed fast path: no model in hand, so
+    /// a miss cannot fall back to enumeration.
+    #[must_use]
+    pub fn lookup(&self, fingerprint: u64) -> Option<Arc<CachedGraph>> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(&fingerprint) {
+            Some(Slot::Ready(entry)) => {
+                let entry = entry.clone();
+                inner.touch(fingerprint);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            _ => None,
+        }
+    }
+
     /// Number of resident graphs.
     #[must_use]
     pub fn resident_count(&self) -> usize {
@@ -331,7 +353,8 @@ impl GraphCache {
         };
 
         let bytes = enumd.stats.approx_memory_bytes;
-        let entry = Arc::new(CachedGraph { fingerprint: fp, enumd, program, bytes });
+        let entry =
+            Arc::new(CachedGraph { fingerprint: fp, model: model.clone(), enumd, program, bytes });
         {
             let mut inner = self.inner.lock().unwrap();
             inner.map.insert(fp, Slot::Ready(entry.clone()));

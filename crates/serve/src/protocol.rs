@@ -16,8 +16,14 @@
 //! - `id`: job identifier (required for campaign commands; `[A-Za-z0-9._-]`,
 //!   at most 64 chars). Doubles as the durable job-store key, so
 //!   resubmitting a completed id replays its report from disk.
-//! - `model`: a named model (`pp-micro` | `pp-standard` | `pp-full` |
-//!   `pp-paper`), or inline Verilog via `"verilog"` + `"top"` keys.
+//! - `model`: a preset name (`pp-micro` | `pp-standard` | `pp-full` |
+//!   `pp-paper`) or a canonical design-spec string
+//!   (`beats=4,ways=2,dual=1`), or inline Verilog via `"verilog"` +
+//!   `"top"` keys. `spec` is an explicit alias for the spec-string form.
+//! - `fingerprint`: 16-hex-digit model fingerprint of a graph already
+//!   resident in the server's cache; skips model resolution entirely.
+//!   An unknown fingerprint fails with the `unknown_fingerprint` error
+//!   kind.
 //! - `budget`: per-request resource envelope; absent fields fall back to
 //!   [`RunBudget::default`].
 //! - `seed`, `cycles`, `mutants`, `chaos`, `threads`: campaign knobs.
@@ -97,8 +103,9 @@ impl Cmd {
 /// Which model a request targets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelRef {
-    /// A named built-in model (`pp-micro`, `pp-standard`, `pp-full`,
-    /// `pp-paper`).
+    /// A preset name (`pp-micro`, `pp-standard`, `pp-full`, `pp-paper`)
+    /// or a canonical design-spec string (`beats=4,ways=2,dual=1`); both
+    /// resolve through the same design registry.
     Named(String),
     /// Inline annotated Verilog source plus its top module name.
     Inline {
@@ -155,6 +162,10 @@ pub struct Request {
     pub id: String,
     /// Target model; `None` for verbs that need none.
     pub model: Option<ModelRef>,
+    /// Fingerprint of an already-resident graph; when set, the server
+    /// skips model resolution and serves from the cache (or fails with
+    /// `unknown_fingerprint`).
+    pub fingerprint: Option<u64>,
     /// Resource envelope; `None` means all defaults.
     pub budget: Option<BudgetSpec>,
     /// RNG seed for fuzz campaigns.
@@ -177,6 +188,7 @@ impl Request {
             cmd,
             id: String::new(),
             model: None,
+            fingerprint: None,
             budget: None,
             seed: 0,
             cycles: None,
@@ -198,6 +210,7 @@ impl Request {
         let mut cmd: Option<Cmd> = None;
         let mut req = Request::new(Cmd::Ping);
         let mut named: Option<String> = None;
+        let mut spec: Option<String> = None;
         let mut verilog: Option<String> = None;
         let mut top: Option<String> = None;
 
@@ -216,6 +229,14 @@ impl Request {
                     }
                     "id" => req.id = p.parse_string()?,
                     "model" => named = Some(p.parse_string()?),
+                    "spec" => spec = Some(p.parse_string()?),
+                    "fingerprint" => {
+                        let s = p.parse_string()?;
+                        req.fingerprint = Some(
+                            u64::from_str_radix(&s, 16)
+                                .map_err(|_| p.error("\"fingerprint\" must be a hex string"))?,
+                        );
+                    }
                     "verilog" => verilog = Some(p.parse_string()?),
                     "top" => top = Some(p.parse_string()?),
                     "seed" => req.seed = parse_u64(&mut p)?,
@@ -235,6 +256,12 @@ impl Request {
         p.finish()?;
 
         req.cmd = cmd.ok_or_else(|| p.error("missing required field \"cmd\""))?;
+        let named = match (named, spec) {
+            (Some(_), Some(_)) => {
+                return Err(p.error("give either \"model\" or \"spec\", not both"))
+            }
+            (named, spec) => named.or(spec),
+        };
         req.model = match (named, verilog) {
             (Some(_), Some(_)) => {
                 return Err(p.error("give either \"model\" or \"verilog\", not both"))
@@ -272,6 +299,9 @@ impl Request {
                 out.push_str(",\"top\":");
                 write_json_string(top, &mut out);
             }
+        }
+        if let Some(fp) = self.fingerprint {
+            let _ = write!(out, ",\"fingerprint\":\"{fp:016x}\"");
         }
         if let Some(b) = &self.budget {
             out.push_str(",\"budget\":{");
@@ -431,7 +461,8 @@ pub enum Event {
     Error {
         /// Job id (empty when the line never parsed).
         id: String,
-        /// Stable error kind: `protocol`, `rejected`, `failed`, `panic`.
+        /// Stable error kind: `protocol`, `rejected`, `failed`,
+        /// `unknown_fingerprint`, `panic`.
         kind: &'static str,
         /// Human-readable detail.
         detail: String,
@@ -634,6 +665,29 @@ mod tests {
         assert_eq!(rb.max_states, 1024);
         assert_eq!(rb.deadline, Duration::from_secs(5));
         assert_eq!(rb.max_cycles, RunBudget::default().max_cycles);
+    }
+
+    #[test]
+    fn parse_spec_and_fingerprint_fields() {
+        let r =
+            Request::parse(r#"{"cmd":"tour","id":"t1","spec":"beats=4,ways=2,dual=1"}"#).unwrap();
+        assert_eq!(r.model, Some(ModelRef::Named("beats=4,ways=2,dual=1".into())));
+
+        let r =
+            Request::parse(r#"{"cmd":"fuzz","id":"f1","fingerprint":"00ab00cd00ef0012"}"#).unwrap();
+        assert_eq!(r.fingerprint, Some(0x00ab_00cd_00ef_0012));
+        assert_eq!(r.model, None);
+
+        assert!(
+            Request::parse(r#"{"cmd":"tour","model":"pp-micro","spec":"beats=4"}"#).is_err(),
+            "model and spec are mutually exclusive"
+        );
+        assert!(Request::parse(r#"{"cmd":"tour","fingerprint":"xyz"}"#).is_err());
+
+        let mut r = Request::new(Cmd::Tour);
+        r.id = "t2".into();
+        r.fingerprint = Some(0xdead_beef);
+        assert_eq!(Request::parse(&r.to_json()).unwrap(), r, "fingerprint round-trips");
     }
 
     #[test]

@@ -50,7 +50,7 @@ use archval_fsm::SyncSim;
 use archval_fsm::{enumerate_parallel_with, EnumConfig, Model};
 use archval_fuzz::{Feedback, FuzzConfig, GraphFeedback, Observation, Trace};
 use archval_inject::{run_campaign_streaming, run_isolated, CampaignConfig};
-use archval_pp::{pp_control_model, PpScale};
+use archval_pp::{pp_control_model, resolve_preset, DesignSpec};
 use archval_tour::TourConfig;
 use archval_verilog::translate::TranslateOptions;
 use serde::Serialize;
@@ -353,8 +353,8 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
         let id = job.request.id.clone();
         match run_isolated(|| execute(shared, &job.request, &job.sink)) {
             Ok(Ok(())) => {}
-            Ok(Err(detail)) => {
-                job.sink.emit(&Event::Error { id: id.clone(), kind: "failed", detail });
+            Ok(Err(e)) => {
+                job.sink.emit(&Event::Error { id: id.clone(), kind: e.kind, detail: e.detail });
             }
             Err(panic_msg) => {
                 job.sink.emit(&Event::Error { id: id.clone(), kind: "panic", detail: panic_msg });
@@ -387,15 +387,33 @@ struct TourReport {
     full_coverage: bool,
 }
 
-fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), String> {
+fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), JobError> {
     let id = &req.id;
-    let model = resolve_model(req)?;
+    // The fingerprint fast path: serve the model and graph straight from
+    // the cache, skipping resolve_model's generate → parse → translate
+    // pass entirely. A fingerprint only names something while it is
+    // resident, so a miss is a typed error, not a fallback.
+    let (model, prefetched) = match req.fingerprint {
+        Some(fp) => match shared.cache.lookup(fp) {
+            Some(entry) => (entry.model.clone(), Some(entry)),
+            None => {
+                return Err(JobError {
+                    kind: "unknown_fingerprint",
+                    detail: format!(
+                        "no resident graph for fingerprint {fp:016x}; resubmit with \
+                         \"model\", \"spec\" or \"verilog\"+\"top\""
+                    ),
+                })
+            }
+        },
+        None => (resolve_model(req)?, None),
+    };
     let fingerprint = model.fingerprint();
     sink.emit(&Event::Accepted {
         id: id.clone(),
         cmd: req.cmd.name(),
         fingerprint,
-        cached: shared.cache.contains(fingerprint),
+        cached: prefetched.is_some() || shared.cache.contains(fingerprint),
     });
     let budget = req.budget.unwrap_or_default().to_run_budget();
     let setup = Instant::now();
@@ -427,19 +445,22 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
             truncated: r.truncated.map(|t| format!("{t:?}").to_lowercase()),
         };
         let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
-        return finish(shared, sink, id, req.cmd.name(), json);
+        return Ok(finish(shared, sink, id, req.cmd.name(), json)?);
     }
 
-    let (entry, source) = shared
-        .cache
-        .get(&model, &mut |w| {
-            sink.emit(&Event::Warning {
-                id: id.clone(),
-                kind: w.kind().into(),
-                detail: w.detail(),
-            });
-        })
-        .map_err(|e| e.to_string())?;
+    let (entry, source) = match prefetched {
+        Some(entry) => (entry, crate::cache::LoadSource::Hit),
+        None => shared
+            .cache
+            .get(&model, &mut |w| {
+                sink.emit(&Event::Warning {
+                    id: id.clone(),
+                    kind: w.kind().into(),
+                    detail: w.detail(),
+                });
+            })
+            .map_err(|e| e.to_string())?,
+    };
     sink.emit(&Event::GraphReady {
         id: id.clone(),
         source: source.name(),
@@ -517,7 +538,20 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
         }
         Cmd::Ping | Cmd::Stats | Cmd::Shutdown => unreachable!("handled inline by the session"),
     };
-    finish(shared, sink, id, req.cmd.name(), json)
+    Ok(finish(shared, sink, id, req.cmd.name(), json)?)
+}
+
+/// A failed job: a stable wire error kind plus human-readable detail.
+/// Plain `String` errors (the common case) convert to kind `failed`.
+struct JobError {
+    kind: &'static str,
+    detail: String,
+}
+
+impl From<String> for JobError {
+    fn from(detail: String) -> JobError {
+        JobError { kind: "failed", detail }
+    }
 }
 
 /// Persists the report atomically (temp + rename), then emits
@@ -543,19 +577,19 @@ fn finish(
 
 fn resolve_model(req: &Request) -> Result<Model, String> {
     match &req.model {
-        None => Err("campaign requests require \"model\" or \"verilog\"+\"top\"".into()),
+        None => Err("campaign requests require \"model\", \"spec\", \"fingerprint\" or \
+                 \"verilog\"+\"top\""
+            .into()),
         Some(ModelRef::Named(name)) => {
-            let scale = match name.as_str() {
-                "pp-micro" => PpScale::micro(),
-                "pp-standard" => PpScale::standard(),
-                "pp-full" => PpScale::full(),
-                "pp-paper" => PpScale::paper(),
-                other => {
-                    return Err(format!(
-                        "unknown model {other:?} (expected pp-micro|pp-standard|pp-full|pp-paper, \
-                         or inline \"verilog\"+\"top\")"
-                    ))
-                }
+            let scale = match resolve_preset(name) {
+                Some(scale) => scale,
+                None => DesignSpec::parse(name).map_err(|e| {
+                    format!(
+                        "unknown model {name:?}: not a preset \
+                         (pp-micro|pp-standard|pp-full|pp-paper) and not a valid design \
+                         spec like \"beats=4,ways=2,dual=1\" ({e})"
+                    )
+                })?,
             };
             pp_control_model(&scale).map_err(|e| e.to_string())
         }

@@ -183,6 +183,59 @@ fn protocol_round_trip_over_unix_socket() {
 }
 
 #[test]
+fn spec_requests_and_fingerprint_fast_path() {
+    let d = dirs("fingerprint");
+    let child = start_server(&d);
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+
+    // a fingerprint nothing has loaded yet is a typed error, not a crash
+    let mut r = Request::new(Cmd::Tour);
+    r.id = "fp-cold".into();
+    r.fingerprint = Some(0xdead_beef);
+    c.send(&r).unwrap();
+    let err = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&err, "error"), "{err}");
+    assert_eq!(field(&err, "kind"), Some("unknown_fingerprint"), "{err}");
+
+    // a canonical design spec resolves through the same registry as the
+    // presets — this member is outside the legacy family
+    let mut r = Request::new(Cmd::Enumerate);
+    r.id = "spec-1".into();
+    r.model = Some(ModelRef::Named("beats=2,ways=2,spill=2".into()));
+    c.send(&r).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let accepted = lines.iter().find(|l| line_is_event(l, "accepted")).unwrap();
+    let fp = field(accepted, "fingerprint").unwrap().to_string();
+    let report = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    assert!(report.contains("\"states\":"), "{report}");
+
+    // the returned fingerprint now addresses the resident graph directly
+    let mut r = Request::new(Cmd::Tour);
+    r.id = "fp-warm".into();
+    r.fingerprint = Some(u64::from_str_radix(&fp, 16).unwrap());
+    c.send(&r).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let accepted = lines.iter().find(|l| line_is_event(l, "accepted")).unwrap();
+    assert_eq!(field(accepted, "cached"), Some("true"), "{accepted}");
+    let ready = lines.iter().find(|l| line_is_event(l, "graph_ready")).unwrap();
+    assert_eq!(field(ready, "source"), Some("cache"), "{ready}");
+    let report = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    assert!(report.contains("\"full_coverage\":true"), "{report}");
+
+    // an unparsable model name reports the registry's vocabulary
+    let mut r = Request::new(Cmd::Enumerate);
+    r.id = "bad-spec".into();
+    r.model = Some(ModelRef::Named("beats=3".into()));
+    c.send(&r).unwrap();
+    let err = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&err, "error"), "{err}");
+    assert_eq!(field(&err, "kind"), Some("failed"), "{err}");
+
+    shutdown_server(&d, child);
+    std::fs::remove_dir_all(&d.root).ok();
+}
+
+#[test]
 fn sigkill_mid_campaign_resumes_to_byte_identical_report() {
     let req = inject_request("camp");
 

@@ -175,13 +175,12 @@ pub fn tour_coverage_run(enumd: &EnumResult, tours: &TourSet) -> CoverageRun {
 mod tests {
     use super::*;
     use archval_fsm::{enumerate, EnumConfig};
-    use archval_pp::pp_control_model;
+    use archval_pp::testkit;
     use archval_tour::{generate_tours, TourConfig};
 
     #[test]
     fn tours_reach_full_coverage_random_does_not_in_equal_budget() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let tours = generate_tours(&enumd.graph, &TourConfig::default());
         let tour_run = tour_coverage_run(&enumd, &tours);
@@ -207,8 +206,7 @@ mod tests {
         // interface conditions. Short runs are dominated by stall churn
         // (aggressive random stalls half the time), so compare past the
         // crossover, and across a few seeds to suppress noise.
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let covered = |p, seed| {
             random_coverage_run(&scale, &model, &enumd, 20_000, p, seed).unwrap().arcs_covered

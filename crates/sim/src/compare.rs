@@ -78,14 +78,13 @@ pub fn compare_stimulus(stim: &Stimulus, bugs: BugSet) -> Result<ComparisonRepor
 mod tests {
     use super::*;
     use archval_fsm::{enumerate, EnumConfig};
-    use archval_pp::{pp_control_model, PpScale};
+    use archval_pp::testkit;
     use archval_stimgen::mapping::trace_to_stimulus;
     use archval_tour::{generate_tours, TourConfig};
 
     #[test]
     fn bug_free_design_matches_specification_on_all_tours() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let tours = generate_tours(&enumd.graph, &TourConfig::default());
         for (i, trace) in tours.traces().iter().enumerate() {

@@ -267,15 +267,14 @@ mod tests {
     use super::*;
     use crate::baseline::random_coverage_run;
     use archval_fsm::{enumerate, EnumConfig};
-    use archval_pp::pp_control_model;
+    use archval_pp::testkit;
 
     /// The acceptance-criterion test: at micro scale, equal cycle
     /// budgets, fixed seeds, the fuzzer's final arc coverage strictly
     /// exceeds the uniform-random baseline's.
     #[test]
     fn fuzz_strictly_beats_uniform_random_at_equal_budget() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let budget = 12_000u64;
         let fuzz = fuzz_coverage_run(
@@ -298,8 +297,7 @@ mod tests {
 
     #[test]
     fn fuzz_runs_are_byte_identical_per_seed_and_thread_count() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (_, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         for threads in [1, 2] {
             let config =
@@ -319,8 +317,7 @@ mod tests {
     fn compiled_engine_runs_are_bit_identical_to_tree() {
         // the engine knob must not perturb results: the compiled program
         // and the tree walker produce byte-identical coverage runs
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let program = archval_exec::StepProgram::compile(&model);
 
@@ -339,8 +336,7 @@ mod tests {
 
     #[test]
     fn fuzz_bug_detection_is_deterministic() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let bugs = BugSet::only(archval_pp::Bug::ConflictAddressNotHeld);
         let a = fuzz_baseline_detects(&scale, &model, bugs, 6_000, 3, 1);
         let b = fuzz_baseline_detects(&scale, &model, bugs, 6_000, 3, 1);

@@ -62,13 +62,12 @@ mod tests {
     use super::*;
     use crate::mapping::trace_to_stimulus;
     use archval_fsm::{enumerate, EnumConfig};
-    use archval_pp::{pp_control_model, PpScale};
+    use archval_pp::{testkit, PpScale};
     use archval_tour::{generate_tours, TourConfig};
 
     #[test]
     fn force_file_covers_every_cycle() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let tours = generate_tours(&enumd.graph, &TourConfig::default());
         let stim = trace_to_stimulus(&scale, &model, &tours, &tours.traces()[0], 0);

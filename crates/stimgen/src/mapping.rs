@@ -84,7 +84,10 @@ pub fn trace_to_stimulus(
     let mut fetch_cycles: Vec<usize> = Vec::new(); // cycle of each fetch
     let mut conflict_pairs: Vec<(usize, usize)> = Vec::new(); // (ld op, sd op)
     {
-        let mut e_op: Option<usize> = None;
+        // slots[0] feeds MEM next; slots.last() receives the fetch — one
+        // entry per extra pipeline stage (E, then F for the deep pipe)
+        let depth = scale.pipe_extra as usize;
+        let mut slots: Vec<Option<usize>> = vec![None; depth];
         let mut m_op: Option<usize> = None;
         let mut next_ix = 0usize;
         for (j, ctrl) in inputs.iter().enumerate() {
@@ -98,16 +101,12 @@ pub fn trace_to_stimulus(
             } else {
                 None
             };
-            let next_m_op = if scale.extra_stage {
-                if sig.advance {
-                    e_op
-                } else {
-                    m_op
-                }
-            } else if sig.advance {
+            let next_m_op = if !sig.advance {
+                m_op
+            } else if depth == 0 {
                 fetched_op
             } else {
-                m_op
+                slots[0]
             };
             // a conflict recorded in the next state pairs the op entering
             // MEM with the store leaving it
@@ -116,13 +115,14 @@ pub fn trace_to_stimulus(
                     conflict_pairs.push((ld, sd));
                 }
             }
-            if scale.extra_stage {
-                if sig.advance {
-                    m_op = e_op;
-                    e_op = fetched_op;
+            if sig.advance {
+                m_op = next_m_op;
+                for i in 1..depth {
+                    slots[i - 1] = slots[i];
                 }
-            } else if sig.advance {
-                m_op = fetched_op;
+                if depth > 0 {
+                    slots[depth - 1] = fetched_op;
+                }
             }
         }
     }
@@ -205,13 +205,12 @@ pub fn pp_instr_cost<'a>(
 mod tests {
     use super::*;
     use archval_fsm::{enumerate, EnumConfig};
-    use archval_pp::pp_control_model;
+    use archval_pp::testkit;
     use archval_tour::{generate_tours, TourConfig};
 
     #[test]
     fn micro_trace_concretizes_and_chains() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let tours = generate_tours(&enumd.graph, &TourConfig::default());
         assert!(tours.covers_all_arcs(&enumd.graph));
@@ -237,8 +236,7 @@ mod tests {
 
     #[test]
     fn stimulus_is_deterministic_per_seed() {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let tours = generate_tours(&enumd.graph, &TourConfig::default());
         let t = &tours.traces()[0];

@@ -99,15 +99,25 @@ pub fn concretize_slot2(rng: &mut StdRng, code: u64) -> Instr {
 /// random-testing baseline the paper contrasts with ("Random testing might
 /// find this case, but each of the conditions is so improbable...").
 pub fn random_ctrl_in(rng: &mut StdRng, scale: &PpScale, rare: f64) -> CtrlIn {
+    let slot1 = scale.slot1_classes();
+    let slot2 = scale.slot2_classes();
+    let inbox_ready = !rng.gen_bool(rare);
+    let outbox_ready = !rng.gen_bool(rare);
     CtrlIn {
-        iclass: rng.gen_range(0..5),
-        iclass2: if scale.dual_comm_slot { rng.gen_range(0..3) } else { class_code::ALU },
+        iclass: slot1[rng.gen_range(0..slot1.len())],
+        iclass2: if scale.dual_comm_slot {
+            slot2[rng.gen_range(0..slot2.len())]
+        } else {
+            class_code::ALU
+        },
         ihit: !rng.gen_bool(rare),
         dhit: !rng.gen_bool(rare),
         victim_dirty: rng.gen_bool(rare),
         same_line: rng.gen_bool(rare),
-        inbox_ready: !rng.gen_bool(rare),
-        outbox_ready: !rng.gen_bool(rare),
+        inbox_ready,
+        outbox_ready,
+        inbox_push: inbox_ready,
+        outbox_pop: outbox_ready,
         mem_ready: !rng.gen_bool(rare),
     }
 }

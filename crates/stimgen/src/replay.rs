@@ -89,12 +89,11 @@ mod tests {
     use super::*;
     use crate::mapping::trace_to_stimulus;
     use archval_fsm::{enumerate, EnumConfig};
-    use archval_pp::{pp_control_model, PpScale};
+    use archval_pp::testkit;
     use archval_tour::{generate_tours, TourConfig};
 
     fn micro_stimuli(limit: Option<u64>) -> Vec<Stimulus> {
-        let scale = PpScale::micro();
-        let model = pp_control_model(&scale).unwrap();
+        let (scale, model) = testkit::micro_model();
         let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
         let tours = generate_tours(&enumd.graph, &TourConfig { instruction_limit: limit });
         tours

@@ -10,7 +10,7 @@ use archval_exec::StepProgram;
 use archval_fsm::enumerate::{enumerate, enumerate_with, EnumBudget, EnumConfig};
 use archval_fsm::parallel::enumerate_parallel_with;
 use archval_fsm::{dump_enum_result, EdgePolicy};
-use archval_pp::{pp_control_model, pp_control_verilog, PpScale};
+use archval_pp::{pp_control_verilog, testkit, PpScale};
 
 /// The headline lane sweep: N ∈ {1, 4, 16, 64, 1920} all dump
 /// byte-identically to the tree oracle at micro scale. 1920 exceeds the
@@ -18,7 +18,7 @@ use archval_pp::{pp_control_model, pp_control_verilog, PpScale};
 /// path; the in-between widths exercise every batch/remainder split.
 #[test]
 fn pp_micro_batched_dump_is_byte_identical_for_every_lane_count() {
-    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let model = testkit::micro_model().1;
     let program = StepProgram::compile(&model);
     let tree = enumerate(&model, &EnumConfig::default()).unwrap();
     let oracle = dump_enum_result(&model, &tree);
@@ -37,7 +37,7 @@ fn pp_micro_batched_dump_is_byte_identical_for_every_lane_count() {
 /// state pair — the policy most sensitive to per-lane ordering).
 #[test]
 fn pp_micro_batched_all_labels_matches_tree() {
-    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let model = testkit::micro_model().1;
     let program = StepProgram::compile(&model);
     let base = EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() };
     let tree = enumerate(&model, &base).unwrap();
@@ -53,7 +53,7 @@ fn pp_micro_batched_all_labels_matches_tree() {
 /// sequential tree oracle (merge determinism must survive batching).
 #[test]
 fn pp_micro_parallel_batched_matches_tree() {
-    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let model = testkit::micro_model().1;
     let program = StepProgram::compile(&model);
     let tree = enumerate(&model, &EnumConfig::default()).unwrap();
     let oracle = dump_enum_result(&model, &tree);
@@ -71,7 +71,7 @@ fn pp_micro_parallel_batched_matches_tree() {
 /// check interval.
 #[test]
 fn budget_exhaustion_mid_batch_truncates_identically_to_scalar() {
-    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let model = testkit::micro_model().1;
     let program = StepProgram::compile(&model);
     for max_transitions in [1u64, 7, 4095, 4096, 4097, 8192, 10_000] {
         let budget = EnumBudget { max_transitions: Some(max_transitions), ..EnumBudget::default() };

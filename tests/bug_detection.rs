@@ -2,7 +2,7 @@
 //! detection checks for individual bugs.
 
 use archval::fsm::{enumerate, EnumConfig};
-use archval::pp::{pp_control_model, Bug, BugSet, PpScale};
+use archval::pp::{testkit, Bug, BugSet, PpScale};
 use archval::sim::campaign::{random_baseline_detects, run_campaign, CampaignConfig};
 use archval::sim::compare::compare_stimulus;
 use archval::stimgen::mapping::trace_to_stimulus;
@@ -32,8 +32,7 @@ fn micro_campaign_detects_reachable_bugs() {
 #[test]
 fn detection_is_attributed_to_a_specific_retirement() {
     // when a bug fires, the mismatch names the first divergent retirement
-    let scale = PpScale::micro();
-    let model = pp_control_model(&scale).unwrap();
+    let (scale, model) = testkit::micro_model();
     let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
     let tours = generate_tours(&enumd.graph, &TourConfig::default());
     let mut found = false;
@@ -75,4 +74,35 @@ fn bug_free_random_driving_never_false_positives() {
     assert!(detected.is_none());
     let detected = random_baseline_detects(&PpScale::standard(), BugSet::none(), 3_000, 0.3, 8);
     assert!(detected.is_none());
+}
+
+/// Regression for the `DesignSpec` refactor: every legacy spec
+/// equivalent to `full()` — extra pipeline stage plus the dual-issue
+/// communication slot, at any fill-beat sizing — must keep all six
+/// Table 2.1 bug triggers reachable by the generated tour vectors.
+/// `fill_beats == 2` is `full()` itself; `4` exercises a family member
+/// no preset names. Tour vectors only (no baselines), parallel workers —
+/// the graphs here run 10⁴–10⁵ states.
+#[test]
+fn full_equivalents_keep_every_bug_tour_detectable() {
+    for beats in [2u64, 4] {
+        let scale = PpScale { fill_beats: beats, ..PpScale::full() };
+        assert!(scale.is_legacy(), "full() equivalents stay in the legacy sub-family");
+        scale.validate().unwrap();
+        let report = run_campaign(&CampaignConfig {
+            scale,
+            random_budget_multiplier: 0,
+            fuzz_budget_multiplier: 0,
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get().min(6)),
+            ..CampaignConfig::default()
+        });
+        assert_eq!(report.outcomes.len(), Bug::ALL.len());
+        for outcome in &report.outcomes {
+            assert!(
+                outcome.tour_detected_at_trace.is_some(),
+                "{} no longer tour-detectable at fill_beats={beats}",
+                outcome.bug
+            );
+        }
+    }
 }

@@ -11,11 +11,11 @@ use archval_exec::StepProgram;
 use archval_fsm::enumerate::{enumerate, enumerate_with, EnumConfig};
 use archval_fsm::parallel::enumerate_parallel_with;
 use archval_fsm::{dump_enum_result, EdgePolicy};
-use archval_pp::{pp_control_model, pp_control_verilog, PpScale};
+use archval_pp::{pp_control_verilog, testkit, PpScale};
 
 #[test]
 fn pp_micro_compiled_enumeration_dump_is_byte_identical() {
-    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let model = testkit::micro_model().1;
     let program = StepProgram::compile(&model);
     assert!(program.fits(&model));
     for policy in [EdgePolicy::FirstLabel, EdgePolicy::AllLabels] {
@@ -32,7 +32,7 @@ fn pp_micro_compiled_enumeration_dump_is_byte_identical() {
 
 #[test]
 fn pp_micro_parallel_compiled_enumeration_matches_tree() {
-    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let model = testkit::micro_model().1;
     let program = StepProgram::compile(&model);
     let tree = enumerate(&model, &EnumConfig::default()).unwrap();
     let dump_tree = dump_enum_result(&model, &tree);
@@ -45,7 +45,7 @@ fn pp_micro_parallel_compiled_enumeration_matches_tree() {
 
 #[test]
 fn pp_standard_compiled_enumeration_matches_tree() {
-    let model = pp_control_model(&PpScale::standard()).unwrap();
+    let model = testkit::standard_model().1;
     let program = StepProgram::compile(&model);
     let cfg = EnumConfig { threads: 8, ..EnumConfig::default() };
     let tree = enumerate_parallel_with(&model, &cfg, &model).unwrap();

@@ -7,7 +7,7 @@
 //! executable specification.
 
 use archval::fsm::{enumerate, EnumConfig};
-use archval::pp::{pp_control_model, pp_control_verilog, BugSet, CtrlState, PpScale};
+use archval::pp::{pp_control_verilog, testkit, BugSet, CtrlState, PpScale};
 use archval::sim::compare::compare_stimulus;
 use archval::stimgen::mapping::{pp_instr_cost, trace_to_stimulus};
 use archval::stimgen::replay::replay;
@@ -55,8 +55,7 @@ fn verilog_to_fsm_to_tours_to_vectors_to_green_comparison() {
 fn instruction_cost_model_matches_generated_programs() {
     // the Table 3.3 instruction counting (tour cost model) must agree with
     // the instructions the mapper actually generates
-    let scale = PpScale::micro();
-    let model = pp_control_model(&scale).unwrap();
+    let (scale, model) = testkit::micro_model();
     let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
     let cost = pp_instr_cost(&scale, &model, &enumd);
     let tours = generate_tours_with(&enumd.graph, &TourConfig::default(), cost);
@@ -75,8 +74,7 @@ fn trace_limit_splits_but_preserves_coverage_and_trace_count() {
     // the paper's observation: the same number of traces is needed with
     // and without the limit (initial-condition arcs dominate), coverage is
     // unaffected, and the longest trace shrinks drastically
-    let scale = PpScale::micro();
-    let model = pp_control_model(&scale).unwrap();
+    let (_, model) = testkit::micro_model();
     let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
     let unlimited = generate_tours(&enumd.graph, &TourConfig::default());
     let limited = generate_tours(&enumd.graph, &TourConfig { instruction_limit: Some(100) });
@@ -92,8 +90,7 @@ fn trace_limit_splits_but_preserves_coverage_and_trace_count() {
 fn replay_under_every_single_bug_still_terminates() {
     // bug injection never wedges the pipeline: every stimulus completes
     use archval::pp::Bug;
-    let scale = PpScale::micro();
-    let model = pp_control_model(&scale).unwrap();
+    let (scale, model) = testkit::micro_model();
     let enumd = enumerate(&model, &EnumConfig::default()).unwrap();
     let tours = generate_tours(&enumd.graph, &TourConfig::default());
     let stim = trace_to_stimulus(&scale, &model, &tours, &tours.traces()[0], 0);

@@ -7,11 +7,11 @@ use archval::flow::ValidationFlow;
 use archval_fsm::enumerate::{enumerate, EnumConfig};
 use archval_fsm::parallel::enumerate_parallel;
 use archval_fsm::{dump_enum_result, EdgePolicy, StateId};
-use archval_pp::{pp_control_model, pp_control_verilog, PpScale};
+use archval_pp::{pp_control_verilog, testkit, PpScale};
 
 #[test]
 fn pp_micro_parallel_matches_sequential_both_policies() {
-    let model = pp_control_model(&PpScale::micro()).unwrap();
+    let model = testkit::micro_model().1;
     for policy in [EdgePolicy::FirstLabel, EdgePolicy::AllLabels] {
         let cfg = EnumConfig { edge_policy: policy, ..EnumConfig::default() };
         let seq = enumerate(&model, &cfg).unwrap();
@@ -33,7 +33,7 @@ fn pp_micro_parallel_matches_sequential_both_policies() {
 
 #[test]
 fn pp_standard_parallel_dump_is_byte_identical() {
-    let model = pp_control_model(&PpScale::standard()).unwrap();
+    let model = testkit::standard_model().1;
     let seq = enumerate(&model, &EnumConfig::default()).unwrap();
     let cfg = EnumConfig { threads: 8, ..EnumConfig::default() };
     let a = enumerate_parallel(&model, &cfg).unwrap();

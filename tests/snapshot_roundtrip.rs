@@ -9,7 +9,7 @@ use std::time::Duration;
 use archval_fsm::graph::EdgePolicy;
 use archval_fsm::snapshot::{snapshot_from_bytes, snapshot_to_bytes};
 use archval_fsm::{enumerate, EnumConfig, ModelBuilder, SnapshotError};
-use archval_pp::{pp_control_model, PpScale};
+use archval_pp::testkit;
 use archval_tour::{generate_tours, TourConfig};
 
 /// The paper's Section 4 fix end to end: enumerate the PP control model
@@ -18,8 +18,7 @@ use archval_tour::{generate_tours, TourConfig};
 /// identically.
 #[test]
 fn all_labels_pipeline_round_trips_through_a_snapshot() {
-    let scale = PpScale::micro();
-    let model = pp_control_model(&scale).unwrap();
+    let (_, model) = testkit::micro_model();
     let first = enumerate(&model, &EnumConfig::default()).unwrap();
     let cfg = EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() };
     let r = enumerate(&model, &cfg).unwrap();
@@ -47,8 +46,7 @@ fn all_labels_pipeline_round_trips_through_a_snapshot() {
 /// order).
 #[test]
 fn micro_snapshot_is_byte_exact() {
-    let scale = PpScale::micro();
-    let model = pp_control_model(&scale).unwrap();
+    let (_, model) = testkit::micro_model();
     let r = enumerate(&model, &EnumConfig::default()).unwrap();
     let bytes = snapshot_to_bytes(&model, &r);
     let loaded = snapshot_from_bytes(&model, &bytes).unwrap();
@@ -108,8 +106,7 @@ const GOLDEN_CHECKSUM: u64 = 0x27d7_fe96_73be_5b87;
 /// A snapshot taken for one model must not load for another.
 #[test]
 fn snapshot_for_a_different_model_is_rejected() {
-    let scale = PpScale::micro();
-    let model = pp_control_model(&scale).unwrap();
+    let (_, model) = testkit::micro_model();
     let r = enumerate(&model, &EnumConfig::default()).unwrap();
     let bytes = snapshot_to_bytes(&model, &r);
     assert!(matches!(
