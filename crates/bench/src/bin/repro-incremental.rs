@@ -1,0 +1,293 @@
+//! Incremental re-enumeration over the PP control model: how much of a
+//! full enumeration can delta splicing skip for a single-site mutant?
+//!
+//! Enumerates the reference once, then runs every sampled model mutant
+//! through **both** paths — a full `enumerate_with` and
+//! `enumerate_delta_with` against the resident reference — and verifies
+//! the splice contract on each: graph dump, stats and truncation must be
+//! byte-identical. Records per-mutant wall-clock, evaluated-transition
+//! counts and splice ratios, prints the work-reduction table, and writes
+//! `BENCH_incremental.json`.
+//!
+//! Exits non-zero if any mutant's delta result differs from its full
+//! enumeration, if any compatible mutant fell back to a full sweep, or
+//! (at micro scale) if the median evaluated-transition reduction falls
+//! below the seeded 5× floor.
+//!
+//! ```sh
+//! cargo run --release -p archval-bench --bin repro-incremental micro
+//! ```
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use archval_bench::{emit_bench_json, scale_from_args, BenchError};
+use archval_exec::StepProgram;
+use archval_fsm::{
+    apply_mutation, dump_enum_result, enumerate_delta_opts, enumerate_delta_with, enumerate_with,
+    mutation_sites, DeltaOptions, EnumConfig, RefDense,
+};
+use archval_pp::{pp_control_model, PpScale};
+
+/// Median evaluated-transition reduction the delta path must deliver for
+/// single-site mutants of the micro model. A mutation of one expression
+/// dirties a handful of control variables; anything under this floor
+/// means the dependence sets have degenerated to "everything observes
+/// everything".
+const MEDIAN_REDUCTION_FLOOR: f64 = 5.0;
+
+/// Mutants sampled from the site list (evenly strided so every fault
+/// class — stuck vars, stuck bits, arena faults — stays represented).
+const MUTANT_CAP: usize = 48;
+
+/// One mutant's full-versus-delta comparison in `BENCH_incremental.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MutantRow {
+    label: String,
+    states: u64,
+    full_ms: f64,
+    delta_ms: f64,
+    /// `EnumStats::transitions_evaluated` of the full run.
+    full_transitions: u64,
+    /// `DeltaStats::evaluated_transitions` — what the variant engine
+    /// actually stepped.
+    delta_transitions: u64,
+    /// Transitions mirrored from the reference without evaluation.
+    mirrored_transitions: u64,
+    /// `full_transitions / max(delta_transitions, 1)`.
+    reduction: f64,
+    /// Fraction of states spliced verbatim from the reference.
+    splice_ratio: f64,
+}
+
+/// Everything `BENCH_incremental.json` records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IncrementalBench {
+    scale: String,
+    reference_states: u64,
+    reference_edges: u64,
+    reference_ms: f64,
+    /// One-off cost of the dense per-code successor table, amortized
+    /// across the whole mutant pool.
+    dense_table_ms: f64,
+    mutant_count: usize,
+    /// Every mutant's delta result matched its full enumeration
+    /// byte-for-byte (the run aborts before emitting otherwise, so this
+    /// is always `true` in an emitted file — recorded for dashboards).
+    byte_identical: bool,
+    full_wall_ms: f64,
+    delta_wall_ms: f64,
+    full_transitions_total: u64,
+    delta_transitions_total: u64,
+    median_reduction: f64,
+    median_splice_ratio: f64,
+    mutants: Vec<MutantRow>,
+}
+
+fn main() {
+    archval_bench::run("repro-incremental", body);
+}
+
+fn body() -> Result<(), BenchError> {
+    let scale = scale_from_args();
+    let model = pp_control_model(&scale)?;
+    let program = StepProgram::compile(&model);
+    let config = EnumConfig::default();
+
+    eprintln!("enumerating the reference at {scale:?} ...");
+    let started = Instant::now();
+    let reference = enumerate_with(&model, &config, &program)?;
+    let reference_ms = started.elapsed().as_secs_f64() * 1e3;
+    if !reference.is_complete() {
+        return Err(BenchError::Invalid("reference enumeration truncated".into()));
+    }
+    let ref_states = reference.graph.state_count() as u64;
+    let ref_edges = reference.graph.edge_count() as u64;
+    eprintln!(
+        "reference: {ref_states} states, {ref_edges} edges, \
+         {} transitions evaluated ({reference_ms:.0} ms)",
+        reference.stats.transitions_evaluated
+    );
+
+    // One extra reference sweep builds the dense per-code successor table;
+    // its cost is amortized across every mutant below (a campaign pays it
+    // once for its whole pool).
+    let started = Instant::now();
+    let dense = RefDense::compute(&model, &reference, &program)?
+        .ok_or_else(|| BenchError::Invalid("reference too large for a dense table".into()))?;
+    let dense_ms = started.elapsed().as_secs_f64() * 1e3;
+    eprintln!("dense reference table built in {dense_ms:.0} ms");
+
+    // Identity sanity check: diffing the model against itself must splice
+    // every state and evaluate nothing.
+    let identity = enumerate_delta_with(
+        &model,
+        &reference,
+        &model,
+        &config,
+        &program,
+        Some(program.dep_sets()),
+    )?;
+    if identity.delta.evaluated_transitions != 0
+        || identity.delta.spliced_states as u64 != ref_states
+    {
+        return Err(BenchError::Invalid(format!(
+            "identity delta evaluated {} transitions and spliced {} of {ref_states} states; \
+             expected a pure splice",
+            identity.delta.evaluated_transitions, identity.delta.spliced_states
+        )));
+    }
+
+    let sites = mutation_sites(&model);
+    let stride = sites.len().div_ceil(MUTANT_CAP).max(1);
+    let sampled: Vec<_> = sites.iter().step_by(stride).collect();
+    eprintln!("running {} of {} mutation sites through both paths ...", sampled.len(), sites.len());
+
+    let mut rows: Vec<MutantRow> = Vec::with_capacity(sampled.len());
+    for site in &sampled {
+        let mutant = apply_mutation(&model, site).map_err(|e| {
+            BenchError::Invalid(format!("site {} failed to apply: {e}", site.label()))
+        })?;
+        let factory = StepProgram::compile(&mutant);
+
+        let t = Instant::now();
+        let full = enumerate_with(&mutant, &config, &factory);
+        let full_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let delta = enumerate_delta_opts(
+            &model,
+            &reference,
+            &mutant,
+            &config,
+            &factory,
+            DeltaOptions { deps: Some(program.dep_sets()), dense: Some(&dense) },
+        );
+        let delta_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let (full, d) = match (full, delta) {
+            (Ok(full), Ok(d)) => (full, d),
+            // both paths must fail identically — that's part of the contract
+            (Err(f), Err(d)) if f.to_string() == d.to_string() => continue,
+            (full, delta) => {
+                return Err(BenchError::Invalid(format!(
+                    "mutant {}: full and delta paths disagree on failure: full {:?}, delta {:?}",
+                    site.label(),
+                    full.map(|_| "ok").map_err(|e| e.to_string()),
+                    delta.map(|_| "ok").map_err(|e| e.to_string()),
+                )));
+            }
+        };
+
+        if d.delta.fallback {
+            return Err(BenchError::Invalid(format!(
+                "mutant {} is a single-site edit of the reference but the delta path fell back",
+                site.label()
+            )));
+        }
+        // stats.elapsed / approx_memory_bytes are wall-clock and heap
+        // measurements; the contract covers the deterministic fields
+        if full.truncated != d.result.truncated
+            || full.stats.states != d.result.stats.states
+            || full.stats.bits_per_state != d.result.stats.bits_per_state
+            || full.stats.edges != d.result.stats.edges
+            || full.stats.transitions_evaluated != d.result.stats.transitions_evaluated
+            || full.stats.max_depth != d.result.stats.max_depth
+            || dump_enum_result(&mutant, &full) != dump_enum_result(&mutant, &d.result)
+        {
+            return Err(BenchError::Invalid(format!(
+                "mutant {}: delta result is not byte-identical to the full enumeration",
+                site.label()
+            )));
+        }
+
+        let states = full.graph.state_count() as u64;
+        rows.push(MutantRow {
+            label: site.label(),
+            states,
+            full_ms,
+            delta_ms,
+            full_transitions: full.stats.transitions_evaluated,
+            delta_transitions: d.delta.evaluated_transitions,
+            mirrored_transitions: d.delta.mirrored_transitions,
+            reduction: full.stats.transitions_evaluated as f64
+                / d.delta.evaluated_transitions.max(1) as f64,
+            splice_ratio: d.delta.spliced_states as f64 / (states as f64).max(1.0),
+        });
+    }
+    if rows.is_empty() {
+        return Err(BenchError::Invalid("no mutant produced a comparable enumeration".into()));
+    }
+
+    println!("== incremental re-enumeration ({scale:?}, {} mutants) ==", rows.len());
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>10} {:>8}",
+        "mutant", "states", "full trans", "delta trans", "reduction", "spliced"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>8} {:>12} {:>12} {:>9.1}x {:>7.0}%",
+            r.label,
+            r.states,
+            r.full_transitions,
+            r.delta_transitions,
+            r.reduction,
+            r.splice_ratio * 100.0
+        );
+    }
+
+    let median_reduction = median(rows.iter().map(|r| r.reduction));
+    let median_splice = median(rows.iter().map(|r| r.splice_ratio));
+    let full_wall_ms: f64 = rows.iter().map(|r| r.full_ms).sum();
+    let delta_wall_ms: f64 = rows.iter().map(|r| r.delta_ms).sum();
+    let full_total: u64 = rows.iter().map(|r| r.full_transitions).sum();
+    let delta_total: u64 = rows.iter().map(|r| r.delta_transitions).sum();
+    println!(
+        "median reduction {median_reduction:.1}x, median splice {:.0}%, \
+         wall-clock {full_wall_ms:.0} ms full vs {delta_wall_ms:.0} ms delta",
+        median_splice * 100.0
+    );
+
+    let mutant_count = rows.len();
+    emit_bench_json(
+        "incremental",
+        &IncrementalBench {
+            scale: format!("{scale:?}"),
+            reference_states: ref_states,
+            reference_edges: ref_edges,
+            reference_ms,
+            dense_table_ms: dense_ms,
+            mutant_count,
+            byte_identical: true,
+            full_wall_ms,
+            delta_wall_ms,
+            full_transitions_total: full_total,
+            delta_transitions_total: delta_total,
+            median_reduction,
+            median_splice_ratio: median_splice,
+            mutants: rows,
+        },
+    )?;
+
+    // The headline acceptance gate, checked after the JSON lands so a
+    // regression still leaves the numbers on disk for inspection.
+    if scale == PpScale::micro() && median_reduction < MEDIAN_REDUCTION_FLOOR {
+        return Err(BenchError::Invalid(format!(
+            "median evaluated-transition reduction {median_reduction:.2}x is below the \
+             {MEDIAN_REDUCTION_FLOOR}x floor for single-site mutants at micro scale"
+        )));
+    }
+    Ok(())
+}
+
+/// Median of an f64 sequence (mean of the middle pair for even lengths).
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    v.sort_by(|a, b| a.total_cmp(b));
+    match v.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => v[n / 2],
+        n => (v[n / 2 - 1] + v[n / 2]) / 2.0,
+    }
+}

@@ -19,7 +19,10 @@
 //! 2. runs the three stimulus strategies against the member: transition
 //!    tours (arc coverage), coverage-guided fuzz (feature coverage), and
 //!    a fault-injection campaign (per-strategy kill rates) under
-//!    micro budgets.
+//!    micro budgets. The first member of each model shape owns that
+//!    shape's mutant pool; members that diff compatibly against it reuse
+//!    the pool via `diff_mutant_pool` so the matrix compares like faults
+//!    across designs (`pools_diffed` in the JSON counts the reuses).
 //!
 //! The result is a configuration × strategy matrix keyed by each
 //! member's canonical spec string (legacy members share the
@@ -38,10 +41,11 @@ use std::time::{Duration, Instant};
 use serde::Serialize;
 
 use archval::fuzz::FuzzConfig;
-use archval::inject::{CampaignConfig, RunBudget};
+use archval::inject::{diff_mutant_pool, generate_mutants, CampaignConfig, MutantSpec, RunBudget};
 use archval::tour::TourConfig;
-use archval::{fuzz_campaign, inject_campaign, tour_campaign};
+use archval::{fuzz_campaign, inject_campaign_with_pool, tour_campaign};
 use archval_bench::{emit_bench_json, run, threads_from_args, BenchError};
+use archval_fsm::ModelDelta;
 use archval_pp::{pp_control_model, DesignSpec, FamilyAxes};
 use archval_serve::{CacheConfig, GraphCache};
 
@@ -90,6 +94,9 @@ struct MatrixBench {
     cache_hits: u64,
     cache_snapshot_loads: u64,
     cache_enumerations: u64,
+    /// Members whose mutant pool was diffed from the reference member's
+    /// pool instead of regenerated from scratch.
+    pools_diffed: usize,
     /// The second pass over the resident graphs reproduced every row.
     deterministic: bool,
     rows: Vec<MatrixRow>,
@@ -114,10 +121,16 @@ fn micro_budget() -> RunBudget {
     }
 }
 
+/// Mutants per shape-reference member; compatible members reuse the
+/// reference pool through [`diff_mutant_pool`] so the same faults are
+/// compared across designs.
+const MUTANT_LIMIT: usize = 12;
+
 /// Runs the three strategies for one member whose graph is `entry`.
 fn run_member(
     spec: &DesignSpec,
     entry: &archval_serve::CachedGraph,
+    pool: &[MutantSpec],
     threads: usize,
 ) -> Result<MatrixRow, BenchError> {
     let model = &entry.model;
@@ -136,12 +149,11 @@ fn run_member(
         },
     )?;
 
-    let inject = inject_campaign(
+    let inject = inject_campaign_with_pool(
         model,
         &entry.enumd,
+        pool,
         &CampaignConfig {
-            mutant_limit: 12,
-            include_chaos: false,
             budget: micro_budget(),
             threads,
             checkpoint: None,
@@ -226,21 +238,40 @@ fn body() -> Result<(), BenchError> {
     let mut rows = Vec::with_capacity(family.len());
     let mut sources = Vec::with_capacity(family.len());
     let mut entries: Vec<Arc<archval_serve::CachedGraph>> = Vec::with_capacity(family.len());
+    // The first member of each model *shape* is that shape's pool
+    // reference: later members whose model diffs compatibly against it
+    // (axes that only rewire expressions — policies, thresholds — keep
+    // the variable layout) reuse its mutants through `diff_mutant_pool`,
+    // with expression ids remapped through the delta, so the matrix
+    // compares like faults across those designs. Members that change the
+    // layout start a new reference pool of their own.
+    let mut pools: Vec<Vec<MutantSpec>> = Vec::with_capacity(family.len());
+    let mut pools_diffed = 0usize;
     for spec in &family {
         let model = pp_control_model(spec).map_err(BenchError::from)?;
         let (entry, source) = cache.get(&model, &mut |w| {
             eprintln!("repro-matrix: warning ({}): {}", w.kind(), w.detail());
         })?;
         sources.push(source.name().to_string());
-        rows.push(run_member(spec, &entry, threads)?);
+        let compatible =
+            entries.iter().position(|e| ModelDelta::diff(&e.model, &entry.model).is_compatible());
+        let pool = match compatible {
+            Some(r) => {
+                pools_diffed += 1;
+                diff_mutant_pool(&entries[r].model, &pools[r], &entry.model, &entry.program)
+            }
+            None => generate_mutants(&entry.model, &entry.program, MUTANT_LIMIT, false),
+        };
+        rows.push(run_member(spec, &entry, &pool, threads)?);
         entries.push(entry);
+        pools.push(pool);
     }
 
     // Verification pass: identical campaigns over the now-resident
     // graphs must reproduce every row exactly.
     let mut deterministic = true;
     for (i, spec) in family.iter().enumerate() {
-        let again = run_member(spec, &entries[i], threads)?;
+        let again = run_member(spec, &entries[i], &pools[i], threads)?;
         if again != rows[i] {
             deterministic = false;
             eprintln!("repro-matrix: row {} not deterministic: {}", i, spec.to_canonical_string());
@@ -305,6 +336,7 @@ fn body() -> Result<(), BenchError> {
             .snapshot_loads
             .load(std::sync::atomic::Ordering::Relaxed),
         cache_enumerations: cache.counters.enumerations.load(std::sync::atomic::Ordering::Relaxed),
+        pools_diffed,
         deterministic,
         rows,
         wall_seconds: started.elapsed().as_secs_f64(),

@@ -131,6 +131,24 @@ pub fn inject_campaign(
     Ok(archval_inject::run_campaign_with(model, enumd, config)?)
 }
 
+/// [`inject_campaign`] over an explicit mutant pool — the seam matrix
+/// campaigns use after diffing a family member's pool from the reference
+/// member's ([`archval_inject::diff_mutant_pool`]) instead of rescanning
+/// the member. See [`archval_inject::run_campaign_with_pool`].
+///
+/// # Errors
+///
+/// Returns [`Error::Inject`] for campaign-level failures; individual
+/// mutant failures degrade to typed verdicts in the report.
+pub fn inject_campaign_with_pool(
+    model: &Model,
+    enumd: &EnumResult,
+    pool: &[archval_inject::MutantSpec],
+    config: &archval_inject::CampaignConfig,
+) -> Result<archval_inject::CampaignReport, Error> {
+    Ok(archval_inject::run_campaign_with_pool(model, enumd, pool, config)?)
+}
+
 /// A configured validation flow: Verilog → FSM → enumeration → tours.
 ///
 /// The design-specific last mile (concrete instruction synthesis and

@@ -62,8 +62,8 @@ pub mod flow;
 pub mod report;
 
 pub use flow::{
-    fuzz_campaign, fuzz_campaign_with_feedback, inject_campaign, tour_campaign, Engine, FlowResult,
-    ValidationFlow, DEFAULT_LANES,
+    fuzz_campaign, fuzz_campaign_with_feedback, inject_campaign, inject_campaign_with_pool,
+    tour_campaign, Engine, FlowResult, ValidationFlow, DEFAULT_LANES,
 };
 pub use report::ValidationSummary;
 

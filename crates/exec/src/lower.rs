@@ -644,5 +644,8 @@ fn emit(model: &Model, an: Analysis) -> StepProgram {
         var_masks,
         n_choices: model.choices().len(),
         stats,
+        // the dependence side of delta enumeration: one extra forward
+        // scan over the same arena this lowering just walked
+        dep_sets: archval_fsm::DepSets::compute(model),
     }
 }

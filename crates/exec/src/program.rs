@@ -138,6 +138,7 @@ pub struct StepProgram {
     pub(crate) var_masks: Vec<u64>,
     pub(crate) n_choices: usize,
     pub(crate) stats: CompileStats,
+    pub(crate) dep_sets: archval_fsm::DepSets,
 }
 
 impl StepProgram {
@@ -174,6 +175,15 @@ impl StepProgram {
     /// Compile-time metrics.
     pub fn stats(&self) -> &CompileStats {
         &self.stats
+    }
+
+    /// Conservative per-variable / per-definition read sets, computed once
+    /// during lowering. This is what maps a mutated definition to the
+    /// state variables whose next-state functions can observe it — the
+    /// dependence side of delta enumeration
+    /// ([`archval_fsm::delta::enumerate_delta_with`]).
+    pub fn dep_sets(&self) -> &archval_fsm::DepSets {
+        &self.dep_sets
     }
 
     /// Checks that this program was compiled for a model of the same

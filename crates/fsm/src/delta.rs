@@ -1,0 +1,2128 @@
+//! Incremental re-enumeration: dirty-region delta enumeration for
+//! near-identical models.
+//!
+//! A fault-injection mutant (or an edited design revision) differs from its
+//! reference by a handful of expression nodes, yet [`enumerate`] pays the
+//! full O(states × choice-combinations) sweep again. This module collapses
+//! that cost to the size of the change:
+//!
+//! 1. [`ModelDelta`] diffs two models at the expression-arena level and
+//!    yields the set of mutated definitions and state-variable roots;
+//! 2. [`DepSets`] holds conservative per-variable / per-definition read
+//!    sets, so a mutated def maps to the variables whose next-state
+//!    functions can observe it;
+//! 3. [`enumerate_delta`] replays the *reference* enumeration, classifying
+//!    each reference state as **clean** (its step provably cannot observe a
+//!    mutated node — splice its CSR row verbatim) or **dirty** (re-sweep
+//!    its choice combinations on the variant engine), producing a graph
+//!    **byte-identical** to full re-enumeration of the variant.
+//!
+//! Byte identity is the contract everything downstream leans on: inject
+//! verdicts, checkpoints, snapshots and dumps of a delta-enumerated graph
+//! are indistinguishable from full re-enumeration, so campaigns switch to
+//! the delta path with no behavioural change — only the evaluated-
+//! transition count drops.
+//!
+//! # How clean states splice exactly
+//!
+//! Under [`EdgePolicy::FirstLabel`] a finished row holds the distinct
+//! successors of a state in first-code order with strictly ascending
+//! labels; every choice code between two recorded labels produced a
+//! duplicate successor whose `add_edge` the builder suppressed (and whose
+//! intern was non-fresh). Replaying the recorded edges and accounting the
+//! gaps in bulk ([`GraphBuilder::note_suppressed`]) therefore reproduces
+//! the full sweep's builder state, transition counter and budget-check
+//! trajectory exactly — including truncation points, which fire at the
+//! same `transitions % 4096` boundaries the scalar loop checks. Under
+//! [`EdgePolicy::AllLabels`] every code is recorded and the gaps are
+//! empty.
+//!
+//! [`enumerate`]: crate::enumerate::enumerate
+//! [`EdgePolicy::FirstLabel`]: crate::graph::EdgePolicy::FirstLabel
+//! [`EdgePolicy::AllLabels`]: crate::graph::EdgePolicy::AllLabels
+//! [`GraphBuilder::note_suppressed`]: crate::graph::GraphBuilder::note_suppressed
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::engine::EngineFactory;
+use crate::enumerate::{enumerate_with, EnumBudget, EnumConfig, EnumResult, Truncation};
+use crate::error::Error;
+use crate::expr::{apply_binary, apply_unary, BinaryOp, Expr};
+use crate::graph::{GraphBuilder, StateId};
+use crate::model::{DefId, ExprId, Model, VarId};
+use crate::pack::{StateLayout, StateTable};
+use crate::stats::EnumStats;
+
+// ---------------------------------------------------------------------------
+// Dependence sets
+// ---------------------------------------------------------------------------
+
+/// Conservative transitive read sets: for every state variable's next-state
+/// function and every definition, the variables, choices and definitions it
+/// can read.
+///
+/// Computed by one forward scan over the expression arena (ids are
+/// topologically ordered, so children always precede parents). The sets are
+/// static over-approximations — a `Ternary` contributes both branches — and
+/// are what maps a mutated def to the variables that can observe it. They
+/// are cheap enough to recompute but are also persisted in the snapshot
+/// `DEPS` chunk so delta enumeration against an on-disk reference needs no
+/// re-lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepSets {
+    n_vars: usize,
+    n_choices: usize,
+    n_defs: usize,
+    /// Words per row: `ceil(n_vars/64) + ceil(n_choices/64) + ceil(n_defs/64)`.
+    stride: usize,
+    /// `n_vars × stride` bit rows, one per state variable's next function.
+    var_rows: Vec<u64>,
+    /// `n_defs × stride` bit rows; row `d` includes bit `d` itself.
+    def_rows: Vec<u64>,
+}
+
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+impl DepSets {
+    /// Computes the dependence sets of `model`.
+    pub fn compute(model: &Model) -> DepSets {
+        let n_vars = model.vars().len();
+        let n_choices = model.choices().len();
+        let n_defs = model.defs().len();
+        let var_words = words_for(n_vars);
+        let choice_words = words_for(n_choices);
+        let stride = var_words + choice_words + words_for(n_defs);
+        let choice_base = var_words;
+        let def_base = var_words + choice_words;
+
+        // one row per arena node; children precede parents, and a
+        // definition's expression precedes every `Def` node referencing it,
+        // so a single forward scan sees every input row completed
+        let n_exprs = model.exprs().len();
+        let mut rows = vec![0u64; n_exprs * stride];
+        for (i, e) in model.exprs().iter().enumerate() {
+            let (done, rest) = rows.split_at_mut(i * stride);
+            let row = &mut rest[..stride];
+            let mut or_in = |child: ExprId| {
+                let src = &done[child.0 as usize * stride..child.0 as usize * stride + stride];
+                for (dst, s) in row.iter_mut().zip(src) {
+                    *dst |= s;
+                }
+            };
+            match e {
+                Expr::Const(_) => {}
+                Expr::Var(v) => row[v.0 as usize / 64] |= 1 << (v.0 % 64),
+                Expr::Choice(c) => {
+                    row[choice_base + c.0 as usize / 64] |= 1 << (c.0 % 64);
+                }
+                Expr::Def(d) => {
+                    or_in(model.defs()[d.0 as usize].expr);
+                    row[def_base + d.0 as usize / 64] |= 1 << (d.0 % 64);
+                }
+                _ => e.for_each_child(or_in),
+            }
+        }
+
+        let row_of = |id: ExprId| &rows[id.0 as usize * stride..id.0 as usize * stride + stride];
+        let mut var_rows = Vec::with_capacity(n_vars * stride);
+        for v in model.vars() {
+            var_rows.extend_from_slice(row_of(v.next));
+        }
+        let mut def_rows = Vec::with_capacity(n_defs * stride);
+        for (d, def) in model.defs().iter().enumerate() {
+            let start = def_rows.len();
+            def_rows.extend_from_slice(row_of(def.expr));
+            def_rows[start + def_base + d / 64] |= 1 << (d % 64);
+        }
+        DepSets { n_vars, n_choices, n_defs, stride, var_rows, def_rows }
+    }
+
+    /// Reassembles persisted sets; the inverse of [`DepSets::rows`]. Returns
+    /// `None` when the dimensions are inconsistent with the row data.
+    pub fn from_rows(
+        n_vars: usize,
+        n_choices: usize,
+        n_defs: usize,
+        var_rows: Vec<u64>,
+        def_rows: Vec<u64>,
+    ) -> Option<DepSets> {
+        let stride = words_for(n_vars) + words_for(n_choices) + words_for(n_defs);
+        if var_rows.len() != n_vars * stride || def_rows.len() != n_defs * stride {
+            return None;
+        }
+        Some(DepSets { n_vars, n_choices, n_defs, stride, var_rows, def_rows })
+    }
+
+    /// The raw bit rows `(var_rows, def_rows)`, for persistence.
+    pub fn rows(&self) -> (&[u64], &[u64]) {
+        (&self.var_rows, &self.def_rows)
+    }
+
+    /// Words per row for the given dimensions — the layout contract of
+    /// the persisted form.
+    pub fn row_words(n_vars: usize, n_choices: usize, n_defs: usize) -> usize {
+        words_for(n_vars) + words_for(n_choices) + words_for(n_defs)
+    }
+
+    /// `(n_vars, n_choices, n_defs)` these sets were computed for.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.n_vars, self.n_choices, self.n_defs)
+    }
+
+    fn var_row(&self, v: VarId) -> &[u64] {
+        let s = v.0 as usize * self.stride;
+        &self.var_rows[s..s + self.stride]
+    }
+
+    fn def_row(&self, d: DefId) -> &[u64] {
+        let s = d.0 as usize * self.stride;
+        &self.def_rows[s..s + self.stride]
+    }
+
+    fn row_has_var(row: &[u64], v: VarId) -> bool {
+        row[v.0 as usize / 64] & (1 << (v.0 % 64)) != 0
+    }
+
+    fn row_has_choice(&self, row: &[u64], c: u32) -> bool {
+        row[words_for(self.n_vars) + c as usize / 64] & (1 << (c % 64)) != 0
+    }
+
+    fn row_has_def(&self, row: &[u64], d: DefId) -> bool {
+        let base = words_for(self.n_vars) + words_for(self.n_choices);
+        row[base + d.0 as usize / 64] & (1 << (d.0 % 64)) != 0
+    }
+
+    /// Whether variable `v`'s next-state function can read variable `u`.
+    pub fn var_reads_var(&self, v: VarId, u: VarId) -> bool {
+        DepSets::row_has_var(self.var_row(v), u)
+    }
+
+    /// Whether variable `v`'s next-state function can read choice `c`.
+    pub fn var_reads_choice(&self, v: VarId, c: u32) -> bool {
+        self.row_has_choice(self.var_row(v), c)
+    }
+
+    /// Whether variable `v`'s next-state function can read definition `d`.
+    pub fn var_reads_def(&self, v: VarId, d: DefId) -> bool {
+        self.row_has_def(self.var_row(v), d)
+    }
+
+    /// Whether definition `d`'s expression can read definition `e`
+    /// (reflexive: every definition reads itself).
+    pub fn def_reads_def(&self, d: DefId, e: DefId) -> bool {
+        self.row_has_def(self.def_row(d), e)
+    }
+
+    /// The variables whose next-state functions can observe any of the
+    /// given mutated definitions, unioned with the mutated variables
+    /// themselves — the conservative static extent of a model edit.
+    pub fn affected_vars(&self, mutated_defs: &[DefId], mutated_vars: &[VarId]) -> Vec<VarId> {
+        (0..self.n_vars as u32)
+            .map(VarId)
+            .filter(|&v| {
+                mutated_vars.contains(&v) || mutated_defs.iter().any(|&d| self.var_reads_def(v, d))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model diffing
+// ---------------------------------------------------------------------------
+
+/// How a `(reference, variant)` expression pair relates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairStatus {
+    /// Structurally identical subtrees.
+    Identical,
+    /// Same node constructor and operator; at least one child pair differs.
+    Aligned,
+    /// Different constructors, operators or arity — no structural
+    /// correspondence below this point.
+    Mismatch,
+}
+
+/// The children of a pair, as indices into [`ModelDelta::pairs`].
+#[derive(Debug, Clone)]
+enum PairKind {
+    Leaf,
+    Unary(u32),
+    Binary(u32, u32),
+    Ternary {
+        cond: u32,
+        then: u32,
+        other: u32,
+    },
+    Select {
+        arms: Vec<(u32, u32)>,
+        default: u32,
+    },
+    /// A `Def(d)` reference on both sides; the payload is the def index.
+    Def(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Pair {
+    status: PairStatus,
+    kind: PairKind,
+    /// Reference-side expression id.
+    a: u32,
+    /// Variant-side expression id.
+    b: u32,
+}
+
+/// A structural diff of two models at the expression-arena level.
+///
+/// Two models are **compatible** when their state variables (name, size,
+/// init), choice inputs (name, size) and definition names line up — the
+/// shape every [`apply_mutation`](crate::mutate::apply_mutation) mutant and
+/// every small spec edit preserves. A compatible delta pairs the two arenas
+/// from the definition and next-state roots down and yields:
+///
+/// * [`mutated_defs`](ModelDelta::mutated_defs) /
+///   [`mutated_vars`](ModelDelta::mutated_vars) — the roots whose subtrees
+///   are not structurally identical;
+/// * [`map_expr`](ModelDelta::map_expr) — a reference-id → variant-id map
+///   over identical subtrees, which is what lets mutant pools carry
+///   expression-site mutations from a reference model to a family member
+///   without regenerating them.
+#[derive(Debug, Clone)]
+pub struct ModelDelta {
+    compatible: bool,
+    pairs: Vec<Pair>,
+    /// Pair index of each definition's `(ref expr, variant expr)` roots.
+    def_pairs: Vec<u32>,
+    /// Pair index of each variable's next-state roots.
+    var_pairs: Vec<u32>,
+    mutated_defs: Vec<DefId>,
+    mutated_vars: Vec<VarId>,
+    map: HashMap<u32, u32>,
+}
+
+impl ModelDelta {
+    /// Diffs `variant` against `reference`.
+    pub fn diff(reference: &Model, variant: &Model) -> ModelDelta {
+        if !compatible(reference, variant) {
+            return ModelDelta {
+                compatible: false,
+                pairs: Vec::new(),
+                def_pairs: Vec::new(),
+                var_pairs: Vec::new(),
+                mutated_defs: Vec::new(),
+                mutated_vars: Vec::new(),
+                map: HashMap::new(),
+            };
+        }
+        let mut d = Differ {
+            rm: reference,
+            vm: variant,
+            memo: HashMap::new(),
+            pairs: Vec::new(),
+            def_pairs: Vec::new(),
+            map: HashMap::new(),
+        };
+        // definition roots first, in index order, so a `Def(d)` node met
+        // inside a later root finds its pair already classified
+        for i in 0..reference.defs().len() {
+            let ix = d.pair(reference.defs()[i].expr, variant.defs()[i].expr);
+            d.def_pairs.push(ix);
+        }
+        let var_pairs: Vec<u32> = (0..reference.vars().len())
+            .map(|i| d.pair(reference.vars()[i].next, variant.vars()[i].next))
+            .collect();
+        let mutated_defs = d
+            .def_pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ix)| d.pairs[ix as usize].status != PairStatus::Identical)
+            .map(|(i, _)| DefId(i as u32))
+            .collect();
+        let mutated_vars = var_pairs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ix)| d.pairs[ix as usize].status != PairStatus::Identical)
+            .map(|(i, _)| VarId(i as u32))
+            .collect();
+        ModelDelta {
+            compatible: true,
+            pairs: d.pairs,
+            def_pairs: d.def_pairs,
+            var_pairs,
+            mutated_defs,
+            mutated_vars,
+            map: d.map,
+        }
+    }
+
+    /// Whether the two models have the same interface shape (variables,
+    /// choices, definition names) and can be delta-enumerated at all.
+    pub fn is_compatible(&self) -> bool {
+        self.compatible
+    }
+
+    /// Whether every definition and next-state root is structurally
+    /// identical — nothing to re-explore.
+    pub fn is_identity(&self) -> bool {
+        self.compatible && self.mutated_defs.is_empty() && self.mutated_vars.is_empty()
+    }
+
+    /// Definitions whose subtrees changed.
+    pub fn mutated_defs(&self) -> &[DefId] {
+        &self.mutated_defs
+    }
+
+    /// State variables whose next-state roots changed (including those
+    /// that merely reference a mutated definition).
+    pub fn mutated_vars(&self) -> &[VarId] {
+        &self.mutated_vars
+    }
+
+    /// Maps a reference-arena expression id to the variant-arena id of the
+    /// structurally identical subtree it was paired with, if any.
+    pub fn map_expr(&self, id: ExprId) -> Option<ExprId> {
+        self.map.get(&id.0).map(|&b| ExprId(b))
+    }
+}
+
+/// Interface-shape compatibility: the state space, choice space and
+/// definition list line up index by index.
+fn compatible(a: &Model, b: &Model) -> bool {
+    a.vars().len() == b.vars().len()
+        && a.choices().len() == b.choices().len()
+        && a.defs().len() == b.defs().len()
+        && a.vars()
+            .iter()
+            .zip(b.vars())
+            .all(|(x, y)| x.name == y.name && x.size == y.size && x.init == y.init)
+        && a.choices().iter().zip(b.choices()).all(|(x, y)| x.name == y.name && x.size == y.size)
+        && a.defs().iter().zip(b.defs()).all(|(x, y)| x.name == y.name)
+}
+
+struct Differ<'a> {
+    rm: &'a Model,
+    vm: &'a Model,
+    memo: HashMap<(u32, u32), u32>,
+    pairs: Vec<Pair>,
+    def_pairs: Vec<u32>,
+    map: HashMap<u32, u32>,
+}
+
+impl<'a> Differ<'a> {
+    fn push(&mut self, a: ExprId, b: ExprId, status: PairStatus, kind: PairKind) -> u32 {
+        let ix = self.pairs.len() as u32;
+        self.pairs.push(Pair { status, kind, a: a.0, b: b.0 });
+        self.memo.insert((a.0, b.0), ix);
+        if status == PairStatus::Identical {
+            // first pairing wins; hash-consed arenas make repeats rare
+            self.map.entry(a.0).or_insert(b.0);
+        }
+        ix
+    }
+
+    fn status_of(&self, child: u32) -> PairStatus {
+        self.pairs[child as usize].status
+    }
+
+    /// Pairs reference node `a` with variant node `b`, memoized on the id
+    /// pair (both arenas are DAGs, so this is linear in the divergent
+    /// region plus shared structure).
+    fn pair(&mut self, a: ExprId, b: ExprId) -> u32 {
+        if let Some(&ix) = self.memo.get(&(a.0, b.0)) {
+            return ix;
+        }
+        let (rm, vm) = (self.rm, self.vm);
+        match (rm.expr(a), vm.expr(b)) {
+            (Expr::Const(x), Expr::Const(y)) => {
+                let s = if x == y { PairStatus::Identical } else { PairStatus::Mismatch };
+                self.push(a, b, s, PairKind::Leaf)
+            }
+            (Expr::Var(x), Expr::Var(y)) => {
+                let s = if x == y { PairStatus::Identical } else { PairStatus::Mismatch };
+                self.push(a, b, s, PairKind::Leaf)
+            }
+            (Expr::Choice(x), Expr::Choice(y)) => {
+                let s = if x == y { PairStatus::Identical } else { PairStatus::Mismatch };
+                self.push(a, b, s, PairKind::Leaf)
+            }
+            (Expr::Def(x), Expr::Def(y)) => {
+                if x != y {
+                    return self.push(a, b, PairStatus::Mismatch, PairKind::Leaf);
+                }
+                // def roots are paired before any reference to them
+                let s = if self.status_of(self.def_pairs[x.0 as usize]) == PairStatus::Identical {
+                    PairStatus::Identical
+                } else {
+                    PairStatus::Aligned
+                };
+                self.push(a, b, s, PairKind::Def(x.0))
+            }
+            (Expr::Unary(ox, cx), Expr::Unary(oy, cy)) => {
+                if ox != oy {
+                    return self.push(a, b, PairStatus::Mismatch, PairKind::Leaf);
+                }
+                let c = self.pair(*cx, *cy);
+                let s = if self.status_of(c) == PairStatus::Identical {
+                    PairStatus::Identical
+                } else {
+                    PairStatus::Aligned
+                };
+                self.push(a, b, s, PairKind::Unary(c))
+            }
+            (Expr::Binary(ox, lx, rx), Expr::Binary(oy, ly, ry)) => {
+                if ox != oy {
+                    return self.push(a, b, PairStatus::Mismatch, PairKind::Leaf);
+                }
+                let l = self.pair(*lx, *ly);
+                let r = self.pair(*rx, *ry);
+                let s = if self.status_of(l) == PairStatus::Identical
+                    && self.status_of(r) == PairStatus::Identical
+                {
+                    PairStatus::Identical
+                } else {
+                    PairStatus::Aligned
+                };
+                self.push(a, b, s, PairKind::Binary(l, r))
+            }
+            (
+                Expr::Ternary { cond: cx, then: tx, other: ox },
+                Expr::Ternary { cond: cy, then: ty, other: oy },
+            ) => {
+                let cond = self.pair(*cx, *cy);
+                let then = self.pair(*tx, *ty);
+                let other = self.pair(*ox, *oy);
+                let s = if [cond, then, other]
+                    .iter()
+                    .all(|&c| self.status_of(c) == PairStatus::Identical)
+                {
+                    PairStatus::Identical
+                } else {
+                    PairStatus::Aligned
+                };
+                self.push(a, b, s, PairKind::Ternary { cond, then, other })
+            }
+            (Expr::Select { arms: ax, default: dx }, Expr::Select { arms: ay, default: dy }) => {
+                if ax.len() != ay.len() {
+                    return self.push(a, b, PairStatus::Mismatch, PairKind::Leaf);
+                }
+                let arms: Vec<(u32, u32)> = ax
+                    .iter()
+                    .zip(ay.iter())
+                    .map(|(&(gx, vx), &(gy, vy))| (self.pair(gx, gy), self.pair(vx, vy)))
+                    .collect();
+                let default = self.pair(*dx, *dy);
+                let s = if self.status_of(default) == PairStatus::Identical
+                    && arms.iter().all(|&(g, v)| {
+                        self.status_of(g) == PairStatus::Identical
+                            && self.status_of(v) == PairStatus::Identical
+                    }) {
+                    PairStatus::Identical
+                } else {
+                    PairStatus::Aligned
+                };
+                self.push(a, b, s, PairKind::Select { arms, default })
+            }
+            _ => self.push(a, b, PairStatus::Mismatch, PairKind::Leaf),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-state clean/dirty classification
+// ---------------------------------------------------------------------------
+
+/// A three-valued abstract value at one concrete state: state variables are
+/// known, choice inputs are unknown, everything else propagates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Known(u64),
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Abs {
+    val: Val,
+    /// Whether evaluation could fail (`Mod` whose divisor is zero or
+    /// unknown) under some choice assignment.
+    may_fail: bool,
+}
+
+impl Abs {
+    fn known(v: u64) -> Abs {
+        Abs { val: Val::Known(v), may_fail: false }
+    }
+}
+
+fn join(a: Val, b: Val) -> Val {
+    match (a, b) {
+        (Val::Known(x), Val::Known(y)) if x == y => Val::Known(x),
+        _ => Val::Unknown,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Side {
+    Ref,
+    Var,
+}
+
+/// Decides, per reference state, whether the variant's step provably
+/// agrees with the reference's step for **every** choice assignment — in
+/// value *and* in failure behaviour. Clean states splice; everything else
+/// re-sweeps. Soundness leans on the reference enumeration being complete:
+/// a reached reference state stepped successfully under every code, so
+/// "agrees with the reference" implies the variant cannot fail there
+/// either.
+struct Classifier<'a> {
+    rm: &'a Model,
+    vm: &'a Model,
+    delta: &'a ModelDelta,
+    split: Option<&'a SplitPlan>,
+    state: Vec<u64>,
+    /// Per-choice pinned values; `None` keeps the choice three-valued.
+    /// Pinned by [`classify`](Classifier::classify) while it case-splits
+    /// over the mutated cone's choice inputs.
+    assign: Vec<Option<u64>>,
+    /// Generation stamp; bumping it invalidates all memo rows at once.
+    gen: u64,
+    /// The generation at which the current row (state) was entered. Only
+    /// cone choices are ever pinned between generations of the same row,
+    /// so a node whose subtree reads no cone choice has the same abstract
+    /// value in every class — its memo entry stays valid for the whole
+    /// row (`entry >= row_gen`) instead of one class (`entry == gen`).
+    row_gen: u64,
+    abs_ref: Vec<(u64, Abs)>,
+    abs_var: Vec<(u64, Abs)>,
+    diff_memo: Vec<(u64, bool)>,
+}
+
+/// What a partial row does with all the codes of one assignment class.
+enum ClassAction {
+    /// The step provably agrees with the reference — mirror its successor.
+    Mirror,
+    /// The step disagrees, but every mutated root evaluates to a known
+    /// value: the successor is the reference successor with these
+    /// `(var index, value)` overwrites — no engine call.
+    Patch(Vec<(u32, u64)>),
+    /// The step could fail, or a mutated root's value stays unknown —
+    /// evaluate on the variant engine (which also reproduces any error
+    /// exactly where the full sweep would hit it).
+    Evaluate,
+}
+
+/// How one reference state's row relates to the variant's sweep of it.
+enum RowClass {
+    /// Provably identical for every choice code — splice the whole row.
+    Clean,
+    /// Mirror, patch or evaluate per assignment class.
+    Mixed(Vec<ClassAction>),
+    /// No provable agreement anywhere — re-sweep every code.
+    Dirty,
+}
+
+impl<'a> Classifier<'a> {
+    fn new(
+        rm: &'a Model,
+        vm: &'a Model,
+        delta: &'a ModelDelta,
+        split: Option<&'a SplitPlan>,
+    ) -> Classifier<'a> {
+        let dead = Abs { val: Val::Unknown, may_fail: false };
+        Classifier {
+            rm,
+            vm,
+            delta,
+            split,
+            state: Vec::with_capacity(rm.vars().len()),
+            assign: vec![None; rm.choices().len()],
+            gen: 0,
+            row_gen: 0,
+            abs_ref: vec![(0, dead); rm.exprs().len()],
+            abs_var: vec![(0, dead); vm.exprs().len()],
+            diff_memo: vec![(0, false); delta.pairs.len()],
+        }
+    }
+
+    /// Whether the variant step from `state` is provably identical to the
+    /// reference step for all choice codes.
+    fn is_clean(&mut self, state: &[u64]) -> bool {
+        self.gen += 1;
+        self.row_gen = self.gen;
+        self.state.clear();
+        self.state.extend_from_slice(state);
+        self.checks_pass()
+    }
+
+    /// The agreement checks at the current `state` / `assign`: every
+    /// mutated root agrees and no mutated def can fail on the variant side.
+    fn checks_pass(&mut self) -> bool {
+        let delta = self.delta;
+        // mutated defs are evaluated eagerly by every faithful engine even
+        // when no variable reads them, so a def that could fail on the
+        // variant side must force a real sweep (which reproduces the
+        // error, keeping delta and full runs identical even on Err)
+        for &d in &delta.mutated_defs {
+            let root = self.vm.defs()[d.0 as usize].expr;
+            if self.abs(Side::Var, root.0).may_fail {
+                return false;
+            }
+        }
+        for &v in &delta.mutated_vars {
+            let pair = delta.var_pairs[v.0 as usize];
+            let size = self.vm.vars()[v.0 as usize].size;
+            if self.root_differs(pair, size) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Classifies one reference state's row. The three-valued pass decides
+    /// most states outright; when it cannot and a [`SplitPlan`] is
+    /// available, the checks re-run once per assignment class of the
+    /// mutated cone's choice inputs — state variables stay concrete, so
+    /// pinning the cone's choices makes every abstract value along the
+    /// mutated region `Known` and the per-class verdict exact.
+    fn classify(&mut self, state: &[u64]) -> RowClass {
+        if self.is_clean(state) {
+            return RowClass::Clean;
+        }
+        let Some(plan) = self.split else { return RowClass::Dirty };
+        let mut actions = Vec::with_capacity(plan.class_count as usize);
+        let (mut all_mirror, mut all_evaluate) = (true, true);
+        let mut digits = vec![0u64; plan.choices.len()];
+        for _ in 0..plan.class_count {
+            for (k, &c) in plan.choices.iter().enumerate() {
+                self.assign[c as usize] = Some(digits[k]);
+            }
+            self.gen += 1;
+            let action = self.class_action();
+            all_mirror &= matches!(action, ClassAction::Mirror);
+            all_evaluate &= matches!(action, ClassAction::Evaluate);
+            actions.push(action);
+            let mut k = 0;
+            while k < digits.len() {
+                digits[k] += 1;
+                if digits[k] < plan.sizes[k] {
+                    break;
+                }
+                digits[k] = 0;
+                k += 1;
+            }
+        }
+        for &c in &plan.choices {
+            self.assign[c as usize] = None;
+        }
+        if all_mirror {
+            RowClass::Clean
+        } else if all_evaluate {
+            RowClass::Dirty
+        } else {
+            RowClass::Mixed(actions)
+        }
+    }
+
+    /// The verdict for one assignment class at the current `state` /
+    /// `assign`. With the whole cone pinned the abstract values along the
+    /// mutated region are `Known`, so this mirrors the concrete evaluator
+    /// exactly: a class is only sent to the engine when a mutated def
+    /// could fail or a value genuinely stays unknown.
+    fn class_action(&mut self) -> ClassAction {
+        let delta = self.delta;
+        // mutated defs are evaluated eagerly by every faithful engine even
+        // when no variable reads them; a def that could fail on the
+        // variant side needs a real sweep to reproduce the error
+        for &d in &delta.mutated_defs {
+            let root = self.vm.defs()[d.0 as usize].expr;
+            if self.abs(Side::Var, root.0).may_fail {
+                return ClassAction::Evaluate;
+            }
+        }
+        let mut patch: Vec<(u32, u64)> = Vec::new();
+        for &v in &delta.mutated_vars {
+            let pair = delta.var_pairs[v.0 as usize];
+            let size = self.vm.vars()[v.0 as usize].size;
+            let xv = self.abs(Side::Var, delta.pairs[pair as usize].b);
+            if xv.may_fail {
+                return ClassAction::Evaluate;
+            }
+            if self.root_differs(pair, size) {
+                // assignment truncates the raw value into the domain, so
+                // the patched value is `raw % size` — exactly what the
+                // engine would store
+                let Val::Known(raw) = xv.val else { return ClassAction::Evaluate };
+                patch.push((v.0, raw % size));
+            }
+        }
+        if patch.is_empty() {
+            ClassAction::Mirror
+        } else {
+            ClassAction::Patch(patch)
+        }
+    }
+
+    /// [`differs`](Classifier::differs) refined modulo the variable's
+    /// domain: assignment truncates with `raw % size`, so roots whose raw
+    /// values differ by a multiple of the domain still agree.
+    fn root_differs(&mut self, ix: u32, size: u64) -> bool {
+        let pair = &self.delta.pairs[ix as usize];
+        if pair.status == PairStatus::Identical {
+            return false;
+        }
+        let (a, b) = (pair.a, pair.b);
+        let xa = self.abs(Side::Ref, a);
+        let xv = self.abs(Side::Var, b);
+        if !xa.may_fail && !xv.may_fail {
+            if let (Val::Known(p), Val::Known(q)) = (xa.val, xv.val) {
+                if p % size == q % size {
+                    return false;
+                }
+            }
+        }
+        self.differs(ix)
+    }
+
+    /// Whether the pair could disagree — in value or failure behaviour —
+    /// under some choice assignment at the current state.
+    fn differs(&mut self, ix: u32) -> bool {
+        let (g, cached) = self.diff_memo[ix as usize];
+        if g == self.gen {
+            return cached;
+        }
+        if g >= self.row_gen {
+            let pair = &self.delta.pairs[ix as usize];
+            if !self.cone_dependent(Side::Ref, pair.a) && !self.cone_dependent(Side::Var, pair.b) {
+                return cached;
+            }
+        }
+        let out = self.differs_uncached(ix);
+        self.diff_memo[ix as usize] = (self.gen, out);
+        out
+    }
+
+    fn differs_uncached(&mut self, ix: u32) -> bool {
+        let delta = self.delta;
+        let pair = &delta.pairs[ix as usize];
+        if pair.status == PairStatus::Identical {
+            return false;
+        }
+        // value-level refinement: when both sides abstract to the same
+        // known value and neither can fail, they agree regardless of
+        // structure — this is what keeps e.g. an inverted condition in a
+        // branch the current state never takes from dirtying the state
+        let (a, b) = (pair.a, pair.b);
+        let xa = self.abs(Side::Ref, a);
+        let xv = self.abs(Side::Var, b);
+        if !xa.may_fail && !xv.may_fail {
+            if let (Val::Known(p), Val::Known(q)) = (xa.val, xv.val) {
+                if p == q {
+                    return false;
+                }
+            }
+        }
+        if pair.status == PairStatus::Mismatch {
+            return true;
+        }
+        match &pair.kind {
+            PairKind::Leaf => true,
+            PairKind::Unary(c) => self.differs(*c),
+            PairKind::Binary(l, r) => {
+                let (l, r) = (*l, *r);
+                self.differs(l) || self.differs(r)
+            }
+            PairKind::Ternary { cond, then, other } => {
+                let (cond, then, other) = (*cond, *then, *other);
+                if self.differs(cond) {
+                    return true;
+                }
+                // the condition agrees on both sides, so gate on the
+                // reference side's abstract value; evaluation is lazy, so
+                // a branch that is never taken cannot disagree or fail
+                let cond_ref = delta.pairs[cond as usize].a;
+                match self.abs(Side::Ref, cond_ref).val {
+                    Val::Known(0) => self.differs(other),
+                    Val::Known(_) => self.differs(then),
+                    Val::Unknown => self.differs(then) || self.differs(other),
+                }
+            }
+            PairKind::Select { arms, default } => {
+                let default = *default;
+                for &(g, v) in arms {
+                    if self.differs(g) {
+                        return true;
+                    }
+                    let guard_ref = delta.pairs[g as usize].a;
+                    match self.abs(Side::Ref, guard_ref).val {
+                        // guard is zero on both sides: arm never taken
+                        Val::Known(0) => continue,
+                        // first matching arm on both sides: later arms
+                        // and the default are never evaluated
+                        Val::Known(_) => return self.differs(v),
+                        Val::Unknown => {
+                            if self.differs(v) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                self.differs(default)
+            }
+            PairKind::Def(d) => {
+                let ix = delta.def_pairs[*d as usize];
+                self.differs(ix)
+            }
+        }
+    }
+
+    /// Whether `id`'s subtree reads a cone choice on `side`; only cone
+    /// choices are ever pinned, so an independent node's abstract value is
+    /// identical across all classes of the current row.
+    fn cone_dependent(&self, side: Side, id: u32) -> bool {
+        match self.split {
+            Some(plan) => match side {
+                Side::Ref => plan.ref_dep[id as usize],
+                Side::Var => plan.var_dep[id as usize],
+            },
+            None => true,
+        }
+    }
+
+    fn abs(&mut self, side: Side, id: u32) -> Abs {
+        let memo = match side {
+            Side::Ref => &self.abs_ref,
+            Side::Var => &self.abs_var,
+        };
+        let (g, cached) = memo[id as usize];
+        if g == self.gen || (g >= self.row_gen && !self.cone_dependent(side, id)) {
+            return cached;
+        }
+        let out = self.abs_uncached(side, id);
+        let memo = match side {
+            Side::Ref => &mut self.abs_ref,
+            Side::Var => &mut self.abs_var,
+        };
+        memo[id as usize] = (self.gen, out);
+        out
+    }
+
+    /// Abstract evaluation mirroring the concrete evaluator's laziness:
+    /// `Ternary` takes one branch when the condition is known, `Select`
+    /// walks guards in priority order and stops at the first known-nonzero
+    /// one. `may_fail` over-approximates only along paths that could
+    /// actually be evaluated.
+    fn abs_uncached(&mut self, side: Side, id: u32) -> Abs {
+        let model: &'a Model = match side {
+            Side::Ref => self.rm,
+            Side::Var => self.vm,
+        };
+        match model.expr(ExprId(id)) {
+            Expr::Const(c) => Abs::known(*c),
+            Expr::Var(v) => Abs::known(self.state[v.0 as usize]),
+            Expr::Choice(c) => match self.assign[c.0 as usize] {
+                Some(v) => Abs::known(v),
+                None => Abs { val: Val::Unknown, may_fail: false },
+            },
+            Expr::Def(d) => {
+                let root = model.defs()[d.0 as usize].expr;
+                self.abs(side, root.0)
+            }
+            Expr::Unary(op, a) => {
+                let xa = self.abs(side, a.0);
+                let val = match xa.val {
+                    Val::Known(x) => Val::Known(apply_unary(*op, x)),
+                    Val::Unknown => Val::Unknown,
+                };
+                Abs { val, may_fail: xa.may_fail }
+            }
+            Expr::Binary(op, a, b) => {
+                let xa = self.abs(side, a.0);
+                let xb = self.abs(side, b.0);
+                let mut may_fail = xa.may_fail || xb.may_fail;
+                if *op == BinaryOp::Mod && !matches!(xb.val, Val::Known(d) if d != 0) {
+                    may_fail = true;
+                }
+                let val = match (xa.val, xb.val) {
+                    (Val::Known(x), Val::Known(y)) => match apply_binary(*op, x, y) {
+                        Some(r) => Val::Known(r),
+                        None => Val::Unknown,
+                    },
+                    _ => Val::Unknown,
+                };
+                Abs { val, may_fail }
+            }
+            Expr::Ternary { cond, then, other } => {
+                let xc = self.abs(side, cond.0);
+                match xc.val {
+                    Val::Known(c) => {
+                        let taken = if c != 0 { then.0 } else { other.0 };
+                        let xt = self.abs(side, taken);
+                        Abs { val: xt.val, may_fail: xc.may_fail || xt.may_fail }
+                    }
+                    Val::Unknown => {
+                        let xt = self.abs(side, then.0);
+                        let xo = self.abs(side, other.0);
+                        Abs {
+                            val: join(xt.val, xo.val),
+                            may_fail: xc.may_fail || xt.may_fail || xo.may_fail,
+                        }
+                    }
+                }
+            }
+            Expr::Select { arms, default } => {
+                let mut may_fail = false;
+                let mut acc: Option<Val> = None;
+                let join_in = |acc: &mut Option<Val>, v: Val| {
+                    *acc = Some(match *acc {
+                        None => v,
+                        Some(a) => join(a, v),
+                    });
+                };
+                let mut decided = false;
+                for (g, v) in arms {
+                    let xg = self.abs(side, g.0);
+                    may_fail |= xg.may_fail;
+                    match xg.val {
+                        Val::Known(0) => continue,
+                        Val::Known(_) => {
+                            let xv = self.abs(side, v.0);
+                            may_fail |= xv.may_fail;
+                            join_in(&mut acc, xv.val);
+                            decided = true;
+                            break;
+                        }
+                        Val::Unknown => {
+                            let xv = self.abs(side, v.0);
+                            may_fail |= xv.may_fail;
+                            join_in(&mut acc, xv.val);
+                        }
+                    }
+                }
+                if !decided {
+                    let xd = self.abs(side, default.0);
+                    may_fail |= xd.may_fail;
+                    join_in(&mut acc, xd.val);
+                }
+                Abs { val: acc.unwrap_or(Val::Unknown), may_fail }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Choice-class splitting and the dense reference table
+// ---------------------------------------------------------------------------
+
+/// Splitting a mutated cone's choice inputs into assignment classes:
+/// choice codes with the same projection onto [`SplitPlan::choices`] step
+/// the mutated region identically, so one classifier pass per class
+/// covers every code.
+struct SplitPlan {
+    /// Choice indices the mutated cone can read (both sides), ascending.
+    choices: Vec<u32>,
+    /// Domain sizes of those choices, parallel to `choices`.
+    sizes: Vec<u64>,
+    /// Product of `sizes` — the number of assignment classes.
+    class_count: u64,
+    /// Class index of every choice code, length = total combinations.
+    code_class: Vec<u32>,
+    /// Per reference-arena node: whether its value can depend on a cone
+    /// choice. Cone-independent nodes evaluate identically in every class,
+    /// so the classifier memoizes them per row instead of per class.
+    ref_dep: Vec<bool>,
+    /// The same for the variant arena.
+    var_dep: Vec<bool>,
+}
+
+/// Per-node cone dependence: whether each arena node transitively reads
+/// one of the cone's choices. One forward scan — arena ids are
+/// topologically ordered, and a `Def` reference's root always precedes it.
+fn cone_dependence(model: &Model, cone: &[bool]) -> Vec<bool> {
+    let mut dep = vec![false; model.exprs().len()];
+    for id in 0..model.exprs().len() {
+        dep[id] = match model.expr(ExprId(id as u32)) {
+            Expr::Const(_) | Expr::Var(_) => false,
+            Expr::Choice(c) => cone[c.0 as usize],
+            Expr::Def(d) => dep[model.defs()[d.0 as usize].expr.0 as usize],
+            Expr::Unary(_, a) => dep[a.0 as usize],
+            Expr::Binary(_, a, b) => dep[a.0 as usize] || dep[b.0 as usize],
+            Expr::Ternary { cond, then, other } => {
+                dep[cond.0 as usize] || dep[then.0 as usize] || dep[other.0 as usize]
+            }
+            Expr::Select { arms, default } => {
+                dep[default.0 as usize]
+                    || arms.iter().any(|&(g, v)| dep[g.0 as usize] || dep[v.0 as usize])
+            }
+        };
+    }
+    dep
+}
+
+/// Classes per row above which case-splitting is abandoned: beyond this
+/// the classifier would approach the cost of the sweep it tries to skip.
+const MAX_SPLIT_CLASSES: u64 = 4096;
+
+/// `code_class` entries above which the per-code table is not built.
+const MAX_SPLIT_CODES: u64 = 1 << 22;
+
+/// Collects the choice inputs readable from `roots` (following `Def`
+/// references) into `seen`.
+fn collect_cone_choices(model: &Model, roots: &[ExprId], seen: &mut [bool]) {
+    let mut visited = vec![false; model.exprs().len()];
+    let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut visited[id as usize], true) {
+            continue;
+        }
+        match model.expr(ExprId(id)) {
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Choice(c) => seen[c.0 as usize] = true,
+            Expr::Def(d) => stack.push(model.defs()[d.0 as usize].expr.0),
+            Expr::Unary(_, a) => stack.push(a.0),
+            Expr::Binary(_, a, b) => stack.extend([a.0, b.0]),
+            Expr::Ternary { cond, then, other } => stack.extend([cond.0, then.0, other.0]),
+            Expr::Select { arms, default } => {
+                stack.push(default.0);
+                stack.extend(arms.iter().flat_map(|&(g, v)| [g.0, v.0]));
+            }
+        }
+    }
+}
+
+/// Builds the split plan for a delta, or `None` when splitting cannot pay
+/// off: the cone reads no choices (its disagreement is choice-independent),
+/// the class count would rival the sweep itself, or the per-code table
+/// would not fit.
+fn build_split_plan(
+    reference: &Model,
+    variant: &Model,
+    delta: &ModelDelta,
+    choice_sizes: &[u64],
+    combos: u64,
+) -> Option<SplitPlan> {
+    let n_choices = choice_sizes.len();
+    let mut seen = vec![false; n_choices];
+    let mut roots: Vec<ExprId> = Vec::new();
+    for &d in delta.mutated_defs() {
+        roots.push(reference.defs()[d.0 as usize].expr);
+    }
+    for &v in delta.mutated_vars() {
+        roots.push(reference.vars()[v.0 as usize].next);
+    }
+    collect_cone_choices(reference, &roots, &mut seen);
+    roots.clear();
+    for &d in delta.mutated_defs() {
+        roots.push(variant.defs()[d.0 as usize].expr);
+    }
+    for &v in delta.mutated_vars() {
+        roots.push(variant.vars()[v.0 as usize].next);
+    }
+    collect_cone_choices(variant, &roots, &mut seen);
+
+    // an empty cone is still a valid (single-class) plan: the mutated
+    // roots are choice-independent, so one verdict covers the whole row —
+    // and a `Patch` verdict then replaces the row's entire engine sweep
+    let choices: Vec<u32> = (0..n_choices as u32).filter(|&c| seen[c as usize]).collect();
+    if combos > MAX_SPLIT_CODES {
+        return None;
+    }
+    let sizes: Vec<u64> = choices.iter().map(|&c| choice_sizes[c as usize]).collect();
+    let class_count = sizes.iter().product::<u64>();
+    if class_count > MAX_SPLIT_CLASSES {
+        return None;
+    }
+
+    // walk every code the way the sweep does and project its digits onto
+    // the cone's choices
+    let mut code_class = vec![0u32; combos as usize];
+    let mut digits = vec![0u64; n_choices];
+    for slot in code_class.iter_mut() {
+        let mut class = 0u64;
+        let mut stride = 1u64;
+        for (k, &c) in choices.iter().enumerate() {
+            class += digits[c as usize] * stride;
+            stride *= sizes[k];
+        }
+        *slot = class as u32;
+        let mut k = 0;
+        while k < n_choices {
+            digits[k] += 1;
+            if digits[k] < choice_sizes[k] {
+                break;
+            }
+            digits[k] = 0;
+            k += 1;
+        }
+    }
+    let ref_dep = cone_dependence(reference, &seen);
+    let var_dep = cone_dependence(variant, &seen);
+    Some(SplitPlan { choices, sizes, class_count, code_class, ref_dep, var_dep })
+}
+
+/// Dense per-code successor table of a completed reference enumeration:
+/// `succ[state * combos + code]` is the reference state id the step
+/// reaches.
+///
+/// The recorded graph cannot answer that query — under
+/// [`EdgePolicy::FirstLabel`] duplicate successors are suppressed, so a
+/// code between two recorded labels has no edge. The dense table costs one
+/// extra sweep of the reference, which is why it is computed **once** and
+/// shared across every delta enumeration against the same reference
+/// (campaigns, benches and `archval-serve` all amortize it); it is what
+/// lets a dirty row splice *individual* codes instead of falling back to a
+/// full re-sweep.
+///
+/// [`EdgePolicy::FirstLabel`]: crate::graph::EdgePolicy::FirstLabel
+#[derive(Debug, Clone)]
+pub struct RefDense {
+    states: usize,
+    combos: u64,
+    succ: Vec<u32>,
+}
+
+impl RefDense {
+    /// Entries above which [`compute`](RefDense::compute) declines — the
+    /// table is an accelerator for small and medium references, not a
+    /// mandatory index (64 MB of successors at the cap).
+    pub const MAX_ENTRIES: u64 = 1 << 24;
+
+    /// Sweeps every `(state, code)` of a completed reference enumeration
+    /// once, recording each successor id. Returns `None` (not an error)
+    /// when the reference is truncated or the table would exceed
+    /// [`MAX_ENTRIES`](RefDense::MAX_ENTRIES).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from the engine; a reference whose
+    /// enumeration completed cannot produce any.
+    pub fn compute(
+        reference: &Model,
+        ref_enum: &EnumResult,
+        factory: &dyn EngineFactory,
+    ) -> Result<Option<RefDense>, Error> {
+        if !ref_enum.is_complete() {
+            return Ok(None);
+        }
+        let n_vars = reference.vars().len();
+        let n_choices = reference.choices().len();
+        let choice_sizes: Vec<u64> = reference.choices().iter().map(|c| c.size).collect();
+        let combos: u64 = choice_sizes.iter().product();
+        let states = ref_enum.graph.state_count();
+        let Some(entries) = (states as u64).checked_mul(combos).filter(|&e| e <= Self::MAX_ENTRIES)
+        else {
+            return Ok(None);
+        };
+
+        let mut engine = factory.spawn();
+        let mut succ = Vec::with_capacity(entries as usize);
+        let mut cur = vec![0u64; n_vars];
+        let mut next = vec![0u64; n_vars];
+        let mut choices = vec![0u64; n_choices];
+        for s in 0..states {
+            ref_enum.table.layout().unpack(ref_enum.table.packed(s as u32), &mut cur);
+            engine.begin_state(&cur)?;
+            choices.iter_mut().for_each(|c| *c = 0);
+            loop {
+                engine.step_choices(&choices, &mut next)?;
+                let dst = ref_enum
+                    .table
+                    .lookup_values(&next)
+                    .expect("complete reference enumeration interned every successor");
+                succ.push(dst);
+                let mut k = 0;
+                while k < n_choices {
+                    choices[k] += 1;
+                    if choices[k] < choice_sizes[k] {
+                        break;
+                    }
+                    choices[k] = 0;
+                    k += 1;
+                }
+                if k == n_choices {
+                    break;
+                }
+            }
+        }
+        Ok(Some(RefDense { states, combos, succ }))
+    }
+
+    /// Successor ids of one state's row, in code order.
+    fn row(&self, state: u32) -> &[u32] {
+        let lo = state as usize * self.combos as usize;
+        &self.succ[lo..lo + self.combos as usize]
+    }
+
+    /// Whether this table was built from a reference with the given shape.
+    fn matches(&self, states: usize, combos: u64) -> bool {
+        self.states == states && self.combos == combos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta enumeration
+// ---------------------------------------------------------------------------
+
+/// How much work the delta path actually did — the companion to the
+/// byte-identical [`EnumResult`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// The delta path was unusable (incompatible models or an incomplete
+    /// reference) and the result came from a plain full enumeration.
+    pub fallback: bool,
+    /// States whose reference CSR row was spliced verbatim.
+    pub spliced_states: usize,
+    /// States partially spliced: only the choice codes whose assignment
+    /// class can observe the mutation were evaluated, the rest mirrored
+    /// from the dense reference table.
+    pub partial_states: usize,
+    /// States re-swept on the variant engine.
+    pub dirty_states: usize,
+    /// Edges copied from the reference graph.
+    pub spliced_edges: usize,
+    /// Transitions actually evaluated on the variant engine — the cost
+    /// that delta enumeration exists to shrink. A full enumeration's
+    /// count is `EnumStats::transitions_evaluated`.
+    pub evaluated_transitions: u64,
+    /// Transitions accounted without evaluation while splicing (the
+    /// budget and stats counters still advance through them, keeping
+    /// truncation points identical to a full run).
+    pub mirrored_transitions: u64,
+    /// Transitions whose successor was reconstructed by patching the
+    /// mutated variables into a mirrored reference successor — constant
+    /// work per transition instead of a full engine step, with the
+    /// per-class values computed once by the classifier.
+    pub patched_transitions: u64,
+    /// Variables whose next-state functions can observe the mutation
+    /// (from [`DepSets::affected_vars`]).
+    pub affected_vars: usize,
+    /// Definition roots the diff found changed.
+    pub mutated_defs: usize,
+    /// Next-state roots the diff found changed.
+    pub mutated_vars: usize,
+}
+
+/// The output of [`enumerate_delta`]: a result byte-identical to full
+/// re-enumeration of the variant, plus the delta accounting.
+#[derive(Debug)]
+pub struct DeltaEnumResult {
+    /// Indistinguishable from `enumerate(variant, config)` — graph, table,
+    /// deterministic stats, truncation and errors all match.
+    pub result: EnumResult,
+    /// What the delta path spliced versus re-swept.
+    pub delta: DeltaStats,
+}
+
+/// Enumerates `variant` by re-using `ref_enum`, the completed enumeration
+/// of `reference`.
+///
+/// Every reference state whose step provably cannot observe the mutation
+/// is spliced (its successors and labels copied) instead of re-swept; the
+/// rest — including states the reference never reached — are explored
+/// exactly as [`enumerate`] would. The output is byte-identical to a full
+/// enumeration of `variant` under the same `config`, including budget
+/// truncation points and evaluation errors; only
+/// [`DeltaStats::evaluated_transitions`] shrinks.
+///
+/// Falls back to a plain full enumeration (flagged in
+/// [`DeltaStats::fallback`]) when the models are incompatible or the
+/// reference is itself truncated — a truncated reference proves nothing
+/// about the codes its sweep never evaluated.
+///
+/// # Errors
+///
+/// As [`enumerate`]: exactly those a full enumeration of `variant` would
+/// return.
+///
+/// [`enumerate`]: crate::enumerate::enumerate
+pub fn enumerate_delta(
+    reference: &Model,
+    ref_enum: &EnumResult,
+    variant: &Model,
+    config: &EnumConfig,
+) -> Result<DeltaEnumResult, Error> {
+    enumerate_delta_with(reference, ref_enum, variant, config, variant, None)
+}
+
+/// Reference-side accelerators for [`enumerate_delta_opts`], both optional
+/// and both amortizable across many variants of the same reference.
+#[derive(Default, Clone, Copy)]
+pub struct DeltaOptions<'a> {
+    /// Precomputed dependence sets (from `StepProgram::dep_sets` or a
+    /// snapshot `DEPS` chunk); recomputed from the reference when absent.
+    pub deps: Option<&'a DepSets>,
+    /// Dense per-code successor table of the reference. Without it a dirty
+    /// state re-sweeps **all** of its choice codes; with it, only the
+    /// codes whose assignment class can observe the mutation.
+    pub dense: Option<&'a RefDense>,
+}
+
+/// [`enumerate_delta`] with an explicit step-engine factory for the dirty
+/// sweeps and optional precomputed dependence sets (e.g. loaded from a
+/// snapshot's `DEPS` chunk, or taken from a compiled
+/// `StepProgram::dep_sets`).
+///
+/// Dirty states are swept on the scalar engine path regardless of
+/// `config.batch_lanes` — the batched sweep is bit-identical to the scalar
+/// one, so this is an implementation choice, not an output difference.
+///
+/// # Errors
+///
+/// As [`enumerate_delta`].
+pub fn enumerate_delta_with(
+    reference: &Model,
+    ref_enum: &EnumResult,
+    variant: &Model,
+    config: &EnumConfig,
+    factory: &dyn EngineFactory,
+    deps: Option<&DepSets>,
+) -> Result<DeltaEnumResult, Error> {
+    let opts = DeltaOptions { deps, dense: None };
+    enumerate_delta_opts(reference, ref_enum, variant, config, factory, opts)
+}
+
+/// [`enumerate_delta_with`] plus an optional dense reference table
+/// ([`DeltaOptions::dense`]) enabling **partial-row splicing**: a dirty
+/// state whose mutation is only observable under some choice assignments
+/// evaluates exactly those codes and mirrors the rest — successor ids come
+/// from the dense table, so the builder walks every code in order and the
+/// output stays byte-identical to a full sweep, including budget
+/// truncation points, edge dedup order and evaluation errors.
+///
+/// # Errors
+///
+/// As [`enumerate_delta`].
+pub fn enumerate_delta_opts(
+    reference: &Model,
+    ref_enum: &EnumResult,
+    variant: &Model,
+    config: &EnumConfig,
+    factory: &dyn EngineFactory,
+    opts: DeltaOptions<'_>,
+) -> Result<DeltaEnumResult, Error> {
+    let deps = opts.deps;
+    variant.validate()?;
+    let delta = ModelDelta::diff(reference, variant);
+    // an AllLabels request can only splice rows that record every code;
+    // a FirstLabel-policy reference has gaps whose successors it forgot
+    let combos_all = reference.choice_combinations();
+    let ref_rows_complete = (ref_enum.graph.state_count() as u64)
+        .checked_mul(combos_all)
+        .is_some_and(|full| ref_enum.graph.edge_count() as u64 == full);
+    let policy_ok = config.edge_policy != crate::graph::EdgePolicy::AllLabels || ref_rows_complete;
+    if !delta.is_compatible() || !ref_enum.is_complete() || !policy_ok {
+        let result = enumerate_with(variant, config, factory)?;
+        let delta = DeltaStats {
+            fallback: true,
+            dirty_states: result.stats.states,
+            evaluated_transitions: result.stats.transitions_evaluated,
+            ..DeltaStats::default()
+        };
+        return Ok(DeltaEnumResult { result, delta });
+    }
+
+    let affected = match deps {
+        Some(d) => d.affected_vars(delta.mutated_defs(), delta.mutated_vars()),
+        None => {
+            DepSets::compute(reference).affected_vars(delta.mutated_defs(), delta.mutated_vars())
+        }
+    };
+    let mut stats = DeltaStats {
+        affected_vars: affected.len(),
+        mutated_defs: delta.mutated_defs().len(),
+        mutated_vars: delta.mutated_vars().len(),
+        ..DeltaStats::default()
+    };
+    let n_vars = variant.vars().len();
+    let n_choices = variant.choices().len();
+    let choice_sizes: Vec<u64> = variant.choices().iter().map(|c| c.size).collect();
+    let combos: u64 = choice_sizes.iter().product();
+
+    // partial-row splicing needs both the dense table (mirrored successor
+    // ids) and a split plan (per-class verdicts); a dense table built from
+    // a different reference shape is ignored rather than trusted
+    let dense = opts.dense.filter(|d| d.matches(ref_enum.graph.state_count(), combos));
+    let split =
+        dense.and_then(|_| build_split_plan(reference, variant, &delta, &choice_sizes, combos));
+    let mut classifier = Classifier::new(reference, variant, &delta, split.as_ref());
+
+    // from here on the loop mirrors `enumerate_with`'s scalar path
+    // statement for statement wherever it evaluates; divergence is only
+    // ever the splice, which is proven equivalent in the module docs
+    let start = Instant::now();
+    let layout = StateLayout::new(variant);
+    let bits = layout.total_bits();
+    let mut table = StateTable::new(layout);
+    let mut builder = GraphBuilder::new(config.edge_policy);
+    let mut engine = factory.spawn();
+
+    let mut scratch = Vec::new();
+    let reset = variant.reset_state();
+    let (reset_id, _) = table.intern_values(&reset, &mut scratch);
+    builder.ensure_state(StateId(reset_id));
+
+    let mut cursor: u32 = 0;
+    let mut depth_of: Vec<usize> = vec![0];
+    let mut max_depth = 0usize;
+    let mut transitions: u64 = 0;
+
+    let mut cur_values = vec![0u64; n_vars];
+    let mut next_values = vec![0u64; n_vars];
+    let mut choices = vec![0u64; n_choices];
+    let budgeted = !config.budget.is_unbounded();
+    let mut truncated = None;
+
+    let mut packed_copy: Vec<u64> = Vec::new();
+
+    'search: while (cursor as usize) < table.len() {
+        if budgeted {
+            truncated = config.budget.check(table.len(), transitions, start);
+            if truncated.is_some() {
+                break;
+            }
+        }
+        builder.reserve_states(table.len());
+        let src = StateId(cursor);
+        let src_depth = depth_of[cursor as usize];
+        packed_copy.clear();
+        packed_copy.extend_from_slice(table.packed(cursor));
+        table.layout().unpack(&packed_copy, &mut cur_values);
+
+        // identical layouts (compatibility guarantees identical variables)
+        // make the variant's packed words valid reference-table keys
+        let ref_id = ref_enum.table.lookup_packed(&packed_copy);
+        let row_class = match ref_id {
+            Some(_) => classifier.classify(&cur_values),
+            None => RowClass::Dirty,
+        };
+
+        if let (RowClass::Clean, Some(rid)) = (&row_class, ref_id) {
+            // --- splice: replay the reference row without evaluation ---
+            let row = ref_enum.graph.row();
+            let (lo, hi) = (row[rid as usize] as usize, row[rid as usize + 1] as usize);
+            let dsts = &ref_enum.graph.dst()[lo..hi];
+            let labels = &ref_enum.graph.label()[lo..hi];
+            let mut expected: u64 = 0;
+            for (&dst_ref, &label) in dsts.iter().zip(labels) {
+                // codes between recorded labels were suppressed duplicates
+                let gap = label - expected;
+                let (consumed, cut) =
+                    mirror_gap(&config.budget, budgeted, table.len(), start, &mut transitions, gap);
+                builder.note_suppressed(consumed);
+                stats.mirrored_transitions += consumed;
+                if cut.is_some() {
+                    truncated = cut;
+                    break 'search;
+                }
+                if budgeted && transitions.is_multiple_of(4096) {
+                    truncated = config.budget.check(table.len(), transitions, start);
+                    if truncated.is_some() {
+                        break 'search;
+                    }
+                }
+                transitions += 1;
+                stats.mirrored_transitions += 1;
+                let (dst, fresh) = table.intern_packed(ref_enum.table.packed(dst_ref));
+                if fresh {
+                    if table.len() > config.state_limit {
+                        return Err(Error::StateLimit { limit: config.state_limit });
+                    }
+                    depth_of.push(src_depth + 1);
+                    max_depth = max_depth.max(src_depth + 1);
+                    if table.len().is_multiple_of(config.progress_every) {
+                        eprintln!(
+                            "enumerate: {} states, {} edges",
+                            table.len(),
+                            builder.edge_count()
+                        );
+                    }
+                }
+                builder.add_edge(src, StateId(dst), label);
+                stats.spliced_edges += 1;
+                expected = label + 1;
+            }
+            let gap = combos - expected;
+            let (consumed, cut) =
+                mirror_gap(&config.budget, budgeted, table.len(), start, &mut transitions, gap);
+            builder.note_suppressed(consumed);
+            stats.mirrored_transitions += consumed;
+            if cut.is_some() {
+                truncated = cut;
+                break 'search;
+            }
+            stats.spliced_states += 1;
+            cursor += 1;
+            continue;
+        }
+
+        if let (RowClass::Mixed(actions), Some(rid), Some(dense)) = (&row_class, ref_id, dense) {
+            // --- partial splice: evaluate only the classes that need it ---
+            // the loop is the dirty sweep below with the step call replaced
+            // by a dense-table mirror (or a patched mirror) wherever the
+            // class verdict allows it
+            let plan = split.as_ref().expect("a mixed row implies a split plan");
+            stats.partial_states += 1;
+            if actions.iter().any(|a| matches!(a, ClassAction::Evaluate)) {
+                engine.begin_state(&cur_values)?;
+            }
+            choices.iter_mut().for_each(|c| *c = 0);
+            let dense_row = dense.row(rid);
+            let mut code: u64 = 0;
+            loop {
+                if budgeted && transitions.is_multiple_of(4096) {
+                    truncated = config.budget.check(table.len(), transitions, start);
+                    if truncated.is_some() {
+                        break 'search;
+                    }
+                }
+                let (dst, fresh) = match &actions[plan.code_class[code as usize] as usize] {
+                    ClassAction::Evaluate => {
+                        engine.step_choices(&choices, &mut next_values)?;
+                        transitions += 1;
+                        stats.evaluated_transitions += 1;
+                        table.intern_values(&next_values, &mut scratch)
+                    }
+                    ClassAction::Mirror => {
+                        transitions += 1;
+                        stats.mirrored_transitions += 1;
+                        table.intern_packed(ref_enum.table.packed(dense_row[code as usize]))
+                    }
+                    ClassAction::Patch(patch) => {
+                        transitions += 1;
+                        stats.patched_transitions += 1;
+                        let packed = ref_enum.table.packed(dense_row[code as usize]);
+                        table.layout().unpack(packed, &mut next_values);
+                        for &(v, value) in patch {
+                            next_values[v as usize] = value;
+                        }
+                        table.intern_values(&next_values, &mut scratch)
+                    }
+                };
+                if fresh {
+                    if table.len() > config.state_limit {
+                        return Err(Error::StateLimit { limit: config.state_limit });
+                    }
+                    depth_of.push(src_depth + 1);
+                    max_depth = max_depth.max(src_depth + 1);
+                    if table.len().is_multiple_of(config.progress_every) {
+                        eprintln!(
+                            "enumerate: {} states, {} edges",
+                            table.len(),
+                            builder.edge_count()
+                        );
+                    }
+                }
+                builder.add_edge(src, StateId(dst), code);
+
+                let mut k = 0;
+                loop {
+                    if k == n_choices {
+                        break;
+                    }
+                    choices[k] += 1;
+                    if choices[k] < choice_sizes[k] {
+                        break;
+                    }
+                    choices[k] = 0;
+                    k += 1;
+                }
+                code += 1;
+                if k == n_choices {
+                    break;
+                }
+            }
+            cursor += 1;
+            continue;
+        }
+
+        // --- dirty: the scalar sweep, verbatim ---
+        stats.dirty_states += 1;
+        engine.begin_state(&cur_values)?;
+        choices.iter_mut().for_each(|c| *c = 0);
+        let mut code: u64 = 0;
+        loop {
+            if budgeted && transitions.is_multiple_of(4096) {
+                truncated = config.budget.check(table.len(), transitions, start);
+                if truncated.is_some() {
+                    break 'search;
+                }
+            }
+            engine.step_choices(&choices, &mut next_values)?;
+            transitions += 1;
+            stats.evaluated_transitions += 1;
+            let (dst, fresh) = table.intern_values(&next_values, &mut scratch);
+            if fresh {
+                if table.len() > config.state_limit {
+                    return Err(Error::StateLimit { limit: config.state_limit });
+                }
+                depth_of.push(src_depth + 1);
+                max_depth = max_depth.max(src_depth + 1);
+                if table.len().is_multiple_of(config.progress_every) {
+                    eprintln!("enumerate: {} states, {} edges", table.len(), builder.edge_count());
+                }
+            }
+            builder.add_edge(src, StateId(dst), code);
+
+            let mut k = 0;
+            loop {
+                if k == n_choices {
+                    break;
+                }
+                choices[k] += 1;
+                if choices[k] < choice_sizes[k] {
+                    break;
+                }
+                choices[k] = 0;
+                k += 1;
+            }
+            code += 1;
+            if k == n_choices {
+                break;
+            }
+        }
+        cursor += 1;
+    }
+
+    let (graph, graph_stats) = builder.finish()?;
+    let elapsed = start.elapsed();
+    let approx_memory_bytes = table.approx_bytes() + graph_stats.graph_bytes as usize;
+    let enum_stats = EnumStats {
+        states: table.len(),
+        bits_per_state: bits,
+        edges: graph.edge_count(),
+        elapsed,
+        approx_memory_bytes,
+        transitions_evaluated: transitions,
+        max_depth,
+    };
+    Ok(DeltaEnumResult {
+        result: EnumResult { graph, table, stats: enum_stats, graph_stats, truncated },
+        delta: stats,
+    })
+}
+
+/// Advances the transition counter through `gap` suppressed codes exactly
+/// as the scalar sweep would: the budget is re-checked at every multiple
+/// of 4096 transitions, and a truncation stops the advance at the boundary
+/// with only the codes before it consumed. Returns the consumed count and
+/// the truncation, if any.
+fn mirror_gap(
+    budget: &EnumBudget,
+    budgeted: bool,
+    states: usize,
+    start: Instant,
+    transitions: &mut u64,
+    gap: u64,
+) -> (u64, Option<Truncation>) {
+    if gap == 0 {
+        return (0, None);
+    }
+    if !budgeted {
+        *transitions += gap;
+        return (gap, None);
+    }
+    let mut consumed = 0u64;
+    let mut remaining = gap;
+    while remaining > 0 {
+        if transitions.is_multiple_of(4096) {
+            if let Some(t) = budget.check(states, *transitions, start) {
+                return (consumed, Some(t));
+            }
+        }
+        let to_boundary = 4096 - (*transitions % 4096);
+        let step = remaining.min(to_boundary);
+        *transitions += step;
+        consumed += step;
+        remaining -= step;
+    }
+    (consumed, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::enumerate::enumerate;
+    use crate::expr::BinaryOp;
+    use crate::graph::EdgePolicy;
+    use crate::mutate::{apply_mutation, mutation_sites};
+
+    /// A 3-bit counter that only counts when enabled: 8 states, 16 edges.
+    fn counter() -> Model {
+        let mut b = ModelBuilder::new("cnt");
+        let en = b.choice("en", 2);
+        let v = b.state_var("c", 8, 0);
+        let cur = b.var_expr(v);
+        let one = b.constant(1);
+        let inc = b.add(cur, one);
+        let next = b.ternary(b.choice_expr(en), inc, cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    /// Two interlocked counters routed through defs, with a `Select` in
+    /// one next function — covers every expression constructor the diff
+    /// and classifier handle.
+    fn interlocked() -> Model {
+        let mut b = ModelBuilder::new("lock");
+        let step_a = b.choice("step_a", 2);
+        let step_z = b.choice("step_z", 3);
+        let a = b.state_var("a", 4, 0);
+        let z = b.state_var("z", 4, 0);
+        let a_cur = b.var_expr(a);
+        let z_cur = b.var_expr(z);
+        let one = b.constant(1);
+        let four = b.constant(4);
+        let a_inc = b.add(a_cur, one);
+        let a_wrap = b.modulo(a_inc, four);
+        let z_zero = b.eq_const(z_cur, 0);
+        let go = b.and(b.choice_expr(step_a), z_zero);
+        let go_def = b.def("go", go);
+        let a_next = b.ternary(b.def_expr(go_def), a_wrap, a_cur);
+        b.set_next(a, a_next);
+        let z_inc = b.add(z_cur, one);
+        let z_wrap = b.modulo(z_inc, four);
+        let a_zero = b.eq_const(a_cur, 0);
+        let hold = b.eq_const(b.choice_expr(step_z), 0);
+        let z_next = b.select(vec![(hold, z_cur), (a_zero, z_wrap)], z_cur);
+        b.set_next(z, z_next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dep_sets_of_counter() {
+        let m = counter();
+        let d = DepSets::compute(&m);
+        assert_eq!(d.dims(), (1, 1, 0));
+        assert!(d.var_reads_var(VarId(0), VarId(0)));
+        assert!(d.var_reads_choice(VarId(0), 0));
+    }
+
+    #[test]
+    fn dep_sets_cover_defs_transitively() {
+        let m = interlocked();
+        let d = DepSets::compute(&m);
+        let a = m.var_by_name("a").unwrap();
+        let z = m.var_by_name("z").unwrap();
+        let go = m.def_by_name("go").unwrap();
+        // a's next goes through the `go` def, which reads z and step_a
+        assert!(d.var_reads_def(a, go));
+        assert!(d.var_reads_var(a, z));
+        assert!(d.var_reads_choice(a, 0));
+        // z's next reads both vars and step_z, but not the def
+        assert!(!d.var_reads_def(z, go));
+        assert!(d.var_reads_var(z, a));
+        assert!(d.var_reads_choice(z, 1));
+        assert!(d.def_reads_def(go, go));
+        assert_eq!(d.affected_vars(&[go], &[]), vec![a]);
+    }
+
+    #[test]
+    fn dep_sets_round_trip_through_rows() {
+        let d = DepSets::compute(&interlocked());
+        let (vr, dr) = d.rows();
+        let (nv, nc, nd) = d.dims();
+        let back = DepSets::from_rows(nv, nc, nd, vr.to_vec(), dr.to_vec()).unwrap();
+        assert_eq!(back, d);
+        assert!(DepSets::from_rows(nv + 1, nc, nd, vr.to_vec(), dr.to_vec()).is_none());
+    }
+
+    #[test]
+    fn identity_diff_maps_every_root() {
+        let m = interlocked();
+        let delta = ModelDelta::diff(&m, &m);
+        assert!(delta.is_compatible());
+        assert!(delta.is_identity());
+        for v in 0..m.vars().len() {
+            let root = m.vars()[v].next;
+            assert_eq!(delta.map_expr(root), Some(root));
+        }
+    }
+
+    #[test]
+    fn mutant_diffs_localize_the_change() {
+        let m = interlocked();
+        for site in mutation_sites(&m) {
+            let mutant = apply_mutation(&m, &site).unwrap();
+            let delta = ModelDelta::diff(&m, &mutant);
+            assert!(delta.is_compatible(), "{}", site.label());
+            assert!(!delta.is_identity(), "{}", site.label());
+            // at least one root moved, but never all of them for these
+            // single-site mutations on a two-var model with one def
+            let touched = delta.mutated_vars().len() + delta.mutated_defs().len();
+            assert!(touched >= 1, "{}", site.label());
+        }
+    }
+
+    #[test]
+    fn incompatible_models_fall_back() {
+        let a = counter();
+        let b = interlocked();
+        assert!(!ModelDelta::diff(&a, &b).is_compatible());
+        let ref_enum = enumerate(&a, &EnumConfig::default()).unwrap();
+        let d = enumerate_delta(&a, &ref_enum, &b, &EnumConfig::default()).unwrap();
+        assert!(d.delta.fallback);
+        let full = enumerate(&b, &EnumConfig::default()).unwrap();
+        assert_eq!(d.result.graph, full.graph);
+    }
+
+    #[test]
+    fn truncated_reference_falls_back() {
+        let m = counter();
+        let cfg = EnumConfig {
+            budget: EnumBudget { max_states: Some(4), ..EnumBudget::default() },
+            ..EnumConfig::default()
+        };
+        let partial = enumerate(&m, &cfg).unwrap();
+        assert!(!partial.is_complete());
+        let d = enumerate_delta(&m, &partial, &m, &EnumConfig::default()).unwrap();
+        assert!(d.delta.fallback);
+        assert_eq!(d.result.graph, enumerate(&m, &EnumConfig::default()).unwrap().graph);
+    }
+
+    #[test]
+    fn identity_delta_splices_every_state() {
+        let m = interlocked();
+        let full = enumerate(&m, &EnumConfig::default()).unwrap();
+        let d = enumerate_delta(&m, &full, &m, &EnumConfig::default()).unwrap();
+        assert_eq!(d.delta.evaluated_transitions, 0);
+        assert_eq!(d.delta.spliced_states, full.stats.states);
+        assert_eq!(d.delta.dirty_states, 0);
+        assert_identical(&d.result, &full);
+    }
+
+    /// Everything deterministic two enumerations can disagree on.
+    fn assert_identical(a: &EnumResult, b: &EnumResult) {
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.truncated, b.truncated);
+        assert_eq!(a.stats.states, b.stats.states);
+        assert_eq!(a.stats.edges, b.stats.edges);
+        assert_eq!(a.stats.max_depth, b.stats.max_depth);
+        assert_eq!(a.stats.transitions_evaluated, b.stats.transitions_evaluated);
+        assert_eq!(a.graph_stats.suppressed_duplicates, b.graph_stats.suppressed_duplicates);
+        assert_eq!(a.table.len(), b.table.len());
+        for i in 0..a.table.len() as u32 {
+            assert_eq!(a.table.packed(i), b.table.packed(i), "state {i}");
+        }
+    }
+
+    fn assert_mutants_identical(m: &Model, config: &EnumConfig) {
+        assert_mutants_identical_opts(m, config, false);
+    }
+
+    fn assert_mutants_identical_opts(m: &Model, config: &EnumConfig, with_dense: bool) {
+        // the reference must be complete; the variant runs under `config`
+        let ref_cfg = EnumConfig { budget: EnumBudget::default(), ..config.clone() };
+        let ref_enum = enumerate_with(m, &ref_cfg, m).unwrap();
+        let dense = if with_dense {
+            Some(RefDense::compute(m, &ref_enum, m).unwrap().expect("small model fits"))
+        } else {
+            None
+        };
+        for site in mutation_sites(m) {
+            let mutant = apply_mutation(m, &site).unwrap();
+            let full = enumerate(&mutant, config);
+            let opts = DeltaOptions { deps: None, dense: dense.as_ref() };
+            let delta = enumerate_delta_opts(m, &ref_enum, &mutant, config, &mutant, opts);
+            match (full, delta) {
+                (Ok(f), Ok(d)) => {
+                    assert!(!d.delta.fallback, "{}", site.label());
+                    assert_eq!(
+                        d.delta.evaluated_transitions
+                            + d.delta.mirrored_transitions
+                            + d.delta.patched_transitions,
+                        d.result.stats.transitions_evaluated,
+                        "{}: accounting must add up",
+                        site.label()
+                    );
+                    assert_identical(&d.result, &f);
+                }
+                (Err(ef), Err(ed)) => assert_eq!(ef, ed, "{}", site.label()),
+                (f, d) => panic!(
+                    "outcome mismatch for {}: full {:?} vs delta {:?}",
+                    site.label(),
+                    f.map(|r| r.stats.states),
+                    d.map(|r| r.result.stats.states)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn every_mutant_is_byte_identical_first_label() {
+        assert_mutants_identical(&interlocked(), &EnumConfig::default());
+    }
+
+    #[test]
+    fn every_mutant_is_byte_identical_all_labels() {
+        let cfg = EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() };
+        assert_mutants_identical(&interlocked(), &cfg);
+    }
+
+    #[test]
+    fn budget_truncations_are_byte_identical() {
+        let m = interlocked();
+        for max_transitions in [1u64, 3, 7, 20, 50, 101] {
+            let cfg = EnumConfig {
+                budget: EnumBudget {
+                    max_transitions: Some(max_transitions),
+                    ..EnumBudget::default()
+                },
+                ..EnumConfig::default()
+            };
+            assert_mutants_identical(&m, &cfg);
+        }
+        for max_states in [1usize, 2, 5, 11] {
+            let cfg = EnumConfig {
+                budget: EnumBudget { max_states: Some(max_states), ..EnumBudget::default() },
+                ..EnumConfig::default()
+            };
+            assert_mutants_identical(&m, &cfg);
+        }
+    }
+
+    #[test]
+    fn every_mutant_is_byte_identical_with_dense_table() {
+        assert_mutants_identical_opts(&interlocked(), &EnumConfig::default(), true);
+        let cfg = EnumConfig { edge_policy: EdgePolicy::AllLabels, ..EnumConfig::default() };
+        assert_mutants_identical_opts(&interlocked(), &cfg, true);
+    }
+
+    #[test]
+    fn budget_truncations_are_byte_identical_with_dense_table() {
+        // transition budgets that land inside a partially-spliced row must
+        // truncate at the same code a full sweep would
+        let m = interlocked();
+        for max_transitions in [1u64, 3, 7, 20, 50, 101] {
+            let cfg = EnumConfig {
+                budget: EnumBudget {
+                    max_transitions: Some(max_transitions),
+                    ..EnumBudget::default()
+                },
+                ..EnumConfig::default()
+            };
+            assert_mutants_identical_opts(&m, &cfg, true);
+        }
+    }
+
+    #[test]
+    fn identity_delta_with_dense_table_still_splices_everything() {
+        let m = interlocked();
+        let full = enumerate(&m, &EnumConfig::default()).unwrap();
+        let dense = RefDense::compute(&m, &full, &m).unwrap().unwrap();
+        let opts = DeltaOptions { deps: None, dense: Some(&dense) };
+        let d = enumerate_delta_opts(&m, &full, &m, &EnumConfig::default(), &m, opts).unwrap();
+        assert_eq!(d.delta.evaluated_transitions, 0);
+        assert_eq!(d.delta.spliced_states, full.stats.states);
+        assert_eq!(d.delta.partial_states, 0);
+        assert_identical(&d.result, &full);
+    }
+
+    #[test]
+    fn dense_table_enables_partial_rows() {
+        // across the interlocked model's mutant pool, at least one mutant
+        // must exercise the partial path (mirrored or patched codes inside
+        // an otherwise-dirty row) — otherwise the split plan degenerated
+        let m = interlocked();
+        let ref_enum = enumerate(&m, &EnumConfig::default()).unwrap();
+        let dense = RefDense::compute(&m, &ref_enum, &m).unwrap().unwrap();
+        let (mut any_partial, mut any_patched) = (false, false);
+        let mut evaluated_with = 0u64;
+        let mut evaluated_without = 0u64;
+        for site in mutation_sites(&m) {
+            let mutant = apply_mutation(&m, &site).unwrap();
+            let opts = DeltaOptions { deps: None, dense: Some(&dense) };
+            let Ok(with) =
+                enumerate_delta_opts(&m, &ref_enum, &mutant, &EnumConfig::default(), &mutant, opts)
+            else {
+                continue;
+            };
+            let without = enumerate_delta(&m, &ref_enum, &mutant, &EnumConfig::default()).unwrap();
+            any_partial |= with.delta.partial_states > 0;
+            any_patched |= with.delta.patched_transitions > 0;
+            evaluated_with += with.delta.evaluated_transitions;
+            evaluated_without += without.delta.evaluated_transitions;
+        }
+        assert!(any_partial, "no mutant took the partial-row path");
+        assert!(any_patched, "no mutant patched a successor");
+        assert!(
+            evaluated_with < evaluated_without,
+            "dense table did not reduce evaluated transitions \
+             ({evaluated_with} with vs {evaluated_without} without)"
+        );
+    }
+
+    #[test]
+    fn mod_by_zero_mutant_errors_identically() {
+        // next = cur % choice: fails whenever the divisor choice is 0
+        let mut b = ModelBuilder::new("divz");
+        let c = b.choice("d", 3);
+        let v = b.state_var("x", 4, 1);
+        let cur = b.var_expr(v);
+        b.set_next(v, b.binary(BinaryOp::Mod, cur, b.choice_expr(c)));
+        let bad = b.build().unwrap();
+
+        // reference: same shape but a safe divisor (choice + 1)
+        let mut b = ModelBuilder::new("divz");
+        let c = b.choice("d", 3);
+        let v = b.state_var("x", 4, 1);
+        let cur = b.var_expr(v);
+        let safe = b.add(b.choice_expr(c), b.constant(1));
+        b.set_next(v, b.binary(BinaryOp::Mod, cur, safe));
+        let good = b.build().unwrap();
+
+        let ref_enum = enumerate(&good, &EnumConfig::default()).unwrap();
+        let full = enumerate(&bad, &EnumConfig::default()).unwrap_err();
+        let delta = enumerate_delta(&good, &ref_enum, &bad, &EnumConfig::default()).unwrap_err();
+        assert_eq!(full, delta);
+    }
+
+    #[test]
+    fn single_node_mutants_splice_most_states() {
+        // stuck-at mutations on `go` only dirty states where the def's
+        // value actually changes; the evaluated-transition count must
+        // drop well below the full sweep's
+        let m = interlocked();
+        let full = enumerate(&m, &EnumConfig::default()).unwrap();
+        let sites = mutation_sites(&m);
+        let mut any_spliced = false;
+        for site in &sites {
+            let mutant = apply_mutation(&m, site).unwrap();
+            let d = enumerate_delta(&m, &full, &mutant, &EnumConfig::default()).unwrap();
+            if d.delta.spliced_states > 0 {
+                any_spliced = true;
+            }
+            assert_eq!(
+                d.delta.evaluated_transitions
+                    + d.delta.mirrored_transitions
+                    + d.delta.patched_transitions,
+                d.result.stats.transitions_evaluated,
+                "{}: accounting must add up",
+                site.label()
+            );
+        }
+        assert!(any_spliced, "no mutant spliced any state");
+    }
+
+    #[test]
+    fn state_limit_fires_identically() {
+        let m = counter();
+        let full_enum = enumerate(&m, &EnumConfig::default()).unwrap();
+        let cfg = EnumConfig { state_limit: 4, ..EnumConfig::default() };
+        let mut any_limited = false;
+        for site in mutation_sites(&m) {
+            let mutant = apply_mutation(&m, &site).unwrap();
+            let full = enumerate(&mutant, &cfg);
+            let delta = enumerate_delta(&m, &full_enum, &mutant, &cfg);
+            match (full, delta) {
+                (Ok(f), Ok(d)) => assert_identical(&d.result, &f),
+                (Err(ef), Err(ed)) => {
+                    assert_eq!(ef, ed, "{}", site.label());
+                    any_limited = true;
+                }
+                _ => panic!("state-limit outcome diverged for {}", site.label()),
+            }
+        }
+        assert!(any_limited, "no mutant tripped the state limit");
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod builder;
+pub mod delta;
 pub mod dump;
 pub mod engine;
 pub mod enumerate;
@@ -62,6 +63,10 @@ pub mod snapshot;
 pub mod stats;
 
 pub use builder::ModelBuilder;
+pub use delta::{
+    enumerate_delta, enumerate_delta_opts, enumerate_delta_with, DeltaEnumResult, DeltaOptions,
+    DeltaStats, DepSets, ModelDelta, RefDense,
+};
 pub use dump::{dump_enum_result, dump_model};
 pub use engine::{BatchError, EngineFactory, StepEngine, TreeEngine};
 pub use enumerate::{enumerate, enumerate_with, EnumBudget, EnumConfig, EnumResult, Truncation};

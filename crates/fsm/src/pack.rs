@@ -133,6 +133,12 @@ impl StateTable {
         self.index.get(packed.as_slice()).copied()
     }
 
+    /// Looks up an already-packed state without inserting it. Only
+    /// meaningful for words produced by an identical [`StateLayout`].
+    pub fn lookup_packed(&self, packed: &[u64]) -> Option<u32> {
+        self.index.get(packed).copied()
+    }
+
     /// Interns an already-packed state.
     pub fn intern_packed(&mut self, packed: &[u64]) -> (u32, bool) {
         if let Some(&id) = self.index.get(packed) {

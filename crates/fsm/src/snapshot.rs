@@ -7,7 +7,7 @@
 //! checksum trailer) so downstream runs can `--snapshot` the file instead
 //! of re-enumerating.
 //!
-//! Four chunks, all little-endian:
+//! Four chunks, all little-endian, plus one optional fifth:
 //!
 //! | tag    | contents                                                  |
 //! |--------|-----------------------------------------------------------|
@@ -15,6 +15,18 @@
 //! | `CSRG` | the CSR state graph (shared with `archval-graph`)         |
 //! | `STBL` | packed state words, id-major, with words-per-state        |
 //! | `STAT` | [`EnumStats`] and [`GraphStats`] of the producing run     |
+//! | `DEPS` | optional [`DepSets`] dependence rows (container v2+)      |
+//!
+//! Snapshots carrying only the four original chunks are stamped with the
+//! container's [`BASE_VERSION`] so their bytes stay stable across
+//! container-version bumps; writing the `DEPS` chunk (see
+//! [`snapshot_to_bytes_with_deps`]) stamps the current [`VERSION`].
+//! Readers skip chunks they do not recognise, so old readers load v2
+//! files minus the dependence sets, and [`load_enum_result_with_deps`]
+//! recomputes the sets when the chunk is missing or stale.
+//!
+//! [`BASE_VERSION`]: archval_graph::snapshot::BASE_VERSION
+//! [`VERSION`]: archval_graph::snapshot::VERSION
 //!
 //! Loading verifies the checksum, the model fingerprint and the CSR
 //! structure, and rebuilds the interned [`StateTable`] in id order, so a
@@ -27,10 +39,12 @@ use std::path::Path;
 use std::time::Duration;
 
 use archval_graph::snapshot::{
-    parse_chunks, read_graph, write_graph, Cursor, Fnv64, Payload, SnapshotWriter, GRAPH_CHUNK,
+    parse_chunks, read_graph, write_graph, Cursor, Fnv64, Payload, SnapshotWriter, BASE_VERSION,
+    GRAPH_CHUNK,
 };
 use archval_graph::{GraphStats, SnapshotError};
 
+use crate::delta::DepSets;
 use crate::enumerate::EnumResult;
 use crate::model::Model;
 use crate::pack::{StateLayout, StateTable};
@@ -42,6 +56,8 @@ pub const MODEL_CHUNK: [u8; 4] = *b"MODL";
 pub const TABLE_CHUNK: [u8; 4] = *b"STBL";
 /// Tag of the statistics chunk.
 pub const STATS_CHUNK: [u8; 4] = *b"STAT";
+/// Tag of the optional dependence-sets chunk (container version 2).
+pub const DEPS_CHUNK: [u8; 4] = *b"DEPS";
 
 /// Fingerprints the state-space-defining parts of a model: its name and
 /// the names, domain sizes and reset values of every state variable and
@@ -159,13 +175,73 @@ fn read_stats(payload: &[u8]) -> Result<(EnumStats, GraphStats), SnapshotError> 
 /// artifact and its truncation marker is deliberately not persisted —
 /// loading always yields `truncated: None`.
 pub fn snapshot_to_bytes(model: &Model, result: &EnumResult) -> Vec<u8> {
-    let mut w = SnapshotWriter::new();
+    // only base-version chunks: stamp BASE_VERSION so these bytes stay
+    // stable (and golden-tested) across container-version bumps
+    let mut w = SnapshotWriter::with_version(BASE_VERSION);
+    write_base_chunks(&mut w, model, result);
+    w.finish()
+}
+
+fn write_base_chunks(w: &mut SnapshotWriter, model: &Model, result: &EnumResult) {
     let mut fp = Payload::with_capacity(8);
     fp.push_u64(model_fingerprint(model));
     w.chunk(MODEL_CHUNK, &fp.into_bytes());
     w.chunk(GRAPH_CHUNK, &write_graph(&result.graph));
     w.chunk(TABLE_CHUNK, &write_table(result));
     w.chunk(STATS_CHUNK, &write_stats(&result.stats, &result.graph_stats));
+}
+
+fn write_deps(deps: &DepSets) -> Vec<u8> {
+    let (n_vars, n_choices, n_defs) = deps.dims();
+    let (var_rows, def_rows) = deps.rows();
+    let mut p = Payload::with_capacity(12 + (var_rows.len() + def_rows.len()) * 8);
+    p.push_u32(n_vars as u32);
+    p.push_u32(n_choices as u32);
+    p.push_u32(n_defs as u32);
+    for &w in var_rows {
+        p.push_u64(w);
+    }
+    for &w in def_rows {
+        p.push_u64(w);
+    }
+    p.into_bytes()
+}
+
+/// Reads a `DEPS` payload back, returning `None` when its dimensions do
+/// not match `model` (e.g. a snapshot written before the model grew a
+/// definition) — callers recompute on a miss rather than erroring.
+fn read_deps(payload: &[u8], model: &Model) -> Option<DepSets> {
+    let mut c = Cursor::new(payload);
+    let n_vars = c.read_u32().ok()? as usize;
+    let n_choices = c.read_u32().ok()? as usize;
+    let n_defs = c.read_u32().ok()? as usize;
+    if n_vars != model.vars().len()
+        || n_choices != model.choices().len()
+        || n_defs != model.defs().len()
+    {
+        return None;
+    }
+    let stride = DepSets::row_words(n_vars, n_choices, n_defs);
+    let mut var_rows = Vec::with_capacity(n_vars * stride);
+    for _ in 0..n_vars * stride {
+        var_rows.push(c.read_u64().ok()?);
+    }
+    let mut def_rows = Vec::with_capacity(n_defs * stride);
+    for _ in 0..n_defs * stride {
+        def_rows.push(c.read_u64().ok()?);
+    }
+    c.expect_end("trailing bytes after deps chunk").ok()?;
+    DepSets::from_rows(n_vars, n_choices, n_defs, var_rows, def_rows)
+}
+
+/// [`snapshot_to_bytes`] plus a `DEPS` chunk persisting the model's
+/// dependence sets, so delta enumeration against the loaded reference
+/// needs no re-lowering. Stamps the current container version; older
+/// readers still load the result and simply skip the extra chunk.
+pub fn snapshot_to_bytes_with_deps(model: &Model, result: &EnumResult, deps: &DepSets) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    write_base_chunks(&mut w, model, result);
+    w.chunk(DEPS_CHUNK, &write_deps(deps));
     w.finish()
 }
 
@@ -222,6 +298,25 @@ pub fn snapshot_from_bytes(model: &Model, bytes: &[u8]) -> Result<EnumResult, Sn
     Ok(EnumResult { graph, table, stats, graph_stats, truncated: None })
 }
 
+/// [`snapshot_from_bytes`] that additionally recovers the `DEPS` chunk.
+///
+/// The second element is the model's [`DepSets`]: taken from the chunk
+/// when present and dimensionally consistent with `model`, recomputed
+/// otherwise — so loads of pre-v2 snapshots (or snapshots of an edited
+/// model) transparently pay the one cheap arena scan.
+pub fn snapshot_from_bytes_with_deps(
+    model: &Model,
+    bytes: &[u8],
+) -> Result<(EnumResult, DepSets), SnapshotError> {
+    let result = snapshot_from_bytes(model, bytes)?;
+    let deps = parse_chunks(bytes)?
+        .iter()
+        .find(|&&(t, _)| t == DEPS_CHUNK)
+        .and_then(|&(_, p)| read_deps(p, model))
+        .unwrap_or_else(|| DepSets::compute(model));
+    Ok((result, deps))
+}
+
 /// Saves an enumeration result to a snapshot file.
 pub fn save_enum_result(
     path: impl AsRef<Path>,
@@ -232,6 +327,17 @@ pub fn save_enum_result(
     Ok(())
 }
 
+/// Saves an enumeration result plus its dependence sets (`DEPS` chunk).
+pub fn save_enum_result_with_deps(
+    path: impl AsRef<Path>,
+    model: &Model,
+    result: &EnumResult,
+    deps: &DepSets,
+) -> Result<(), SnapshotError> {
+    std::fs::write(path, snapshot_to_bytes_with_deps(model, result, deps))?;
+    Ok(())
+}
+
 /// Loads an enumeration result from a snapshot file saved by
 /// [`save_enum_result`] for the same model.
 pub fn load_enum_result(
@@ -239,6 +345,15 @@ pub fn load_enum_result(
     model: &Model,
 ) -> Result<EnumResult, SnapshotError> {
     snapshot_from_bytes(model, &std::fs::read(path)?)
+}
+
+/// Loads an enumeration result and its dependence sets — see
+/// [`snapshot_from_bytes_with_deps`] for the chunk-miss behaviour.
+pub fn load_enum_result_with_deps(
+    path: impl AsRef<Path>,
+    model: &Model,
+) -> Result<(EnumResult, DepSets), SnapshotError> {
+    snapshot_from_bytes_with_deps(model, &std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -345,6 +460,42 @@ mod tests {
         assert_eq!(r.graph.edge_count(), 4);
         let r2 = snapshot_from_bytes(&m, &snapshot_to_bytes(&m, &r)).unwrap();
         assert_eq!(r.graph, r2.graph);
+    }
+
+    #[test]
+    fn plain_snapshots_stay_base_version() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let bytes = snapshot_to_bytes(&m, &r);
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        assert_eq!(version, BASE_VERSION);
+    }
+
+    #[test]
+    fn deps_chunk_round_trips_and_bumps_version() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let deps = DepSets::compute(&m);
+        let bytes = snapshot_to_bytes_with_deps(&m, &r, &deps);
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        assert_eq!(version, archval_graph::snapshot::VERSION);
+        assert!(version > BASE_VERSION);
+        let (r2, deps2) = snapshot_from_bytes_with_deps(&m, &bytes).unwrap();
+        assert_eq!(r.graph, r2.graph);
+        assert_eq!(deps2, deps);
+        // the plain loader skips the chunk it does not ask for
+        let r3 = snapshot_from_bytes(&m, &bytes).unwrap();
+        assert_eq!(r.graph, r3.graph);
+    }
+
+    #[test]
+    fn missing_deps_chunk_recomputes() {
+        let m = counter();
+        let r = enumerate(&m, &EnumConfig::default()).unwrap();
+        let bytes = snapshot_to_bytes(&m, &r); // base version, no DEPS
+        let (r2, deps) = snapshot_from_bytes_with_deps(&m, &bytes).unwrap();
+        assert_eq!(r.graph, r2.graph);
+        assert_eq!(deps, DepSets::compute(&m));
     }
 
     #[test]

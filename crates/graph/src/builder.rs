@@ -171,6 +171,20 @@ impl GraphBuilder {
         true
     }
 
+    /// Records `n` duplicate-arc suppressions without replaying the
+    /// suppressed `add_edge` calls.
+    ///
+    /// This is the splice hook for incremental re-enumeration: a clean
+    /// reference row is replayed as its *recorded* edges only, and the
+    /// choice codes a full sweep would have evaluated and suppressed
+    /// between them are accounted here in bulk, so the finished
+    /// [`GraphStats::suppressed_duplicates`] matches a full enumeration
+    /// exactly. Suppressed calls have no other effect on builder state,
+    /// which is what makes the bulk form equivalent.
+    pub fn note_suppressed(&mut self, n: u64) {
+        self.suppressed += n;
+    }
+
     /// Leaves the sorted fast path: reconstructs per-edge sources (valid
     /// because sorted-mode sources were nondecreasing, so repeating each
     /// state `out_count[s]` times in id order reproduces insertion order)

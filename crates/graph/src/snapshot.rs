@@ -26,8 +26,16 @@ use crate::error::SnapshotError;
 /// First four bytes of every snapshot file.
 pub const MAGIC: [u8; 4] = *b"AVGS";
 
-/// Current container version. Readers reject anything newer.
-pub const VERSION: u32 = 1;
+/// Current container version. Readers reject anything newer but accept
+/// everything older — chunks they do not recognise are skipped, so a
+/// version bump only signals "this file may carry chunks older readers
+/// would ignore". Version history: 1 = MODL/CSRG/STBL/STAT, 2 = adds the
+/// optional DEPS dependence-set chunk written by `archval-fsm`.
+pub const VERSION: u32 = 2;
+
+/// The first container version; writers producing only version-1 chunks
+/// keep stamping it so their bytes stay stable across version bumps.
+pub const BASE_VERSION: u32 = 1;
 
 /// Tag of the CSR graph chunk.
 pub const GRAPH_CHUNK: [u8; 4] = *b"CSRG";
@@ -88,11 +96,20 @@ impl Default for SnapshotWriter {
 }
 
 impl SnapshotWriter {
-    /// Starts a snapshot (writes magic and version).
+    /// Starts a snapshot (writes magic and the current [`VERSION`]).
     pub fn new() -> Self {
+        SnapshotWriter::with_version(VERSION)
+    }
+
+    /// Starts a snapshot stamped with an explicit `version` — the hook
+    /// for writers that only emit chunks an older reader understands and
+    /// therefore want byte-stable output across container-version bumps
+    /// (e.g. the `archval-fsm` enumeration snapshot stays at
+    /// [`BASE_VERSION`] unless it carries a DEPS chunk).
+    pub fn with_version(version: u32) -> Self {
         let mut buf = Vec::new();
         buf.extend_from_slice(&MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
         SnapshotWriter { buf }
     }
 

@@ -32,7 +32,8 @@ use serde::{Deserialize, Serialize};
 use archval_exec::{apply_program_mutation, StepProgram};
 use archval_fsm::engine::EngineFactory;
 use archval_fsm::{
-    apply_mutation, enumerate, enumerate_with, EnumConfig, EnumResult, Model, SyncSim, Truncation,
+    apply_mutation, enumerate, enumerate_delta_opts, enumerate_with, DeltaOptions, DepSets,
+    EnumConfig, EnumResult, Model, RefDense, SyncSim, Truncation,
 };
 
 use crate::budget::RunBudget;
@@ -74,6 +75,18 @@ pub struct CampaignConfig {
     /// same typed verdicts, truncation points and checkpoint bytes — the
     /// enumerator caps batches at budget-check boundaries.
     pub batch_lanes: usize,
+    /// Re-enumerate model-level mutants incrementally against the
+    /// reference enumeration (stage 1 runs
+    /// [`enumerate_delta_with`] instead of a full sweep), splicing the
+    /// reference's successor rows for states the mutation provably
+    /// cannot affect. The spliced graph is byte-identical to a full
+    /// re-enumeration — verdicts, reports and checkpoint bytes do not
+    /// change, only wall-clock does. Full sweeps are used when this is
+    /// unset or the reference enumeration is truncated; program-level
+    /// and chaos mutants always sweep fully (they mutate the engine,
+    /// not the model, so the model-level dependence argument does not
+    /// apply to them).
+    pub delta: bool,
 }
 
 impl Default for CampaignConfig {
@@ -88,6 +101,7 @@ impl Default for CampaignConfig {
             halt_after: None,
             wedge_sleep: Duration::from_millis(25),
             batch_lanes: 1,
+            delta: true,
         }
     }
 }
@@ -227,8 +241,45 @@ pub fn run_campaign_streaming(
     observe: &(dyn Fn(&MutantOutcome) + Sync),
 ) -> Result<CampaignReport, Error> {
     let program = StepProgram::compile(model);
-    let suites = build_suites(model, enumd, &config.suite)?;
     let specs = generate_mutants(model, &program, config.mutant_limit, config.include_chaos);
+    run_campaign_core(model, enumd, &program, &specs, config, observe)
+}
+
+/// [`run_campaign_with`] over a caller-supplied mutant pool instead of
+/// the pool [`generate_mutants`] would derive — the entry point for
+/// matrix campaigns whose member pools are diffed from a reference
+/// member's pool ([`crate::mutant::diff_mutant_pool`]) rather than
+/// regenerated by a full site scan. `config.mutant_limit` and
+/// `config.include_chaos` are ignored: the pool *is* the campaign.
+/// Checkpoint resume validates labels against the supplied pool, so a
+/// checkpoint written under one pool is a typed error under another.
+pub fn run_campaign_with_pool(
+    model: &Model,
+    enumd: &EnumResult,
+    pool: &[MutantSpec],
+    config: &CampaignConfig,
+) -> Result<CampaignReport, Error> {
+    let program = StepProgram::compile(model);
+    run_campaign_core(model, enumd, &program, pool, config, &|_| {})
+}
+
+fn run_campaign_core(
+    model: &Model,
+    enumd: &EnumResult,
+    program: &StepProgram,
+    specs: &[MutantSpec],
+    config: &CampaignConfig,
+    observe: &(dyn Fn(&MutantOutcome) + Sync),
+) -> Result<CampaignReport, Error> {
+    let suites = build_suites(model, enumd, &config.suite)?;
+    // splice only against a complete reference: a truncated graph has
+    // rows the reference never finished, which no state may reuse
+    let delta_ref = (config.delta && enumd.is_complete()).then_some(enumd);
+    // the dense per-code successor table costs one extra reference sweep,
+    // paid once here and amortized across the whole mutant pool; models
+    // too large for it (or an erroring sweep) just skip partial-row
+    // splicing rather than fail the campaign
+    let dense = delta_ref.and_then(|r| RefDense::compute(model, r, program).ok().flatten());
 
     let mut done: Vec<Option<MutantOutcome>> = vec![None; specs.len()];
     if let Some(path) = &config.checkpoint {
@@ -286,7 +337,15 @@ pub fn run_campaign_streaming(
                 if done[id].is_some() {
                     continue;
                 }
-                let outcome = run_mutant(model, &program, &suites, spec, id, config);
+                let outcome = run_mutant(
+                    model,
+                    program,
+                    &suites,
+                    spec,
+                    id,
+                    config,
+                    delta_ref.map(|r| (r, dense.as_ref())),
+                );
                 let line = serde_json::to_string(&outcome).unwrap_or_default();
                 {
                     let mut guard = writer.lock().unwrap_or_else(|e| e.into_inner());
@@ -365,6 +424,7 @@ fn run_mutant(
     spec: &MutantSpec,
     id: usize,
     config: &CampaignConfig,
+    delta_ref: Option<(&EnumResult, Option<&RefDense>)>,
 ) -> MutantOutcome {
     let budget = &config.budget;
     let artifact: Result<Artifact, String> = match spec {
@@ -379,7 +439,17 @@ fn run_mutant(
 
     let (enumeration, blanket) = match &artifact {
         Ok(Artifact::Model(m)) => {
-            let outcome = enumerate_stage(m, m, budget, config.batch_lanes);
+            let outcome = match delta_ref {
+                Some((reference, dense)) => delta_enumerate_stage(
+                    model,
+                    reference,
+                    ref_program.dep_sets(),
+                    dense,
+                    m,
+                    budget,
+                ),
+                None => enumerate_stage(m, m, budget, config.batch_lanes),
+            };
             let blanket = outcome.blanket_verdict();
             (outcome, blanket)
         }
@@ -446,6 +516,48 @@ fn enumerate_stage(
             },
             Some(Truncation::States | Truncation::Transitions) => {
                 EnumOutcome::Exploded { states: result.graph.state_count() as u64 }
+            }
+            Some(Truncation::Deadline) => EnumOutcome::Timeout,
+        },
+        Ok(Err(e)) => EnumOutcome::Failed { error: e.to_string() },
+        Err(_panic) => EnumOutcome::Panicked,
+    }
+}
+
+/// Stage 1 for model-level mutants when the campaign holds a complete
+/// reference enumeration: budgeted, isolated *delta* re-enumeration.
+///
+/// [`enumerate_delta_opts`] produces a graph byte-identical to the full
+/// sweep — budgets are checked at the same transition counts whether a
+/// transition was evaluated or spliced — and falls back to a full sweep
+/// internally whenever splicing would be unsound, so the outcome mapping
+/// here is exactly [`enumerate_stage`]'s. The dense table, when the
+/// campaign could afford one, upgrades states the whole-row check cannot
+/// splice to per-choice-code mirroring and patching.
+fn delta_enumerate_stage(
+    reference: &Model,
+    ref_enum: &EnumResult,
+    deps: &DepSets,
+    dense: Option<&RefDense>,
+    mutant: &Model,
+    budget: &RunBudget,
+) -> EnumOutcome {
+    let config = EnumConfig {
+        budget: budget.enum_budget(),
+        // the soft budget must always fire before the hard state_limit
+        state_limit: usize::MAX,
+        ..Default::default()
+    };
+    let opts = DeltaOptions { deps: Some(deps), dense };
+    match run_isolated(|| enumerate_delta_opts(reference, ref_enum, mutant, &config, mutant, opts))
+    {
+        Ok(Ok(d)) => match d.result.truncated {
+            None => EnumOutcome::Completed {
+                states: d.result.graph.state_count() as u64,
+                edges: d.result.graph.edge_count() as u64,
+            },
+            Some(Truncation::States | Truncation::Transitions) => {
+                EnumOutcome::Exploded { states: d.result.graph.state_count() as u64 }
             }
             Some(Truncation::Deadline) => EnumOutcome::Timeout,
         },
@@ -640,6 +752,58 @@ mod tests {
         assert_eq!(seen, (0..streamed.mutants.len()).collect::<Vec<_>>());
         assert_eq!(streamed, run_campaign(&m, &quick_config()).unwrap());
         assert_eq!(streamed, run_campaign_with(&m, &enumd, &quick_config()).unwrap());
+    }
+
+    #[test]
+    fn delta_campaign_reports_byte_identically_to_full() {
+        let m = counter(3);
+        let mut full = quick_config();
+        full.delta = false;
+        let full_report = run_campaign(&m, &full).unwrap();
+        let delta_report = run_campaign(&m, &quick_config()).unwrap();
+        assert_eq!(full_report, delta_report);
+        assert_eq!(full_report.to_json().into_bytes(), delta_report.to_json().into_bytes());
+    }
+
+    #[test]
+    fn explicit_pool_matches_generated_pool() {
+        let m = counter(3);
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let cfg = quick_config();
+        let program = StepProgram::compile(&m);
+        let pool = generate_mutants(&m, &program, cfg.mutant_limit, cfg.include_chaos);
+        let pooled = run_campaign_with_pool(&m, &enumd, &pool, &cfg).unwrap();
+        assert_eq!(pooled, run_campaign_with(&m, &enumd, &cfg).unwrap());
+    }
+
+    #[test]
+    fn pool_checkpoint_validates_against_the_supplied_pool() {
+        let m = counter(3);
+        let enumd = enumerate(&m, &EnumConfig::default()).unwrap();
+        let program = StepProgram::compile(&m);
+        let pool = generate_mutants(&m, &program, 6, false);
+        let path = temp_path("pool_resume");
+        let _ = std::fs::remove_file(&path);
+
+        let mut cfg = quick_config();
+        cfg.checkpoint = Some(path.clone());
+        cfg.halt_after = Some(2);
+        let partial = run_campaign_with_pool(&m, &enumd, &pool, &cfg).unwrap();
+        assert!(!partial.complete);
+
+        // resuming under a *different* pool must be a typed error
+        cfg.halt_after = None;
+        let reordered: Vec<MutantSpec> = pool.iter().rev().cloned().collect();
+        let err = run_campaign_with_pool(&m, &enumd, &reordered, &cfg).unwrap_err();
+        assert!(matches!(err, Error::Checkpoint(_)), "{err}");
+
+        // resuming under the same pool completes byte-identically
+        let resumed = run_campaign_with_pool(&m, &enumd, &pool, &cfg).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        cfg.checkpoint = None;
+        let uninterrupted = run_campaign_with_pool(&m, &enumd, &pool, &cfg).unwrap();
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(resumed.to_json().into_bytes(), uninterrupted.to_json().into_bytes());
     }
 
     #[test]

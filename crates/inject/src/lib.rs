@@ -57,11 +57,11 @@ pub mod verdict;
 
 pub use budget::RunBudget;
 pub use campaign::{
-    run_campaign, run_campaign_streaming, run_campaign_with, CampaignConfig, CampaignReport,
-    KillRate, MutantOutcome, StrategyVerdict,
+    run_campaign, run_campaign_streaming, run_campaign_with, run_campaign_with_pool,
+    CampaignConfig, CampaignReport, KillRate, MutantOutcome, StrategyVerdict,
 };
 pub use guard::run_isolated;
-pub use mutant::{generate_mutants, ChaosKind, MutantSpec};
+pub use mutant::{diff_mutant_pool, generate_mutants, ChaosKind, MutantSpec};
 pub use stimulus::{build_suites, StimulusSuite, Strategy, SuiteConfig};
 pub use verdict::{EnumOutcome, Verdict};
 

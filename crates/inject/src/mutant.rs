@@ -1,7 +1,9 @@
 //! Mutant generation: which faults a campaign injects.
 
+use std::collections::HashSet;
+
 use archval_exec::{program_mutation_sites, ProgramMutation, StepProgram};
-use archval_fsm::{mutation_sites, Model, ModelMutation};
+use archval_fsm::{mutation_sites, Model, ModelDelta, ModelMutation};
 
 /// The three adversarial engines every default campaign carries; see
 /// [`crate::chaos`].
@@ -101,6 +103,103 @@ pub fn generate_mutants(
     out
 }
 
+/// Derives a campaign pool for `member` by *diffing* a reference pool
+/// instead of rescanning the member's mutation sites — the matrix
+/// campaign's companion to delta enumeration: when family members differ
+/// in a handful of arena nodes, almost every reference site maps
+/// verbatim through the expression-level [`ModelDelta`], and only the
+/// sites swallowed by the changed region are refilled from a fresh scan.
+///
+/// Mapping rules, per reference spec:
+///
+/// * model-level variable faults (`StuckVar` / `StuckBit`) carry over
+///   unchanged — compatible models share variable count, order and
+///   domains;
+/// * model-level expression faults remap their arena id through
+///   [`ModelDelta::map_expr`]; an unmapped site (it lies inside the
+///   changed region) is dropped and later refilled;
+/// * program-level faults pair positionally with `member_program`'s own
+///   deterministic site list (both lists enumerate the compiled
+///   instruction stream in order);
+/// * chaos mutants carry over verbatim.
+///
+/// Dropped sites are replaced from [`mutation_sites`]`(member)` in site
+/// order (skipping labels already present), keeping the pool at the
+/// reference pool's size whenever the member has enough sites. An
+/// incompatible member falls back to [`generate_mutants`] with the
+/// reference pool's size and chaos policy. Either way the result is
+/// deterministic in `(reference, ref_pool, member, member_program)`.
+pub fn diff_mutant_pool(
+    reference: &Model,
+    ref_pool: &[MutantSpec],
+    member: &Model,
+    member_program: &StepProgram,
+) -> Vec<MutantSpec> {
+    let include_chaos = ref_pool.iter().any(|s| matches!(s, MutantSpec::Chaos(_)));
+    let delta = ModelDelta::diff(reference, member);
+    if !delta.is_compatible() {
+        return generate_mutants(member, member_program, ref_pool.len(), include_chaos);
+    }
+
+    let member_program_sites = program_mutation_sites(member_program);
+    let mut next_program = 0usize;
+    let mut out = Vec::with_capacity(ref_pool.len());
+    let mut seen: HashSet<String> = HashSet::with_capacity(ref_pool.len());
+    let mut dropped = 0usize;
+    for spec in ref_pool {
+        let mapped = match spec {
+            MutantSpec::Model(m) => map_model_mutation(&delta, m).map(MutantSpec::Model),
+            MutantSpec::Program(_) => {
+                let slot = member_program_sites.get(next_program).cloned();
+                next_program += 1;
+                slot.map(MutantSpec::Program)
+            }
+            MutantSpec::Chaos(k) => Some(MutantSpec::Chaos(*k)),
+        };
+        match mapped {
+            Some(s) if seen.insert(s.label()) => out.push(s),
+            _ => dropped += 1,
+        }
+    }
+    if dropped > 0 {
+        for site in mutation_sites(member) {
+            if out.len() >= ref_pool.len() {
+                break;
+            }
+            let s = MutantSpec::Model(site);
+            if seen.insert(s.label()) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Remaps one model-level mutation onto the member via the delta's
+/// identical-node map. A mapped site is always applicable: an `Identical`
+/// pair has the same constructor and (recursively) the same children, so
+/// node-kind and constant-operand preconditions carry over, and
+/// compatibility pins variable and choice domains.
+fn map_model_mutation(delta: &ModelDelta, m: &ModelMutation) -> Option<ModelMutation> {
+    Some(match m {
+        ModelMutation::StuckVar { .. } | ModelMutation::StuckBit { .. } => m.clone(),
+        ModelMutation::InvertCond { expr } => {
+            ModelMutation::InvertCond { expr: delta.map_expr(*expr)? }
+        }
+        ModelMutation::InvertGuard { expr, arm } => {
+            ModelMutation::InvertGuard { expr: delta.map_expr(*expr)?, arm: *arm }
+        }
+        ModelMutation::CollapseChoice { expr, value } => {
+            ModelMutation::CollapseChoice { expr: delta.map_expr(*expr)?, value: *value }
+        }
+        ModelMutation::OffByOne { expr, operand, delta: nudge } => ModelMutation::OffByOne {
+            expr: delta.map_expr(*expr)?,
+            operand: *operand,
+            delta: *nudge,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +259,95 @@ mod tests {
         let specs = generate_mutants(&m, &p, 10_000, false);
         let total = mutation_sites(&m).len() + program_mutation_sites(&p).len();
         assert_eq!(specs.len(), total);
+    }
+
+    /// Select + comparison-with-constant model: rich in expression-level
+    /// mutation sites, so a diffed member pool can always refill.
+    fn boundary() -> Model {
+        use archval_fsm::expr::BinaryOp;
+        let mut b = ModelBuilder::new("boundary");
+        let go = b.choice("go", 2);
+        let v = b.state_var("v", 8, 0);
+        let cur = b.var_expr(v);
+        let at_top = b.binary(BinaryOp::Ge, cur, b.constant(6));
+        let bumped = b.add(cur, b.constant(1));
+        let next = b.select(vec![(at_top, b.constant(0)), (b.choice_expr(go), bumped)], cur);
+        b.set_next(v, next);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diffed_pool_preserves_size_labels_and_applicability() {
+        let reference = boundary();
+        let ref_program = StepProgram::compile(&reference);
+        let ref_pool = generate_mutants(&reference, &ref_program, 16, true);
+
+        // a near-identical family member: the reference with one
+        // off-by-one nudge applied (same vars/choices, one arena region
+        // changed)
+        let nudge = mutation_sites(&reference)
+            .into_iter()
+            .find(|s| matches!(s, archval_fsm::ModelMutation::OffByOne { .. }))
+            .unwrap();
+        let member = archval_fsm::apply_mutation(&reference, &nudge).unwrap();
+        let member_program = StepProgram::compile(&member);
+
+        let pool = diff_mutant_pool(&reference, &ref_pool, &member, &member_program);
+        assert_eq!(pool.len(), ref_pool.len());
+        let labels: std::collections::HashSet<String> =
+            pool.iter().map(MutantSpec::label).collect();
+        assert_eq!(labels.len(), pool.len(), "diffed labels must stay unique");
+        assert_eq!(
+            pool.iter().filter(|s| s.family() == "chaos").count(),
+            ref_pool.iter().filter(|s| s.family() == "chaos").count()
+        );
+        // a one-node nudge leaves most reference sites mappable verbatim
+        let ref_labels: std::collections::HashSet<String> =
+            ref_pool.iter().map(MutantSpec::label).collect();
+        let carried = pool.iter().filter(|s| ref_labels.contains(&s.label())).count();
+        assert!(carried * 2 > pool.len(), "only {carried}/{} sites carried over", pool.len());
+        for spec in &pool {
+            match spec {
+                MutantSpec::Model(m) => {
+                    archval_fsm::apply_mutation(&member, m)
+                        .unwrap_or_else(|e| panic!("{}: {e}", m.label()));
+                }
+                MutantSpec::Program(p) => {
+                    archval_exec::apply_program_mutation(&member_program, p)
+                        .unwrap_or_else(|e| panic!("{}: {e}", p.label()));
+                }
+                MutantSpec::Chaos(_) => {}
+            }
+        }
+        // deterministic in its inputs
+        assert_eq!(pool, diff_mutant_pool(&reference, &ref_pool, &member, &member_program));
+    }
+
+    #[test]
+    fn identity_member_diffs_to_the_reference_pool() {
+        let m = counter();
+        let p = StepProgram::compile(&m);
+        let ref_pool = generate_mutants(&m, &p, 12, true);
+        assert_eq!(diff_mutant_pool(&m, &ref_pool, &m, &p), ref_pool);
+    }
+
+    #[test]
+    fn incompatible_member_falls_back_to_a_fresh_scan() {
+        let reference = counter();
+        let ref_program = StepProgram::compile(&reference);
+        let ref_pool = generate_mutants(&reference, &ref_program, 8, false);
+
+        let mut b = ModelBuilder::new("other");
+        let en = b.choice("enable", 2);
+        let a = b.state_var("a", 4, 0);
+        let z = b.state_var("z", 4, 0);
+        let next = b.ternary(b.choice_expr(en), b.var_expr(z), b.var_expr(a));
+        b.set_next(a, next);
+        b.set_next(z, b.var_expr(z));
+        let member = b.build().unwrap();
+        let member_program = StepProgram::compile(&member);
+
+        let pool = diff_mutant_pool(&reference, &ref_pool, &member, &member_program);
+        assert_eq!(pool, generate_mutants(&member, &member_program, ref_pool.len(), false));
     }
 }

@@ -27,12 +27,13 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::sync::{Condvar, Mutex};
 
 use archval_exec::StepProgram;
 use archval_fsm::{
     enumerate_parallel_with, load_enum_result, save_enum_result, EnumConfig, EnumResult, Model,
+    RefDense,
 };
 
 /// Cache sizing and load policy.
@@ -77,6 +78,25 @@ pub struct CachedGraph {
     pub program: StepProgram,
     /// Approximate resident bytes charged against the cap.
     pub bytes: usize,
+    /// Dense per-code successor table for delta requests, built lazily on
+    /// the first delta against this entry and shared by all later ones.
+    /// `None` once initialized means the graph was too large (or its
+    /// sweep failed) — delta requests then splice whole rows only.
+    dense: OnceLock<Option<RefDense>>,
+}
+
+impl CachedGraph {
+    /// The dense reference table, computing it on first use. The one-off
+    /// sweep (comparable to a single enumeration) is amortized across
+    /// every delta request that names this fingerprint.
+    #[must_use]
+    pub fn dense(&self) -> Option<&RefDense> {
+        self.dense
+            .get_or_init(|| {
+                RefDense::compute(&self.model, &self.enumd, &self.program).ok().flatten()
+            })
+            .as_ref()
+    }
 }
 
 /// Where a [`GraphCache::get`] found its graph.
@@ -353,8 +373,14 @@ impl GraphCache {
         };
 
         let bytes = enumd.stats.approx_memory_bytes;
-        let entry =
-            Arc::new(CachedGraph { fingerprint: fp, model: model.clone(), enumd, program, bytes });
+        let entry = Arc::new(CachedGraph {
+            fingerprint: fp,
+            model: model.clone(),
+            enumd,
+            program,
+            bytes,
+            dense: OnceLock::new(),
+        });
         {
             let mut inner = self.inner.lock().unwrap();
             inner.map.insert(fp, Slot::Ready(entry.clone()));

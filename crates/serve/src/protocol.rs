@@ -24,6 +24,10 @@
 //!   resident in the server's cache; skips model resolution entirely.
 //!   An unknown fingerprint fails with the `unknown_fingerprint` error
 //!   kind.
+//! - `delta`: 16-hex-digit fingerprint of a resident *reference* graph;
+//!   an `enumerate` request's model is then enumerated incrementally
+//!   against it (byte-identical result, spliced where the change cannot
+//!   reach). Unknown references also fail with `unknown_fingerprint`.
 //! - `budget`: per-request resource envelope; absent fields fall back to
 //!   [`RunBudget::default`].
 //! - `seed`, `cycles`, `mutants`, `chaos`, `threads`: campaign knobs.
@@ -166,6 +170,15 @@ pub struct Request {
     /// skips model resolution and serves from the cache (or fails with
     /// `unknown_fingerprint`).
     pub fingerprint: Option<u64>,
+    /// Fingerprint of a resident *reference* graph to enumerate this
+    /// request's model incrementally against
+    /// ([`archval_fsm::enumerate_delta_with`]): states the model change
+    /// provably cannot affect splice the reference's successor rows
+    /// instead of re-evaluating them. The produced graph is
+    /// byte-identical to a full enumeration. Only meaningful for
+    /// `enumerate`; an absent reference fails with the
+    /// `unknown_fingerprint` error kind.
+    pub delta: Option<u64>,
     /// Resource envelope; `None` means all defaults.
     pub budget: Option<BudgetSpec>,
     /// RNG seed for fuzz campaigns.
@@ -189,6 +202,7 @@ impl Request {
             id: String::new(),
             model: None,
             fingerprint: None,
+            delta: None,
             budget: None,
             seed: 0,
             cycles: None,
@@ -235,6 +249,13 @@ impl Request {
                         req.fingerprint = Some(
                             u64::from_str_radix(&s, 16)
                                 .map_err(|_| p.error("\"fingerprint\" must be a hex string"))?,
+                        );
+                    }
+                    "delta" => {
+                        let s = p.parse_string()?;
+                        req.delta = Some(
+                            u64::from_str_radix(&s, 16)
+                                .map_err(|_| p.error("\"delta\" must be a hex string"))?,
                         );
                     }
                     "verilog" => verilog = Some(p.parse_string()?),
@@ -302,6 +323,9 @@ impl Request {
         }
         if let Some(fp) = self.fingerprint {
             let _ = write!(out, ",\"fingerprint\":\"{fp:016x}\"");
+        }
+        if let Some(fp) = self.delta {
+            let _ = write!(out, ",\"delta\":\"{fp:016x}\"");
         }
         if let Some(b) = &self.budget {
             out.push_str(",\"budget\":{");
@@ -412,7 +436,8 @@ pub enum Event {
     GraphReady {
         /// Job id.
         id: String,
-        /// `"cache"`, `"snapshot"`, `"enumerated"` or `"budgeted"`.
+        /// `"cache"`, `"snapshot"`, `"enumerated"`, `"budgeted"` or
+        /// `"delta"`.
         source: &'static str,
         /// States in the graph.
         states: usize,
@@ -688,6 +713,22 @@ mod tests {
         r.id = "t2".into();
         r.fingerprint = Some(0xdead_beef);
         assert_eq!(Request::parse(&r.to_json()).unwrap(), r, "fingerprint round-trips");
+    }
+
+    #[test]
+    fn parse_delta_reference_field() {
+        let r = Request::parse(
+            r#"{"cmd":"enumerate","id":"e1","model":"pp-micro","delta":"00ab00cd00ef0012"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.delta, Some(0x00ab_00cd_00ef_0012));
+        assert!(Request::parse(r#"{"cmd":"enumerate","delta":"nope"}"#).is_err());
+
+        let mut r = Request::new(Cmd::Enumerate);
+        r.id = "e2".into();
+        r.model = Some(ModelRef::Named("pp-micro".into()));
+        r.delta = Some(0x1234_5678_9abc_def0);
+        assert_eq!(Request::parse(&r.to_json()).unwrap(), r, "delta round-trips");
     }
 
     #[test]

@@ -47,7 +47,7 @@ use std::time::Instant;
 use archval::{fuzz_campaign_with_feedback, tour_campaign};
 use archval_exec::StepProgram;
 use archval_fsm::SyncSim;
-use archval_fsm::{enumerate_parallel_with, EnumConfig, Model};
+use archval_fsm::{enumerate_delta_opts, enumerate_parallel_with, DeltaOptions, EnumConfig, Model};
 use archval_fuzz::{Feedback, FuzzConfig, GraphFeedback, Observation, Trace};
 use archval_inject::{run_campaign_streaming, run_isolated, CampaignConfig};
 use archval_pp::{pp_control_model, resolve_preset, DesignSpec};
@@ -417,6 +417,62 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
     });
     let budget = req.budget.unwrap_or_default().to_run_budget();
     let setup = Instant::now();
+
+    // The incremental path: enumerate this model against a resident
+    // reference graph, splicing the reference's successor rows for
+    // states the model change cannot affect. The result is byte-identical
+    // to a full enumeration but may be truncated under a budget, so like
+    // the budgeted path it bypasses the cache.
+    if req.cmd == Cmd::Enumerate {
+        if let Some(ref_fp) = req.delta {
+            let Some(reference) = shared.cache.lookup(ref_fp) else {
+                return Err(JobError {
+                    kind: "unknown_fingerprint",
+                    detail: format!(
+                        "no resident reference graph for delta fingerprint {ref_fp:016x}; \
+                         enumerate the reference first (or resubmit without \"delta\")"
+                    ),
+                });
+            };
+            let program = StepProgram::compile(&model);
+            let mut config = EnumConfig::default();
+            if req.budget.is_some_and(|b| b.is_set()) {
+                config.budget = budget.enum_budget();
+            }
+            let d = enumerate_delta_opts(
+                &reference.model,
+                &reference.enumd,
+                &model,
+                &config,
+                &program,
+                DeltaOptions {
+                    deps: Some(reference.program.dep_sets()),
+                    // lazily built on the first delta against this entry,
+                    // then shared by every later one
+                    dense: reference.dense(),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let r = d.result;
+            sink.emit(&Event::GraphReady {
+                id: id.clone(),
+                source: "delta",
+                states: r.graph.state_count(),
+                edges: r.graph.edge_count(),
+                setup_ms: setup.elapsed().as_millis() as u64,
+            });
+            let report = EnumReport {
+                states: r.stats.states,
+                bits_per_state: r.stats.bits_per_state,
+                edges: r.stats.edges,
+                transitions_evaluated: r.stats.transitions_evaluated,
+                max_depth: r.stats.max_depth,
+                truncated: r.truncated.map(|t| format!("{t:?}").to_lowercase()),
+            };
+            let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+            return Ok(finish(shared, sink, id, req.cmd.name(), json)?);
+        }
+    }
 
     // A budgeted enumerate is a bounded exploration job: it may truncate,
     // so it bypasses the cache (which holds only complete enumerations).

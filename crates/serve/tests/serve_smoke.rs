@@ -236,6 +236,57 @@ fn spec_requests_and_fingerprint_fast_path() {
 }
 
 #[test]
+fn delta_enumerate_against_resident_reference() {
+    let d = dirs("delta");
+    let child = start_server(&d);
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+
+    // a delta reference nothing has loaded yet is a typed error
+    let mut r = micro_request(Cmd::Enumerate, "d-cold");
+    r.delta = Some(0xdead_beef);
+    c.send(&r).unwrap();
+    let lines = c.recv_until("error").unwrap();
+    let err = lines.iter().find(|l| line_is_event(l, "error")).unwrap();
+    assert_eq!(field(err, "kind"), Some("unknown_fingerprint"), "{err}");
+
+    // make the reference graph resident
+    c.send(&micro_request(Cmd::Enumerate, "d-ref")).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let accepted = lines.iter().find(|l| line_is_event(l, "accepted")).unwrap();
+    let fp = u64::from_str_radix(field(accepted, "fingerprint").unwrap(), 16).unwrap();
+    let ref_report = lines.iter().find(|l| line_is_event(l, "report")).unwrap().clone();
+
+    // incremental enumeration against the resident reference: spliced,
+    // and byte-identical in every reported figure
+    let mut r = micro_request(Cmd::Enumerate, "d-warm");
+    r.delta = Some(fp);
+    c.send(&r).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let ready = lines.iter().find(|l| line_is_event(l, "graph_ready")).unwrap();
+    assert_eq!(field(ready, "source"), Some("delta"), "{ready}");
+    let report = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    for key in ["states", "edges", "transitions_evaluated", "max_depth"] {
+        assert_eq!(field(report, key), field(&ref_report, key), "{key}: {report}");
+    }
+
+    // an incompatible model falls back to a full sweep inside the delta
+    // enumerator — still served, still correct
+    let mut r = Request::new(Cmd::Enumerate);
+    r.id = "d-other".into();
+    r.model = Some(ModelRef::Named("beats=2,ways=2,spill=2".into()));
+    r.delta = Some(fp);
+    c.send(&r).unwrap();
+    let lines = c.recv_until("done").unwrap();
+    let ready = lines.iter().find(|l| line_is_event(l, "graph_ready")).unwrap();
+    assert_eq!(field(ready, "source"), Some("delta"), "{ready}");
+    let report = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
+    assert!(report.contains("\"states\":"), "{report}");
+
+    shutdown_server(&d, child);
+    std::fs::remove_dir_all(&d.root).ok();
+}
+
+#[test]
 fn sigkill_mid_campaign_resumes_to_byte_identical_report() {
     let req = inject_request("camp");
 

@@ -1,0 +1,257 @@
+//! System-level differential equivalence of incremental (delta)
+//! re-enumeration and full re-enumeration on the real PP control model.
+//!
+//! The splice contract says `enumerate_delta*` is *byte-identical* to a
+//! full `enumerate_with` of the variant under the same config — graph,
+//! state table, deterministic stats, truncation points and errors — with
+//! only the evaluated-transition count shrinking. The unit suite in
+//! `crates/fsm/src/delta.rs` proves this on small hand-built models; this
+//! suite holds it on the micro PP control model across its real mutation
+//! sites, through the whole-row splice path, the dense partial-row path,
+//! budget truncations, and the fault-injection campaign that rides on it.
+
+use archval::exec::StepProgram;
+use archval::fsm::{
+    apply_mutation, dump_enum_result, enumerate_delta_opts, enumerate_with, mutation_sites,
+    DeltaOptions, EnumBudget, EnumConfig, EnumResult, Model, RefDense, Truncation,
+};
+use archval::inject::{run_campaign_with, CampaignConfig, RunBudget, SuiteConfig};
+use archval::pp::testkit;
+
+/// Everything deterministic two enumerations can disagree on. Wall-clock
+/// (`elapsed`) and heap (`approx_memory_bytes`) are measurements, not
+/// part of the contract.
+fn assert_identical(model: &Model, full: &EnumResult, delta: &EnumResult, what: &str) {
+    assert_eq!(full.truncated, delta.truncated, "{what}: truncation");
+    assert_eq!(full.stats.states, delta.stats.states, "{what}: states");
+    assert_eq!(full.stats.bits_per_state, delta.stats.bits_per_state, "{what}: bits");
+    assert_eq!(full.stats.edges, delta.stats.edges, "{what}: edges");
+    assert_eq!(
+        full.stats.transitions_evaluated, delta.stats.transitions_evaluated,
+        "{what}: transition count"
+    );
+    assert_eq!(full.stats.max_depth, delta.stats.max_depth, "{what}: depth");
+    assert_eq!(
+        full.graph_stats.suppressed_duplicates, delta.graph_stats.suppressed_duplicates,
+        "{what}: suppressed duplicates"
+    );
+    assert_eq!(dump_enum_result(model, full), dump_enum_result(model, delta), "{what}: dump");
+}
+
+/// Runs one mutant through the full path and a delta path, asserting the
+/// two agree — on success bytes or on the exact error.
+fn assert_mutant_agrees(
+    reference: &Model,
+    ref_enum: &EnumResult,
+    deps: &archval::fsm::DepSets,
+    dense: Option<&RefDense>,
+    mutant: &Model,
+    config: &EnumConfig,
+    what: &str,
+) {
+    let factory = StepProgram::compile(mutant);
+    let full = enumerate_with(mutant, config, &factory);
+    let opts = DeltaOptions { deps: Some(deps), dense };
+    let delta = enumerate_delta_opts(reference, ref_enum, mutant, config, &factory, opts);
+    match (full, delta) {
+        (Ok(f), Ok(d)) => {
+            assert!(!d.delta.fallback, "{what}: single-site mutant must not fall back");
+            assert_eq!(
+                d.delta.evaluated_transitions
+                    + d.delta.mirrored_transitions
+                    + d.delta.patched_transitions,
+                d.result.stats.transitions_evaluated,
+                "{what}: accounting must add up"
+            );
+            assert_identical(mutant, &f, &d.result, what);
+        }
+        (Err(ef), Err(ed)) => assert_eq!(ef, ed, "{what}: errors must match"),
+        (f, d) => panic!(
+            "{what}: outcome mismatch: full {:?} vs delta {:?}",
+            f.map(|r| r.stats.states),
+            d.map(|r| r.result.stats.states)
+        ),
+    }
+}
+
+/// Evenly strided sample of the model's mutation sites, capped so the
+/// suite stays CI-friendly while every fault family stays represented.
+fn sampled_sites(model: &Model, cap: usize) -> Vec<archval::fsm::ModelMutation> {
+    let sites = mutation_sites(model);
+    let stride = sites.len().div_ceil(cap).max(1);
+    sites.into_iter().step_by(stride).collect()
+}
+
+#[test]
+fn pp_micro_mutants_are_byte_identical_through_both_delta_paths() {
+    let model = testkit::micro_model().1;
+    let program = StepProgram::compile(&model);
+    let config = EnumConfig::default();
+    let ref_enum = enumerate_with(&model, &config, &program).unwrap();
+    assert!(ref_enum.is_complete());
+    let dense = RefDense::compute(&model, &ref_enum, &program)
+        .unwrap()
+        .expect("micro reference fits the dense table");
+
+    let mut any_partial = false;
+    for site in sampled_sites(&model, 24) {
+        let mutant = apply_mutation(&model, &site).unwrap();
+        // whole-row splicing only
+        assert_mutant_agrees(
+            &model,
+            &ref_enum,
+            program.dep_sets(),
+            None,
+            &mutant,
+            &config,
+            &format!("{} (rows)", site.label()),
+        );
+        // dense partial-row splicing
+        assert_mutant_agrees(
+            &model,
+            &ref_enum,
+            program.dep_sets(),
+            Some(&dense),
+            &mutant,
+            &config,
+            &format!("{} (dense)", site.label()),
+        );
+        let factory = StepProgram::compile(&mutant);
+        let opts = DeltaOptions { deps: Some(program.dep_sets()), dense: Some(&dense) };
+        if let Ok(d) = enumerate_delta_opts(&model, &ref_enum, &mutant, &config, &factory, opts) {
+            any_partial |= d.delta.partial_states > 0;
+        }
+    }
+    assert!(any_partial, "no sampled mutant exercised the partial-row path");
+}
+
+#[test]
+fn pp_micro_identity_delta_is_a_pure_splice() {
+    let model = testkit::micro_model().1;
+    let program = StepProgram::compile(&model);
+    let config = EnumConfig::default();
+    let ref_enum = enumerate_with(&model, &config, &program).unwrap();
+    let dense = RefDense::compute(&model, &ref_enum, &program).unwrap().unwrap();
+    for dense in [None, Some(&dense)] {
+        let opts = DeltaOptions { deps: Some(program.dep_sets()), dense };
+        let d = enumerate_delta_opts(&model, &ref_enum, &model, &config, &program, opts).unwrap();
+        assert_eq!(d.delta.evaluated_transitions, 0);
+        assert_eq!(d.delta.dirty_states, 0);
+        assert_eq!(d.delta.partial_states, 0);
+        assert_eq!(d.delta.spliced_states, ref_enum.stats.states);
+        assert_identical(&model, &ref_enum, &d.result, "identity");
+    }
+}
+
+#[test]
+fn pp_micro_budget_truncations_match_through_both_paths() {
+    let model = testkit::micro_model().1;
+    let program = StepProgram::compile(&model);
+    let ref_enum = enumerate_with(&model, &EnumConfig::default(), &program).unwrap();
+    let dense = RefDense::compute(&model, &ref_enum, &program).unwrap().unwrap();
+
+    // deterministic budgets only: states (→ Truncation::States) and
+    // transitions (→ Truncation::Transitions, checked at 4096-transition
+    // boundaries, so these land mid-row for the micro model's rows)
+    let budgets = [
+        EnumBudget { max_states: Some(16), ..EnumBudget::default() },
+        EnumBudget { max_states: Some(100), ..EnumBudget::default() },
+        EnumBudget { max_transitions: Some(4_096), ..EnumBudget::default() },
+        EnumBudget { max_transitions: Some(50_000), ..EnumBudget::default() },
+    ];
+    for (i, budget) in budgets.into_iter().enumerate() {
+        let config = EnumConfig { budget, ..EnumConfig::default() };
+        for (j, site) in sampled_sites(&model, 6).iter().enumerate() {
+            let mutant = apply_mutation(&model, site).unwrap();
+            assert_mutant_agrees(
+                &model,
+                &ref_enum,
+                program.dep_sets(),
+                Some(&dense),
+                &mutant,
+                &config,
+                &format!("budget {i}, site {j} ({})", site.label()),
+            );
+        }
+        // the truncation must actually fire for the un-mutated model too
+        let d = enumerate_delta_opts(
+            &model,
+            &ref_enum,
+            &model,
+            &config,
+            &program,
+            DeltaOptions { deps: Some(program.dep_sets()), dense: Some(&dense) },
+        )
+        .unwrap();
+        let full = enumerate_with(&model, &config, &program).unwrap();
+        assert!(
+            matches!(full.truncated, Some(Truncation::States | Truncation::Transitions)),
+            "budget {i} did not truncate"
+        );
+        assert_identical(&model, &full, &d.result, &format!("budget {i} identity"));
+    }
+}
+
+/// A campaign config small enough for CI but large enough to cover every
+/// model-mutant verdict class.
+fn quick_campaign() -> CampaignConfig {
+    CampaignConfig {
+        mutant_limit: 6,
+        include_chaos: false,
+        budget: RunBudget {
+            max_states: 1 << 14,
+            max_transitions: 1 << 22,
+            deadline: std::time::Duration::from_secs(120),
+            max_cycles: 512,
+        },
+        suite: SuiteConfig {
+            fuzz_cycles: 512,
+            random_seqs: 4,
+            random_len: 64,
+            ..Default::default()
+        },
+        threads: 1,
+        checkpoint: None,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn pp_micro_campaign_reports_are_byte_identical_with_and_without_delta() {
+    let model = testkit::micro_model().1;
+    let program = StepProgram::compile(&model);
+    let enumd = enumerate_with(&model, &EnumConfig::default(), &program).unwrap();
+
+    let delta_report = run_campaign_with(&model, &enumd, &quick_campaign()).unwrap();
+    let full_report =
+        run_campaign_with(&model, &enumd, &CampaignConfig { delta: false, ..quick_campaign() })
+            .unwrap();
+    assert!(delta_report.complete);
+    assert_eq!(delta_report, full_report);
+    assert_eq!(delta_report.to_json().into_bytes(), full_report.to_json().into_bytes());
+}
+
+#[test]
+fn pp_micro_delta_campaign_resumes_byte_identically_from_a_checkpoint() {
+    let model = testkit::micro_model().1;
+    let program = StepProgram::compile(&model);
+    let enumd = enumerate_with(&model, &EnumConfig::default(), &program).unwrap();
+    let path = std::env::temp_dir()
+        .join(format!("archval-incremental-resume-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let uninterrupted = run_campaign_with(&model, &enumd, &quick_campaign()).unwrap();
+
+    let halted_cfg =
+        CampaignConfig { checkpoint: Some(path.clone()), halt_after: Some(2), ..quick_campaign() };
+    let partial = run_campaign_with(&model, &enumd, &halted_cfg).unwrap();
+    assert!(!partial.complete);
+
+    let resumed_cfg = CampaignConfig { checkpoint: Some(path.clone()), ..quick_campaign() };
+    let resumed = run_campaign_with(&model, &enumd, &resumed_cfg).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    assert!(resumed.complete);
+    assert_eq!(resumed, uninterrupted);
+    assert_eq!(resumed.to_json().into_bytes(), uninterrupted.to_json().into_bytes());
+}
