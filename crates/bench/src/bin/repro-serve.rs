@@ -11,23 +11,36 @@
 //! 1. **cold** — the first `enumerate` request ever (re-enumerates the
 //!    model, persists the snapshot);
 //! 2. **warm** — repeat requests against the resident graph (median and
-//!    mean over 32 requests);
+//!    mean over 32 requests, plus the idle p50/p99 baseline);
 //! 3. **snapshot restart** — a fresh server process image on the same
 //!    cache dir (first request loads the snapshot file);
 //! 4. **sustained** — `clients` concurrent connections each firing 50
-//!    cache-hit requests, reported as requests/sec.
+//!    cache-hit requests through the retrying client, reported as
+//!    requests/sec;
+//! 5. **overload** — a deliberately small admission queue driven at
+//!    ≥ 2× capacity (`--overload-secs=N`, default 5) by one greedy
+//!    pipelined client plus three well-behaved clients, measuring shed
+//!    rate, warm latency under load, and the fairness ratio (the
+//!    worst-off well-behaved client's share of total completions over
+//!    its 1/4 fair-share entitlement).
 //!
 //! The binary exits non-zero unless the `graph_ready` sources confirm
 //! each phase hit the intended path (`enumerated` → `cache` →
-//! `snapshot`) and the warm median beats the cold request. Results land
-//! in `BENCH_serve.json`.
+//! `snapshot`), the warm median beats the cold request, and under
+//! overload: the offered rate reached 2× capacity, no accepted job was
+//! lost, the fairness ratio stayed ≥ 0.6, and the p99 warm latency
+//! stayed ≤ 5× the idle p99 (floored at 10 ms). Results land in
+//! `BENCH_serve.json`.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use archval_bench::{emit_bench_json, peak_rss_bytes, run, BenchError};
-use archval_serve::client::Client;
-use archval_serve::{line_is_event, CacheConfig, Cmd, ModelRef, Request, Server, ServerConfig};
+use archval_serve::client::{Client, RetryPolicy};
+use archval_serve::{
+    event_field, line_is_event, CacheConfig, Cmd, ModelRef, Request, SchedConfig, Server,
+    ServerConfig,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -42,11 +55,45 @@ struct ServeBench {
     sustained_requests: usize,
     sustained_seconds: f64,
     requests_per_sec: f64,
+    overload: OverloadBench,
     peak_rss_bytes: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct OverloadBench {
+    duration_seconds: f64,
+    capacity_per_sec: f64,
+    offered_per_sec: f64,
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    errored: u64,
+    lost: u64,
+    shed_rate: f64,
+    well_behaved_solo_per_sec: f64,
+    well_behaved_contended_per_sec: f64,
+    fairness_ratio: f64,
+    warm_p50_idle_seconds: f64,
+    warm_p99_idle_seconds: f64,
+    warm_p50_overload_seconds: f64,
+    warm_p99_overload_seconds: f64,
 }
 
 fn positional(n: usize) -> Option<String> {
     std::env::args().skip(1).filter(|a| !a.starts_with("--")).nth(n)
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let prefix = format!("--{name}=");
+    std::env::args().skip(1).find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
 }
 
 fn io_err(path: &std::path::Path) -> impl Fn(std::io::Error) -> BenchError + '_ {
@@ -85,6 +132,7 @@ fn start(
     cache_dir: &std::path::Path,
     jobs_dir: &std::path::Path,
     workers: usize,
+    sched: SchedConfig,
 ) -> Result<Arc<Server>, BenchError> {
     let config = ServerConfig {
         workers,
@@ -93,6 +141,8 @@ fn start(
             ..CacheConfig::default()
         },
         jobs_dir: Some(jobs_dir.to_path_buf()),
+        sched,
+        ..ServerConfig::default()
     };
     let server = Arc::new(Server::start(config).map_err(io_err(cache_dir))?);
     let listener = server.clone();
@@ -146,7 +196,7 @@ fn main() {
         let jobs_dir = root.join("jobs");
 
         // ---- cold + warm on one server ----
-        let server = start(&sock, &cache_dir, &jobs_dir, clients.max(2))?;
+        let server = start(&sock, &cache_dir, &jobs_dir, clients.max(2), SchedConfig::default())?;
         // wait until the listener accepts
         drop(connect_with_retry(&sock)?);
 
@@ -180,6 +230,9 @@ fn main() {
         }
 
         // ---- sustained throughput with N concurrent clients ----
+        // submit_with_retry keeps the loop correct even when a burst
+        // briefly fills the admission queue: an `overloaded` answer backs
+        // off and resubmits instead of failing the run
         const PER_CLIENT: usize = 50;
         let t0 = Instant::now();
         let handles: Vec<_> = (0..clients)
@@ -188,12 +241,12 @@ fn main() {
                 let model = model.clone();
                 std::thread::spawn(move || -> Result<(), String> {
                     let mut client = Client::connect_unix(&sock).map_err(|e| e.to_string())?;
+                    let policy = RetryPolicy::default();
                     for i in 0..PER_CLIENT {
                         let mut req = Request::new(Cmd::Enumerate);
                         req.id = format!("sus-{c}-{i}");
                         req.model = Some(ModelRef::Named(model.clone()));
-                        client.send(&req).map_err(|e| e.to_string())?;
-                        client.recv_until("done").map_err(|e| e.to_string())?;
+                        client.submit_with_retry(&req, &policy).map_err(|e| e.to_string())?;
                     }
                     Ok(())
                 })
@@ -218,7 +271,7 @@ fn main() {
         // file asynchronously and must not race the new bind)
         let sock = root.join("served2.sock");
         let jobs2 = root.join("jobs2");
-        let server = start(&sock, &cache_dir, &jobs2, 2)?;
+        let server = start(&sock, &cache_dir, &jobs2, 2, SchedConfig::default())?;
         drop(connect_with_retry(&sock)?);
         let (snapshot, source) = timed_enumerate(&sock, &model, "snap-0")?;
         if source != "snapshot" {
@@ -228,6 +281,11 @@ fn main() {
         }
         eprintln!("snapshot warm-start request: {snapshot:.4} s");
         stop(&sock, &server);
+
+        // ---- overload: 2× capacity into a small admission queue ----
+        let overload_secs: u64 =
+            flag_value("overload-secs").and_then(|s| s.parse().ok()).unwrap_or(5);
+        let overload = overload_phase(&root, &cache_dir, &model, overload_secs)?;
 
         let result = ServeBench {
             scale: scale_word,
@@ -240,10 +298,231 @@ fn main() {
             sustained_requests,
             sustained_seconds,
             requests_per_sec,
+            overload,
             peak_rss_bytes: peak_rss_bytes(),
         };
         emit_bench_json("serve", &result)?;
         std::fs::remove_dir_all(&root).ok();
         Ok(())
     });
+}
+
+/// One well-behaved synchronous request loop: submit with retry, record
+/// the service latency of each *successful* attempt (backoff sleeps
+/// excluded — the gate is on how long the server takes to serve a warm
+/// request under load, not on how patient the client chose to be).
+fn well_behaved_loop(
+    sock: &std::path::Path,
+    model: &str,
+    name: &str,
+    deadline: Instant,
+) -> Result<(u64, Vec<f64>), String> {
+    let mut client = Client::connect_unix(sock).map_err(|e| e.to_string())?;
+    let policy = RetryPolicy { attempts: 64, base_ms: 5, cap_ms: 250 };
+    let mut completed = 0u64;
+    let mut latencies = Vec::new();
+    let mut i = 0usize;
+    while Instant::now() < deadline {
+        let mut req = Request::new(Cmd::Enumerate);
+        req.id = format!("{name}-{i}");
+        req.model = Some(ModelRef::Named(model.to_string()));
+        req.client = Some(name.to_string());
+        i += 1;
+        let t0 = Instant::now();
+        client.submit_with_retry(&req, &policy).map_err(|e| e.to_string())?;
+        latencies.push(t0.elapsed().as_secs_f64());
+        completed += 1;
+    }
+    Ok((completed, latencies))
+}
+
+/// The greedy client: pipelines windows of requests under one namespace
+/// and never backs off. Every submitted id is read to a terminal event
+/// (`done` | `error` | `overloaded`), so nothing it offered can be lost
+/// silently.
+fn greedy_loop(
+    sock: &std::path::Path,
+    model: &str,
+    deadline: Instant,
+) -> Result<(u64, u64, u64, u64), String> {
+    const WINDOW: usize = 64;
+    let mut client = Client::connect_unix(sock).map_err(|e| e.to_string())?;
+    let (mut submitted, mut completed, mut shed, mut errored) = (0u64, 0u64, 0u64, 0u64);
+    let mut round = 0usize;
+    while Instant::now() < deadline {
+        let ids: Vec<String> = (0..WINDOW).map(|i| format!("greedy-{round}-{i}")).collect();
+        round += 1;
+        for id in &ids {
+            let mut req = Request::new(Cmd::Enumerate);
+            req.id = id.clone();
+            req.model = Some(ModelRef::Named(model.to_string()));
+            req.client = Some("greedy".to_string());
+            client.send(&req).map_err(|e| e.to_string())?;
+            submitted += 1;
+        }
+        let mut terminal = 0usize;
+        while terminal < ids.len() {
+            let line = client
+                .recv_line()
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| "server closed the greedy connection".to_string())?;
+            let of_batch = event_field(&line, "id").is_some_and(|id| ids.contains(&id));
+            if !of_batch {
+                continue;
+            }
+            if line_is_event(&line, "done") {
+                completed += 1;
+                terminal += 1;
+            } else if line_is_event(&line, "overloaded") {
+                shed += 1;
+                terminal += 1;
+            } else if line_is_event(&line, "error") {
+                errored += 1;
+                terminal += 1;
+            }
+        }
+    }
+    Ok((submitted, completed, shed, errored))
+}
+
+/// Drives a small-queue server at ≥ 2× capacity and gates on fairness,
+/// tail latency, and zero lost jobs.
+fn overload_phase(
+    root: &std::path::Path,
+    cache_dir: &std::path::Path,
+    model: &str,
+    overload_secs: u64,
+) -> Result<OverloadBench, BenchError> {
+    const WELL_BEHAVED: usize = 3;
+    let sock = root.join("served3.sock");
+    let jobs = root.join("jobs3");
+    let sched =
+        SchedConfig { max_queued_jobs: 16, max_queued_per_client: 8, ..SchedConfig::default() };
+    let server = start(&sock, cache_dir, &jobs, 2, sched)?;
+    drop(connect_with_retry(&sock)?);
+    // make the model resident so the phase measures warm-path scheduling
+    let (_, source) = timed_enumerate(&sock, model, "overload-warmup")?;
+    if source.is_empty() {
+        return Err(BenchError::Invalid("overload warmup produced no graph_ready".into()));
+    }
+
+    // idle baseline: one well-behaved client on an otherwise idle
+    // server, over a persistent connection — this is the latency the
+    // 5x-under-overload gate is anchored to
+    let solo_secs = (overload_secs / 2).clamp(2, 10);
+    let solo_deadline = Instant::now() + Duration::from_secs(solo_secs);
+    let t0 = Instant::now();
+    let (solo_completed, mut idle_latencies) =
+        well_behaved_loop(&sock, model, "wb-solo", solo_deadline).map_err(BenchError::Invalid)?;
+    let solo_rate = solo_completed as f64 / t0.elapsed().as_secs_f64();
+    idle_latencies.sort_by(f64::total_cmp);
+    eprintln!("overload baseline: {solo_rate:.0} well-behaved req/s solo");
+
+    // contended: one greedy pipelined client + three well-behaved ones
+    let deadline = Instant::now() + Duration::from_secs(overload_secs);
+    let t0 = Instant::now();
+    let greedy = {
+        let sock = sock.clone();
+        let model = model.to_string();
+        std::thread::spawn(move || greedy_loop(&sock, &model, deadline))
+    };
+    let wb: Vec<_> = (0..WELL_BEHAVED)
+        .map(|i| {
+            let sock = sock.clone();
+            let model = model.to_string();
+            std::thread::spawn(move || {
+                well_behaved_loop(&sock, &model, &format!("wb-{i}"), deadline)
+            })
+        })
+        .collect();
+    let (submitted, completed, shed, errored) = greedy
+        .join()
+        .map_err(|_| BenchError::Invalid("greedy client panicked".into()))?
+        .map_err(BenchError::Invalid)?;
+    let mut wb_rates = Vec::new();
+    let mut wb_latencies = Vec::new();
+    let mut wb_completed = 0u64;
+    for h in wb {
+        let (n, lat) = h
+            .join()
+            .map_err(|_| BenchError::Invalid("well-behaved client panicked".into()))?
+            .map_err(BenchError::Invalid)?;
+        wb_completed += n;
+        wb_rates.push(n as f64);
+        wb_latencies.extend(lat);
+    }
+    let duration = t0.elapsed().as_secs_f64();
+    stop(&sock, &server);
+
+    // capacity is what the saturated server actually completed; offered
+    // adds everything thrown at it (the greedy client's refused
+    // submissions included)
+    let total_completed = completed + wb_completed;
+    let capacity = total_completed as f64 / duration;
+    let offered = (submitted + wb_completed) as f64 / duration;
+    let shed_rate = shed as f64 / submitted.max(1) as f64;
+    let lost = submitted.saturating_sub(completed + shed + errored);
+    let contended_rate = wb_completed as f64 / WELL_BEHAVED as f64 / duration;
+    // fair share: 4 active namespaces, so each is entitled to 1/4 of the
+    // completions the server managed. The gate takes the worst-off
+    // well-behaved client's share against that entitlement.
+    let fair_share = 1.0 / (WELL_BEHAVED + 1) as f64;
+    let fairness = wb_rates
+        .iter()
+        .map(|n| (n / total_completed.max(1) as f64) / fair_share)
+        .fold(f64::INFINITY, f64::min);
+    wb_latencies.sort_by(f64::total_cmp);
+    let p50_overload = percentile(&wb_latencies, 0.50);
+    let p99_overload = percentile(&wb_latencies, 0.99);
+    let p50_idle = percentile(&idle_latencies, 0.50);
+    let p99_idle = percentile(&idle_latencies, 0.99);
+    eprintln!(
+        "overload: offered {offered:.0} req/s vs capacity {capacity:.0}; \
+         {completed}/{submitted} greedy completed, {shed} shed ({:.0}%), {errored} errored; \
+         fairness {fairness:.2}; wb p99 {p99_overload:.4}s (idle {p99_idle:.4}s)",
+        shed_rate * 100.0
+    );
+
+    if offered < 2.0 * capacity {
+        return Err(BenchError::Invalid(format!(
+            "overload never materialized: offered {offered:.0} req/s < 2x capacity {capacity:.0}"
+        )));
+    }
+    if lost > 0 {
+        return Err(BenchError::Invalid(format!(
+            "{lost} accepted job(s) lost: submitted {submitted}, completed {completed}, \
+             shed {shed}, errored {errored}"
+        )));
+    }
+    if fairness < 0.6 {
+        return Err(BenchError::Invalid(format!(
+            "greedy client starved well-behaved clients: fairness ratio {fairness:.2} < 0.6"
+        )));
+    }
+    let p99_bound = 5.0 * p99_idle.max(0.010);
+    if p99_overload > p99_bound {
+        return Err(BenchError::Invalid(format!(
+            "warm p99 under overload {p99_overload:.4}s exceeds bound {p99_bound:.4}s \
+             (5x max(idle p99, 10ms))"
+        )));
+    }
+
+    Ok(OverloadBench {
+        duration_seconds: duration,
+        capacity_per_sec: capacity,
+        offered_per_sec: offered,
+        submitted,
+        completed,
+        shed,
+        errored,
+        lost,
+        shed_rate,
+        well_behaved_solo_per_sec: solo_rate,
+        well_behaved_contended_per_sec: contended_rate,
+        fairness_ratio: fairness,
+        warm_p50_idle_seconds: p50_idle,
+        warm_p99_idle_seconds: p99_idle,
+        warm_p50_overload_seconds: p50_overload,
+        warm_p99_overload_seconds: p99_overload,
+    })
 }

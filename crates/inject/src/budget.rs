@@ -1,6 +1,8 @@
-//! Per-mutant resource budgets.
+//! Per-mutant resource budgets and cooperative cancellation.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use archval_fsm::EnumBudget;
 
@@ -50,12 +52,116 @@ impl RunBudget {
             deadline: Some(self.deadline),
         }
     }
+
+    /// This budget with its wall-clock deadline clamped to `remaining`.
+    ///
+    /// Composes an externally imposed deadline (a serve job's
+    /// `deadline_ms`, a drain grace period) with the per-mutant budget:
+    /// the tighter of the two wins, so work past the outer deadline is
+    /// cut at the next budget checkpoint instead of running to the full
+    /// per-mutant allowance.
+    #[must_use]
+    pub fn clamped_to(&self, remaining: Duration) -> RunBudget {
+        RunBudget { deadline: self.deadline.min(remaining), ..self.clone() }
+    }
+}
+
+/// Cooperative cancellation signal checked at budget checkpoints.
+///
+/// Campaign workers poll the token between mutants (the per-mutant
+/// boundary is the coarsest budget checkpoint); finer-grained cuts come
+/// from clamping [`RunBudget::deadline`], which the enumerator checks
+/// every few thousand transitions and replay checks every few hundred
+/// cycles. A cancelled campaign stops claiming new mutants, reports
+/// `complete = false`, and leaves its checkpoint file intact so a later
+/// run can resume it.
+///
+/// Tokens are cheap to clone; all clones observe the same flag. The
+/// optional deadline makes the token self-cancelling without anyone
+/// calling [`cancel`](CancelToken::cancel).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that cancels only when [`cancel`](CancelToken::cancel) is
+    /// called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally self-cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// Adds (or tightens) a wall-clock deadline on this token, keeping
+    /// the shared flag so explicit cancellation still propagates.
+    #[must_use]
+    pub fn deadline_at(&self, deadline: Instant) -> Self {
+        let deadline = match self.deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        };
+        CancelToken { flag: Arc::clone(&self.flag), deadline: Some(deadline) }
+    }
+
+    /// Flags every clone of this token as cancelled.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Time left before the deadline self-cancels the token, if one is
+    /// set. Zero once the deadline has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use archval_fsm::Truncation;
+
+    #[test]
+    fn cancel_token_propagates_and_self_expires() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(expired.is_cancelled());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+
+        let live = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!live.is_cancelled());
+        // tightening keeps the shared flag
+        let tight = live.deadline_at(Instant::now() + Duration::from_secs(60));
+        live.cancel();
+        assert!(tight.is_cancelled());
+    }
+
+    #[test]
+    fn clamped_budget_takes_tighter_deadline() {
+        let b = RunBudget { deadline: Duration::from_secs(10), ..Default::default() };
+        assert_eq!(b.clamped_to(Duration::from_secs(2)).deadline, Duration::from_secs(2));
+        assert_eq!(b.clamped_to(Duration::from_secs(20)).deadline, Duration::from_secs(10));
+    }
 
     #[test]
     fn enum_budget_mirrors_bounds() {

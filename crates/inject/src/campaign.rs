@@ -19,9 +19,16 @@
 //! from its last completed mutant; resumed and uninterrupted campaigns
 //! produce byte-identical reports because no outcome payload carries
 //! wall-clock readings.
+//!
+//! Checkpoint resume is tear-tolerant at the tail: a crash can leave the
+//! *final* line short (the append tore mid-write), so an unparseable or
+//! unterminated last line is truncated away and that mutant re-runs —
+//! re-running is deterministic, so the resumed report is still
+//! byte-identical. Corruption anywhere *before* the tail cannot be a
+//! torn append and stays a typed [`Error::Checkpoint`].
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -36,7 +43,7 @@ use archval_fsm::{
     EnumConfig, EnumResult, Model, RefDense, SyncSim, Truncation,
 };
 
-use crate::budget::RunBudget;
+use crate::budget::{CancelToken, RunBudget};
 use crate::chaos::ChaosFactory;
 use crate::guard::run_isolated;
 use crate::mutant::{generate_mutants, MutantSpec};
@@ -87,6 +94,13 @@ pub struct CampaignConfig {
     /// not the model, so the model-level dependence argument does not
     /// apply to them).
     pub delta: bool,
+    /// Cooperative cancellation checked at the per-mutant budget
+    /// checkpoint: once the token reports cancelled, workers stop
+    /// claiming new mutants and the report comes back with
+    /// `complete = false`, its checkpoint intact for a later resume.
+    /// The in-flight mutant still finishes under its (possibly clamped)
+    /// [`RunBudget`] — cancellation never tears a checkpoint line.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for CampaignConfig {
@@ -102,6 +116,7 @@ impl Default for CampaignConfig {
             wedge_sleep: Duration::from_millis(25),
             batch_lanes: 1,
             delta: true,
+            cancel: None,
         }
     }
 }
@@ -284,18 +299,38 @@ fn run_campaign_core(
     let mut done: Vec<Option<MutantOutcome>> = vec![None; specs.len()];
     if let Some(path) = &config.checkpoint {
         if path.exists() {
-            let file = File::open(path)?;
-            for (lineno, line) in BufReader::new(file).lines().enumerate() {
-                let line = line?;
+            let bytes = std::fs::read(path)?;
+            let mut pos = 0usize;
+            let mut lineno = 0usize;
+            while pos < bytes.len() {
+                let start = pos;
+                let (end, terminated) = match bytes[pos..].iter().position(|&b| b == b'\n') {
+                    Some(i) => (pos + i, true),
+                    None => (bytes.len(), false),
+                };
+                pos = if terminated { end + 1 } else { bytes.len() };
+                lineno += 1;
+                let is_tail = pos >= bytes.len();
+                let line = std::str::from_utf8(&bytes[start..end]).unwrap_or("\u{fffd}");
                 if line.trim().is_empty() {
                     continue;
                 }
-                let outcome: MutantOutcome = serde_json::from_str(&line)
-                    .map_err(|e| Error::Checkpoint(format!("line {}: {e:?}", lineno + 1)))?;
+                let parsed = serde_json::from_str::<MutantOutcome>(line);
+                // A short final line is the signature of an append torn by
+                // a crash: drop the fragment and re-run that one mutant.
+                // (An *unterminated* tail is torn even if it parses — the
+                // flush never completed, so trust nothing past the last
+                // whole line.) Anything bad before the tail is not a tear.
+                if is_tail && (!terminated || parsed.is_err()) {
+                    OpenOptions::new().write(true).open(path)?.set_len(start as u64)?;
+                    break;
+                }
+                let outcome =
+                    parsed.map_err(|e| Error::Checkpoint(format!("line {lineno}: {e:?}")))?;
                 let spec = specs.get(outcome.id).ok_or_else(|| {
                     Error::Checkpoint(format!(
                         "line {}: mutant id {} outside campaign of {}",
-                        lineno + 1,
+                        lineno,
                         outcome.id,
                         specs.len()
                     ))
@@ -304,7 +339,7 @@ fn run_campaign_core(
                     return Err(Error::Checkpoint(format!(
                         "line {}: mutant {} is {:?} on disk but {:?} in this campaign — \
                          stale checkpoint for a different model or configuration",
-                        lineno + 1,
+                        lineno,
                         outcome.id,
                         outcome.label,
                         spec.label()
@@ -330,6 +365,14 @@ fn run_campaign_core(
         for _ in 0..config.threads.max(1) {
             scope.spawn(|| loop {
                 if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // the per-mutant claim is the campaign's coarsest budget
+                // checkpoint: a cancelled token stops new claims here,
+                // leaving the checkpoint flushed through the last
+                // completed mutant
+                if config.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    stop.store(true, Ordering::Relaxed);
                     break;
                 }
                 let id = next.fetch_add(1, Ordering::Relaxed);
@@ -727,15 +770,77 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_checkpoint_line_is_a_typed_error() {
+    fn corrupt_mid_checkpoint_line_is_a_typed_error() {
         let m = counter(3);
         let path = temp_path("corrupt");
-        std::fs::write(&path, "{not json\n").unwrap();
+        // corruption *before* the tail cannot be a torn append
+        std::fs::write(&path, "{not json\n{also not json\n").unwrap();
         let mut cfg = quick_config();
         cfg.checkpoint = Some(path.clone());
         let err = run_campaign(&m, &cfg).unwrap_err();
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(err, Error::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_is_truncated_and_rerun() {
+        let m = counter(3);
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+
+        let uninterrupted = run_campaign(&m, &quick_config()).unwrap();
+
+        let mut halted = quick_config();
+        halted.checkpoint = Some(path.clone());
+        halted.halt_after = Some(4);
+        let partial = run_campaign(&m, &halted).unwrap();
+        assert_eq!(partial.mutants.len(), 4);
+
+        // tear the tail the way a crashed append would: keep only half of
+        // the final line and lose its newline
+        let bytes = std::fs::read(&path).unwrap();
+        let body = std::str::from_utf8(&bytes).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        let torn = format!(
+            "{}\n{}",
+            lines[..lines.len() - 1].join("\n"),
+            &lines[lines.len() - 1][..lines[lines.len() - 1].len() / 2]
+        );
+        std::fs::write(&path, torn).unwrap();
+
+        let mut resumed_cfg = quick_config();
+        resumed_cfg.checkpoint = Some(path.clone());
+        let resumed = run_campaign(&m, &resumed_cfg).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(resumed.complete);
+        assert_eq!(resumed.to_json().into_bytes(), uninterrupted.to_json().into_bytes());
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_early_and_resumes() {
+        let m = counter(3);
+        let path = temp_path("cancel");
+        let _ = std::fs::remove_file(&path);
+
+        let uninterrupted = run_campaign(&m, &quick_config()).unwrap();
+
+        // a pre-cancelled token: no new mutants are claimed at all
+        let mut cfg = quick_config();
+        cfg.checkpoint = Some(path.clone());
+        let token = CancelToken::new();
+        token.cancel();
+        cfg.cancel = Some(token);
+        let halted = run_campaign(&m, &cfg).unwrap();
+        assert!(!halted.complete);
+        assert!(halted.mutants.is_empty());
+
+        // resuming without the token completes byte-identically
+        cfg.cancel = None;
+        let resumed = run_campaign(&m, &cfg).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.to_json().into_bytes(), uninterrupted.to_json().into_bytes());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod mutant;
 pub mod stimulus;
 pub mod verdict;
 
-pub use budget::RunBudget;
+pub use budget::{CancelToken, RunBudget};
 pub use campaign::{
     run_campaign, run_campaign_streaming, run_campaign_with, run_campaign_with_pool,
     CampaignConfig, CampaignReport, KillRate, MutantOutcome, StrategyVerdict,

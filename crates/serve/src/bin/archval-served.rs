@@ -10,12 +10,22 @@
 //! `--cache-dir` enables snapshot persistence, `--jobs-dir` the durable
 //! job store (crash-resume), `--cache-mb` caps resident graph bytes,
 //! `--workers` sizes the campaign pool, `--threads`/`--lanes` size
-//! cold-start enumeration. The process exits after a client sends
-//! `{"cmd":"shutdown"}` and in-flight jobs drain.
+//! cold-start enumeration. `--queue-jobs`/`--queue-per-client` bound the
+//! admission queue, `--read-timeout-ms` guards sessions against silent
+//! peers, `--max-inflight` caps jobs per connection.
+//!
+//! The process exits after a client sends `{"cmd":"shutdown"}` and
+//! in-flight jobs drain. SIGTERM instead triggers a *graceful drain*:
+//! accept stops, running campaigns park at their next checkpoint, queued
+//! jobs stay in the job store, and the process exits within
+//! `--drain-secs` — a restarted server resumes every admitted job to a
+//! byte-identical report.
 
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use archval_serve::{listen_tcp, listen_unix, CacheConfig, Server, ServerConfig};
 
@@ -28,12 +38,19 @@ struct Args {
     cache_mb: usize,
     threads: usize,
     lanes: usize,
+    drain_secs: u64,
+    read_timeout_ms: Option<u64>,
+    queue_jobs: Option<usize>,
+    queue_per_client: Option<usize>,
+    max_inflight: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: archval-served (--unix <path> | --tcp <addr>) [--workers N] \
-         [--cache-dir DIR] [--jobs-dir DIR] [--cache-mb N] [--threads N] [--lanes N]"
+         [--cache-dir DIR] [--jobs-dir DIR] [--cache-mb N] [--threads N] [--lanes N] \
+         [--drain-secs N] [--read-timeout-ms N] [--queue-jobs N] [--queue-per-client N] \
+         [--max-inflight N]"
     );
     exit(2);
 }
@@ -48,6 +65,11 @@ fn parse_args() -> Args {
         cache_mb: 1024,
         threads: 1,
         lanes: archval::DEFAULT_LANES,
+        drain_secs: 20,
+        read_timeout_ms: None,
+        queue_jobs: None,
+        queue_per_client: None,
+        max_inflight: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -61,6 +83,11 @@ fn parse_args() -> Args {
             "--cache-mb" => out.cache_mb = parse_num(&value()),
             "--threads" => out.threads = parse_num(&value()),
             "--lanes" => out.lanes = parse_num(&value()),
+            "--drain-secs" => out.drain_secs = parse_num(&value()) as u64,
+            "--read-timeout-ms" => out.read_timeout_ms = Some(parse_num(&value()) as u64),
+            "--queue-jobs" => out.queue_jobs = Some(parse_num(&value())),
+            "--queue-per-client" => out.queue_per_client = Some(parse_num(&value())),
+            "--max-inflight" => out.max_inflight = Some(parse_num(&value())),
             _ => usage(),
         }
     }
@@ -77,18 +104,49 @@ fn parse_num(s: &str) -> usize {
     }
 }
 
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    // async-signal-safe: one atomic store; the watcher thread does the rest
+    SIGTERM_SEEN.store(true, Ordering::SeqCst);
+}
+
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         workers: args.workers,
         cache: CacheConfig {
             snapshot_dir: args.cache_dir,
             max_bytes: args.cache_mb << 20,
             enum_threads: args.threads,
             batch_lanes: args.lanes,
+            ..CacheConfig::default()
         },
         jobs_dir: args.jobs_dir,
+        ..ServerConfig::default()
     };
+    if let Some(ms) = args.read_timeout_ms {
+        config.conn.read_timeout = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = args.queue_jobs {
+        config.sched.max_queued_jobs = n;
+    }
+    if let Some(n) = args.queue_per_client {
+        config.sched.max_queued_per_client = n;
+    }
+    if let Some(n) = args.max_inflight {
+        config.conn.max_inflight = n;
+    }
     let server = match Server::start(config) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -98,6 +156,18 @@ fn main() {
     };
     if server.recovered() > 0 {
         eprintln!("archval-served: resuming {} in-flight job(s)", server.recovered());
+    }
+    install_sigterm_handler();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || loop {
+            if SIGTERM_SEEN.load(Ordering::SeqCst) {
+                eprintln!("archval-served: SIGTERM received, draining");
+                server.request_drain();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
     }
     let result = match (&args.unix, &args.tcp) {
         (Some(path), None) => {
@@ -112,6 +182,18 @@ fn main() {
     };
     if let Err(e) = result {
         eprintln!("archval-served: listener failed: {e}");
+        exit(1);
+    }
+    if server.is_draining() {
+        if server.drain_join(Duration::from_secs(args.drain_secs)) {
+            eprintln!("archval-served: drained, exiting");
+            exit(0);
+        }
+        eprintln!(
+            "archval-served: drain deadline ({}s) expired with jobs still running; \
+             the job store will resume them on restart",
+            args.drain_secs
+        );
         exit(1);
     }
     eprintln!("archval-served: drained, exiting");

@@ -36,6 +36,8 @@ use archval_fsm::{
     RefDense,
 };
 
+use crate::faults::{RealIo, StoreIo};
+
 /// Cache sizing and load policy.
 #[derive(Debug, Clone)]
 pub struct CacheConfig {
@@ -49,6 +51,10 @@ pub struct CacheConfig {
     pub enum_threads: usize,
     /// SoA batch width for cold-start enumeration (`1` = scalar sweep).
     pub batch_lanes: usize,
+    /// Write seam for snapshot persistence; tests inject
+    /// [`FaultyIo`](crate::faults::FaultyIo) here to exercise the
+    /// corrupt-snapshot degradation paths.
+    pub io: Arc<dyn StoreIo>,
 }
 
 impl Default for CacheConfig {
@@ -58,6 +64,7 @@ impl Default for CacheConfig {
             max_bytes: 1 << 30,
             enum_threads: 1,
             batch_lanes: archval::DEFAULT_LANES,
+            io: Arc::new(RealIo),
         }
     }
 }
@@ -364,7 +371,10 @@ impl GraphCache {
                 let r = enumerate_parallel_with(model, &config, &program)?;
                 if let Some(dir) = &self.config.snapshot_dir {
                     let path = snapshot_file(dir, fp);
-                    if let Err(e) = save_enum_result(&path, model, &r) {
+                    let persist = self.config.io.produce(&path, &mut |p| {
+                        save_enum_result(p, model, &r).map_err(std::io::Error::other)
+                    });
+                    if let Err(e) = persist {
                         warn(CacheWarning::SnapshotWriteFailed { path, detail: e.to_string() });
                     }
                 }

@@ -9,8 +9,33 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
-use crate::protocol::{line_is_event, Request};
+use crate::protocol::{event_field, line_is_event, Request};
+
+/// Bounded exponential backoff for [`Client::submit_with_retry`].
+///
+/// The sleep before attempt *n* is
+/// `min(cap_ms, max(base_ms, server_hint) << n)` — the server's
+/// `retry_after_ms` hint seeds the curve, so a deeply backlogged server
+/// pushes clients further out than a briefly full one. Retries resubmit
+/// the *same* job id, which is idempotent by construction: a job that
+/// actually completed in the meantime replays its stored report.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Submission attempts before giving up (1 = no retry).
+    pub attempts: u32,
+    /// Floor for the first backoff, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling any backoff is clamped to, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 8, base_ms: 25, cap_ms: 2_000 }
+    }
+}
 
 /// One protocol connection.
 pub struct Client {
@@ -76,6 +101,63 @@ impl Client {
             line.pop();
         }
         Ok(Some(line))
+    }
+
+    /// Submits a job and collects its event stream to completion,
+    /// retrying with bounded exponential backoff whenever the server
+    /// answers `overloaded` — including a mid-stream shed of a job that
+    /// had been admitted. Returns every event line of the successful
+    /// attempt (the `done` line last).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] on transport failure, an `error`
+    /// event, or when every attempt was refused.
+    pub fn submit_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Vec<String>> {
+        for attempt in 0..policy.attempts.max(1) {
+            self.send(request)?;
+            let mut seen = Vec::new();
+            let overloaded = loop {
+                match self.recv_line()? {
+                    None => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            format!("connection closed mid-job; saw {seen:?}"),
+                        ))
+                    }
+                    Some(line) => {
+                        if line_is_event(&line, "done") {
+                            seen.push(line);
+                            return Ok(seen);
+                        }
+                        if line_is_event(&line, "error") {
+                            return Err(std::io::Error::other(format!(
+                                "error event: {line}; saw {seen:?}"
+                            )));
+                        }
+                        if line_is_event(&line, "overloaded") {
+                            break event_field(&line, "retry_after_ms")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .unwrap_or(policy.base_ms);
+                        }
+                        seen.push(line);
+                    }
+                }
+            };
+            let backoff = overloaded
+                .max(policy.base_ms)
+                .saturating_mul(1 << attempt.min(16))
+                .min(policy.cap_ms);
+            std::thread::sleep(Duration::from_millis(backoff));
+        }
+        Err(std::io::Error::other(format!(
+            "job {:?} still overloaded after {} attempts",
+            request.id, policy.attempts
+        )))
     }
 
     /// Reads events until one carries `tag`, returning every line read

@@ -1,0 +1,420 @@
+//! Server-side fault injection: a write seam for the job store and
+//! snapshot cache, plus a deterministic protocol fuzz corpus.
+//!
+//! `archval-inject` points fault injection at the designs under test;
+//! this module points the same discipline at the server itself. All
+//! durable writes (request files, reports, snapshots) go through the
+//! [`StoreIo`] seam, so tests swap in a seeded [`FaultyIo`] that tears
+//! writes the way a full disk or a crash would — short writes, `ENOSPC`,
+//! torn renames — and assert the server degrades to *typed* warnings and
+//! errors with byte-identical resume, never silent corruption or a hang.
+//!
+//! Fault decisions are a pure function of `(seed, operation index)`:
+//! replaying the same seed replays the same fault schedule, so a failure
+//! found in CI reproduces locally from its seed alone. That mirrors the
+//! chaos-mutant philosophy of the inject crate: chaos is only useful
+//! when it is deterministic.
+//!
+//! [`fuzz_corpus`] generates the malformed protocol lines the
+//! `serve-robustness` CI job feeds through [`Request::parse`] — again a
+//! pure function of the seed, so "10k lines, seeds 1..=5" names an exact
+//! corpus forever.
+//!
+//! [`Request::parse`]: crate::protocol::Request::parse
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The durable-write seam. Every byte the server persists — job-store
+/// request files, reports (temp + rename), cache snapshots — flows
+/// through one of these methods, so one implementation swap subjects
+/// every durability path to the same fault schedule.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// Writes `bytes` to `path` (whole-file write).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) I/O error; the file may be
+    /// left partially written, exactly as a crashed `write(2)` would.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Renames `from` to `to` (the atomic publish step).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) I/O error; an injected torn
+    /// rename leaves a truncated `to`, as a crash mid-copy on a
+    /// non-atomic filesystem would.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Runs `f` to produce `path` (for writers that stream the file
+    /// themselves, like the snapshot container).
+    ///
+    /// # Errors
+    ///
+    /// Returns the producer's (or injected) error; an injected fault may
+    /// leave a truncated `path` behind.
+    fn produce(&self, path: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()>;
+}
+
+/// The production implementation: plain filesystem calls.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn produce(&self, path: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()> {
+        f(path)
+    }
+}
+
+/// Which injected fault a [`FaultyIo`] operation suffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Only a prefix of the bytes reached the file; the call fails.
+    ShortWrite,
+    /// The device is full: nothing written, `ENOSPC` returned.
+    Enospc,
+    /// The rename published a truncated destination and failed.
+    TornRename,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::ShortWrite => "short_write",
+            FaultKind::Enospc => "enospc",
+            FaultKind::TornRename => "torn_rename",
+        }
+    }
+}
+
+/// Deterministic seeded chaos layer over [`RealIo`].
+///
+/// Every `period`-th operation (counted across all methods) suffers a
+/// fault chosen by the seed. The schedule depends only on
+/// `(seed, operation index)` — never on wall clock or thread timing of
+/// the faulted operation's *content* — so a run is replayable from its
+/// seed.
+#[derive(Debug)]
+pub struct FaultyIo {
+    seed: u64,
+    /// Every n-th operation faults; `0` disables injection entirely.
+    period: u64,
+    ops: AtomicU64,
+    log: Mutex<Vec<String>>,
+}
+
+impl FaultyIo {
+    /// A chaos layer faulting every `period`-th operation under `seed`.
+    #[must_use]
+    pub fn new(seed: u64, period: u64) -> FaultyIo {
+        FaultyIo { seed, period, ops: AtomicU64::new(0), log: Mutex::new(Vec::new()) }
+    }
+
+    /// The faults injected so far, as `"op<idx> <kind> <path>"` lines —
+    /// the assertion surface for the disk-fault matrix.
+    #[must_use]
+    pub fn injected(&self) -> Vec<String> {
+        self.log.lock().unwrap().clone()
+    }
+
+    fn decide(&self, path: &Path) -> Option<FaultKind> {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        if self.period == 0 || !(n + 1).is_multiple_of(self.period) {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let kind = match h % 3 {
+            0 => FaultKind::ShortWrite,
+            1 => FaultKind::Enospc,
+            _ => FaultKind::TornRename,
+        };
+        self.log.lock().unwrap().push(format!("op{n} {} {}", kind.name(), path.display()));
+        Some(kind)
+    }
+
+    fn injected_err(kind: FaultKind) -> io::Error {
+        match kind {
+            FaultKind::Enospc => io::Error::from_raw_os_error(28),
+            FaultKind::ShortWrite => {
+                io::Error::new(io::ErrorKind::WriteZero, "injected short write")
+            }
+            FaultKind::TornRename => io::Error::other("injected torn rename"),
+        }
+    }
+}
+
+/// Truncates `path` to a prefix chosen by `h` (at least 1 byte shorter,
+/// possibly empty).
+fn tear_file(path: &Path, h: u64) -> io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let keep = if bytes.is_empty() { 0 } else { (h as usize) % bytes.len() };
+    std::fs::write(path, &bytes[..keep])
+}
+
+impl StoreIo for FaultyIo {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.decide(path) {
+            None => std::fs::write(path, bytes),
+            Some(FaultKind::Enospc) => Err(Self::injected_err(FaultKind::Enospc)),
+            Some(kind) => {
+                // short write and torn rename degenerate to the same
+                // thing for a whole-file write: a prefix lands, the call
+                // fails
+                let h = splitmix64(self.seed ^ bytes.len() as u64);
+                let keep = if bytes.is_empty() { 0 } else { (h as usize) % bytes.len() };
+                let _ = std::fs::write(path, &bytes[..keep]);
+                Err(Self::injected_err(kind))
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.decide(to) {
+            None => std::fs::rename(from, to),
+            Some(FaultKind::Enospc) => Err(Self::injected_err(FaultKind::Enospc)),
+            Some(kind) => {
+                // publish a truncated destination, drop the source — the
+                // worst a crashed non-atomic rename can leave behind
+                let h = splitmix64(self.seed.wrapping_add(0xabcd));
+                std::fs::rename(from, to)?;
+                tear_file(to, h)?;
+                Err(Self::injected_err(kind))
+            }
+        }
+    }
+
+    fn produce(&self, path: &Path, f: &mut dyn FnMut(&Path) -> io::Result<()>) -> io::Result<()> {
+        match self.decide(path) {
+            None => f(path),
+            Some(FaultKind::Enospc) => Err(Self::injected_err(FaultKind::Enospc)),
+            Some(kind) => {
+                // let the producer finish, then tear the file: the caller
+                // sees a typed failure AND the disk holds a corrupt file
+                // a later load must reject typed-ly
+                f(path)?;
+                tear_file(path, splitmix64(self.seed ^ 0x5eed))?;
+                Err(Self::injected_err(kind))
+            }
+        }
+    }
+}
+
+/// Tears the final line of a JSONL checkpoint the way a crashed append
+/// would: keeps roughly half of the last line's bytes and drops its
+/// newline. A no-op on files without a parseable tail line.
+///
+/// # Errors
+///
+/// Returns the I/O error when the file cannot be read or written.
+pub fn corrupt_checkpoint_tail(path: &Path, seed: u64) -> io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let trimmed = match bytes.last() {
+        Some(b'\n') => &bytes[..bytes.len() - 1],
+        _ => &bytes[..],
+    };
+    let line_start = trimmed.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let line_len = trimmed.len() - line_start;
+    if line_len == 0 {
+        return Ok(());
+    }
+    let keep = line_start + 1 + (splitmix64(seed) as usize) % line_len.max(2) / 2;
+    std::fs::write(path, &bytes[..keep.min(trimmed.len())])
+}
+
+const MAX_FUZZ_LINE: usize = 1 << 16;
+
+/// Deterministic corpus of malformed (and near-valid) protocol lines.
+///
+/// Purely a function of `(seed, count)`. The mix covers the failure
+/// classes the acceptance bar names: truncated lines, overlong fields,
+/// pathological nesting, broken escapes/UTF-8 (as lossy replacement
+/// text — the raw-byte cases live at the session layer, which rejects
+/// non-UTF-8 before parsing), wrong-typed fields, and random garbage.
+/// Every line is bounded by 64 KiB so 10k-line corpora stay cheap.
+#[must_use]
+pub fn fuzz_corpus(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = splitmix64(seed);
+    let mut next = move || {
+        rng = splitmix64(rng);
+        rng
+    };
+    let templates = [
+        r#"{"cmd":"inject","id":"j1","model":"pp-micro","mutants":8,"chaos":true,"seed":7,"budget":{"max_states":1024,"deadline_ms":5000}}"#,
+        r#"{"cmd":"enumerate","id":"e1","spec":"beats=4,ways=2,dual=1","deadline_ms":250,"client":"ci"}"#,
+        r#"{"cmd":"fuzz","id":"f1","fingerprint":"00ab00cd00ef0012","cycles":4096}"#,
+        r#"{"cmd":"tour","id":"t1","verilog":"module m(input clk); endmodule","top":"m"}"#,
+        r#"{"cmd":"ping"}"#,
+    ];
+    (0..count)
+        .map(|_| {
+            let h = next();
+            let line = match h % 8 {
+                // truncation at an arbitrary char boundary
+                0 => {
+                    let t = templates[(next() % templates.len() as u64) as usize];
+                    let mut cut = (next() % t.len() as u64) as usize;
+                    while !t.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    t[..cut].to_string()
+                }
+                // single-byte mutation, re-validated lossily
+                1 => {
+                    let t = templates[(next() % templates.len() as u64) as usize];
+                    let mut bytes = t.as_bytes().to_vec();
+                    let idx = (next() % bytes.len() as u64) as usize;
+                    bytes[idx] = (next() & 0xff) as u8;
+                    String::from_utf8_lossy(&bytes).into_owned()
+                }
+                // overlong field values
+                2 => {
+                    let len = if h % 16 == 2 { 50_000 } else { 1_500 };
+                    format!(r#"{{"cmd":"inject","id":"{}"}}"#, "a".repeat(len))
+                }
+                // pathological nesting in a skipped unknown key
+                3 => {
+                    let depth = 1 + (next() % 9_000) as usize;
+                    let mut s = String::from(r#"{"cmd":"ping","x":"#);
+                    s.extend(std::iter::repeat_n('[', depth));
+                    if next() % 2 == 0 {
+                        s.extend(std::iter::repeat_n(']', depth));
+                        s.push('}');
+                    }
+                    s
+                }
+                // broken escapes and unterminated strings
+                4 => {
+                    let broken = ["\"\\u12", "\"\\uZZZZ\"", "\"never closed", "\"\\q\"", "\"\\"];
+                    format!(r#"{{"cmd":{}}}"#, broken[(next() % broken.len() as u64) as usize])
+                }
+                // wrong-typed / extreme-valued fields
+                5 => {
+                    let bad = [
+                        r#"{"cmd":"inject","seed":-99999999999999999999999999999}"#,
+                        r#"{"cmd":"inject","mutants":1e308}"#,
+                        r#"{"cmd":["inject"]}"#,
+                        r#"{"cmd":"inject","budget":[1,2,3]}"#,
+                        r#"{"cmd":"inject","id":{"nested":true}}"#,
+                        r#"[{"cmd":"ping"}]"#,
+                        "null",
+                        "7",
+                    ];
+                    bad[(next() % bad.len() as u64) as usize].to_string()
+                }
+                // random printable garbage
+                6 => {
+                    let len = (next() % 200) as usize;
+                    (0..len).map(|_| (b' ' + (next() % 95) as u8) as char).collect()
+                }
+                // random bytes, lossily decoded (replacement chars)
+                _ => {
+                    let len = (next() % 120) as usize;
+                    let bytes: Vec<u8> = (0..len).map(|_| (next() & 0xff) as u8).collect();
+                    String::from_utf8_lossy(&bytes).into_owned()
+                }
+            };
+            let mut line = line;
+            line.truncate(MAX_FUZZ_LINE);
+            line
+        })
+        .collect()
+}
+
+/// SplitMix64 — the workspace's standard cheap deterministic mixer.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("archval-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |seed: u64| {
+            let io = FaultyIo::new(seed, 2);
+            let mut outcomes = Vec::new();
+            for i in 0..10 {
+                let p = dir.join(format!("f{i}"));
+                outcomes.push(io.write(&p, b"hello world").is_ok());
+            }
+            (outcomes, io.injected())
+        };
+        let (a, loga) = run(7);
+        let (b, logb) = run(7);
+        assert_eq!(a, b);
+        assert_eq!(loga, logb);
+        assert!(loga.len() == 5, "period 2 over 10 ops injects 5 faults: {loga:?}");
+        let (c, _) = run(8);
+        // a different seed picks different fault kinds on the same ops
+        assert_eq!(a.iter().filter(|ok| !**ok).count(), 5);
+        assert_eq!(c.iter().filter(|ok| !**ok).count(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_rename_leaves_truncated_destination() {
+        let dir = std::env::temp_dir().join(format!("archval-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // period 1: every op faults; scan seeds until one injects TornRename
+        for seed in 0..64 {
+            let io = FaultyIo::new(seed, 1);
+            let from = dir.join("src");
+            let to = dir.join("dst");
+            std::fs::write(&from, b"0123456789").unwrap();
+            let _ = std::fs::remove_file(&to);
+            let err = io.rename(&from, &to).unwrap_err();
+            if io.injected()[0].contains("torn_rename") {
+                assert!(to.exists(), "torn rename publishes a truncated file");
+                assert!(std::fs::read(&to).unwrap().len() < 10);
+                assert!(err.to_string().contains("torn"), "{err}");
+                std::fs::remove_dir_all(&dir).ok();
+                return;
+            }
+        }
+        panic!("no seed in 0..64 injected a torn rename");
+    }
+
+    #[test]
+    fn checkpoint_tail_corruption_shortens_only_the_last_line() {
+        let dir = std::env::temp_dir().join(format!("archval-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("c.jsonl");
+        std::fs::write(&p, "{\"id\":0}\n{\"id\":1}\n{\"id\":2}\n").unwrap();
+        corrupt_checkpoint_tail(&p, 3).unwrap();
+        let after = std::fs::read_to_string(&p).unwrap();
+        assert!(after.starts_with("{\"id\":0}\n{\"id\":1}\n"));
+        assert!(!after.ends_with('\n'), "torn tail loses its newline");
+        assert!(after.len() < 27);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fuzz_corpus_is_deterministic_and_bounded() {
+        let a = fuzz_corpus(42, 500);
+        let b = fuzz_corpus(42, 500);
+        assert_eq!(a, b);
+        assert_ne!(a, fuzz_corpus(43, 500));
+        assert!(a.iter().all(|l| l.len() <= MAX_FUZZ_LINE));
+        // the corpus must exercise the deep-nesting class
+        assert!(a.iter().any(|l| l.contains("[[[[")), "nesting lines present");
+    }
+}

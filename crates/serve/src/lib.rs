@@ -26,9 +26,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod protocol;
+pub mod sched;
 pub mod server;
 
 pub use cache::{CacheConfig, CacheCounters, CacheWarning, CachedGraph, GraphCache, LoadSource};
-pub use protocol::{line_is_event, BudgetSpec, Cmd, Event, ModelRef, Request};
-pub use server::{listen_tcp, listen_unix, EventSink, Server, ServerConfig};
+pub use client::{Client, RetryPolicy};
+pub use faults::{corrupt_checkpoint_tail, fuzz_corpus, FaultKind, FaultyIo, RealIo, StoreIo};
+pub use protocol::{event_field, line_is_event, BudgetSpec, Cmd, Event, ModelRef, Request};
+pub use sched::{Admission, QueuedJob, SchedConfig, Scheduler};
+pub use server::{listen_tcp, listen_unix, ConnConfig, EventSink, Server, ServerConfig};

@@ -30,18 +30,32 @@
 //!   reach). Unknown references also fail with `unknown_fingerprint`.
 //! - `budget`: per-request resource envelope; absent fields fall back to
 //!   [`RunBudget::default`].
+//! - `client`: fairness namespace for the deficit-round-robin scheduler;
+//!   requests without one are grouped per connection. One namespace
+//!   cannot starve another, however many jobs it queues.
+//! - `deadline_ms`: wall-clock deadline measured from admission; a job
+//!   past it is cancelled at the next budget checkpoint and reported as
+//!   a typed `deadline_exceeded` error, never a hang. Composes with
+//!   `budget.deadline_ms` (the tighter bound wins).
 //! - `seed`, `cycles`, `mutants`, `chaos`, `threads`: campaign knobs.
 //!
 //! Unknown keys are skipped, and every field except `cmd` has a default —
 //! the derived `Deserialize` of the vendored serde treats missing fields
 //! as hard errors, so `Request` parsing is written by hand against
-//! [`serde::de::Parser`].
+//! [`serde::de::Parser`]. Request lines are bounded: the server rejects
+//! lines longer than its configured maximum with a `line_too_long` error
+//! instead of buffering without limit, and `Request::parse` itself never
+//! panics or allocates unboundedly on hostile input (nesting is capped
+//! by the parser).
 //!
 //! Events are single-line JSON objects tagged by a leading `"event"` key:
 //! `accepted`, `graph_ready`, `coverage`, `verdict`, `warning`, `report`,
-//! `error`, `done`, `pong`, `stats`, `shutting_down`. The `verdict` and
-//! `report` events embed campaign JSON (a checkpoint-format
-//! `MutantOutcome`, a final report) verbatim as a nested object.
+//! `error`, `done`, `pong`, `stats`, `overloaded`, `shutting_down`. The
+//! `verdict` and `report` events embed campaign JSON (a checkpoint-format
+//! `MutantOutcome`, a final report) verbatim as a nested object. An
+//! `overloaded` event is the admission controller refusing (or shedding)
+//! a job; its `retry_after_ms` is the server's backoff hint, which
+//! [`crate::client::Client::submit_with_retry`] honours.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -191,6 +205,11 @@ pub struct Request {
     pub chaos: bool,
     /// Worker threads inside the campaign (fuzz replay / mutant fan-out).
     pub threads: Option<usize>,
+    /// Fairness namespace for the scheduler; `None` groups the request
+    /// under its connection.
+    pub client: Option<String>,
+    /// Wall-clock deadline measured from admission, in milliseconds.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -209,6 +228,8 @@ impl Request {
             mutants: None,
             chaos: false,
             threads: None,
+            client: None,
+            deadline_ms: None,
         }
     }
 
@@ -265,6 +286,8 @@ impl Request {
                     "mutants" => req.mutants = Some(parse_u64(&mut p)? as usize),
                     "chaos" => req.chaos = p.parse_bool()?,
                     "threads" => req.threads = Some(parse_u64(&mut p)? as usize),
+                    "client" => req.client = Some(p.parse_string()?),
+                    "deadline_ms" => req.deadline_ms = Some(parse_u64(&mut p)?),
                     "budget" => req.budget = Some(parse_budget(&mut p)?),
                     _ => p.skip_value()?,
                 }
@@ -360,6 +383,13 @@ impl Request {
         if let Some(t) = self.threads {
             let _ = write!(out, ",\"threads\":{t}");
         }
+        if let Some(c) = &self.client {
+            out.push_str(",\"client\":");
+            write_json_string(c, &mut out);
+        }
+        if let Some(d) = self.deadline_ms {
+            let _ = write!(out, ",\"deadline_ms\":{d}");
+        }
         out.push('}');
         out
     }
@@ -420,6 +450,14 @@ pub enum Event {
         resident_bytes: usize,
         /// Jobs currently running or queued.
         active_jobs: usize,
+        /// Jobs waiting in the admission queue.
+        queued_jobs: usize,
+        /// Request bytes held by the admission queue.
+        queued_bytes: usize,
+        /// Jobs refused or shed by the admission controller so far.
+        shed_jobs: u64,
+        /// Connections with a live session thread.
+        sessions: usize,
     },
     /// A campaign request was admitted to the queue.
     Accepted {
@@ -482,12 +520,24 @@ pub enum Event {
         /// Compact report JSON.
         report: String,
     },
+    /// The admission controller refused (or shed) a job; resubmit after
+    /// the hinted backoff.
+    Overloaded {
+        /// Job id.
+        id: String,
+        /// Server-estimated backoff before a resubmission has a chance.
+        retry_after_ms: u64,
+        /// `true` when the job had been queued and was evicted to make
+        /// room for cheaper work; `false` when it was refused outright.
+        shed: bool,
+    },
     /// The request failed (parse error, bad model, panic, budget abort).
     Error {
         /// Job id (empty when the line never parsed).
         id: String,
         /// Stable error kind: `protocol`, `rejected`, `failed`,
-        /// `unknown_fingerprint`, `panic`.
+        /// `unknown_fingerprint`, `panic`, `deadline_exceeded`,
+        /// `line_too_long`, `invalid_utf8`, `timeout`.
         kind: &'static str,
         /// Human-readable detail.
         detail: String,
@@ -528,6 +578,10 @@ impl Event {
                 resident_graphs,
                 resident_bytes,
                 active_jobs,
+                queued_jobs,
+                queued_bytes,
+                shed_jobs,
+                sessions,
             } => {
                 tag(&mut out, "stats");
                 let _ = write!(
@@ -536,7 +590,9 @@ impl Event {
                      \"enumerations\":{enumerations},\"evictions\":{evictions},\
                      \"corrupt_snapshots\":{corrupt_snapshots},\
                      \"resident_graphs\":{resident_graphs},\
-                     \"resident_bytes\":{resident_bytes},\"active_jobs\":{active_jobs}"
+                     \"resident_bytes\":{resident_bytes},\"active_jobs\":{active_jobs},\
+                     \"queued_jobs\":{queued_jobs},\"queued_bytes\":{queued_bytes},\
+                     \"shed_jobs\":{shed_jobs},\"sessions\":{sessions}"
                 );
             }
             Event::Accepted { id, cmd, fingerprint, cached } => {
@@ -582,6 +638,11 @@ impl Event {
                 out.push_str(",\"report\":");
                 out.push_str(report);
             }
+            Event::Overloaded { id, retry_after_ms, shed } => {
+                tag(&mut out, "overloaded");
+                sfield(&mut out, "id", id);
+                let _ = write!(out, ",\"retry_after_ms\":{retry_after_ms},\"shed\":{shed}");
+            }
             Event::Error { id, kind, detail } => {
                 tag(&mut out, "error");
                 sfield(&mut out, "id", id);
@@ -610,6 +671,7 @@ impl Event {
             Event::Verdict { .. } => "verdict",
             Event::Warning { .. } => "warning",
             Event::Report { .. } => "report",
+            Event::Overloaded { .. } => "overloaded",
             Event::Error { .. } => "error",
             Event::Done { .. } => "done",
             Event::ShuttingDown => "shutting_down",
@@ -627,6 +689,41 @@ pub fn line_is_event(line: &str, tag: &str) -> bool {
     prefix.push_str(tag);
     prefix.push('"');
     line.starts_with(&prefix)
+}
+
+/// Extracts one top-level field from a serialized event line.
+///
+/// String values come back decoded; numbers, booleans and `null` come
+/// back as their literal text; object and array values come back as raw
+/// JSON. Returns `None` when the line is not an object or lacks the key
+/// — never panics, whatever the input.
+#[must_use]
+pub fn event_field(line: &str, key: &str) -> Option<String> {
+    let mut p = de::Parser::new(line);
+    p.expect('{').ok()?;
+    if p.try_char('}') {
+        return None;
+    }
+    loop {
+        let k = p.parse_string().ok()?;
+        p.expect(':').ok()?;
+        if k == key {
+            return match p.peek_char()? {
+                '"' => p.parse_string().ok(),
+                _ => {
+                    let before = p.remaining_len();
+                    p.skip_value().ok()?;
+                    let consumed = before - p.remaining_len();
+                    let start = line.len() - before;
+                    Some(line[start..start + consumed].trim().to_string())
+                }
+            };
+        }
+        p.skip_value().ok()?;
+        if !p.try_char(',') {
+            return None;
+        }
+    }
 }
 
 /// Validates a job id for use as a durable job-store file stem.
@@ -806,6 +903,39 @@ mod tests {
             p.finish().unwrap();
         }
         assert!(!line_is_event(&events[0].to_line(), "stats"));
+    }
+
+    #[test]
+    fn parse_client_and_deadline_fields() {
+        let r = Request::parse(
+            r#"{"cmd":"enumerate","id":"e1","model":"pp-micro","client":"ci","deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.client.as_deref(), Some("ci"));
+        assert_eq!(r.deadline_ms, Some(250));
+        assert!(Request::parse(r#"{"cmd":"enumerate","deadline_ms":-1}"#).is_err());
+
+        let mut r = Request::new(Cmd::Inject);
+        r.id = "i1".into();
+        r.client = Some("team-a".into());
+        r.deadline_ms = Some(5000);
+        assert_eq!(Request::parse(&r.to_json()).unwrap(), r, "client/deadline round-trip");
+    }
+
+    #[test]
+    fn overloaded_event_and_field_extraction() {
+        let e = Event::Overloaded { id: "j9".into(), retry_after_ms: 75, shed: true };
+        let line = e.to_line();
+        assert!(line_is_event(&line, "overloaded"), "{line}");
+        assert_eq!(event_field(&line, "id").as_deref(), Some("j9"));
+        assert_eq!(event_field(&line, "retry_after_ms").as_deref(), Some("75"));
+        assert_eq!(event_field(&line, "shed").as_deref(), Some("true"));
+        assert_eq!(event_field(&line, "absent"), None);
+        assert_eq!(event_field("not json", "id"), None);
+        assert_eq!(event_field("", "id"), None);
+
+        let report = Event::Report { id: "a".into(), kind: "tour", report: r#"{"n":1}"#.into() };
+        assert_eq!(event_field(&report.to_line(), "report").as_deref(), Some(r#"{"n":1}"#));
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! Bounded admission queue with per-client deficit round-robin.
+//!
+//! The scheduler replaces the unbounded FIFO between sessions and the
+//! worker pool with three coupled mechanisms:
+//!
+//! - **Admission control.** The queue is bounded in jobs, bytes, and
+//!   jobs-per-client. A submit that would exceed a bound is refused with
+//!   a `retry_after_ms` hint — or, when the incoming job is warm (its
+//!   graph is already resident) and a cold job is queued, the cold job
+//!   is *shed* instead: evicting expensive work for cheap work raises
+//!   completed jobs per second under overload.
+//! - **Deficit round-robin.** Each client namespace (the request's
+//!   `client` field, or its connection) owns a FIFO of its jobs plus a
+//!   deficit counter. Workers scan the active clients in ring order; a
+//!   client whose deficit covers its head job's cost is served, others
+//!   accrue one quantum per pass. Warm jobs cost less than cold ones, so
+//!   a namespace hoarding cold work cannot monopolize the pool, and an
+//!   idle namespace's deficit resets — there is no saving up.
+//! - **Drain verbs.** [`Scheduler::close`] either lets workers finish
+//!   the whole queue (`shutdown`) or stops them after their current job
+//!   (SIGTERM drain), leaving queued jobs to the job store's
+//!   crash-resume path.
+//!
+//! The scheduler owns no I/O and emits no events; the server interprets
+//! [`Admission`] and performs victim cleanup, so this module stays a
+//! deterministic, lock-plus-condvar queueing core.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::Request;
+use crate::server::EventSink;
+
+/// Admission-queue and fairness policy.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Maximum jobs waiting in the queue (running jobs excluded).
+    pub max_queued_jobs: usize,
+    /// Maximum request bytes held by queued jobs.
+    pub max_queued_bytes: usize,
+    /// Maximum queued jobs per client namespace — a single namespace can
+    /// never fill the shared queue.
+    pub max_queued_per_client: usize,
+    /// Deficit added to each waiting client per scheduling pass.
+    pub quantum: u64,
+    /// Cost of a job whose graph is already resident.
+    pub warm_cost: u64,
+    /// Cost of a job that must enumerate (or snapshot-load) its graph.
+    pub cold_cost: u64,
+    /// Worker-pool size, used to scale the `retry_after_ms` hint.
+    pub workers: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            max_queued_jobs: 256,
+            max_queued_bytes: 16 << 20,
+            max_queued_per_client: 64,
+            // one warm job per pass: the finest-grained interleave, so a
+            // backlogged namespace never gets a multi-job burst ahead of
+            // a waiting light one; cold jobs still pay cold_cost passes
+            quantum: 1,
+            warm_cost: 1,
+            cold_cost: 8,
+            workers: 2,
+        }
+    }
+}
+
+/// One admitted campaign job, queued for a worker.
+pub struct QueuedJob {
+    /// The parsed request.
+    pub request: Request,
+    /// Fairness namespace the job is queued under.
+    pub client: String,
+    /// Length of the raw request line (the byte-cap unit).
+    pub raw_bytes: usize,
+    /// Whether the job's graph was resident at admission.
+    pub warm: bool,
+    /// Event stream back to the submitting session (detached for
+    /// recovered jobs).
+    pub sink: EventSink,
+    /// The submitting connection's in-flight counter, decremented when
+    /// the job reaches a terminal event.
+    pub inflight: Option<Arc<AtomicUsize>>,
+    /// Wall-clock deadline derived from the request's `deadline_ms` at
+    /// admission.
+    pub deadline: Option<Instant>,
+}
+
+impl QueuedJob {
+    /// Whether the job's deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left before the deadline (`None` when the job has none).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    fn cost(&self, config: &SchedConfig) -> u64 {
+        if self.warm {
+            config.warm_cost
+        } else {
+            config.cold_cost
+        }
+    }
+}
+
+/// The outcome of a submit.
+pub enum Admission {
+    /// The job was queued. When admission shed a queued cold job to make
+    /// room, the victim is returned for the server to clean up (emit its
+    /// `overloaded` event, release its id, delete its request file).
+    Admitted {
+        /// The shed victim, if admission evicted one (boxed: the victim
+        /// carries a whole request, and the common case is `None`).
+        shed: Option<Box<QueuedJob>>,
+    },
+    /// The queue is full (or draining); the job was not admitted.
+    Rejected {
+        /// Backoff hint scaled to the current backlog.
+        retry_after_ms: u64,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Running,
+    /// `shutdown` verb: workers finish every queued job, then exit.
+    DrainQueue,
+    /// SIGTERM drain: workers exit after their current job; queued jobs
+    /// stay in the job store for restart-resume.
+    DrainNow,
+}
+
+struct ClientQueue {
+    jobs: VecDeque<QueuedJob>,
+    deficit: u64,
+}
+
+struct Inner {
+    queues: HashMap<String, ClientQueue>,
+    /// Active client namespaces in scheduling order.
+    ring: VecDeque<String>,
+    queued_jobs: usize,
+    queued_bytes: usize,
+    shed: u64,
+    state: State,
+}
+
+/// The admission queue. See the [module docs](self).
+pub struct Scheduler {
+    config: SchedConfig,
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+impl Scheduler {
+    /// An empty queue under `config`.
+    #[must_use]
+    pub fn new(config: SchedConfig) -> Scheduler {
+        Scheduler {
+            config,
+            inner: Mutex::new(Inner {
+                queues: HashMap::new(),
+                ring: VecDeque::new(),
+                queued_jobs: 0,
+                queued_bytes: 0,
+                shed: 0,
+                state: State::Running,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Submits one job. `privileged` submissions (job-store recovery)
+    /// bypass the caps — every job that was once admitted must be
+    /// admittable again after a crash — but still schedule fairly.
+    pub fn submit(&self, job: QueuedJob, privileged: bool) -> Admission {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.state != State::Running && !privileged {
+            inner.shed += 1;
+            return Admission::Rejected { retry_after_ms: self.retry_after(&inner) };
+        }
+        let mut shed = None;
+        if !privileged {
+            let client_depth = inner.queues.get(&job.client).map_or(0, |q| q.jobs.len());
+            if client_depth >= self.config.max_queued_per_client {
+                inner.shed += 1;
+                return Admission::Rejected { retry_after_ms: self.retry_after(&inner) };
+            }
+            let over_jobs = inner.queued_jobs + 1 > self.config.max_queued_jobs;
+            let over_bytes = inner.queued_bytes + job.raw_bytes > self.config.max_queued_bytes;
+            if over_jobs || over_bytes {
+                // Prefer shedding queued cold work for incoming warm work;
+                // an incoming cold job *is* the expensive one, so it takes
+                // the refusal itself.
+                shed = if job.warm { Self::shed_cold(&mut inner).map(Box::new) } else { None };
+                if shed.is_none() {
+                    inner.shed += 1;
+                    return Admission::Rejected { retry_after_ms: self.retry_after(&inner) };
+                }
+                inner.shed += 1;
+            }
+        }
+        inner.queued_jobs += 1;
+        inner.queued_bytes += job.raw_bytes;
+        let key = job.client.clone();
+        match inner.queues.get_mut(&key) {
+            Some(q) => q.jobs.push_back(job),
+            None => {
+                let mut jobs = VecDeque::new();
+                jobs.push_back(job);
+                inner.queues.insert(key.clone(), ClientQueue { jobs, deficit: 0 });
+                inner.ring.push_back(key);
+            }
+        }
+        drop(inner);
+        self.available.notify_one();
+        Admission::Admitted { shed }
+    }
+
+    /// Removes the most recently queued cold job of the first client (in
+    /// ring order) that has one. Deterministic, and LIFO within a client
+    /// so the longest-waiting cold work sheds last.
+    fn shed_cold(inner: &mut Inner) -> Option<QueuedJob> {
+        let key = inner
+            .ring
+            .iter()
+            .find(|k| inner.queues.get(*k).is_some_and(|q| q.jobs.iter().any(|j| !j.warm)))?
+            .clone();
+        let q = inner.queues.get_mut(&key)?;
+        let idx = q.jobs.iter().rposition(|j| !j.warm)?;
+        let victim = q.jobs.remove(idx)?;
+        inner.queued_jobs -= 1;
+        inner.queued_bytes -= victim.raw_bytes;
+        if inner.queues.get(&key).is_some_and(|q| q.jobs.is_empty()) {
+            inner.queues.remove(&key);
+            inner.ring.retain(|k| k != &key);
+        }
+        Some(victim)
+    }
+
+    /// Blocks until a job is scheduled to this worker, or returns `None`
+    /// when the worker should exit (drain).
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.state {
+                State::DrainNow => return None,
+                State::DrainQueue if inner.queued_jobs == 0 => return None,
+                _ => {}
+            }
+            if inner.queued_jobs > 0 {
+                if let Some(job) = self.drr_pop(&mut inner) {
+                    return Some(job);
+                }
+                // no client had enough deficit this pass; each accrued a
+                // quantum, so another pass makes progress without waiting
+                continue;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// One deficit-round-robin pass over the active clients.
+    fn drr_pop(&self, inner: &mut Inner) -> Option<QueuedJob> {
+        for _ in 0..inner.ring.len() {
+            let key = inner.ring.front()?.clone();
+            let q = inner.queues.get_mut(&key)?;
+            let cost = q.jobs.front()?.cost(&self.config);
+            if q.deficit >= cost {
+                q.deficit -= cost;
+                let job = q.jobs.pop_front()?;
+                inner.queued_jobs -= 1;
+                inner.queued_bytes -= job.raw_bytes;
+                if inner.queues.get(&key).is_some_and(|q| q.jobs.is_empty()) {
+                    // idle clients leave the ring and forfeit their
+                    // deficit — fairness is about waiting work, not
+                    // banked credit
+                    inner.queues.remove(&key);
+                    inner.ring.pop_front();
+                }
+                return Some(job);
+            }
+            q.deficit += self.config.quantum;
+            inner.ring.rotate_left(1);
+        }
+        None
+    }
+
+    /// The backoff hint a rejection issued right now would carry; the
+    /// server stamps it onto `overloaded` events for shed victims.
+    #[must_use]
+    pub fn retry_hint(&self) -> u64 {
+        self.retry_after(&self.inner.lock().unwrap())
+    }
+
+    /// Backoff hint: one scheduling slice per backlog-per-worker, so the
+    /// hint grows with the queue the client is waiting behind.
+    fn retry_after(&self, inner: &Inner) -> u64 {
+        let backlog = (inner.queued_jobs / self.config.workers.max(1)) as u64;
+        (25 * (backlog + 1)).clamp(25, 2_000)
+    }
+
+    /// Moves the queue into a drain state and wakes every worker.
+    /// `finish_queued` distinguishes the `shutdown` verb (drain the whole
+    /// queue) from SIGTERM (stop after current jobs; queued jobs resume
+    /// from the job store on restart).
+    pub fn close(&self, finish_queued: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        // a full drain never downgrades to a queue-finishing drain
+        if inner.state != State::DrainNow {
+            inner.state = if finish_queued { State::DrainQueue } else { State::DrainNow };
+        }
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Jobs currently waiting.
+    #[must_use]
+    pub fn queued_jobs(&self) -> usize {
+        self.inner.lock().unwrap().queued_jobs
+    }
+
+    /// Request bytes currently held by waiting jobs.
+    #[must_use]
+    pub fn queued_bytes(&self) -> usize {
+        self.inner.lock().unwrap().queued_bytes
+    }
+
+    /// Jobs refused or shed since startup.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.inner.lock().unwrap().shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Cmd, Request};
+
+    fn job(client: &str, id: &str, warm: bool) -> QueuedJob {
+        let mut request = Request::new(Cmd::Enumerate);
+        request.id = id.to_string();
+        QueuedJob {
+            request,
+            client: client.to_string(),
+            raw_bytes: 64,
+            warm,
+            sink: EventSink::detached(),
+            inflight: None,
+            deadline: None,
+        }
+    }
+
+    fn pop_ids(s: &Scheduler, n: usize) -> Vec<String> {
+        (0..n).map(|_| s.pop().unwrap().request.id).collect()
+    }
+
+    #[test]
+    fn drr_interleaves_a_greedy_client_with_a_light_one() {
+        let s = Scheduler::new(SchedConfig { quantum: 1, ..Default::default() });
+        for i in 0..20 {
+            assert!(matches!(
+                s.submit(job("greedy", &format!("g{i}"), true), false),
+                Admission::Admitted { shed: None }
+            ));
+        }
+        s.submit(job("light", "l0", true), false);
+        s.submit(job("light", "l1", true), false);
+        let order = pop_ids(&s, 22);
+        let l0 = order.iter().position(|id| id == "l0").unwrap();
+        let l1 = order.iter().position(|id| id == "l1").unwrap();
+        assert!(l0 <= 2, "light client served early despite 20 queued greedy jobs: {order:?}");
+        assert!(l1 <= 4, "light client's second job not starved: {order:?}");
+    }
+
+    #[test]
+    fn cold_jobs_cost_more_than_warm_ones() {
+        let s = Scheduler::new(SchedConfig {
+            quantum: 2,
+            warm_cost: 1,
+            cold_cost: 8,
+            ..Default::default()
+        });
+        for i in 0..4 {
+            s.submit(job("cold", &format!("c{i}"), false), false);
+        }
+        for i in 0..4 {
+            s.submit(job("warm", &format!("w{i}"), true), false);
+        }
+        let order = pop_ids(&s, 8);
+        // with cost 8 vs 1 at quantum 2, all four warm jobs clear before
+        // the second cold job is served
+        let c1 = order.iter().position(|id| id == "c1").unwrap();
+        let w3 = order.iter().position(|id| id == "w3").unwrap();
+        assert!(w3 < c1, "warm work drains ahead of repeated cold work: {order:?}");
+    }
+
+    #[test]
+    fn admission_caps_and_retry_hint() {
+        let s = Scheduler::new(SchedConfig {
+            max_queued_jobs: 4,
+            max_queued_per_client: 3,
+            workers: 1,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            assert!(matches!(
+                s.submit(job("a", &format!("a{i}"), false), false),
+                Admission::Admitted { .. }
+            ));
+        }
+        // per-client cap fires before the shared cap
+        let Admission::Rejected { retry_after_ms } = s.submit(job("a", "a3", false), false) else {
+            panic!("per-client cap must reject");
+        };
+        assert!(retry_after_ms >= 25);
+        assert!(matches!(s.submit(job("b", "b0", false), false), Admission::Admitted { .. }));
+        // queue now full (4): cold-for-cold is a plain rejection
+        assert!(matches!(s.submit(job("c", "c0", false), false), Admission::Rejected { .. }));
+        assert_eq!(s.queued_jobs(), 4);
+        assert_eq!(s.shed_total(), 2);
+    }
+
+    #[test]
+    fn full_queue_sheds_cold_work_for_warm_work() {
+        let s = Scheduler::new(SchedConfig { max_queued_jobs: 2, ..Default::default() });
+        s.submit(job("a", "cold0", false), false);
+        s.submit(job("a", "warm0", true), false);
+        let Admission::Admitted { shed: Some(victim) } = s.submit(job("b", "warm1", true), false)
+        else {
+            panic!("warm submit into a full queue must shed the cold job");
+        };
+        assert_eq!(victim.request.id, "cold0");
+        assert_eq!(s.queued_jobs(), 2);
+        // an all-warm queue has no victim to shed
+        assert!(matches!(s.submit(job("b", "warm2", true), false), Admission::Rejected { .. }));
+    }
+
+    #[test]
+    fn byte_cap_rejects_oversized_backlog() {
+        let s = Scheduler::new(SchedConfig { max_queued_bytes: 100, ..Default::default() });
+        assert!(matches!(s.submit(job("a", "a0", false), false), Admission::Admitted { .. }));
+        assert!(matches!(s.submit(job("a", "a1", false), false), Admission::Rejected { .. }));
+        assert_eq!(s.queued_bytes(), 64);
+    }
+
+    #[test]
+    fn drain_now_stops_workers_and_keeps_queue() {
+        let s = Scheduler::new(SchedConfig::default());
+        s.submit(job("a", "a0", false), false);
+        s.close(false);
+        assert!(s.pop().is_none(), "DrainNow workers exit without taking queued jobs");
+        assert_eq!(s.queued_jobs(), 1, "queued job left for job-store resume");
+        // post-drain submits are refused
+        assert!(matches!(s.submit(job("a", "a1", false), false), Admission::Rejected { .. }));
+    }
+
+    #[test]
+    fn drain_queue_finishes_backlog_then_exits() {
+        let s = Scheduler::new(SchedConfig::default());
+        s.submit(job("a", "a0", true), false);
+        s.submit(job("a", "a1", true), false);
+        s.close(true);
+        assert_eq!(pop_ids(&s, 2), vec!["a0", "a1"]);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn privileged_submits_bypass_caps() {
+        let s = Scheduler::new(SchedConfig { max_queued_jobs: 1, ..Default::default() });
+        s.submit(job("a", "a0", false), false);
+        assert!(matches!(s.submit(job("a", "a1", false), false), Admission::Rejected { .. }));
+        assert!(matches!(
+            s.submit(job("recovered", "a2", false), true),
+            Admission::Admitted { shed: None }
+        ));
+        assert_eq!(s.queued_jobs(), 2);
+    }
+}

@@ -1,23 +1,30 @@
-//! The campaign server: session loop, worker-pool scheduler, and the
-//! durable job store.
+//! The campaign server: session loop, fair worker-pool scheduler, and
+//! the durable job store.
 //!
-//! # Scheduling
+//! # Scheduling and admission
 //!
 //! Each accepted connection gets a session thread that reads request
-//! lines. `ping`/`stats` are answered inline; `shutdown` drains the
-//! server; campaign verbs are admitted to a bounded worker pool
-//! ([`ServerConfig::workers`] threads) through an mpsc queue, so a slow
-//! campaign never blocks the protocol. Every job runs inside
-//! [`run_isolated`] — a panicking campaign degrades to a typed `error`
-//! event, and its worker survives — and under the request's
-//! [`RunBudget`](archval_inject::RunBudget): enumeration bounds cap
-//! budgeted enumerate requests, per-mutant envelopes cap inject, the
-//! cycle bound caps fuzz.
+//! lines through a bounded [`LineReader`]: oversized lines, invalid
+//! UTF-8, and mid-line read timeouts degrade to typed `error` events
+//! (`line_too_long`, `invalid_utf8`, `timeout`) instead of unbounded
+//! buffering or a wedged thread. `ping`/`stats` are answered inline;
+//! `shutdown` drains the server; campaign verbs pass through the
+//! admission-controlled [`Scheduler`]: a full queue answers with a typed
+//! `overloaded` event carrying a `retry_after_ms` backoff hint (shedding
+//! queued cold work for incoming warm work when it can), and admitted
+//! jobs are served to the [`ServerConfig::workers`] pool in per-client
+//! deficit round-robin order, so no namespace can starve another. Every
+//! job runs inside [`run_isolated`] — a panicking campaign degrades to a
+//! typed `error` event, and its worker survives — under the request's
+//! [`RunBudget`](archval_inject::RunBudget) clamped to its `deadline_ms`:
+//! a job past its deadline is cancelled at the next budget checkpoint
+//! and reported as `deadline_exceeded`, never a hang.
 //!
 //! # Durability and crash-resume
 //!
 //! With a jobs directory configured, each campaign id owns up to three
-//! files:
+//! files (all written through the [`StoreIo`] seam, so the fault-
+//! injection tests can tear any of them):
 //!
 //! - `<id>.request.json` — the request line, written on admission;
 //! - `<id>.checkpoint.jsonl` — the inject campaign's own JSONL
@@ -27,36 +34,49 @@
 //!   via temp-file + rename only when the job finishes.
 //!
 //! A request file without a report file marks an in-flight job; on
-//! startup the server re-enqueues exactly those. A resumed inject
+//! startup the server re-enqueues exactly those (bypassing admission
+//! caps — a job admitted once is admitted forever). A resumed inject
 //! campaign replays nothing — completed mutants come back from the
 //! checkpoint byte-identically, only the remainder runs — so the resumed
 //! report equals the uninterrupted one byte for byte. Resubmitting a
 //! completed id short-circuits to the stored report.
+//!
+//! # Drain
+//!
+//! Two verbs end a server. `shutdown` (the protocol verb) stops
+//! admission and lets workers finish the whole queue.
+//! [`Server::request_drain`] (wired to SIGTERM by `archval-served`)
+//! is the graceful-restart path: accept stops, running inject campaigns
+//! park at their next checkpoint via a shared
+//! [`CancelToken`](archval_inject::CancelToken), queued jobs stay in the
+//! job store, and [`Server::drain_join`] bounds the wait — everything
+//! parked or queued resumes byte-identically in the next process.
 
-use std::collections::HashSet;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::{HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, ToSocketAddrs};
 use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use archval::{fuzz_campaign_with_feedback, tour_campaign};
 use archval_exec::StepProgram;
 use archval_fsm::SyncSim;
 use archval_fsm::{enumerate_delta_opts, enumerate_parallel_with, DeltaOptions, EnumConfig, Model};
 use archval_fuzz::{Feedback, FuzzConfig, GraphFeedback, Observation, Trace};
-use archval_inject::{run_campaign_streaming, run_isolated, CampaignConfig};
+use archval_inject::{run_campaign_streaming, run_isolated, CampaignConfig, CancelToken};
 use archval_pp::{pp_control_model, resolve_preset, DesignSpec};
 use archval_tour::TourConfig;
 use archval_verilog::translate::TranslateOptions;
-use serde::Serialize;
+use serde::{de, Serialize};
 
 use crate::cache::{CacheConfig, GraphCache};
+use crate::faults::{RealIo, StoreIo};
 use crate::protocol::{validate_job_id, Cmd, Event, ModelRef, Request};
+use crate::sched::{Admission, QueuedJob, SchedConfig, Scheduler};
 
 /// Server sizing and storage policy.
 #[derive(Debug, Clone)]
@@ -68,11 +88,55 @@ pub struct ServerConfig {
     /// Durable job-store directory; `None` disables persistence and
     /// crash-resume.
     pub jobs_dir: Option<PathBuf>,
+    /// Admission-queue and fairness policy (`workers` is overwritten
+    /// with the server's own worker count).
+    pub sched: SchedConfig,
+    /// Per-connection robustness limits.
+    pub conn: ConnConfig,
+    /// Write seam for the job store; tests inject
+    /// [`FaultyIo`](crate::faults::FaultyIo) here.
+    pub io: Arc<dyn StoreIo>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 2, cache: CacheConfig::default(), jobs_dir: None }
+        ServerConfig {
+            workers: 2,
+            cache: CacheConfig::default(),
+            jobs_dir: None,
+            sched: SchedConfig::default(),
+            conn: ConnConfig::default(),
+            io: Arc::new(RealIo),
+        }
+    }
+}
+
+/// Per-connection robustness limits.
+#[derive(Debug, Clone)]
+pub struct ConnConfig {
+    /// Socket read timeout. An idle connection is closed after it; a
+    /// connection stalled *mid-line* (a slow-loris writer) gets a typed
+    /// `timeout` error and is closed at the first expiry.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; a client that stops reading detaches its
+    /// event sink instead of wedging a worker.
+    pub write_timeout: Option<Duration>,
+    /// Maximum request-line bytes; longer lines get a typed
+    /// `line_too_long` error and are discarded without buffering.
+    pub max_line: usize,
+    /// Maximum jobs one connection may have queued or running; excess
+    /// submissions get an `overloaded` event.
+    pub max_inflight: usize,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        ConnConfig {
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_line: 1 << 20,
+            max_inflight: 64,
+        }
     }
 }
 
@@ -113,18 +177,23 @@ impl EventSink {
     }
 }
 
-struct Job {
-    request: Request,
-    sink: EventSink,
-}
-
 struct Shared {
     cache: GraphCache,
     jobs_dir: Option<PathBuf>,
     workers: usize,
-    queue: Mutex<Option<Sender<Job>>>,
+    sched: Scheduler,
     shutdown: AtomicBool,
+    draining: AtomicBool,
+    drain_token: CancelToken,
     active: Mutex<HashSet<String>>,
+    /// model-name → fingerprint memo so admission can classify repeat
+    /// requests as warm without resolving the model on the session thread
+    fp_memo: Mutex<HashMap<String, u64>>,
+    sessions: AtomicUsize,
+    workers_live: AtomicUsize,
+    conn_serial: AtomicUsize,
+    io: Arc<dyn StoreIo>,
+    conn: ConnConfig,
 }
 
 /// The long-lived campaign server. See the [module docs](self) for the
@@ -150,21 +219,29 @@ impl Server {
         if let Some(dir) = &config.jobs_dir {
             std::fs::create_dir_all(dir)?;
         }
-        let (tx, rx) = mpsc::channel::<Job>();
+        let workers = config.workers.max(1);
+        let mut sched_config = config.sched;
+        sched_config.workers = workers;
         let shared = Arc::new(Shared {
             cache: GraphCache::new(config.cache),
             jobs_dir: config.jobs_dir,
-            workers: config.workers.max(1),
-            queue: Mutex::new(Some(tx)),
+            workers,
+            sched: Scheduler::new(sched_config),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            drain_token: CancelToken::new(),
             active: Mutex::new(HashSet::new()),
+            fp_memo: Mutex::new(HashMap::new()),
+            sessions: AtomicUsize::new(0),
+            workers_live: AtomicUsize::new(workers),
+            conn_serial: AtomicUsize::new(0),
+            io: config.io,
+            conn: config.conn,
         });
-        let rx = Arc::new(Mutex::new(rx));
         let mut handles = Vec::new();
-        for _ in 0..shared.workers {
+        for _ in 0..workers {
             let shared = shared.clone();
-            let rx = rx.clone();
-            handles.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+            handles.push(std::thread::spawn(move || worker_loop(&shared)));
         }
         let server =
             Server { shared, handles: Mutex::new(handles), recovered: AtomicUsize::new(0) };
@@ -191,10 +268,25 @@ impl Server {
         self.shared.shutdown.load(Ordering::Relaxed)
     }
 
+    /// Whether a SIGTERM drain is in progress; accept loops poll this.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
     /// Stops admitting jobs and lets workers drain the queue.
     pub fn begin_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        *self.shared.queue.lock().unwrap() = None;
+        self.shared.sched.close(true);
+    }
+
+    /// The SIGTERM path: stop admission, cancel running campaigns at
+    /// their next checkpoint (they park, not fail), leave queued jobs in
+    /// the job store. Everything resumes byte-identically on restart.
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.drain_token.cancel();
+        self.shared.sched.close(false);
     }
 
     /// Waits for every worker to finish (call after
@@ -206,32 +298,100 @@ impl Server {
         }
     }
 
+    /// Waits up to `grace` for the workers to park or finish their
+    /// current jobs after [`request_drain`](Server::request_drain).
+    /// Returns whether the drain completed within the grace period.
+    pub fn drain_join(&self, grace: Duration) -> bool {
+        let deadline = Instant::now() + grace;
+        while self.shared.workers_live.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.join();
+        true
+    }
+
+    /// Live session threads (stats surface; the stalled-connection
+    /// regression test asserts this drops back to zero).
+    #[must_use]
+    pub fn sessions(&self) -> usize {
+        self.shared.sessions.load(Ordering::SeqCst)
+    }
+
     /// Runs one session: reads request lines from `reader`, streams
-    /// events to `writer`, returns when the client disconnects or asks
-    /// for shutdown.
+    /// events to `writer`, returns when the client disconnects, goes
+    /// silent past the read timeout, or asks for shutdown.
     pub fn serve_stream(&self, reader: impl Read, writer: Box<dyn Write + Send>) {
         let sink = EventSink::new(writer);
-        for line in BufReader::new(reader).lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
+        self.shared.sessions.fetch_add(1, Ordering::SeqCst);
+        let _session = CountGuard(&self.shared.sessions);
+        let serial = self.shared.conn_serial.fetch_add(1, Ordering::Relaxed);
+        let conn_key = format!("conn-{serial}");
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let mut lines = LineReader::new(reader, self.shared.conn.max_line);
+        loop {
+            if self.is_shutting_down() || self.is_draining() {
+                return;
             }
-            match Request::parse(&line) {
-                Err(e) => sink.emit(&Event::Error {
+            match lines.next_line() {
+                LineOutcome::Eof => return,
+                LineOutcome::TooLong => sink.emit(&Event::Error {
                     id: String::new(),
-                    kind: "protocol",
-                    detail: e.to_string(),
+                    kind: "line_too_long",
+                    detail: format!(
+                        "request line exceeds {} bytes; line discarded",
+                        self.shared.conn.max_line
+                    ),
                 }),
-                Ok(req) => match req.cmd {
-                    Cmd::Ping => sink.emit(&Event::Pong { workers: self.shared.workers }),
-                    Cmd::Stats => sink.emit(&self.stats_event()),
-                    Cmd::Shutdown => {
-                        sink.emit(&Event::ShuttingDown);
-                        self.begin_shutdown();
+                LineOutcome::BadUtf8 => sink.emit(&Event::Error {
+                    id: String::new(),
+                    kind: "invalid_utf8",
+                    detail: "request line is not valid UTF-8; line discarded".into(),
+                }),
+                LineOutcome::TimedOut { mid_line } => {
+                    if mid_line {
+                        // a slow-loris writer: drip-feeding a line cannot
+                        // hold a session thread past one timeout
+                        sink.emit(&Event::Error {
+                            id: String::new(),
+                            kind: "timeout",
+                            detail: "read timed out mid-line; closing connection".into(),
+                        });
                         return;
                     }
-                    _ => self.submit(req, &line, &sink),
-                },
+                    if inflight.load(Ordering::SeqCst) > 0 {
+                        // idle between lines but jobs are still streaming
+                        // events — keep the connection open for them
+                        continue;
+                    }
+                    return;
+                }
+                LineOutcome::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match Request::parse(&line) {
+                        Err(e) => sink.emit(&Event::Error {
+                            id: String::new(),
+                            kind: "protocol",
+                            detail: e.to_string(),
+                        }),
+                        Ok(req) => match req.cmd {
+                            Cmd::Ping => {
+                                sink.emit(&Event::Pong { workers: self.shared.workers });
+                            }
+                            Cmd::Stats => sink.emit(&self.stats_event()),
+                            Cmd::Shutdown => {
+                                sink.emit(&Event::ShuttingDown);
+                                self.begin_shutdown();
+                                return;
+                            }
+                            _ => self.submit(req, &line, &sink, Some(&inflight), &conn_key, false),
+                        },
+                    }
+                }
             }
         }
     }
@@ -249,26 +409,54 @@ impl Server {
             resident_graphs: self.shared.cache.resident_count(),
             resident_bytes: self.shared.cache.resident_bytes(),
             active_jobs: self.shared.active.lock().unwrap().len(),
+            queued_jobs: self.shared.sched.queued_jobs(),
+            queued_bytes: self.shared.sched.queued_bytes(),
+            shed_jobs: self.shared.sched.shed_total(),
+            sessions: self.sessions(),
         }
     }
 
     /// Admits one campaign request: validates the id, replays stored
-    /// reports, rejects duplicates, persists the request line, then
-    /// queues the job.
-    fn submit(&self, req: Request, raw_line: &str, sink: &EventSink) {
+    /// reports, rejects duplicates, then offers the job to the admission
+    /// controller; only admitted jobs persist a request file.
+    fn submit(
+        &self,
+        req: Request,
+        raw_line: &str,
+        sink: &EventSink,
+        inflight: Option<&Arc<AtomicUsize>>,
+        conn_key: &str,
+        privileged: bool,
+    ) {
         let id = req.id.clone();
         if let Err(detail) = validate_job_id(&id) {
             sink.emit(&Event::Error { id, kind: "rejected", detail });
             return;
         }
         if let Some(dir) = &self.shared.jobs_dir {
-            if let Ok(stored) = std::fs::read_to_string(report_path(dir, &id)) {
-                sink.emit(&Event::Report {
-                    id: id.clone(),
-                    kind: req.cmd.name(),
-                    report: stored.trim_end_matches('\n').to_string(),
+            let path = report_path(dir, &id);
+            if let Ok(stored) = std::fs::read_to_string(&path) {
+                if json_complete(&stored) {
+                    sink.emit(&Event::Report {
+                        id: id.clone(),
+                        kind: req.cmd.name(),
+                        report: stored.trim_end_matches('\n').to_string(),
+                    });
+                    sink.emit(&Event::Done { id });
+                    return;
+                }
+                // a torn rename published a truncated report; drop it
+                // and re-run the job rather than replay corrupt bytes
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        if let Some(inf) = inflight {
+            if inf.load(Ordering::SeqCst) >= self.shared.conn.max_inflight {
+                sink.emit(&Event::Overloaded {
+                    id,
+                    retry_after_ms: self.shared.sched.retry_hint(),
+                    shed: false,
                 });
-                sink.emit(&Event::Done { id });
                 return;
             }
         }
@@ -280,10 +468,26 @@ impl Server {
             });
             return;
         }
+        let warm = self.is_warm(&req);
+        let job = QueuedJob {
+            client: req.client.clone().unwrap_or_else(|| conn_key.to_string()),
+            raw_bytes: raw_line.len(),
+            warm,
+            sink: sink.clone(),
+            inflight: inflight.cloned(),
+            deadline: req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            request: req,
+        };
+        // count and persist before queuing: a fast worker may pop the job
+        // immediately, and its terminal bookkeeping must never run ahead
+        // of admission's
+        if let Some(inf) = inflight {
+            inf.fetch_add(1, Ordering::SeqCst);
+        }
         if let Some(dir) = &self.shared.jobs_dir {
             let path = dir.join(format!("{id}.request.json"));
-            if let Err(e) = std::fs::write(&path, format!("{raw_line}\n")) {
-                sink.emit(&Event::Warning {
+            if let Err(e) = self.shared.io.write(&path, format!("{raw_line}\n").as_bytes()) {
+                job.sink.emit(&Event::Warning {
                     id: id.clone(),
                     kind: "job_store_write_failed".into(),
                     detail: format!(
@@ -293,21 +497,56 @@ impl Server {
                 });
             }
         }
-        let queued = {
-            let queue = self.shared.queue.lock().unwrap();
-            match queue.as_ref() {
-                Some(tx) => tx.send(Job { request: req, sink: sink.clone() }).is_ok(),
-                None => false,
+        match self.shared.sched.submit(job, privileged) {
+            Admission::Admitted { shed } => {
+                if let Some(victim) = shed {
+                    self.discard_shed(*victim);
+                }
             }
-        };
-        if !queued {
-            self.shared.active.lock().unwrap().remove(&id);
-            sink.emit(&Event::Error {
-                id,
-                kind: "rejected",
-                detail: "server is shutting down".into(),
-            });
+            Admission::Rejected { retry_after_ms } => {
+                self.shared.active.lock().unwrap().remove(&id);
+                if let Some(inf) = inflight {
+                    inf.fetch_sub(1, Ordering::SeqCst);
+                }
+                if let Some(dir) = &self.shared.jobs_dir {
+                    let _ = std::fs::remove_file(dir.join(format!("{id}.request.json")));
+                }
+                sink.emit(&Event::Overloaded { id, retry_after_ms, shed: false });
+            }
         }
+    }
+
+    /// Whether a request's graph is already resident — the admission
+    /// controller's warm/cold signal. Never resolves a model: it only
+    /// consults the fingerprint memo populated by earlier executions.
+    fn is_warm(&self, req: &Request) -> bool {
+        if let Some(fp) = req.fingerprint {
+            return self.shared.cache.contains(fp);
+        }
+        if let Some(ModelRef::Named(name)) = &req.model {
+            if let Some(fp) = self.shared.fp_memo.lock().unwrap().get(name) {
+                return self.shared.cache.contains(*fp);
+            }
+        }
+        false
+    }
+
+    /// Cleans up a job evicted by the admission controller: release its
+    /// id and in-flight slot, drop its request file, tell its client.
+    fn discard_shed(&self, victim: QueuedJob) {
+        let id = victim.request.id.clone();
+        self.shared.active.lock().unwrap().remove(&id);
+        if let Some(inf) = &victim.inflight {
+            inf.fetch_sub(1, Ordering::SeqCst);
+        }
+        if let Some(dir) = &self.shared.jobs_dir {
+            let _ = std::fs::remove_file(dir.join(format!("{id}.request.json")));
+        }
+        victim.sink.emit(&Event::Overloaded {
+            id,
+            retry_after_ms: self.shared.sched.retry_hint(),
+            shed: true,
+        });
     }
 
     /// Re-enqueues request files without a matching report file.
@@ -322,14 +561,21 @@ impl Server {
         let mut recovered = 0;
         for name in names {
             let id = name.trim_end_matches(".request.json");
-            if report_path(&dir, id).exists() {
-                continue;
+            let report = report_path(&dir, id);
+            match std::fs::read_to_string(&report) {
+                // a finished job: nothing to resume
+                Ok(text) if json_complete(&text) => continue,
+                // a torn rename's truncated report must read as absent
+                Ok(_) => {
+                    let _ = std::fs::remove_file(&report);
+                }
+                Err(_) => {}
             }
             let Ok(raw) = std::fs::read_to_string(dir.join(&name)) else { continue };
             let line = raw.lines().next().unwrap_or("");
             match Request::parse(line) {
                 Ok(req) if req.cmd.is_campaign() && req.id == id => {
-                    self.submit(req, line, &EventSink::detached());
+                    self.submit(req, line, &EventSink::detached(), None, "recovered", true);
                     recovered += 1;
                 }
                 _ => eprintln!("archval-serve: ignoring unparseable job-store entry {name}"),
@@ -339,21 +585,144 @@ impl Server {
     }
 }
 
+/// Decrements a gauge when dropped (session and worker accounting
+/// survives panics).
+struct CountGuard<'a>(&'a AtomicUsize);
+
+impl Drop for CountGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Outcome of one [`LineReader::next_line`] call.
+enum LineOutcome {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line exceeded the byte cap; its remainder will be discarded.
+    TooLong,
+    /// The line was not valid UTF-8.
+    BadUtf8,
+    /// The socket read timeout expired.
+    TimedOut {
+        /// Whether a partial line was pending (the slow-loris signature).
+        mid_line: bool,
+    },
+    /// Clean end of stream (a trailing partial line is dropped).
+    Eof,
+}
+
+/// A bounded, timeout-aware replacement for `BufReader::lines`: never
+/// buffers more than the line cap, reports timeouts instead of blocking
+/// forever, and surfaces invalid UTF-8 as an outcome instead of
+/// silently ending the stream.
+struct LineReader<R> {
+    inner: R,
+    pending: Vec<u8>,
+    discarding: bool,
+    max: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R, max: usize) -> LineReader<R> {
+        LineReader { inner, pending: Vec::new(), discarding: false, max }
+    }
+
+    fn next_line(&mut self) -> LineOutcome {
+        loop {
+            if self.discarding {
+                match self.pending.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.pending.drain(..=pos);
+                        self.discarding = false;
+                    }
+                    None => self.pending.clear(),
+                }
+            }
+            if !self.discarding {
+                if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                    let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                    line.pop();
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return match String::from_utf8(line) {
+                        Ok(s) => LineOutcome::Line(s),
+                        Err(_) => LineOutcome::BadUtf8,
+                    };
+                }
+                if self.pending.len() > self.max {
+                    self.pending.clear();
+                    self.discarding = true;
+                    return LineOutcome::TooLong;
+                }
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return LineOutcome::Eof,
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return LineOutcome::TimedOut {
+                        mid_line: !self.pending.is_empty() || self.discarding,
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return LineOutcome::Eof,
+            }
+        }
+    }
+}
+
 fn report_path(dir: &Path, id: &str) -> PathBuf {
     dir.join(format!("{id}.report.json"))
 }
 
-fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
-    loop {
-        let job = {
-            let rx = rx.lock().unwrap();
-            rx.recv()
-        };
-        let Ok(job) = job else { break };
+/// Whether `text` is one complete JSON value (plus whitespace). Stored
+/// reports must pass this before being trusted: a torn rename can
+/// publish a truncated report file, which has to count as *no* report —
+/// the job store still holds the request file, so the job re-runs
+/// deterministically instead of replaying corrupt bytes.
+fn json_complete(text: &str) -> bool {
+    let mut p = de::Parser::new(text);
+    p.skip_value().is_ok() && p.finish().is_ok()
+}
+
+/// How a worker's execution of a job ended (besides failing).
+enum Exec {
+    /// The report landed; the job is terminal.
+    Finished,
+    /// A drain interrupted the job before its report; its request file
+    /// stays in the job store and the next process resumes it.
+    Parked,
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let _live = CountGuard(&shared.workers_live);
+    while let Some(job) = shared.sched.pop() {
         let id = job.request.id.clone();
-        match run_isolated(|| execute(shared, &job.request, &job.sink)) {
-            Ok(Ok(())) => {}
+        let outcome = if job.expired() {
+            Ok(Err(JobError {
+                kind: "deadline_exceeded",
+                detail: "deadline passed while the job was queued".into(),
+            }))
+        } else {
+            run_isolated(|| execute(shared, &job))
+        };
+        match outcome {
+            Ok(Ok(Exec::Finished)) => {}
+            Ok(Ok(Exec::Parked)) => {
+                // no terminal event: the job store still holds the
+                // request file, so the next process finishes the job
+            }
             Ok(Err(e)) => {
+                if e.kind == "deadline_exceeded" {
+                    // terminal by policy: a job past its deadline must
+                    // not resurrect on restart (checkpoints are kept —
+                    // resubmission under a fresh deadline reuses them)
+                    if let Some(dir) = &shared.jobs_dir {
+                        let _ = std::fs::remove_file(dir.join(format!("{id}.request.json")));
+                    }
+                }
                 job.sink.emit(&Event::Error { id: id.clone(), kind: e.kind, detail: e.detail });
             }
             Err(panic_msg) => {
@@ -361,6 +730,9 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
             }
         }
         shared.active.lock().unwrap().remove(&id);
+        if let Some(inf) = &job.inflight {
+            inf.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -387,8 +759,13 @@ struct TourReport {
     full_coverage: bool,
 }
 
-fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), JobError> {
+fn execute(shared: &Arc<Shared>, job: &QueuedJob) -> Result<Exec, JobError> {
+    let req = &job.request;
+    let sink = &job.sink;
     let id = &req.id;
+    if shared.draining.load(Ordering::Relaxed) {
+        return Ok(Exec::Parked);
+    }
     // The fingerprint fast path: serve the model and graph straight from
     // the cache, skipping resolve_model's generate → parse → translate
     // pass entirely. A fingerprint only names something while it is
@@ -409,13 +786,24 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
         None => (resolve_model(req)?, None),
     };
     let fingerprint = model.fingerprint();
+    if let Some(ModelRef::Named(name)) = &req.model {
+        shared.fp_memo.lock().unwrap().insert(name.clone(), fingerprint);
+    }
     sink.emit(&Event::Accepted {
         id: id.clone(),
         cmd: req.cmd.name(),
         fingerprint,
         cached: prefetched.is_some() || shared.cache.contains(fingerprint),
     });
-    let budget = req.budget.unwrap_or_default().to_run_budget();
+    let mut budget = req.budget.unwrap_or_default().to_run_budget();
+    if let Some(remaining) = job.remaining() {
+        if remaining.is_zero() {
+            return Err(deadline_exceeded(job));
+        }
+        // the request's own deadline_ms composes with the budget's
+        // per-stage deadline: the tighter bound wins
+        budget = budget.clamped_to(remaining);
+    }
     let setup = Instant::now();
 
     // The incremental path: enumerate this model against a resident
@@ -436,7 +824,7 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
             };
             let program = StepProgram::compile(&model);
             let mut config = EnumConfig::default();
-            if req.budget.is_some_and(|b| b.is_set()) {
+            if req.budget.is_some_and(|b| b.is_set()) || job.deadline.is_some() {
                 config.budget = budget.enum_budget();
             }
             let d = enumerate_delta_opts(
@@ -461,6 +849,9 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
                 edges: r.graph.edge_count(),
                 setup_ms: setup.elapsed().as_millis() as u64,
             });
+            if job.expired() {
+                return Err(deadline_exceeded(job));
+            }
             let report = EnumReport {
                 states: r.stats.states,
                 bits_per_state: r.stats.bits_per_state,
@@ -470,13 +861,16 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
                 truncated: r.truncated.map(|t| format!("{t:?}").to_lowercase()),
             };
             let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
-            return Ok(finish(shared, sink, id, req.cmd.name(), json)?);
+            finish(shared, sink, id, req.cmd.name(), json)?;
+            return Ok(Exec::Finished);
         }
     }
 
     // A budgeted enumerate is a bounded exploration job: it may truncate,
     // so it bypasses the cache (which holds only complete enumerations).
-    if req.cmd == Cmd::Enumerate && req.budget.is_some_and(|b| b.is_set()) {
+    if req.cmd == Cmd::Enumerate
+        && (req.budget.is_some_and(|b| b.is_set()) || job.deadline.is_some())
+    {
         let program = StepProgram::compile(&model);
         let config = EnumConfig {
             threads: req.threads.unwrap_or(shared.cache.config().enum_threads),
@@ -501,7 +895,8 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
             truncated: r.truncated.map(|t| format!("{t:?}").to_lowercase()),
         };
         let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
-        return Ok(finish(shared, sink, id, req.cmd.name(), json)?);
+        finish(shared, sink, id, req.cmd.name(), json)?;
+        return Ok(Exec::Finished);
     }
 
     let (entry, source) = match prefetched {
@@ -524,6 +919,15 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
         edges: entry.enumd.graph.edge_count(),
         setup_ms: setup.elapsed().as_millis() as u64,
     });
+    // post-setup checkpoint: a cold cache load (which runs to completion
+    // so the shared cache entry stays usable) may have consumed the whole
+    // deadline, and a drain may have started meanwhile
+    if job.expired() {
+        return Err(deadline_exceeded(job));
+    }
+    if shared.draining.load(Ordering::Relaxed) {
+        return Ok(Exec::Parked);
+    }
 
     let json = match req.cmd {
         Cmd::Enumerate => {
@@ -574,6 +978,12 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
             serde_json::to_string(&report).map_err(|e| e.to_string())?
         }
         Cmd::Inject => {
+            // the drain token cancels every campaign at once; a deadline
+            // tightens this job's own copy
+            let cancel = match job.deadline {
+                Some(d) => shared.drain_token.deadline_at(d),
+                None => shared.drain_token.clone(),
+            };
             let config = CampaignConfig {
                 mutant_limit: req.mutants.unwrap_or(CampaignConfig::default().mutant_limit),
                 include_chaos: req.chaos,
@@ -583,6 +993,7 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
                     .jobs_dir
                     .as_ref()
                     .map(|d| d.join(format!("{id}.checkpoint.jsonl"))),
+                cancel: Some(cancel),
                 ..CampaignConfig::default()
             };
             let report = run_campaign_streaming(&model, &entry.enumd, &config, &|outcome| {
@@ -590,11 +1001,32 @@ fn execute(shared: &Arc<Shared>, req: &Request, sink: &EventSink) -> Result<(), 
                 sink.emit(&Event::Verdict { id: id.clone(), outcome: line });
             })
             .map_err(|e| e.to_string())?;
+            if !report.complete {
+                // the cancel token stopped the campaign mid-flight:
+                // either this job's deadline or a server-wide drain
+                if job.expired() {
+                    return Err(deadline_exceeded(job));
+                }
+                if shared.draining.load(Ordering::Relaxed) {
+                    return Ok(Exec::Parked);
+                }
+            }
             serde_json::to_string(&report).map_err(|e| e.to_string())?
         }
         Cmd::Ping | Cmd::Stats | Cmd::Shutdown => unreachable!("handled inline by the session"),
     };
-    Ok(finish(shared, sink, id, req.cmd.name(), json)?)
+    finish(shared, sink, id, req.cmd.name(), json)?;
+    Ok(Exec::Finished)
+}
+
+fn deadline_exceeded(job: &QueuedJob) -> JobError {
+    JobError {
+        kind: "deadline_exceeded",
+        detail: format!(
+            "job exceeded its {} ms deadline and was cancelled at a budget checkpoint",
+            job.request.deadline_ms.unwrap_or(0)
+        ),
+    }
 }
 
 /// A failed job: a stable wire error kind plus human-readable detail.
@@ -622,8 +1054,10 @@ fn finish(
     if let Some(dir) = &shared.jobs_dir {
         let path = report_path(dir, id);
         let tmp = dir.join(format!("{id}.report.json.tmp"));
-        std::fs::write(&tmp, format!("{report_json}\n"))
-            .and_then(|()| std::fs::rename(&tmp, &path))
+        shared
+            .io
+            .write(&tmp, format!("{report_json}\n").as_bytes())
+            .and_then(|()| shared.io.rename(&tmp, &path))
             .map_err(|e| format!("persisting report {}: {e}", path.display()))?;
     }
     sink.emit(&Event::Report { id: id.to_string(), kind, report: report_json });
@@ -712,8 +1146,9 @@ impl<F: Feedback> Feedback for StreamingFeedback<'_, F> {
     }
 }
 
-/// Accepts connections on a Unix socket until shutdown, spawning one
-/// session thread per connection. Removes a stale socket file first and
+/// Accepts connections on a Unix socket until shutdown or drain,
+/// spawning one session thread per connection with the configured
+/// read/write timeouts applied. Removes a stale socket file first and
 /// cleans it up on exit.
 ///
 /// # Errors
@@ -723,9 +1158,17 @@ pub fn listen_unix(server: &Arc<Server>, path: &Path) -> std::io::Result<()> {
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
+    // identity of the file this listener bound: a successor server may
+    // rebind the same path while this thread is still in its accept
+    // poll (shutdown is flag-polled), and cleanup must not unlink the
+    // successor's socket out from under it
+    let bound = socket_file_id(path);
+    let conn = server.shared.conn.clone();
     accept_loop(server, || match listener.accept() {
         Ok((stream, _)) => {
             stream.set_nonblocking(false).ok();
+            stream.set_read_timeout(conn.read_timeout).ok();
+            stream.set_write_timeout(conn.write_timeout).ok();
             let reader = stream.try_clone().ok()?;
             Some((
                 Box::new(reader) as Box<dyn Read + Send>,
@@ -734,8 +1177,21 @@ pub fn listen_unix(server: &Arc<Server>, path: &Path) -> std::io::Result<()> {
         }
         Err(_) => None,
     });
-    let _ = std::fs::remove_file(path);
+    // close the listening fd before draining workers: a client racing the
+    // teardown must get ECONNREFUSED it can retry, not a connect that
+    // parks in a backlog nobody will ever accept from
+    drop(listener);
+    if bound.is_some() && socket_file_id(path) == bound {
+        let _ = std::fs::remove_file(path);
+    }
+    finish_listener(server);
     Ok(())
+}
+
+fn socket_file_id(path: &Path) -> Option<(u64, u64)> {
+    use std::os::unix::fs::MetadataExt;
+    let m = std::fs::symlink_metadata(path).ok()?;
+    Some((m.dev(), m.ino()))
 }
 
 /// As [`listen_unix`], over TCP.
@@ -746,9 +1202,12 @@ pub fn listen_unix(server: &Arc<Server>, path: &Path) -> std::io::Result<()> {
 pub fn listen_tcp(server: &Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
+    let conn = server.shared.conn.clone();
     accept_loop(server, || match listener.accept() {
         Ok((stream, _)) => {
             stream.set_nonblocking(false).ok();
+            stream.set_read_timeout(conn.read_timeout).ok();
+            stream.set_write_timeout(conn.write_timeout).ok();
             let reader = stream.try_clone().ok()?;
             Some((
                 Box::new(reader) as Box<dyn Read + Send>,
@@ -757,6 +1216,8 @@ pub fn listen_tcp(server: &Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Re
         }
         Err(_) => None,
     });
+    drop(listener);
+    finish_listener(server);
     Ok(())
 }
 
@@ -764,14 +1225,23 @@ fn accept_loop(
     server: &Arc<Server>,
     mut accept: impl FnMut() -> Option<(Box<dyn Read + Send>, Box<dyn Write + Send>)>,
 ) {
-    while !server.is_shutting_down() {
+    while !server.is_shutting_down() && !server.is_draining() {
         match accept() {
             Some((reader, writer)) => {
                 let server = server.clone();
                 std::thread::spawn(move || server.serve_stream(reader, writer));
             }
-            None => std::thread::sleep(std::time::Duration::from_millis(20)),
+            None => std::thread::sleep(std::time::Duration::from_millis(5)),
         }
     }
-    server.join();
+}
+
+/// The tail of a listener thread, after its socket is closed and (for
+/// Unix sockets) its path unlinked.
+fn finish_listener(server: &Arc<Server>) {
+    if server.is_shutting_down() && !server.is_draining() {
+        // the shutdown verb finishes the whole queue; a drain instead
+        // bounds its wait through Server::drain_join
+        server.join();
+    }
 }

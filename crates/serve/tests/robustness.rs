@@ -1,0 +1,386 @@
+//! Robustness suite for the campaign server: deterministic protocol
+//! fuzzing (parser- and session-level), slow-peer connection hygiene,
+//! request deadlines, and the disk-fault matrix over the job store's
+//! write seam — short writes, ENOSPC, torn renames, and corrupt
+//! checkpoint tails all degrade to typed events and never lose an
+//! admitted job.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use archval_serve::client::Client;
+use archval_serve::{
+    corrupt_checkpoint_tail, event_field, fuzz_corpus, line_is_event, BudgetSpec, CacheConfig, Cmd,
+    FaultyIo, ModelRef, Request, Server, ServerConfig,
+};
+
+struct Dirs {
+    root: PathBuf,
+    sock: PathBuf,
+    cache: PathBuf,
+    jobs: PathBuf,
+}
+
+fn dirs(tag: &str) -> Dirs {
+    let root = std::env::temp_dir().join(format!("archval-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    Dirs {
+        sock: root.join("served.sock"),
+        cache: root.join("cache"),
+        jobs: root.join("jobs"),
+        root,
+    }
+}
+
+fn base_config(d: &Dirs) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        cache: CacheConfig { snapshot_dir: Some(d.cache.clone()), ..CacheConfig::default() },
+        jobs_dir: Some(d.jobs.clone()),
+        ..ServerConfig::default()
+    }
+}
+
+fn start_unix(config: ServerConfig, sock: &Path) -> Arc<Server> {
+    let server = Arc::new(Server::start(config).unwrap());
+    // unlink any predecessor's socket first so the existence wait below
+    // sees THIS server's bind — a stale file would let the caller
+    // connect before the new listener is up
+    let _ = std::fs::remove_file(sock);
+    let listener = server.clone();
+    let path = sock.to_path_buf();
+    std::thread::spawn(move || {
+        let _ = archval_serve::listen_unix(&listener, &path);
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "listener socket never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server
+}
+
+fn stop_unix(server: &Arc<Server>, sock: &Path) {
+    // a failed connect here would leave join() waiting forever on
+    // workers that were never told to drain — fail loudly instead
+    let mut c = Client::connect_unix(sock).expect("connecting for shutdown");
+    let _ = c.send(&Request::new(Cmd::Shutdown));
+    let _ = c.recv_line();
+    server.join();
+}
+
+fn micro_request(cmd: Cmd, id: &str) -> Request {
+    let mut r = Request::new(cmd);
+    r.id = id.into();
+    r.model = Some(ModelRef::Named("pp-micro".into()));
+    r
+}
+
+fn inject_request(id: &str, mutants: usize) -> Request {
+    let mut r = micro_request(Cmd::Inject, id);
+    r.mutants = Some(mutants);
+    r.chaos = false;
+    r.threads = Some(1);
+    r.budget = Some(BudgetSpec { deadline_ms: Some(60_000), ..Default::default() });
+    r
+}
+
+// ---------------------------------------------------------------- fuzz
+
+#[test]
+fn request_parse_survives_ten_thousand_fuzz_lines() {
+    let mut total = 0usize;
+    let mut accepted = 0usize;
+    for seed in 1..=5u64 {
+        for line in fuzz_corpus(seed, 2_100) {
+            total += 1;
+            match std::panic::catch_unwind(|| Request::parse(&line).is_ok()) {
+                Ok(ok) => accepted += usize::from(ok),
+                Err(_) => panic!("Request::parse panicked on fuzz line: {line:?}"),
+            }
+        }
+    }
+    assert!(total >= 10_000, "corpus too small: {total}");
+    // the corpus seeds valid templates between the mutations — both
+    // outcomes must be exercised for the run to mean anything
+    assert!(accepted > 0, "no fuzz line parsed — the valid templates are broken");
+    assert!(accepted < total, "every fuzz line parsed — the mutations are no-ops");
+}
+
+#[test]
+fn hostile_nesting_and_oversized_fields_are_typed_errors() {
+    let mut deep = String::from(r#"{"cmd":"ping","x":"#);
+    deep.extend(std::iter::repeat_n('[', 50_000));
+    assert!(Request::parse(&deep).is_err(), "unbounded nesting must be refused");
+
+    let huge_id = format!(r#"{{"cmd":"enumerate","id":"{}"}}"#, "a".repeat(100_000));
+    // parsing may succeed — the id validator is the backstop
+    if let Ok(r) = Request::parse(&huge_id) {
+        assert!(archval_serve::protocol::validate_job_id(&r.id).is_err());
+    }
+}
+
+#[test]
+fn session_survives_a_fuzzed_connection() {
+    let d = dirs("session-fuzz");
+    let server = start_unix(base_config(&d), &d.sock);
+
+    let stream = UnixStream::connect(&d.sock).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let reader = std::thread::spawn(move || {
+        let mut events = 0usize;
+        for line in BufReader::new(stream).lines() {
+            match line {
+                Ok(l) => {
+                    assert!(
+                        l.starts_with('{') && l.ends_with('}'),
+                        "server emitted a non-JSON line under fuzz: {l:?}"
+                    );
+                    events += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        events
+    });
+    for line in fuzz_corpus(7, 600) {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+    }
+    writer.flush().unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+    let events = reader.join().unwrap();
+    assert!(events > 0, "a fuzzed session must still produce typed responses");
+
+    // the server survived: a fresh client gets a normal round trip
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    c.send(&Request::new(Cmd::Ping)).unwrap();
+    let pong = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&pong, "pong"), "{pong}");
+
+    stop_unix(&server, &d.sock);
+    std::fs::remove_dir_all(&d.root).ok();
+}
+
+// ---------------------------------------------------- connection hygiene
+
+#[test]
+fn silent_peer_times_out_and_frees_its_session_thread() {
+    let d = dirs("stalled");
+    let mut config = base_config(&d);
+    config.conn.read_timeout = Some(Duration::from_millis(200));
+    let server = start_unix(config, &d.sock);
+
+    // a peer that connects and never sends a byte
+    let stalled = UnixStream::connect(&d.sock).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.sessions() == 0 {
+        assert!(Instant::now() < deadline, "session thread never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // the read timeout reaps it without the peer ever disconnecting
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.sessions() > 0 {
+        assert!(Instant::now() < deadline, "session thread blocked forever on a silent peer");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // and the server still serves the next client
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    c.send(&Request::new(Cmd::Ping)).unwrap();
+    let pong = c.recv_line().unwrap().unwrap();
+    assert!(line_is_event(&pong, "pong"), "{pong}");
+    drop(stalled);
+
+    stop_unix(&server, &d.sock);
+    std::fs::remove_dir_all(&d.root).ok();
+}
+
+// ------------------------------------------------------------ deadlines
+
+#[test]
+fn queued_job_past_its_deadline_is_cancelled_with_a_typed_error() {
+    let d = dirs("deadline-queued");
+    let mut config = base_config(&d);
+    config.workers = 1;
+    let server = start_unix(config, &d.sock);
+
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    // occupy the single worker, then queue a job that cannot make it
+    c.send(&inject_request("dl-camp", 12)).unwrap();
+    c.recv_until("verdict").unwrap();
+    let mut doomed = micro_request(Cmd::Enumerate, "dl-e");
+    doomed.deadline_ms = Some(50);
+    c.send(&doomed).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let err = loop {
+        assert!(Instant::now() < deadline, "no terminal event for the doomed job");
+        let line = c.recv_line().unwrap().expect("connection stayed open");
+        if line_is_event(&line, "error") && event_field(&line, "id").as_deref() == Some("dl-e") {
+            break line;
+        }
+    };
+    assert_eq!(event_field(&err, "kind").as_deref(), Some("deadline_exceeded"), "{err}");
+    // terminal by policy: the job must not resurrect on restart
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while d.jobs.join("dl-e.request.json").exists() {
+        assert!(Instant::now() < deadline, "expired job's request file must be removed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    stop_unix(&server, &d.sock);
+    std::fs::remove_dir_all(&d.root).ok();
+}
+
+#[test]
+fn running_campaign_past_its_deadline_cancels_at_a_checkpoint() {
+    let d = dirs("deadline-running");
+    let server = start_unix(base_config(&d), &d.sock);
+
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    let mut r = inject_request("dl-camp", 500);
+    r.deadline_ms = Some(400);
+    c.send(&r).unwrap();
+
+    let err = loop {
+        let line = c.recv_line().unwrap().expect("connection stayed open");
+        if line_is_event(&line, "error") {
+            break line;
+        }
+        assert!(
+            !line_is_event(&line, "done"),
+            "a 500-mutant campaign cannot finish inside 400 ms: {line}"
+        );
+    };
+    assert_eq!(event_field(&err, "kind").as_deref(), Some("deadline_exceeded"), "{err}");
+    // the checkpoint survives: resubmission under a fresh deadline
+    // reuses the mutants already decided
+    assert!(
+        d.jobs.join("dl-camp.checkpoint.jsonl").exists(),
+        "checkpoint must be kept for resubmission"
+    );
+    assert!(!d.jobs.join("dl-camp.request.json").exists(), "expired job must not resurrect");
+
+    stop_unix(&server, &d.sock);
+    std::fs::remove_dir_all(&d.root).ok();
+}
+
+// ------------------------------------------------------ disk-fault matrix
+
+#[test]
+fn disk_fault_matrix_degrades_to_typed_events_and_loses_no_job() {
+    for (seed, period) in [(11u64, 2u64), (23, 3), (47, 5)] {
+        let d = dirs(&format!("faults-{seed}"));
+        let io = Arc::new(FaultyIo::new(seed, period));
+        let mut config = base_config(&d);
+        config.io = io.clone();
+        config.cache.io = io.clone();
+        let server = start_unix(config, &d.sock);
+
+        // drive jobs through every fault the schedule dishes out; each
+        // must reach a terminal event — done, or a typed error
+        let mut c = Client::connect_unix(&d.sock).unwrap();
+        let ids: Vec<String> = (0..6).map(|i| format!("fj-{i}")).collect();
+        let mut failed: Vec<String> = Vec::new();
+        for id in &ids {
+            c.send(&micro_request(Cmd::Enumerate, id)).unwrap();
+            loop {
+                let line = c.recv_line().unwrap().expect("session stayed open under faults");
+                if line_is_event(&line, "done") {
+                    break;
+                }
+                if line_is_event(&line, "error") {
+                    let kind = event_field(&line, "kind").unwrap_or_default();
+                    assert!(
+                        kind == "failed" || kind == "panic",
+                        "fault must surface as a typed error: {line}"
+                    );
+                    assert_ne!(kind, "panic", "a disk fault must never panic a worker: {line}");
+                    failed.push(id.clone());
+                    break;
+                }
+            }
+        }
+        assert!(
+            !io.injected().is_empty(),
+            "seed {seed} period {period} never fired a fault — the matrix is vacuous"
+        );
+        stop_unix(&server, &d.sock);
+
+        // jobs whose report write faulted kept their request files;
+        // a restart on a clean disk finishes every one of them
+        let server = start_unix(base_config(&d), &d.sock);
+        for id in &failed {
+            let path = d.jobs.join(format!("{id}.report.json"));
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while !path.exists() {
+                assert!(
+                    Instant::now() < deadline,
+                    "job {id} admitted under faults was lost (seed {seed})"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        stop_unix(&server, &d.sock);
+        std::fs::remove_dir_all(&d.root).ok();
+    }
+}
+
+#[test]
+fn torn_report_and_corrupt_checkpoint_tail_resume_byte_identically() {
+    // baseline: the campaign uninterrupted
+    let base = dirs("tail-baseline");
+    let server = start_unix(base_config(&base), &base.sock);
+    let mut c = Client::connect_unix(&base.sock).unwrap();
+    c.send(&inject_request("t-camp", 12)).unwrap();
+    c.recv_until("done").unwrap();
+    stop_unix(&server, &base.sock);
+    let expected = std::fs::read(base.jobs.join("t-camp.report.json")).unwrap();
+
+    // crashed image: complete checkpoint, but the report rename tore and
+    // the checkpoint tail was half-appended
+    let d = dirs("tail");
+    let server = start_unix(base_config(&d), &d.sock);
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    let req = inject_request("t-camp", 12);
+    c.send(&req).unwrap();
+    c.recv_until("done").unwrap();
+    stop_unix(&server, &d.sock);
+
+    let report = d.jobs.join("t-camp.report.json");
+    let bytes = std::fs::read(&report).unwrap();
+    std::fs::write(&report, &bytes[..bytes.len() / 2]).unwrap();
+    let checkpoint = d.jobs.join("t-camp.checkpoint.jsonl");
+    corrupt_checkpoint_tail(&checkpoint, 3).unwrap();
+    // the crash happened before the request file was cleaned up
+    std::fs::write(d.jobs.join("t-camp.request.json"), format!("{}\n", req.to_json())).unwrap();
+
+    // restart: the truncated report reads as absent, the torn checkpoint
+    // tail is dropped and its mutant re-run — byte-identical end state
+    let server = start_unix(base_config(&d), &d.sock);
+    assert_eq!(server.recovered(), 1, "torn report must not mask the unfinished job");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let resumed = loop {
+        if let Ok(bytes) = std::fs::read(&report) {
+            if !bytes.is_empty() && bytes.ends_with(b"\n") {
+                break bytes;
+            }
+        }
+        assert!(Instant::now() < deadline, "resumed report never appeared");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(
+        String::from_utf8_lossy(&resumed),
+        String::from_utf8_lossy(&expected),
+        "resume across a torn report + corrupt checkpoint tail must be byte-identical"
+    );
+    stop_unix(&server, &d.sock);
+    std::fs::remove_dir_all(&d.root).ok();
+    std::fs::remove_dir_all(&base.root).ok();
+}

@@ -1,7 +1,10 @@
 //! End-to-end smoke of the `archval-served` binary over a Unix socket:
-//! the protocol round trip, cache warm-up across requests, and the
+//! the protocol round trip, cache warm-up across requests, the
 //! crash-resume guarantee (SIGKILL mid-inject-campaign, restart, final
-//! report byte-identical to an uninterrupted run).
+//! report byte-identical to an uninterrupted run), and the graceful
+//! SIGTERM drain under load (running campaign parks at a checkpoint,
+//! queued jobs survive in the job store, the restarted server finishes
+//! everything to the same bytes).
 
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -32,6 +35,10 @@ fn dirs(tag: &str) -> Dirs {
 }
 
 fn start_server(d: &Dirs) -> Child {
+    start_server_with(d, &[])
+}
+
+fn start_server_with(d: &Dirs, extra: &[&str]) -> Child {
     let child = Command::new(SERVER_BIN)
         .args(["--unix"])
         .arg(&d.sock)
@@ -40,6 +47,7 @@ fn start_server(d: &Dirs) -> Child {
         .args(["--jobs-dir"])
         .arg(&d.jobs)
         .args(["--workers", "1"])
+        .args(extra)
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::null())
@@ -330,6 +338,78 @@ fn sigkill_mid_campaign_resumes_to_byte_identical_report() {
     let replay = lines.iter().find(|l| line_is_event(l, "report")).unwrap();
     let stored = String::from_utf8_lossy(&resumed);
     assert!(replay.ends_with(&format!(",\"report\":{}}}", stored.trim_end())), "{replay}");
+
+    shutdown_server(&d, child);
+    std::fs::remove_dir_all(&d.root).ok();
+    std::fs::remove_dir_all(&base.root).ok();
+}
+
+#[test]
+fn sigterm_drain_under_load_parks_and_resumes_byte_identically() {
+    let req = inject_request("drain-camp");
+
+    // baseline: the same campaign, uninterrupted
+    let base = dirs("drain-baseline");
+    let child = start_server(&base);
+    let mut c = Client::connect_unix(&base.sock).unwrap();
+    c.send(&req).unwrap();
+    c.recv_until("done").unwrap();
+    shutdown_server(&base, child);
+    let expected = wait_for_file(&base.jobs.join("drain-camp.report.json"), "baseline report");
+
+    // load a single-worker server: a running inject campaign plus a
+    // backlog of queued enumerates, then SIGTERM mid-campaign
+    let d = dirs("drain");
+    let mut child = start_server_with(&d, &["--drain-secs", "60"]);
+    let mut c = Client::connect_unix(&d.sock).unwrap();
+    c.send(&req).unwrap();
+    c.recv_until("verdict").unwrap();
+    let queued: Vec<String> = (0..3).map(|i| format!("drain-e{i}")).collect();
+    for id in &queued {
+        c.send(&micro_request(Cmd::Enumerate, id)).unwrap();
+    }
+    // every queued job must be admitted (request file durable) before
+    // the drain starts — that is the set the server promises to finish
+    for id in &queued {
+        wait_for_file(&d.jobs.join(format!("{id}.request.json")), "queued request file");
+    }
+    c.recv_until("verdict").unwrap();
+
+    let term = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+
+    // graceful drain: the campaign parks at its next checkpoint and the
+    // process exits 0 well inside the drain deadline
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not drain within the deadline");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "drain must exit cleanly, got {status:?}");
+    assert!(
+        !d.jobs.join("drain-camp.report.json").exists(),
+        "the campaign was parked, not finished, at drain time"
+    );
+
+    // restart on the same job store: the parked campaign and every
+    // queued enumerate resume unattended
+    let child = start_server(&d);
+    let resumed = wait_for_file(&d.jobs.join("drain-camp.report.json"), "resumed report");
+    assert_eq!(
+        String::from_utf8_lossy(&resumed),
+        String::from_utf8_lossy(&expected),
+        "drained campaign must resume to a byte-identical report"
+    );
+    for id in &queued {
+        wait_for_file(&d.jobs.join(format!("{id}.report.json")), "queued job report");
+    }
 
     shutdown_server(&d, child);
     std::fs::remove_dir_all(&d.root).ok();

@@ -42,6 +42,12 @@ impl<'a> Parser<'a> {
         Error { msg: msg.to_owned(), at: self.pos }
     }
 
+    /// Bytes not yet consumed — lets callers slice the raw text of a
+    /// value they are about to (or just did) walk.
+    pub fn remaining_len(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -220,10 +226,21 @@ impl<'a> Parser<'a> {
 
     /// Skips one complete JSON value (used for unknown object keys).
     ///
+    /// Nesting is capped at [`MAX_SKIP_DEPTH`] levels: attacker-supplied
+    /// input like `[[[[...` must produce a typed error, not exhaust the
+    /// stack of whatever thread is parsing.
+    ///
     /// # Errors
     ///
-    /// Returns an error on malformed input.
+    /// Returns an error on malformed or too-deeply-nested input.
     pub fn skip_value(&mut self) -> Result<(), Error> {
+        self.skip_value_at(0)
+    }
+
+    fn skip_value_at(&mut self, depth: usize) -> Result<(), Error> {
+        if depth >= MAX_SKIP_DEPTH {
+            return Err(self.error("value nested too deeply"));
+        }
         match self.peek() {
             Some(b'"') => {
                 self.parse_string()?;
@@ -234,7 +251,7 @@ impl<'a> Parser<'a> {
                     loop {
                         self.parse_string()?;
                         self.expect(':')?;
-                        self.skip_value()?;
+                        self.skip_value_at(depth + 1)?;
                         if self.try_char(',') {
                             continue;
                         }
@@ -247,7 +264,7 @@ impl<'a> Parser<'a> {
                 self.expect('[')?;
                 if !self.try_char(']') {
                     loop {
-                        self.skip_value()?;
+                        self.skip_value_at(depth + 1)?;
                         if self.try_char(',') {
                             continue;
                         }
@@ -287,6 +304,11 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Maximum container nesting [`Parser::skip_value`] will walk before
+/// reporting a typed error. Deep enough for any value this workspace
+/// writes, shallow enough that hostile input cannot blow the stack.
+pub const MAX_SKIP_DEPTH: usize = 96;
+
 fn utf8_len(first: u8) -> usize {
     match first {
         0x00..=0x7F => 1,
@@ -305,6 +327,20 @@ mod tests {
         let mut p = Parser::new(r#"{"a":[1,{"b":"x"},null],"c":true} 7"#);
         p.skip_value().unwrap();
         assert_eq!(p.parse_integer().unwrap(), 7);
+        p.finish().unwrap();
+    }
+
+    #[test]
+    fn skip_value_rejects_hostile_nesting() {
+        let deep = "[".repeat(100_000);
+        let mut p = Parser::new(&deep);
+        let err = p.skip_value().unwrap_err();
+        assert!(err.message().contains("nested too deeply"), "{err}");
+
+        // a value at exactly the cap still parses
+        let ok = format!("{}1{}", "[".repeat(MAX_SKIP_DEPTH - 1), "]".repeat(MAX_SKIP_DEPTH - 1));
+        let mut p = Parser::new(&ok);
+        p.skip_value().unwrap();
         p.finish().unwrap();
     }
 
